@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Ablation: non-intrusive vs intercepting measurement collection.
+ *
+ * §7.1.2: "Whether runtime attestation causes performance degradation
+ * to the VM execution time depends on the measurement collection
+ * mechanism." The paper's VMM Profile Tool reads state at VM switch
+ * (no degradation, Figure 10). This bench contrasts an intercepting
+ * monitor that pauses the VM for each collection, at increasing
+ * attestation frequency.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/cloud.h"
+#include "workloads/services.h"
+
+using namespace monatt;
+using namespace monatt::core;
+
+namespace
+{
+
+double
+runWorkload(SimTime attestPeriod, SimTime intrusivePause)
+{
+    CloudConfig cfg;
+    cfg.serverIntrusivePause = intrusivePause;
+    Cloud cloud(cfg);
+    Customer &customer = cloud.addCustomer("bench-customer");
+    auto vid = cloud.launchVm(customer, "vm", "ubuntu", "large",
+                              proto::allProperties());
+    if (!vid.isOk())
+        throw std::runtime_error(vid.errorMessage());
+
+    server::CloudServer *host = cloud.serverHosting(vid.value());
+    auto workload = workloads::makeService("database");
+    workloads::ServiceWorkload *probe = workload.get();
+    host->hypervisor().setBehavior(host->domainOf(vid.value()), 0,
+                                   std::move(workload));
+
+    if (attestPeriod > 0) {
+        customer.runtimeAttestPeriodic(
+            vid.value(), {proto::SecurityProperty::CpuAvailability},
+            attestPeriod);
+    }
+    cloud.runFor(seconds(60));
+    return toSeconds(probe->workDone());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Ablation: measurement collection mechanism",
+        "Relative benchmark performance under periodic attestation, "
+        "non-intrusive\ncollection (at VM switch) vs an intercepting "
+        "monitor pausing the VM 250 ms per\ncollection.");
+
+    const double baseline = runWorkload(0, 0);
+
+    std::printf("\n%-12s %18s %18s\n", "period", "non-intrusive",
+                "intercepting");
+    bool shapeOk = true;
+    for (const auto &[label, period] :
+         std::vector<std::pair<std::string, SimTime>>{
+             {"1min", minutes(1)}, {"10s", seconds(10)},
+             {"5s", seconds(5)},   {"2s", seconds(2)}}) {
+        const double clean = runWorkload(period, 0) / baseline;
+        const double intrusive =
+            runWorkload(period, msec(250)) / baseline;
+        std::printf("%-12s %17.1f%% %17.1f%%\n", label.c_str(),
+                    100.0 * clean, 100.0 * intrusive);
+        shapeOk &= clean > 0.97;
+        if (period <= seconds(5))
+            shapeOk &= intrusive < clean;
+    }
+
+    std::printf("\nexpected shape: non-intrusive stays ~100%% at every "
+                "frequency; the intercepting\nmonitor visibly degrades "
+                "the VM as the attestation period shrinks\n");
+    std::printf("shape check: %s\n", shapeOk ? "PASS" : "FAIL");
+    return shapeOk ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Figure 5: "Measurements of Covert-channel Vulnerabilities" — the
+ * probability distribution of CPU usage intervals from the 30 Trust
+ * Evidence Registers, for a covert-channel sender (two peaks) and a
+ * benign VM (one peak at the 30 ms slice), plus the Property
+ * Interpretation Module's verdicts.
+ */
+
+#include <cstdio>
+
+#include "attestation/interpreters.h"
+#include "bench_util.h"
+#include "hypervisor/hypervisor.h"
+#include "server/monitor_module.h"
+#include "sim/event_queue.h"
+#include "tpm/trust_module.h"
+#include "workloads/attacks.h"
+#include "workloads/programs.h"
+
+using namespace monatt;
+using namespace monatt::workloads;
+
+namespace
+{
+
+struct World
+{
+    sim::EventQueue events;
+    std::unique_ptr<hypervisor::Hypervisor> hv;
+    std::unique_ptr<tpm::TrustModule> tm;
+    std::unique_ptr<server::MonitorModule> monitor;
+
+    World()
+    {
+        hypervisor::HypervisorConfig cfg;
+        cfg.numPCpus = 1;
+        cfg.hypervisorCode = toBytes("xen");
+        cfg.hostOsCode = toBytes("dom0");
+        hv = std::make_unique<hypervisor::Hypervisor>(events, cfg);
+        Rng rng(5);
+        tm = std::make_unique<tpm::TrustModule>(
+            "bench-server", crypto::rsaGenerateKeyPair(512, rng),
+            toBytes("seed"));
+        monitor = std::make_unique<server::MonitorModule>(*hv, *tm);
+        hv->boot(tm->tpmDevice());
+    }
+};
+
+std::vector<std::uint64_t>
+measureCovertSender(SimTime duration)
+{
+    World w;
+    const auto receiver = w.hv->createDomain("receiver", 1, 0,
+                                             toBytes("r"));
+    const auto sender = w.hv->createDomain("sender", 2, 0, toBytes("s"),
+                                           1024);
+    w.hv->setBehavior(receiver, 0, std::make_unique<SpinnerProgram>());
+
+    auto message = std::make_shared<CovertMessage>();
+    Rng rng(0xfeed);
+    for (int i = 0; i < 100000; ++i)
+        message->bits.push_back(rng.nextBool());
+    installCovertSender(*w.hv, sender, message,
+                        CovertChannelParams::detectPreset());
+
+    w.monitor->beginWindow(sender, w.events.now());
+    w.events.run(duration);
+    auto m = w.monitor->finishWindow(
+        proto::MeasurementType::UsageIntervalHistogram, sender,
+        w.events.now());
+    return m.take().values;
+}
+
+std::vector<std::uint64_t>
+measureBenignVm(SimTime duration)
+{
+    World w;
+    const auto benign = w.hv->createDomain("benign", 1, 0, toBytes("b"));
+    const auto rival = w.hv->createDomain("rival", 1, 0, toBytes("v"));
+    w.hv->setBehavior(benign, 0, std::make_unique<SpinnerProgram>());
+    w.hv->setBehavior(rival, 0, std::make_unique<SpinnerProgram>());
+
+    w.monitor->beginWindow(benign, w.events.now());
+    w.events.run(duration);
+    auto m = w.monitor->finishWindow(
+        proto::MeasurementType::UsageIntervalHistogram, benign,
+        w.events.now());
+    return m.take().values;
+}
+
+void
+printDistribution(const char *title,
+                  const std::vector<std::uint64_t> &counts)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts)
+        total += c;
+    std::printf("\n%s (%llu samples across 30 TERs)\n", title,
+                static_cast<unsigned long long>(total));
+    std::printf("%-14s %-12s %s\n", "interval (ms)", "probability", "");
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double p =
+            total ? static_cast<double>(counts[i]) /
+                        static_cast<double>(total)
+                  : 0.0;
+        std::printf("(%2zu,%2zu]       %8.3f     |%s\n", i, i + 1, p,
+                    std::string(static_cast<std::size_t>(p * 120), '#')
+                        .c_str());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 5",
+        "Probability distribution of CPU usage intervals (30 Trust "
+        "Evidence Registers):\ncovert-channel pattern (two peaks) vs "
+        "benign pattern (one peak near 30 ms).");
+
+    const auto covert = measureCovertSender(seconds(20));
+    const auto benign = measureBenignVm(seconds(20));
+
+    printDistribution("Covert-channel pattern", covert);
+    printDistribution("Benign pattern", benign);
+
+    attestation::CovertChannelInterpreter detector;
+    std::string whyCovert, whyBenign;
+    const bool covertFlag = detector.looksCovert(covert, &whyCovert);
+    const bool benignFlag = detector.looksCovert(benign, &whyBenign);
+
+    std::printf("\nProperty Interpretation Module verdicts:\n");
+    std::printf("  covert sender : %s (%s)\n",
+                covertFlag ? "COVERT CHANNEL DETECTED" : "healthy",
+                whyCovert.c_str());
+    std::printf("  benign VM     : %s (%s)\n",
+                benignFlag ? "COVERT CHANNEL DETECTED" : "healthy",
+                whyBenign.c_str());
+    std::printf("\nexpected shape: detector flags the sender and clears "
+                "the benign VM\n");
+    const bool shapeOk = covertFlag && !benignFlag;
+    std::printf("shape check: %s\n", shapeOk ? "PASS" : "FAIL");
+    return shapeOk ? 0 : 1;
+}

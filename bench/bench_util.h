@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared formatting helpers for the figure benches.
+ */
+
+#ifndef MONATT_BENCH_BENCH_UTIL_H
+#define MONATT_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace monatt::bench
+{
+
+/** Print a banner naming the reproduced artifact. */
+inline void
+banner(const std::string &figure, const std::string &caption)
+{
+    std::printf("\n");
+    std::printf("==========================================================="
+                "=====================\n");
+    std::printf("CloudMonatt reproduction | %s\n", figure.c_str());
+    std::printf("%s\n", caption.c_str());
+    std::printf("==========================================================="
+                "=====================\n");
+}
+
+/** Print a row of right-aligned cells after a left label. */
+inline void
+row(const std::string &label, const std::vector<std::string> &cells,
+    int labelWidth = 18, int cellWidth = 10)
+{
+    std::printf("%-*s", labelWidth, label.c_str());
+    for (const std::string &cell : cells)
+        std::printf(" %*s", cellWidth, cell.c_str());
+    std::printf("\n");
+}
+
+/** Format helpers. */
+inline std::string
+fmt(const char *format, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, value);
+    return buf;
+}
+
+} // namespace monatt::bench
+
+#endif // MONATT_BENCH_BENCH_UTIL_H

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * VM lifecycle tour (§5): attestation and responses at every stage.
+ *
+ *   - Startup responses (§5.1): a launch request with a tampered VM
+ *     image is rejected; a launch that lands on a server with a
+ *     corrupted platform is rescheduled to a clean one.
+ *   - Runtime responses (§5.2): hidden malware caught by the VMI
+ *     cross-check triggers suspension; after the platform recovers
+ *     (malware removed), the VM resumes via the controller.
+ *   - Migration (§5.3): a compromised environment moves the VM to
+ *     another qualified server — and the guest's process state
+ *     travels with it.
+ */
+
+#include <cstdio>
+
+#include "core/cloud.h"
+#include "server/catalog.h"
+
+using namespace monatt;
+using namespace monatt::core;
+
+int
+main()
+{
+    CloudConfig cfg;
+    cfg.numServers = 3; // Room to reschedule and migrate.
+    Cloud cloud(cfg);
+    Customer &carol = cloud.addCustomer("carol");
+
+    // ----- Startup response: tampered image -------------------------
+    std::printf("A. Launch with a tampered image (malware inserted into "
+                "the image, §4.2.1)\n");
+    Bytes tampered = server::image("fedora").content;
+    tampered[0] ^= 0x01;
+    auto bad = cloud.launchVmWithImage(carol, "bad-vm", "fedora",
+                                       "small", proto::allProperties(),
+                                       tampered, 230);
+    std::printf("   launch outcome: %s (%s)\n\n",
+                bad.isOk() ? "ACCEPTED (bug!)" : "rejected",
+                bad.isOk() ? "" : bad.errorMessage().c_str());
+
+    // ----- Startup response: compromised platform -------------------
+    std::printf("B. server-1's platform software is corrupted; launches "
+                "reschedule around it (§5.1)\n");
+    cloud.server(0).hypervisor().corruptHypervisorCode();
+    cloud.server(0).trustModule().tpmDevice().reset();
+    hypervisor::IntegrityMeasurementUnit imu(
+        cloud.server(0).trustModule().tpmDevice());
+    imu.measureBoot(cloud.server(0).hypervisor().hypervisorCode(),
+                    cloud.server(0).hypervisor().hostOsCode());
+
+    auto launched = cloud.launchVm(carol, "carol-vm", "fedora", "small",
+                                   proto::allProperties());
+    if (!launched.isOk()) {
+        std::printf("   launch failed: %s\n",
+                    launched.errorMessage().c_str());
+        return 1;
+    }
+    const std::string vid = launched.take();
+    std::printf("   %s placed on %s after %llu reschedule(s)\n\n",
+                vid.c_str(), cloud.serverHosting(vid)->id().c_str(),
+                static_cast<unsigned long long>(
+                    cloud.controller().stats().launchesRescheduled));
+
+    // ----- Runtime response: suspension ------------------------------
+    std::printf("C. Hidden malware infects the VM; suspension policy "
+                "(§5.2 #2)\n");
+    cloud.controller().setResponsePolicy(
+        vid, controller::ResponsePolicy::Suspend);
+    server::CloudServer *host = cloud.serverHosting(vid);
+    const auto malwarePid =
+        host->guestOs(vid).injectHiddenMalware("rootkit");
+
+    auto report = cloud.attestOnce(
+        carol, vid, {proto::SecurityProperty::RuntimeIntegrity});
+    if (report.isOk()) {
+        std::printf("   attestation: %s\n",
+                    report.value().report.results[0].detail.c_str());
+    }
+    // Wait for the suspension to fully complete (state save + ack).
+    cloud.runUntil(
+        [&] {
+            const auto &log = cloud.controller().responseLog();
+            return !log.empty() && log.front().completed;
+        },
+        seconds(60));
+    std::printf("   VM status: %s\n\n",
+                vmStatusName(
+                    cloud.controller().database().vm(vid)->status)
+                    .c_str());
+
+    // (Cleanup: remove the malware while suspended — "if the
+    // attestation results show the cloud server has returned to the
+    // desired security health, the controller can resume the VM".)
+    host->guestOs(vid).killProcess(malwarePid);
+
+    // ----- Migration (§5.3) -----------------------------------------
+    std::printf("D. The environment stays questionable; policy switches "
+                "to migration\n");
+    // Resume first (the simulator's controller resumes via migration's
+    // pause/copy path), then migrate away.
+    host->hypervisor().resumeDomain(host->domainOf(vid));
+    cloud.controller().database().vm(vid)->status =
+        controller::VmStatus::Running;
+    cloud.controller().setResponsePolicy(
+        vid, controller::ResponsePolicy::Migrate);
+    host->guestOs(vid).startProcess("carol-db");
+    host->guestOs(vid).injectHiddenMalware("rootkit-2");
+
+    auto second = cloud.attestOnce(
+        carol, vid, {proto::SecurityProperty::RuntimeIntegrity});
+    (void)second;
+    cloud.runUntil(
+        [&] {
+            const auto &log = cloud.controller().responseLog();
+            return log.size() >= 2 && log.back().completed;
+        },
+        seconds(180));
+
+    server::CloudServer *newHost = cloud.serverHosting(vid);
+    std::printf("   migrated to %s; guest still runs:",
+                newHost->id().c_str());
+    for (const auto &task : newHost->guestOs(vid).guestReportedTasks())
+        std::printf(" %s", task.c_str());
+    std::printf("\n\n");
+
+    std::printf("lifecycle summary: launches=%llu rejected=%llu "
+                "rescheduled=%llu responses=%llu\n",
+                static_cast<unsigned long long>(
+                    cloud.controller().stats().launchesRequested),
+                static_cast<unsigned long long>(
+                    cloud.controller().stats().launchesRejected),
+                static_cast<unsigned long long>(
+                    cloud.controller().stats().launchesRescheduled),
+                static_cast<unsigned long long>(
+                    cloud.controller().stats().responsesTriggered));
+    return 0;
+}

@@ -1,0 +1,353 @@
+#include "attestation/attestation_server.h"
+
+#include "common/logging.h"
+#include "tpm/certificate.h"
+
+namespace monatt::attestation
+{
+
+using proto::AttestationReport;
+using proto::AttestForward;
+using proto::AttestMode;
+using proto::HealthStatus;
+using proto::MeasureRequest;
+using proto::MeasureResponse;
+using proto::MessageKind;
+using proto::PropertyResult;
+using proto::ReportToController;
+
+namespace
+{
+
+crypto::RsaKeyPair
+makeKeys(const std::string &id, std::uint64_t seed, std::size_t bits)
+{
+    Bytes material = toBytes("as-identity:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    crypto::HmacDrbg drbg(material);
+    Rng rng = drbg.forkRng();
+    return crypto::rsaGenerateKeyPair(bits, rng);
+}
+
+Bytes
+endpointSeed(const std::string &id, std::uint64_t seed)
+{
+    Bytes material = toBytes("as-endpoint:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    return material;
+}
+
+} // namespace
+
+AttestationServer::AttestationServer(sim::EventQueue &eq,
+                                     net::Network &network,
+                                     net::KeyDirectory &directory,
+                                     AttestationServerConfig config,
+                                     std::uint64_t seed)
+    : events(eq), cfg(std::move(config)),
+      keys(makeKeys(cfg.id, seed, cfg.identityKeyBits)), dir(directory),
+      endpoint(network, cfg.id, keys, directory,
+               endpointSeed(cfg.id, seed)),
+      registry(InterpreterRegistry::withDefaults()), rng(seed ^ 0xa5a5)
+{
+    endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
+        handleMessage(from, msg);
+    });
+}
+
+void
+AttestationServer::setServerReference(const std::string &serverId,
+                                      ServerReference ref)
+{
+    serverRefs[serverId] = std::move(ref);
+}
+
+void
+AttestationServer::setVmReference(const std::string &vid, VmReference ref)
+{
+    vmRefs[vid] = std::move(ref);
+}
+
+void
+AttestationServer::addKnownGoodImage(const Bytes &digest)
+{
+    knownGoodImages.insert(digest);
+}
+
+const VmReference *
+AttestationServer::vmReference(const std::string &vid) const
+{
+    const auto it = vmRefs.find(vid);
+    return it == vmRefs.end() ? nullptr : &it->second;
+}
+
+const proto::MeasurementSet *
+AttestationServer::lastMeasurements(const std::string &vid) const
+{
+    const auto it = measurementArchive.find(vid);
+    return it == measurementArchive.end() ? nullptr : &it->second;
+}
+
+std::size_t
+AttestationServer::activePeriodicTasks() const
+{
+    std::size_t n = 0;
+    for (const auto &[key, task] : periodic)
+        n += task.active;
+    return n;
+}
+
+std::string
+AttestationServer::periodicKey(const AttestForward &fwd)
+{
+    std::string key = fwd.vid;
+    for (proto::SecurityProperty p : fwd.properties)
+        key += "|" + propertyName(p);
+    return key;
+}
+
+void
+AttestationServer::handleMessage(const net::NodeId &from,
+                                 const Bytes &plaintext)
+{
+    auto unpacked = proto::unpackMessage(plaintext);
+    if (!unpacked)
+        return;
+    const auto &[kind, body] = unpacked.value();
+    switch (kind) {
+      case MessageKind::AttestForward:
+        if (from == cfg.controllerId)
+            onAttestForward(body);
+        break;
+      case MessageKind::MeasureResponse:
+        onMeasureResponse(body);
+        break;
+      default:
+        MONATT_LOG(Warn, "as") << cfg.id
+                               << ": unexpected message from " << from;
+        break;
+    }
+}
+
+void
+AttestationServer::onAttestForward(const Bytes &body)
+{
+    auto fwdR = AttestForward::decode(body);
+    if (!fwdR)
+        return;
+    const AttestForward fwd = fwdR.take();
+
+    events.scheduleAfter(cfg.timing.attestorProcessing, [this, fwd] {
+        switch (fwd.mode) {
+          case AttestMode::StartupOneTime:
+          case AttestMode::RuntimeOneTime:
+            startMeasurement(fwd);
+            break;
+          case AttestMode::RuntimePeriodic: {
+            const std::string key = periodicKey(fwd);
+            periodic[key] = PeriodicTask{fwd, true};
+            runPeriodicRound(key);
+            break;
+          }
+          case AttestMode::StopPeriodic: {
+            const std::string key = periodicKey(fwd);
+            auto it = periodic.find(key);
+            if (it != periodic.end())
+                it->second.active = false;
+            break;
+          }
+        }
+    }, "as.forward");
+}
+
+void
+AttestationServer::runPeriodicRound(const std::string &key)
+{
+    auto it = periodic.find(key);
+    if (it == periodic.end() || !it->second.active)
+        return;
+    ++counters.periodicRoundsRun;
+    startMeasurement(it->second.forward);
+
+    const SimTime period =
+        it->second.forward.period > 0
+            ? it->second.forward.period
+            : cfg.randomPeriodMin +
+                  static_cast<SimTime>(rng.nextBounded(
+                      static_cast<std::uint64_t>(cfg.randomPeriodMax -
+                                                 cfg.randomPeriodMin)));
+    events.scheduleAfter(period, [this, key] { runPeriodicRound(key); },
+                         "as.periodic");
+}
+
+void
+AttestationServer::startMeasurement(const AttestForward &fwd)
+{
+    const std::uint64_t sessionId = nextSession++;
+    Session session;
+    session.forward = fwd;
+    session.nonce3 = rng.nextBytes(16);
+
+    MeasureRequest req;
+    req.requestId = sessionId;
+    req.vid = fwd.vid;
+    for (proto::SecurityProperty p : fwd.properties) {
+        for (proto::MeasurementType t : measurementsForProperty(p))
+            req.rm.push_back(t);
+    }
+    req.nonce3 = session.nonce3;
+    req.window = 0; // Let the server apply its configured window.
+
+    sessions[sessionId] = std::move(session);
+    ++counters.measurementRequestsSent;
+    endpoint.sendSecure(fwd.serverId,
+                        proto::packMessage(MessageKind::MeasureRequest,
+                                           req.encode()));
+}
+
+Result<proto::MeasurementSet>
+AttestationServer::verifyResponse(const Session &session,
+                                  const MeasureResponse &resp)
+{
+    using R = Result<proto::MeasurementSet>;
+
+    // 1. Certificate chain: the pCA vouches for the session key.
+    auto pcaKey = dir.lookup(cfg.pcaId);
+    if (!pcaKey)
+        return R::error("no pCA key available");
+    auto certR = tpm::Certificate::decode(resp.certificate);
+    if (!certR)
+        return R::error("malformed attestation-key certificate");
+    const tpm::Certificate cert = certR.take();
+    if (cert.issuer != cfg.pcaId || !cert.verify(pcaKey.value()))
+        return R::error("attestation-key certificate verification "
+                        "failed");
+    auto avk = cert.publicKey();
+    if (!avk)
+        return R::error("malformed attestation key in certificate");
+
+    // 2. Session-key signature over [Vid, rM, M, N3, Q3].
+    if (!crypto::rsaVerify(avk.value(), resp.signedPortion(),
+                           resp.signature)) {
+        return R::error("measurement signature verification failed");
+    }
+
+    // 3. Quote recomputation.
+    const Bytes expectedQ3 = MeasureResponse::quoteInput(
+        resp.vid, resp.rm, resp.m, resp.nonce3);
+    if (!constantTimeEqual(expectedQ3, resp.quote3))
+        return R::error("quote Q3 mismatch");
+
+    // 4. Binding to the outstanding session (nonce freshness).
+    if (!constantTimeEqual(resp.nonce3, session.nonce3))
+        return R::error("nonce N3 mismatch (replay?)");
+    if (resp.vid != session.forward.vid)
+        return R::error("vid mismatch");
+
+    return R::ok(resp.m);
+}
+
+void
+AttestationServer::onMeasureResponse(const Bytes &body)
+{
+    auto respR = MeasureResponse::decode(body);
+    if (!respR) {
+        ++counters.verificationFailures;
+        return;
+    }
+    const MeasureResponse resp = respR.take();
+
+    const auto it = sessions.find(resp.requestId);
+    if (it == sessions.end()) {
+        ++counters.verificationFailures;
+        MONATT_LOG(Warn, "as") << "response for unknown session "
+                               << resp.requestId;
+        return;
+    }
+    const Session session = it->second;
+    sessions.erase(it);
+
+    auto verified = verifyResponse(session, resp);
+
+    AttestationReport report;
+    report.vid = session.forward.vid;
+    if (!verified) {
+        ++counters.verificationFailures;
+        MONATT_LOG(Warn, "as") << "measurement verification failed: "
+                               << verified.errorMessage();
+        for (proto::SecurityProperty p : session.forward.properties) {
+            PropertyResult pr;
+            pr.property = p;
+            pr.status = HealthStatus::Unknown;
+            pr.detail = "measurement verification failed: " +
+                        verified.errorMessage();
+            report.results.push_back(std::move(pr));
+        }
+        events.scheduleAfter(cfg.timing.interpretation,
+                             [this, session, report]() mutable {
+            report.issuedAt = events.now();
+            issueReport(session, std::move(report));
+        }, "as.report");
+        return;
+    }
+
+    ++counters.responsesVerified;
+    const proto::MeasurementSet m = verified.take();
+    // Capture the previous archived measurements before overwriting:
+    // history-sensitive interpreters compare against them.
+    proto::MeasurementSet previous;
+    bool havePrevious = false;
+    const auto archIt = measurementArchive.find(session.forward.vid);
+    if (archIt != measurementArchive.end()) {
+        previous = archIt->second;
+        havePrevious = true;
+    }
+    measurementArchive[session.forward.vid] = m;
+
+    events.scheduleAfter(cfg.timing.interpretation,
+                         [this, session, m, previous,
+                          havePrevious]() mutable {
+        InterpretationContext ctx;
+        if (havePrevious)
+            ctx.previous = &previous;
+        const auto serverIt = serverRefs.find(session.forward.serverId);
+        if (serverIt != serverRefs.end())
+            ctx.serverRef = &serverIt->second;
+        const auto vmIt = vmRefs.find(session.forward.vid);
+        if (vmIt != vmRefs.end())
+            ctx.vmRef = &vmIt->second;
+        ctx.knownGoodImages = &knownGoodImages;
+
+        AttestationReport report;
+        report.vid = session.forward.vid;
+        for (proto::SecurityProperty p : session.forward.properties)
+            report.results.push_back(registry.interpret(p, m, ctx));
+        report.issuedAt = events.now();
+        issueReport(session, std::move(report));
+    }, "as.interpret");
+}
+
+void
+AttestationServer::issueReport(const Session &session,
+                               AttestationReport report)
+{
+    ReportToController out;
+    out.requestId = session.forward.requestId;
+    out.vid = session.forward.vid;
+    out.serverId = session.forward.serverId;
+    out.properties = session.forward.properties;
+    out.report = std::move(report);
+    out.nonce2 = session.forward.nonce2;
+    out.quote2 = ReportToController::quoteInput(
+        out.vid, out.serverId, out.properties, out.report, out.nonce2);
+    out.signature = crypto::rsaSign(keys.priv, out.signedPortion());
+
+    ++counters.reportsIssued;
+    endpoint.sendSecure(cfg.controllerId,
+                        proto::packMessage(MessageKind::ReportToController,
+                                           out.encode()));
+}
+
+} // namespace monatt::attestation

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The Attestation Server — requester and appraiser (§3.2.3).
+ *
+ * Hosts the Property Interpretation Module (validate measurements,
+ * interpret properties, make attestation decisions) and the Property
+ * Certification Module (issue the signed attestation report that the
+ * Cloud Controller relays to the customer). Holds the oat-style
+ * databases: per-server and per-VM reference data, plus an archive of
+ * verified measurements.
+ *
+ * Verification of a MeasureResponse follows §3.4: check the pCA
+ * certificate for the session attestation key AVKs, check the ASKs
+ * signature over [Vid, rM, M, N3, Q3], recompute and compare the
+ * quote Q3 = H(Vid || rM || M || N3), and check the nonce N3 against
+ * the outstanding session (replay rejection). Only then are the
+ * measurements interpreted. A response failing any check yields an
+ * authentic report with status Unknown — the customer learns that
+ * measurements could not be verified, and the attacker gains no way
+ * to forge a positive report.
+ *
+ * Periodic attestation (§3.2.1) runs rounds on a fixed or random
+ * interval until stopped.
+ */
+
+#ifndef MONATT_ATTESTATION_ATTESTATION_SERVER_H
+#define MONATT_ATTESTATION_ATTESTATION_SERVER_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "attestation/interpreters.h"
+#include "net/secure_endpoint.h"
+#include "proto/messages.h"
+#include "proto/timing_model.h"
+#include "sim/event_queue.h"
+
+namespace monatt::attestation
+{
+
+/** Configuration. */
+struct AttestationServerConfig
+{
+    std::string id = "attestation-server";
+    std::string controllerId = "cloud-controller";
+    std::string pcaId = "privacy-ca";
+    proto::TimingModel timing;
+    std::size_t identityKeyBits = 512;
+
+    /** Bounds for randomized periodic attestation intervals. */
+    SimTime randomPeriodMin = seconds(5);
+    SimTime randomPeriodMax = seconds(60);
+};
+
+/** Observable counters. */
+struct AttestationServerStats
+{
+    std::uint64_t measurementRequestsSent = 0;
+    std::uint64_t responsesVerified = 0;
+    std::uint64_t verificationFailures = 0;
+    std::uint64_t reportsIssued = 0;
+    std::uint64_t periodicRoundsRun = 0;
+};
+
+/** The Attestation Server entity. */
+class AttestationServer
+{
+  public:
+    AttestationServer(sim::EventQueue &eq, net::Network &network,
+                      net::KeyDirectory &directory,
+                      AttestationServerConfig config, std::uint64_t seed);
+
+    const std::string &id() const { return cfg.id; }
+
+    /** Identity public key SKa's verification half (VKa). */
+    const crypto::RsaPublicKey &identityPublic() const
+    {
+        return keys.pub;
+    }
+
+    // --- oat database provisioning (trusted admin path) ---------------
+
+    /** Record a server's known-good platform configuration. */
+    void setServerReference(const std::string &serverId,
+                            ServerReference ref);
+
+    /** Record a VM's reference data. */
+    void setVmReference(const std::string &vid, VmReference ref);
+
+    /** Register a pristine catalog image digest (IMA appraiser DB). */
+    void addKnownGoodImage(const Bytes &digest);
+
+    /** Per-VM reference (nullptr when absent). */
+    const VmReference *vmReference(const std::string &vid) const;
+
+    /** The interpreter registry (extensible, §4.1). */
+    InterpreterRegistry &interpreters() { return registry; }
+
+    /** Last verified measurements for a VM (nullptr when none). */
+    const proto::MeasurementSet *lastMeasurements(
+        const std::string &vid) const;
+
+    /** Number of active periodic attestation tasks. */
+    std::size_t activePeriodicTasks() const;
+
+    const AttestationServerStats &stats() const { return counters; }
+
+  private:
+    struct Session
+    {
+        proto::AttestForward forward;
+        Bytes nonce3;
+    };
+
+    struct PeriodicTask
+    {
+        proto::AttestForward forward;
+        bool active = true;
+    };
+
+    void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+    void onAttestForward(const Bytes &body);
+    void onMeasureResponse(const Bytes &body);
+    void startMeasurement(const proto::AttestForward &forward);
+    void runPeriodicRound(const std::string &key);
+    void issueReport(const Session &session,
+                     proto::AttestationReport report);
+    Result<proto::MeasurementSet> verifyResponse(
+        const Session &session, const proto::MeasureResponse &resp);
+    static std::string periodicKey(const proto::AttestForward &fwd);
+
+    sim::EventQueue &events;
+    AttestationServerConfig cfg;
+    crypto::RsaKeyPair keys;
+    const net::KeyDirectory &dir;
+    net::SecureEndpoint endpoint;
+    InterpreterRegistry registry;
+    Rng rng;
+
+    std::map<std::string, ServerReference> serverRefs;
+    std::map<std::string, VmReference> vmRefs;
+    std::set<Bytes> knownGoodImages;
+    std::map<std::uint64_t, Session> sessions;
+    std::map<std::string, PeriodicTask> periodic;
+    std::map<std::string, proto::MeasurementSet> measurementArchive;
+
+    std::uint64_t nextSession = 1;
+    AttestationServerStats counters;
+};
+
+} // namespace monatt::attestation
+
+#endif // MONATT_ATTESTATION_ATTESTATION_SERVER_H

@@ -1,0 +1,95 @@
+#include "attestation/privacy_ca.h"
+
+#include "common/logging.h"
+#include "tpm/certificate.h"
+
+namespace monatt::attestation
+{
+
+using proto::MessageKind;
+
+namespace
+{
+
+crypto::RsaKeyPair
+makeKeys(const std::string &id, std::uint64_t seed)
+{
+    Bytes material = toBytes("pca-identity:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    crypto::HmacDrbg drbg(material);
+    Rng rng = drbg.forkRng();
+    return crypto::rsaGenerateKeyPair(512, rng);
+}
+
+Bytes
+endpointSeed(const std::string &id, std::uint64_t seed)
+{
+    Bytes material = toBytes("pca-endpoint:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    return material;
+}
+
+} // namespace
+
+PrivacyCa::PrivacyCa(sim::EventQueue &eq, net::Network &network,
+                     net::KeyDirectory &directory, std::string id,
+                     proto::TimingModel timingModel, std::uint64_t seed)
+    : events(eq), self(std::move(id)), keys(makeKeys(self, seed)),
+      dir(directory), timing(timingModel),
+      endpoint(network, self, keys, directory, endpointSeed(self, seed))
+{
+    endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
+        handleMessage(from, msg);
+    });
+}
+
+void
+PrivacyCa::handleMessage(const net::NodeId &from, const Bytes &plaintext)
+{
+    auto unpacked = proto::unpackMessage(plaintext);
+    if (!unpacked || unpacked.value().first != MessageKind::CertRequest)
+        return;
+    auto reqR = proto::CertRequest::decode(unpacked.value().second);
+    if (!reqR)
+        return;
+    const proto::CertRequest req = reqR.take();
+
+    events.scheduleAfter(timing.pcaProcessing, [this, req, from] {
+        proto::CertResponse resp;
+        resp.sessionLabel = req.sessionLabel;
+
+        // The requester must be the server whose identity key signed
+        // the AVK: verify [AVKs]_SKs against the directory's VKs.
+        auto serverKey = dir.lookup(req.serverId);
+        const bool fromOwner = from == req.serverId;
+        if (!serverKey || !fromOwner ||
+            !crypto::rsaVerify(serverKey.value(), req.avk,
+                               req.avkSignature)) {
+            ++rejections;
+            resp.ok = false;
+            resp.error = "identity verification failed";
+            MONATT_LOG(Warn, "pca")
+                << "refused certification for " << req.serverId;
+        } else {
+            auto avk = crypto::RsaPublicKey::decode(req.avk);
+            if (!avk) {
+                ++rejections;
+                resp.ok = false;
+                resp.error = "malformed attestation key";
+            } else {
+                const tpm::Certificate cert = tpm::issueCertificate(
+                    req.sessionLabel, avk.value(), self, ++serial,
+                    keys.priv);
+                resp.ok = true;
+                resp.certificate = cert.encode();
+            }
+        }
+        endpoint.sendSecure(from,
+                            proto::packMessage(MessageKind::CertResponse,
+                                               resp.encode()));
+    }, "pca.issue");
+}
+
+} // namespace monatt::attestation

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The privacy Certificate Authority (§3.2.3, §3.4.2).
+ *
+ * "The public attestation key AVKs is signed by the Cloud Server's
+ * SKs and sent to the pCA for certification. The pCA verifies the
+ * signature via VKs and issues the certificate for AVKs for that
+ * server. This certificate enables the Attestation Server to
+ * authenticate the Cloud Server 'anonymously' for this attestation."
+ *
+ * The certificate subject is the session label, never the server id:
+ * the pCA knows which machine asked (it verified VKs), but nothing
+ * downstream of the certificate can link the attestation to the
+ * machine — the property that stops an attacker from using the
+ * attestation service to locate a victim VM for co-residence [31].
+ */
+
+#ifndef MONATT_ATTESTATION_PRIVACY_CA_H
+#define MONATT_ATTESTATION_PRIVACY_CA_H
+
+#include <cstdint>
+#include <string>
+
+#include "net/secure_endpoint.h"
+#include "proto/messages.h"
+#include "proto/timing_model.h"
+#include "sim/event_queue.h"
+
+namespace monatt::attestation
+{
+
+/** The pCA entity. */
+class PrivacyCa
+{
+  public:
+    PrivacyCa(sim::EventQueue &eq, net::Network &network,
+              net::KeyDirectory &directory, std::string id,
+              proto::TimingModel timing, std::uint64_t seed);
+
+    /** Node id. */
+    const std::string &id() const { return self; }
+
+    /** Public signing key (verifiers fetch it from the directory). */
+    const crypto::RsaPublicKey &publicKey() const { return keys.pub; }
+
+    /** Certificates issued so far. */
+    std::uint64_t issued() const { return serial; }
+
+    /** Requests rejected (bad identity signature etc). */
+    std::uint64_t rejected() const { return rejections; }
+
+  private:
+    void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+
+    sim::EventQueue &events;
+    std::string self;
+    crypto::RsaKeyPair keys;
+    const net::KeyDirectory &dir;
+    proto::TimingModel timing;
+    net::SecureEndpoint endpoint;
+    std::uint64_t serial = 0;
+    std::uint64_t rejections = 0;
+};
+
+} // namespace monatt::attestation
+
+#endif // MONATT_ATTESTATION_PRIVACY_CA_H

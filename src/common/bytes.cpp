@@ -1,0 +1,105 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace monatt
+{
+
+namespace
+{
+
+const char *kHexDigits = "0123456789abcdef";
+
+int
+hexNibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    throw std::invalid_argument("fromHex: non-hex character");
+}
+
+} // namespace
+
+std::string
+toHex(const Bytes &data)
+{
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (std::uint8_t byte : data) {
+        out.push_back(kHexDigits[byte >> 4]);
+        out.push_back(kHexDigits[byte & 0x0f]);
+    }
+    return out;
+}
+
+Bytes
+fromHex(std::string_view hex)
+{
+    if (hex.size() % 2 != 0)
+        throw std::invalid_argument("fromHex: odd-length input");
+    Bytes out;
+    out.reserve(hex.size() / 2);
+    for (std::size_t i = 0; i < hex.size(); i += 2) {
+        int hi = hexNibble(hex[i]);
+        int lo = hexNibble(hex[i + 1]);
+        out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+Bytes
+toBytes(std::string_view text)
+{
+    return Bytes(text.begin(), text.end());
+}
+
+std::string
+toString(const Bytes &data)
+{
+    return std::string(data.begin(), data.end());
+}
+
+Bytes
+concat(std::initializer_list<const Bytes *> parts)
+{
+    std::size_t total = 0;
+    for (const Bytes *part : parts)
+        total += part->size();
+    Bytes out;
+    out.reserve(total);
+    for (const Bytes *part : parts)
+        out.insert(out.end(), part->begin(), part->end());
+    return out;
+}
+
+void
+append(Bytes &dst, const Bytes &src)
+{
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+bool
+constantTimeEqual(const Bytes &a, const Bytes &b)
+{
+    if (a.size() != b.size())
+        return false;
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+void
+xorInPlace(Bytes &a, const Bytes &b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("xorInPlace: size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i)
+        a[i] ^= b[i];
+}
+
+} // namespace monatt

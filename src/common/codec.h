@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Binary serialization codec for all CloudMonatt wire formats.
+ *
+ * Every protocol message (Figure 3 of the paper), certificate, quote
+ * and measurement blob is serialized through ByteWriter/ByteReader so
+ * the exact byte layout that gets hashed, signed, MAC'd and sent over
+ * the simulated network is well defined. Integers are little-endian
+ * fixed width; variable-length fields carry a u32 length prefix.
+ * ByteReader is strict: any truncated or over-long message is a decode
+ * error, which the protocol layer treats as an attack indicator.
+ */
+
+#ifndef MONATT_COMMON_CODEC_H
+#define MONATT_COMMON_CODEC_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace monatt
+{
+
+/** Append-only binary encoder. */
+class ByteWriter
+{
+  public:
+    /** Append a single byte. */
+    void putU8(std::uint8_t v);
+
+    /** Append a 16-bit little-endian integer. */
+    void putU16(std::uint16_t v);
+
+    /** Append a 32-bit little-endian integer. */
+    void putU32(std::uint32_t v);
+
+    /** Append a 64-bit little-endian integer. */
+    void putU64(std::uint64_t v);
+
+    /** Append a 64-bit signed integer (two's complement). */
+    void putI64(std::int64_t v);
+
+    /** Append an IEEE-754 double (bit pattern, little-endian). */
+    void putDouble(double v);
+
+    /** Append a length-prefixed byte buffer. */
+    void putBytes(const Bytes &v);
+
+    /** Append a length-prefixed UTF-8/ASCII string. */
+    void putString(const std::string &v);
+
+    /** Append raw bytes with no length prefix (for fixed-size fields). */
+    void putRaw(const Bytes &v);
+
+    /** Finished buffer (copy). */
+    const Bytes &data() const { return buf; }
+
+    /** Move the finished buffer out. */
+    Bytes take() { return std::move(buf); }
+
+  private:
+    Bytes buf;
+};
+
+/** Strict sequential binary decoder. */
+class ByteReader
+{
+  public:
+    /** Wrap a buffer; the reader does not own the memory. */
+    explicit ByteReader(const Bytes &data) : buf(data) {}
+
+    Result<std::uint8_t> getU8();
+    Result<std::uint16_t> getU16();
+    Result<std::uint32_t> getU32();
+    Result<std::uint64_t> getU64();
+    Result<std::int64_t> getI64();
+    Result<double> getDouble();
+
+    /** Read a length-prefixed byte buffer. */
+    Result<Bytes> getBytes();
+
+    /** Read a length-prefixed string. */
+    Result<std::string> getString();
+
+    /** Read exactly n raw bytes (no prefix). */
+    Result<Bytes> getRaw(std::size_t n);
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return buf.size() - pos; }
+
+    /** True when the whole buffer has been consumed. */
+    bool atEnd() const { return pos == buf.size(); }
+
+  private:
+    const Bytes &buf;
+    std::size_t pos = 0;
+};
+
+} // namespace monatt
+
+#endif // MONATT_COMMON_CODEC_H

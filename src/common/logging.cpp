@@ -1,0 +1,29 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace monatt
+{
+
+LogLevel &
+Logger::minLevel()
+{
+    static LogLevel level = LogLevel::Off;
+    return level;
+}
+
+void
+Logger::log(LogLevel level, const std::string &component,
+            const std::string &message)
+{
+    if (level < minLevel())
+        return;
+    static const char *names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    const int idx = static_cast<int>(level);
+    if (idx < 0 || idx > 3)
+        return;
+    std::fprintf(stderr, "[%s] %s: %s\n", names[idx], component.c_str(),
+                 message.c_str());
+}
+
+} // namespace monatt

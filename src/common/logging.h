@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal leveled logging for library diagnostics.
+ *
+ * The library never prints by default (level Off in tests/benches);
+ * examples turn on Info to narrate protocol flow. fatal() mirrors
+ * gem5's convention: unrecoverable user-facing configuration errors
+ * throw; internal invariant violations use assert/panic().
+ */
+
+#ifndef MONATT_COMMON_LOGGING_H
+#define MONATT_COMMON_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace monatt
+{
+
+/** Log severity levels, increasing in importance. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Global log configuration (process wide; not thread safe by design —
+ * the simulator is single threaded). */
+class Logger
+{
+  public:
+    /** Set the minimum level that is emitted. */
+    static void setLevel(LogLevel level) { minLevel() = level; }
+
+    /** Current minimum level. */
+    static LogLevel level() { return minLevel(); }
+
+    /** Emit one log line if `level` is enabled. */
+    static void log(LogLevel level, const std::string &component,
+                    const std::string &message);
+
+  private:
+    static LogLevel &minLevel();
+};
+
+/** Stream-style log statement builder used by the MONATT_LOG macro. */
+class LogStatement
+{
+  public:
+    LogStatement(LogLevel level, std::string component)
+        : lvl(level), comp(std::move(component))
+    {}
+
+    ~LogStatement() { Logger::log(lvl, comp, buffer.str()); }
+
+    template <typename T>
+    LogStatement &
+    operator<<(const T &value)
+    {
+        buffer << value;
+        return *this;
+    }
+
+  private:
+    LogLevel lvl;
+    std::string comp;
+    std::ostringstream buffer;
+};
+
+} // namespace monatt
+
+/** Emit a log line: MONATT_LOG(Info, "controller") << "launched " << id; */
+#define MONATT_LOG(lvl_, component_) \
+    if (::monatt::Logger::level() > ::monatt::LogLevel::lvl_) {} \
+    else ::monatt::LogStatement(::monatt::LogLevel::lvl_, component_)
+
+#endif // MONATT_COMMON_LOGGING_H

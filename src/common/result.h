@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Lightweight Result type for fallible operations.
+ *
+ * CloudMonatt distinguishes protocol-level failures (bad signature,
+ * stale nonce, unknown VM) from programming errors. The former are
+ * values — `Result<T>` — so callers must inspect them; the latter are
+ * exceptions/assertions. This mirrors the paper's requirement that a
+ * failed verification step produces an explicit negative attestation
+ * outcome rather than an abort.
+ */
+
+#ifndef MONATT_COMMON_RESULT_H
+#define MONATT_COMMON_RESULT_H
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace monatt
+{
+
+/**
+ * Result of a fallible operation: either a value or an error string.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Construct a success result. */
+    static Result
+    ok(T value)
+    {
+        Result r;
+        r.val = std::move(value);
+        return r;
+    }
+
+    /** Construct a failure result carrying a diagnostic message. */
+    static Result
+    error(std::string message)
+    {
+        Result r;
+        r.err = std::move(message);
+        return r;
+    }
+
+    /** True when the operation succeeded. */
+    bool isOk() const { return val.has_value(); }
+
+    /** Convenience operator mirroring isOk(). */
+    explicit operator bool() const { return isOk(); }
+
+    /** Access the value; throws std::logic_error on failure results. */
+    const T &
+    value() const
+    {
+        if (!val)
+            throw std::logic_error("Result::value() on error: " + err);
+        return *val;
+    }
+
+    /** Mutable access to the value. */
+    T &
+    value()
+    {
+        if (!val)
+            throw std::logic_error("Result::value() on error: " + err);
+        return *val;
+    }
+
+    /** Move the value out; throws std::logic_error on failure results. */
+    T
+    take()
+    {
+        if (!val)
+            throw std::logic_error("Result::take() on error: " + err);
+        T out = std::move(*val);
+        val.reset();
+        return out;
+    }
+
+    /** Diagnostic message; empty for success results. */
+    const std::string &errorMessage() const { return err; }
+
+  private:
+    Result() = default;
+
+    std::optional<T> val;
+    std::string err;
+};
+
+/** Result specialization for operations with no payload. */
+class Status
+{
+  public:
+    /** Construct a success status. */
+    static Status
+    ok()
+    {
+        return Status(true, {});
+    }
+
+    /** Construct a failure status carrying a diagnostic message. */
+    static Status
+    error(std::string message)
+    {
+        return Status(false, std::move(message));
+    }
+
+    /** True when the operation succeeded. */
+    bool isOk() const { return success; }
+
+    /** Convenience operator mirroring isOk(). */
+    explicit operator bool() const { return success; }
+
+    /** Diagnostic message; empty for success. */
+    const std::string &errorMessage() const { return err; }
+
+  private:
+    Status(bool s, std::string e) : success(s), err(std::move(e)) {}
+
+    bool success;
+    std::string err;
+};
+
+} // namespace monatt
+
+#endif // MONATT_COMMON_RESULT_H

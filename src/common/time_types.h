@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Simulated-time types.
+ *
+ * All simulated time in CloudMonatt is carried as a 64-bit count of
+ * microseconds (`SimTime`). Helper constructors keep call sites
+ * readable (`msec(30)` instead of `30'000`). Wall-clock time never
+ * appears inside the simulator; benchmarks convert SimTime to seconds
+ * only when printing.
+ */
+
+#ifndef MONATT_COMMON_TIME_TYPES_H
+#define MONATT_COMMON_TIME_TYPES_H
+
+#include <cstdint>
+
+namespace monatt
+{
+
+/** Simulated time / duration, in microseconds. */
+using SimTime = std::int64_t;
+
+/** Sentinel for "no deadline / never". */
+constexpr SimTime kTimeNever = INT64_MAX;
+
+/** Microseconds. */
+constexpr SimTime
+usec(std::int64_t n)
+{
+    return n;
+}
+
+/** Milliseconds. */
+constexpr SimTime
+msec(std::int64_t n)
+{
+    return n * 1000;
+}
+
+/** Seconds. */
+constexpr SimTime
+seconds(std::int64_t n)
+{
+    return n * 1000 * 1000;
+}
+
+/** Minutes. */
+constexpr SimTime
+minutes(std::int64_t n)
+{
+    return n * 60 * 1000 * 1000;
+}
+
+/** Convert a SimTime duration to floating-point seconds (for output). */
+constexpr double
+toSeconds(SimTime t)
+{
+    return static_cast<double>(t) / 1e6;
+}
+
+/** Convert a SimTime duration to floating-point milliseconds. */
+constexpr double
+toMillis(SimTime t)
+{
+    return static_cast<double>(t) / 1e3;
+}
+
+/** Convert floating-point seconds into SimTime (rounding to usec). */
+constexpr SimTime
+fromSeconds(double s)
+{
+    return static_cast<SimTime>(s * 1e6);
+}
+
+} // namespace monatt
+
+#endif // MONATT_COMMON_TIME_TYPES_H

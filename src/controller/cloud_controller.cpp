@@ -1,0 +1,775 @@
+#include "controller/cloud_controller.h"
+
+#include "common/logging.h"
+
+namespace monatt::controller
+{
+
+using proto::AttestForward;
+using proto::AttestMode;
+using proto::AttestRequest;
+using proto::MessageKind;
+using proto::ReportToController;
+using proto::ReportToCustomer;
+
+namespace
+{
+
+crypto::RsaKeyPair
+makeKeys(const std::string &id, std::uint64_t seed, std::size_t bits)
+{
+    Bytes material = toBytes("cc-identity:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    crypto::HmacDrbg drbg(material);
+    Rng rng = drbg.forkRng();
+    return crypto::rsaGenerateKeyPair(bits, rng);
+}
+
+Bytes
+endpointSeed(const std::string &id, std::uint64_t seed)
+{
+    Bytes material = toBytes("cc-endpoint:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    return material;
+}
+
+} // namespace
+
+std::string
+responsePolicyName(ResponsePolicy p)
+{
+    switch (p) {
+      case ResponsePolicy::None:
+        return "none";
+      case ResponsePolicy::Terminate:
+        return "termination";
+      case ResponsePolicy::Suspend:
+        return "suspension";
+      case ResponsePolicy::Migrate:
+        return "migration";
+    }
+    return "unknown";
+}
+
+CloudController::CloudController(sim::EventQueue &eq,
+                                 net::Network &network,
+                                 net::KeyDirectory &directory,
+                                 CloudControllerConfig config,
+                                 std::uint64_t seed)
+    : events(eq), cfg(std::move(config)),
+      keys(makeKeys(cfg.id, seed, cfg.identityKeyBits)), dir(directory),
+      endpoint(network, cfg.id, keys, directory,
+               endpointSeed(cfg.id, seed)),
+      rng(seed ^ 0xcc)
+{
+    endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
+        handleMessage(from, msg);
+    });
+}
+
+void
+CloudController::setResponsePolicy(const std::string &vid,
+                                   ResponsePolicy policy)
+{
+    policies[vid] = policy;
+}
+
+void
+CloudController::addFlavor(const std::string &name, std::uint32_t vcpus,
+                           std::uint64_t ramMb, std::uint64_t diskGb)
+{
+    flavors[name] = FlavorSpec{vcpus, ramMb, diskGb};
+}
+
+void
+CloudController::assignAttestationCluster(const std::string &serverId,
+                                          const std::string &attestorId)
+{
+    clusters[serverId] = attestorId;
+}
+
+const std::string &
+CloudController::attestorFor(const std::string &serverId) const
+{
+    const auto it = clusters.find(serverId);
+    return it == clusters.end() ? cfg.attestationServerId : it->second;
+}
+
+void
+CloudController::handleMessage(const net::NodeId &from,
+                               const Bytes &plaintext)
+{
+    auto unpacked = proto::unpackMessage(plaintext);
+    if (!unpacked)
+        return;
+    const auto &[kind, body] = unpacked.value();
+    switch (kind) {
+      case MessageKind::LaunchRequest:
+        onLaunchRequest(from, body);
+        break;
+      case MessageKind::AttestRequest:
+        onAttestRequest(from, body);
+        break;
+      case MessageKind::LaunchVmAck:
+        onLaunchVmAck(from, body);
+        break;
+      case MessageKind::ReportToController: {
+        bool fromAttestor = from == cfg.attestationServerId;
+        for (const auto &[server, attestor] : clusters)
+            fromAttestor |= from == attestor;
+        if (fromAttestor)
+            onReportToController(from, body);
+        break;
+      }
+      case MessageKind::TerminateVmAck:
+      case MessageKind::SuspendVmAck:
+      case MessageKind::ResumeVmAck:
+      case MessageKind::MigrateOutAck:
+        onCommandAck(kind, body);
+        break;
+      default:
+        MONATT_LOG(Warn, "cc") << "unexpected message from " << from;
+        break;
+    }
+}
+
+void
+CloudController::onLaunchRequest(const net::NodeId &from,
+                                 const Bytes &body)
+{
+    auto reqR = proto::LaunchRequest::decode(body);
+    if (!reqR)
+        return;
+    const proto::LaunchRequest req = reqR.take();
+    ++counters.launchesRequested;
+
+    const auto flavorIt = flavors.find(req.flavorName);
+    if (flavorIt == flavors.end()) {
+        proto::LaunchResponse resp;
+        resp.requestId = req.requestId;
+        resp.ok = false;
+        resp.error = "unknown flavor " + req.flavorName;
+        endpoint.sendSecure(from,
+                            proto::packMessage(MessageKind::LaunchResponse,
+                                               resp.encode()));
+        return;
+    }
+
+    const std::string vid = "vm-" + std::to_string(nextVmNumber++);
+
+    VmRecord rec;
+    rec.vid = vid;
+    rec.name = req.name;
+    rec.customer = from;
+    rec.imageName = req.imageName;
+    rec.flavorName = req.flavorName;
+    rec.imageSizeMb = req.imageSizeMb;
+    rec.image = req.image;
+    rec.properties = req.properties;
+    rec.vcpus = flavorIt->second.vcpus;
+    rec.ramMb = flavorIt->second.ramMb;
+    rec.diskGb = flavorIt->second.diskGb;
+    rec.status = VmStatus::Scheduling;
+    db.addVm(std::move(rec));
+
+    PendingLaunch launch;
+    launch.customerRequestId = req.requestId;
+    launch.customer = from;
+    launches[vid] = std::move(launch);
+
+    runSchedulingStage(vid);
+}
+
+void
+CloudController::runSchedulingStage(const std::string &vid)
+{
+    VmRecord *rec = db.vm(vid);
+    if (!rec)
+        return;
+    rec->status = VmStatus::Scheduling;
+    rec->launchTimer.beginStage("scheduling", events.now());
+    ++rec->launchAttempts;
+
+    const SimTime cost =
+        cfg.timing.schedulingBase +
+        cfg.timing.schedulingPerServer *
+            static_cast<SimTime>(db.serverIds().size());
+
+    events.scheduleAfter(cost, [this, vid] {
+        VmRecord *rec = db.vm(vid);
+        auto launchIt = launches.find(vid);
+        if (!rec || launchIt == launches.end())
+            return;
+
+        PlacementRequirements req;
+        req.ramMb = rec->ramMb;
+        req.diskGb = rec->diskGb;
+        req.properties = rec->properties;
+        const auto candidates = PolicyValidationModule::qualifiedServers(
+            db, req, launchIt->second.excludedServers);
+        if (candidates.empty()) {
+            finishLaunch(vid, false, "no qualified server available");
+            return;
+        }
+        rec->serverId = candidates.front();
+        db.allocate(rec->serverId, rec->ramMb, rec->diskGb);
+
+        // Networking, then block device mapping, then spawn.
+        rec->status = VmStatus::Networking;
+        rec->launchTimer.beginStage("networking", events.now());
+        events.scheduleAfter(cfg.timing.networking, [this, vid] {
+            VmRecord *rec = db.vm(vid);
+            if (!rec)
+                return;
+            rec->status = VmStatus::Mapping;
+            rec->launchTimer.beginStage("mapping", events.now());
+            events.scheduleAfter(cfg.timing.mappingTime(rec->diskGb),
+                                 [this, vid] { startSpawn(vid); });
+        });
+    }, "cc.scheduling");
+}
+
+void
+CloudController::startSpawn(const std::string &vid)
+{
+    VmRecord *rec = db.vm(vid);
+    if (!rec)
+        return;
+    rec->status = VmStatus::Spawning;
+    rec->launchTimer.beginStage("spawning", events.now());
+
+    proto::LaunchVm cmd;
+    cmd.vid = vid;
+    cmd.name = rec->name;
+    cmd.numVcpus = rec->vcpus;
+    cmd.ramMb = rec->ramMb;
+    cmd.diskGb = rec->diskGb;
+    cmd.imageSizeMb = rec->imageSizeMb;
+    cmd.image = rec->image;
+    // The image itself is staged by the server from the image store
+    // (charged inside TimingModel::spawnTime); the command is small.
+    endpoint.sendSecure(rec->serverId,
+                        proto::packMessage(MessageKind::LaunchVm,
+                                           cmd.encode()));
+}
+
+void
+CloudController::onLaunchVmAck(const net::NodeId &from, const Bytes &body)
+{
+    auto ackR = proto::LaunchVmAck::decode(body);
+    if (!ackR)
+        return;
+    const proto::LaunchVmAck ack = ackR.take();
+    VmRecord *rec = db.vm(ack.vid);
+    if (!rec || rec->serverId != from)
+        return;
+
+    if (!ack.ok) {
+        db.release(rec->serverId, rec->ramMb, rec->diskGb);
+        rescheduleLaunch(ack.vid, "spawn failed: " + ack.error);
+        return;
+    }
+    startStartupAttestation(ack.vid);
+}
+
+void
+CloudController::startStartupAttestation(const std::string &vid)
+{
+    VmRecord *rec = db.vm(vid);
+    if (!rec)
+        return;
+    rec->status = VmStatus::Attesting;
+    rec->launchTimer.beginStage("attestation", events.now());
+
+    AttestContext ctx;
+    ctx.kind = AttestKind::StartupLaunch;
+    ctx.vid = vid;
+    ctx.properties = {proto::SecurityProperty::StartupIntegrity};
+    ctx.mode = AttestMode::StartupOneTime;
+    forwardAttestation(std::move(ctx));
+}
+
+std::uint64_t
+CloudController::forwardAttestation(AttestContext ctx)
+{
+    const VmRecord *rec = db.vm(ctx.vid);
+    if (!rec || rec->serverId.empty())
+        return 0;
+
+    const std::uint64_t attestId = nextAttestId++;
+    ctx.nonce2 = rng.nextBytes(16);
+    ctx.forwardedAt = events.now();
+    ctx.periodic = ctx.mode == AttestMode::RuntimePeriodic;
+
+    AttestForward fwd;
+    fwd.requestId = attestId;
+    fwd.vid = ctx.vid;
+    fwd.serverId = rec->serverId;
+    fwd.properties = ctx.properties;
+    fwd.nonce2 = ctx.nonce2;
+    fwd.mode = ctx.mode;
+    fwd.period = 0;
+
+    // Periodic requests carry the customer's period through.
+    if (ctx.mode == AttestMode::RuntimePeriodic)
+        fwd.period = ctx.customerRequestId != 0 ? 0 : 0;
+
+    attests[attestId] = std::move(ctx);
+    endpoint.sendSecure(attestorFor(fwd.serverId),
+                        proto::packMessage(MessageKind::AttestForward,
+                                           fwd.encode()));
+    return attestId;
+}
+
+void
+CloudController::onAttestRequest(const net::NodeId &from,
+                                 const Bytes &body)
+{
+    auto reqR = AttestRequest::decode(body);
+    if (!reqR)
+        return;
+    const AttestRequest req = reqR.take();
+
+    const VmRecord *rec = db.vm(req.vid);
+    if (!rec || rec->customer != from) {
+        MONATT_LOG(Warn, "cc")
+            << "attestation request for unknown/foreign VM " << req.vid;
+        return;
+    }
+
+    events.scheduleAfter(cfg.timing.controllerProcessing,
+                         [this, req, from] {
+        const VmRecord *rec = db.vm(req.vid);
+        if (!rec)
+            return;
+
+        AttestContext ctx;
+        ctx.kind = AttestKind::CustomerRequest;
+        ctx.vid = req.vid;
+        ctx.customer = from;
+        ctx.customerRequestId = req.requestId;
+        ctx.nonce1 = req.nonce1;
+        ctx.properties = req.properties;
+        ctx.mode = req.mode;
+        ctx.period = req.period;
+
+        const std::uint64_t attestId = nextAttestId++;
+        AttestForward fwd;
+        fwd.requestId = attestId;
+        fwd.vid = req.vid;
+        fwd.serverId = rec->serverId;
+        fwd.properties = req.properties;
+        fwd.nonce2 = rng.nextBytes(16);
+        fwd.mode = req.mode;
+        fwd.period = req.period;
+
+        ctx.nonce2 = fwd.nonce2;
+        ctx.forwardedAt = events.now();
+        ctx.periodic = req.mode == AttestMode::RuntimePeriodic;
+        attests[attestId] = std::move(ctx);
+
+        endpoint.sendSecure(
+            attestorFor(fwd.serverId),
+            proto::packMessage(MessageKind::AttestForward, fwd.encode()));
+    }, "cc.attest.forward");
+}
+
+void
+CloudController::onReportToController(const net::NodeId &from,
+                                      const Bytes &body)
+{
+    (void)from;
+    auto msgR = ReportToController::decode(body);
+    if (!msgR) {
+        ++counters.reportVerificationFailures;
+        return;
+    }
+    const ReportToController msg = msgR.take();
+
+    const auto it = attests.find(msg.requestId);
+    if (it == attests.end()) {
+        ++counters.reportVerificationFailures;
+        return;
+    }
+    const AttestContext ctx = it->second;
+
+    // Verify the Attestation Server's signature and quote Q2. The
+    // signer is the cluster attestor responsible for the VM's server.
+    auto asKey = dir.lookup(attestorFor(msg.serverId));
+    const Bytes expectedQ2 = ReportToController::quoteInput(
+        msg.vid, msg.serverId, msg.properties, msg.report, msg.nonce2);
+    if (!asKey ||
+        !crypto::rsaVerify(asKey.value(), msg.signedPortion(),
+                           msg.signature) ||
+        !constantTimeEqual(expectedQ2, msg.quote2) ||
+        !constantTimeEqual(msg.nonce2, ctx.nonce2) ||
+        msg.vid != ctx.vid) {
+        ++counters.reportVerificationFailures;
+        MONATT_LOG(Warn, "cc") << "report verification failed for "
+                               << msg.vid;
+        return;
+    }
+
+    if (!ctx.periodic)
+        attests.erase(it);
+
+    events.scheduleAfter(cfg.timing.controllerProcessing,
+                         [this, ctx, msg, attestId = msg.requestId] {
+        if (ctx.kind == AttestKind::StartupLaunch)
+            handleStartupReport(ctx, msg);
+        else if (ctx.kind == AttestKind::SuspendRecheck)
+            handleRecheckReport(ctx, msg);
+        else
+            handleCustomerReport(attestId, ctx, msg);
+    }, "cc.report");
+}
+
+void
+CloudController::handleStartupReport(const AttestContext &ctx,
+                                     const ReportToController &msg)
+{
+    VmRecord *rec = db.vm(ctx.vid);
+    if (!rec)
+        return;
+
+    const proto::PropertyResult *integrity =
+        msg.report.find(proto::SecurityProperty::StartupIntegrity);
+    if (integrity && integrity->status == proto::HealthStatus::Healthy) {
+        finishLaunch(ctx.vid, true, {});
+        return;
+    }
+
+    const std::string detail = integrity ? integrity->detail
+                                         : "no integrity result";
+    if (detail.find("image") != std::string::npos) {
+        // §5.1: compromised image — reject the launch.
+        proto::VmCommand cmd;
+        cmd.vid = ctx.vid;
+        endpoint.sendSecure(rec->serverId,
+                            proto::packMessage(MessageKind::TerminateVm,
+                                               cmd.encode()));
+        db.release(rec->serverId, rec->ramMb, rec->diskGb);
+        ++counters.launchesRejected;
+        finishLaunch(ctx.vid, false, "vm image integrity check failed");
+    } else {
+        // §5.1: compromised platform — select another server.
+        proto::VmCommand cmd;
+        cmd.vid = ctx.vid;
+        endpoint.sendSecure(rec->serverId,
+                            proto::packMessage(MessageKind::TerminateVm,
+                                               cmd.encode()));
+        db.release(rec->serverId, rec->ramMb, rec->diskGb);
+        rescheduleLaunch(ctx.vid, detail);
+    }
+}
+
+void
+CloudController::rescheduleLaunch(const std::string &vid,
+                                  const std::string &reason)
+{
+    VmRecord *rec = db.vm(vid);
+    auto launchIt = launches.find(vid);
+    if (!rec || launchIt == launches.end())
+        return;
+
+    if (rec->launchAttempts >= cfg.maxLaunchAttempts) {
+        finishLaunch(vid, false,
+                     "launch failed after retries: " + reason);
+        return;
+    }
+    ++counters.launchesRescheduled;
+    launchIt->second.excludedServers.insert(rec->serverId);
+    rec->serverId.clear();
+    MONATT_LOG(Info, "cc") << "rescheduling " << vid << ": " << reason;
+    runSchedulingStage(vid);
+}
+
+void
+CloudController::finishLaunch(const std::string &vid, bool ok,
+                              const std::string &error)
+{
+    VmRecord *rec = db.vm(vid);
+    auto launchIt = launches.find(vid);
+    if (!rec || launchIt == launches.end())
+        return;
+
+    rec->launchTimer.endStage(events.now());
+    rec->status = ok ? VmStatus::Running : VmStatus::Failed;
+    if (ok) {
+        rec->launchedAt = events.now();
+        ++counters.launchesSucceeded;
+    }
+
+    proto::LaunchResponse resp;
+    resp.requestId = launchIt->second.customerRequestId;
+    resp.vid = vid;
+    resp.ok = ok;
+    resp.error = error;
+    endpoint.sendSecure(launchIt->second.customer,
+                        proto::packMessage(MessageKind::LaunchResponse,
+                                           resp.encode()));
+    launches.erase(launchIt);
+}
+
+void
+CloudController::handleCustomerReport(std::uint64_t attestId,
+                                      const AttestContext &ctx,
+                                      const ReportToController &msg)
+{
+    (void)attestId;
+
+    ReportToCustomer out;
+    out.requestId = ctx.customerRequestId;
+    out.vid = ctx.vid;
+    out.properties = ctx.properties;
+    out.report = msg.report;
+    out.nonce1 = ctx.nonce1;
+    out.quote1 = ReportToCustomer::quoteInput(ctx.vid, ctx.properties,
+                                              msg.report, ctx.nonce1);
+    out.signature = crypto::rsaSign(keys.priv, out.signedPortion());
+
+    ++counters.reportsRelayed;
+    endpoint.sendSecure(ctx.customer,
+                        proto::packMessage(MessageKind::ReportToCustomer,
+                                           out.encode()));
+
+    // nova response: act on a negative report.
+    bool bad = false;
+    for (const proto::PropertyResult &pr : msg.report.results)
+        bad |= pr.status == proto::HealthStatus::Compromised;
+    if (bad) {
+        triggerResponse(ctx.vid, ctx.forwardedAt, "negative attestation",
+                        ctx.properties);
+    }
+}
+
+void
+CloudController::triggerResponse(
+    const std::string &vid, SimTime attestStart, const std::string &why,
+    const std::vector<proto::SecurityProperty> &triggerProperties)
+{
+    const auto polIt = policies.find(vid);
+    const ResponsePolicy policy =
+        polIt == policies.end() ? ResponsePolicy::None : polIt->second;
+    if (policy == ResponsePolicy::None)
+        return;
+    if (outstandingResponses.count(vid))
+        return; // A response is already in flight for this VM.
+
+    VmRecord *rec = db.vm(vid);
+    if (!rec || rec->status != VmStatus::Running)
+        return;
+
+    ++counters.responsesTriggered;
+    ResponseRecord log;
+    log.vid = vid;
+    log.action = policy;
+    log.attestStart = attestStart;
+    log.reportAt = events.now();
+    log.detail = why;
+    log.triggerProperties = triggerProperties;
+    responses.push_back(log);
+    const std::size_t logIndex = responses.size() - 1;
+    outstandingResponses[vid] = logIndex;
+
+    proto::VmCommand cmd;
+    cmd.vid = vid;
+    switch (policy) {
+      case ResponsePolicy::Terminate:
+        endpoint.sendSecure(rec->serverId,
+                            proto::packMessage(MessageKind::TerminateVm,
+                                               cmd.encode()));
+        break;
+      case ResponsePolicy::Suspend:
+        rec->status = VmStatus::Suspended;
+        endpoint.sendSecure(rec->serverId,
+                            proto::packMessage(MessageKind::SuspendVm,
+                                               cmd.encode()));
+        break;
+      case ResponsePolicy::Migrate:
+        executeMigration(vid, logIndex);
+        break;
+      case ResponsePolicy::None:
+        break;
+    }
+}
+
+void
+CloudController::executeMigration(const std::string &vid,
+                                  std::size_t logIndex)
+{
+    VmRecord *rec = db.vm(vid);
+    if (!rec)
+        return;
+
+    PlacementRequirements req;
+    req.ramMb = rec->ramMb;
+    req.diskGb = rec->diskGb;
+    req.properties = rec->properties;
+    const auto candidates = PolicyValidationModule::qualifiedServers(
+        db, req, {rec->serverId});
+    if (candidates.empty()) {
+        // §5.3: no qualified server — the VM must be shut down.
+        responses[logIndex].detail += "; no qualified target, terminating";
+        responses[logIndex].action = ResponsePolicy::Terminate;
+        proto::VmCommand cmd;
+        cmd.vid = vid;
+        endpoint.sendSecure(rec->serverId,
+                            proto::packMessage(MessageKind::TerminateVm,
+                                               cmd.encode()));
+        return;
+    }
+
+    rec->status = VmStatus::Migrating;
+    proto::MigrateOut cmd;
+    cmd.vid = vid;
+    cmd.targetServer = candidates.front();
+    db.allocate(cmd.targetServer, rec->ramMb, rec->diskGb);
+    responses[logIndex].targetServer = cmd.targetServer;
+    endpoint.sendSecure(rec->serverId,
+                        proto::packMessage(MessageKind::MigrateOut,
+                                           cmd.encode()));
+}
+
+void
+CloudController::onCommandAck(MessageKind kind, const Bytes &body)
+{
+    auto ackR = proto::VmCommandAck::decode(body);
+    if (!ackR)
+        return;
+    const proto::VmCommandAck ack = ackR.take();
+
+    const auto it = outstandingResponses.find(ack.vid);
+    if (it == outstandingResponses.end())
+        return;
+    ResponseRecord &log = responses[it->second];
+    outstandingResponses.erase(it);
+
+    log.completed = true;
+    log.succeeded = ack.ok;
+    log.completedAt = events.now();
+
+    VmRecord *rec = db.vm(ack.vid);
+    if (!rec)
+        return;
+
+    if (kind == MessageKind::TerminateVmAck && ack.ok) {
+        db.release(rec->serverId, rec->ramMb, rec->diskGb);
+        rec->status = VmStatus::Terminated;
+    } else if (kind == MessageKind::SuspendVmAck && ack.ok) {
+        rec->status = VmStatus::Suspended;
+        scheduleSuspendRecheck(ack.vid, it->second);
+    } else if (kind == MessageKind::MigrateOutAck) {
+        if (ack.ok) {
+            // The source released its copy; the DB moves the VM.
+            const std::string oldServer = rec->serverId;
+            db.release(oldServer, rec->ramMb, rec->diskGb);
+            rec->serverId = log.targetServer;
+            rec->status = VmStatus::Running;
+            retargetPeriodicAttestations(ack.vid, oldServer);
+        } else {
+            // Resumed at the source; release the reserved target.
+            db.release(log.targetServer, rec->ramMb, rec->diskGb);
+            rec->status = VmStatus::Running;
+        }
+    }
+}
+
+void
+CloudController::retargetPeriodicAttestations(const std::string &vid,
+                                              const std::string &oldServer)
+{
+    const VmRecord *rec = db.vm(vid);
+    if (!rec)
+        return;
+    for (auto &[attestId, ctx] : attests) {
+        if (!ctx.periodic || ctx.vid != vid)
+            continue;
+
+        // Replace the task on the new cluster's attestor. The AS keys
+        // periodic tasks by (vid, properties), so re-forwarding with
+        // the same mode replaces the stale target when the cluster is
+        // unchanged.
+        AttestForward fwd;
+        fwd.requestId = attestId;
+        fwd.vid = vid;
+        fwd.serverId = rec->serverId;
+        fwd.properties = ctx.properties;
+        fwd.nonce2 = ctx.nonce2;
+        fwd.mode = AttestMode::RuntimePeriodic;
+        fwd.period = ctx.period;
+        endpoint.sendSecure(
+            attestorFor(rec->serverId),
+            proto::packMessage(MessageKind::AttestForward, fwd.encode()));
+
+        // When the cluster changed, the old attestor still runs the
+        // stale task: stop it explicitly.
+        const std::string &oldAttestor = attestorFor(oldServer);
+        if (oldAttestor != attestorFor(rec->serverId)) {
+            AttestForward stop = fwd;
+            stop.serverId = oldServer;
+            stop.mode = AttestMode::StopPeriodic;
+            endpoint.sendSecure(
+                oldAttestor,
+                proto::packMessage(MessageKind::AttestForward,
+                                   stop.encode()));
+        }
+    }
+}
+
+void
+CloudController::scheduleSuspendRecheck(const std::string &vid,
+                                        std::size_t logIndex)
+{
+    if (cfg.suspendRecheckPeriod <= 0)
+        return;
+    events.scheduleAfter(cfg.suspendRecheckPeriod,
+                         [this, vid, logIndex] {
+        VmRecord *rec = db.vm(vid);
+        if (!rec || rec->status != VmStatus::Suspended)
+            return;
+        AttestContext ctx;
+        ctx.kind = AttestKind::SuspendRecheck;
+        ctx.vid = vid;
+        ctx.properties = responses[logIndex].triggerProperties;
+        if (ctx.properties.empty()) {
+            ctx.properties = {
+                proto::SecurityProperty::RuntimeIntegrity};
+        }
+        ctx.mode = AttestMode::RuntimeOneTime;
+        ctx.customerRequestId = logIndex; // Carries the log index.
+        forwardAttestation(std::move(ctx));
+    }, "cc.suspend.recheck");
+}
+
+void
+CloudController::handleRecheckReport(const AttestContext &ctx,
+                                     const ReportToController &msg)
+{
+    VmRecord *rec = db.vm(ctx.vid);
+    if (!rec || rec->status != VmStatus::Suspended)
+        return;
+    const std::size_t logIndex = ctx.customerRequestId;
+
+    if (msg.report.allHealthy()) {
+        // §5.2 #2: "the controller can resume the VM from the saved
+        // state".
+        if (logIndex < responses.size())
+            responses[logIndex].resumedAfterRecheck = true;
+        proto::VmCommand cmd;
+        cmd.vid = ctx.vid;
+        rec->status = VmStatus::Running;
+        endpoint.sendSecure(rec->serverId,
+                            proto::packMessage(MessageKind::ResumeVm,
+                                               cmd.encode()));
+        MONATT_LOG(Info, "cc") << ctx.vid
+                               << " healthy again; resuming";
+    } else {
+        // Still unhealthy: keep it suspended, check again later.
+        scheduleSuspendRecheck(ctx.vid, logIndex);
+    }
+}
+
+} // namespace monatt::controller

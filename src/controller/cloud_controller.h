@@ -1,0 +1,245 @@
+/**
+ * @file
+ * The Cloud Controller — the cloud manager (§3.2.2, §6.1).
+ *
+ * Implements the modified nova stack of the prototype: nova api
+ * (customer launch + the four attestation commands of Table 1), nova
+ * database (controller/database.h), the modified nova scheduler with
+ * its property_filter (controller/policy.h), nova attest_service
+ * (forwarding to the Attestation Server, report verification and
+ * relay), and nova response (the remediation strategies of §5).
+ *
+ * VM launch runs the five stages of §7.1.1 — Scheduling, Networking,
+ * Block_device_mapping, Spawning, and the new Attestation stage —
+ * against the simulated clock, recording a per-stage StageTimer that
+ * the Figure 9 bench reads back. Startup attestation outcomes drive
+ * the §5.1 responses: platform integrity failure → reschedule to
+ * another qualified server; image integrity failure → reject the
+ * launch.
+ */
+
+#ifndef MONATT_CONTROLLER_CLOUD_CONTROLLER_H
+#define MONATT_CONTROLLER_CLOUD_CONTROLLER_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "controller/database.h"
+#include "controller/policy.h"
+#include "net/secure_endpoint.h"
+#include "proto/messages.h"
+#include "proto/timing_model.h"
+#include "sim/event_queue.h"
+
+namespace monatt::controller
+{
+
+/** Remediation response policies (§5.2). */
+enum class ResponsePolicy : std::uint8_t
+{
+    None = 0,       //!< Report only.
+    Terminate = 1,  //!< #1: shut the VM down.
+    Suspend = 2,    //!< #2: pause pending further checking.
+    Migrate = 3,    //!< #3: move to another qualified server.
+};
+
+/** Human-readable policy name. */
+std::string responsePolicyName(ResponsePolicy p);
+
+/** One executed (or executing) remediation response. */
+struct ResponseRecord
+{
+    std::string vid;
+    ResponsePolicy action = ResponsePolicy::None;
+    SimTime attestStart = 0;   //!< Attestation request forwarded.
+    SimTime reportAt = 0;      //!< Negative report received.
+    SimTime completedAt = 0;   //!< Response acknowledged.
+    bool completed = false;
+    bool succeeded = false;
+    std::string detail;
+    std::string targetServer; //!< Migration target (when applicable).
+    std::vector<proto::SecurityProperty> triggerProperties;
+    bool resumedAfterRecheck = false; //!< Suspension lifted (§5.2 #2).
+};
+
+/** Controller configuration. */
+struct CloudControllerConfig
+{
+    std::string id = "cloud-controller";
+    std::string attestationServerId = "attestation-server";
+    proto::TimingModel timing;
+    std::size_t identityKeyBits = 512;
+    int maxLaunchAttempts = 3;
+
+    /**
+     * §5.2 #2: after suspending a VM the controller "can initiate
+     * further checking and also continue to attest the platform"; if
+     * the health recovers it resumes the VM from the saved state.
+     * Interval between re-checks of a suspended VM; 0 disables.
+     */
+    SimTime suspendRecheckPeriod = seconds(30);
+};
+
+/** Observable counters. */
+struct ControllerStats
+{
+    std::uint64_t launchesRequested = 0;
+    std::uint64_t launchesSucceeded = 0;
+    std::uint64_t launchesRejected = 0;
+    std::uint64_t launchesRescheduled = 0;
+    std::uint64_t reportsRelayed = 0;
+    std::uint64_t reportVerificationFailures = 0;
+    std::uint64_t responsesTriggered = 0;
+};
+
+/** The Cloud Controller entity. */
+class CloudController
+{
+  public:
+    CloudController(sim::EventQueue &eq, net::Network &network,
+                    net::KeyDirectory &directory,
+                    CloudControllerConfig config, std::uint64_t seed);
+
+    const std::string &id() const { return cfg.id; }
+
+    /** Identity public key VKc. */
+    const crypto::RsaPublicKey &identityPublic() const
+    {
+        return keys.pub;
+    }
+
+    /** The cloud database (provisioned by the cloud operator). */
+    CloudDatabase &database() { return db; }
+    const CloudDatabase &database() const { return db; }
+
+    /** Set the remediation policy applied to a VM's bad reports. */
+    void setResponsePolicy(const std::string &vid, ResponsePolicy policy);
+
+    /** Register a flavor (vCPUs / RAM / disk) customers may request. */
+    void addFlavor(const std::string &name, std::uint32_t vcpus,
+                   std::uint64_t ramMb, std::uint64_t diskGb);
+
+    /**
+     * Map a cloud server to the Attestation Server of its cluster
+     * (§3.2.3: "There can be different Attestation Servers for
+     * different clusters of cloud servers, enabling scalability").
+     * Unmapped servers use the default attestation server.
+     */
+    void assignAttestationCluster(const std::string &serverId,
+                                  const std::string &attestorId);
+
+    /** Executed responses (Figure 11 reads the timings). */
+    const std::vector<ResponseRecord> &responseLog() const
+    {
+        return responses;
+    }
+
+    const ControllerStats &stats() const { return counters; }
+
+  private:
+    /** Why an attestation was initiated. */
+    enum class AttestKind { StartupLaunch, CustomerRequest,
+                            SuspendRecheck };
+
+    struct AttestContext
+    {
+        AttestKind kind = AttestKind::CustomerRequest;
+        std::string vid;
+        net::NodeId customer;
+        std::uint64_t customerRequestId = 0;
+        Bytes nonce1;
+        Bytes nonce2;
+        std::vector<proto::SecurityProperty> properties;
+        proto::AttestMode mode = proto::AttestMode::RuntimeOneTime;
+        SimTime period = 0;
+        SimTime forwardedAt = 0;
+        bool periodic = false;
+    };
+
+    struct PendingLaunch
+    {
+        std::uint64_t customerRequestId = 0;
+        net::NodeId customer;
+        std::set<std::string> excludedServers;
+    };
+
+    void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+    void onLaunchRequest(const net::NodeId &from, const Bytes &body);
+    void onAttestRequest(const net::NodeId &from, const Bytes &body);
+    void onLaunchVmAck(const net::NodeId &from, const Bytes &body);
+    void onReportToController(const net::NodeId &from, const Bytes &body);
+    void onCommandAck(proto::MessageKind kind, const Bytes &body);
+
+    void runSchedulingStage(const std::string &vid);
+    void startSpawn(const std::string &vid);
+    void startStartupAttestation(const std::string &vid);
+    void finishLaunch(const std::string &vid, bool ok,
+                      const std::string &error);
+    void rescheduleLaunch(const std::string &vid,
+                          const std::string &reason);
+    std::uint64_t forwardAttestation(AttestContext ctx);
+    void handleStartupReport(const AttestContext &ctx,
+                             const proto::ReportToController &msg);
+    void handleCustomerReport(std::uint64_t attestId,
+                              const AttestContext &ctx,
+                              const proto::ReportToController &msg);
+    void triggerResponse(const std::string &vid, SimTime attestStart,
+                         const std::string &why,
+                         const std::vector<proto::SecurityProperty>
+                             &triggerProperties);
+    void executeMigration(const std::string &vid, std::size_t logIndex);
+    void scheduleSuspendRecheck(const std::string &vid,
+                                std::size_t logIndex);
+    void handleRecheckReport(const AttestContext &ctx,
+                             const proto::ReportToController &msg);
+
+    /** Attestation Server responsible for a cloud server (clusters,
+     * §3.2.3); falls back to cfg.attestationServerId. */
+    const std::string &attestorFor(const std::string &serverId) const;
+
+    /**
+     * Seamless monitoring across migration (§1: "A seamless
+     * monitoring mechanism throughout the VMs' lifetime is therefore
+     * highly desirable"): re-target every active periodic attestation
+     * of `vid` from `oldServer` to the VM's new server, stopping the
+     * stale task on the old cluster's attestor when the cluster
+     * changed.
+     */
+    void retargetPeriodicAttestations(const std::string &vid,
+                                      const std::string &oldServer);
+
+    sim::EventQueue &events;
+    CloudControllerConfig cfg;
+    crypto::RsaKeyPair keys;
+    const net::KeyDirectory &dir;
+    net::SecureEndpoint endpoint;
+    CloudDatabase db;
+    Rng rng;
+
+    struct FlavorSpec
+    {
+        std::uint32_t vcpus;
+        std::uint64_t ramMb;
+        std::uint64_t diskGb;
+    };
+
+    std::map<std::string, FlavorSpec> flavors;
+    std::map<std::string, std::string> clusters; //!< server -> AS id.
+    std::map<std::string, PendingLaunch> launches; //!< By vid.
+    std::map<std::uint64_t, AttestContext> attests; //!< By attest id.
+    std::map<std::string, ResponsePolicy> policies; //!< By vid.
+    std::vector<ResponseRecord> responses;
+
+    /** Outstanding response command: vid -> response log index. */
+    std::map<std::string, std::size_t> outstandingResponses;
+
+    std::uint64_t nextVmNumber = 1;
+    std::uint64_t nextAttestId = 1;
+    ControllerStats counters;
+};
+
+} // namespace monatt::controller
+
+#endif // MONATT_CONTROLLER_CLOUD_CONTROLLER_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The controller's cloud database (nova database, §6.1).
+ *
+ * "We modify the controller's database to enable it to store the
+ * customers' specifications about the security properties required
+ * for their VMs... We also add new tables in the database, which
+ * record each server's monitoring and attestation capabilities."
+ * Those two extensions are first-class here: VmRecord carries the
+ * requested properties, ServerRecord carries the capability set the
+ * property_filter consults.
+ */
+
+#ifndef MONATT_CONTROLLER_DATABASE_H
+#define MONATT_CONTROLLER_DATABASE_H
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/time_types.h"
+#include "proto/property.h"
+#include "sim/stage_timer.h"
+
+namespace monatt::controller
+{
+
+/** VM lifecycle status. */
+enum class VmStatus
+{
+    Scheduling,
+    Networking,
+    Mapping,
+    Spawning,
+    Attesting,
+    Running,
+    Suspended,
+    Migrating,
+    Terminated,
+    Failed,
+};
+
+/** Human-readable status name. */
+std::string vmStatusName(VmStatus s);
+
+/** One VM's record. */
+struct VmRecord
+{
+    std::string vid;
+    std::string name;
+    std::string customer; //!< Owning customer's node id.
+    std::string imageName;
+    std::string flavorName;
+    std::uint64_t imageSizeMb = 0;
+    Bytes image;
+    std::uint32_t vcpus = 1;
+    std::uint64_t ramMb = 0;
+    std::uint64_t diskGb = 0;
+    std::vector<proto::SecurityProperty> properties;
+    std::string serverId;
+    VmStatus status = VmStatus::Scheduling;
+    sim::StageTimer launchTimer; //!< Figure 9 stage breakdown.
+    int launchAttempts = 0;
+    SimTime launchedAt = 0;
+};
+
+/** One cloud server's record. */
+struct ServerRecord
+{
+    std::string id;
+    std::set<proto::SecurityProperty> capabilities;
+    std::uint64_t totalRamMb = 0;
+    std::uint64_t totalDiskGb = 0;
+    std::uint64_t allocatedRamMb = 0;
+    std::uint64_t allocatedDiskGb = 0;
+
+    std::uint64_t freeRamMb() const { return totalRamMb - allocatedRamMb; }
+    std::uint64_t freeDiskGb() const
+    {
+        return totalDiskGb - allocatedDiskGb;
+    }
+};
+
+/** The database. */
+class CloudDatabase
+{
+  public:
+    /** Register a server (replaces an existing record). */
+    void addServer(ServerRecord record);
+
+    /** Server lookup; nullptr when unknown. */
+    ServerRecord *server(const std::string &id);
+    const ServerRecord *server(const std::string &id) const;
+
+    /** All server ids. */
+    std::vector<std::string> serverIds() const;
+
+    /** Insert a VM record. */
+    void addVm(VmRecord record);
+
+    /** VM lookup; nullptr when unknown. */
+    VmRecord *vm(const std::string &vid);
+    const VmRecord *vm(const std::string &vid) const;
+
+    /** Remove a VM record. */
+    void removeVm(const std::string &vid);
+
+    /** All VM ids. */
+    std::vector<std::string> vmIds() const;
+
+    /** Charge/release a VM's resources against a server. */
+    void allocate(const std::string &serverId, std::uint64_t ramMb,
+                  std::uint64_t diskGb);
+    void release(const std::string &serverId, std::uint64_t ramMb,
+                 std::uint64_t diskGb);
+
+  private:
+    std::map<std::string, ServerRecord> servers;
+    std::map<std::string, VmRecord> vms;
+};
+
+} // namespace monatt::controller
+
+#endif // MONATT_CONTROLLER_DATABASE_H

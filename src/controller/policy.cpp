@@ -1,0 +1,50 @@
+#include "controller/policy.h"
+
+#include <algorithm>
+
+namespace monatt::controller
+{
+
+bool
+PolicyValidationModule::qualifies(const ServerRecord &server,
+                                  const PlacementRequirements &req)
+{
+    if (server.freeRamMb() < req.ramMb ||
+        server.freeDiskGb() < req.diskGb) {
+        return false;
+    }
+    // property_filter: every requested property must be monitorable.
+    for (proto::SecurityProperty p : req.properties) {
+        if (!server.capabilities.count(p))
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+PolicyValidationModule::qualifiedServers(
+    const CloudDatabase &db, const PlacementRequirements &req,
+    const std::set<std::string> &exclude)
+{
+    std::vector<const ServerRecord *> candidates;
+    for (const std::string &id : db.serverIds()) {
+        if (exclude.count(id))
+            continue;
+        const ServerRecord *rec = db.server(id);
+        if (rec && qualifies(*rec, req))
+            candidates.push_back(rec);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ServerRecord *a, const ServerRecord *b) {
+                  if (a->freeRamMb() != b->freeRamMb())
+                      return a->freeRamMb() > b->freeRamMb();
+                  return a->id < b->id; // Deterministic tie break.
+              });
+    std::vector<std::string> out;
+    out.reserve(candidates.size());
+    for (const ServerRecord *rec : candidates)
+        out.push_back(rec->id);
+    return out;
+}
+
+} // namespace monatt::controller

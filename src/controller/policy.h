@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The Policy Validation Module (§3.2.2, §6.1).
+ *
+ * "The Policy Validation Module in the Controller selects qualified
+ * servers for customers' requested VMs. These servers need to both
+ * satisfy the VMs' demanded physical resources, as well as support
+ * the requested security properties and their property monitoring
+ * services." The prototype's `property_filter` is the capability
+ * check; the resource filter mirrors OpenStack's RAM/disk filters;
+ * qualified servers are ranked by free RAM (the default OpenStack
+ * spread policy the paper mentions: "choose the server with the most
+ * remaining physical resources, to achieve workload balance").
+ */
+
+#ifndef MONATT_CONTROLLER_POLICY_H
+#define MONATT_CONTROLLER_POLICY_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "controller/database.h"
+
+namespace monatt::controller
+{
+
+/** A VM's placement requirements. */
+struct PlacementRequirements
+{
+    std::uint64_t ramMb = 0;
+    std::uint64_t diskGb = 0;
+    std::vector<proto::SecurityProperty> properties;
+};
+
+/** The policy validation module. */
+class PolicyValidationModule
+{
+  public:
+    /**
+     * Servers qualified to host the VM, best (most free RAM) first.
+     *
+     * @param db The cloud database (capability + resource tables).
+     * @param req Resource and security-property requirements.
+     * @param exclude Server ids to skip (e.g. the compromised source
+     *        during a migration response).
+     */
+    static std::vector<std::string> qualifiedServers(
+        const CloudDatabase &db, const PlacementRequirements &req,
+        const std::set<std::string> &exclude = {});
+
+    /** True when one server satisfies the requirements. */
+    static bool qualifies(const ServerRecord &server,
+                          const PlacementRequirements &req);
+};
+
+} // namespace monatt::controller
+
+#endif // MONATT_CONTROLLER_POLICY_H

@@ -1,0 +1,241 @@
+#include "core/cloud.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+#include "server/catalog.h"
+
+namespace monatt::core
+{
+
+Bytes
+expectedBootPcr(const Bytes &code)
+{
+    const Bytes zero(crypto::kSha256DigestSize, 0x00);
+    const Bytes codeDigest = crypto::Sha256::hash(code);
+    return crypto::Sha256::hashConcat({&zero, &codeDigest});
+}
+
+Bytes
+expectedPlatformDigest(const Bytes &hypervisorCode, const Bytes &hostOsCode)
+{
+    Bytes digest = expectedBootPcr(hypervisorCode);
+    append(digest, expectedBootPcr(hostOsCode));
+    return digest;
+}
+
+Cloud::Cloud(CloudConfig config)
+    : cfg(std::move(config)), fabric(eventQueue)
+{
+    fabric.setDefaultLink(cfg.link);
+
+    // Trusted infrastructure entities.
+    pca = std::make_unique<attestation::PrivacyCa>(
+        eventQueue, fabric, keyDirectory, "privacy-ca", cfg.timing,
+        cfg.seed ^ 0x1);
+    keyDirectory.publish("privacy-ca", pca->publicKey());
+
+    const int numAs = std::max(cfg.numAttestationServers, 1);
+    for (int i = 0; i < numAs; ++i) {
+        attestation::AttestationServerConfig asCfg;
+        if (i > 0)
+            asCfg.id = "attestation-server-" + std::to_string(i + 1);
+        asCfg.timing = cfg.timing;
+        asCfg.identityKeyBits = cfg.identityKeyBits;
+        auto as = std::make_unique<attestation::AttestationServer>(
+            eventQueue, fabric, keyDirectory, asCfg,
+            cfg.seed ^ (0x2 + static_cast<std::uint64_t>(i) * 0x1000));
+        keyDirectory.publish(as->id(), as->identityPublic());
+        attestors.push_back(std::move(as));
+    }
+
+    controller::CloudControllerConfig ccCfg;
+    ccCfg.timing = cfg.timing;
+    ccCfg.identityKeyBits = cfg.identityKeyBits;
+    cc = std::make_unique<controller::CloudController>(
+        eventQueue, fabric, keyDirectory, ccCfg, cfg.seed ^ 0x3);
+    keyDirectory.publish(cc->id(), cc->identityPublic());
+
+    // Flavor definitions shared with the servers' catalog.
+    for (const server::VmFlavor &f : server::flavorCatalog())
+        cc->addFlavor(f.name, f.vcpus, f.ramMb, f.diskGb);
+
+    // Known-good catalog image digests for the IMA-style appraiser.
+    for (auto &as : attestors) {
+        for (const server::VmImage &img : server::imageCatalog())
+            as->addKnownGoodImage(crypto::Sha256::hash(img.content));
+    }
+
+    // Cloud servers.
+    std::set<proto::SecurityProperty> caps = cfg.serverCapabilities;
+    if (caps.empty()) {
+        for (proto::SecurityProperty p : proto::allProperties())
+            caps.insert(p);
+    }
+
+    for (int i = 0; i < cfg.numServers; ++i) {
+        attestation::AttestationServer &clusterAs =
+            *attestors[static_cast<std::size_t>(i) % attestors.size()];
+        server::CloudServerConfig scfg;
+        scfg.id = "server-" + std::to_string(i + 1);
+        scfg.controllerId = cc->id();
+        scfg.attestationServerId = clusterAs.id();
+        scfg.pcaId = pca->id();
+        scfg.capabilities = caps;
+        scfg.pcpus = cfg.serverPcpus;
+        scfg.sched = cfg.sched;
+        scfg.hypervisorCode = cfg.hypervisorCode;
+        scfg.hostOsCode = cfg.hostOsCode;
+        scfg.timing = cfg.timing;
+        scfg.identityKeyBits = cfg.identityKeyBits;
+        scfg.aikBits = cfg.aikBits;
+        scfg.intrusivePause = cfg.serverIntrusivePause;
+
+        auto srv = std::make_unique<server::CloudServer>(
+            eventQueue, fabric, keyDirectory, scfg,
+            cfg.seed + 100 + static_cast<std::uint64_t>(i));
+        keyDirectory.publish(srv->id(), srv->identityPublic());
+
+        controller::ServerRecord record;
+        record.id = srv->id();
+        record.capabilities = caps;
+        record.totalRamMb = scfg.totalRamMb;
+        record.totalDiskGb = scfg.totalDiskGb;
+        cc->database().addServer(std::move(record));
+
+        attestation::ServerReference ref;
+        ref.expectedPlatformDigest =
+            expectedPlatformDigest(cfg.hypervisorCode, cfg.hostOsCode);
+        clusterAs.setServerReference(srv->id(), ref);
+        cc->assignAttestationCluster(srv->id(), clusterAs.id());
+
+        srv->boot();
+        servers.push_back(std::move(srv));
+    }
+}
+
+Customer &
+Cloud::addCustomer(const std::string &id)
+{
+    auto customer = std::make_unique<Customer>(
+        eventQueue, fabric, keyDirectory, id, cc->id(),
+        cfg.seed + 10000 + customers.size());
+    keyDirectory.publish(id, customer->identityPublic());
+    customers.push_back(std::move(customer));
+    return *customers.back();
+}
+
+server::CloudServer &
+Cloud::server(std::size_t index)
+{
+    return *servers.at(index);
+}
+
+server::CloudServer *
+Cloud::serverById(const std::string &id)
+{
+    for (auto &srv : servers) {
+        if (srv->id() == id)
+            return srv.get();
+    }
+    return nullptr;
+}
+
+server::CloudServer *
+Cloud::serverHosting(const std::string &vid)
+{
+    for (auto &srv : servers) {
+        if (srv->hasVm(vid))
+            return srv.get();
+    }
+    return nullptr;
+}
+
+void
+Cloud::runFor(SimTime duration)
+{
+    eventQueue.advance(duration);
+}
+
+bool
+Cloud::runUntil(const std::function<bool()> &predicate, SimTime timeout)
+{
+    const SimTime deadline = eventQueue.now() + timeout;
+    for (;;) {
+        if (predicate())
+            return true;
+        const SimTime next = eventQueue.nextEventTime();
+        if (next == kTimeNever || next > deadline) {
+            // Nothing (in time) left to run; settle the clock.
+            if (deadline > eventQueue.now())
+                eventQueue.run(deadline);
+            return predicate();
+        }
+        eventQueue.runOne();
+    }
+}
+
+Result<std::string>
+Cloud::launchVm(Customer &customer, const std::string &name,
+                const std::string &imageName,
+                const std::string &flavorName,
+                const std::vector<proto::SecurityProperty> &properties,
+                SimTime timeout)
+{
+    const server::VmImage &img = server::image(imageName);
+    return launchVmWithImage(customer, name, imageName, flavorName,
+                             properties, img.content, img.sizeMb,
+                             timeout);
+}
+
+Result<std::string>
+Cloud::launchVmWithImage(
+    Customer &customer, const std::string &name,
+    const std::string &imageName, const std::string &flavorName,
+    const std::vector<proto::SecurityProperty> &properties,
+    const Bytes &imageContent, std::uint64_t imageSizeMb, SimTime timeout)
+{
+    const std::uint64_t requestId = customer.requestLaunch(
+        name, imageName, flavorName, properties, imageContent,
+        imageSizeMb);
+
+    const bool done = runUntil(
+        [&] {
+            const LaunchOutcome *outcome =
+                customer.launchOutcome(requestId);
+            return outcome && outcome->done;
+        },
+        timeout);
+    if (!done)
+        return Result<std::string>::error("launch timed out");
+
+    const LaunchOutcome *outcome = customer.launchOutcome(requestId);
+    if (!outcome->ok)
+        return Result<std::string>::error(outcome->error);
+    return Result<std::string>::ok(outcome->vid);
+}
+
+Result<VerifiedReport>
+Cloud::attestOnce(Customer &customer, const std::string &vid,
+                  const std::vector<proto::SecurityProperty> &properties,
+                  SimTime timeout)
+{
+    const std::uint64_t requestId =
+        customer.runtimeAttestCurrent(vid, properties);
+    const bool done = runUntil(
+        [&] { return !customer.reportsFor(requestId).empty(); }, timeout);
+    if (!done)
+        return Result<VerifiedReport>::error("attestation timed out");
+    return Result<VerifiedReport>::ok(
+        *customer.reportsFor(requestId).front());
+}
+
+void
+Cloud::provisionVmReference(const std::string &vid,
+                            attestation::VmReference ref)
+{
+    for (auto &as : attestors)
+        as->setVmReference(vid, ref);
+}
+
+} // namespace monatt::core

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The Cloud facade: a complete CloudMonatt deployment in one object.
+ *
+ * Wires the four entities of Figure 1 over the simulated network:
+ * customers, the Cloud Controller, the Attestation Server (plus the
+ * privacy CA), and a configurable number of secure cloud servers.
+ * Handles the trusted provisioning the paper assumes exists: identity
+ * keys published to the certificate infrastructure, server capability
+ * records in the controller's database, flavor definitions, known-good
+ * platform digests and catalog image digests in the Attestation
+ * Server's database.
+ *
+ * Blocking helpers (launchVm, attestOnce) drive the event queue until
+ * the asynchronous protocol completes — they are conveniences for
+ * tests, examples and benches; everything underneath is genuinely
+ * message driven.
+ */
+
+#ifndef MONATT_CORE_CLOUD_H
+#define MONATT_CORE_CLOUD_H
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attestation/attestation_server.h"
+#include "attestation/privacy_ca.h"
+#include "controller/cloud_controller.h"
+#include "core/customer.h"
+#include "net/network.h"
+#include "net/secure_endpoint.h"
+#include "server/cloud_server.h"
+#include "sim/event_queue.h"
+
+namespace monatt::core
+{
+
+/** Deployment configuration. */
+struct CloudConfig
+{
+    int numServers = 2;
+
+    /** Attestation Servers; servers are assigned round-robin to
+     * clusters (§3.2.3 scalability). */
+    int numAttestationServers = 1;
+    std::uint64_t seed = 20150613;
+    proto::TimingModel timing;
+    net::LinkParams link; //!< 1 Gbps, 100 us by default.
+    hypervisor::CreditScheduler::Params sched;
+    int serverPcpus = 4;
+
+    /** Capabilities granted to every server; empty = all four. */
+    std::set<proto::SecurityProperty> serverCapabilities;
+
+    /** Pristine platform software (measured at boot). */
+    Bytes hypervisorCode = toBytes("xen-4.2.1-pristine");
+    Bytes hostOsCode = toBytes("dom0-linux-3.11-pristine");
+
+    std::size_t identityKeyBits = 512;
+    std::size_t aikBits = 512;
+
+    /** Ablation: intercepting measurement collection (see
+     * server::CloudServerConfig::intrusivePause). */
+    SimTime serverIntrusivePause = 0;
+};
+
+/** The deployment. */
+class Cloud
+{
+  public:
+    explicit Cloud(CloudConfig config = {});
+
+    /** Create (and register) a customer. */
+    Customer &addCustomer(const std::string &id);
+
+    // --- Entity access -------------------------------------------------
+
+    controller::CloudController &controller() { return *cc; }
+
+    /** The first (default) attestation server. */
+    attestation::AttestationServer &attestationServer()
+    {
+        return *attestors.front();
+    }
+
+    /** Attestation server by cluster index. */
+    attestation::AttestationServer &attestationServer(std::size_t index)
+    {
+        return *attestors.at(index);
+    }
+
+    std::size_t numAttestationServers() const { return attestors.size(); }
+    attestation::PrivacyCa &privacyCa() { return *pca; }
+    server::CloudServer &server(std::size_t index);
+    server::CloudServer *serverById(const std::string &id);
+    std::size_t numServers() const { return servers.size(); }
+
+    /** The server currently hosting a VM (nullptr when none). */
+    server::CloudServer *serverHosting(const std::string &vid);
+
+    sim::EventQueue &events() { return eventQueue; }
+    net::Network &network() { return fabric; }
+    net::KeyDirectory &directory() { return keyDirectory; }
+    const CloudConfig &config() const { return cfg; }
+
+    // --- Simulation driving --------------------------------------------
+
+    /** Advance simulated time by `duration`. */
+    void runFor(SimTime duration);
+
+    /**
+     * Run until `predicate` becomes true or `timeout` elapses.
+     * @return True when the predicate fired.
+     */
+    bool runUntil(const std::function<bool()> &predicate, SimTime timeout);
+
+    // --- Blocking conveniences ------------------------------------------
+
+    /**
+     * Launch a VM from the standard catalog and wait for the outcome.
+     *
+     * @return The vid on success.
+     */
+    Result<std::string> launchVm(
+        Customer &customer, const std::string &name,
+        const std::string &imageName, const std::string &flavorName,
+        const std::vector<proto::SecurityProperty> &properties,
+        SimTime timeout = seconds(120));
+
+    /** Launch with custom image content (e.g. a tampered image). */
+    Result<std::string> launchVmWithImage(
+        Customer &customer, const std::string &name,
+        const std::string &imageName, const std::string &flavorName,
+        const std::vector<proto::SecurityProperty> &properties,
+        const Bytes &imageContent, std::uint64_t imageSizeMb,
+        SimTime timeout = seconds(120));
+
+    /** One-shot attestation; waits for the verified report. */
+    Result<VerifiedReport> attestOnce(
+        Customer &customer, const std::string &vid,
+        const std::vector<proto::SecurityProperty> &properties,
+        SimTime timeout = seconds(120));
+
+    /** Register per-VM reference data with the Attestation Server. */
+    void provisionVmReference(const std::string &vid,
+                              attestation::VmReference ref);
+
+  private:
+    CloudConfig cfg;
+    sim::EventQueue eventQueue;
+    net::Network fabric;
+    net::KeyDirectory keyDirectory;
+
+    std::unique_ptr<attestation::PrivacyCa> pca;
+    std::vector<std::unique_ptr<attestation::AttestationServer>> attestors;
+    std::unique_ptr<controller::CloudController> cc;
+    std::vector<std::unique_ptr<server::CloudServer>> servers;
+    std::vector<std::unique_ptr<Customer>> customers;
+};
+
+/** Expected PCR value after one extend of `code` over a zero PCR. */
+Bytes expectedBootPcr(const Bytes &code);
+
+/** Expected PCR0 || PCR1 platform digest for pristine software. */
+Bytes expectedPlatformDigest(const Bytes &hypervisorCode,
+                             const Bytes &hostOsCode);
+
+} // namespace monatt::core
+
+#endif // MONATT_CORE_CLOUD_H

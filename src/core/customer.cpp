@@ -1,0 +1,254 @@
+#include "core/customer.h"
+
+#include "common/logging.h"
+
+namespace monatt::core
+{
+
+using proto::AttestMode;
+using proto::AttestRequest;
+using proto::MessageKind;
+using proto::ReportToCustomer;
+
+namespace
+{
+
+crypto::RsaKeyPair
+makeKeys(const std::string &id, std::uint64_t seed)
+{
+    Bytes material = toBytes("customer-identity:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    crypto::HmacDrbg drbg(material);
+    Rng rng = drbg.forkRng();
+    return crypto::rsaGenerateKeyPair(512, rng);
+}
+
+Bytes
+endpointSeed(const std::string &id, std::uint64_t seed)
+{
+    Bytes material = toBytes("customer-endpoint:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    return material;
+}
+
+} // namespace
+
+Customer::Customer(sim::EventQueue &eq, net::Network &network,
+                   net::KeyDirectory &directory, std::string id,
+                   std::string controllerId, std::uint64_t seed)
+    : events(eq), self(std::move(id)), controller(std::move(controllerId)),
+      keys(makeKeys(self, seed)), dir(directory),
+      endpoint(network, self, keys, directory, endpointSeed(self, seed)),
+      nonceDrbg(toBytes("customer-nonces:" + self))
+{
+    endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
+        if (from == controller)
+            handleMessage(from, msg);
+    });
+}
+
+std::uint64_t
+Customer::requestLaunch(
+    const std::string &name, const std::string &imageName,
+    const std::string &flavorName,
+    const std::vector<proto::SecurityProperty> &properties,
+    const Bytes &image, std::uint64_t imageSizeMb)
+{
+    const std::uint64_t requestId = nextRequest++;
+    proto::LaunchRequest req;
+    req.requestId = requestId;
+    req.name = name;
+    req.imageName = imageName;
+    req.flavorName = flavorName;
+    req.properties = properties;
+    req.image = image;
+    req.imageSizeMb = imageSizeMb;
+
+    launches[requestId] = LaunchOutcome{};
+    endpoint.sendSecure(controller,
+                        proto::packMessage(MessageKind::LaunchRequest,
+                                           req.encode()));
+    return requestId;
+}
+
+std::uint64_t
+Customer::sendAttest(const std::string &vid,
+                     std::vector<proto::SecurityProperty> props,
+                     AttestMode mode, SimTime period)
+{
+    const std::uint64_t requestId = nextRequest++;
+    AttestRequest req;
+    req.requestId = requestId;
+    req.vid = vid;
+    req.properties = props;
+    req.nonce1 = nonceDrbg.generate(16);
+    req.mode = mode;
+    req.period = period;
+
+    PendingAttest pending;
+    pending.vid = vid;
+    pending.nonce1 = req.nonce1;
+    pending.properties = std::move(props);
+    pending.periodic = mode == AttestMode::RuntimePeriodic;
+    pendingAttests[requestId] = std::move(pending);
+
+    endpoint.sendSecure(controller,
+                        proto::packMessage(MessageKind::AttestRequest,
+                                           req.encode()));
+    return requestId;
+}
+
+std::uint64_t
+Customer::startupAttestCurrent(
+    const std::string &vid,
+    const std::vector<proto::SecurityProperty> &properties)
+{
+    return sendAttest(vid, properties, AttestMode::StartupOneTime, 0);
+}
+
+std::uint64_t
+Customer::runtimeAttestCurrent(
+    const std::string &vid,
+    const std::vector<proto::SecurityProperty> &properties)
+{
+    return sendAttest(vid, properties, AttestMode::RuntimeOneTime, 0);
+}
+
+std::uint64_t
+Customer::runtimeAttestPeriodic(
+    const std::string &vid,
+    const std::vector<proto::SecurityProperty> &properties,
+    SimTime period)
+{
+    return sendAttest(vid, properties, AttestMode::RuntimePeriodic,
+                      period);
+}
+
+std::uint64_t
+Customer::stopAttestPeriodic(
+    const std::string &vid,
+    const std::vector<proto::SecurityProperty> &properties)
+{
+    // Drop local periodic state so late reports are not accepted
+    // indefinitely; the stop command races any in-flight round, which
+    // is inherent to the protocol.
+    for (auto it = pendingAttests.begin(); it != pendingAttests.end();) {
+        if (it->second.vid == vid && it->second.periodic)
+            it = pendingAttests.erase(it);
+        else
+            ++it;
+    }
+    return sendAttest(vid, properties, AttestMode::StopPeriodic, 0);
+}
+
+const LaunchOutcome *
+Customer::launchOutcome(std::uint64_t requestId) const
+{
+    const auto it = launches.find(requestId);
+    return it == launches.end() ? nullptr : &it->second;
+}
+
+std::vector<const VerifiedReport *>
+Customer::reportsFor(std::uint64_t requestId) const
+{
+    std::vector<const VerifiedReport *> out;
+    for (const VerifiedReport &r : verifiedReports) {
+        if (r.requestId == requestId)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+const VerifiedReport *
+Customer::lastReportFor(const std::string &vid) const
+{
+    const auto it = lastReportIndex.find(vid);
+    return it == lastReportIndex.end() ? nullptr
+                                       : &verifiedReports[it->second];
+}
+
+void
+Customer::handleMessage(const net::NodeId &from, const Bytes &plaintext)
+{
+    (void)from;
+    auto unpacked = proto::unpackMessage(plaintext);
+    if (!unpacked)
+        return;
+    const auto &[kind, body] = unpacked.value();
+    switch (kind) {
+      case MessageKind::LaunchResponse:
+        onLaunchResponse(body);
+        break;
+      case MessageKind::ReportToCustomer:
+        onReportToCustomer(body);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Customer::onLaunchResponse(const Bytes &body)
+{
+    auto respR = proto::LaunchResponse::decode(body);
+    if (!respR)
+        return;
+    const proto::LaunchResponse resp = respR.take();
+    auto it = launches.find(resp.requestId);
+    if (it == launches.end())
+        return;
+    it->second.done = true;
+    it->second.ok = resp.ok;
+    it->second.vid = resp.vid;
+    it->second.error = resp.error;
+}
+
+void
+Customer::onReportToCustomer(const Bytes &body)
+{
+    auto msgR = ReportToCustomer::decode(body);
+    if (!msgR) {
+        ++counters.reportsRejected;
+        return;
+    }
+    const ReportToCustomer msg = msgR.take();
+
+    const auto it = pendingAttests.find(msg.requestId);
+    if (it == pendingAttests.end()) {
+        ++counters.reportsRejected;
+        return;
+    }
+    const PendingAttest &pending = it->second;
+
+    // End-to-end verification: controller signature, quote, nonce.
+    auto ccKey = dir.lookup(controller);
+    const Bytes expectedQ1 = ReportToCustomer::quoteInput(
+        msg.vid, msg.properties, msg.report, msg.nonce1);
+    if (!ccKey ||
+        !crypto::rsaVerify(ccKey.value(), msg.signedPortion(),
+                           msg.signature) ||
+        !constantTimeEqual(expectedQ1, msg.quote1) ||
+        !constantTimeEqual(msg.nonce1, pending.nonce1) ||
+        msg.vid != pending.vid) {
+        ++counters.reportsRejected;
+        MONATT_LOG(Warn, "customer")
+            << self << ": rejected unverifiable report for " << msg.vid;
+        return;
+    }
+
+    ++counters.reportsVerified;
+    VerifiedReport verified;
+    verified.requestId = msg.requestId;
+    verified.report = msg.report;
+    verified.properties = msg.properties;
+    verified.receivedAt = events.now();
+    verifiedReports.push_back(std::move(verified));
+    lastReportIndex[msg.vid] = verifiedReports.size() - 1;
+
+    if (!pending.periodic)
+        pendingAttests.erase(it);
+}
+
+} // namespace monatt::core

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The Cloud Customer — initiator and end-verifier (§3.2.1).
+ *
+ * Exposes the public API of Table 1:
+ *
+ *   startup_attest_current(Vid, P, N)
+ *   runtime_attest_current(Vid, P, N)
+ *   runtime_attest_periodic(Vid, P, freq, N)
+ *   stop_attest_periodic(Vid, P, N)
+ *
+ * plus VM leasing. Every attestation request carries a fresh nonce
+ * N1; every received report is verified end to end — the controller's
+ * identity signature SKc over [Vid, P, R, N1, Q1], the recomputed
+ * quote Q1 = H(Vid || P || R || N1), and the nonce binding to an
+ * outstanding request — before it is surfaced to the application.
+ * Reports failing any check are counted and discarded: the customer
+ * cannot be fed a forged attestation result.
+ */
+
+#ifndef MONATT_CORE_CUSTOMER_H
+#define MONATT_CORE_CUSTOMER_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/secure_endpoint.h"
+#include "proto/messages.h"
+#include "sim/event_queue.h"
+
+namespace monatt::core
+{
+
+/** A report that passed end-to-end verification. */
+struct VerifiedReport
+{
+    std::uint64_t requestId = 0;
+    proto::AttestationReport report;
+    std::vector<proto::SecurityProperty> properties;
+    SimTime receivedAt = 0;
+};
+
+/** Outcome of a launch request. */
+struct LaunchOutcome
+{
+    bool done = false;
+    bool ok = false;
+    std::string vid;
+    std::string error;
+};
+
+/** Customer statistics. */
+struct CustomerStats
+{
+    std::uint64_t reportsVerified = 0;
+    std::uint64_t reportsRejected = 0;
+};
+
+/** The customer entity. */
+class Customer
+{
+  public:
+    Customer(sim::EventQueue &eq, net::Network &network,
+             net::KeyDirectory &directory, std::string id,
+             std::string controllerId, std::uint64_t seed);
+
+    const std::string &id() const { return self; }
+
+    /** Identity public key VKcust. */
+    const crypto::RsaPublicKey &identityPublic() const
+    {
+        return keys.pub;
+    }
+
+    /**
+     * Lease a VM (nova api boot + the security-property extension of
+     * §6.1). Returns the request id; poll launchOutcome() after
+     * running the simulation.
+     */
+    std::uint64_t requestLaunch(
+        const std::string &name, const std::string &imageName,
+        const std::string &flavorName,
+        const std::vector<proto::SecurityProperty> &properties,
+        const Bytes &image, std::uint64_t imageSizeMb);
+
+    /** Table 1: startup_attest_current(Vid, P, N). */
+    std::uint64_t startupAttestCurrent(
+        const std::string &vid,
+        const std::vector<proto::SecurityProperty> &properties);
+
+    /** Table 1: runtime_attest_current(Vid, P, N). */
+    std::uint64_t runtimeAttestCurrent(
+        const std::string &vid,
+        const std::vector<proto::SecurityProperty> &properties);
+
+    /** Table 1: runtime_attest_periodic(Vid, P, freq, N).
+     * @param period Fixed period; <= 0 requests random intervals. */
+    std::uint64_t runtimeAttestPeriodic(
+        const std::string &vid,
+        const std::vector<proto::SecurityProperty> &properties,
+        SimTime period);
+
+    /** Table 1: stop_attest_periodic(Vid, P, N). */
+    std::uint64_t stopAttestPeriodic(
+        const std::string &vid,
+        const std::vector<proto::SecurityProperty> &properties);
+
+    /** Launch outcome for a request id; nullptr until a response. */
+    const LaunchOutcome *launchOutcome(std::uint64_t requestId) const;
+
+    /** All verified reports, in arrival order. */
+    const std::vector<VerifiedReport> &reports() const
+    {
+        return verifiedReports;
+    }
+
+    /** Verified reports for one request id. */
+    std::vector<const VerifiedReport *> reportsFor(
+        std::uint64_t requestId) const;
+
+    /** Most recent verified report for a VM; nullptr when none. */
+    const VerifiedReport *lastReportFor(const std::string &vid) const;
+
+    const CustomerStats &stats() const { return counters; }
+
+  private:
+    struct PendingAttest
+    {
+        std::string vid;
+        Bytes nonce1;
+        std::vector<proto::SecurityProperty> properties;
+        bool periodic = false;
+    };
+
+    void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+    void onLaunchResponse(const Bytes &body);
+    void onReportToCustomer(const Bytes &body);
+    std::uint64_t sendAttest(const std::string &vid,
+                             std::vector<proto::SecurityProperty> props,
+                             proto::AttestMode mode, SimTime period);
+
+    sim::EventQueue &events;
+    std::string self;
+    std::string controller;
+    crypto::RsaKeyPair keys;
+    const net::KeyDirectory &dir;
+    net::SecureEndpoint endpoint;
+    crypto::HmacDrbg nonceDrbg;
+
+    std::map<std::uint64_t, LaunchOutcome> launches;
+    std::map<std::uint64_t, PendingAttest> pendingAttests;
+    std::vector<VerifiedReport> verifiedReports;
+    std::map<std::string, std::size_t> lastReportIndex;
+
+    std::uint64_t nextRequest = 1;
+    CustomerStats counters;
+};
+
+} // namespace monatt::core
+
+#endif // MONATT_CORE_CUSTOMER_H

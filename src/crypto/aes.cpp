@@ -1,0 +1,165 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace monatt::crypto
+{
+
+namespace
+{
+
+constexpr std::uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5,
+    0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc,
+    0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a,
+    0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b,
+    0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85,
+    0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17,
+    0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88,
+    0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9,
+    0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6,
+    0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94,
+    0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68,
+    0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+};
+
+constexpr std::uint8_t kRcon[10] = {
+    0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36,
+};
+
+std::uint8_t
+xtime(std::uint8_t x)
+{
+    return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+
+} // namespace
+
+Aes128::Aes128(const Bytes &key)
+{
+    if (key.size() != kAes128KeySize)
+        throw std::invalid_argument("Aes128: key must be 16 bytes");
+
+    std::memcpy(roundKeys, key.data(), 16);
+    for (int i = 4; i < 44; ++i) {
+        std::uint8_t temp[4];
+        std::memcpy(temp, roundKeys + 4 * (i - 1), 4);
+        if (i % 4 == 0) {
+            // RotWord + SubWord + Rcon.
+            const std::uint8_t t0 = temp[0];
+            temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^
+                                                kRcon[i / 4 - 1]);
+            temp[1] = kSbox[temp[2]];
+            temp[2] = kSbox[temp[3]];
+            temp[3] = kSbox[t0];
+        }
+        for (int j = 0; j < 4; ++j)
+            roundKeys[4 * i + j] = roundKeys[4 * (i - 4) + j] ^ temp[j];
+    }
+}
+
+void
+Aes128::encryptBlock(std::uint8_t block[kAesBlockSize]) const
+{
+    auto addRoundKey = [&](int round) {
+        for (int i = 0; i < 16; ++i)
+            block[i] ^= roundKeys[16 * round + i];
+    };
+    auto subBytes = [&]() {
+        for (int i = 0; i < 16; ++i)
+            block[i] = kSbox[block[i]];
+    };
+    auto shiftRows = [&]() {
+        std::uint8_t t;
+        // Row 1: shift left by 1.
+        t = block[1];
+        block[1] = block[5];
+        block[5] = block[9];
+        block[9] = block[13];
+        block[13] = t;
+        // Row 2: shift left by 2.
+        std::swap(block[2], block[10]);
+        std::swap(block[6], block[14]);
+        // Row 3: shift left by 3.
+        t = block[15];
+        block[15] = block[11];
+        block[11] = block[7];
+        block[7] = block[3];
+        block[3] = t;
+    };
+    auto mixColumns = [&]() {
+        for (int c = 0; c < 4; ++c) {
+            std::uint8_t *col = block + 4 * c;
+            const std::uint8_t a0 = col[0], a1 = col[1];
+            const std::uint8_t a2 = col[2], a3 = col[3];
+            const std::uint8_t all = a0 ^ a1 ^ a2 ^ a3;
+            col[0] ^= all ^ xtime(static_cast<std::uint8_t>(a0 ^ a1));
+            col[1] ^= all ^ xtime(static_cast<std::uint8_t>(a1 ^ a2));
+            col[2] ^= all ^ xtime(static_cast<std::uint8_t>(a2 ^ a3));
+            col[3] ^= all ^ xtime(static_cast<std::uint8_t>(a3 ^ a0));
+        }
+    };
+
+    addRoundKey(0);
+    for (int round = 1; round <= 9; ++round) {
+        subBytes();
+        shiftRows();
+        mixColumns();
+        addRoundKey(round);
+    }
+    subBytes();
+    shiftRows();
+    addRoundKey(10);
+}
+
+Bytes
+Aes128::ctrTransform(const Bytes &nonce, const Bytes &data) const
+{
+    if (nonce.size() != 12)
+        throw std::invalid_argument("Aes128::ctrTransform: nonce != 12B");
+
+    Bytes out(data.size());
+    std::uint8_t counterBlock[kAesBlockSize];
+    std::uint8_t keystream[kAesBlockSize];
+    std::uint32_t counter = 0;
+
+    for (std::size_t off = 0; off < data.size(); off += kAesBlockSize) {
+        std::memcpy(counterBlock, nonce.data(), 12);
+        counterBlock[12] = static_cast<std::uint8_t>(counter >> 24);
+        counterBlock[13] = static_cast<std::uint8_t>(counter >> 16);
+        counterBlock[14] = static_cast<std::uint8_t>(counter >> 8);
+        counterBlock[15] = static_cast<std::uint8_t>(counter);
+        ++counter;
+
+        std::memcpy(keystream, counterBlock, kAesBlockSize);
+        encryptBlock(keystream);
+
+        const std::size_t n = std::min(kAesBlockSize, data.size() - off);
+        for (std::size_t i = 0; i < n; ++i)
+            out[off + i] = data[off + i] ^ keystream[i];
+    }
+    return out;
+}
+
+} // namespace monatt::crypto

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * AES-128 (FIPS 197) block cipher and CTR mode, from scratch.
+ *
+ * AES-128-CTR is the record encryption on the SSL-like channels of
+ * §3.4.1: after the handshake, each direction of a channel encrypts
+ * message payloads under its session key (the Kx/Ky/Kz of Figure 3)
+ * with a per-record counter block, then authenticates the ciphertext
+ * with HMAC (encrypt-then-MAC). Verified against FIPS 197 / NIST
+ * SP 800-38A test vectors.
+ */
+
+#ifndef MONATT_CRYPTO_AES_H
+#define MONATT_CRYPTO_AES_H
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace monatt::crypto
+{
+
+/** AES block size in bytes. */
+constexpr std::size_t kAesBlockSize = 16;
+
+/** AES-128 key size in bytes. */
+constexpr std::size_t kAes128KeySize = 16;
+
+/** AES-128 with a precomputed key schedule. */
+class Aes128
+{
+  public:
+    /** Expand a 16-byte key. @throws std::invalid_argument on size. */
+    explicit Aes128(const Bytes &key);
+
+    /** Encrypt one 16-byte block in place. */
+    void encryptBlock(std::uint8_t block[kAesBlockSize]) const;
+
+    /**
+     * CTR-mode keystream transform (encrypt == decrypt).
+     *
+     * The counter block is nonce (12 bytes) || 32-bit big-endian block
+     * counter starting at 0.
+     *
+     * @param nonce 12-byte per-message nonce.
+     * @param data Input buffer.
+     * @return Transformed buffer of the same length.
+     */
+    Bytes ctrTransform(const Bytes &nonce, const Bytes &data) const;
+
+  private:
+    std::uint8_t roundKeys[176]; // 11 round keys x 16 bytes.
+};
+
+} // namespace monatt::crypto
+
+#endif // MONATT_CRYPTO_AES_H

@@ -1,0 +1,537 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace monatt::crypto
+{
+
+namespace
+{
+
+/** Small primes for trial division during prime generation. */
+constexpr std::uint32_t kSmallPrimes[] = {
+    3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137, 139,
+    149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199, 211, 223,
+    227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281, 283, 293,
+    307, 311, 313, 317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383,
+    389, 397, 401, 409, 419, 421, 431, 433, 439, 443, 449, 457, 461, 463,
+};
+
+} // namespace
+
+void
+BigUint::trim()
+{
+    while (!limb.empty() && limb.back() == 0)
+        limb.pop_back();
+}
+
+BigUint
+BigUint::fromU64(std::uint64_t v)
+{
+    BigUint out;
+    if (v & 0xffffffffULL)
+        out.limb.push_back(static_cast<std::uint32_t>(v));
+    else if (v >> 32)
+        out.limb.push_back(0);
+    if (v >> 32)
+        out.limb.push_back(static_cast<std::uint32_t>(v >> 32));
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::fromBytes(const Bytes &be)
+{
+    BigUint out;
+    out.limb.assign((be.size() + 3) / 4, 0);
+    for (std::size_t i = 0; i < be.size(); ++i) {
+        // Byte i counted from the end is bits [8*i, 8*i+8).
+        const std::size_t fromEnd = be.size() - 1 - i;
+        out.limb[fromEnd / 4] |=
+            static_cast<std::uint32_t>(be[i]) << (8 * (fromEnd % 4));
+    }
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::fromHexString(const std::string &hex)
+{
+    std::string padded = hex;
+    if (padded.size() % 2 == 1)
+        padded.insert(padded.begin(), '0');
+    return fromBytes(fromHex(padded));
+}
+
+Bytes
+BigUint::toBytes(std::size_t width) const
+{
+    const std::size_t minBytes = (bitLength() + 7) / 8;
+    const std::size_t outSize = width == 0 ? std::max<std::size_t>(minBytes, 1)
+                                           : width;
+    if (width != 0 && minBytes > width)
+        throw std::invalid_argument("BigUint::toBytes: width too small");
+
+    Bytes out(outSize, 0);
+    for (std::size_t i = 0; i < minBytes; ++i) {
+        const std::uint32_t word = limb[i / 4];
+        out[outSize - 1 - i] =
+            static_cast<std::uint8_t>(word >> (8 * (i % 4)));
+    }
+    return out;
+}
+
+std::string
+BigUint::toHexString() const
+{
+    if (isZero())
+        return "0";
+    std::string s = toHex(toBytes());
+    const std::size_t firstNonZero = s.find_first_not_of('0');
+    return s.substr(firstNonZero);
+}
+
+BigUint
+BigUint::randomWithBits(std::size_t bits, Rng &rng)
+{
+    if (bits == 0)
+        return BigUint();
+    BigUint out;
+    out.limb.assign((bits + 31) / 32, 0);
+    for (auto &word : out.limb)
+        word = static_cast<std::uint32_t>(rng.next());
+    // Clear bits above the requested width, then force the MSB.
+    const std::size_t topBit = (bits - 1) % 32;
+    std::uint32_t &top = out.limb.back();
+    if (topBit != 31)
+        top &= (1u << (topBit + 1)) - 1;
+    top |= 1u << topBit;
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::randomBelow(const BigUint &bound, Rng &rng)
+{
+    const BigUint two = fromU64(2);
+    if (bound <= two)
+        throw std::invalid_argument("randomBelow: bound too small");
+    const std::size_t bits = bound.bitLength();
+    for (;;) {
+        BigUint candidate;
+        candidate.limb.assign((bits + 31) / 32, 0);
+        for (auto &word : candidate.limb)
+            word = static_cast<std::uint32_t>(rng.next());
+        const std::size_t topBit = (bits - 1) % 32;
+        if (topBit != 31)
+            candidate.limb.back() &= (1u << (topBit + 1)) - 1;
+        candidate.trim();
+        if (candidate >= two && candidate < bound)
+            return candidate;
+    }
+}
+
+std::size_t
+BigUint::bitLength() const
+{
+    if (limb.empty())
+        return 0;
+    std::size_t bits = (limb.size() - 1) * 32;
+    std::uint32_t top = limb.back();
+    while (top) {
+        ++bits;
+        top >>= 1;
+    }
+    return bits;
+}
+
+bool
+BigUint::bit(std::size_t i) const
+{
+    const std::size_t word = i / 32;
+    if (word >= limb.size())
+        return false;
+    return (limb[word] >> (i % 32)) & 1;
+}
+
+int
+BigUint::compare(const BigUint &a, const BigUint &b)
+{
+    if (a.limb.size() != b.limb.size())
+        return a.limb.size() < b.limb.size() ? -1 : 1;
+    for (std::size_t i = a.limb.size(); i-- > 0;) {
+        if (a.limb[i] != b.limb[i])
+            return a.limb[i] < b.limb[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigUint
+BigUint::operator+(const BigUint &o) const
+{
+    BigUint out;
+    const std::size_t n = std::max(limb.size(), o.limb.size());
+    out.limb.assign(n + 1, 0);
+    std::uint64_t carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t sum = carry;
+        if (i < limb.size())
+            sum += limb[i];
+        if (i < o.limb.size())
+            sum += o.limb[i];
+        out.limb[i] = static_cast<std::uint32_t>(sum);
+        carry = sum >> 32;
+    }
+    out.limb[n] = static_cast<std::uint32_t>(carry);
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::operator-(const BigUint &o) const
+{
+    if (*this < o)
+        throw std::underflow_error("BigUint subtraction underflow");
+    BigUint out;
+    out.limb.assign(limb.size(), 0);
+    std::int64_t borrow = 0;
+    for (std::size_t i = 0; i < limb.size(); ++i) {
+        std::int64_t diff = static_cast<std::int64_t>(limb[i]) - borrow;
+        if (i < o.limb.size())
+            diff -= o.limb[i];
+        if (diff < 0) {
+            diff += 1LL << 32;
+            borrow = 1;
+        } else {
+            borrow = 0;
+        }
+        out.limb[i] = static_cast<std::uint32_t>(diff);
+    }
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::operator*(const BigUint &o) const
+{
+    if (isZero() || o.isZero())
+        return BigUint();
+    BigUint out;
+    out.limb.assign(limb.size() + o.limb.size(), 0);
+    for (std::size_t i = 0; i < limb.size(); ++i) {
+        std::uint64_t carry = 0;
+        const std::uint64_t a = limb[i];
+        for (std::size_t j = 0; j < o.limb.size(); ++j) {
+            std::uint64_t cur = out.limb[i + j] + a * o.limb[j] + carry;
+            out.limb[i + j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        std::size_t k = i + o.limb.size();
+        while (carry) {
+            std::uint64_t cur = out.limb[k] + carry;
+            out.limb[k] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+            ++k;
+        }
+    }
+    out.trim();
+    return out;
+}
+
+std::pair<BigUint, BigUint>
+BigUint::divmod(const BigUint &num, const BigUint &den)
+{
+    if (den.isZero())
+        throw std::domain_error("BigUint division by zero");
+    if (num < den)
+        return {BigUint(), num};
+    if (den.limb.size() == 1) {
+        // Fast single-limb path.
+        const std::uint64_t d = den.limb[0];
+        BigUint q;
+        q.limb.assign(num.limb.size(), 0);
+        std::uint64_t rem = 0;
+        for (std::size_t i = num.limb.size(); i-- > 0;) {
+            const std::uint64_t cur = (rem << 32) | num.limb[i];
+            q.limb[i] = static_cast<std::uint32_t>(cur / d);
+            rem = cur % d;
+        }
+        q.trim();
+        return {q, fromU64(rem)};
+    }
+
+    // Knuth Algorithm D. Normalize so the divisor's top limb has its
+    // high bit set.
+    int shift = 0;
+    std::uint32_t top = den.limb.back();
+    while (!(top & 0x80000000u)) {
+        top <<= 1;
+        ++shift;
+    }
+    const BigUint u = num.shiftLeft(shift);
+    const BigUint v = den.shiftLeft(shift);
+    const std::size_t n = v.limb.size();
+    const std::size_t m = u.limb.size() >= n ? u.limb.size() - n : 0;
+
+    std::vector<std::uint32_t> un(u.limb);
+    un.resize(u.limb.size() + 1, 0);
+    const std::vector<std::uint32_t> &vn = v.limb;
+
+    BigUint q;
+    q.limb.assign(m + 1, 0);
+
+    for (std::size_t j = m + 1; j-- > 0;) {
+        const std::uint64_t numerator =
+            (static_cast<std::uint64_t>(un[j + n]) << 32) | un[j + n - 1];
+        std::uint64_t qhat = numerator / vn[n - 1];
+        std::uint64_t rhat = numerator % vn[n - 1];
+
+        while (qhat >= (1ULL << 32) ||
+               qhat * vn[n - 2] > ((rhat << 32) | un[j + n - 2])) {
+            --qhat;
+            rhat += vn[n - 1];
+            if (rhat >= (1ULL << 32))
+                break;
+        }
+
+        // Multiply-and-subtract qhat * v from un[j .. j+n].
+        std::int64_t borrow = 0;
+        std::uint64_t carry = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t product = qhat * vn[i] + carry;
+            carry = product >> 32;
+            std::int64_t t = static_cast<std::int64_t>(un[i + j]) -
+                             static_cast<std::int64_t>(product &
+                                                       0xffffffffULL) -
+                             borrow;
+            if (t < 0) {
+                t += 1LL << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            un[i + j] = static_cast<std::uint32_t>(t);
+        }
+        std::int64_t t = static_cast<std::int64_t>(un[j + n]) -
+                         static_cast<std::int64_t>(carry) - borrow;
+        if (t < 0) {
+            // qhat was one too large: add v back once.
+            t += 1LL << 32;
+            --qhat;
+            std::uint64_t addCarry = 0;
+            for (std::size_t i = 0; i < n; ++i) {
+                const std::uint64_t sum =
+                    static_cast<std::uint64_t>(un[i + j]) + vn[i] + addCarry;
+                un[i + j] = static_cast<std::uint32_t>(sum);
+                addCarry = sum >> 32;
+            }
+            t += static_cast<std::int64_t>(addCarry);
+            t &= 0xffffffffLL;
+        }
+        un[j + n] = static_cast<std::uint32_t>(t);
+        q.limb[j] = static_cast<std::uint32_t>(qhat);
+    }
+    q.trim();
+
+    BigUint r;
+    r.limb.assign(un.begin(), un.begin() + n);
+    r.trim();
+    return {q, r.shiftRight(shift)};
+}
+
+BigUint
+BigUint::operator/(const BigUint &o) const
+{
+    return divmod(*this, o).first;
+}
+
+BigUint
+BigUint::operator%(const BigUint &o) const
+{
+    return divmod(*this, o).second;
+}
+
+BigUint
+BigUint::shiftLeft(std::size_t bits) const
+{
+    if (isZero() || bits == 0)
+        return *this;
+    const std::size_t words = bits / 32;
+    const std::size_t rem = bits % 32;
+    BigUint out;
+    out.limb.assign(limb.size() + words + 1, 0);
+    for (std::size_t i = 0; i < limb.size(); ++i) {
+        out.limb[i + words] |= limb[i] << rem;
+        if (rem)
+            out.limb[i + words + 1] |=
+                static_cast<std::uint32_t>(
+                    static_cast<std::uint64_t>(limb[i]) >> (32 - rem));
+    }
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::shiftRight(std::size_t bits) const
+{
+    const std::size_t words = bits / 32;
+    const std::size_t rem = bits % 32;
+    if (words >= limb.size())
+        return BigUint();
+    BigUint out;
+    out.limb.assign(limb.size() - words, 0);
+    for (std::size_t i = 0; i < out.limb.size(); ++i) {
+        out.limb[i] = limb[i + words] >> rem;
+        if (rem && i + words + 1 < limb.size())
+            out.limb[i] |= static_cast<std::uint32_t>(
+                static_cast<std::uint64_t>(limb[i + words + 1])
+                << (32 - rem));
+    }
+    out.trim();
+    return out;
+}
+
+BigUint
+BigUint::modExp(const BigUint &exp, const BigUint &m) const
+{
+    if (m.isZero())
+        throw std::domain_error("modExp: zero modulus");
+    const BigUint one = fromU64(1);
+    if (m == one)
+        return BigUint();
+
+    BigUint result = one;
+    BigUint base = *this % m;
+    const std::size_t bits = exp.bitLength();
+    for (std::size_t i = 0; i < bits; ++i) {
+        if (exp.bit(i))
+            result = (result * base) % m;
+        base = (base * base) % m;
+    }
+    return result;
+}
+
+BigUint
+BigUint::gcd(BigUint a, BigUint b)
+{
+    while (!b.isZero()) {
+        BigUint r = a % b;
+        a = b;
+        b = r;
+    }
+    return a;
+}
+
+BigUint
+BigUint::modInverse(const BigUint &m) const
+{
+    // Extended Euclid on (m, a) tracking only the coefficient of a,
+    // with signs managed explicitly since BigUint is unsigned.
+    BigUint r0 = m, r1 = *this % m;
+    BigUint t0 = BigUint(), t1 = fromU64(1);
+    bool t0Neg = false, t1Neg = false;
+
+    while (!r1.isZero()) {
+        auto [q, r2] = divmod(r0, r1);
+        // t2 = t0 - q * t1 with sign tracking.
+        const BigUint qt1 = q * t1;
+        BigUint t2;
+        bool t2Neg;
+        if (t0Neg == t1Neg) {
+            // Same sign: t0 - q*t1 may flip sign.
+            if (t0 >= qt1) {
+                t2 = t0 - qt1;
+                t2Neg = t0Neg;
+            } else {
+                t2 = qt1 - t0;
+                t2Neg = !t0Neg;
+            }
+        } else {
+            // Opposite signs: magnitudes add, sign follows t0.
+            t2 = t0 + qt1;
+            t2Neg = t0Neg;
+        }
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t0Neg = t1Neg;
+        t1 = t2;
+        t1Neg = t2Neg;
+    }
+
+    if (r0 != fromU64(1))
+        throw std::domain_error("modInverse: not invertible");
+    if (t0Neg)
+        return m - (t0 % m);
+    return t0 % m;
+}
+
+bool
+BigUint::isProbablePrime(Rng &rng, int rounds) const
+{
+    const BigUint one = fromU64(1);
+    const BigUint two = fromU64(2);
+    const BigUint three = fromU64(3);
+    if (*this < two)
+        return false;
+    if (*this == two || *this == three)
+        return true;
+    if (!isOdd())
+        return false;
+
+    for (std::uint32_t p : kSmallPrimes) {
+        const BigUint bp = fromU64(p);
+        if (*this == bp)
+            return true;
+        if ((*this % bp).isZero())
+            return false;
+    }
+
+    // Write n-1 = d * 2^s with d odd.
+    const BigUint nMinus1 = *this - one;
+    BigUint d = nMinus1;
+    std::size_t s = 0;
+    while (!d.isOdd()) {
+        d = d.shiftRight(1);
+        ++s;
+    }
+
+    for (int round = 0; round < rounds; ++round) {
+        const BigUint a = randomBelow(nMinus1, rng);
+        BigUint x = a.modExp(d, *this);
+        if (x == one || x == nMinus1)
+            continue;
+        bool witness = true;
+        for (std::size_t i = 0; i + 1 < s; ++i) {
+            x = (x * x) % *this;
+            if (x == nMinus1) {
+                witness = false;
+                break;
+            }
+        }
+        if (witness)
+            return false;
+    }
+    return true;
+}
+
+BigUint
+BigUint::generatePrime(std::size_t bits, Rng &rng)
+{
+    if (bits < 8)
+        throw std::invalid_argument("generatePrime: too few bits");
+    for (;;) {
+        BigUint candidate = randomWithBits(bits, rng);
+        if (!candidate.isOdd())
+            candidate = candidate + fromU64(1);
+        if (candidate.bitLength() != bits)
+            continue;
+        if (candidate.isProbablePrime(rng))
+            return candidate;
+    }
+}
+
+} // namespace monatt::crypto

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Arbitrary-precision unsigned integers for RSA.
+ *
+ * A small big-integer implementation (little-endian 32-bit limbs,
+ * schoolbook multiplication, Knuth Algorithm-D division) sized for the
+ * 512-2048 bit moduli used by CloudMonatt's identity and attestation
+ * keys. Not constant time — the simulated adversary is the Dolev-Yao
+ * network attacker of §3.3, not a local timing attacker on the Trust
+ * Module, which the paper assumes is protected hardware.
+ */
+
+#ifndef MONATT_CRYPTO_BIGNUM_H
+#define MONATT_CRYPTO_BIGNUM_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace monatt::crypto
+{
+
+/** Arbitrary-precision unsigned integer. */
+class BigUint
+{
+  public:
+    /** Zero. */
+    BigUint() = default;
+
+    /** From a 64-bit value. */
+    static BigUint fromU64(std::uint64_t v);
+
+    /** From big-endian bytes (leading zeros allowed). */
+    static BigUint fromBytes(const Bytes &be);
+
+    /** From a hex string (for test fixtures). */
+    static BigUint fromHexString(const std::string &hex);
+
+    /**
+     * To big-endian bytes.
+     * @param width Pad with leading zeros to this width; 0 = minimal.
+     * @throws std::invalid_argument if the value needs more bytes.
+     */
+    Bytes toBytes(std::size_t width = 0) const;
+
+    /** Lowercase hex (minimal, "0" for zero). */
+    std::string toHexString() const;
+
+    /** Uniform random value with exactly `bits` bits (MSB set). */
+    static BigUint randomWithBits(std::size_t bits, Rng &rng);
+
+    /** Uniform random value in [2, bound-1]. */
+    static BigUint randomBelow(const BigUint &bound, Rng &rng);
+
+    bool isZero() const { return limb.empty(); }
+    bool isOdd() const { return !limb.empty() && (limb[0] & 1); }
+
+    /** Number of significant bits (0 for zero). */
+    std::size_t bitLength() const;
+
+    /** Value of bit i (0 = LSB). */
+    bool bit(std::size_t i) const;
+
+    /** Three-way comparison: -1, 0, +1. */
+    static int compare(const BigUint &a, const BigUint &b);
+
+    bool operator==(const BigUint &o) const { return compare(*this, o) == 0; }
+    bool operator!=(const BigUint &o) const { return compare(*this, o) != 0; }
+    bool operator<(const BigUint &o) const { return compare(*this, o) < 0; }
+    bool operator<=(const BigUint &o) const { return compare(*this, o) <= 0; }
+    bool operator>(const BigUint &o) const { return compare(*this, o) > 0; }
+    bool operator>=(const BigUint &o) const { return compare(*this, o) >= 0; }
+
+    BigUint operator+(const BigUint &o) const;
+
+    /** Subtraction; @throws std::underflow_error when o > *this. */
+    BigUint operator-(const BigUint &o) const;
+
+    BigUint operator*(const BigUint &o) const;
+
+    /** Quotient and remainder; @throws std::domain_error on /0. */
+    static std::pair<BigUint, BigUint> divmod(const BigUint &num,
+                                              const BigUint &den);
+
+    BigUint operator/(const BigUint &o) const;
+    BigUint operator%(const BigUint &o) const;
+
+    /** Left shift by `bits`. */
+    BigUint shiftLeft(std::size_t bits) const;
+
+    /** Right shift by `bits`. */
+    BigUint shiftRight(std::size_t bits) const;
+
+    /** (this ^ exp) mod m, square-and-multiply. */
+    BigUint modExp(const BigUint &exp, const BigUint &m) const;
+
+    /** Greatest common divisor. */
+    static BigUint gcd(BigUint a, BigUint b);
+
+    /**
+     * Modular inverse of *this mod m.
+     * @throws std::domain_error when no inverse exists.
+     */
+    BigUint modInverse(const BigUint &m) const;
+
+    /** Miller-Rabin probabilistic primality test. */
+    bool isProbablePrime(Rng &rng, int rounds = 24) const;
+
+    /** Generate a random probable prime with exactly `bits` bits. */
+    static BigUint generatePrime(std::size_t bits, Rng &rng);
+
+  private:
+    void trim();
+
+    /** Little-endian 32-bit limbs; empty == zero. */
+    std::vector<std::uint32_t> limb;
+};
+
+} // namespace monatt::crypto
+
+#endif // MONATT_CRYPTO_BIGNUM_H

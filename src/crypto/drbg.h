@@ -1,0 +1,47 @@
+/**
+ * @file
+ * HMAC-DRBG (NIST SP 800-90A) deterministic random bit generator.
+ *
+ * The Trust Module of Figure 2 contains an RNG block used to generate
+ * nonces and per-session attestation keys. We model it as an
+ * HMAC-SHA-256 DRBG: cryptographically strong expansion from a seed,
+ * deterministic under a fixed seed so simulations stay reproducible,
+ * reseedable with fresh entropy.
+ */
+
+#ifndef MONATT_CRYPTO_DRBG_H
+#define MONATT_CRYPTO_DRBG_H
+
+#include "common/bytes.h"
+#include "common/rng.h"
+
+namespace monatt::crypto
+{
+
+/** HMAC-SHA-256 based DRBG. */
+class HmacDrbg
+{
+  public:
+    /** Instantiate from seed material (entropy || nonce || personal). */
+    explicit HmacDrbg(const Bytes &seedMaterial);
+
+    /** Mix additional entropy into the state. */
+    void reseed(const Bytes &entropy);
+
+    /** Generate `n` pseudo-random bytes. */
+    Bytes generate(std::size_t n);
+
+    /** Adapter: expose the DRBG through the common Rng interface by
+     * producing a freshly seeded deterministic Rng. */
+    Rng forkRng();
+
+  private:
+    void update(const Bytes &providedData);
+
+    Bytes key;
+    Bytes value;
+};
+
+} // namespace monatt::crypto
+
+#endif // MONATT_CRYPTO_DRBG_H

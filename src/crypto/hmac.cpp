@@ -1,0 +1,72 @@
+#include "crypto/hmac.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace monatt::crypto
+{
+
+Bytes
+hmacSha256(const Bytes &key, const Bytes &data)
+{
+    constexpr std::size_t blockSize = 64;
+
+    Bytes k = key;
+    if (k.size() > blockSize)
+        k = Sha256::hash(k);
+    k.resize(blockSize, 0x00);
+
+    Bytes ipad(blockSize), opad(blockSize);
+    for (std::size_t i = 0; i < blockSize; ++i) {
+        ipad[i] = k[i] ^ 0x36;
+        opad[i] = k[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(ipad);
+    inner.update(data);
+    const Bytes innerDigest = inner.digest();
+
+    Sha256 outer;
+    outer.update(opad);
+    outer.update(innerDigest);
+    return outer.digest();
+}
+
+Bytes
+hkdfExtract(const Bytes &salt, const Bytes &ikm)
+{
+    if (salt.empty())
+        return hmacSha256(Bytes(kSha256DigestSize, 0x00), ikm);
+    return hmacSha256(salt, ikm);
+}
+
+Bytes
+hkdfExpand(const Bytes &prk, const Bytes &info, std::size_t length)
+{
+    if (length > 255 * kSha256DigestSize)
+        throw std::invalid_argument("hkdfExpand: length too large");
+
+    Bytes out;
+    Bytes t;
+    std::uint8_t counter = 1;
+    while (out.size() < length) {
+        Bytes block = t;
+        append(block, info);
+        block.push_back(counter++);
+        t = hmacSha256(prk, block);
+        append(out, t);
+    }
+    out.resize(length);
+    return out;
+}
+
+Bytes
+hkdf(const Bytes &salt, const Bytes &ikm, const Bytes &info,
+     std::size_t length)
+{
+    return hkdfExpand(hkdfExtract(salt, ikm), info, length);
+}
+
+} // namespace monatt::crypto

@@ -1,0 +1,210 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace monatt::crypto
+{
+
+namespace
+{
+
+/**
+ * DER-style prefix identifying SHA-256 inside the EMSA padding, as in
+ * PKCS#1 v1.5 (RFC 8017 §9.2 notes).
+ */
+const Bytes kSha256Prefix = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65,
+    0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20,
+};
+
+/** Build the EMSA-PKCS1-v1_5 encoded message of length emLen. */
+Bytes
+emsaEncode(const Bytes &digest, std::size_t emLen)
+{
+    const std::size_t tLen = kSha256Prefix.size() + digest.size();
+    if (emLen < tLen + 11)
+        throw std::invalid_argument("emsaEncode: modulus too small");
+    Bytes em;
+    em.reserve(emLen);
+    em.push_back(0x00);
+    em.push_back(0x01);
+    em.insert(em.end(), emLen - tLen - 3, 0xff);
+    em.push_back(0x00);
+    em.insert(em.end(), kSha256Prefix.begin(), kSha256Prefix.end());
+    em.insert(em.end(), digest.begin(), digest.end());
+    return em;
+}
+
+} // namespace
+
+Bytes
+RsaPublicKey::encode() const
+{
+    ByteWriter w;
+    w.putBytes(n.toBytes());
+    w.putBytes(e.toBytes());
+    return w.take();
+}
+
+Result<RsaPublicKey>
+RsaPublicKey::decode(const Bytes &data)
+{
+    ByteReader r(data);
+    auto nBytes = r.getBytes();
+    if (!nBytes)
+        return Result<RsaPublicKey>::error("RsaPublicKey: bad modulus");
+    auto eBytes = r.getBytes();
+    if (!eBytes)
+        return Result<RsaPublicKey>::error("RsaPublicKey: bad exponent");
+    if (!r.atEnd())
+        return Result<RsaPublicKey>::error("RsaPublicKey: trailing bytes");
+    RsaPublicKey key;
+    key.n = BigUint::fromBytes(nBytes.value());
+    key.e = BigUint::fromBytes(eBytes.value());
+    if (key.n.isZero() || key.e.isZero())
+        return Result<RsaPublicKey>::error("RsaPublicKey: zero component");
+    return Result<RsaPublicKey>::ok(std::move(key));
+}
+
+BigUint
+RsaPrivateKey::decryptRaw(const BigUint &c) const
+{
+    if (p.isZero() || q.isZero()) {
+        // No CRT components available: plain exponentiation.
+        return c.modExp(d, n);
+    }
+    // CRT: m1 = c^dP mod p, m2 = c^dQ mod q,
+    // h = qInv (m1 - m2) mod p, m = m2 + h q.
+    const BigUint m1 = (c % p).modExp(dP, p);
+    const BigUint m2 = (c % q).modExp(dQ, q);
+    BigUint diff;
+    if (m1 >= m2)
+        diff = m1 - m2;
+    else
+        diff = p - ((m2 - m1) % p);
+    const BigUint h = (qInv * diff) % p;
+    return m2 + h * q;
+}
+
+RsaKeyPair
+rsaGenerateKeyPair(std::size_t modulusBits, Rng &rng)
+{
+    if (modulusBits < 256 || modulusBits % 2 != 0)
+        throw std::invalid_argument("rsaGenerateKeyPair: bad key size");
+
+    const BigUint e = BigUint::fromU64(65537);
+    const BigUint one = BigUint::fromU64(1);
+
+    for (;;) {
+        BigUint p = BigUint::generatePrime(modulusBits / 2, rng);
+        BigUint q = BigUint::generatePrime(modulusBits / 2, rng);
+        if (p == q)
+            continue;
+        if (p < q)
+            std::swap(p, q);
+
+        const BigUint n = p * q;
+        if (n.bitLength() != modulusBits)
+            continue;
+
+        const BigUint pMinus1 = p - one;
+        const BigUint qMinus1 = q - one;
+        const BigUint phi = pMinus1 * qMinus1;
+        if (BigUint::gcd(e, phi) != one)
+            continue;
+
+        RsaKeyPair pair;
+        pair.pub.n = n;
+        pair.pub.e = e;
+        pair.priv.n = n;
+        pair.priv.d = e.modInverse(phi);
+        pair.priv.p = p;
+        pair.priv.q = q;
+        pair.priv.dP = pair.priv.d % pMinus1;
+        pair.priv.dQ = pair.priv.d % qMinus1;
+        pair.priv.qInv = q.modInverse(p);
+        return pair;
+    }
+}
+
+Bytes
+rsaSign(const RsaPrivateKey &key, const Bytes &message)
+{
+    const std::size_t k = (key.n.bitLength() + 7) / 8;
+    const Bytes em = emsaEncode(Sha256::hash(message), k);
+    const BigUint m = BigUint::fromBytes(em);
+    return key.decryptRaw(m).toBytes(k);
+}
+
+bool
+rsaVerify(const RsaPublicKey &key, const Bytes &message,
+          const Bytes &signature)
+{
+    const std::size_t k = key.modulusBytes();
+    if (signature.size() != k)
+        return false;
+    const BigUint s = BigUint::fromBytes(signature);
+    if (s >= key.n)
+        return false;
+    const Bytes em = s.modExp(key.e, key.n).toBytes(k);
+    Bytes expected;
+    try {
+        expected = emsaEncode(Sha256::hash(message), k);
+    } catch (const std::invalid_argument &) {
+        return false;
+    }
+    return constantTimeEqual(em, expected);
+}
+
+Result<Bytes>
+rsaEncrypt(const RsaPublicKey &key, const Bytes &message, Rng &rng)
+{
+    const std::size_t k = key.modulusBytes();
+    if (message.size() + 11 > k)
+        return Result<Bytes>::error("rsaEncrypt: message too long");
+
+    // EME-PKCS1-v1_5: 00 || 02 || nonzero padding || 00 || message.
+    Bytes em;
+    em.reserve(k);
+    em.push_back(0x00);
+    em.push_back(0x02);
+    const std::size_t padLen = k - message.size() - 3;
+    for (std::size_t i = 0; i < padLen; ++i) {
+        std::uint8_t b;
+        do {
+            b = static_cast<std::uint8_t>(rng.next() & 0xff);
+        } while (b == 0);
+        em.push_back(b);
+    }
+    em.push_back(0x00);
+    em.insert(em.end(), message.begin(), message.end());
+
+    const BigUint m = BigUint::fromBytes(em);
+    return Result<Bytes>::ok(m.modExp(key.e, key.n).toBytes(k));
+}
+
+Result<Bytes>
+rsaDecrypt(const RsaPrivateKey &key, const Bytes &cipher)
+{
+    const std::size_t k = (key.n.bitLength() + 7) / 8;
+    if (cipher.size() != k)
+        return Result<Bytes>::error("rsaDecrypt: bad ciphertext length");
+    const BigUint c = BigUint::fromBytes(cipher);
+    if (c >= key.n)
+        return Result<Bytes>::error("rsaDecrypt: ciphertext out of range");
+
+    const Bytes em = key.decryptRaw(c).toBytes(k);
+    if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02)
+        return Result<Bytes>::error("rsaDecrypt: bad padding");
+    std::size_t sep = 2;
+    while (sep < em.size() && em[sep] != 0x00)
+        ++sep;
+    if (sep == em.size() || sep < 10)
+        return Result<Bytes>::error("rsaDecrypt: bad padding");
+    return Result<Bytes>::ok(Bytes(em.begin() + sep + 1, em.end()));
+}
+
+} // namespace monatt::crypto

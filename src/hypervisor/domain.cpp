@@ -1,0 +1,91 @@
+#include "hypervisor/domain.h"
+
+#include <algorithm>
+
+#include "crypto/sha256.h"
+
+namespace monatt::hypervisor
+{
+
+std::uint32_t
+GuestOs::startProcess(const std::string &name)
+{
+    const std::uint32_t pid = nextPid++;
+    table.push_back(Process{pid, name, /*hidden=*/false});
+    return pid;
+}
+
+std::uint32_t
+GuestOs::injectHiddenMalware(const std::string &name)
+{
+    const std::uint32_t pid = nextPid++;
+    table.push_back(Process{pid, name, /*hidden=*/true});
+    return pid;
+}
+
+bool
+GuestOs::killProcess(std::uint32_t pid)
+{
+    const auto it = std::find_if(table.begin(), table.end(),
+                                 [pid](const Process &p) {
+                                     return p.pid == pid;
+                                 });
+    if (it == table.end())
+        return false;
+    table.erase(it);
+    return true;
+}
+
+std::vector<std::string>
+GuestOs::guestReportedTasks() const
+{
+    std::vector<std::string> out;
+    for (const Process &p : table) {
+        if (!p.hidden)
+            out.push_back(p.name);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<std::string>
+GuestOs::memoryTruthTasks() const
+{
+    std::vector<std::string> out;
+    for (const Process &p : table)
+        out.push_back(p.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+GuestOs::appendAuditEvent(const std::string &event)
+{
+    auditLog.push_back(event);
+    const Bytes entry = toBytes(event);
+    auditHead = crypto::Sha256::hashConcat({&auditHead, &entry});
+    ++auditCount;
+}
+
+void
+GuestOs::truncateAuditLog(std::uint64_t keep)
+{
+    if (keep >= auditLog.size())
+        return;
+    auditLog.resize(keep);
+    rebuildAuditChain();
+}
+
+void
+GuestOs::rebuildAuditChain()
+{
+    auditHead.assign(32, 0x00);
+    auditCount = 0;
+    for (const std::string &event : auditLog) {
+        const Bytes entry = toBytes(event);
+        auditHead = crypto::Sha256::hashConcat({&auditHead, &entry});
+        ++auditCount;
+    }
+}
+
+} // namespace monatt::hypervisor

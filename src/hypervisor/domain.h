@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Domains (VMs) and the guest OS model.
+ *
+ * A Domain is the hypervisor's view of one virtual machine: its vCPUs,
+ * its image, and a GuestOs model carrying a process table. The process
+ * table supports the rootkit semantics behind the runtime-integrity
+ * case study (§4.3): malware injected with `hidden = true` is omitted
+ * from the guest-reported task list (the compromised OS lies to its
+ * user) but remains visible to the hypervisor-level VM Introspection
+ * Tool, which reads the "memory truth" — exactly the discrepancy the
+ * Attestation Server's interpreter flags.
+ */
+
+#ifndef MONATT_HYPERVISOR_DOMAIN_H
+#define MONATT_HYPERVISOR_DOMAIN_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "hypervisor/scheduler.h"
+
+namespace monatt::hypervisor
+{
+
+/** One process inside a guest OS. */
+struct Process
+{
+    std::uint32_t pid = 0;
+    std::string name;
+    bool hidden = false; //!< Rootkit-style: hidden from guest queries.
+};
+
+/** Guest operating-system model. */
+class GuestOs
+{
+  public:
+    /** Start a (visible) process; returns its pid. */
+    std::uint32_t startProcess(const std::string &name);
+
+    /** Inject malware that hides itself from guest-level queries. */
+    std::uint32_t injectHiddenMalware(const std::string &name);
+
+    /** Kill a process by pid; true when it existed. */
+    bool killProcess(std::uint32_t pid);
+
+    /**
+     * The task list as the (possibly compromised) guest OS reports it
+     * to its own user: hidden processes are omitted.
+     */
+    std::vector<std::string> guestReportedTasks() const;
+
+    /**
+     * The true task list as reconstructed from guest memory by a
+     * hypervisor-level introspection tool: nothing can hide.
+     */
+    std::vector<std::string> memoryTruthTasks() const;
+
+    /** All process records (for tests). */
+    const std::vector<Process> &processes() const { return table; }
+
+    // --- Append-only audit log (hash chain) --------------------------
+
+    /** Append an audit event; extends the hash chain head. */
+    void appendAuditEvent(const std::string &event);
+
+    /** Hash-chain head over all audit entries. */
+    const Bytes &auditLogHead() const { return auditHead; }
+
+    /** Raw audit entries (migration state transfer). */
+    const std::vector<std::string> &auditLogEntries() const
+    {
+        return auditLog;
+    }
+
+    /** Number of audit entries. */
+    std::uint64_t auditLogLength() const { return auditCount; }
+
+    /**
+     * Attack injection: truncate the log to `keep` entries and
+     * recompute the chain — what malware does to hide its tracks.
+     */
+    void truncateAuditLog(std::uint64_t keep);
+
+  private:
+    void rebuildAuditChain();
+
+    std::vector<Process> table;
+    std::uint32_t nextPid = 100;
+    std::vector<std::string> auditLog;
+    Bytes auditHead = Bytes(32, 0x00);
+    std::uint64_t auditCount = 0;
+};
+
+/** The hypervisor's record of one VM. */
+struct Domain
+{
+    DomainId id = -1;
+    std::string name;
+    std::vector<VCpuId> vcpus;
+    Bytes imageDigest;    //!< SHA-256 of the launched image.
+    GuestOs guestOs;
+    bool running = true;
+};
+
+} // namespace monatt::hypervisor
+
+#endif // MONATT_HYPERVISOR_DOMAIN_H

@@ -1,0 +1,52 @@
+#include "net/message.h"
+
+#include "common/codec.h"
+
+namespace monatt::net
+{
+
+Bytes
+Envelope::encode() const
+{
+    ByteWriter w;
+    w.putString(src);
+    w.putString(dst);
+    w.putString(channel);
+    w.putU64(seq);
+    w.putBytes(payload);
+    w.putU64(bulkBytes);
+    return w.take();
+}
+
+Result<Envelope>
+Envelope::decode(const Bytes &wire)
+{
+    ByteReader r(wire);
+    Envelope env;
+    auto src = r.getString();
+    auto dst = r.getString();
+    auto channel = r.getString();
+    auto seq = r.getU64();
+    auto payload = r.getBytes();
+    auto bulk = r.getU64();
+    if (!src || !dst || !channel || !seq || !payload || !bulk ||
+        !r.atEnd()) {
+        return Result<Envelope>::error("Envelope: malformed wire bytes");
+    }
+    env.bulkBytes = bulk.value();
+    env.src = src.take();
+    env.dst = dst.take();
+    env.channel = channel.take();
+    env.seq = seq.value();
+    env.payload = payload.take();
+    return Result<Envelope>::ok(std::move(env));
+}
+
+std::size_t
+Envelope::wireSize() const
+{
+    return src.size() + dst.size() + channel.size() + 8 + 16 +
+           payload.size() + bulkBytes;
+}
+
+} // namespace monatt::net

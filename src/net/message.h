@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Network message envelope.
+ *
+ * Every datagram on the simulated cloud network is an Envelope: source
+ * and destination node ids, a logical channel tag, a sequence number
+ * and an opaque payload. The payload of protocol messages is a sealed
+ * SecureChannel record; the envelope header itself is deliberately
+ * unauthenticated — exactly the part of the message the Dolev-Yao
+ * adversary of §3.3 is free to observe and forge, so tests can check
+ * that all real protection comes from the cryptographic layers above.
+ */
+
+#ifndef MONATT_NET_MESSAGE_H
+#define MONATT_NET_MESSAGE_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace monatt::net
+{
+
+/** Node identifier on the simulated network. */
+using NodeId = std::string;
+
+/** One datagram. */
+struct Envelope
+{
+    NodeId src;
+    NodeId dst;
+    std::string channel; //!< Logical channel tag (e.g. "attest").
+    std::uint64_t seq = 0;
+    Bytes payload;
+
+    /**
+     * Bulk payload size in bytes, modeled but not materialized: a VM
+     * image fetch or a migration RAM copy is gigabytes on the wire —
+     * this field charges the link's bandwidth for those bytes without
+     * allocating them.
+     */
+    std::uint64_t bulkBytes = 0;
+
+    /** Serialize to wire bytes. */
+    Bytes encode() const;
+
+    /** Parse from wire bytes; error on malformed input. */
+    static Result<Envelope> decode(const Bytes &wire);
+
+    /** Total wire size in bytes (for bandwidth modeling). */
+    std::size_t wireSize() const;
+};
+
+} // namespace monatt::net
+
+#endif // MONATT_NET_MESSAGE_H

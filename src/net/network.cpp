@@ -1,0 +1,91 @@
+#include "net/network.h"
+
+#include "common/logging.h"
+
+namespace monatt::net
+{
+
+void
+Network::registerNode(const NodeId &id, Handler handler)
+{
+    nodes[id] = std::move(handler);
+}
+
+void
+Network::unregisterNode(const NodeId &id)
+{
+    nodes.erase(id);
+}
+
+void
+Network::setLink(const NodeId &a, const NodeId &b, LinkParams params)
+{
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    links[key] = params;
+}
+
+const LinkParams &
+Network::linkBetween(const NodeId &a, const NodeId &b) const
+{
+    const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+    const auto it = links.find(key);
+    return it == links.end() ? defaultLink : it->second;
+}
+
+SimTime
+Network::transferTime(const NodeId &a, const NodeId &b,
+                      std::size_t bytes) const
+{
+    const LinkParams &link = linkBetween(a, b);
+    // bits / (Mbit/s) = microseconds.
+    const double serialization =
+        static_cast<double>(bytes) * 8.0 / link.megabitsPerSecond;
+    return link.latency + static_cast<SimTime>(serialization);
+}
+
+void
+Network::send(Envelope env)
+{
+    ++counters.sent;
+    counters.bytesSent += env.wireSize();
+
+    if (adversary) {
+        std::optional<Envelope> verdict = adversary(env);
+        if (!verdict) {
+            ++counters.droppedByAdversary;
+            MONATT_LOG(Debug, "net") << "adversary dropped " << env.channel
+                                     << " " << env.src << "->" << env.dst;
+            return;
+        }
+        if (verdict->encode() != env.encode())
+            ++counters.modifiedByAdversary;
+        env = std::move(*verdict);
+    }
+    deliver(std::move(env));
+}
+
+void
+Network::inject(Envelope env)
+{
+    ++counters.injected;
+    deliver(std::move(env));
+}
+
+void
+Network::deliver(Envelope env)
+{
+    const SimTime delay = transferTime(env.src, env.dst, env.wireSize());
+    events.scheduleAfter(delay, [this, env = std::move(env)]() {
+        const auto it = nodes.find(env.dst);
+        if (it == nodes.end()) {
+            ++counters.undeliverable;
+            MONATT_LOG(Warn, "net") << "undeliverable datagram to "
+                                    << env.dst;
+            return;
+        }
+        ++counters.delivered;
+        it->second(env);
+    }, "net.deliver");
+}
+
+} // namespace monatt::net

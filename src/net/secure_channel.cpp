@@ -1,0 +1,284 @@
+#include "net/secure_channel.h"
+
+#include <stdexcept>
+
+#include "common/codec.h"
+#include "crypto/aes.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace monatt::net
+{
+
+namespace
+{
+
+constexpr std::uint8_t kDirClientToServer = 0x01;
+constexpr std::uint8_t kDirServerToClient = 0x02;
+const char *kKdfInfo = "monatt-ssl-v1";
+
+/** Hash of the signed portion of a ClientHello. */
+Bytes
+clientTranscript(const std::string &clientId, const std::string &serverId,
+                 const Bytes &clientNonce, const Bytes &clientPub,
+                 const Bytes &encPremaster)
+{
+    ByteWriter w;
+    w.putString("client-hello");
+    w.putString(clientId);
+    w.putString(serverId);
+    w.putBytes(clientNonce);
+    w.putBytes(clientPub);
+    w.putBytes(encPremaster);
+    return crypto::Sha256::hash(w.data());
+}
+
+/** Hash of the signed portion of a ServerHello. */
+Bytes
+serverTranscript(const Bytes &clientTranscriptHash,
+                 const Bytes &serverNonce)
+{
+    ByteWriter w;
+    w.putString("server-hello");
+    w.putBytes(clientTranscriptHash);
+    w.putBytes(serverNonce);
+    return crypto::Sha256::hash(w.data());
+}
+
+
+/** 12-byte CTR nonce derived from the record sequence number. */
+Bytes
+seqNonce(std::uint64_t seq)
+{
+    Bytes nonce(12, 0x00);
+    for (int i = 0; i < 8; ++i)
+        nonce[4 + i] = static_cast<std::uint8_t>(seq >> (8 * i));
+    return nonce;
+}
+
+} // namespace
+
+Bytes
+SecureChannel::macInput(std::uint8_t direction, std::uint64_t seq,
+                        const Bytes &ciphertext) const
+{
+    ByteWriter w;
+    w.putBytes(sid);
+    w.putU8(direction);
+    w.putU64(seq);
+    w.putBytes(ciphertext);
+    return w.take();
+}
+
+void
+SecureChannel::derive(SecureChannel &ch, const Bytes &premaster,
+                      const Bytes &clientNonce, const Bytes &serverNonce,
+                      bool isClient)
+{
+    Bytes salt = clientNonce;
+    append(salt, serverNonce);
+    const Bytes material = crypto::hkdf(salt, premaster,
+                                        toBytes(kKdfInfo), 16 + 96);
+    ch.sid = Bytes(material.begin(), material.begin() + 16);
+    const Bytes c2sEnc(material.begin() + 16, material.begin() + 32);
+    const Bytes c2sMac(material.begin() + 32, material.begin() + 64);
+    const Bytes s2cEnc(material.begin() + 64, material.begin() + 80);
+    const Bytes s2cMac(material.begin() + 80, material.begin() + 112);
+
+    if (isClient) {
+        ch.sendEncKey = c2sEnc;
+        ch.sendMacKey = c2sMac;
+        ch.recvEncKey = s2cEnc;
+        ch.recvMacKey = s2cMac;
+        ch.sendDirection = kDirClientToServer;
+        ch.recvDirection = kDirServerToClient;
+    } else {
+        ch.sendEncKey = s2cEnc;
+        ch.sendMacKey = s2cMac;
+        ch.recvEncKey = c2sEnc;
+        ch.recvMacKey = c2sMac;
+        ch.sendDirection = kDirServerToClient;
+        ch.recvDirection = kDirClientToServer;
+    }
+    ch.ready = true;
+}
+
+Bytes
+SecureChannel::seal(const Bytes &plaintext)
+{
+    if (!ready)
+        throw std::logic_error("SecureChannel::seal: not established");
+
+    const std::uint64_t seq = ++sendSeq;
+    const crypto::Aes128 aes(sendEncKey);
+    const Bytes ciphertext = aes.ctrTransform(seqNonce(seq), plaintext);
+    const Bytes mac = crypto::hmacSha256(
+        sendMacKey, macInput(sendDirection, seq, ciphertext));
+
+    ByteWriter w;
+    w.putU64(seq);
+    w.putBytes(ciphertext);
+    w.putRaw(mac);
+    return w.take();
+}
+
+Result<Bytes>
+SecureChannel::open(const Bytes &record)
+{
+    if (!ready)
+        return Result<Bytes>::error("channel not established");
+
+    ByteReader r(record);
+    auto seq = r.getU64();
+    auto ciphertext = r.getBytes();
+    if (!seq || !ciphertext)
+        return Result<Bytes>::error("malformed record framing");
+    auto mac = r.getRaw(crypto::kSha256DigestSize);
+    if (!mac || !r.atEnd())
+        return Result<Bytes>::error("malformed record MAC");
+
+    const Bytes expected = crypto::hmacSha256(
+        recvMacKey, macInput(recvDirection, seq.value(),
+                             ciphertext.value()));
+    if (!constantTimeEqual(expected, mac.value()))
+        return Result<Bytes>::error("record MAC verification failed");
+
+    // Replay / reorder protection: sequence must strictly increase.
+    if (sawRecv && seq.value() <= lastRecvSeq)
+        return Result<Bytes>::error("replayed or reordered record");
+    lastRecvSeq = seq.value();
+    sawRecv = true;
+
+    const crypto::Aes128 aes(recvEncKey);
+    return Result<Bytes>::ok(
+        aes.ctrTransform(seqNonce(seq.value()), ciphertext.value()));
+}
+
+ClientHandshake::ClientHandshake(std::string clientId,
+                                 std::string serverId,
+                                 const crypto::RsaKeyPair &clientKeys,
+                                 const crypto::RsaPublicKey &serverPub,
+                                 crypto::HmacDrbg &drbg)
+    : client(std::move(clientId)), server(std::move(serverId)),
+      serverPublic(serverPub)
+{
+    clientNonce = drbg.generate(32);
+    premaster = drbg.generate(32);
+
+    Rng padRng = drbg.forkRng();
+    auto encPremaster = crypto::rsaEncrypt(serverPublic, premaster,
+                                           padRng);
+    if (!encPremaster)
+        throw std::logic_error("ClientHandshake: premaster encryption "
+                               "failed: " + encPremaster.errorMessage());
+
+    const Bytes clientPub = clientKeys.pub.encode();
+    transcriptHash = clientTranscript(client, server, clientNonce,
+                                      clientPub, encPremaster.value());
+    const Bytes signature = crypto::rsaSign(clientKeys.priv,
+                                            transcriptHash);
+
+    ByteWriter w;
+    w.putString(client);
+    w.putBytes(clientNonce);
+    w.putBytes(clientPub);
+    w.putBytes(encPremaster.value());
+    w.putBytes(signature);
+    hello = w.take();
+}
+
+Result<SecureChannel>
+ClientHandshake::finish(const Bytes &serverHello)
+{
+    ByteReader r(serverHello);
+    auto serverNonce = r.getBytes();
+    auto signature = r.getBytes();
+    auto verifyData = r.getBytes();
+    if (!serverNonce || !signature || !verifyData || !r.atEnd())
+        return Result<SecureChannel>::error("malformed ServerHello");
+
+    const Bytes toSign = serverTranscript(transcriptHash,
+                                          serverNonce.value());
+    if (!crypto::rsaVerify(serverPublic, toSign, signature.value()))
+        return Result<SecureChannel>::error(
+            "server identity signature verification failed");
+
+    SecureChannel channel;
+    SecureChannel::derive(channel, premaster, clientNonce,
+                          serverNonce.value(), /*isClient=*/true);
+
+    // Check the server's key-confirmation MAC: proves the server could
+    // actually decrypt the premaster (not just sign a transcript).
+    const Bytes expected = crypto::hmacSha256(
+        channel.recvMacKey, toBytes("server-finished"));
+    if (!constantTimeEqual(expected, verifyData.value()))
+        return Result<SecureChannel>::error(
+            "server key-confirmation failed");
+
+    return Result<SecureChannel>::ok(std::move(channel));
+}
+
+ServerHandshake::ServerHandshake(std::string serverId,
+                                 const crypto::RsaKeyPair &serverKeys,
+                                 crypto::HmacDrbg &drbg)
+    : server(std::move(serverId)), keys(serverKeys), rng(drbg)
+{
+}
+
+Result<ServerHandshake::Accepted>
+ServerHandshake::accept(const Bytes &clientHello,
+                        const crypto::RsaPublicKey &expectedClientPub)
+{
+    using R = Result<Accepted>;
+
+    ByteReader r(clientHello);
+    auto clientId = r.getString();
+    auto clientNonce = r.getBytes();
+    auto clientPub = r.getBytes();
+    auto encPremaster = r.getBytes();
+    auto signature = r.getBytes();
+    if (!clientId || !clientNonce || !clientPub || !encPremaster ||
+        !signature || !r.atEnd()) {
+        return R::error("malformed ClientHello");
+    }
+
+    auto claimedPub = crypto::RsaPublicKey::decode(clientPub.value());
+    if (!claimedPub)
+        return R::error("ClientHello: bad public key encoding");
+    if (!(claimedPub.value() == expectedClientPub))
+        return R::error("ClientHello: unexpected client identity key");
+
+    const Bytes transcript = clientTranscript(
+        clientId.value(), server, clientNonce.value(), clientPub.value(),
+        encPremaster.value());
+    if (!crypto::rsaVerify(expectedClientPub, transcript,
+                           signature.value())) {
+        return R::error("client identity signature verification failed");
+    }
+
+    auto premaster = crypto::rsaDecrypt(keys.priv, encPremaster.value());
+    if (!premaster)
+        return R::error("premaster decryption failed");
+
+    const Bytes serverNonce = rng.generate(32);
+    const Bytes toSign = serverTranscript(transcript, serverNonce);
+    const Bytes serverSig = crypto::rsaSign(keys.priv, toSign);
+
+    Accepted out;
+    SecureChannel::derive(out.channel, premaster.value(),
+                          clientNonce.value(), serverNonce,
+                          /*isClient=*/false);
+    out.clientId = clientId.value();
+
+    const Bytes verifyData = crypto::hmacSha256(
+        out.channel.sendMacKey, toBytes("server-finished"));
+
+    ByteWriter w;
+    w.putBytes(serverNonce);
+    w.putBytes(serverSig);
+    w.putBytes(verifyData);
+    out.reply = w.take();
+    return R::ok(std::move(out));
+}
+
+} // namespace monatt::net

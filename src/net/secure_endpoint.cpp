@@ -1,0 +1,216 @@
+#include "net/secure_endpoint.h"
+
+#include "common/logging.h"
+
+namespace monatt::net
+{
+
+namespace
+{
+
+/** Channel tags: "ssl-hello:<initiator>", "ssl-accept:<initiator>",
+ * "data-out:<initiator>" (initiator→responder data),
+ * "data-back:<initiator>" (responder→initiator data). */
+const char *kHelloTag = "ssl-hello";
+const char *kAcceptTag = "ssl-accept";
+const char *kDataOutTag = "data-out";
+const char *kDataBackTag = "data-back";
+
+} // namespace
+
+void
+KeyDirectory::publish(const NodeId &id, const crypto::RsaPublicKey &key)
+{
+    keys[id] = key;
+}
+
+Result<crypto::RsaPublicKey>
+KeyDirectory::lookup(const NodeId &id) const
+{
+    const auto it = keys.find(id);
+    if (it == keys.end())
+        return Result<crypto::RsaPublicKey>::error(
+            "KeyDirectory: unknown node " + id);
+    return Result<crypto::RsaPublicKey>::ok(it->second);
+}
+
+SecureEndpoint::SecureEndpoint(Network &network, NodeId id,
+                               crypto::RsaKeyPair identityKeys,
+                               const KeyDirectory &directory,
+                               const Bytes &drbgSeed)
+    : net(network), self(std::move(id)), keys(std::move(identityKeys)),
+      dir(directory), drbg(drbgSeed)
+{
+    net.registerNode(self, [this](const Envelope &env) {
+        handleDatagram(env);
+    });
+}
+
+SecureEndpoint::~SecureEndpoint()
+{
+    net.unregisterNode(self);
+}
+
+void
+SecureEndpoint::transmit(const NodeId &peer, const std::string &channelTag,
+                         const Bytes &payload, std::uint64_t bulkBytes)
+{
+    Envelope env;
+    env.src = self;
+    env.dst = peer;
+    env.channel = channelTag;
+    env.seq = ++seq;
+    env.payload = payload;
+    env.bulkBytes = bulkBytes;
+    ++counters.sent;
+    net.send(std::move(env));
+}
+
+void
+SecureEndpoint::sendSecure(const NodeId &peer, const Bytes &plaintext,
+                           std::uint64_t bulkBytes)
+{
+    auto it = outbound.find(peer);
+    if (it == outbound.end()) {
+        // Start a handshake and queue the message.
+        auto serverKey = dir.lookup(peer);
+        if (!serverKey) {
+            MONATT_LOG(Error, "endpoint")
+                << self << ": cannot reach unknown peer " << peer;
+            return;
+        }
+        OutboundChannel oc;
+        oc.handshake = std::make_unique<ClientHandshake>(
+            self, peer, keys, serverKey.value(), drbg);
+        oc.queue.emplace_back(plaintext, bulkBytes);
+        const Bytes hello = oc.handshake->helloMessage();
+        outbound.emplace(peer, std::move(oc));
+        transmit(peer, kHelloTag, hello, 0);
+        return;
+    }
+
+    OutboundChannel &oc = it->second;
+    if (oc.state == OutboundChannel::State::Handshaking) {
+        oc.queue.emplace_back(plaintext, bulkBytes);
+        return;
+    }
+    transmit(peer, kDataOutTag, oc.channel.seal(plaintext), bulkBytes);
+}
+
+bool
+SecureEndpoint::channelOpen(const NodeId &peer) const
+{
+    const auto it = outbound.find(peer);
+    return it != outbound.end() &&
+           it->second.state == OutboundChannel::State::Open;
+}
+
+void
+SecureEndpoint::handleDatagram(const Envelope &env)
+{
+    if (env.channel == kHelloTag) {
+        handleHello(env);
+    } else if (env.channel == kAcceptTag) {
+        handleAccept(env);
+    } else if (env.channel == kDataOutTag) {
+        // Peer-initiated channel, inbound data.
+        handleData(env, /*inbound=*/true);
+    } else if (env.channel == kDataBackTag) {
+        // Our channel, reply data.
+        handleData(env, /*inbound=*/false);
+    } else {
+        MONATT_LOG(Warn, "endpoint")
+            << self << ": unknown channel tag " << env.channel;
+    }
+}
+
+void
+SecureEndpoint::handleHello(const Envelope &env)
+{
+    auto clientKey = dir.lookup(env.src);
+    if (!clientKey) {
+        ++counters.rejectedHandshakes;
+        return;
+    }
+    ServerHandshake hs(self, keys, drbg);
+    auto accepted = hs.accept(env.payload, clientKey.value());
+    if (!accepted) {
+        ++counters.rejectedHandshakes;
+        MONATT_LOG(Warn, "endpoint")
+            << self << ": rejected handshake from " << env.src << ": "
+            << accepted.errorMessage();
+        return;
+    }
+    // The envelope src header is attacker-controlled, but accept()
+    // verified the hello's signature against env.src's published key,
+    // so a forged src would have failed verification above.
+    inbound[env.src] = std::move(accepted.value().channel);
+    transmit(env.src, kAcceptTag, accepted.value().reply, 0);
+}
+
+void
+SecureEndpoint::handleAccept(const Envelope &env)
+{
+    auto it = outbound.find(env.src);
+    if (it == outbound.end() ||
+        it->second.state != OutboundChannel::State::Handshaking) {
+        ++counters.rejectedHandshakes;
+        return;
+    }
+    OutboundChannel &oc = it->second;
+    auto channel = oc.handshake->finish(env.payload);
+    if (!channel) {
+        ++counters.rejectedHandshakes;
+        MONATT_LOG(Warn, "endpoint")
+            << self << ": handshake with " << env.src
+            << " failed: " << channel.errorMessage();
+        // Drop the channel attempt; queued messages are lost, callers
+        // relying on replies will observe a timeout.
+        outbound.erase(it);
+        return;
+    }
+    oc.channel = channel.take();
+    oc.handshake.reset();
+    oc.state = OutboundChannel::State::Open;
+    for (auto &[plaintext, bulk] : oc.queue)
+        transmit(env.src, kDataOutTag, oc.channel.seal(plaintext), bulk);
+    oc.queue.clear();
+}
+
+void
+SecureEndpoint::handleData(const Envelope &env, bool inboundChannel)
+{
+    SecureChannel *channel = nullptr;
+    if (inboundChannel) {
+        auto it = inbound.find(env.src);
+        if (it != inbound.end())
+            channel = &it->second;
+    } else {
+        auto it = outbound.find(env.src);
+        if (it != outbound.end() &&
+            it->second.state == OutboundChannel::State::Open) {
+            channel = &it->second.channel;
+        }
+    }
+    if (!channel) {
+        ++counters.rejectedRecords;
+        MONATT_LOG(Warn, "endpoint")
+            << self << ": data on unestablished channel from "
+            << env.src;
+        return;
+    }
+
+    auto plaintext = channel->open(env.payload);
+    if (!plaintext) {
+        ++counters.rejectedRecords;
+        MONATT_LOG(Warn, "endpoint")
+            << self << ": rejected record from " << env.src << ": "
+            << plaintext.errorMessage();
+        return;
+    }
+    ++counters.received;
+    if (handler_)
+        handler_(env.src, plaintext.value());
+}
+
+} // namespace monatt::net

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * SecureEndpoint: an entity's network identity plus its managed
+ * secure channels.
+ *
+ * Each CloudMonatt entity (customer, Cloud Controller, Attestation
+ * Server, privacy CA, each Cloud Server) owns one SecureEndpoint. It
+ * registers the entity on the simulated network, establishes
+ * SSL-like channels lazily (one per ordered peer pair, so crossed
+ * handshakes never conflict), queues outbound messages while a
+ * handshake is in flight, and delivers authenticated-decrypted
+ * plaintexts to the entity's message handler. Peer identity keys come
+ * from a KeyDirectory — the certificate infrastructure the paper
+ * assumes ("this is minimally what is required for SSL support, and
+ * is already present in all cloud servers").
+ */
+
+#ifndef MONATT_NET_SECURE_ENDPOINT_H
+#define MONATT_NET_SECURE_ENDPOINT_H
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "crypto/drbg.h"
+#include "crypto/rsa.h"
+#include "net/network.h"
+#include "net/secure_channel.h"
+
+namespace monatt::net
+{
+
+/** Trusted directory of long-term identity public keys. */
+class KeyDirectory
+{
+  public:
+    /** Register (or replace) a node's public identity key. */
+    void publish(const NodeId &id, const crypto::RsaPublicKey &key);
+
+    /** Look up a key; error when the node is unknown. */
+    Result<crypto::RsaPublicKey> lookup(const NodeId &id) const;
+
+    /** True when the node has a published key. */
+    bool has(const NodeId &id) const { return keys.count(id) != 0; }
+
+  private:
+    std::map<NodeId, crypto::RsaPublicKey> keys;
+};
+
+/** Per-endpoint delivery statistics (attack-visible effects). */
+struct EndpointStats
+{
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::uint64_t rejectedRecords = 0;   //!< MAC/replay/decode failures.
+    std::uint64_t rejectedHandshakes = 0;
+};
+
+/** An entity's secure network attachment. */
+class SecureEndpoint
+{
+  public:
+    /** Plaintext delivery: (peer id, message bytes). */
+    using MessageHandler =
+        std::function<void(const NodeId &, const Bytes &)>;
+
+    /**
+     * @param network The fabric to attach to.
+     * @param id This entity's node id.
+     * @param identityKeys Long-term identity key pair.
+     * @param directory Shared key directory (must outlive this).
+     * @param drbgSeed Seed for this endpoint's randomness.
+     */
+    SecureEndpoint(Network &network, NodeId id,
+                   crypto::RsaKeyPair identityKeys,
+                   const KeyDirectory &directory, const Bytes &drbgSeed);
+
+    ~SecureEndpoint();
+
+    SecureEndpoint(const SecureEndpoint &) = delete;
+    SecureEndpoint &operator=(const SecureEndpoint &) = delete;
+
+    /** Install the plaintext message handler. */
+    void onMessage(MessageHandler handler)
+    {
+        handler_ = std::move(handler);
+    }
+
+    /**
+     * Send `plaintext` to `peer` over a secure channel, establishing
+     * one first if needed (messages queue during the handshake).
+     *
+     * @param bulkBytes Size of modeled bulk data accompanying the
+     *        message (charged to link bandwidth).
+     */
+    void sendSecure(const NodeId &peer, const Bytes &plaintext,
+                    std::uint64_t bulkBytes = 0);
+
+    /** This endpoint's node id. */
+    const NodeId &id() const { return self; }
+
+    /** Delivery statistics. */
+    const EndpointStats &stats() const { return counters; }
+
+    /** True when a channel to `peer` (initiated by us) is open. */
+    bool channelOpen(const NodeId &peer) const;
+
+  private:
+    struct OutboundChannel
+    {
+        enum class State { Handshaking, Open } state = State::Handshaking;
+        std::unique_ptr<ClientHandshake> handshake;
+        SecureChannel channel;
+        std::deque<std::pair<Bytes, std::uint64_t>> queue;
+    };
+
+    void handleDatagram(const Envelope &env);
+    void handleHello(const Envelope &env);
+    void handleAccept(const Envelope &env);
+    void handleData(const Envelope &env, bool inbound);
+    void transmit(const NodeId &peer, const std::string &channelTag,
+                  const Bytes &payload, std::uint64_t bulkBytes);
+
+    Network &net;
+    NodeId self;
+    crypto::RsaKeyPair keys;
+    const KeyDirectory &dir;
+    crypto::HmacDrbg drbg;
+    MessageHandler handler_;
+
+    /** Channels we initiated, keyed by peer. */
+    std::map<NodeId, OutboundChannel> outbound;
+
+    /** Channels peers initiated toward us, keyed by peer. */
+    std::map<NodeId, SecureChannel> inbound;
+
+    std::uint64_t seq = 0;
+    EndpointStats counters;
+};
+
+} // namespace monatt::net
+
+#endif // MONATT_NET_SECURE_ENDPOINT_H

@@ -1,0 +1,192 @@
+#include "proto/measurement.h"
+
+#include "common/codec.h"
+
+namespace monatt::proto
+{
+
+std::string
+measurementTypeName(MeasurementType t)
+{
+    switch (t) {
+      case MeasurementType::PlatformPcrs:
+        return "platform-pcrs";
+      case MeasurementType::VmImageDigest:
+        return "vm-image-digest";
+      case MeasurementType::TaskListVmi:
+        return "task-list-vmi";
+      case MeasurementType::TaskListGuest:
+        return "task-list-guest";
+      case MeasurementType::UsageIntervalHistogram:
+        return "usage-interval-histogram";
+      case MeasurementType::CpuMeasure:
+        return "cpu-measure";
+      case MeasurementType::AuditLogDigest:
+        return "audit-log-digest";
+    }
+    return "unknown";
+}
+
+Bytes
+Measurement::encode() const
+{
+    ByteWriter w;
+    w.putU8(static_cast<std::uint8_t>(type));
+    w.putU32(static_cast<std::uint32_t>(strings.size()));
+    for (const std::string &s : strings)
+        w.putString(s);
+    w.putU32(static_cast<std::uint32_t>(values.size()));
+    for (std::uint64_t v : values)
+        w.putU64(v);
+    w.putBytes(digest);
+    w.putI64(windowLength);
+    return w.take();
+}
+
+Result<Measurement>
+Measurement::decode(const Bytes &data)
+{
+    using R = Result<Measurement>;
+    ByteReader r(data);
+    Measurement m;
+    auto type = r.getU8();
+    if (!type)
+        return R::error("Measurement: missing type");
+    m.type = static_cast<MeasurementType>(type.value());
+
+    auto numStrings = r.getU32();
+    if (!numStrings || numStrings.value() > 100000)
+        return R::error("Measurement: bad string count");
+    for (std::uint32_t i = 0; i < numStrings.value(); ++i) {
+        auto s = r.getString();
+        if (!s)
+            return R::error("Measurement: truncated string");
+        m.strings.push_back(s.take());
+    }
+
+    auto numValues = r.getU32();
+    if (!numValues || numValues.value() > 1000000)
+        return R::error("Measurement: bad value count");
+    for (std::uint32_t i = 0; i < numValues.value(); ++i) {
+        auto v = r.getU64();
+        if (!v)
+            return R::error("Measurement: truncated value");
+        m.values.push_back(v.value());
+    }
+
+    auto digest = r.getBytes();
+    auto window = r.getI64();
+    if (!digest || !window || !r.atEnd())
+        return R::error("Measurement: truncated trailer");
+    m.digest = digest.take();
+    m.windowLength = window.value();
+    return R::ok(std::move(m));
+}
+
+bool
+Measurement::operator==(const Measurement &o) const
+{
+    return type == o.type && strings == o.strings && values == o.values &&
+           digest == o.digest && windowLength == o.windowLength;
+}
+
+const Measurement *
+MeasurementSet::find(MeasurementType t) const
+{
+    for (const Measurement &m : items) {
+        if (m.type == t)
+            return &m;
+    }
+    return nullptr;
+}
+
+Bytes
+MeasurementSet::encode() const
+{
+    ByteWriter w;
+    w.putU32(static_cast<std::uint32_t>(items.size()));
+    for (const Measurement &m : items)
+        w.putBytes(m.encode());
+    return w.take();
+}
+
+Result<MeasurementSet>
+MeasurementSet::decode(const Bytes &data)
+{
+    using R = Result<MeasurementSet>;
+    ByteReader r(data);
+    auto count = r.getU32();
+    if (!count || count.value() > 1000)
+        return R::error("MeasurementSet: bad count");
+    MeasurementSet set;
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto blob = r.getBytes();
+        if (!blob)
+            return R::error("MeasurementSet: truncated item");
+        auto m = Measurement::decode(blob.value());
+        if (!m)
+            return R::error("MeasurementSet: " + m.errorMessage());
+        set.items.push_back(m.take());
+    }
+    if (!r.atEnd())
+        return R::error("MeasurementSet: trailing bytes");
+    return R::ok(std::move(set));
+}
+
+bool
+MeasurementSet::operator==(const MeasurementSet &o) const
+{
+    return items == o.items;
+}
+
+Bytes
+encodeRequestList(const MeasurementRequestList &rm)
+{
+    ByteWriter w;
+    w.putU32(static_cast<std::uint32_t>(rm.size()));
+    for (MeasurementType t : rm)
+        w.putU8(static_cast<std::uint8_t>(t));
+    return w.take();
+}
+
+Result<MeasurementRequestList>
+decodeRequestList(const Bytes &data)
+{
+    using R = Result<MeasurementRequestList>;
+    ByteReader r(data);
+    auto count = r.getU32();
+    if (!count || count.value() > 100)
+        return R::error("rM: bad count");
+    MeasurementRequestList rm;
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto t = r.getU8();
+        if (!t)
+            return R::error("rM: truncated");
+        rm.push_back(static_cast<MeasurementType>(t.value()));
+    }
+    if (!r.atEnd())
+        return R::error("rM: trailing bytes");
+    return R::ok(std::move(rm));
+}
+
+MeasurementRequestList
+measurementsForProperty(SecurityProperty p)
+{
+    switch (p) {
+      case SecurityProperty::StartupIntegrity:
+        return {MeasurementType::PlatformPcrs,
+                MeasurementType::VmImageDigest};
+      case SecurityProperty::RuntimeIntegrity:
+        return {MeasurementType::TaskListVmi,
+                MeasurementType::TaskListGuest};
+      case SecurityProperty::CovertChannelFreedom:
+        return {MeasurementType::UsageIntervalHistogram};
+      case SecurityProperty::CpuAvailability:
+        return {MeasurementType::CpuMeasure};
+      case SecurityProperty::AuditLogIntegrity:
+        return {MeasurementType::AuditLogDigest};
+    }
+    return {};
+}
+
+} // namespace monatt::proto

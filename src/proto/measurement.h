@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Measurements: what the Monitor Module collects and the Trust Module
+ * signs.
+ *
+ * §4.1: "The Attestation Server has a mapping of security property P
+ * to measurements M. This gives a list of measurements M that can
+ * indicate the security health with respect to the specified property
+ * P." A `MeasurementType` names one collectable quantity; a
+ * `Measurement` is one collected instance; a `MeasurementSet` is the
+ * M of Figure 3, with a canonical byte encoding — the exact bytes
+ * hashed into the quote Q3 = H(Vid || rM || M || N3).
+ */
+
+#ifndef MONATT_PROTO_MEASUREMENT_H
+#define MONATT_PROTO_MEASUREMENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/time_types.h"
+#include "proto/property.h"
+
+namespace monatt::proto
+{
+
+/** Collectable measurement kinds (the rM vocabulary). */
+enum class MeasurementType : std::uint8_t
+{
+    PlatformPcrs = 1,         //!< Hypervisor + host-OS PCR values.
+    VmImageDigest = 2,        //!< SHA-256 of the VM image as launched.
+    TaskListVmi = 3,          //!< Task list via VM introspection.
+    TaskListGuest = 4,        //!< Task list as the guest reports it.
+    UsageIntervalHistogram = 5, //!< 30 TERs of CPU-usage intervals.
+    CpuMeasure = 6,           //!< Virtual runtime in the window.
+    AuditLogDigest = 7,       //!< Hash-chain head + entry count.
+};
+
+/** Human-readable measurement-type name. */
+std::string measurementTypeName(MeasurementType t);
+
+/** One collected measurement. */
+struct Measurement
+{
+    MeasurementType type{};
+    std::vector<std::string> strings;     //!< Task lists.
+    std::vector<std::uint64_t> values;    //!< TER / counter values.
+    Bytes digest;                         //!< Hash-valued payloads.
+    SimTime windowLength = 0;             //!< Collection window.
+
+    Bytes encode() const;
+    static Result<Measurement> decode(const Bytes &data);
+
+    bool operator==(const Measurement &o) const;
+};
+
+/** The measurement vector M of Figure 3. */
+struct MeasurementSet
+{
+    std::vector<Measurement> items;
+
+    /** Find a measurement by type; nullptr when absent. */
+    const Measurement *find(MeasurementType t) const;
+
+    Bytes encode() const;
+    static Result<MeasurementSet> decode(const Bytes &data);
+
+    bool operator==(const MeasurementSet &o) const;
+};
+
+/** The requested-measurements list rM of Figure 3. */
+using MeasurementRequestList = std::vector<MeasurementType>;
+
+/** Canonical encoding of rM (hashed into Q3). */
+Bytes encodeRequestList(const MeasurementRequestList &rm);
+
+/** Decode rM. */
+Result<MeasurementRequestList> decodeRequestList(const Bytes &data);
+
+/**
+ * The property→measurement mapping of §4.1 (what the Attestation
+ * Server asks a cloud server to collect for a given property).
+ */
+MeasurementRequestList measurementsForProperty(SecurityProperty p);
+
+} // namespace monatt::proto
+
+#endif // MONATT_PROTO_MEASUREMENT_H

@@ -1,0 +1,828 @@
+#include "proto/messages.h"
+
+#include "common/codec.h"
+#include "crypto/sha256.h"
+
+namespace monatt::proto
+{
+
+namespace
+{
+
+void
+putProperties(ByteWriter &w, const std::vector<SecurityProperty> &props)
+{
+    w.putU32(static_cast<std::uint32_t>(props.size()));
+    for (SecurityProperty p : props)
+        w.putU8(static_cast<std::uint8_t>(p));
+}
+
+bool
+getProperties(ByteReader &r, std::vector<SecurityProperty> &props)
+{
+    auto count = r.getU32();
+    if (!count || count.value() > 64)
+        return false;
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto p = r.getU8();
+        if (!p)
+            return false;
+        props.push_back(static_cast<SecurityProperty>(p.value()));
+    }
+    return true;
+}
+
+Bytes
+encodeProperties(const std::vector<SecurityProperty> &props)
+{
+    ByteWriter w;
+    putProperties(w, props);
+    return w.take();
+}
+
+} // namespace
+
+Bytes
+packMessage(MessageKind kind, const Bytes &body)
+{
+    ByteWriter w;
+    w.putU8(static_cast<std::uint8_t>(kind));
+    w.putBytes(body);
+    return w.take();
+}
+
+Result<std::pair<MessageKind, Bytes>>
+unpackMessage(const Bytes &framed)
+{
+    using R = Result<std::pair<MessageKind, Bytes>>;
+    ByteReader r(framed);
+    auto kind = r.getU8();
+    auto body = r.getBytes();
+    if (!kind || !body || !r.atEnd())
+        return R::error("malformed message frame");
+    return R::ok({static_cast<MessageKind>(kind.value()), body.take()});
+}
+
+Bytes
+AttestRequest::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putString(vid);
+    putProperties(w, properties);
+    w.putBytes(nonce1);
+    w.putU8(static_cast<std::uint8_t>(mode));
+    w.putI64(period);
+    return w.take();
+}
+
+Result<AttestRequest>
+AttestRequest::decode(const Bytes &data)
+{
+    using R = Result<AttestRequest>;
+    ByteReader r(data);
+    AttestRequest m;
+    auto id = r.getU64();
+    auto vid = r.getString();
+    if (!id || !vid || !getProperties(r, m.properties))
+        return R::error("AttestRequest: malformed");
+    auto nonce = r.getBytes();
+    auto mode = r.getU8();
+    auto period = r.getI64();
+    if (!nonce || !mode || !period || !r.atEnd())
+        return R::error("AttestRequest: truncated");
+    m.requestId = id.value();
+    m.vid = vid.take();
+    m.nonce1 = nonce.take();
+    m.mode = static_cast<AttestMode>(mode.value());
+    m.period = period.value();
+    return R::ok(std::move(m));
+}
+
+Bytes
+AttestForward::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putString(vid);
+    w.putString(serverId);
+    putProperties(w, properties);
+    w.putBytes(nonce2);
+    w.putU8(static_cast<std::uint8_t>(mode));
+    w.putI64(period);
+    return w.take();
+}
+
+Result<AttestForward>
+AttestForward::decode(const Bytes &data)
+{
+    using R = Result<AttestForward>;
+    ByteReader r(data);
+    AttestForward m;
+    auto id = r.getU64();
+    auto vid = r.getString();
+    auto server = r.getString();
+    if (!id || !vid || !server || !getProperties(r, m.properties))
+        return R::error("AttestForward: malformed");
+    auto nonce = r.getBytes();
+    auto mode = r.getU8();
+    auto period = r.getI64();
+    if (!nonce || !mode || !period || !r.atEnd())
+        return R::error("AttestForward: truncated");
+    m.requestId = id.value();
+    m.vid = vid.take();
+    m.serverId = server.take();
+    m.nonce2 = nonce.take();
+    m.mode = static_cast<AttestMode>(mode.value());
+    m.period = period.value();
+    return R::ok(std::move(m));
+}
+
+Bytes
+MeasureRequest::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putString(vid);
+    w.putBytes(encodeRequestList(rm));
+    w.putBytes(nonce3);
+    w.putI64(window);
+    return w.take();
+}
+
+Result<MeasureRequest>
+MeasureRequest::decode(const Bytes &data)
+{
+    using R = Result<MeasureRequest>;
+    ByteReader r(data);
+    auto id = r.getU64();
+    auto vid = r.getString();
+    auto rmBlob = r.getBytes();
+    auto nonce = r.getBytes();
+    auto window = r.getI64();
+    if (!id || !vid || !rmBlob || !nonce || !window || !r.atEnd())
+        return R::error("MeasureRequest: malformed");
+    auto rm = decodeRequestList(rmBlob.value());
+    if (!rm)
+        return R::error("MeasureRequest: " + rm.errorMessage());
+    MeasureRequest m;
+    m.requestId = id.value();
+    m.vid = vid.take();
+    m.rm = rm.take();
+    m.nonce3 = nonce.take();
+    m.window = window.value();
+    return R::ok(std::move(m));
+}
+
+Bytes
+MeasureResponse::quoteInput(const std::string &vid,
+                            const MeasurementRequestList &rm,
+                            const MeasurementSet &m, const Bytes &nonce3)
+{
+    ByteWriter w;
+    w.putString("Q3");
+    w.putString(vid);
+    w.putBytes(encodeRequestList(rm));
+    w.putBytes(m.encode());
+    w.putBytes(nonce3);
+    return crypto::Sha256::hash(w.data());
+}
+
+Bytes
+MeasureResponse::signedPortion() const
+{
+    ByteWriter w;
+    w.putString("measure-response");
+    w.putU64(requestId);
+    w.putString(vid);
+    w.putBytes(encodeRequestList(rm));
+    w.putBytes(m.encode());
+    w.putBytes(nonce3);
+    w.putBytes(quote3);
+    return w.take();
+}
+
+Bytes
+MeasureResponse::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putString(vid);
+    w.putBytes(encodeRequestList(rm));
+    w.putBytes(m.encode());
+    w.putBytes(nonce3);
+    w.putBytes(quote3);
+    w.putBytes(signature);
+    w.putBytes(certificate);
+    return w.take();
+}
+
+Result<MeasureResponse>
+MeasureResponse::decode(const Bytes &data)
+{
+    using R = Result<MeasureResponse>;
+    ByteReader r(data);
+    auto id = r.getU64();
+    auto vid = r.getString();
+    auto rmBlob = r.getBytes();
+    auto mBlob = r.getBytes();
+    auto nonce = r.getBytes();
+    auto quote = r.getBytes();
+    auto sig = r.getBytes();
+    auto cert = r.getBytes();
+    if (!id || !vid || !rmBlob || !mBlob || !nonce || !quote || !sig ||
+        !cert || !r.atEnd()) {
+        return R::error("MeasureResponse: malformed");
+    }
+    auto rm = decodeRequestList(rmBlob.value());
+    auto m = MeasurementSet::decode(mBlob.value());
+    if (!rm || !m)
+        return R::error("MeasureResponse: bad rM or M");
+    MeasureResponse out;
+    out.requestId = id.value();
+    out.vid = vid.take();
+    out.rm = rm.take();
+    out.m = m.take();
+    out.nonce3 = nonce.take();
+    out.quote3 = quote.take();
+    out.signature = sig.take();
+    out.certificate = cert.take();
+    return R::ok(std::move(out));
+}
+
+bool
+AttestationReport::allHealthy() const
+{
+    if (results.empty())
+        return false;
+    for (const PropertyResult &pr : results) {
+        if (pr.status != HealthStatus::Healthy)
+            return false;
+    }
+    return true;
+}
+
+const PropertyResult *
+AttestationReport::find(SecurityProperty p) const
+{
+    for (const PropertyResult &pr : results) {
+        if (pr.property == p)
+            return &pr;
+    }
+    return nullptr;
+}
+
+Bytes
+AttestationReport::encode() const
+{
+    ByteWriter w;
+    w.putString(vid);
+    w.putU32(static_cast<std::uint32_t>(results.size()));
+    for (const PropertyResult &pr : results) {
+        w.putU8(static_cast<std::uint8_t>(pr.property));
+        w.putU8(static_cast<std::uint8_t>(pr.status));
+        w.putString(pr.detail);
+    }
+    w.putI64(issuedAt);
+    return w.take();
+}
+
+Result<AttestationReport>
+AttestationReport::decode(const Bytes &data)
+{
+    using R = Result<AttestationReport>;
+    ByteReader r(data);
+    AttestationReport rep;
+    auto vid = r.getString();
+    auto count = r.getU32();
+    if (!vid || !count || count.value() > 64)
+        return R::error("AttestationReport: malformed");
+    rep.vid = vid.take();
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto prop = r.getU8();
+        auto status = r.getU8();
+        auto detail = r.getString();
+        if (!prop || !status || !detail)
+            return R::error("AttestationReport: truncated result");
+        PropertyResult pr;
+        pr.property = static_cast<SecurityProperty>(prop.value());
+        pr.status = static_cast<HealthStatus>(status.value());
+        pr.detail = detail.take();
+        rep.results.push_back(std::move(pr));
+    }
+    auto at = r.getI64();
+    if (!at || !r.atEnd())
+        return R::error("AttestationReport: truncated");
+    rep.issuedAt = at.value();
+    return R::ok(std::move(rep));
+}
+
+Bytes
+ReportToController::quoteInput(const std::string &vid,
+                               const std::string &serverId,
+                               const std::vector<SecurityProperty> &props,
+                               const AttestationReport &report,
+                               const Bytes &nonce2)
+{
+    ByteWriter w;
+    w.putString("Q2");
+    w.putString(vid);
+    w.putString(serverId);
+    w.putBytes(encodeProperties(props));
+    w.putBytes(report.encode());
+    w.putBytes(nonce2);
+    return crypto::Sha256::hash(w.data());
+}
+
+Bytes
+ReportToController::signedPortion() const
+{
+    ByteWriter w;
+    w.putString("report-to-controller");
+    w.putU64(requestId);
+    w.putString(vid);
+    w.putString(serverId);
+    putProperties(w, properties);
+    w.putBytes(report.encode());
+    w.putBytes(nonce2);
+    w.putBytes(quote2);
+    return w.take();
+}
+
+Bytes
+ReportToController::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putString(vid);
+    w.putString(serverId);
+    putProperties(w, properties);
+    w.putBytes(report.encode());
+    w.putBytes(nonce2);
+    w.putBytes(quote2);
+    w.putBytes(signature);
+    return w.take();
+}
+
+Result<ReportToController>
+ReportToController::decode(const Bytes &data)
+{
+    using R = Result<ReportToController>;
+    ByteReader r(data);
+    ReportToController m;
+    auto id = r.getU64();
+    auto vid = r.getString();
+    auto server = r.getString();
+    if (!id || !vid || !server || !getProperties(r, m.properties))
+        return R::error("ReportToController: malformed");
+    auto repBlob = r.getBytes();
+    auto nonce = r.getBytes();
+    auto quote = r.getBytes();
+    auto sig = r.getBytes();
+    if (!repBlob || !nonce || !quote || !sig || !r.atEnd())
+        return R::error("ReportToController: truncated");
+    auto rep = AttestationReport::decode(repBlob.value());
+    if (!rep)
+        return R::error("ReportToController: bad report");
+    m.requestId = id.value();
+    m.vid = vid.take();
+    m.serverId = server.take();
+    m.report = rep.take();
+    m.nonce2 = nonce.take();
+    m.quote2 = quote.take();
+    m.signature = sig.take();
+    return R::ok(std::move(m));
+}
+
+Bytes
+ReportToCustomer::quoteInput(const std::string &vid,
+                             const std::vector<SecurityProperty> &props,
+                             const AttestationReport &report,
+                             const Bytes &nonce1)
+{
+    ByteWriter w;
+    w.putString("Q1");
+    w.putString(vid);
+    w.putBytes(encodeProperties(props));
+    w.putBytes(report.encode());
+    w.putBytes(nonce1);
+    return crypto::Sha256::hash(w.data());
+}
+
+Bytes
+ReportToCustomer::signedPortion() const
+{
+    ByteWriter w;
+    w.putString("report-to-customer");
+    w.putU64(requestId);
+    w.putString(vid);
+    putProperties(w, properties);
+    w.putBytes(report.encode());
+    w.putBytes(nonce1);
+    w.putBytes(quote1);
+    w.putU8(finalPeriodic ? 1 : 0);
+    return w.take();
+}
+
+Bytes
+ReportToCustomer::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putString(vid);
+    putProperties(w, properties);
+    w.putBytes(report.encode());
+    w.putBytes(nonce1);
+    w.putBytes(quote1);
+    w.putBytes(signature);
+    w.putU8(finalPeriodic ? 1 : 0);
+    return w.take();
+}
+
+Result<ReportToCustomer>
+ReportToCustomer::decode(const Bytes &data)
+{
+    using R = Result<ReportToCustomer>;
+    ByteReader r(data);
+    ReportToCustomer m;
+    auto id = r.getU64();
+    auto vid = r.getString();
+    if (!id || !vid || !getProperties(r, m.properties))
+        return R::error("ReportToCustomer: malformed");
+    auto repBlob = r.getBytes();
+    auto nonce = r.getBytes();
+    auto quote = r.getBytes();
+    auto sig = r.getBytes();
+    auto fin = r.getU8();
+    if (!repBlob || !nonce || !quote || !sig || !fin || !r.atEnd())
+        return R::error("ReportToCustomer: truncated");
+    auto rep = AttestationReport::decode(repBlob.value());
+    if (!rep)
+        return R::error("ReportToCustomer: bad report");
+    m.requestId = id.value();
+    m.vid = vid.take();
+    m.report = rep.take();
+    m.nonce1 = nonce.take();
+    m.quote1 = quote.take();
+    m.signature = sig.take();
+    m.finalPeriodic = fin.value() != 0;
+    return R::ok(std::move(m));
+}
+
+Bytes
+CertRequest::encode() const
+{
+    ByteWriter w;
+    w.putString(serverId);
+    w.putString(sessionLabel);
+    w.putBytes(avk);
+    w.putBytes(avkSignature);
+    return w.take();
+}
+
+Result<CertRequest>
+CertRequest::decode(const Bytes &data)
+{
+    using R = Result<CertRequest>;
+    ByteReader r(data);
+    auto server = r.getString();
+    auto label = r.getString();
+    auto avk = r.getBytes();
+    auto sig = r.getBytes();
+    if (!server || !label || !avk || !sig || !r.atEnd())
+        return R::error("CertRequest: malformed");
+    CertRequest m;
+    m.serverId = server.take();
+    m.sessionLabel = label.take();
+    m.avk = avk.take();
+    m.avkSignature = sig.take();
+    return R::ok(std::move(m));
+}
+
+Bytes
+CertResponse::encode() const
+{
+    ByteWriter w;
+    w.putString(sessionLabel);
+    w.putU8(ok ? 1 : 0);
+    w.putString(error);
+    w.putBytes(certificate);
+    return w.take();
+}
+
+Result<CertResponse>
+CertResponse::decode(const Bytes &data)
+{
+    using R = Result<CertResponse>;
+    ByteReader r(data);
+    auto label = r.getString();
+    auto ok = r.getU8();
+    auto error = r.getString();
+    auto cert = r.getBytes();
+    if (!label || !ok || !error || !cert || !r.atEnd())
+        return R::error("CertResponse: malformed");
+    CertResponse m;
+    m.sessionLabel = label.take();
+    m.ok = ok.value() != 0;
+    m.error = error.take();
+    m.certificate = cert.take();
+    return R::ok(std::move(m));
+}
+
+Bytes
+LaunchVm::encode() const
+{
+    ByteWriter w;
+    w.putString(vid);
+    w.putString(name);
+    w.putU32(numVcpus);
+    w.putU64(ramMb);
+    w.putU64(diskGb);
+    w.putU64(imageSizeMb);
+    w.putBytes(image);
+    w.putI64(weight);
+    return w.take();
+}
+
+Result<LaunchVm>
+LaunchVm::decode(const Bytes &data)
+{
+    using R = Result<LaunchVm>;
+    ByteReader r(data);
+    auto vid = r.getString();
+    auto name = r.getString();
+    auto vcpus = r.getU32();
+    auto ram = r.getU64();
+    auto disk = r.getU64();
+    auto imgSize = r.getU64();
+    auto image = r.getBytes();
+    auto weight = r.getI64();
+    if (!vid || !name || !vcpus || !ram || !disk || !imgSize || !image ||
+        !weight || !r.atEnd()) {
+        return R::error("LaunchVm: malformed");
+    }
+    LaunchVm m;
+    m.vid = vid.take();
+    m.name = name.take();
+    m.numVcpus = vcpus.value();
+    m.ramMb = ram.value();
+    m.diskGb = disk.value();
+    m.imageSizeMb = imgSize.value();
+    m.image = image.take();
+    m.weight = static_cast<int>(weight.value());
+    return R::ok(std::move(m));
+}
+
+Bytes
+LaunchVmAck::encode() const
+{
+    ByteWriter w;
+    w.putString(vid);
+    w.putU8(ok ? 1 : 0);
+    w.putString(error);
+    w.putBytes(imageDigest);
+    return w.take();
+}
+
+Result<LaunchVmAck>
+LaunchVmAck::decode(const Bytes &data)
+{
+    using R = Result<LaunchVmAck>;
+    ByteReader r(data);
+    auto vid = r.getString();
+    auto ok = r.getU8();
+    auto error = r.getString();
+    auto digest = r.getBytes();
+    if (!vid || !ok || !error || !digest || !r.atEnd())
+        return R::error("LaunchVmAck: malformed");
+    LaunchVmAck m;
+    m.vid = vid.take();
+    m.ok = ok.value() != 0;
+    m.error = error.take();
+    m.imageDigest = digest.take();
+    return R::ok(std::move(m));
+}
+
+Bytes
+VmCommand::encode() const
+{
+    ByteWriter w;
+    w.putString(vid);
+    return w.take();
+}
+
+Result<VmCommand>
+VmCommand::decode(const Bytes &data)
+{
+    ByteReader r(data);
+    auto vid = r.getString();
+    if (!vid || !r.atEnd())
+        return Result<VmCommand>::error("VmCommand: malformed");
+    VmCommand m;
+    m.vid = vid.take();
+    return Result<VmCommand>::ok(std::move(m));
+}
+
+Bytes
+VmCommandAck::encode() const
+{
+    ByteWriter w;
+    w.putString(vid);
+    w.putU8(ok ? 1 : 0);
+    w.putString(error);
+    return w.take();
+}
+
+Result<VmCommandAck>
+VmCommandAck::decode(const Bytes &data)
+{
+    using R = Result<VmCommandAck>;
+    ByteReader r(data);
+    auto vid = r.getString();
+    auto ok = r.getU8();
+    auto error = r.getString();
+    if (!vid || !ok || !error || !r.atEnd())
+        return R::error("VmCommandAck: malformed");
+    VmCommandAck m;
+    m.vid = vid.take();
+    m.ok = ok.value() != 0;
+    m.error = error.take();
+    return R::ok(std::move(m));
+}
+
+Bytes
+LaunchRequest::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putString(name);
+    w.putString(imageName);
+    w.putString(flavorName);
+    putProperties(w, properties);
+    w.putBytes(image);
+    w.putU64(imageSizeMb);
+    return w.take();
+}
+
+Result<LaunchRequest>
+LaunchRequest::decode(const Bytes &data)
+{
+    using R = Result<LaunchRequest>;
+    ByteReader r(data);
+    LaunchRequest m;
+    auto id = r.getU64();
+    auto name = r.getString();
+    auto image = r.getString();
+    auto flavor = r.getString();
+    if (!id || !name || !image || !flavor ||
+        !getProperties(r, m.properties)) {
+        return R::error("LaunchRequest: malformed");
+    }
+    auto content = r.getBytes();
+    auto sizeMb = r.getU64();
+    if (!content || !sizeMb || !r.atEnd())
+        return R::error("LaunchRequest: truncated");
+    m.requestId = id.value();
+    m.name = name.take();
+    m.imageName = image.take();
+    m.flavorName = flavor.take();
+    m.image = content.take();
+    m.imageSizeMb = sizeMb.value();
+    return R::ok(std::move(m));
+}
+
+Bytes
+LaunchResponse::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putString(vid);
+    w.putU8(ok ? 1 : 0);
+    w.putString(error);
+    return w.take();
+}
+
+Result<LaunchResponse>
+LaunchResponse::decode(const Bytes &data)
+{
+    using R = Result<LaunchResponse>;
+    ByteReader r(data);
+    auto id = r.getU64();
+    auto vid = r.getString();
+    auto ok = r.getU8();
+    auto error = r.getString();
+    if (!id || !vid || !ok || !error || !r.atEnd())
+        return R::error("LaunchResponse: malformed");
+    LaunchResponse m;
+    m.requestId = id.value();
+    m.vid = vid.take();
+    m.ok = ok.value() != 0;
+    m.error = error.take();
+    return R::ok(std::move(m));
+}
+
+Bytes
+MigrateOut::encode() const
+{
+    ByteWriter w;
+    w.putString(vid);
+    w.putString(targetServer);
+    return w.take();
+}
+
+Result<MigrateOut>
+MigrateOut::decode(const Bytes &data)
+{
+    using R = Result<MigrateOut>;
+    ByteReader r(data);
+    auto vid = r.getString();
+    auto target = r.getString();
+    if (!vid || !target || !r.atEnd())
+        return R::error("MigrateOut: malformed");
+    MigrateOut m;
+    m.vid = vid.take();
+    m.targetServer = target.take();
+    return R::ok(std::move(m));
+}
+
+Bytes
+MigrateIn::encode() const
+{
+    ByteWriter w;
+    w.putString(vid);
+    w.putString(name);
+    w.putU32(numVcpus);
+    w.putU64(ramMb);
+    w.putU64(diskGb);
+    w.putU64(imageSizeMb);
+    w.putBytes(image);
+    w.putI64(weight);
+    w.putU32(static_cast<std::uint32_t>(guestTasks.size()));
+    for (const std::string &t : guestTasks)
+        w.putString(t);
+    w.putU32(static_cast<std::uint32_t>(hiddenTasks.size()));
+    for (const std::string &t : hiddenTasks)
+        w.putString(t);
+    w.putU32(static_cast<std::uint32_t>(auditEntries.size()));
+    for (const std::string &t : auditEntries)
+        w.putString(t);
+    return w.take();
+}
+
+Result<MigrateIn>
+MigrateIn::decode(const Bytes &data)
+{
+    using R = Result<MigrateIn>;
+    ByteReader r(data);
+    auto vid = r.getString();
+    auto name = r.getString();
+    auto vcpus = r.getU32();
+    auto ram = r.getU64();
+    auto disk = r.getU64();
+    auto imgSize = r.getU64();
+    auto image = r.getBytes();
+    auto weight = r.getI64();
+    auto taskCount = r.getU32();
+    if (!vid || !name || !vcpus || !ram || !disk || !imgSize || !image ||
+        !weight || !taskCount || taskCount.value() > 100000) {
+        return R::error("MigrateIn: malformed");
+    }
+    MigrateIn m;
+    m.vid = vid.take();
+    m.name = name.take();
+    m.numVcpus = vcpus.value();
+    m.ramMb = ram.value();
+    m.diskGb = disk.value();
+    m.imageSizeMb = imgSize.value();
+    m.image = image.take();
+    m.weight = static_cast<int>(weight.value());
+    for (std::uint32_t i = 0; i < taskCount.value(); ++i) {
+        auto t = r.getString();
+        if (!t)
+            return R::error("MigrateIn: truncated task");
+        m.guestTasks.push_back(t.take());
+    }
+    auto hiddenCount = r.getU32();
+    if (!hiddenCount || hiddenCount.value() > 100000)
+        return R::error("MigrateIn: bad hidden count");
+    for (std::uint32_t i = 0; i < hiddenCount.value(); ++i) {
+        auto t = r.getString();
+        if (!t)
+            return R::error("MigrateIn: truncated hidden task");
+        m.hiddenTasks.push_back(t.take());
+    }
+    auto auditCount = r.getU32();
+    if (!auditCount || auditCount.value() > 1000000)
+        return R::error("MigrateIn: bad audit count");
+    for (std::uint32_t i = 0; i < auditCount.value(); ++i) {
+        auto t = r.getString();
+        if (!t)
+            return R::error("MigrateIn: truncated audit entry");
+        m.auditEntries.push_back(t.take());
+    }
+    if (!r.atEnd())
+        return R::error("MigrateIn: trailing bytes");
+    return R::ok(std::move(m));
+}
+
+} // namespace monatt::proto

@@ -1,0 +1,361 @@
+/**
+ * @file
+ * The CloudMonatt protocol messages (Figure 3) plus the cloud
+ * management commands.
+ *
+ * Every message has a canonical byte encoding; the attestation
+ * messages additionally define the exact quote inputs:
+ *
+ *   Q3 = H(Vid || rM || M  || N3)   signed by ASKs (cloud server)
+ *   Q2 = H(Vid || I  || P || R || N2) signed by SKa (attestation server)
+ *   Q1 = H(Vid || P  || R || N1)    signed by SKc (cloud controller)
+ *
+ * Messages travel as `kind || body` plaintexts inside SecureChannel
+ * records; the signatures survive the hop-by-hop channel so a
+ * customer verifies a chain rooted at the place of collection.
+ */
+
+#ifndef MONATT_PROTO_MESSAGES_H
+#define MONATT_PROTO_MESSAGES_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/time_types.h"
+#include "proto/measurement.h"
+#include "proto/property.h"
+
+namespace monatt::proto
+{
+
+/** Message discriminator. */
+enum class MessageKind : std::uint8_t
+{
+    AttestRequest = 1,
+    AttestForward = 2,
+    MeasureRequest = 3,
+    MeasureResponse = 4,
+    ReportToController = 5,
+    ReportToCustomer = 6,
+    CertRequest = 7,
+    CertResponse = 8,
+    LaunchVm = 20,
+    LaunchVmAck = 21,
+    TerminateVm = 22,
+    TerminateVmAck = 23,
+    SuspendVm = 24,
+    SuspendVmAck = 25,
+    ResumeVm = 26,
+    ResumeVmAck = 27,
+    MigrateIn = 28,
+    MigrateInAck = 29,
+    MigrateOut = 30,
+    MigrateOutAck = 31,
+    LaunchRequest = 40,
+    LaunchResponse = 41,
+};
+
+/** Frame a message body with its kind byte. */
+Bytes packMessage(MessageKind kind, const Bytes &body);
+
+/** Split a framed message into kind and body. */
+Result<std::pair<MessageKind, Bytes>> unpackMessage(const Bytes &framed);
+
+/** Attestation modes (Table 1). */
+enum class AttestMode : std::uint8_t
+{
+    StartupOneTime = 0,  //!< startup_attest_current
+    RuntimeOneTime = 1,  //!< runtime_attest_current
+    RuntimePeriodic = 2, //!< runtime_attest_periodic
+    StopPeriodic = 3,    //!< stop_attest_periodic
+};
+
+/** Customer → Cloud Controller (the (Vid, P, N1) of Figure 3). */
+struct AttestRequest
+{
+    std::uint64_t requestId = 0;
+    std::string vid;
+    std::vector<SecurityProperty> properties;
+    Bytes nonce1;
+    AttestMode mode = AttestMode::RuntimeOneTime;
+    SimTime period = 0; //!< For periodic mode.
+
+    Bytes encode() const;
+    static Result<AttestRequest> decode(const Bytes &data);
+};
+
+/** Cloud Controller → Attestation Server ((Vid, I, P, N2)). */
+struct AttestForward
+{
+    std::uint64_t requestId = 0;
+    std::string vid;
+    std::string serverId; //!< I: the server hosting Vid.
+    std::vector<SecurityProperty> properties;
+    Bytes nonce2;
+    AttestMode mode = AttestMode::RuntimeOneTime;
+    SimTime period = 0;
+
+    Bytes encode() const;
+    static Result<AttestForward> decode(const Bytes &data);
+};
+
+/** Attestation Server → Cloud Server ((Vid, rM, N3)). */
+struct MeasureRequest
+{
+    std::uint64_t requestId = 0;
+    std::string vid;
+    MeasurementRequestList rm;
+    Bytes nonce3;
+    SimTime window = 0; //!< Collection window for runtime measurements.
+
+    Bytes encode() const;
+    static Result<MeasureRequest> decode(const Bytes &data);
+};
+
+/** Cloud Server → Attestation Server ([Vid, rM, M, N3, Q3]_ASKs). */
+struct MeasureResponse
+{
+    std::uint64_t requestId = 0;
+    std::string vid;
+    MeasurementRequestList rm;
+    MeasurementSet m;
+    Bytes nonce3;
+    Bytes quote3;
+    Bytes signature;   //!< By the session attestation key ASKs.
+    Bytes certificate; //!< pCA certificate for AVKs.
+
+    /** Q3 = H(Vid || rM || M || N3). */
+    static Bytes quoteInput(const std::string &vid,
+                            const MeasurementRequestList &rm,
+                            const MeasurementSet &m, const Bytes &nonce3);
+
+    /** The bytes the ASKs signature covers. */
+    Bytes signedPortion() const;
+
+    Bytes encode() const;
+    static Result<MeasureResponse> decode(const Bytes &data);
+};
+
+/** One property's appraisal in a report. */
+struct PropertyResult
+{
+    SecurityProperty property{};
+    HealthStatus status = HealthStatus::Unknown;
+    std::string detail;
+
+    bool operator==(const PropertyResult &o) const
+    {
+        return property == o.property && status == o.status &&
+               detail == o.detail;
+    }
+};
+
+/** The attestation report R. */
+struct AttestationReport
+{
+    std::string vid;
+    std::vector<PropertyResult> results;
+    SimTime issuedAt = 0;
+
+    /** True when every appraised property is Healthy. */
+    bool allHealthy() const;
+
+    /** Result for a property; nullptr when absent. */
+    const PropertyResult *find(SecurityProperty p) const;
+
+    Bytes encode() const;
+    static Result<AttestationReport> decode(const Bytes &data);
+
+    bool operator==(const AttestationReport &o) const
+    {
+        return vid == o.vid && results == o.results &&
+               issuedAt == o.issuedAt;
+    }
+};
+
+/** Attestation Server → Cloud Controller ([Vid, I, P, R, N2, Q2]_SKa). */
+struct ReportToController
+{
+    std::uint64_t requestId = 0;
+    std::string vid;
+    std::string serverId;
+    std::vector<SecurityProperty> properties;
+    AttestationReport report;
+    Bytes nonce2;
+    Bytes quote2;
+    Bytes signature; //!< By the attestation server's identity key SKa.
+
+    /** Q2 = H(Vid || I || P || R || N2). */
+    static Bytes quoteInput(const std::string &vid,
+                            const std::string &serverId,
+                            const std::vector<SecurityProperty> &props,
+                            const AttestationReport &report,
+                            const Bytes &nonce2);
+
+    Bytes signedPortion() const;
+
+    Bytes encode() const;
+    static Result<ReportToController> decode(const Bytes &data);
+};
+
+/** Cloud Controller → Customer ([Vid, P, R, N1, Q1]_SKc). */
+struct ReportToCustomer
+{
+    std::uint64_t requestId = 0;
+    std::string vid;
+    std::vector<SecurityProperty> properties;
+    AttestationReport report;
+    Bytes nonce1;
+    Bytes quote1;
+    Bytes signature; //!< By the controller's identity key SKc.
+    bool finalPeriodic = false; //!< Last report of a periodic stream.
+
+    /** Q1 = H(Vid || P || R || N1). */
+    static Bytes quoteInput(const std::string &vid,
+                            const std::vector<SecurityProperty> &props,
+                            const AttestationReport &report,
+                            const Bytes &nonce1);
+
+    Bytes signedPortion() const;
+
+    Bytes encode() const;
+    static Result<ReportToCustomer> decode(const Bytes &data);
+};
+
+/** Cloud Server → privacy CA: certify a fresh AVKs. */
+struct CertRequest
+{
+    std::string serverId;
+    std::string sessionLabel; //!< Anonymous subject for the cert.
+    Bytes avk;                //!< Encoded session public key.
+    Bytes avkSignature;       //!< [AVKs]_SKs.
+
+    Bytes encode() const;
+    static Result<CertRequest> decode(const Bytes &data);
+};
+
+/** privacy CA → Cloud Server. */
+struct CertResponse
+{
+    std::string sessionLabel;
+    bool ok = false;
+    std::string error;
+    Bytes certificate;
+
+    Bytes encode() const;
+    static Result<CertResponse> decode(const Bytes &data);
+};
+
+// --- Cloud management commands (Controller <-> Cloud Server) ---------
+
+/** Launch a VM on a server. */
+struct LaunchVm
+{
+    std::string vid;
+    std::string name;
+    std::uint32_t numVcpus = 1;
+    std::uint64_t ramMb = 512;
+    std::uint64_t diskGb = 1;
+    std::uint64_t imageSizeMb = 0; //!< For transfer/boot timing.
+    Bytes image;                   //!< Representative image content.
+    int weight = 256;
+
+    Bytes encode() const;
+    static Result<LaunchVm> decode(const Bytes &data);
+};
+
+/** Launch acknowledgement. */
+struct LaunchVmAck
+{
+    std::string vid;
+    bool ok = false;
+    std::string error;
+    Bytes imageDigest; //!< Measured by the IMU before launch.
+
+    Bytes encode() const;
+    static Result<LaunchVmAck> decode(const Bytes &data);
+};
+
+/** Simple per-VM command (terminate/suspend/resume). */
+struct VmCommand
+{
+    std::string vid;
+
+    Bytes encode() const;
+    static Result<VmCommand> decode(const Bytes &data);
+};
+
+/** Simple per-VM acknowledgement. */
+struct VmCommandAck
+{
+    std::string vid;
+    bool ok = false;
+    std::string error;
+
+    Bytes encode() const;
+    static Result<VmCommandAck> decode(const Bytes &data);
+};
+
+/** Customer → Cloud Controller: lease a VM (nova api boot). */
+struct LaunchRequest
+{
+    std::uint64_t requestId = 0;
+    std::string name;
+    std::string imageName;
+    std::string flavorName;
+    std::vector<SecurityProperty> properties; //!< Required monitoring.
+    Bytes image; //!< Image content as supplied (may be customized).
+    std::uint64_t imageSizeMb = 0;
+
+    Bytes encode() const;
+    static Result<LaunchRequest> decode(const Bytes &data);
+};
+
+/** Cloud Controller → Customer: launch outcome. */
+struct LaunchResponse
+{
+    std::uint64_t requestId = 0;
+    std::string vid;   //!< Assigned VM id (empty on failure).
+    bool ok = false;
+    std::string error;
+
+    Bytes encode() const;
+    static Result<LaunchResponse> decode(const Bytes &data);
+};
+
+/** Cloud Controller → source server: migrate a VM away. */
+struct MigrateOut
+{
+    std::string vid;
+    std::string targetServer;
+
+    Bytes encode() const;
+    static Result<MigrateOut> decode(const Bytes &data);
+};
+
+/** Source server → target server: VM state for migration. */
+struct MigrateIn
+{
+    std::string vid;
+    std::string name;
+    std::uint32_t numVcpus = 1;
+    std::uint64_t ramMb = 512;
+    std::uint64_t diskGb = 1;
+    std::uint64_t imageSizeMb = 0;
+    Bytes image;
+    int weight = 256;
+    std::vector<std::string> guestTasks;  //!< Visible process state.
+    std::vector<std::string> hiddenTasks; //!< Rootkit-hidden processes
+                                          //!< (memory moves verbatim).
+    std::vector<std::string> auditEntries; //!< Audit log contents.
+
+    Bytes encode() const;
+    static Result<MigrateIn> decode(const Bytes &data);
+};
+
+} // namespace monatt::proto
+
+#endif // MONATT_PROTO_MESSAGES_H

@@ -1,0 +1,63 @@
+#include "proto/property.h"
+
+#include <stdexcept>
+
+namespace monatt::proto
+{
+
+const std::vector<SecurityProperty> &
+allProperties()
+{
+    static const std::vector<SecurityProperty> all = {
+        SecurityProperty::StartupIntegrity,
+        SecurityProperty::RuntimeIntegrity,
+        SecurityProperty::CovertChannelFreedom,
+        SecurityProperty::CpuAvailability,
+        SecurityProperty::AuditLogIntegrity,
+    };
+    return all;
+}
+
+std::string
+propertyName(SecurityProperty p)
+{
+    switch (p) {
+      case SecurityProperty::StartupIntegrity:
+        return "startup-integrity";
+      case SecurityProperty::RuntimeIntegrity:
+        return "runtime-integrity";
+      case SecurityProperty::CovertChannelFreedom:
+        return "covert-channel-freedom";
+      case SecurityProperty::CpuAvailability:
+        return "cpu-availability";
+      case SecurityProperty::AuditLogIntegrity:
+        return "audit-log-integrity";
+    }
+    return "unknown";
+}
+
+SecurityProperty
+propertyFromName(const std::string &name)
+{
+    for (SecurityProperty p : allProperties()) {
+        if (propertyName(p) == name)
+            return p;
+    }
+    throw std::invalid_argument("unknown security property: " + name);
+}
+
+std::string
+healthStatusName(HealthStatus s)
+{
+    switch (s) {
+      case HealthStatus::Healthy:
+        return "healthy";
+      case HealthStatus::Compromised:
+        return "compromised";
+      case HealthStatus::Unknown:
+        return "unknown";
+    }
+    return "invalid";
+}
+
+} // namespace monatt::proto

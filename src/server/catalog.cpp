@@ -1,0 +1,59 @@
+#include "server/catalog.h"
+
+#include <stdexcept>
+
+namespace monatt::server
+{
+
+const std::vector<VmFlavor> &
+flavorCatalog()
+{
+    static const std::vector<VmFlavor> flavors = {
+        {"small", 1, 512, 10},
+        {"medium", 2, 1024, 20},
+        {"large", 4, 2048, 40},
+    };
+    return flavors;
+}
+
+const VmFlavor &
+flavor(const std::string &name)
+{
+    for (const VmFlavor &f : flavorCatalog()) {
+        if (f.name == name)
+            return f;
+    }
+    throw std::out_of_range("unknown flavor: " + name);
+}
+
+const std::vector<VmImage> &
+imageCatalog()
+{
+    static const std::vector<VmImage> images = [] {
+        std::vector<VmImage> out;
+        for (const auto &[name, sizeMb] :
+             {std::pair<const char *, std::uint64_t>{"cirros", 25},
+              {"fedora", 230},
+              {"ubuntu", 700}}) {
+            VmImage img;
+            img.name = name;
+            img.sizeMb = sizeMb;
+            img.content = toBytes(std::string(name) + "-image-v1.0");
+            out.push_back(std::move(img));
+        }
+        return out;
+    }();
+    return images;
+}
+
+const VmImage &
+image(const std::string &name)
+{
+    for (const VmImage &img : imageCatalog()) {
+        if (img.name == name)
+            return img;
+    }
+    throw std::out_of_range("unknown image: " + name);
+}
+
+} // namespace monatt::server

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * VM flavors and images.
+ *
+ * The paper's evaluation (Figure 9) launches "three VM images (cirros,
+ * fedora and ubuntu) with three VM flavors (small, medium and large)".
+ * Flavors fix the resource grant (vCPUs, RAM, disk); images fix the
+ * bytes fetched and booted. Sizes are chosen so the simulated launch,
+ * suspension and migration times land in the ranges of Figures 9 and
+ * 11 on a 1 Gbps fabric.
+ */
+
+#ifndef MONATT_SERVER_CATALOG_H
+#define MONATT_SERVER_CATALOG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace monatt::server
+{
+
+/** A VM flavor: the resource grant. */
+struct VmFlavor
+{
+    std::string name;
+    std::uint32_t vcpus = 1;
+    std::uint64_t ramMb = 512;
+    std::uint64_t diskGb = 10;
+};
+
+/** A VM image. */
+struct VmImage
+{
+    std::string name;
+    std::uint64_t sizeMb = 25;
+    Bytes content; //!< Representative content (hashed for integrity).
+};
+
+/** small / medium / large. */
+const std::vector<VmFlavor> &flavorCatalog();
+
+/** Look up a flavor. @throws std::out_of_range when unknown. */
+const VmFlavor &flavor(const std::string &name);
+
+/** cirros / fedora / ubuntu. */
+const std::vector<VmImage> &imageCatalog();
+
+/** Look up an image. @throws std::out_of_range when unknown. */
+const VmImage &image(const std::string &name);
+
+} // namespace monatt::server
+
+#endif // MONATT_SERVER_CATALOG_H

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The Cloud Server — the attester of the CloudMonatt architecture.
+ *
+ * One instance models one physical machine in the data center: the
+ * Type-I hypervisor with guest domains, the hardware Trust Module,
+ * the Monitor Module, and the host-VM software stack — the
+ * Attestation Client (oat client in the prototype, §6.3) and the
+ * Management Client (nova compute).
+ *
+ * The attestation path follows the eight functional steps of
+ * Figure 2: (1) the Attestation Client takes a measurement request;
+ * (2) it invokes the Monitor Module to collect; (3) the Trust Module
+ * generates a fresh per-session attestation key pair, signed by the
+ * identity key and certified by the privacy CA; (4,5) measurements
+ * land in Trust Evidence Registers; (6) the Crypto Engine signs the
+ * quote; (7,8) the signed response returns to the Attestation
+ * Server.
+ */
+
+#ifndef MONATT_SERVER_CLOUD_SERVER_H
+#define MONATT_SERVER_CLOUD_SERVER_H
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "hypervisor/hypervisor.h"
+#include "net/secure_endpoint.h"
+#include "proto/messages.h"
+#include "proto/timing_model.h"
+#include "server/catalog.h"
+#include "server/monitor_module.h"
+#include "sim/event_queue.h"
+#include "tpm/trust_module.h"
+
+namespace monatt::server
+{
+
+/** Static configuration of one cloud server. */
+struct CloudServerConfig
+{
+    std::string id;
+    std::string controllerId = "cloud-controller";
+    std::string attestationServerId = "attestation-server";
+    std::string pcaId = "privacy-ca";
+
+    /** Security properties this server can monitor (the capability
+     * table the controller's property_filter consults). */
+    std::set<proto::SecurityProperty> capabilities;
+
+    /** Physical resources (testbed: quad core, 32 GB). */
+    int pcpus = 4;
+    std::uint64_t totalRamMb = 32768;
+    std::uint64_t totalDiskGb = 500;
+
+    hypervisor::CreditScheduler::Params sched;
+    Bytes hypervisorCode;
+    Bytes hostOsCode;
+    proto::TimingModel timing;
+    std::size_t identityKeyBits = 512;
+    std::size_t aikBits = 512;
+
+    /**
+     * Ablation knob: when nonzero, measurement collection pauses the
+     * attested VM for this long (an intercepting monitor), instead of
+     * the paper's non-intrusive collection at VM switch ("the VMM
+     * Profile Tool does not intercept the VM's execution", §7.1.2).
+     */
+    SimTime intrusivePause = 0;
+};
+
+/** A hosted VM's record on the server. */
+struct HostedVm
+{
+    std::string vid;
+    hypervisor::DomainId domain = -1;
+    std::uint32_t vcpus = 1;
+    std::uint64_t ramMb = 0;
+    std::uint64_t diskGb = 0;
+    std::uint64_t imageSizeMb = 0;
+    Bytes image;
+    int weight = 256;
+    bool suspended = false;
+};
+
+/** The cloud server. */
+class CloudServer
+{
+  public:
+    CloudServer(sim::EventQueue &eq, net::Network &network,
+                net::KeyDirectory &directory, CloudServerConfig config,
+                std::uint64_t seed);
+
+    /** Boot the platform: measure software into the TPM, start the
+     * scheduler, publish the identity key. */
+    void boot();
+
+    /** Node id. */
+    const std::string &id() const { return cfg.id; }
+
+    /** Identity public key VKs. */
+    const crypto::RsaPublicKey &identityPublic() const
+    {
+        return trust.identityPublic();
+    }
+
+    /** Supported monitoring capabilities. */
+    const std::set<proto::SecurityProperty> &capabilities() const
+    {
+        return cfg.capabilities;
+    }
+
+    /** Resources still free. */
+    std::uint64_t freeRamMb() const;
+    std::uint64_t freeDiskGb() const;
+
+    /** The hypervisor (tests/benches install workloads through it). */
+    hypervisor::Hypervisor &hypervisor() { return hyp; }
+
+    /** The Trust Module. */
+    tpm::TrustModule &trustModule() { return trust; }
+
+    /** The Monitor Module. */
+    MonitorModule &monitorModule() { return monitor; }
+
+    /** True when the named VM is hosted here. */
+    bool hasVm(const std::string &vid) const
+    {
+        return vms.count(vid) != 0;
+    }
+
+    /** Hosted VM record. @throws std::out_of_range when absent. */
+    const HostedVm &vm(const std::string &vid) const;
+
+    /** Hypervisor domain of a hosted VM. */
+    hypervisor::DomainId domainOf(const std::string &vid) const;
+
+    /** Guest OS of a hosted VM (attack injection in tests). */
+    hypervisor::GuestOs &guestOs(const std::string &vid);
+
+    /** Number of hosted VMs. */
+    std::size_t vmCount() const { return vms.size(); }
+
+    const CloudServerConfig &config() const { return cfg; }
+
+  private:
+    struct PendingAttestation
+    {
+        proto::MeasureRequest request;
+        tpm::SessionHandle session = 0;
+        std::string sessionLabel;
+        Bytes certificate;
+        bool haveCert = false;
+        proto::MeasurementSet m;
+        bool measured = false;
+    };
+
+    void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+    void onMeasureRequest(const net::NodeId &from, const Bytes &body);
+    void onCertResponse(const Bytes &body);
+    void onLaunchVm(const net::NodeId &from, const Bytes &body);
+    void onTerminateVm(const net::NodeId &from, const Bytes &body);
+    void onSuspendVm(const net::NodeId &from, const Bytes &body);
+    void onResumeVm(const net::NodeId &from, const Bytes &body);
+    void onMigrateOut(const net::NodeId &from, const Bytes &body);
+    void onMigrateIn(const net::NodeId &from, const Bytes &body);
+    void onMigrateInAck(const net::NodeId &from, const Bytes &body);
+
+    void collectMeasurements(std::uint64_t requestId);
+    void finishMeasurements(std::uint64_t requestId);
+    void maybeRespond(std::uint64_t requestId);
+    hypervisor::DomainId createVmDomain(const proto::LaunchVm &req);
+
+    sim::EventQueue &events;
+    CloudServerConfig cfg;
+    tpm::TrustModule trust;
+    hypervisor::Hypervisor hyp;
+    MonitorModule monitor;
+    net::SecureEndpoint endpoint;
+
+    std::map<std::string, HostedVm> vms;
+    std::map<std::uint64_t, PendingAttestation> pending;
+    std::map<std::string, std::uint64_t> certToRequest;
+
+    /** Pending migration: vid -> controller that asked. */
+    std::map<std::string, net::NodeId> migrations;
+
+    std::uint64_t allocatedRamMb = 0;
+    std::uint64_t allocatedDiskGb = 0;
+    std::uint64_t sessionCounter = 0;
+    int nextPcpu = 0;
+};
+
+} // namespace monatt::server
+
+#endif // MONATT_SERVER_CLOUD_SERVER_H

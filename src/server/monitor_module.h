@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The server-side Monitor Module (Figure 2).
+ *
+ * Aggregates the hypervisor-level monitors into the measurement
+ * vocabulary of the protocol: static measurements (PCR values, image
+ * digests, task lists) read immediately; windowed measurements (CPU
+ * usage intervals for §4.4, CPU_measure for §4.5) collected over a
+ * measurement window, written into Trust Evidence Register banks in
+ * the Trust Module, and read back from there — the path the paper
+ * draws as Monitor Module → Trust Evidence Registers → Crypto Engine.
+ */
+
+#ifndef MONATT_SERVER_MONITOR_MODULE_H
+#define MONATT_SERVER_MONITOR_MODULE_H
+
+#include <string>
+
+#include "hypervisor/hypervisor.h"
+#include "proto/measurement.h"
+#include "tpm/trust_module.h"
+
+namespace monatt::server
+{
+
+/** Number of usage-interval Trust Evidence Registers (§4.4.2). */
+constexpr std::size_t kUsageIntervalBins = 30;
+
+/** The Monitor Module. */
+class MonitorModule
+{
+  public:
+    MonitorModule(hypervisor::Hypervisor &hv, tpm::TrustModule &tm);
+
+    /** True when this type needs a measurement window. */
+    static bool isWindowed(proto::MeasurementType t);
+
+    /**
+     * Collect a static measurement for the domain now.
+     * Returns an error for windowed types or unknown domains.
+     */
+    Result<proto::Measurement> collectStatic(proto::MeasurementType t,
+                                             hypervisor::DomainId dom);
+
+    /** Open the profiling window for a domain (windowed types). */
+    void beginWindow(hypervisor::DomainId dom, SimTime now);
+
+    /**
+     * Close the window and materialize a windowed measurement:
+     * histogram counts (or CPU_measure) are first written into a TER
+     * bank in the Trust Module, then read back into the Measurement.
+     */
+    Result<proto::Measurement> finishWindow(proto::MeasurementType t,
+                                            hypervisor::DomainId dom,
+                                            SimTime now);
+
+    /** TER bank name used for a domain's windowed measurements. */
+    static std::string bankName(proto::MeasurementType t,
+                                hypervisor::DomainId dom);
+
+  private:
+    hypervisor::Hypervisor &hyp;
+    tpm::TrustModule &trust;
+};
+
+} // namespace monatt::server
+
+#endif // MONATT_SERVER_MONITOR_MODULE_H

@@ -1,0 +1,108 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+
+namespace monatt::sim
+{
+
+EventId
+EventQueue::schedule(SimTime when, Callback callback, std::string label)
+{
+    if (when < currentTime)
+        throw std::invalid_argument("EventQueue: scheduling in the past");
+    const EventId id = nextId++;
+    queue.push(Event{when, id, std::move(callback), std::move(label)});
+    ++livePending;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(SimTime delay, Callback callback,
+                          std::string label)
+{
+    return schedule(currentTime + delay, std::move(callback),
+                    std::move(label));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    cancelled.insert(id);
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue.empty()) {
+        Event ev = queue.top();
+        queue.pop();
+        if (cancelled.erase(ev.id)) {
+            --livePending;
+            continue;
+        }
+        currentTime = ev.when;
+        --livePending;
+        ++executedCount;
+        ev.callback();
+        return true;
+    }
+    return false;
+}
+
+SimTime
+EventQueue::nextEventTime()
+{
+    while (!queue.empty()) {
+        const Event &top = queue.top();
+        if (cancelled.count(top.id)) {
+            cancelled.erase(top.id);
+            queue.pop();
+            --livePending;
+            continue;
+        }
+        return top.when;
+    }
+    return kTimeNever;
+}
+
+std::size_t
+EventQueue::run(SimTime until)
+{
+    std::size_t n = 0;
+    while (!queue.empty()) {
+        // Peek past cancelled events without executing.
+        const Event &top = queue.top();
+        if (cancelled.count(top.id)) {
+            cancelled.erase(top.id);
+            queue.pop();
+            --livePending;
+            continue;
+        }
+        if (top.when > until)
+            break;
+        if (runOne())
+            ++n;
+    }
+    if (currentTime < until && until != kTimeNever)
+        currentTime = until;
+    return n;
+}
+
+std::size_t
+EventQueue::runAll(std::size_t maxEvents)
+{
+    std::size_t n = 0;
+    while (n < maxEvents && runOne())
+        ++n;
+    return n;
+}
+
+void
+EventQueue::advance(SimTime delta)
+{
+    if (delta < 0)
+        throw std::invalid_argument("EventQueue: negative advance");
+    run(currentTime + delta);
+}
+
+} // namespace monatt::sim

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The simulated cloud is single-clocked: the hypervisor's scheduler
+ * ticks, network message deliveries, periodic attestation timers and
+ * VM lifecycle stage completions are all events on one EventQueue.
+ * Events at equal timestamps execute in scheduling order (FIFO via a
+ * monotone sequence id), which keeps every simulation deterministic.
+ */
+
+#ifndef MONATT_SIM_EVENT_QUEUE_H
+#define MONATT_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace monatt::sim
+{
+
+/** Handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/** Deterministic discrete-event queue with a simulated clock. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    SimTime now() const { return currentTime; }
+
+    /**
+     * Schedule `callback` at absolute time `when`.
+     *
+     * @param label Optional debugging label.
+     * @throws std::invalid_argument when `when` is in the past.
+     */
+    EventId schedule(SimTime when, Callback callback,
+                     std::string label = {});
+
+    /** Schedule `callback` after a relative delay. */
+    EventId scheduleAfter(SimTime delay, Callback callback,
+                          std::string label = {});
+
+    /** Cancel a pending event; no-op when already fired or cancelled. */
+    void cancel(EventId id);
+
+    /** Execute the next pending event. @return false when empty. */
+    bool runOne();
+
+    /**
+     * Run all events with timestamps <= `until`, then advance the
+     * clock to `until` (unless `until` is kTimeNever).
+     * @return Number of events executed.
+     */
+    std::size_t run(SimTime until);
+
+    /** Run until the queue drains (bounded by maxEvents as a runaway
+     * backstop). @return Number of events executed. */
+    std::size_t runAll(std::size_t maxEvents = 100000000);
+
+    /** Advance the clock by `delta`, executing everything due. */
+    void advance(SimTime delta);
+
+    /**
+     * Timestamp of the next pending event, or kTimeNever when the
+     * queue is empty. Skips cancelled events (and drops them).
+     */
+    SimTime nextEventTime();
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return livePending; }
+
+    /** Total events executed since construction. */
+    std::size_t executed() const { return executedCount; }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        EventId id;
+        Callback callback;
+        std::string label;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id; // FIFO among equal timestamps.
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    std::unordered_set<EventId> cancelled;
+    SimTime currentTime = 0;
+    EventId nextId = 1;
+    std::size_t livePending = 0;
+    std::size_t executedCount = 0;
+};
+
+} // namespace monatt::sim
+
+#endif // MONATT_SIM_EVENT_QUEUE_H

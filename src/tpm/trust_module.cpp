@@ -1,0 +1,148 @@
+#include "tpm/trust_module.h"
+
+#include <stdexcept>
+
+namespace monatt::tpm
+{
+
+namespace
+{
+
+Bytes
+drbgSeed(const Bytes &entropySeed, const crypto::RsaKeyPair &identity)
+{
+    Bytes seed = entropySeed;
+    append(seed, identity.pub.encode());
+    return seed;
+}
+
+crypto::RsaKeyPair
+deriveTpmKey(const std::string &serverId, const Bytes &entropySeed)
+{
+    Bytes seed = toBytes("tpm-ek:" + serverId);
+    append(seed, entropySeed);
+    crypto::HmacDrbg drbg(seed);
+    Rng rng = drbg.forkRng();
+    return crypto::rsaGenerateKeyPair(512, rng);
+}
+
+} // namespace
+
+TrustModule::TrustModule(std::string serverId,
+                         crypto::RsaKeyPair identityKey,
+                         const Bytes &entropySeed,
+                         std::size_t sessionKeyBits)
+    : server(std::move(serverId)), identity(std::move(identityKey)),
+      drbg(drbgSeed(entropySeed, identity)),
+      aikBits(sessionKeyBits), tpmDev(deriveTpmKey(server, entropySeed))
+{
+}
+
+Bytes
+TrustModule::signWithIdentity(const Bytes &message) const
+{
+    return crypto::rsaSign(identity.priv, message);
+}
+
+Result<Bytes>
+TrustModule::decryptWithIdentity(const Bytes &cipher) const
+{
+    return crypto::rsaDecrypt(identity.priv, cipher);
+}
+
+Bytes
+TrustModule::randomBytes(std::size_t n)
+{
+    return drbg.generate(n);
+}
+
+void
+TrustModule::defineBank(const std::string &bank, std::size_t count)
+{
+    banks[bank].assign(count, 0);
+}
+
+bool
+TrustModule::hasBank(const std::string &bank) const
+{
+    return banks.count(bank) != 0;
+}
+
+void
+TrustModule::writeRegister(const std::string &bank, std::size_t index,
+                           std::uint64_t value)
+{
+    auto it = banks.find(bank);
+    if (it == banks.end() || index >= it->second.size())
+        throw std::out_of_range("TrustModule: bad TER address " + bank);
+    it->second[index] = value;
+}
+
+void
+TrustModule::incrementRegister(const std::string &bank, std::size_t index,
+                               std::uint64_t delta)
+{
+    auto it = banks.find(bank);
+    if (it == banks.end() || index >= it->second.size())
+        throw std::out_of_range("TrustModule: bad TER address " + bank);
+    it->second[index] += delta;
+}
+
+std::uint64_t
+TrustModule::readRegister(const std::string &bank, std::size_t index) const
+{
+    const auto it = banks.find(bank);
+    if (it == banks.end() || index >= it->second.size())
+        throw std::out_of_range("TrustModule: bad TER address " + bank);
+    return it->second[index];
+}
+
+const std::vector<std::uint64_t> &
+TrustModule::readBank(const std::string &bank) const
+{
+    const auto it = banks.find(bank);
+    if (it == banks.end())
+        throw std::out_of_range("TrustModule: unknown TER bank " + bank);
+    return it->second;
+}
+
+void
+TrustModule::clearBank(const std::string &bank)
+{
+    auto it = banks.find(bank);
+    if (it == banks.end())
+        throw std::out_of_range("TrustModule: unknown TER bank " + bank);
+    std::fill(it->second.begin(), it->second.end(), 0);
+}
+
+AttestationSessionInfo
+TrustModule::beginSession()
+{
+    Rng keyRng = drbg.forkRng();
+    crypto::RsaKeyPair aik = crypto::rsaGenerateKeyPair(aikBits, keyRng);
+
+    AttestationSessionInfo info;
+    info.handle = nextHandle++;
+    info.attestationKey = aik.pub;
+    info.attestationKeySignature = signWithIdentity(aik.pub.encode());
+    sessions[info.handle] = std::move(aik);
+    return info;
+}
+
+Result<Bytes>
+TrustModule::signWithSession(SessionHandle handle,
+                             const Bytes &message) const
+{
+    const auto it = sessions.find(handle);
+    if (it == sessions.end())
+        return Result<Bytes>::error("TrustModule: unknown session");
+    return Result<Bytes>::ok(crypto::rsaSign(it->second.priv, message));
+}
+
+void
+TrustModule::endSession(SessionHandle handle)
+{
+    sessions.erase(handle);
+}
+
+} // namespace monatt::tpm

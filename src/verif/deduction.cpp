@@ -1,0 +1,113 @@
+#include "verif/deduction.h"
+
+namespace monatt::verif
+{
+
+void
+KnowledgeBase::observe(const TermPtr &term)
+{
+    known.insert(term);
+}
+
+void
+KnowledgeBase::makePublic(const TermPtr &nameTerm)
+{
+    known.insert(nameTerm);
+}
+
+bool
+KnowledgeBase::inKnown(const TermPtr &t) const
+{
+    return known.count(t) != 0;
+}
+
+void
+KnowledgeBase::saturate()
+{
+    // Analysis to fixpoint. The synthesis side (building keys from
+    // derivable parts to unlock more decryption) is folded in by
+    // consulting canDerive for key positions — sound here because
+    // canDerive itself only uses the current `known` set plus
+    // synthesis, and we iterate until nothing changes.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        std::vector<TermPtr> discovered;
+        for (const TermPtr &t : known) {
+            switch (t->kind()) {
+              case TermKind::Pair:
+                discovered.push_back(t->children()[0]);
+                discovered.push_back(t->children()[1]);
+                break;
+              case TermKind::SEnc:
+                if (canDerive(t->children()[0]))
+                    discovered.push_back(t->children()[1]);
+                break;
+              case TermKind::AEnc: {
+                // aenc(pub(n), body): need the private name n.
+                const TermPtr &key = t->children()[0];
+                if (key->kind() == TermKind::Pub &&
+                    canDerive(key->children()[0])) {
+                    discovered.push_back(t->children()[1]);
+                }
+                break;
+              }
+              case TermKind::Sign:
+                // Signatures do not provide confidentiality.
+                discovered.push_back(t->children()[1]);
+                break;
+              default:
+                break;
+            }
+        }
+        for (const TermPtr &t : discovered) {
+            if (known.insert(t).second)
+                changed = true;
+        }
+    }
+}
+
+bool
+KnowledgeBase::canDerive(const TermPtr &goal) const
+{
+    std::set<std::string> inProgress;
+    return deriveRec(goal, inProgress);
+}
+
+bool
+KnowledgeBase::deriveRec(const TermPtr &goal,
+                         std::set<std::string> &inProgress) const
+{
+    if (inKnown(goal))
+        return true;
+    if (!inProgress.insert(goal->repr()).second)
+        return false; // Cycle guard.
+
+    bool ok = false;
+    switch (goal->kind()) {
+      case TermKind::Name:
+        ok = false; // Fresh names are underivable unless known.
+        break;
+      case TermKind::Pub:
+        // Public keys are published by the certificate infrastructure.
+        ok = true;
+        break;
+      case TermKind::Pair:
+        ok = deriveRec(goal->children()[0], inProgress) &&
+             deriveRec(goal->children()[1], inProgress);
+        break;
+      case TermKind::SEnc:
+      case TermKind::AEnc:
+      case TermKind::Sign:
+        ok = deriveRec(goal->children()[0], inProgress) &&
+             deriveRec(goal->children()[1], inProgress);
+        break;
+      case TermKind::Hash:
+        ok = deriveRec(goal->children()[0], inProgress);
+        break;
+    }
+    inProgress.erase(goal->repr());
+    return ok;
+}
+
+} // namespace monatt::verif

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Dolev-Yao attacker deduction.
+ *
+ * The attacker of §3.3 "is able to eavesdrop as well as falsify the
+ * attestation messages". Its capability is the standard deduction
+ * system:
+ *
+ *   analysis   — split pairs; decrypt senc with a derivable key;
+ *                decrypt aenc with the derivable private key; read
+ *                the body out of a signature (signatures do not hide).
+ *   synthesis  — build pairs; encrypt/sign/hash with derivable parts;
+ *                public keys of any name are derivable.
+ *
+ * The KnowledgeBase saturates the analysis rules to a fixpoint, then
+ * answers derivability queries by recursive synthesis over the
+ * saturated set.
+ */
+
+#ifndef MONATT_VERIF_DEDUCTION_H
+#define MONATT_VERIF_DEDUCTION_H
+
+#include <set>
+#include <vector>
+
+#include "verif/term.h"
+
+namespace monatt::verif
+{
+
+/** The attacker's knowledge. */
+class KnowledgeBase
+{
+  public:
+    /** Add an observed message (e.g. one wiretapped datagram). */
+    void observe(const TermPtr &term);
+
+    /** Mark a name as public (identities, public constants). */
+    void makePublic(const TermPtr &nameTerm);
+
+    /** Saturate the analysis rules. Call after the last observe(). */
+    void saturate();
+
+    /**
+     * Can the attacker derive `goal` (analysis + synthesis)?
+     * Requires a prior saturate().
+     */
+    bool canDerive(const TermPtr &goal) const;
+
+    /** Number of distinct analyzed terms (diagnostics). */
+    std::size_t knownTerms() const { return known.size(); }
+
+  private:
+    bool inKnown(const TermPtr &t) const;
+    bool deriveRec(const TermPtr &goal,
+                   std::set<std::string> &inProgress) const;
+
+    std::set<TermPtr, TermLess> known;
+};
+
+} // namespace monatt::verif
+
+#endif // MONATT_VERIF_DEDUCTION_H

@@ -1,0 +1,241 @@
+#include "verif/protocol_model.h"
+
+namespace monatt::verif
+{
+
+namespace
+{
+
+/** Model of one SSL-like channel establishment: the initiator sends a
+ * premaster under the responder's identity key, both contribute public
+ * nonces, and the session key is a hash of all three. Returns the
+ * session key; the observable handshake terms are appended to `wire`. */
+TermPtr
+establishChannel(const std::string &tag, const TermPtr &responderPriv,
+                 std::vector<TermPtr> &wire)
+{
+    const TermPtr premaster = Term::name("pm-" + tag);
+    const TermPtr clientNonce = Term::name("nc-" + tag);
+    const TermPtr serverNonce = Term::name("ns-" + tag);
+
+    // ClientHello: nonce in the clear, premaster under the responder's
+    // public identity key (the nonces are public by construction).
+    wire.push_back(clientNonce);
+    wire.push_back(Term::aenc(Term::pub(responderPriv), premaster));
+    // ServerHello: nonce in the clear.
+    wire.push_back(serverNonce);
+
+    return Term::hash(Term::tuple({premaster, clientNonce, serverNonce}));
+}
+
+} // namespace
+
+ProtocolModel::ProtocolModel(std::set<LeakableSecret> leaks)
+{
+    // Long-term identity keys (private halves).
+    skCust = Term::name("SKcust");
+    skC = Term::name("SKc");
+    skA = Term::name("SKa");
+    skS = Term::name("SKs");
+    askS = Term::name("ASKs");
+    skPca = Term::name("SKpca");
+
+    // Protocol payload secrets and nonces. The paper's property 2
+    // demands secrecy of P, M and R, so the model treats them as
+    // values that travel only inside the encrypted channels.
+    propP = Term::name("P");
+    measM = Term::name("M");
+    reportR = Term::name("R");
+    n1 = Term::name("N1");
+    n2 = Term::name("N2");
+    n3 = Term::name("N3");
+
+    const TermPtr vid = Term::name("Vid");
+    const TermPtr serverId = Term::name("I");
+    kb.makePublic(vid);
+    kb.makePublic(serverId);
+    // A payload of the attacker's choosing, used by the forgery and
+    // injection queries.
+    kb.makePublic(Term::name("attacker-payload"));
+
+    std::vector<TermPtr> wire;
+
+    // SSL channel establishment for the three hops of Figure 3.
+    kx = establishChannel("x", skC, wire);  // customer -> controller
+    ky = establishChannel("y", skA, wire);  // controller -> attestor
+    kz = establishChannel("z", skS, wire);  // attestor -> cloud server
+
+    // (Vid, P, N1) under Kx.
+    wire.push_back(Term::senc(kx, Term::tuple({vid, propP, n1})));
+
+    // (Vid, I, P, N2) under Ky.
+    wire.push_back(
+        Term::senc(ky, Term::tuple({vid, serverId, propP, n2})));
+
+    // (Vid, rM, N3) under Kz (rM stands in for the list derived from
+    // P; it is protocol metadata, modeled as P here).
+    wire.push_back(Term::senc(kz, Term::tuple({vid, propP, n3})));
+
+    // Session attestation key provisioning: [AVKs]SKs to the pCA and
+    // the pCA's certificate for AVKs. Public halves are modeled via
+    // pub(ASKs).
+    wire.push_back(Term::sign(skS, Term::pub(askS)));
+    wire.push_back(Term::sign(skPca, Term::pub(askS)));
+
+    // ([Vid, rM, M, N3, Q3]ASKs) under Kz, where
+    // Q3 = H(Vid || rM || M || N3).
+    const TermPtr q3 =
+        Term::hash(Term::tuple({vid, propP, measM, n3}));
+    wire.push_back(Term::senc(
+        kz, Term::sign(askS,
+                       Term::tuple({vid, propP, measM, n3, q3}))));
+
+    // ([Vid, I, P, R, N2, Q2]SKa) under Ky.
+    const TermPtr q2 =
+        Term::hash(Term::tuple({vid, serverId, propP, reportR, n2}));
+    wire.push_back(Term::senc(
+        ky, Term::sign(skA, Term::tuple({vid, serverId, propP, reportR,
+                                         n2, q2}))));
+
+    // ([Vid, P, R, N1, Q1]SKc) under Kx.
+    const TermPtr q1 =
+        Term::hash(Term::tuple({vid, propP, reportR, n1}));
+    wire.push_back(Term::senc(
+        kx, Term::sign(skC, Term::tuple({vid, propP, reportR, n1, q1}))));
+
+    // The Dolev-Yao attacker observes the entire wire.
+    for (const TermPtr &t : wire)
+        kb.observe(t);
+
+    // Deliberate leaks (checker validation).
+    for (LeakableSecret leak : leaks) {
+        switch (leak) {
+          case LeakableSecret::SessionKeyKx:
+            kb.observe(kx);
+            break;
+          case LeakableSecret::SessionKeyKy:
+            kb.observe(ky);
+            break;
+          case LeakableSecret::SessionKeyKz:
+            kb.observe(kz);
+            break;
+          case LeakableSecret::ServerIdentityKey:
+            kb.observe(skS);
+            break;
+          case LeakableSecret::AttestorIdentityKey:
+            kb.observe(skA);
+            break;
+          case LeakableSecret::ControllerIdentityKey:
+            kb.observe(skC);
+            break;
+          case LeakableSecret::SessionSigningKey:
+            kb.observe(askS);
+            break;
+        }
+    }
+
+    kb.saturate();
+}
+
+VerificationOutcome
+ProtocolModel::secret(const std::string &label, const TermPtr &term) const
+{
+    VerificationOutcome out;
+    out.property = "secrecy: " + label;
+    out.holds = !kb.canDerive(term);
+    out.detail = out.holds ? "attacker cannot derive " + label
+                           : "ATTACK: attacker derives " + label;
+    return out;
+}
+
+VerificationOutcome
+ProtocolModel::unforgeable(const std::string &label,
+                           const TermPtr &witness) const
+{
+    VerificationOutcome out;
+    out.property = label;
+    out.holds = !kb.canDerive(witness);
+    out.detail = out.holds
+                     ? "attacker cannot synthesize an acceptable message"
+                     : "ATTACK: attacker forges an acceptable message";
+    return out;
+}
+
+std::vector<VerificationOutcome>
+ProtocolModel::secrecyOfKeys() const
+{
+    return {
+        secret("Kx", kx),          secret("Ky", ky),
+        secret("Kz", kz),          secret("SKcust", skCust),
+        secret("SKc", skC),        secret("SKa", skA),
+        secret("SKs", skS),        secret("ASKs", askS),
+    };
+}
+
+std::vector<VerificationOutcome>
+ProtocolModel::secrecyOfPayloads() const
+{
+    return {
+        secret("P (security properties)", propP),
+        secret("M (measurements)", measM),
+        secret("R (attestation report)", reportR),
+    };
+}
+
+std::vector<VerificationOutcome>
+ProtocolModel::integrityOfPayloads() const
+{
+    // Integrity (property 3): to modify P, M or R undetected the
+    // attacker must produce a signature over a payload of his choice
+    // under the corresponding key. Witness terms use a fresh
+    // attacker-chosen payload.
+    const TermPtr chosen = Term::name("attacker-payload");
+    std::vector<VerificationOutcome> out;
+    out.push_back(unforgeable(
+        "integrity: M (forge [*]ASKs)", Term::sign(askS, chosen)));
+    out.push_back(unforgeable(
+        "integrity: R at controller (forge [*]SKa)",
+        Term::sign(skA, chosen)));
+    out.push_back(unforgeable(
+        "integrity: R at customer (forge [*]SKc)",
+        Term::sign(skC, chosen)));
+    return out;
+}
+
+std::vector<VerificationOutcome>
+ProtocolModel::authentication() const
+{
+    // Authentication correspondences (properties 4-6): each receiving
+    // side accepts only messages protected under the hop's session key
+    // (for requests) or carrying the peer's signature (for reports).
+    // The attacker defeats authentication iff it can synthesize any
+    // acceptable message on that hop.
+    const TermPtr chosen = Term::name("attacker-payload");
+    std::vector<VerificationOutcome> out;
+    out.push_back(unforgeable(
+        "authentication: customer <-> controller (inject under Kx)",
+        Term::senc(kx, chosen)));
+    out.push_back(unforgeable(
+        "authentication: controller <-> attestation server (inject "
+        "under Ky)",
+        Term::senc(ky, chosen)));
+    out.push_back(unforgeable(
+        "authentication: attestation server <-> cloud server (inject "
+        "under Kz)",
+        Term::senc(kz, chosen)));
+    return out;
+}
+
+std::vector<VerificationOutcome>
+ProtocolModel::verifyAll() const
+{
+    std::vector<VerificationOutcome> all;
+    for (auto group :
+         {secrecyOfKeys(), secrecyOfPayloads(), integrityOfPayloads(),
+          authentication()}) {
+        all.insert(all.end(), group.begin(), group.end());
+    }
+    return all;
+}
+
+} // namespace monatt::verif

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Symbolic model of the Figure-3 attestation protocol and the §7.2.2
+ * security queries.
+ *
+ * The model mirrors the implementation: three SSL-like channels whose
+ * session keys Kx/Ky/Kz derive from premasters transported under the
+ * receivers' identity keys; the measurement response signed by the
+ * per-session ASKs whose public half is pCA-certified; the report
+ * signed hop by hop with SKa and SKc; nonces N1/N2/N3 inside the
+ * encrypted payloads.
+ *
+ * Verified properties (numbering from the paper):
+ *   1  secrecy of Kx, Ky, Kz and of SKcust, SKc, SKa, SKs, ASKs;
+ *   2  secrecy of P, M, R;
+ *   3  integrity of P, M, R (reduced to unforgeability of the MAC/
+ *      signature keys protecting them, witnessed by forgery queries);
+ *   4  customer <-> Cloud Controller authentication;
+ *   5  Cloud Controller <-> Attestation Server authentication;
+ *   6  Attestation Server <-> Cloud Server authentication.
+ *
+ * Each authentication property is checked as a correspondence (the
+ * accepting side's acceptance pattern demands a signature or an
+ * encryption the attacker cannot synthesize) plus an injection query
+ * (the attacker cannot derive any acceptable forged message).
+ *
+ * The checker is validated against itself: verifyProtocol() with a
+ * `leak` set deliberately hands secrets to the attacker and must
+ * report the corresponding properties as broken — guarding against a
+ * vacuously-passing model.
+ */
+
+#ifndef MONATT_VERIF_PROTOCOL_MODEL_H
+#define MONATT_VERIF_PROTOCOL_MODEL_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "verif/deduction.h"
+#include "verif/term.h"
+
+namespace monatt::verif
+{
+
+/** One verified property. */
+struct VerificationOutcome
+{
+    std::string property; //!< e.g. "secrecy: Kz".
+    bool holds = false;
+    std::string detail;
+};
+
+/** Secrets that can be deliberately leaked for checker validation. */
+enum class LeakableSecret
+{
+    SessionKeyKx,
+    SessionKeyKy,
+    SessionKeyKz,
+    ServerIdentityKey,   //!< SKs.
+    AttestorIdentityKey, //!< SKa.
+    ControllerIdentityKey, //!< SKc.
+    SessionSigningKey,   //!< ASKs.
+};
+
+/** The symbolic protocol model. */
+class ProtocolModel
+{
+  public:
+    /** Build the honest protocol trace and attacker knowledge. */
+    explicit ProtocolModel(std::set<LeakableSecret> leaks = {});
+
+    /** Run all §7.2.2 queries. */
+    std::vector<VerificationOutcome> verifyAll() const;
+
+    /** Individual query groups. */
+    std::vector<VerificationOutcome> secrecyOfKeys() const;
+    std::vector<VerificationOutcome> secrecyOfPayloads() const;
+    std::vector<VerificationOutcome> integrityOfPayloads() const;
+    std::vector<VerificationOutcome> authentication() const;
+
+    /** The attacker knowledge (for tests). */
+    const KnowledgeBase &attacker() const { return kb; }
+
+  private:
+    VerificationOutcome secret(const std::string &label,
+                               const TermPtr &term) const;
+    VerificationOutcome unforgeable(const std::string &label,
+                                    const TermPtr &witness) const;
+
+    KnowledgeBase kb;
+
+    // Long-term private names.
+    TermPtr skCust, skC, skA, skS, askS, skPca;
+    // Session keys and premasters.
+    TermPtr kx, ky, kz;
+    // Payload secrets.
+    TermPtr propP, measM, reportR;
+    // Nonces.
+    TermPtr n1, n2, n3;
+};
+
+} // namespace monatt::verif
+
+#endif // MONATT_VERIF_PROTOCOL_MODEL_H

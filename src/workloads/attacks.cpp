@@ -1,0 +1,189 @@
+#include "workloads/attacks.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace monatt::workloads
+{
+
+CovertChannelParams
+CovertChannelParams::fastPreset()
+{
+    CovertChannelParams p;
+    p.shortBit = msec(1);
+    p.longBit = msec(3);
+    p.framePeriod = msec(5);
+    return p;
+}
+
+CovertChannelParams
+CovertChannelParams::detectPreset()
+{
+    CovertChannelParams p;
+    p.shortBit = msec(5);
+    p.longBit = msec(24);
+    p.framePeriod = msec(40);
+    return p;
+}
+
+CovertSenderMain::CovertSenderMain(std::shared_ptr<CovertMessage> message,
+                                   CovertChannelParams params)
+    : msg(std::move(message)), cfg(params)
+{
+}
+
+hypervisor::BurstPlan
+CovertSenderMain::next(const hypervisor::BehaviorContext &ctx)
+{
+    (void)ctx;
+    hypervisor::BurstPlan plan;
+    if (firstCall || msg->done()) {
+        // Wait for the helper's per-frame IPI.
+        firstCall = false;
+        plan.burst = 0;
+        plan.blockFor = kTimeNever;
+        return plan;
+    }
+    const bool bit = msg->bits[msg->nextBit++];
+    plan.burst = bit ? cfg.longBit : cfg.shortBit;
+    plan.blockFor = kTimeNever;
+    return plan;
+}
+
+CovertSenderHelper::CovertSenderHelper(
+    hypervisor::VCpuId mainVcpu, std::shared_ptr<CovertMessage> message,
+    CovertChannelParams params)
+    : target(mainVcpu), msg(std::move(message)), cfg(params)
+{
+}
+
+hypervisor::BurstPlan
+CovertSenderHelper::next(const hypervisor::BehaviorContext &ctx)
+{
+    (void)ctx;
+    hypervisor::BurstPlan plan;
+    if (msg->done()) {
+        plan.burst = 0;
+        plan.blockFor = kTimeNever;
+        return plan;
+    }
+    // A token burst, then kick the main vCPU and sleep one frame. The
+    // IPI arrives at burst end, so the main vCPU wakes with BOOST and
+    // immediately preempts the co-resident receiver.
+    plan.burst = usec(20);
+    plan.ipiTargets.push_back(target);
+    plan.blockFor = cfg.framePeriod - usec(20);
+    plan.wakeIsInterrupt = true;
+    return plan;
+}
+
+void
+installCovertSender(hypervisor::Hypervisor &hv,
+                    hypervisor::DomainId domain,
+                    std::shared_ptr<CovertMessage> message,
+                    CovertChannelParams params)
+{
+    const auto &vcpus = hv.domain(domain).vcpus;
+    if (vcpus.size() < 2)
+        throw std::invalid_argument(
+            "installCovertSender: sender domain needs 2 vCPUs");
+    hv.setBehavior(domain, 0,
+                   std::make_unique<CovertSenderMain>(message, params));
+    hv.setBehavior(domain, 1,
+                   std::make_unique<CovertSenderHelper>(vcpus[0], message,
+                                                        params));
+}
+
+std::vector<bool>
+decodeFromGaps(const std::vector<double> &gaps,
+               const CovertChannelParams &params)
+{
+    const double threshold =
+        toMillis(params.shortBit + params.longBit) / 2.0;
+    const double noiseFloor = toMillis(params.shortBit) * 0.5;
+    std::vector<bool> bits;
+    for (double gap : gaps) {
+        if (gap < noiseFloor)
+            continue; // Scheduler noise, not a signal frame.
+        bits.push_back(gap > threshold);
+    }
+    return bits;
+}
+
+AvailabilityHog::AvailabilityHog(hypervisor::VCpuId triggerVcpu,
+                                 AvailabilityAttackParams params)
+    : trigger(triggerVcpu), cfg(params)
+{
+}
+
+hypervisor::BurstPlan
+AvailabilityHog::next(const hypervisor::BehaviorContext &ctx)
+{
+    hypervisor::BurstPlan plan;
+    // Run up to just before the next sampling tick so the debit lands
+    // on whoever runs across the tick (the victim), never on us.
+    SimTime until = ctx.nextTick - cfg.tickGuard;
+    if (until - ctx.now < usec(100)) {
+        // Too close to the tick: aim for the one after.
+        until += ctx.tickPeriod;
+    }
+    plan.burst = until - ctx.now;
+    plan.ipiTargets.push_back(trigger);
+    plan.blockFor = kTimeNever; // The trigger IPIs us back.
+    return plan;
+}
+
+AvailabilityTrigger::AvailabilityTrigger(hypervisor::VCpuId hogVcpu,
+                                         AvailabilityAttackParams params)
+    : hog(hogVcpu), cfg(params)
+{
+}
+
+hypervisor::BurstPlan
+AvailabilityTrigger::next(const hypervisor::BehaviorContext &ctx)
+{
+    (void)ctx;
+    hypervisor::BurstPlan plan;
+    if (firstCall) {
+        // Bootstrap the cycle as if the hog had just IPI'd us.
+        firstCall = false;
+        phaseCarry = true;
+        plan.burst = cfg.triggerRun;
+        plan.blockFor = cfg.triggerSleep;
+        plan.wakeIsInterrupt = true;
+        return plan;
+    }
+    if (phaseCarry) {
+        // Woken by the timer just after the tick: hand the CPU back to
+        // the hog (IPI wake => BOOST) and wait for its next IPI.
+        phaseCarry = false;
+        plan.burst = cfg.triggerRun;
+        plan.ipiTargets.push_back(hog);
+        plan.blockFor = kTimeNever;
+        return plan;
+    }
+    // Woken by the hog's IPI just before the tick: sleep across it.
+    phaseCarry = true;
+    plan.burst = cfg.triggerRun;
+    plan.blockFor = cfg.triggerSleep;
+    plan.wakeIsInterrupt = true;
+    return plan;
+}
+
+void
+installAvailabilityAttack(hypervisor::Hypervisor &hv,
+                          hypervisor::DomainId domain,
+                          AvailabilityAttackParams params)
+{
+    const auto &vcpus = hv.domain(domain).vcpus;
+    if (vcpus.size() < 2)
+        throw std::invalid_argument(
+            "installAvailabilityAttack: attacker domain needs 2 vCPUs");
+    hv.setBehavior(domain, 0,
+                   std::make_unique<AvailabilityHog>(vcpus[1], params));
+    hv.setBehavior(domain, 1,
+                   std::make_unique<AvailabilityTrigger>(vcpus[0],
+                                                         params));
+}
+
+} // namespace monatt::workloads

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The two cloud attacks designed in the paper.
+ *
+ * 1. CPU-based covert channel (§4.4.1): "The sender VM can occupy the
+ *    CPU for different amounts of time, to indicate different
+ *    information (e.g. long CPU usage indicates a '1' while short CPU
+ *    usage signals a '0')". A helper vCPU IPIs the main sender vCPU
+ *    once per frame; the main vCPU — woken with BOOST priority —
+ *    preempts the co-resident receiver and holds the CPU for a
+ *    bit-dependent duration. The receiver (a SpinnerProgram on the
+ *    same pCPU) infers the bit from the gap in its own execution.
+ *
+ * 2. CPU availability attack (§4.5.1): "launch a VM with multiple
+ *    vCPUs and use them to keep sending and receiving Inter Processor
+ *    Interrupts (IPIs) to each other, so one of the attacker's vCPUs
+ *    always has the highest priority". The hog vCPU runs up to just
+ *    before each sampling tick (so the victim, not the attacker,
+ *    absorbs every credit debit), IPIs the trigger vCPU, and sleeps
+ *    across the tick; the trigger wakes just after the tick and IPIs
+ *    the hog back — which re-enters with BOOST and starves the
+ *    victim.
+ */
+
+#ifndef MONATT_WORKLOADS_ATTACKS_H
+#define MONATT_WORKLOADS_ATTACKS_H
+
+#include <memory>
+#include <vector>
+
+#include "hypervisor/hypervisor.h"
+#include "hypervisor/scheduler.h"
+
+namespace monatt::workloads
+{
+
+/** Covert-channel timing parameters. */
+struct CovertChannelParams
+{
+    SimTime shortBit = msec(5);   //!< CPU occupancy signalling "0".
+    SimTime longBit = msec(24);   //!< CPU occupancy signalling "1".
+    SimTime framePeriod = msec(40); //!< One bit per frame.
+
+    /** High-bandwidth preset used for the Figure 4 trace (~200 bps). */
+    static CovertChannelParams fastPreset();
+
+    /** Detection-oriented preset matching Figure 5's two peaks near
+     * 5 ms and 24 ms. */
+    static CovertChannelParams detectPreset();
+
+    /** Raw channel bandwidth in bits per second. */
+    double bandwidthBps() const
+    {
+        return 1e6 / static_cast<double>(framePeriod);
+    }
+};
+
+/** Shared sender state: the message being transmitted. */
+struct CovertMessage
+{
+    std::vector<bool> bits;
+    std::size_t nextBit = 0;
+
+    bool done() const { return nextBit >= bits.size(); }
+};
+
+/**
+ * The sender's main vCPU: sleeps until the helper's IPI, then occupies
+ * the CPU for a bit-dependent time.
+ */
+class CovertSenderMain : public hypervisor::Behavior
+{
+  public:
+    CovertSenderMain(std::shared_ptr<CovertMessage> message,
+                     CovertChannelParams params);
+
+    hypervisor::BurstPlan next(const hypervisor::BehaviorContext &ctx)
+        override;
+
+  private:
+    std::shared_ptr<CovertMessage> msg;
+    CovertChannelParams cfg;
+    bool firstCall = true;
+};
+
+/**
+ * The sender's helper vCPU: wakes once per frame and IPIs the main
+ * vCPU (giving it BOOST priority so it preempts the receiver).
+ */
+class CovertSenderHelper : public hypervisor::Behavior
+{
+  public:
+    CovertSenderHelper(hypervisor::VCpuId mainVcpu,
+                       std::shared_ptr<CovertMessage> message,
+                       CovertChannelParams params);
+
+    hypervisor::BurstPlan next(const hypervisor::BehaviorContext &ctx)
+        override;
+
+  private:
+    hypervisor::VCpuId target;
+    std::shared_ptr<CovertMessage> msg;
+    CovertChannelParams cfg;
+};
+
+/**
+ * Install a covert-channel sender on a 2-vCPU domain.
+ *
+ * @param hv The hypervisor.
+ * @param domain A domain with at least two vCPUs (main = 0, helper = 1).
+ * @param message The bits to transmit (shared for progress queries).
+ * @param params Channel timing.
+ */
+void installCovertSender(hypervisor::Hypervisor &hv,
+                         hypervisor::DomainId domain,
+                         std::shared_ptr<CovertMessage> message,
+                         CovertChannelParams params);
+
+/**
+ * Decode a covert message from the receiver's observed execution gaps.
+ *
+ * @param gaps Gap lengths (ms) in the receiver's execution.
+ * @param params Channel timing (threshold = midpoint of bit lengths).
+ * @return Decoded bits (gaps too short to be signal are skipped).
+ */
+std::vector<bool> decodeFromGaps(const std::vector<double> &gaps,
+                                 const CovertChannelParams &params);
+
+/** Availability-attack tuning. */
+struct AvailabilityAttackParams
+{
+    SimTime tickGuard = usec(300);  //!< Stop this early before a tick.
+    SimTime triggerRun = usec(50);  //!< Trigger vCPU's token burst.
+    SimTime triggerSleep = usec(600); //!< Sleep across the tick.
+};
+
+/** The hog vCPU: owns the CPU between ticks, never gets sampled. */
+class AvailabilityHog : public hypervisor::Behavior
+{
+  public:
+    AvailabilityHog(hypervisor::VCpuId triggerVcpu,
+                    AvailabilityAttackParams params);
+
+    hypervisor::BurstPlan next(const hypervisor::BehaviorContext &ctx)
+        override;
+
+  private:
+    hypervisor::VCpuId trigger;
+    AvailabilityAttackParams cfg;
+};
+
+/** The trigger vCPU: carries the wakeup across the sampling tick. */
+class AvailabilityTrigger : public hypervisor::Behavior
+{
+  public:
+    AvailabilityTrigger(hypervisor::VCpuId hogVcpu,
+                        AvailabilityAttackParams params);
+
+    hypervisor::BurstPlan next(const hypervisor::BehaviorContext &ctx)
+        override;
+
+  private:
+    hypervisor::VCpuId hog;
+    AvailabilityAttackParams cfg;
+    bool firstCall = true;
+    bool phaseCarry = false;
+};
+
+/** Install the availability attack on a 2-vCPU domain (hog = vCPU 0,
+ * trigger = vCPU 1). */
+void installAvailabilityAttack(hypervisor::Hypervisor &hv,
+                               hypervisor::DomainId domain,
+                               AvailabilityAttackParams params = {});
+
+} // namespace monatt::workloads
+
+#endif // MONATT_WORKLOADS_ATTACKS_H

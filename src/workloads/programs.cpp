@@ -1,0 +1,78 @@
+#include "workloads/programs.h"
+
+namespace monatt::workloads
+{
+
+CpuBoundProgram::CpuBoundProgram(SimTime totalWork,
+                                 std::function<void(SimTime)> onComplete,
+                                 bool repeat)
+    : work(totalWork), remaining(totalWork), done(std::move(onComplete)),
+      loop(repeat)
+{
+}
+
+hypervisor::BurstPlan
+CpuBoundProgram::next(const hypervisor::BehaviorContext &ctx)
+{
+    (void)ctx;
+    hypervisor::BurstPlan plan;
+    if (remaining <= 0) {
+        plan.blockFor = kTimeNever;
+        return plan;
+    }
+
+    // Chunked so the scheduler re-plans at slice granularity; the
+    // program never blocks between chunks.
+    const SimTime chunk = std::min(remaining, msec(10));
+    remaining -= chunk;
+    plan.burst = chunk;
+    plan.blockFor = 0;
+    if (remaining <= 0) {
+        auto callback = done;
+        plan.onComplete = [this, callback](SimTime t) {
+            if (callback)
+                callback(t);
+            if (loop)
+                remaining = work;
+        };
+        if (!loop)
+            plan.blockFor = kTimeNever;
+    }
+    return plan;
+}
+
+hypervisor::BurstPlan
+SpinnerProgram::next(const hypervisor::BehaviorContext &ctx)
+{
+    (void)ctx;
+    hypervisor::BurstPlan plan;
+    plan.burst = msec(10);
+    plan.blockFor = 0;
+    return plan;
+}
+
+hypervisor::BurstPlan
+IdleProgram::next(const hypervisor::BehaviorContext &ctx)
+{
+    (void)ctx;
+    hypervisor::BurstPlan plan;
+    plan.burst = 0;
+    plan.blockFor = kTimeNever;
+    return plan;
+}
+
+const std::vector<VictimProgramSpec> &
+victimPrograms()
+{
+    // CPU demands scaled for simulation speed; relative execution time
+    // is invariant to the absolute demand once steady state is
+    // reached.
+    static const std::vector<VictimProgramSpec> specs = {
+        {"bzip2", seconds(3)},
+        {"hmmer", seconds(4)},
+        {"astar", seconds(3) + msec(500)},
+    };
+    return specs;
+}
+
+} // namespace monatt::workloads

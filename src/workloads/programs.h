@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Victim program workloads.
+ *
+ * Stand-ins for the SPEC2006 CPU-bound programs (bzip2, hmmer, astar)
+ * the paper's victim VM runs in Figure 6: each needs a fixed amount of
+ * CPU time and never blocks, so its completion wall-clock time divided
+ * by its CPU demand is exactly the "relative execution time" the
+ * figure reports.
+ */
+
+#ifndef MONATT_WORKLOADS_PROGRAMS_H
+#define MONATT_WORKLOADS_PROGRAMS_H
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "hypervisor/scheduler.h"
+
+namespace monatt::workloads
+{
+
+/**
+ * A CPU-bound program: consumes `totalWork` of CPU time in yield-free
+ * chunks, reports completion, then optionally repeats.
+ */
+class CpuBoundProgram : public hypervisor::Behavior
+{
+  public:
+    /**
+     * @param totalWork CPU time the program needs.
+     * @param onComplete Called (with the completion time) when the
+     *        work is done.
+     * @param repeat Restart the program after completion.
+     */
+    CpuBoundProgram(SimTime totalWork,
+                    std::function<void(SimTime)> onComplete = nullptr,
+                    bool repeat = false);
+
+    hypervisor::BurstPlan next(const hypervisor::BehaviorContext &ctx)
+        override;
+
+  private:
+    SimTime work;
+    SimTime remaining;
+    std::function<void(SimTime)> done;
+    bool loop;
+};
+
+/**
+ * An infinite CPU spinner (used as the covert-channel receiver's
+ * probe: it wants the CPU constantly, so every gap in its execution
+ * is time the co-resident sender stole — the receiver "can measure
+ * its own execution time, to infer the sender VM's CPU activity").
+ */
+class SpinnerProgram : public hypervisor::Behavior
+{
+  public:
+    hypervisor::BurstPlan next(const hypervisor::BehaviorContext &ctx)
+        override;
+};
+
+/** Idle workload: blocks forever (the "Idle" column of Figure 6). */
+class IdleProgram : public hypervisor::Behavior
+{
+  public:
+    hypervisor::BurstPlan next(const hypervisor::BehaviorContext &ctx)
+        override;
+};
+
+/** Named victim programs of Figure 6 with their CPU demands. */
+struct VictimProgramSpec
+{
+    std::string name;
+    SimTime cpuDemand;
+};
+
+/** The three victim programs (bzip2, hmmer, astar). */
+const std::vector<VictimProgramSpec> &victimPrograms();
+
+} // namespace monatt::workloads
+
+#endif // MONATT_WORKLOADS_PROGRAMS_H

@@ -1,0 +1,63 @@
+#include "workloads/services.h"
+
+#include <stdexcept>
+
+namespace monatt::workloads
+{
+
+ServiceWorkload::ServiceWorkload(ServiceProfile profile)
+    : prof(std::move(profile))
+{
+}
+
+hypervisor::BurstPlan
+ServiceWorkload::next(const hypervisor::BehaviorContext &ctx)
+{
+    hypervisor::BurstPlan plan;
+    const double burst = ctx.rng->nextGaussian(
+        static_cast<double>(prof.burstMean),
+        static_cast<double>(prof.burstStddev));
+    plan.burst = std::max<SimTime>(static_cast<SimTime>(burst), usec(50));
+    plan.blockFor = std::max<SimTime>(
+        static_cast<SimTime>(ctx.rng->nextExponential(
+            static_cast<double>(prof.waitMean))),
+        usec(50));
+    plan.wakeIsInterrupt = true; // I/O completion interrupt.
+    const SimTime credit = plan.burst;
+    plan.onComplete = [this, credit](SimTime) { consumed += credit; };
+    return plan;
+}
+
+const std::vector<ServiceProfile> &
+serviceCatalog()
+{
+    static const std::vector<ServiceProfile> catalog = {
+        // CPU-bound services: long bursts, negligible waits.
+        {"database", msec(15), msec(3), msec(1), true},
+        {"web", msec(10), msec(2), msec(1), true},
+        {"app", msec(20), msec(4), msec(2), true},
+        // I/O-bound services: sub-millisecond bursts, long waits.
+        {"file", usec(800), usec(200), msec(15), false},
+        {"stream", usec(1200), usec(300), msec(10), false},
+        {"mail", usec(600), usec(200), msec(25), false},
+    };
+    return catalog;
+}
+
+const ServiceProfile &
+serviceProfile(const std::string &name)
+{
+    for (const ServiceProfile &p : serviceCatalog()) {
+        if (p.name == name)
+            return p;
+    }
+    throw std::out_of_range("serviceProfile: unknown service " + name);
+}
+
+std::unique_ptr<ServiceWorkload>
+makeService(const std::string &name)
+{
+    return std::make_unique<ServiceWorkload>(serviceProfile(name));
+}
+
+} // namespace monatt::workloads

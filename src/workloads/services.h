@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cloud service workload models.
+ *
+ * The six co-runner services of Figures 6, 7 and 10 — Database, File,
+ * Web, App, Stream, Mail — modeled as burst/wait processes. What
+ * matters for the paper's results is only their CPU- vs I/O-bound
+ * character: "When the attacker is I/O-bound (File, Stream or Mail
+ * servers), the attacker does not consume much CPU... When the
+ * attacker runs CPU-bound tasks (Database, Web or App servers), the
+ * victim's execution time is doubled since it can get a fair share of
+ * 50% of the CPU quota."
+ */
+
+#ifndef MONATT_WORKLOADS_SERVICES_H
+#define MONATT_WORKLOADS_SERVICES_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hypervisor/scheduler.h"
+
+namespace monatt::workloads
+{
+
+/** Burst/wait parameters of a service. */
+struct ServiceProfile
+{
+    std::string name;
+    SimTime burstMean;   //!< CPU burst length (Gaussian mean).
+    SimTime burstStddev;
+    SimTime waitMean;    //!< I/O wait between bursts (exponential mean).
+    bool cpuBound;       //!< Classification, for reporting.
+};
+
+/** A service workload driven by a ServiceProfile. */
+class ServiceWorkload : public hypervisor::Behavior
+{
+  public:
+    explicit ServiceWorkload(ServiceProfile profile);
+
+    hypervisor::BurstPlan next(const hypervisor::BehaviorContext &ctx)
+        override;
+
+    /** CPU time consumed so far (work completed, for Figure 10). */
+    SimTime workDone() const { return consumed; }
+
+  private:
+    ServiceProfile prof;
+    SimTime consumed = 0;
+};
+
+/** The catalog of the six cloud services. */
+const std::vector<ServiceProfile> &serviceCatalog();
+
+/** Look up a profile by name. @throws std::out_of_range when absent. */
+const ServiceProfile &serviceProfile(const std::string &name);
+
+/** Instantiate the workload for a named service. */
+std::unique_ptr<ServiceWorkload> makeService(const std::string &name);
+
+} // namespace monatt::workloads
+
+#endif // MONATT_WORKLOADS_SERVICES_H

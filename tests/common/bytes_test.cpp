@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Byte utilities: hex round trips, concatenation, constant-time
+ * comparison semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace monatt
+{
+namespace
+{
+
+TEST(BytesTest, HexRoundTrip)
+{
+    const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x10};
+    EXPECT_EQ(toHex(data), "0001abff10");
+    EXPECT_EQ(fromHex("0001abff10"), data);
+    EXPECT_EQ(fromHex("0001ABFF10"), data);
+}
+
+TEST(BytesTest, HexEmpty)
+{
+    EXPECT_EQ(toHex({}), "");
+    EXPECT_TRUE(fromHex("").empty());
+}
+
+TEST(BytesTest, FromHexRejectsMalformed)
+{
+    EXPECT_THROW(fromHex("abc"), std::invalid_argument);
+    EXPECT_THROW(fromHex("zz"), std::invalid_argument);
+    EXPECT_THROW(fromHex("0g"), std::invalid_argument);
+}
+
+TEST(BytesTest, StringRoundTrip)
+{
+    EXPECT_EQ(toString(toBytes("hello")), "hello");
+    EXPECT_TRUE(toBytes("").empty());
+}
+
+TEST(BytesTest, Concat)
+{
+    const Bytes a = {1, 2};
+    const Bytes b = {};
+    const Bytes c = {3};
+    EXPECT_EQ(concat({&a, &b, &c}), (Bytes{1, 2, 3}));
+    EXPECT_TRUE(concat({&b}).empty());
+}
+
+TEST(BytesTest, Append)
+{
+    Bytes dst = {1};
+    append(dst, {2, 3});
+    EXPECT_EQ(dst, (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, ConstantTimeEqual)
+{
+    EXPECT_TRUE(constantTimeEqual({1, 2, 3}, {1, 2, 3}));
+    EXPECT_FALSE(constantTimeEqual({1, 2, 3}, {1, 2, 4}));
+    EXPECT_FALSE(constantTimeEqual({1, 2}, {1, 2, 3}));
+    EXPECT_TRUE(constantTimeEqual({}, {}));
+}
+
+TEST(BytesTest, XorInPlace)
+{
+    Bytes a = {0xff, 0x00, 0x55};
+    xorInPlace(a, {0x0f, 0xf0, 0x55});
+    EXPECT_EQ(a, (Bytes{0xf0, 0xf0, 0x00}));
+    EXPECT_THROW(xorInPlace(a, Bytes{0x01}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace monatt

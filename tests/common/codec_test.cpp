@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Serialization codec: round trips for every field type and strict
+ * rejection of truncated or malformed buffers — the protocol layer
+ * relies on the reader's strictness to catch tampering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+
+namespace monatt
+{
+namespace
+{
+
+TEST(CodecTest, ScalarRoundTrip)
+{
+    ByteWriter w;
+    w.putU8(0xab);
+    w.putU16(0x1234);
+    w.putU32(0xdeadbeef);
+    w.putU64(0x0123456789abcdefULL);
+    w.putI64(-42);
+    w.putDouble(3.14159);
+
+    ByteReader r(w.data());
+    EXPECT_EQ(r.getU8().value(), 0xab);
+    EXPECT_EQ(r.getU16().value(), 0x1234);
+    EXPECT_EQ(r.getU32().value(), 0xdeadbeefu);
+    EXPECT_EQ(r.getU64().value(), 0x0123456789abcdefULL);
+    EXPECT_EQ(r.getI64().value(), -42);
+    EXPECT_DOUBLE_EQ(r.getDouble().value(), 3.14159);
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(CodecTest, BytesAndStringRoundTrip)
+{
+    ByteWriter w;
+    w.putBytes({1, 2, 3});
+    w.putString("hello");
+    w.putBytes({});
+    w.putString("");
+
+    ByteReader r(w.data());
+    EXPECT_EQ(r.getBytes().value(), (Bytes{1, 2, 3}));
+    EXPECT_EQ(r.getString().value(), "hello");
+    EXPECT_TRUE(r.getBytes().value().empty());
+    EXPECT_EQ(r.getString().value(), "");
+    EXPECT_TRUE(r.atEnd());
+}
+
+TEST(CodecTest, RawRoundTrip)
+{
+    ByteWriter w;
+    w.putRaw({9, 8, 7});
+    ByteReader r(w.data());
+    EXPECT_EQ(r.getRaw(3).value(), (Bytes{9, 8, 7}));
+    EXPECT_FALSE(r.getRaw(1).isOk());
+}
+
+TEST(CodecTest, TruncatedScalarFails)
+{
+    const Bytes buf = {0x01, 0x02};
+    ByteReader r(buf);
+    EXPECT_FALSE(r.getU32().isOk());
+    ByteReader r2(buf);
+    EXPECT_FALSE(r2.getU64().isOk());
+}
+
+TEST(CodecTest, TruncatedLengthPrefixFails)
+{
+    ByteWriter w;
+    w.putBytes({1, 2, 3, 4, 5});
+    Bytes buf = w.take();
+    buf.resize(buf.size() - 2); // Chop payload.
+    ByteReader r(buf);
+    EXPECT_FALSE(r.getBytes().isOk());
+}
+
+TEST(CodecTest, OverlongLengthPrefixFails)
+{
+    ByteWriter w;
+    w.putU32(1000); // Claims 1000 bytes follow.
+    w.putRaw({1, 2, 3});
+    ByteReader r(w.data());
+    EXPECT_FALSE(r.getBytes().isOk());
+}
+
+TEST(CodecTest, RemainingTracksConsumption)
+{
+    ByteWriter w;
+    w.putU32(7);
+    ByteReader r(w.data());
+    EXPECT_EQ(r.remaining(), 4u);
+    ASSERT_TRUE(r.getU16().isOk());
+    EXPECT_EQ(r.remaining(), 2u);
+    EXPECT_FALSE(r.atEnd());
+}
+
+TEST(CodecTest, EmptyBuffer)
+{
+    const Bytes empty;
+    ByteReader r(empty);
+    EXPECT_TRUE(r.atEnd());
+    EXPECT_FALSE(r.getU8().isOk());
+}
+
+TEST(CodecTest, DoubleSpecialValues)
+{
+    ByteWriter w;
+    w.putDouble(0.0);
+    w.putDouble(-1.5e300);
+    ByteReader r(w.data());
+    EXPECT_DOUBLE_EQ(r.getDouble().value(), 0.0);
+    EXPECT_DOUBLE_EQ(r.getDouble().value(), -1.5e300);
+}
+
+} // namespace
+} // namespace monatt

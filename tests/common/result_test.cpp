@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Result/Status semantics and the logging facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/result.h"
+
+namespace monatt
+{
+namespace
+{
+
+TEST(ResultTest, OkCarriesValue)
+{
+    auto r = Result<int>::ok(42);
+    EXPECT_TRUE(r.isOk());
+    EXPECT_TRUE(static_cast<bool>(r));
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_TRUE(r.errorMessage().empty());
+}
+
+TEST(ResultTest, ErrorCarriesMessage)
+{
+    auto r = Result<int>::error("nope");
+    EXPECT_FALSE(r.isOk());
+    EXPECT_EQ(r.errorMessage(), "nope");
+    EXPECT_THROW(r.value(), std::logic_error);
+    EXPECT_THROW(r.take(), std::logic_error);
+}
+
+TEST(ResultTest, TakeMovesValueOut)
+{
+    auto r = Result<std::string>::ok("payload");
+    const std::string v = r.take();
+    EXPECT_EQ(v, "payload");
+    // After take the result no longer holds a value.
+    EXPECT_FALSE(r.isOk());
+}
+
+TEST(ResultTest, MutableValueAccess)
+{
+    auto r = Result<std::vector<int>>::ok({1, 2});
+    r.value().push_back(3);
+    EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(ResultTest, MoveOnlyTypes)
+{
+    auto r = Result<std::unique_ptr<int>>::ok(std::make_unique<int>(7));
+    auto p = r.take();
+    EXPECT_EQ(*p, 7);
+}
+
+TEST(StatusTest, OkAndError)
+{
+    EXPECT_TRUE(Status::ok().isOk());
+    EXPECT_TRUE(Status::ok().errorMessage().empty());
+    const Status err = Status::error("bad");
+    EXPECT_FALSE(err.isOk());
+    EXPECT_FALSE(static_cast<bool>(err));
+    EXPECT_EQ(err.errorMessage(), "bad");
+}
+
+TEST(LoggingTest, LevelGating)
+{
+    const LogLevel before = Logger::level();
+    Logger::setLevel(LogLevel::Error);
+    EXPECT_EQ(Logger::level(), LogLevel::Error);
+    // Below-threshold statements are skipped without evaluating the
+    // stream (the macro's whole point); verify via a side effect.
+    int evaluated = 0;
+    auto touch = [&evaluated] {
+        ++evaluated;
+        return "x";
+    };
+    MONATT_LOG(Debug, "test") << touch();
+    EXPECT_EQ(evaluated, 0);
+    Logger::setLevel(LogLevel::Off);
+    MONATT_LOG(Error, "test") << touch();
+    EXPECT_EQ(evaluated, 0);
+    Logger::setLevel(before);
+}
+
+} // namespace
+} // namespace monatt

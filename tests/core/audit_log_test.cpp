@@ -1,0 +1,179 @@
+/**
+ * @file
+ * The audit-log-integrity extension property, unit level and end to
+ * end: hash-chain mechanics in the guest OS, the history-sensitive
+ * interpreter, and rollback detection through the full protocol under
+ * periodic attestation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attestation/interpreters.h"
+#include "core/cloud.h"
+#include "hypervisor/domain.h"
+
+namespace monatt::core
+{
+namespace
+{
+
+using proto::HealthStatus;
+using proto::SecurityProperty;
+
+TEST(AuditLogTest, HashChainGrowsDeterministically)
+{
+    hypervisor::GuestOs a, b;
+    EXPECT_EQ(a.auditLogHead(), Bytes(32, 0x00));
+    a.appendAuditEvent("login root");
+    a.appendAuditEvent("apt install nginx");
+    b.appendAuditEvent("login root");
+    b.appendAuditEvent("apt install nginx");
+    EXPECT_EQ(a.auditLogHead(), b.auditLogHead());
+    EXPECT_EQ(a.auditLogLength(), 2u);
+
+    b.appendAuditEvent("rm -rf /var/log");
+    EXPECT_NE(a.auditLogHead(), b.auditLogHead());
+}
+
+TEST(AuditLogTest, OrderMatters)
+{
+    hypervisor::GuestOs a, b;
+    a.appendAuditEvent("x");
+    a.appendAuditEvent("y");
+    b.appendAuditEvent("y");
+    b.appendAuditEvent("x");
+    EXPECT_NE(a.auditLogHead(), b.auditLogHead());
+}
+
+TEST(AuditLogTest, TruncationChangesHeadAndCount)
+{
+    hypervisor::GuestOs os;
+    for (int i = 0; i < 10; ++i)
+        os.appendAuditEvent("event " + std::to_string(i));
+    const Bytes headAt10 = os.auditLogHead();
+    os.truncateAuditLog(6);
+    EXPECT_EQ(os.auditLogLength(), 6u);
+    EXPECT_NE(os.auditLogHead(), headAt10);
+    os.truncateAuditLog(100); // No-op when keep >= size.
+    EXPECT_EQ(os.auditLogLength(), 6u);
+}
+
+proto::MeasurementSet
+auditMeasurement(std::uint64_t count, const Bytes &head)
+{
+    proto::MeasurementSet set;
+    proto::Measurement m;
+    m.type = proto::MeasurementType::AuditLogDigest;
+    m.values = {count};
+    m.digest = head;
+    set.items.push_back(m);
+    return set;
+}
+
+TEST(AuditLogInterpreterTest, BaselineThenGrowthHealthy)
+{
+    attestation::AuditLogIntegrityInterpreter interp;
+    const auto first = auditMeasurement(5, Bytes(32, 0x11));
+    attestation::InterpretationContext noHistory;
+    EXPECT_EQ(interp.interpret(first, noHistory).status,
+              HealthStatus::Healthy);
+
+    const auto second = auditMeasurement(9, Bytes(32, 0x22));
+    attestation::InterpretationContext ctx;
+    ctx.previous = &first;
+    EXPECT_EQ(interp.interpret(second, ctx).status,
+              HealthStatus::Healthy);
+}
+
+TEST(AuditLogInterpreterTest, TruncationCompromised)
+{
+    attestation::AuditLogIntegrityInterpreter interp;
+    const auto prev = auditMeasurement(9, Bytes(32, 0x22));
+    const auto now = auditMeasurement(4, Bytes(32, 0x33));
+    attestation::InterpretationContext ctx;
+    ctx.previous = &prev;
+    const auto r = interp.interpret(now, ctx);
+    EXPECT_EQ(r.status, HealthStatus::Compromised);
+    EXPECT_NE(r.detail.find("truncated"), std::string::npos);
+}
+
+TEST(AuditLogInterpreterTest, RewriteAtConstantLengthCompromised)
+{
+    attestation::AuditLogIntegrityInterpreter interp;
+    const auto prev = auditMeasurement(9, Bytes(32, 0x22));
+    const auto now = auditMeasurement(9, Bytes(32, 0x99));
+    attestation::InterpretationContext ctx;
+    ctx.previous = &prev;
+    const auto r = interp.interpret(now, ctx);
+    EXPECT_EQ(r.status, HealthStatus::Compromised);
+    EXPECT_NE(r.detail.find("rewritten"), std::string::npos);
+}
+
+TEST(AuditLogInterpreterTest, IdenticalRepeatHealthy)
+{
+    attestation::AuditLogIntegrityInterpreter interp;
+    const auto prev = auditMeasurement(9, Bytes(32, 0x22));
+    attestation::InterpretationContext ctx;
+    ctx.previous = &prev;
+    EXPECT_EQ(interp.interpret(prev, ctx).status,
+              HealthStatus::Healthy);
+}
+
+TEST(AuditLogEndToEndTest, RollbackDetectedUnderPeriodicAttestation)
+{
+    Cloud cloud;
+    Customer &alice = cloud.addCustomer("alice");
+    auto launched = cloud.launchVm(
+        alice, "vm", "cirros", "small",
+        {SecurityProperty::AuditLogIntegrity});
+    ASSERT_TRUE(launched.isOk()) << launched.errorMessage();
+    const std::string vid = launched.take();
+    server::CloudServer *host = cloud.serverHosting(vid);
+    hypervisor::GuestOs &os = host->guestOs(vid);
+    for (int i = 0; i < 20; ++i)
+        os.appendAuditEvent("syslog entry " + std::to_string(i));
+
+    const std::uint64_t req = alice.runtimeAttestPeriodic(
+        vid, {SecurityProperty::AuditLogIntegrity}, seconds(10));
+
+    // Two healthy rounds while the log grows.
+    ASSERT_TRUE(cloud.runUntil(
+        [&] { return alice.reportsFor(req).size() >= 2; }, seconds(60)));
+    for (const auto *r : alice.reportsFor(req)) {
+        EXPECT_EQ(r->report.results[0].status, HealthStatus::Healthy)
+            << r->report.results[0].detail;
+    }
+    os.appendAuditEvent("normal growth");
+
+    // Malware covers its tracks: truncates the audit log.
+    os.truncateAuditLog(3);
+    const std::size_t healthyReports = alice.reportsFor(req).size();
+    ASSERT_TRUE(cloud.runUntil(
+        [&] { return alice.reportsFor(req).size() > healthyReports; },
+        seconds(60)));
+    const auto *detection = alice.reportsFor(req).back();
+    EXPECT_EQ(detection->report.results[0].status,
+              HealthStatus::Compromised);
+    EXPECT_NE(detection->report.results[0].detail.find("truncated"),
+              std::string::npos);
+}
+
+TEST(AuditLogEndToEndTest, OneShotBaselineIsHealthy)
+{
+    Cloud cloud;
+    Customer &alice = cloud.addCustomer("alice");
+    auto launched = cloud.launchVm(
+        alice, "vm", "cirros", "small",
+        {SecurityProperty::AuditLogIntegrity});
+    ASSERT_TRUE(launched.isOk());
+    auto report = cloud.attestOnce(
+        alice, launched.value(), {SecurityProperty::AuditLogIntegrity});
+    ASSERT_TRUE(report.isOk());
+    EXPECT_EQ(report.value().report.results[0].status,
+              HealthStatus::Healthy);
+    EXPECT_NE(report.value().report.results[0].detail.find("baseline"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace monatt::core

@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Lifecycle and deployment-shape tests: multi-VM placement, resource
+ * exhaustion, customer isolation, attestation-server clusters
+ * (§3.2.3), suspension auto-recheck/resume (§5.2 #2), and random
+ * periodic intervals (Table 1's "or at random intervals").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cloud.h"
+#include "workloads/programs.h"
+
+namespace monatt::core
+{
+namespace
+{
+
+using proto::HealthStatus;
+using proto::SecurityProperty;
+
+TEST(PlacementTest, SpreadsVmsAcrossServers)
+{
+    CloudConfig cfg;
+    cfg.numServers = 3;
+    Cloud cloud(cfg);
+    Customer &alice = cloud.addCustomer("alice");
+
+    // The default OpenStack spread policy: each launch lands on the
+    // emptiest server.
+    for (int i = 0; i < 3; ++i) {
+        auto vid = cloud.launchVm(alice, "vm" + std::to_string(i),
+                                  "cirros", "small",
+                                  proto::allProperties());
+        ASSERT_TRUE(vid.isOk()) << vid.errorMessage();
+    }
+    for (std::size_t i = 0; i < 3; ++i)
+        EXPECT_EQ(cloud.server(i).vmCount(), 1u);
+}
+
+TEST(PlacementTest, ResourceExhaustionFailsCleanly)
+{
+    CloudConfig cfg;
+    cfg.numServers = 1;
+    Cloud cloud(cfg);
+    Customer &alice = cloud.addCustomer("alice");
+
+    // 32 GB / 2 GB(large) = 16 VMs; disk 500/40 = 12 VMs -> disk is
+    // the binding constraint.
+    int launched = 0;
+    Result<std::string> last = Result<std::string>::error("none");
+    for (int i = 0; i < 14; ++i) {
+        last = cloud.launchVm(alice, "vm" + std::to_string(i), "cirros",
+                              "large", {});
+        if (!last.isOk())
+            break;
+        ++launched;
+    }
+    EXPECT_EQ(launched, 12);
+    EXPECT_FALSE(last.isOk());
+    EXPECT_NE(last.errorMessage().find("no qualified server"),
+              std::string::npos);
+}
+
+TEST(PlacementTest, PropertyFilterRejectsIncapableCloud)
+{
+    CloudConfig cfg;
+    cfg.serverCapabilities = {SecurityProperty::StartupIntegrity};
+    Cloud cloud(cfg);
+    Customer &alice = cloud.addCustomer("alice");
+    auto vid = cloud.launchVm(
+        alice, "vm", "cirros", "small",
+        {SecurityProperty::CovertChannelFreedom});
+    ASSERT_FALSE(vid.isOk());
+    EXPECT_NE(vid.errorMessage().find("no qualified server"),
+              std::string::npos);
+}
+
+TEST(PlacementTest, UnknownFlavorAndImage)
+{
+    Cloud cloud;
+    Customer &alice = cloud.addCustomer("alice");
+    auto vid = cloud.launchVmWithImage(alice, "vm", "cirros",
+                                       "gigantic", {}, toBytes("img"),
+                                       25);
+    ASSERT_FALSE(vid.isOk());
+    EXPECT_NE(vid.errorMessage().find("unknown flavor"),
+              std::string::npos);
+    EXPECT_THROW((void)cloud.launchVm(alice, "vm", "no-such-image",
+                                      "small", {}),
+                 std::out_of_range);
+}
+
+TEST(IsolationTest, CustomerCannotAttestForeignVm)
+{
+    Cloud cloud;
+    Customer &alice = cloud.addCustomer("alice");
+    Customer &mallory = cloud.addCustomer("mallory");
+
+    auto vid = cloud.launchVm(alice, "alice-vm", "cirros", "small",
+                              proto::allProperties());
+    ASSERT_TRUE(vid.isOk());
+
+    // Mallory asks for a report on Alice's VM: the controller checks
+    // ownership and ignores the request.
+    auto report = cloud.attestOnce(mallory, vid.value(),
+                                   {SecurityProperty::RuntimeIntegrity},
+                                   seconds(20));
+    EXPECT_FALSE(report.isOk());
+    EXPECT_EQ(mallory.stats().reportsVerified, 0u);
+
+    // Alice still can.
+    auto own = cloud.attestOnce(alice, vid.value(),
+                                {SecurityProperty::RuntimeIntegrity});
+    EXPECT_TRUE(own.isOk());
+}
+
+TEST(ClusterTest, MultipleAttestationServersShareTheLoad)
+{
+    CloudConfig cfg;
+    cfg.numServers = 4;
+    cfg.numAttestationServers = 2;
+    Cloud cloud(cfg);
+    ASSERT_EQ(cloud.numAttestationServers(), 2u);
+    Customer &alice = cloud.addCustomer("alice");
+
+    // Four VMs spread over four servers; servers are assigned to the
+    // two attestors round robin, so attesting all VMs exercises both.
+    std::vector<std::string> vids;
+    for (int i = 0; i < 4; ++i) {
+        auto vid = cloud.launchVm(alice, "vm" + std::to_string(i),
+                                  "cirros", "small",
+                                  proto::allProperties());
+        ASSERT_TRUE(vid.isOk()) << vid.errorMessage();
+        vids.push_back(vid.take());
+    }
+    for (const std::string &vid : vids) {
+        auto report = cloud.attestOnce(
+            alice, vid, {SecurityProperty::RuntimeIntegrity});
+        ASSERT_TRUE(report.isOk()) << report.errorMessage();
+        EXPECT_EQ(report.value().report.results[0].status,
+                  HealthStatus::Healthy);
+    }
+
+    // Both clusters did real work (launch attestations + runtime).
+    EXPECT_GT(cloud.attestationServer(0).stats().reportsIssued, 0u);
+    EXPECT_GT(cloud.attestationServer(1).stats().reportsIssued, 0u);
+    EXPECT_EQ(cloud.attestationServer(0).stats().verificationFailures,
+              0u);
+    EXPECT_EQ(cloud.attestationServer(1).stats().verificationFailures,
+              0u);
+}
+
+TEST(SuspendRecheckTest, ResumesWhenHealthRecovers)
+{
+    Cloud cloud;
+    Customer &alice = cloud.addCustomer("alice");
+    auto launched = cloud.launchVm(alice, "vm", "cirros", "small",
+                                   proto::allProperties());
+    ASSERT_TRUE(launched.isOk());
+    const std::string vid = launched.take();
+
+    cloud.controller().setResponsePolicy(
+        vid, controller::ResponsePolicy::Suspend);
+    server::CloudServer *host = cloud.serverHosting(vid);
+    const auto pid = host->guestOs(vid).injectHiddenMalware("rootkit");
+
+    auto report = cloud.attestOnce(alice, vid,
+                                   {SecurityProperty::RuntimeIntegrity});
+    ASSERT_TRUE(report.isOk());
+    ASSERT_TRUE(cloud.runUntil(
+        [&] {
+            const auto &log = cloud.controller().responseLog();
+            return !log.empty() && log.front().completed;
+        },
+        seconds(60)));
+    EXPECT_EQ(cloud.controller().database().vm(vid)->status,
+              controller::VmStatus::Suspended);
+
+    // The first recheck (30 s later) still sees the rootkit: stays
+    // suspended.
+    cloud.runFor(seconds(40));
+    EXPECT_EQ(cloud.controller().database().vm(vid)->status,
+              controller::VmStatus::Suspended);
+
+    // Clean the VM; the next recheck resumes it.
+    host->guestOs(vid).killProcess(pid);
+    ASSERT_TRUE(cloud.runUntil(
+        [&] {
+            return cloud.controller().database().vm(vid)->status ==
+                   controller::VmStatus::Running;
+        },
+        seconds(120)));
+    EXPECT_TRUE(cloud.controller().responseLog().front()
+                    .resumedAfterRecheck);
+    // The domain is actually executing again.
+    ASSERT_TRUE(cloud.runUntil(
+        [&] {
+            return host->hypervisor()
+                .domain(host->domainOf(vid))
+                .running;
+        },
+        seconds(30)));
+}
+
+TEST(PeriodicTest, RandomIntervalsDeliverFreshReports)
+{
+    // Table 1: periodic attestation "at the frequency of freq or at
+    // random intervals" — period <= 0 selects randomized intervals.
+    CloudConfig cfg;
+    Cloud cloud(cfg);
+    Customer &alice = cloud.addCustomer("alice");
+    auto launched = cloud.launchVm(alice, "vm", "cirros", "small",
+                                   proto::allProperties());
+    ASSERT_TRUE(launched.isOk());
+    const std::string vid = launched.take();
+
+    const std::uint64_t req = alice.runtimeAttestPeriodic(
+        vid, {SecurityProperty::RuntimeIntegrity}, /*period=*/0);
+    cloud.runFor(minutes(4));
+    const auto reports = alice.reportsFor(req);
+    // Random periods are uniform in [5 s, 60 s] => expect roughly
+    // 4-48 rounds in 4 minutes; definitely more than one, and the
+    // gaps should not all be identical.
+    ASSERT_GE(reports.size(), 3u);
+    std::set<SimTime> gaps;
+    for (std::size_t i = 1; i < reports.size(); ++i)
+        gaps.insert(reports[i]->receivedAt - reports[i - 1]->receivedAt);
+    EXPECT_GT(gaps.size(), 1u) << "intervals should vary";
+}
+
+TEST(LaunchTimingTest, StageDurationsMatchTimingModel)
+{
+    Cloud cloud;
+    Customer &alice = cloud.addCustomer("alice");
+    auto vid = cloud.launchVm(alice, "vm", "fedora", "medium",
+                              proto::allProperties());
+    ASSERT_TRUE(vid.isOk());
+    const auto *rec = cloud.controller().database().vm(vid.value());
+    const proto::TimingModel &t = cloud.config().timing;
+
+    EXPECT_EQ(rec->launchTimer.durationOf("networking"), t.networking);
+    EXPECT_EQ(rec->launchTimer.durationOf("mapping"),
+              t.mappingTime(rec->diskGb));
+    // Spawning includes the LaunchVm command round trip; duration is
+    // at least the server-side spawn time.
+    EXPECT_GE(rec->launchTimer.durationOf("spawning"),
+              t.spawnTime(rec->imageSizeMb, rec->ramMb));
+    EXPECT_GT(rec->launchTimer.durationOf("attestation"), 0);
+}
+
+} // namespace
+} // namespace monatt::core

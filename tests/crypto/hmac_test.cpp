@@ -1,0 +1,106 @@
+/**
+ * @file
+ * HMAC-SHA-256 against RFC 4231 vectors; HKDF against RFC 5869.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/hmac.h"
+
+namespace monatt::crypto
+{
+namespace
+{
+
+TEST(HmacTest, Rfc4231Case1)
+{
+    const Bytes key(20, 0x0b);
+    const Bytes data = toBytes("Hi There");
+    EXPECT_EQ(toHex(hmacSha256(key, data)),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c"
+              "2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2)
+{
+    const Bytes key = toBytes("Jefe");
+    const Bytes data = toBytes("what do ya want for nothing?");
+    EXPECT_EQ(toHex(hmacSha256(key, data)),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b9"
+              "64ec3843");
+}
+
+TEST(HmacTest, Rfc4231Case3)
+{
+    const Bytes key(20, 0xaa);
+    const Bytes data(50, 0xdd);
+    EXPECT_EQ(toHex(hmacSha256(key, data)),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514"
+              "ced565fe");
+}
+
+TEST(HmacTest, Rfc4231Case6LongKey)
+{
+    const Bytes key(131, 0xaa);
+    const Bytes data =
+        toBytes("Test Using Larger Than Block-Size Key - Hash Key First");
+    EXPECT_EQ(toHex(hmacSha256(key, data)),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f"
+              "0ee37f54");
+}
+
+TEST(HmacTest, KeySensitivity)
+{
+    const Bytes data = toBytes("message");
+    EXPECT_NE(hmacSha256(toBytes("key1"), data),
+              hmacSha256(toBytes("key2"), data));
+}
+
+TEST(HkdfTest, Rfc5869Case1)
+{
+    const Bytes ikm(22, 0x0b);
+    const Bytes salt = fromHex("000102030405060708090a0b0c");
+    const Bytes info = fromHex("f0f1f2f3f4f5f6f7f8f9");
+    const Bytes okm = hkdf(salt, ikm, info, 42);
+    EXPECT_EQ(toHex(okm),
+              "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56"
+              "ecc4c5bf34007208d5b887185865");
+}
+
+TEST(HkdfTest, Rfc5869Case3EmptySaltInfo)
+{
+    const Bytes ikm(22, 0x0b);
+    const Bytes okm = hkdf({}, ikm, {}, 42);
+    EXPECT_EQ(toHex(okm),
+              "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f"
+              "3c738d2d9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, ExpandLengths)
+{
+    const Bytes prk = hkdfExtract(toBytes("salt"), toBytes("ikm"));
+    for (std::size_t len : {1u, 31u, 32u, 33u, 64u, 100u}) {
+        EXPECT_EQ(hkdfExpand(prk, toBytes("ctx"), len).size(), len);
+    }
+    // Prefix property: shorter outputs are prefixes of longer ones.
+    const Bytes long64 = hkdfExpand(prk, toBytes("ctx"), 64);
+    const Bytes short32 = hkdfExpand(prk, toBytes("ctx"), 32);
+    EXPECT_EQ(Bytes(long64.begin(), long64.begin() + 32), short32);
+}
+
+TEST(HkdfTest, InfoSeparatesKeys)
+{
+    const Bytes prk = hkdfExtract(toBytes("salt"), toBytes("master"));
+    EXPECT_NE(hkdfExpand(prk, toBytes("client->server"), 32),
+              hkdfExpand(prk, toBytes("server->client"), 32));
+}
+
+TEST(HkdfTest, RejectsOversizedRequest)
+{
+    const Bytes prk = hkdfExtract({}, toBytes("x"));
+    EXPECT_THROW(hkdfExpand(prk, {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace monatt::crypto

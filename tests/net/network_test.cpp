@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Network fabric: envelope wire format, latency/bandwidth modeling,
+ * delivery, and the Dolev-Yao adversary hook's observe / modify /
+ * drop / inject capabilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace monatt::net
+{
+namespace
+{
+
+TEST(EnvelopeTest, EncodeDecodeRoundTrip)
+{
+    Envelope env;
+    env.src = "alice";
+    env.dst = "controller";
+    env.channel = "data-out";
+    env.seq = 42;
+    env.payload = {1, 2, 3};
+    env.bulkBytes = 1024;
+
+    auto decoded = Envelope::decode(env.encode());
+    ASSERT_TRUE(decoded.isOk());
+    EXPECT_EQ(decoded.value().src, "alice");
+    EXPECT_EQ(decoded.value().dst, "controller");
+    EXPECT_EQ(decoded.value().channel, "data-out");
+    EXPECT_EQ(decoded.value().seq, 42u);
+    EXPECT_EQ(decoded.value().payload, (Bytes{1, 2, 3}));
+    EXPECT_EQ(decoded.value().bulkBytes, 1024u);
+}
+
+TEST(EnvelopeTest, DecodeRejectsMalformed)
+{
+    EXPECT_FALSE(Envelope::decode(Bytes{0x01}).isOk());
+    Envelope env;
+    env.src = "a";
+    env.dst = "b";
+    Bytes wire = env.encode();
+    wire.push_back(0x00);
+    EXPECT_FALSE(Envelope::decode(wire).isOk());
+}
+
+TEST(EnvelopeTest, WireSizeIncludesBulk)
+{
+    Envelope env;
+    env.src = "a";
+    env.dst = "b";
+    const std::size_t base = env.wireSize();
+    env.bulkBytes = 5000;
+    EXPECT_EQ(env.wireSize(), base + 5000);
+}
+
+struct NetFixture
+{
+    sim::EventQueue events;
+    Network net{events};
+    std::vector<Envelope> received;
+
+    NetFixture()
+    {
+        net.registerNode("b", [this](const Envelope &env) {
+            received.push_back(env);
+        });
+    }
+
+    Envelope
+    makeEnvelope(const Bytes &payload = {1, 2, 3})
+    {
+        Envelope env;
+        env.src = "a";
+        env.dst = "b";
+        env.channel = "test";
+        env.payload = payload;
+        return env;
+    }
+};
+
+TEST(NetworkTest, DeliversAfterLatency)
+{
+    NetFixture f;
+    f.net.setLink("a", "b", LinkParams{usec(500), 1000.0});
+    f.net.send(f.makeEnvelope());
+    EXPECT_TRUE(f.received.empty());
+    f.events.runAll();
+    ASSERT_EQ(f.received.size(), 1u);
+    // 500 us latency + serialization (small message, <1 us).
+    EXPECT_GE(f.events.now(), usec(500));
+    EXPECT_LT(f.events.now(), usec(510));
+}
+
+TEST(NetworkTest, BandwidthChargesBulkBytes)
+{
+    NetFixture f;
+    f.net.setLink("a", "b", LinkParams{usec(100), 1000.0}); // 1 Gbps.
+    Envelope env = f.makeEnvelope();
+    env.bulkBytes = 125000000; // 1 Gbit => 1 s at 1 Gbps.
+    f.net.send(std::move(env));
+    f.events.runAll();
+    EXPECT_NEAR(toSeconds(f.events.now()), 1.0, 0.01);
+}
+
+TEST(NetworkTest, UndeliverableCounted)
+{
+    NetFixture f;
+    Envelope env = f.makeEnvelope();
+    env.dst = "nobody";
+    f.net.send(std::move(env));
+    f.events.runAll();
+    EXPECT_EQ(f.net.stats().undeliverable, 1u);
+    EXPECT_TRUE(f.received.empty());
+}
+
+TEST(NetworkTest, AdversaryObservesWithoutModifying)
+{
+    NetFixture f;
+    int observed = 0;
+    f.net.setAdversary([&](const Envelope &env) {
+        ++observed;
+        return env;
+    });
+    f.net.send(f.makeEnvelope());
+    f.events.runAll();
+    EXPECT_EQ(observed, 1);
+    EXPECT_EQ(f.received.size(), 1u);
+    EXPECT_EQ(f.net.stats().modifiedByAdversary, 0u);
+}
+
+TEST(NetworkTest, AdversaryDrops)
+{
+    NetFixture f;
+    f.net.setAdversary(
+        [](const Envelope &) { return std::optional<Envelope>{}; });
+    f.net.send(f.makeEnvelope());
+    f.events.runAll();
+    EXPECT_TRUE(f.received.empty());
+    EXPECT_EQ(f.net.stats().droppedByAdversary, 1u);
+}
+
+TEST(NetworkTest, AdversaryModifies)
+{
+    NetFixture f;
+    f.net.setAdversary([](const Envelope &env) {
+        Envelope out = env;
+        out.payload[0] ^= 0xff;
+        return std::optional<Envelope>{out};
+    });
+    f.net.send(f.makeEnvelope({1, 2, 3}));
+    f.events.runAll();
+    ASSERT_EQ(f.received.size(), 1u);
+    EXPECT_EQ(f.received[0].payload[0], 1 ^ 0xff);
+    EXPECT_EQ(f.net.stats().modifiedByAdversary, 1u);
+}
+
+TEST(NetworkTest, AdversaryInjects)
+{
+    NetFixture f;
+    f.net.inject(f.makeEnvelope({9}));
+    f.events.runAll();
+    ASSERT_EQ(f.received.size(), 1u);
+    EXPECT_EQ(f.net.stats().injected, 1u);
+}
+
+TEST(NetworkTest, AdversaryReplays)
+{
+    NetFixture f;
+    std::optional<Envelope> captured;
+    f.net.setAdversary([&](const Envelope &env) {
+        if (!captured)
+            captured = env;
+        return env;
+    });
+    f.net.send(f.makeEnvelope());
+    f.events.runAll();
+    ASSERT_TRUE(captured.has_value());
+    f.net.inject(*captured);
+    f.events.runAll();
+    EXPECT_EQ(f.received.size(), 2u);
+}
+
+TEST(NetworkTest, UnregisterStopsDelivery)
+{
+    NetFixture f;
+    f.net.unregisterNode("b");
+    f.net.send(f.makeEnvelope());
+    f.events.runAll();
+    EXPECT_TRUE(f.received.empty());
+}
+
+} // namespace
+} // namespace monatt::net

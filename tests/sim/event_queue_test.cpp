@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Discrete-event kernel: ordering, FIFO tie-breaking, cancellation,
+ * clock semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace monatt::sim
+{
+namespace
+{
+
+TEST(EventQueueTest, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(usec(30), [&] { order.push_back(3); });
+    q.schedule(usec(10), [&] { order.push_back(1); });
+    q.schedule(usec(20), [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), usec(30));
+}
+
+TEST(EventQueueTest, FifoAmongEqualTimestamps)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(usec(10), [&order, i] { order.push_back(i); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    SimTime firedAt = -1;
+    q.schedule(usec(100), [&] {
+        q.scheduleAfter(usec(50), [&] { firedAt = q.now(); });
+    });
+    q.runAll();
+    EXPECT_EQ(firedAt, usec(150));
+}
+
+TEST(EventQueueTest, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(usec(10), [&] { fired = true; });
+    q.cancel(id);
+    q.runAll();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndSelective)
+{
+    EventQueue q;
+    int count = 0;
+    const EventId a = q.schedule(usec(10), [&] { ++count; });
+    q.schedule(usec(20), [&] { ++count; });
+    q.cancel(a);
+    q.cancel(a);
+    q.runAll();
+    EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueueTest, RunUntilBoundary)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(usec(10), [&] { ++count; });
+    q.schedule(usec(20), [&] { ++count; });
+    q.schedule(usec(30), [&] { ++count; });
+    q.run(usec(20));
+    EXPECT_EQ(count, 2); // Inclusive boundary.
+    EXPECT_EQ(q.now(), usec(20));
+    q.runAll();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueueTest, AdvanceMovesClockWithoutEvents)
+{
+    EventQueue q;
+    q.advance(msec(5));
+    EXPECT_EQ(q.now(), msec(5));
+    EXPECT_THROW(q.advance(-1), std::invalid_argument);
+}
+
+TEST(EventQueueTest, SchedulingInThePastThrows)
+{
+    EventQueue q;
+    q.advance(msec(1));
+    EXPECT_THROW(q.schedule(usec(10), [] {}), std::invalid_argument);
+}
+
+TEST(EventQueueTest, NextEventTimeSkipsCancelled)
+{
+    EventQueue q;
+    const EventId a = q.schedule(usec(10), [] {});
+    q.schedule(usec(20), [] {});
+    q.cancel(a);
+    EXPECT_EQ(q.nextEventTime(), usec(20));
+    q.runAll();
+    EXPECT_EQ(q.nextEventTime(), kTimeNever);
+}
+
+TEST(EventQueueTest, PendingAndExecutedCounters)
+{
+    EventQueue q;
+    q.schedule(usec(10), [] {});
+    q.schedule(usec(20), [] {});
+    EXPECT_EQ(q.pending(), 2u);
+    q.runOne();
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueueTest, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 10)
+            q.scheduleAfter(usec(1), chain);
+    };
+    q.scheduleAfter(usec(1), chain);
+    q.runAll();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(q.now(), usec(10));
+}
+
+} // namespace
+} // namespace monatt::sim

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Workload models: the service catalog's CPU/I-O-bound character
+ * (measured, not assumed — Figures 6/7/10 depend on it), victim
+ * program accounting, and covert-channel parameter helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hypervisor/scheduler.h"
+#include "sim/event_queue.h"
+#include "workloads/attacks.h"
+#include "workloads/programs.h"
+#include "workloads/services.h"
+
+namespace monatt::workloads
+{
+namespace
+{
+
+using hypervisor::CreditScheduler;
+using hypervisor::VCpuId;
+
+TEST(ServiceCatalogTest, SixServicesWithDeclaredCharacter)
+{
+    const auto &catalog = serviceCatalog();
+    ASSERT_EQ(catalog.size(), 6u);
+    int cpuBound = 0;
+    for (const ServiceProfile &p : catalog)
+        cpuBound += p.cpuBound;
+    EXPECT_EQ(cpuBound, 3); // database, web, app.
+    EXPECT_TRUE(serviceProfile("database").cpuBound);
+    EXPECT_FALSE(serviceProfile("mail").cpuBound);
+    EXPECT_THROW(serviceProfile("quantum"), std::out_of_range);
+    EXPECT_THROW(makeService("quantum"), std::out_of_range);
+}
+
+/** Measure a service's solo CPU share over 30 s on a private CPU. */
+double
+measuredCpuShare(const std::string &service)
+{
+    sim::EventQueue events;
+    CreditScheduler sched(events, CreditScheduler::Params{});
+    sched.addPCpu();
+    const VCpuId v = sched.addVCpu(1, 0);
+    sched.setBehavior(v, makeService(service));
+    sched.start();
+    events.run(seconds(30));
+    return toSeconds(sched.stats(v).runtime) / 30.0;
+}
+
+class ServiceCharacterTest
+    : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ServiceCharacterTest, DutyCycleMatchesClassification)
+{
+    const std::string name = GetParam();
+    const double share = measuredCpuShare(name);
+    if (serviceProfile(name).cpuBound) {
+        EXPECT_GT(share, 0.75) << name << " share " << share;
+    } else {
+        EXPECT_LT(share, 0.25) << name << " share " << share;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServices, ServiceCharacterTest,
+                         ::testing::Values("database", "file", "web",
+                                           "app", "stream", "mail"));
+
+TEST(ServiceWorkloadTest, WorkDoneAccumulates)
+{
+    sim::EventQueue events;
+    CreditScheduler sched(events, CreditScheduler::Params{});
+    sched.addPCpu();
+    const VCpuId v = sched.addVCpu(1, 0);
+    auto workload = makeService("database");
+    ServiceWorkload *probe = workload.get();
+    sched.setBehavior(v, std::move(workload));
+    sched.start();
+    events.run(seconds(5));
+    // workDone tracks completed bursts; close to accounted runtime.
+    EXPECT_GT(probe->workDone(), seconds(3));
+    EXPECT_LE(probe->workDone(), seconds(5) + msec(100));
+}
+
+TEST(VictimProgramsTest, CatalogAndDemands)
+{
+    const auto &programs = victimPrograms();
+    ASSERT_EQ(programs.size(), 3u);
+    EXPECT_EQ(programs[0].name, "bzip2");
+    for (const auto &p : programs)
+        EXPECT_GT(p.cpuDemand, seconds(1));
+}
+
+TEST(CpuBoundProgramTest, RepeatsWhenLooping)
+{
+    sim::EventQueue events;
+    CreditScheduler sched(events, CreditScheduler::Params{});
+    sched.addPCpu();
+    const VCpuId v = sched.addVCpu(1, 0);
+    int completions = 0;
+    sched.setBehavior(v, std::make_unique<CpuBoundProgram>(
+                             msec(100),
+                             [&](SimTime) { ++completions; },
+                             /*repeat=*/true));
+    sched.start();
+    events.run(seconds(1));
+    EXPECT_EQ(completions, 10);
+}
+
+TEST(CovertParamsTest, PresetsAndBandwidth)
+{
+    const auto fast = CovertChannelParams::fastPreset();
+    EXPECT_NEAR(fast.bandwidthBps(), 200.0, 1.0);
+    const auto detect = CovertChannelParams::detectPreset();
+    EXPECT_NEAR(detect.bandwidthBps(), 25.0, 1.0);
+    EXPECT_LT(detect.shortBit, detect.longBit);
+    EXPECT_GT(detect.framePeriod, detect.longBit);
+}
+
+TEST(CovertDecodeTest, ThresholdAndNoiseFloor)
+{
+    CovertChannelParams p;
+    p.shortBit = msec(5);
+    p.longBit = msec(25);
+    // Gap below half the short bit: scheduler noise, skipped.
+    // Above the midpoint (15 ms): a 1; below: a 0.
+    const std::vector<double> gaps = {1.0, 5.2, 24.8, 2.0, 14.0, 16.0};
+    const auto bits = decodeFromGaps(gaps, p);
+    ASSERT_EQ(bits.size(), 4u);
+    EXPECT_FALSE(bits[0]); // 5.2 ms.
+    EXPECT_TRUE(bits[1]);  // 24.8 ms.
+    EXPECT_FALSE(bits[2]); // 14 ms.
+    EXPECT_TRUE(bits[3]);  // 16 ms.
+}
+
+TEST(AttackInstallTest, RequiresTwoVcpus)
+{
+    sim::EventQueue events;
+    hypervisor::HypervisorConfig cfg;
+    cfg.numPCpus = 1;
+    cfg.hypervisorCode = toBytes("x");
+    cfg.hostOsCode = toBytes("y");
+    hypervisor::Hypervisor hv(events, cfg);
+    const auto dom = hv.createDomain("single", 1, 0, toBytes("i"));
+    EXPECT_THROW(installAvailabilityAttack(hv, dom),
+                 std::invalid_argument);
+    EXPECT_THROW(installCovertSender(hv, dom,
+                                     std::make_shared<CovertMessage>(),
+                                     CovertChannelParams{}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace monatt::workloads
