@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_defense.dir/bench_ablation_defense.cpp.o"
+  "CMakeFiles/bench_ablation_defense.dir/bench_ablation_defense.cpp.o.d"
+  "bench_ablation_defense"
+  "bench_ablation_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_intrusive.dir/bench_ablation_intrusive.cpp.o"
+  "CMakeFiles/bench_ablation_intrusive.dir/bench_ablation_intrusive.cpp.o.d"
+  "bench_ablation_intrusive"
+  "bench_ablation_intrusive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intrusive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

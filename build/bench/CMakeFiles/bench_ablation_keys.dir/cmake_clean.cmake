@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_keys.dir/bench_ablation_keys.cpp.o"
+  "CMakeFiles/bench_ablation_keys.dir/bench_ablation_keys.cpp.o.d"
+  "bench_ablation_keys"
+  "bench_ablation_keys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_keys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

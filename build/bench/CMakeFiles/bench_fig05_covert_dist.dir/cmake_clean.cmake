@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_covert_dist.dir/bench_fig05_covert_dist.cpp.o"
+  "CMakeFiles/bench_fig05_covert_dist.dir/bench_fig05_covert_dist.cpp.o.d"
+  "bench_fig05_covert_dist"
+  "bench_fig05_covert_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_covert_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

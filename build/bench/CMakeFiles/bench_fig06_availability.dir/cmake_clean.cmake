@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_availability.dir/bench_fig06_availability.cpp.o"
+  "CMakeFiles/bench_fig06_availability.dir/bench_fig06_availability.cpp.o.d"
+  "bench_fig06_availability"
+  "bench_fig06_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

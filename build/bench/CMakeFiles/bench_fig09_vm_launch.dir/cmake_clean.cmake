@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_vm_launch.dir/bench_fig09_vm_launch.cpp.o"
+  "CMakeFiles/bench_fig09_vm_launch.dir/bench_fig09_vm_launch.cpp.o.d"
+  "bench_fig09_vm_launch"
+  "bench_fig09_vm_launch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_vm_launch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

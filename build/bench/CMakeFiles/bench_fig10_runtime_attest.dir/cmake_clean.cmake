@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_runtime_attest.dir/bench_fig10_runtime_attest.cpp.o"
+  "CMakeFiles/bench_fig10_runtime_attest.dir/bench_fig10_runtime_attest.cpp.o.d"
+  "bench_fig10_runtime_attest"
+  "bench_fig10_runtime_attest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_runtime_attest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_responses.dir/bench_fig11_responses.cpp.o"
+  "CMakeFiles/bench_fig11_responses.dir/bench_fig11_responses.cpp.o.d"
+  "bench_fig11_responses"
+  "bench_fig11_responses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec722_verification.dir/bench_sec722_verification.cpp.o"
+  "CMakeFiles/bench_sec722_verification.dir/bench_sec722_verification.cpp.o.d"
+  "bench_sec722_verification"
+  "bench_sec722_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec722_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

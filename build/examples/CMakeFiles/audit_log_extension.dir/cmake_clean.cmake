@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_log_extension.dir/audit_log_extension.cpp.o"
+  "CMakeFiles/audit_log_extension.dir/audit_log_extension.cpp.o.d"
+  "audit_log_extension"
+  "audit_log_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_log_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/availability_monitoring.dir/availability_monitoring.cpp.o"
+  "CMakeFiles/availability_monitoring.dir/availability_monitoring.cpp.o.d"
+  "availability_monitoring"
+  "availability_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/availability_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/covert_channel_detection.dir/covert_channel_detection.cpp.o"
+  "CMakeFiles/covert_channel_detection.dir/covert_channel_detection.cpp.o.d"
+  "covert_channel_detection"
+  "covert_channel_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/covert_channel_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

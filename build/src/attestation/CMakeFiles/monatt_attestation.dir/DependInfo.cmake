@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attestation/attestation_server.cpp" "src/attestation/CMakeFiles/monatt_attestation.dir/attestation_server.cpp.o" "gcc" "src/attestation/CMakeFiles/monatt_attestation.dir/attestation_server.cpp.o.d"
+  "/root/repo/src/attestation/interpreters.cpp" "src/attestation/CMakeFiles/monatt_attestation.dir/interpreters.cpp.o" "gcc" "src/attestation/CMakeFiles/monatt_attestation.dir/interpreters.cpp.o.d"
+  "/root/repo/src/attestation/privacy_ca.cpp" "src/attestation/CMakeFiles/monatt_attestation.dir/privacy_ca.cpp.o" "gcc" "src/attestation/CMakeFiles/monatt_attestation.dir/privacy_ca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/monatt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/monatt_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/monatt_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/monatt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/monatt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/monatt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

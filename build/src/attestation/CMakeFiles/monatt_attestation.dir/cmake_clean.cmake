@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_attestation.dir/attestation_server.cpp.o"
+  "CMakeFiles/monatt_attestation.dir/attestation_server.cpp.o.d"
+  "CMakeFiles/monatt_attestation.dir/interpreters.cpp.o"
+  "CMakeFiles/monatt_attestation.dir/interpreters.cpp.o.d"
+  "CMakeFiles/monatt_attestation.dir/privacy_ca.cpp.o"
+  "CMakeFiles/monatt_attestation.dir/privacy_ca.cpp.o.d"
+  "libmonatt_attestation.a"
+  "libmonatt_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

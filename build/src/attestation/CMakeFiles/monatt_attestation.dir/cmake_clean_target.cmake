@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmonatt_attestation.a"
+)

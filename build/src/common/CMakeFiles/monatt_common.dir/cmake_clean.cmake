@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_common.dir/bytes.cpp.o"
+  "CMakeFiles/monatt_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/monatt_common.dir/codec.cpp.o"
+  "CMakeFiles/monatt_common.dir/codec.cpp.o.d"
+  "CMakeFiles/monatt_common.dir/logging.cpp.o"
+  "CMakeFiles/monatt_common.dir/logging.cpp.o.d"
+  "CMakeFiles/monatt_common.dir/rng.cpp.o"
+  "CMakeFiles/monatt_common.dir/rng.cpp.o.d"
+  "CMakeFiles/monatt_common.dir/stats.cpp.o"
+  "CMakeFiles/monatt_common.dir/stats.cpp.o.d"
+  "libmonatt_common.a"
+  "libmonatt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

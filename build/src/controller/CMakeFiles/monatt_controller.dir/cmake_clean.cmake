@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_controller.dir/cloud_controller.cpp.o"
+  "CMakeFiles/monatt_controller.dir/cloud_controller.cpp.o.d"
+  "CMakeFiles/monatt_controller.dir/database.cpp.o"
+  "CMakeFiles/monatt_controller.dir/database.cpp.o.d"
+  "CMakeFiles/monatt_controller.dir/policy.cpp.o"
+  "CMakeFiles/monatt_controller.dir/policy.cpp.o.d"
+  "libmonatt_controller.a"
+  "libmonatt_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_core.dir/cloud.cpp.o"
+  "CMakeFiles/monatt_core.dir/cloud.cpp.o.d"
+  "CMakeFiles/monatt_core.dir/customer.cpp.o"
+  "CMakeFiles/monatt_core.dir/customer.cpp.o.d"
+  "libmonatt_core.a"
+  "libmonatt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

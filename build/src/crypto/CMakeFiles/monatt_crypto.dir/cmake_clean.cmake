@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_crypto.dir/aes.cpp.o"
+  "CMakeFiles/monatt_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/monatt_crypto.dir/bignum.cpp.o"
+  "CMakeFiles/monatt_crypto.dir/bignum.cpp.o.d"
+  "CMakeFiles/monatt_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/monatt_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/monatt_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/monatt_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/monatt_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/monatt_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/monatt_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/monatt_crypto.dir/sha256.cpp.o.d"
+  "libmonatt_crypto.a"
+  "libmonatt_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/domain.cpp" "src/hypervisor/CMakeFiles/monatt_hypervisor.dir/domain.cpp.o" "gcc" "src/hypervisor/CMakeFiles/monatt_hypervisor.dir/domain.cpp.o.d"
+  "/root/repo/src/hypervisor/hypervisor.cpp" "src/hypervisor/CMakeFiles/monatt_hypervisor.dir/hypervisor.cpp.o" "gcc" "src/hypervisor/CMakeFiles/monatt_hypervisor.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/hypervisor/monitors.cpp" "src/hypervisor/CMakeFiles/monatt_hypervisor.dir/monitors.cpp.o" "gcc" "src/hypervisor/CMakeFiles/monatt_hypervisor.dir/monitors.cpp.o.d"
+  "/root/repo/src/hypervisor/scheduler.cpp" "src/hypervisor/CMakeFiles/monatt_hypervisor.dir/scheduler.cpp.o" "gcc" "src/hypervisor/CMakeFiles/monatt_hypervisor.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/monatt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/monatt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/monatt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/monatt_tpm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_hypervisor.dir/domain.cpp.o"
+  "CMakeFiles/monatt_hypervisor.dir/domain.cpp.o.d"
+  "CMakeFiles/monatt_hypervisor.dir/hypervisor.cpp.o"
+  "CMakeFiles/monatt_hypervisor.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/monatt_hypervisor.dir/monitors.cpp.o"
+  "CMakeFiles/monatt_hypervisor.dir/monitors.cpp.o.d"
+  "CMakeFiles/monatt_hypervisor.dir/scheduler.cpp.o"
+  "CMakeFiles/monatt_hypervisor.dir/scheduler.cpp.o.d"
+  "libmonatt_hypervisor.a"
+  "libmonatt_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

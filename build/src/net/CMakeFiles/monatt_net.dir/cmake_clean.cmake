@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_net.dir/message.cpp.o"
+  "CMakeFiles/monatt_net.dir/message.cpp.o.d"
+  "CMakeFiles/monatt_net.dir/network.cpp.o"
+  "CMakeFiles/monatt_net.dir/network.cpp.o.d"
+  "CMakeFiles/monatt_net.dir/secure_channel.cpp.o"
+  "CMakeFiles/monatt_net.dir/secure_channel.cpp.o.d"
+  "CMakeFiles/monatt_net.dir/secure_endpoint.cpp.o"
+  "CMakeFiles/monatt_net.dir/secure_endpoint.cpp.o.d"
+  "libmonatt_net.a"
+  "libmonatt_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

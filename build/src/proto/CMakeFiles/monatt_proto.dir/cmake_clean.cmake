@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_proto.dir/measurement.cpp.o"
+  "CMakeFiles/monatt_proto.dir/measurement.cpp.o.d"
+  "CMakeFiles/monatt_proto.dir/messages.cpp.o"
+  "CMakeFiles/monatt_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/monatt_proto.dir/property.cpp.o"
+  "CMakeFiles/monatt_proto.dir/property.cpp.o.d"
+  "libmonatt_proto.a"
+  "libmonatt_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

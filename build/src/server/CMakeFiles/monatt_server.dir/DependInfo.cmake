@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/catalog.cpp" "src/server/CMakeFiles/monatt_server.dir/catalog.cpp.o" "gcc" "src/server/CMakeFiles/monatt_server.dir/catalog.cpp.o.d"
+  "/root/repo/src/server/cloud_server.cpp" "src/server/CMakeFiles/monatt_server.dir/cloud_server.cpp.o" "gcc" "src/server/CMakeFiles/monatt_server.dir/cloud_server.cpp.o.d"
+  "/root/repo/src/server/monitor_module.cpp" "src/server/CMakeFiles/monatt_server.dir/monitor_module.cpp.o" "gcc" "src/server/CMakeFiles/monatt_server.dir/monitor_module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypervisor/CMakeFiles/monatt_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/monatt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/monatt_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/monatt_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/monatt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/monatt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/monatt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

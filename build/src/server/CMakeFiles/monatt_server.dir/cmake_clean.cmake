@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_server.dir/catalog.cpp.o"
+  "CMakeFiles/monatt_server.dir/catalog.cpp.o.d"
+  "CMakeFiles/monatt_server.dir/cloud_server.cpp.o"
+  "CMakeFiles/monatt_server.dir/cloud_server.cpp.o.d"
+  "CMakeFiles/monatt_server.dir/monitor_module.cpp.o"
+  "CMakeFiles/monatt_server.dir/monitor_module.cpp.o.d"
+  "libmonatt_server.a"
+  "libmonatt_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/monatt_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/monatt_sim.dir/stage_timer.cpp.o"
+  "CMakeFiles/monatt_sim.dir/stage_timer.cpp.o.d"
+  "libmonatt_sim.a"
+  "libmonatt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

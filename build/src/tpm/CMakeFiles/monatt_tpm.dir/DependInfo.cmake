@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpm/certificate.cpp" "src/tpm/CMakeFiles/monatt_tpm.dir/certificate.cpp.o" "gcc" "src/tpm/CMakeFiles/monatt_tpm.dir/certificate.cpp.o.d"
+  "/root/repo/src/tpm/tpm_emulator.cpp" "src/tpm/CMakeFiles/monatt_tpm.dir/tpm_emulator.cpp.o" "gcc" "src/tpm/CMakeFiles/monatt_tpm.dir/tpm_emulator.cpp.o.d"
+  "/root/repo/src/tpm/trust_module.cpp" "src/tpm/CMakeFiles/monatt_tpm.dir/trust_module.cpp.o" "gcc" "src/tpm/CMakeFiles/monatt_tpm.dir/trust_module.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/monatt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/monatt_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_tpm.dir/certificate.cpp.o"
+  "CMakeFiles/monatt_tpm.dir/certificate.cpp.o.d"
+  "CMakeFiles/monatt_tpm.dir/tpm_emulator.cpp.o"
+  "CMakeFiles/monatt_tpm.dir/tpm_emulator.cpp.o.d"
+  "CMakeFiles/monatt_tpm.dir/trust_module.cpp.o"
+  "CMakeFiles/monatt_tpm.dir/trust_module.cpp.o.d"
+  "libmonatt_tpm.a"
+  "libmonatt_tpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_tpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

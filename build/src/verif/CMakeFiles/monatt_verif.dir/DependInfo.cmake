@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verif/deduction.cpp" "src/verif/CMakeFiles/monatt_verif.dir/deduction.cpp.o" "gcc" "src/verif/CMakeFiles/monatt_verif.dir/deduction.cpp.o.d"
+  "/root/repo/src/verif/protocol_model.cpp" "src/verif/CMakeFiles/monatt_verif.dir/protocol_model.cpp.o" "gcc" "src/verif/CMakeFiles/monatt_verif.dir/protocol_model.cpp.o.d"
+  "/root/repo/src/verif/term.cpp" "src/verif/CMakeFiles/monatt_verif.dir/term.cpp.o" "gcc" "src/verif/CMakeFiles/monatt_verif.dir/term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/monatt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_verif.dir/deduction.cpp.o"
+  "CMakeFiles/monatt_verif.dir/deduction.cpp.o.d"
+  "CMakeFiles/monatt_verif.dir/protocol_model.cpp.o"
+  "CMakeFiles/monatt_verif.dir/protocol_model.cpp.o.d"
+  "CMakeFiles/monatt_verif.dir/term.cpp.o"
+  "CMakeFiles/monatt_verif.dir/term.cpp.o.d"
+  "libmonatt_verif.a"
+  "libmonatt_verif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_verif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

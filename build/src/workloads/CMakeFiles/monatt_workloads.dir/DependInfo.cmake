@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/attacks.cpp" "src/workloads/CMakeFiles/monatt_workloads.dir/attacks.cpp.o" "gcc" "src/workloads/CMakeFiles/monatt_workloads.dir/attacks.cpp.o.d"
+  "/root/repo/src/workloads/programs.cpp" "src/workloads/CMakeFiles/monatt_workloads.dir/programs.cpp.o" "gcc" "src/workloads/CMakeFiles/monatt_workloads.dir/programs.cpp.o.d"
+  "/root/repo/src/workloads/services.cpp" "src/workloads/CMakeFiles/monatt_workloads.dir/services.cpp.o" "gcc" "src/workloads/CMakeFiles/monatt_workloads.dir/services.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hypervisor/CMakeFiles/monatt_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/monatt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/monatt_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/monatt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/monatt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monatt_workloads.dir/attacks.cpp.o"
+  "CMakeFiles/monatt_workloads.dir/attacks.cpp.o.d"
+  "CMakeFiles/monatt_workloads.dir/programs.cpp.o"
+  "CMakeFiles/monatt_workloads.dir/programs.cpp.o.d"
+  "CMakeFiles/monatt_workloads.dir/services.cpp.o"
+  "CMakeFiles/monatt_workloads.dir/services.cpp.o.d"
+  "libmonatt_workloads.a"
+  "libmonatt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monatt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypervisor_test.dir/hypervisor/attack_sweep_test.cpp.o"
+  "CMakeFiles/hypervisor_test.dir/hypervisor/attack_sweep_test.cpp.o.d"
+  "CMakeFiles/hypervisor_test.dir/hypervisor/attacks_test.cpp.o"
+  "CMakeFiles/hypervisor_test.dir/hypervisor/attacks_test.cpp.o.d"
+  "CMakeFiles/hypervisor_test.dir/hypervisor/monitors_test.cpp.o"
+  "CMakeFiles/hypervisor_test.dir/hypervisor/monitors_test.cpp.o.d"
+  "CMakeFiles/hypervisor_test.dir/hypervisor/scheduler_test.cpp.o"
+  "CMakeFiles/hypervisor_test.dir/hypervisor/scheduler_test.cpp.o.d"
+  "hypervisor_test"
+  "hypervisor_test.pdb"
+  "hypervisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypervisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tpm/tpm_test.cpp" "tests/CMakeFiles/tpm_test.dir/tpm/tpm_test.cpp.o" "gcc" "tests/CMakeFiles/tpm_test.dir/tpm/tpm_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/verif/CMakeFiles/monatt_verif.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/monatt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/controller/CMakeFiles/monatt_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/attestation/CMakeFiles/monatt_attestation.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/monatt_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/monatt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/monatt_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/monatt_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpm/CMakeFiles/monatt_tpm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/monatt_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/monatt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/monatt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/monatt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
