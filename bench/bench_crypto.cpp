@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "crypto/aes.h"
+#include "crypto/bignum.h"
 #include "crypto/drbg.h"
 #include "crypto/hmac.h"
 #include "crypto/rsa.h"
@@ -83,6 +84,63 @@ BM_Aes128Ctr(benchmark::State &state)
 }
 BENCHMARK(BM_Aes128Ctr)->Arg(1024)->Arg(16384);
 
+/** Full-width modular exponentiation operands: an RSA verify-shaped
+ * workload (base and exponent as wide as the modulus — worst case for
+ * the ladder; the e=65537 public path is far cheaper). */
+struct ModExpOperands
+{
+    BigUint base, exp, mod;
+};
+
+ModExpOperands
+modExpOperands(std::size_t bits)
+{
+    const RsaKeyPair &kp = bits == 512 ? keyPair512() : keyPair1024();
+    ModExpOperands ops;
+    ops.mod = kp.pub.n;
+    ops.exp = kp.priv.d;
+    Rng rng(7 + bits);
+    ops.base = BigUint::fromBytes(rng.nextBytes(bits / 8)) % ops.mod;
+    return ops;
+}
+
+void
+BM_ModExpLegacy(benchmark::State &state)
+{
+    const ModExpOperands ops =
+        modExpOperands(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ops.base.modExpLegacy(ops.exp, ops.mod));
+}
+BENCHMARK(BM_ModExpLegacy)->Arg(512)->Arg(1024);
+
+void
+BM_ModExpMontgomery(benchmark::State &state)
+{
+    // Context construction inside the loop: the honest apples-to-apples
+    // replacement for one legacy modExp call on a fresh modulus.
+    const ModExpOperands ops =
+        modExpOperands(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const MontgomeryContext ctx(ops.mod);
+        benchmark::DoNotOptimize(ops.base.modExp(ops.exp, ctx));
+    }
+}
+BENCHMARK(BM_ModExpMontgomery)->Arg(512)->Arg(1024);
+
+void
+BM_ModExpMontgomeryCtxReuse(benchmark::State &state)
+{
+    // Precomputed context amortized across calls — the RSA hot path
+    // (RsaPublicContext / RsaPrivateContext) runs in this regime.
+    const ModExpOperands ops =
+        modExpOperands(static_cast<std::size_t>(state.range(0)));
+    const MontgomeryContext ctx(ops.mod);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ops.base.modExp(ops.exp, ctx));
+}
+BENCHMARK(BM_ModExpMontgomeryCtxReuse)->Arg(512)->Arg(1024);
+
 void
 BM_RsaSign(benchmark::State &state)
 {
@@ -93,6 +151,18 @@ BM_RsaSign(benchmark::State &state)
         benchmark::DoNotOptimize(rsaSign(kp.priv, msg));
 }
 BENCHMARK(BM_RsaSign)->Arg(512)->Arg(1024);
+
+void
+BM_RsaSignCtxReuse(benchmark::State &state)
+{
+    const RsaKeyPair &kp =
+        state.range(0) == 512 ? keyPair512() : keyPair1024();
+    const RsaPrivateContext ctx(kp.priv);
+    const Bytes msg = toBytes("attestation report payload");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rsaSign(ctx, msg));
+}
+BENCHMARK(BM_RsaSignCtxReuse)->Arg(512)->Arg(1024);
 
 void
 BM_RsaVerify(benchmark::State &state)

@@ -6,12 +6,76 @@
 #ifndef MONATT_BENCH_BENCH_UTIL_H
 #define MONATT_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 namespace monatt::bench
 {
+
+/** Wall-clock stopwatch for the before/after A/B legs. */
+class WallTimer
+{
+  public:
+    WallTimer() : start(std::chrono::steady_clock::now()) {}
+
+    double
+    elapsedSeconds() const
+    {
+        const auto d = std::chrono::steady_clock::now() - start;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * One leg of an A/B comparison: a configuration label plus the host
+ * wall-clock seconds it took to run the identical workload.
+ */
+struct AbLeg
+{
+    std::string engine; //!< "legacy" or "montgomery"
+    bool caches = false;
+    double wallSeconds = 0;
+};
+
+/**
+ * Write the before/after record for a figure bench as JSON, so CI can
+ * archive the speedup alongside the figure output. Schema:
+ * {"benchmark", "workload", "before": {...}, "after": {...},
+ *  "speedup"}.
+ */
+inline bool
+writeAbJson(const std::string &path, const std::string &benchName,
+            const std::string &workload, const AbLeg &before,
+            const AbLeg &after)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    const double speedup =
+        after.wallSeconds > 0 ? before.wallSeconds / after.wallSeconds : 0;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"%s\",\n"
+                 "  \"workload\": \"%s\",\n"
+                 "  \"before\": {\"engine\": \"%s\", \"caches\": %s, "
+                 "\"wall_seconds\": %.6f},\n"
+                 "  \"after\": {\"engine\": \"%s\", \"caches\": %s, "
+                 "\"wall_seconds\": %.6f},\n"
+                 "  \"speedup\": %.3f\n"
+                 "}\n",
+                 benchName.c_str(), workload.c_str(),
+                 before.engine.c_str(), before.caches ? "true" : "false",
+                 before.wallSeconds, after.engine.c_str(),
+                 after.caches ? "true" : "false", after.wallSeconds,
+                 speedup);
+    std::fclose(f);
+    return true;
+}
 
 /** Print a banner naming the reproduced artifact. */
 inline void

@@ -1,6 +1,7 @@
 #include "attestation/attestation_server.h"
 
 #include "common/logging.h"
+#include "crypto/sha256.h"
 #include "tpm/certificate.h"
 
 namespace monatt::attestation
@@ -47,10 +48,12 @@ AttestationServer::AttestationServer(sim::EventQueue &eq,
                                      AttestationServerConfig config,
                                      std::uint64_t seed)
     : events(eq), cfg(std::move(config)),
-      keys(makeKeys(cfg.id, seed, cfg.identityKeyBits)), dir(directory),
+      keys(makeKeys(cfg.id, seed, cfg.identityKeyBits)),
+      signCtx(keys.priv), dir(directory),
       endpoint(network, cfg.id, keys, directory,
                endpointSeed(cfg.id, seed)),
-      registry(InterpreterRegistry::withDefaults()), rng(seed ^ 0xa5a5)
+      registry(InterpreterRegistry::withDefaults()), rng(seed ^ 0xa5a5),
+      certCache(cfg.certCacheCapacity)
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
@@ -207,29 +210,64 @@ AttestationServer::startMeasurement(const AttestForward &fwd)
                                            req.encode()));
 }
 
+const crypto::RsaPublicContext &
+AttestationServer::pcaContext(const crypto::RsaPublicKey &key)
+{
+    if (!pcaCtx || !(pcaCtx->key() == key)) {
+        pcaCtx.emplace(key);
+        // A rotated pCA key invalidates every cached chain check.
+        certCache.clear();
+    }
+    return *pcaCtx;
+}
+
 Result<proto::MeasurementSet>
 AttestationServer::verifyResponse(const Session &session,
                                   const MeasureResponse &resp)
 {
     using R = Result<proto::MeasurementSet>;
 
-    // 1. Certificate chain: the pCA vouches for the session key.
+    // 1. Certificate chain: the pCA vouches for the session key. The
+    // chain check is memoized by certificate digest — a hit replays
+    // the decision made for byte-identical certificate bytes; any
+    // change to the bytes (tampering included) changes the digest,
+    // misses, and re-runs the cold check below.
     auto pcaKey = dir.lookup(cfg.pcaId);
     if (!pcaKey)
         return R::error("no pCA key available");
-    auto certR = tpm::Certificate::decode(resp.certificate);
-    if (!certR)
-        return R::error("malformed attestation-key certificate");
-    const tpm::Certificate cert = certR.take();
-    if (cert.issuer != cfg.pcaId || !cert.verify(pcaKey.value()))
-        return R::error("attestation-key certificate verification "
-                        "failed");
-    auto avk = cert.publicKey();
-    if (!avk)
-        return R::error("malformed attestation key in certificate");
+    const crypto::RsaPublicContext &pca = pcaContext(pcaKey.value());
+
+    crypto::RsaPublicKey avkKey;
+    bool haveAvk = false;
+    Bytes certDigest;
+    if (cfg.enableVerificationCaches) {
+        certDigest = crypto::Sha256::hash(resp.certificate);
+        if (const crypto::RsaPublicKey *hit = certCache.lookup(certDigest)) {
+            avkKey = *hit;
+            haveAvk = true;
+            ++counters.certCacheHits;
+        } else {
+            ++counters.certCacheMisses;
+        }
+    }
+    if (!haveAvk) {
+        auto certR = tpm::Certificate::decode(resp.certificate);
+        if (!certR)
+            return R::error("malformed attestation-key certificate");
+        const tpm::Certificate cert = certR.take();
+        if (cert.issuer != cfg.pcaId || !cert.verify(pca))
+            return R::error("attestation-key certificate verification "
+                            "failed");
+        auto avk = cert.publicKey();
+        if (!avk)
+            return R::error("malformed attestation key in certificate");
+        avkKey = avk.take();
+        if (cfg.enableVerificationCaches)
+            certCache.insert(certDigest, avkKey);
+    }
 
     // 2. Session-key signature over [Vid, rM, M, N3, Q3].
-    if (!crypto::rsaVerify(avk.value(), resp.signedPortion(),
+    if (!crypto::rsaVerify(avkKey, resp.signedPortion(),
                            resp.signature)) {
         return R::error("measurement signature verification failed");
     }
@@ -342,7 +380,7 @@ AttestationServer::issueReport(const Session &session,
     out.nonce2 = session.forward.nonce2;
     out.quote2 = ReportToController::quoteInput(
         out.vid, out.serverId, out.properties, out.report, out.nonce2);
-    out.signature = crypto::rsaSign(keys.priv, out.signedPortion());
+    out.signature = crypto::rsaSign(signCtx, out.signedPortion());
 
     ++counters.reportsIssued;
     endpoint.sendSecure(cfg.controllerId,

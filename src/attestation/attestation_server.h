@@ -28,9 +28,11 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 
+#include "attestation/cert_cache.h"
 #include "attestation/interpreters.h"
 #include "net/secure_endpoint.h"
 #include "proto/messages.h"
@@ -52,6 +54,15 @@ struct AttestationServerConfig
     /** Bounds for randomized periodic attestation intervals. */
     SimTime randomPeriodMin = seconds(5);
     SimTime randomPeriodMax = seconds(60);
+
+    /**
+     * Memoize successful pCA certificate verifications by certificate
+     * digest, so a reused AVK session is chain-checked once instead of
+     * once per MeasureResponse. Cache hits are byte-identical
+     * decisions to cold verification; failures are never cached.
+     */
+    bool enableVerificationCaches = true;
+    std::size_t certCacheCapacity = 256;
 };
 
 /** Observable counters. */
@@ -62,6 +73,8 @@ struct AttestationServerStats
     std::uint64_t verificationFailures = 0;
     std::uint64_t reportsIssued = 0;
     std::uint64_t periodicRoundsRun = 0;
+    std::uint64_t certCacheHits = 0;
+    std::uint64_t certCacheMisses = 0;
 };
 
 /** The Attestation Server entity. */
@@ -107,6 +120,12 @@ class AttestationServer
 
     const AttestationServerStats &stats() const { return counters; }
 
+    /** The certificate verification cache (bench/test introspection). */
+    const CertVerificationCache &certificateCache() const
+    {
+        return certCache;
+    }
+
   private:
     struct Session
     {
@@ -131,13 +150,21 @@ class AttestationServer
         const Session &session, const proto::MeasureResponse &resp);
     static std::string periodicKey(const proto::AttestForward &fwd);
 
+    /** Compiled pCA key, rebuilt if the directory rotates it. */
+    const crypto::RsaPublicContext &pcaContext(
+        const crypto::RsaPublicKey &key);
+
     sim::EventQueue &events;
     AttestationServerConfig cfg;
     crypto::RsaKeyPair keys;
+    /** Compiled identity key for report signatures. */
+    crypto::RsaPrivateContext signCtx;
     const net::KeyDirectory &dir;
     net::SecureEndpoint endpoint;
     InterpreterRegistry registry;
     Rng rng;
+    CertVerificationCache certCache;
+    std::optional<crypto::RsaPublicContext> pcaCtx;
 
     std::map<std::string, ServerReference> serverRefs;
     std::map<std::string, VmReference> vmRefs;

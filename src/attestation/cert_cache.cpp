@@ -1,0 +1,51 @@
+#include "attestation/cert_cache.h"
+
+#include <algorithm>
+
+namespace monatt::attestation
+{
+
+CertVerificationCache::CertVerificationCache(std::size_t capacity)
+    : cap(std::max<std::size_t>(capacity, 1))
+{
+}
+
+const crypto::RsaPublicKey *
+CertVerificationCache::lookup(const Bytes &digest)
+{
+    const auto it = entries.find(digest);
+    if (it == entries.end()) {
+        ++counters.misses;
+        return nullptr;
+    }
+    ++counters.hits;
+    return &it->second;
+}
+
+void
+CertVerificationCache::insert(const Bytes &digest,
+                              crypto::RsaPublicKey avk)
+{
+    const auto it = entries.find(digest);
+    if (it != entries.end()) {
+        it->second = std::move(avk);
+        return;
+    }
+    while (entries.size() >= cap) {
+        entries.erase(order.front());
+        order.pop_front();
+        ++counters.evictions;
+    }
+    entries.emplace(digest, std::move(avk));
+    order.push_back(digest);
+    ++counters.insertions;
+}
+
+void
+CertVerificationCache::clear()
+{
+    entries.clear();
+    order.clear();
+}
+
+} // namespace monatt::attestation

@@ -644,7 +644,8 @@ CloudController::onCommandAck(MessageKind kind, const Bytes &body)
     const auto it = outstandingResponses.find(ack.vid);
     if (it == outstandingResponses.end())
         return;
-    ResponseRecord &log = responses[it->second];
+    const std::size_t logIndex = it->second;
+    ResponseRecord &log = responses[logIndex];
     outstandingResponses.erase(it);
 
     log.completed = true;
@@ -660,7 +661,7 @@ CloudController::onCommandAck(MessageKind kind, const Bytes &body)
         rec->status = VmStatus::Terminated;
     } else if (kind == MessageKind::SuspendVmAck && ack.ok) {
         rec->status = VmStatus::Suspended;
-        scheduleSuspendRecheck(ack.vid, it->second);
+        scheduleSuspendRecheck(ack.vid, logIndex);
     } else if (kind == MessageKind::MigrateOutAck) {
         if (ack.ok) {
             // The source released its copy; the DB moves the VM.

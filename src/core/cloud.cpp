@@ -42,6 +42,7 @@ Cloud::Cloud(CloudConfig config)
             asCfg.id = "attestation-server-" + std::to_string(i + 1);
         asCfg.timing = cfg.timing;
         asCfg.identityKeyBits = cfg.identityKeyBits;
+        asCfg.enableVerificationCaches = cfg.enableAttestationCaches;
         auto as = std::make_unique<attestation::AttestationServer>(
             eventQueue, fabric, keyDirectory, asCfg,
             cfg.seed ^ (0x2 + static_cast<std::uint64_t>(i) * 0x1000));
@@ -90,6 +91,8 @@ Cloud::Cloud(CloudConfig config)
         scfg.identityKeyBits = cfg.identityKeyBits;
         scfg.aikBits = cfg.aikBits;
         scfg.intrusivePause = cfg.serverIntrusivePause;
+        scfg.aikReuseLimit =
+            cfg.enableAttestationCaches ? cfg.aikReuseLimit : 1;
 
         auto srv = std::make_unique<server::CloudServer>(
             eventQueue, fabric, keyDirectory, scfg,

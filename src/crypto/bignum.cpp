@@ -394,8 +394,43 @@ BigUint::shiftRight(std::size_t bits) const
     return out;
 }
 
+namespace
+{
+ModExpEngine gModExpEngine = ModExpEngine::Montgomery;
+} // namespace
+
+ModExpEngine
+modExpEngine() noexcept
+{
+    return gModExpEngine;
+}
+
+void
+setModExpEngine(ModExpEngine engine) noexcept
+{
+    gModExpEngine = engine;
+}
+
 BigUint
 BigUint::modExp(const BigUint &exp, const BigUint &m) const
+{
+    if (m.isZero())
+        throw std::domain_error("modExp: zero modulus");
+    if (m == fromU64(1))
+        return BigUint();
+    if (!m.isOdd() || gModExpEngine == ModExpEngine::Legacy)
+        return modExpLegacy(exp, m);
+    return MontgomeryContext(m).modExp(*this, exp);
+}
+
+BigUint
+BigUint::modExp(const BigUint &exp, const MontgomeryContext &ctx) const
+{
+    return ctx.modExp(*this, exp);
+}
+
+BigUint
+BigUint::modExpLegacy(const BigUint &exp, const BigUint &m) const
 {
     if (m.isZero())
         throw std::domain_error("modExp: zero modulus");
@@ -412,6 +447,165 @@ BigUint::modExp(const BigUint &exp, const BigUint &m) const
         base = (base * base) % m;
     }
     return result;
+}
+
+MontgomeryContext::MontgomeryContext(const BigUint &modulus) : m(modulus)
+{
+    if (m.isZero() || !m.isOdd())
+        throw std::domain_error(
+            "MontgomeryContext: modulus must be odd and nonzero");
+
+    n = m.limb;
+    const std::size_t k = n.size();
+
+    // n' = -n^-1 mod 2^32 via Newton iteration: starting from x = n0
+    // (correct mod 8 for odd n0), each step doubles the valid bits.
+    const std::uint32_t n0 = n[0];
+    std::uint32_t inv = n0;
+    for (int i = 0; i < 5; ++i)
+        inv *= 2 - n0 * inv;
+    nPrime = static_cast<std::uint32_t>(0) - inv;
+
+    // R mod n and R^2 mod n, R = 2^(32k), via one shift and division.
+    const BigUint r = BigUint::fromU64(1).shiftLeft(32 * k);
+    BigUint rMod = r % m;
+    BigUint rrMod = (rMod * rMod) % m;
+    rModN = std::move(rMod.limb);
+    rModN.resize(k, 0);
+    rrModN = std::move(rrMod.limb);
+    rrModN.resize(k, 0);
+}
+
+void
+MontgomeryContext::montMul(const Limbs &a, const Limbs &b, Limbs &out) const
+{
+    const std::size_t k = n.size();
+    Limbs t(k + 2, 0);
+
+    for (std::size_t i = 0; i < k; ++i) {
+        // t += a[i] * b.
+        const std::uint64_t ai = a[i];
+        std::uint64_t carry = 0;
+        for (std::size_t j = 0; j < k; ++j) {
+            const std::uint64_t cur = t[j] + ai * b[j] + carry;
+            t[j] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        std::uint64_t cur = t[k] + carry;
+        t[k] = static_cast<std::uint32_t>(cur);
+        t[k + 1] = static_cast<std::uint32_t>(cur >> 32);
+
+        // t = (t + mFac * n) / 2^32; mFac chosen so t becomes
+        // divisible by the word base.
+        const std::uint32_t mFac = t[0] * nPrime;
+        cur = t[0] + static_cast<std::uint64_t>(mFac) * n[0];
+        carry = cur >> 32;
+        for (std::size_t j = 1; j < k; ++j) {
+            cur = t[j] + static_cast<std::uint64_t>(mFac) * n[j] + carry;
+            t[j - 1] = static_cast<std::uint32_t>(cur);
+            carry = cur >> 32;
+        }
+        cur = static_cast<std::uint64_t>(t[k]) + carry;
+        t[k - 1] = static_cast<std::uint32_t>(cur);
+        t[k] = t[k + 1] + static_cast<std::uint32_t>(cur >> 32);
+        t[k + 1] = 0;
+    }
+
+    // Result is in t[0..k] and is < 2n; one conditional subtract.
+    bool geq = t[k] != 0;
+    if (!geq) {
+        geq = true;
+        for (std::size_t i = k; i-- > 0;) {
+            if (t[i] != n[i]) {
+                geq = t[i] > n[i];
+                break;
+            }
+        }
+    }
+    out.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k));
+    if (geq) {
+        std::int64_t borrow = 0;
+        for (std::size_t i = 0; i < k; ++i) {
+            std::int64_t diff = static_cast<std::int64_t>(out[i]) -
+                                static_cast<std::int64_t>(n[i]) - borrow;
+            if (diff < 0) {
+                diff += 1LL << 32;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out[i] = static_cast<std::uint32_t>(diff);
+        }
+    }
+}
+
+MontgomeryContext::Limbs
+MontgomeryContext::toMont(const BigUint &value) const
+{
+    Limbs v = value.limb;
+    v.resize(n.size(), 0);
+    Limbs out;
+    montMul(v, rrModN, out);
+    return out;
+}
+
+BigUint
+MontgomeryContext::fromMont(const Limbs &value) const
+{
+    Limbs oneLimb(n.size(), 0);
+    oneLimb[0] = 1;
+    BigUint out;
+    montMul(value, oneLimb, out.limb);
+    out.trim();
+    return out;
+}
+
+BigUint
+MontgomeryContext::modExp(const BigUint &base, const BigUint &exp) const
+{
+    if (m == BigUint::fromU64(1))
+        return BigUint();
+    if (exp.isZero())
+        return BigUint::fromU64(1);
+
+    const std::size_t bits = exp.bitLength();
+
+    // Fixed window sized to the exponent: the table costs 2^w - 2
+    // products, each window costs w squarings plus at most one product.
+    const std::size_t w =
+        bits > 512 ? 5 : bits > 128 ? 4 : bits > 24 ? 3 : bits > 8 ? 2 : 1;
+
+    const Limbs x = toMont(base % m);
+    std::vector<Limbs> table(std::size_t(1) << w);
+    table[0] = rModN;
+    table[1] = x;
+    for (std::size_t i = 2; i < table.size(); ++i)
+        montMul(table[i - 1], x, table[i]);
+
+    const std::size_t chunks = (bits + w - 1) / w;
+    Limbs acc;
+    Limbs tmp;
+    for (std::size_t c = chunks; c-- > 0;) {
+        std::size_t digit = 0;
+        for (std::size_t b = 0; b < w; ++b) {
+            const std::size_t bitIndex = c * w + b;
+            if (bitIndex < bits && exp.bit(bitIndex))
+                digit |= std::size_t(1) << b;
+        }
+        if (c + 1 == chunks) {
+            acc = table[digit];
+            continue;
+        }
+        for (std::size_t s = 0; s < w; ++s) {
+            montMul(acc, acc, tmp);
+            acc.swap(tmp);
+        }
+        if (digit != 0) {
+            montMul(acc, table[digit], tmp);
+            acc.swap(tmp);
+        }
+    }
+    return fromMont(acc);
 }
 
 BigUint

@@ -24,6 +24,27 @@
 namespace monatt::crypto
 {
 
+class MontgomeryContext;
+
+/**
+ * Process-wide modular-exponentiation engine selector. Montgomery is
+ * the default; Legacy forces the division-based ladder everywhere
+ * (BigUint::modExp routes to modExpLegacy and the RSA key contexts
+ * skip Montgomery precomputation). Exists for the before/after figure
+ * benches and differential tests — production code never changes it.
+ */
+enum class ModExpEngine
+{
+    Montgomery,
+    Legacy,
+};
+
+/** The currently selected engine. */
+ModExpEngine modExpEngine() noexcept;
+
+/** Select the engine (not thread-safe; set before spinning up work). */
+void setModExpEngine(ModExpEngine engine) noexcept;
+
 /** Arbitrary-precision unsigned integer. */
 class BigUint
 {
@@ -95,8 +116,26 @@ class BigUint
     /** Right shift by `bits`. */
     BigUint shiftRight(std::size_t bits) const;
 
-    /** (this ^ exp) mod m, square-and-multiply. */
+    /**
+     * (this ^ exp) mod m.
+     *
+     * Odd moduli route through a Montgomery-multiplication fixed-window
+     * ladder (a one-shot MontgomeryContext); even moduli fall back to
+     * the division-based square-and-multiply ladder. Callers that
+     * exponentiate repeatedly under one modulus should build a
+     * MontgomeryContext once and use the context overload.
+     */
     BigUint modExp(const BigUint &exp, const BigUint &m) const;
+
+    /** (this ^ exp) mod ctx.modulus(), reusing precomputed constants. */
+    BigUint modExp(const BigUint &exp, const MontgomeryContext &ctx) const;
+
+    /**
+     * The original division-based square-and-multiply ladder. Kept as
+     * the reference implementation for differential tests and the
+     * old-vs-new benchmark; new code should call modExp.
+     */
+    BigUint modExpLegacy(const BigUint &exp, const BigUint &m) const;
 
     /** Greatest common divisor. */
     static BigUint gcd(BigUint a, BigUint b);
@@ -114,10 +153,53 @@ class BigUint
     static BigUint generatePrime(std::size_t bits, Rng &rng);
 
   private:
+    friend class MontgomeryContext;
+
     void trim();
 
     /** Little-endian 32-bit limbs; empty == zero. */
     std::vector<std::uint32_t> limb;
+};
+
+/**
+ * Precomputed constants for Montgomery modular arithmetic under one
+ * fixed odd modulus n: the word inverse n' = -n^-1 mod 2^32, R mod n
+ * and R^2 mod n for R = 2^(32*k). Exponentiation runs a fixed-window
+ * ladder over CIOS Montgomery products, replacing the per-step Knuth
+ * division of the legacy ladder with word-level reductions.
+ *
+ * RSA moduli, primes and CRT factors are always odd, so every protocol
+ * exponentiation qualifies. Construction costs one division (for
+ * R^2 mod n); the per-key context caches in the Trust Module, the
+ * secure channels and the Attestation Server exist to pay it once per
+ * key instead of once per operation.
+ */
+class MontgomeryContext
+{
+  public:
+    /** @throws std::domain_error when `modulus` is even or zero. */
+    explicit MontgomeryContext(const BigUint &modulus);
+
+    const BigUint &modulus() const { return m; }
+
+    /** (base ^ exp) mod modulus(). */
+    BigUint modExp(const BigUint &base, const BigUint &exp) const;
+
+  private:
+    using Limbs = std::vector<std::uint32_t>;
+
+    /** out = a * b * R^-1 mod n (CIOS). All vectors are k limbs. */
+    void montMul(const Limbs &a, const Limbs &b, Limbs &out) const;
+
+    /** Convert into / out of the Montgomery domain. */
+    Limbs toMont(const BigUint &value) const;
+    BigUint fromMont(const Limbs &value) const;
+
+    BigUint m;
+    Limbs n;                  //!< Modulus limbs (size k).
+    Limbs rModN;              //!< R mod n (1 in Montgomery form).
+    Limbs rrModN;             //!< R^2 mod n.
+    std::uint32_t nPrime = 0; //!< -n^-1 mod 2^32.
 };
 
 } // namespace monatt::crypto

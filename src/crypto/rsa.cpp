@@ -89,6 +89,52 @@ RsaPrivateKey::decryptRaw(const BigUint &c) const
     return m2 + h * q;
 }
 
+RsaPublicContext::RsaPublicContext(const RsaPublicKey &key) : pub(key)
+{
+    if (pub.n.isOdd() && modExpEngine() == ModExpEngine::Montgomery)
+        mont.emplace(pub.n);
+}
+
+BigUint
+RsaPublicContext::encryptRaw(const BigUint &value) const
+{
+    if (mont)
+        return mont->modExp(value, pub.e);
+    return value.modExp(pub.e, pub.n);
+}
+
+RsaPrivateContext::RsaPrivateContext(const RsaPrivateKey &key) : priv(key)
+{
+    if (modExpEngine() != ModExpEngine::Montgomery)
+        return;
+    if (!priv.p.isZero() && priv.p.isOdd() && !priv.q.isZero() &&
+        priv.q.isOdd()) {
+        montP.emplace(priv.p);
+        montQ.emplace(priv.q);
+    }
+    if (priv.n.isOdd())
+        montN.emplace(priv.n);
+}
+
+BigUint
+RsaPrivateContext::decryptRaw(const BigUint &c) const
+{
+    if (!montP || !montQ) {
+        if (montN)
+            return montN->modExp(c, priv.d);
+        return priv.decryptRaw(c);
+    }
+    const BigUint m1 = montP->modExp(c, priv.dP);
+    const BigUint m2 = montQ->modExp(c, priv.dQ);
+    BigUint diff;
+    if (m1 >= m2)
+        diff = m1 - m2;
+    else
+        diff = priv.p - ((m2 - m1) % priv.p);
+    const BigUint h = (priv.qInv * diff) % priv.p;
+    return m2 + h * priv.q;
+}
+
 RsaKeyPair
 rsaGenerateKeyPair(std::size_t modulusBits, Rng &rng)
 {
@@ -139,6 +185,15 @@ rsaSign(const RsaPrivateKey &key, const Bytes &message)
     return key.decryptRaw(m).toBytes(k);
 }
 
+Bytes
+rsaSign(const RsaPrivateContext &ctx, const Bytes &message)
+{
+    const std::size_t k = (ctx.key().n.bitLength() + 7) / 8;
+    const Bytes em = emsaEncode(Sha256::hash(message), k);
+    const BigUint m = BigUint::fromBytes(em);
+    return ctx.decryptRaw(m).toBytes(k);
+}
+
 bool
 rsaVerify(const RsaPublicKey &key, const Bytes &message,
           const Bytes &signature)
@@ -159,14 +214,36 @@ rsaVerify(const RsaPublicKey &key, const Bytes &message,
     return constantTimeEqual(em, expected);
 }
 
-Result<Bytes>
-rsaEncrypt(const RsaPublicKey &key, const Bytes &message, Rng &rng)
+bool
+rsaVerify(const RsaPublicContext &ctx, const Bytes &message,
+          const Bytes &signature)
 {
+    const RsaPublicKey &key = ctx.key();
     const std::size_t k = key.modulusBytes();
+    if (signature.size() != k)
+        return false;
+    const BigUint s = BigUint::fromBytes(signature);
+    if (s >= key.n)
+        return false;
+    const Bytes em = ctx.encryptRaw(s).toBytes(k);
+    Bytes expected;
+    try {
+        expected = emsaEncode(Sha256::hash(message), k);
+    } catch (const std::invalid_argument &) {
+        return false;
+    }
+    return constantTimeEqual(em, expected);
+}
+
+namespace
+{
+
+/** EME-PKCS1-v1_5: 00 || 02 || nonzero padding || 00 || message. */
+Result<Bytes>
+emePad(const Bytes &message, std::size_t k, Rng &rng)
+{
     if (message.size() + 11 > k)
         return Result<Bytes>::error("rsaEncrypt: message too long");
-
-    // EME-PKCS1-v1_5: 00 || 02 || nonzero padding || 00 || message.
     Bytes em;
     em.reserve(k);
     em.push_back(0x00);
@@ -181,9 +258,45 @@ rsaEncrypt(const RsaPublicKey &key, const Bytes &message, Rng &rng)
     }
     em.push_back(0x00);
     em.insert(em.end(), message.begin(), message.end());
+    return Result<Bytes>::ok(std::move(em));
+}
 
-    const BigUint m = BigUint::fromBytes(em);
+/** Strip EME-PKCS1-v1_5 padding from a decrypted block. */
+Result<Bytes>
+emeUnpad(const Bytes &em)
+{
+    if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02)
+        return Result<Bytes>::error("rsaDecrypt: bad padding");
+    std::size_t sep = 2;
+    while (sep < em.size() && em[sep] != 0x00)
+        ++sep;
+    if (sep == em.size() || sep < 10)
+        return Result<Bytes>::error("rsaDecrypt: bad padding");
+    return Result<Bytes>::ok(Bytes(em.begin() + sep + 1, em.end()));
+}
+
+} // namespace
+
+Result<Bytes>
+rsaEncrypt(const RsaPublicKey &key, const Bytes &message, Rng &rng)
+{
+    const std::size_t k = key.modulusBytes();
+    auto em = emePad(message, k, rng);
+    if (!em)
+        return em;
+    const BigUint m = BigUint::fromBytes(em.value());
     return Result<Bytes>::ok(m.modExp(key.e, key.n).toBytes(k));
+}
+
+Result<Bytes>
+rsaEncrypt(const RsaPublicContext &ctx, const Bytes &message, Rng &rng)
+{
+    const std::size_t k = ctx.key().modulusBytes();
+    auto em = emePad(message, k, rng);
+    if (!em)
+        return em;
+    const BigUint m = BigUint::fromBytes(em.value());
+    return Result<Bytes>::ok(ctx.encryptRaw(m).toBytes(k));
 }
 
 Result<Bytes>
@@ -195,16 +308,20 @@ rsaDecrypt(const RsaPrivateKey &key, const Bytes &cipher)
     const BigUint c = BigUint::fromBytes(cipher);
     if (c >= key.n)
         return Result<Bytes>::error("rsaDecrypt: ciphertext out of range");
+    return emeUnpad(key.decryptRaw(c).toBytes(k));
+}
 
-    const Bytes em = key.decryptRaw(c).toBytes(k);
-    if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02)
-        return Result<Bytes>::error("rsaDecrypt: bad padding");
-    std::size_t sep = 2;
-    while (sep < em.size() && em[sep] != 0x00)
-        ++sep;
-    if (sep == em.size() || sep < 10)
-        return Result<Bytes>::error("rsaDecrypt: bad padding");
-    return Result<Bytes>::ok(Bytes(em.begin() + sep + 1, em.end()));
+Result<Bytes>
+rsaDecrypt(const RsaPrivateContext &ctx, const Bytes &cipher)
+{
+    const RsaPrivateKey &key = ctx.key();
+    const std::size_t k = (key.n.bitLength() + 7) / 8;
+    if (cipher.size() != k)
+        return Result<Bytes>::error("rsaDecrypt: bad ciphertext length");
+    const BigUint c = BigUint::fromBytes(cipher);
+    if (c >= key.n)
+        return Result<Bytes>::error("rsaDecrypt: ciphertext out of range");
+    return emeUnpad(ctx.decryptRaw(c).toBytes(k));
 }
 
 } // namespace monatt::crypto

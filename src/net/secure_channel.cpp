@@ -158,16 +158,19 @@ ClientHandshake::ClientHandshake(std::string clientId,
                                  std::string serverId,
                                  const crypto::RsaKeyPair &clientKeys,
                                  const crypto::RsaPublicKey &serverPub,
-                                 crypto::HmacDrbg &drbg)
+                                 crypto::HmacDrbg &drbg,
+                                 const crypto::RsaPrivateContext *clientCtx,
+                                 const crypto::RsaPublicContext *serverCtx)
     : client(std::move(clientId)), server(std::move(serverId)),
-      serverPublic(serverPub)
+      serverPublic(serverPub), serverCtx_(serverCtx)
 {
     clientNonce = drbg.generate(32);
     premaster = drbg.generate(32);
 
     Rng padRng = drbg.forkRng();
-    auto encPremaster = crypto::rsaEncrypt(serverPublic, premaster,
-                                           padRng);
+    auto encPremaster =
+        serverCtx_ ? crypto::rsaEncrypt(*serverCtx_, premaster, padRng)
+                   : crypto::rsaEncrypt(serverPublic, premaster, padRng);
     if (!encPremaster)
         throw std::logic_error("ClientHandshake: premaster encryption "
                                "failed: " + encPremaster.errorMessage());
@@ -175,8 +178,9 @@ ClientHandshake::ClientHandshake(std::string clientId,
     const Bytes clientPub = clientKeys.pub.encode();
     transcriptHash = clientTranscript(client, server, clientNonce,
                                       clientPub, encPremaster.value());
-    const Bytes signature = crypto::rsaSign(clientKeys.priv,
-                                            transcriptHash);
+    const Bytes signature =
+        clientCtx ? crypto::rsaSign(*clientCtx, transcriptHash)
+                  : crypto::rsaSign(clientKeys.priv, transcriptHash);
 
     ByteWriter w;
     w.putString(client);
@@ -199,7 +203,12 @@ ClientHandshake::finish(const Bytes &serverHello)
 
     const Bytes toSign = serverTranscript(transcriptHash,
                                           serverNonce.value());
-    if (!crypto::rsaVerify(serverPublic, toSign, signature.value()))
+    const bool sigOk =
+        serverCtx_ ? crypto::rsaVerify(*serverCtx_, toSign,
+                                       signature.value())
+                   : crypto::rsaVerify(serverPublic, toSign,
+                                       signature.value());
+    if (!sigOk)
         return Result<SecureChannel>::error(
             "server identity signature verification failed");
 
@@ -220,14 +229,17 @@ ClientHandshake::finish(const Bytes &serverHello)
 
 ServerHandshake::ServerHandshake(std::string serverId,
                                  const crypto::RsaKeyPair &serverKeys,
-                                 crypto::HmacDrbg &drbg)
-    : server(std::move(serverId)), keys(serverKeys), rng(drbg)
+                                 crypto::HmacDrbg &drbg,
+                                 const crypto::RsaPrivateContext *ownCtx)
+    : server(std::move(serverId)), keys(serverKeys), rng(drbg),
+      ownCtx_(ownCtx)
 {
 }
 
 Result<ServerHandshake::Accepted>
 ServerHandshake::accept(const Bytes &clientHello,
-                        const crypto::RsaPublicKey &expectedClientPub)
+                        const crypto::RsaPublicKey &expectedClientPub,
+                        const crypto::RsaPublicContext *clientCtx)
 {
     using R = Result<Accepted>;
 
@@ -251,18 +263,24 @@ ServerHandshake::accept(const Bytes &clientHello,
     const Bytes transcript = clientTranscript(
         clientId.value(), server, clientNonce.value(), clientPub.value(),
         encPremaster.value());
-    if (!crypto::rsaVerify(expectedClientPub, transcript,
-                           signature.value())) {
+    const bool sigOk =
+        clientCtx ? crypto::rsaVerify(*clientCtx, transcript,
+                                      signature.value())
+                  : crypto::rsaVerify(expectedClientPub, transcript,
+                                      signature.value());
+    if (!sigOk)
         return R::error("client identity signature verification failed");
-    }
 
-    auto premaster = crypto::rsaDecrypt(keys.priv, encPremaster.value());
+    auto premaster =
+        ownCtx_ ? crypto::rsaDecrypt(*ownCtx_, encPremaster.value())
+                : crypto::rsaDecrypt(keys.priv, encPremaster.value());
     if (!premaster)
         return R::error("premaster decryption failed");
 
     const Bytes serverNonce = rng.generate(32);
     const Bytes toSign = serverTranscript(transcript, serverNonce);
-    const Bytes serverSig = crypto::rsaSign(keys.priv, toSign);
+    const Bytes serverSig = ownCtx_ ? crypto::rsaSign(*ownCtx_, toSign)
+                                    : crypto::rsaSign(keys.priv, toSign);
 
     Accepted out;
     SecureChannel::derive(out.channel, premaster.value(),

@@ -106,11 +106,18 @@ class ClientHandshake
      *                  (obtained from the cloud's certificate
      *                  infrastructure).
      * @param drbg Randomness source for nonce and premaster.
+     * @param clientCtx Optional compiled client signing key; when set
+     *        (it must outlive the handshake) the hello signature
+     *        reuses its Montgomery constants.
+     * @param serverCtx Optional compiled peer key, reused for the
+     *        premaster encryption and the ServerHello verification.
      */
     ClientHandshake(std::string clientId, std::string serverId,
                     const crypto::RsaKeyPair &clientKeys,
                     const crypto::RsaPublicKey &serverPub,
-                    crypto::HmacDrbg &drbg);
+                    crypto::HmacDrbg &drbg,
+                    const crypto::RsaPrivateContext *clientCtx = nullptr,
+                    const crypto::RsaPublicContext *serverCtx = nullptr);
 
     /** The ClientHello message to transmit. */
     const Bytes &helloMessage() const { return hello; }
@@ -122,6 +129,7 @@ class ClientHandshake
     std::string client;
     std::string server;
     const crypto::RsaPublicKey serverPublic;
+    const crypto::RsaPublicContext *serverCtx_;
     Bytes clientNonce;
     Bytes premaster;
     Bytes hello;
@@ -132,9 +140,16 @@ class ClientHandshake
 class ServerHandshake
 {
   public:
+    /**
+     * @param ownCtx Optional compiled private key (must outlive the
+     *        handshake); lets every accept() on this endpoint reuse
+     *        one set of Montgomery constants for the premaster
+     *        decryption and the ServerHello signature.
+     */
     ServerHandshake(std::string serverId,
                     const crypto::RsaKeyPair &serverKeys,
-                    crypto::HmacDrbg &drbg);
+                    crypto::HmacDrbg &drbg,
+                    const crypto::RsaPrivateContext *ownCtx = nullptr);
 
     /** Result of a successful accept(). */
     struct Accepted
@@ -151,14 +166,19 @@ class ServerHandshake
      * @param expectedClientPub The client's public identity key, as
      *        known to this server via the cloud's key infrastructure —
      *        a hello signed by any other key is rejected.
+     * @param clientCtx Optional compiled form of expectedClientPub,
+     *        reused for the hello signature check.
      */
-    Result<Accepted> accept(const Bytes &clientHello,
-                            const crypto::RsaPublicKey &expectedClientPub);
+    Result<Accepted> accept(
+        const Bytes &clientHello,
+        const crypto::RsaPublicKey &expectedClientPub,
+        const crypto::RsaPublicContext *clientCtx = nullptr);
 
   private:
     std::string server;
     const crypto::RsaKeyPair keys;
     crypto::HmacDrbg &rng;
+    const crypto::RsaPrivateContext *ownCtx_;
 };
 
 } // namespace monatt::net

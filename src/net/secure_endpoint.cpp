@@ -39,7 +39,7 @@ SecureEndpoint::SecureEndpoint(Network &network, NodeId id,
                                const KeyDirectory &directory,
                                const Bytes &drbgSeed)
     : net(network), self(std::move(id)), keys(std::move(identityKeys)),
-      dir(directory), drbg(drbgSeed)
+      ownCtx(keys.priv), dir(directory), drbg(drbgSeed)
 {
     net.registerNode(self, [this](const Envelope &env) {
         handleDatagram(env);
@@ -49,6 +49,21 @@ SecureEndpoint::SecureEndpoint(Network &network, NodeId id,
 SecureEndpoint::~SecureEndpoint()
 {
     net.unregisterNode(self);
+}
+
+const crypto::RsaPublicContext &
+SecureEndpoint::peerContext(const NodeId &peer,
+                            const crypto::RsaPublicKey &key)
+{
+    auto it = peerContexts.find(peer);
+    if (it != peerContexts.end()) {
+        // The directory may re-publish a rotated key; recompile.
+        if (!(it->second.key() == key))
+            it->second = crypto::RsaPublicContext(key);
+        return it->second;
+    }
+    return peerContexts.emplace(peer, crypto::RsaPublicContext(key))
+        .first->second;
 }
 
 void
@@ -81,7 +96,8 @@ SecureEndpoint::sendSecure(const NodeId &peer, const Bytes &plaintext,
         }
         OutboundChannel oc;
         oc.handshake = std::make_unique<ClientHandshake>(
-            self, peer, keys, serverKey.value(), drbg);
+            self, peer, keys, serverKey.value(), drbg, &ownCtx,
+            &peerContext(peer, serverKey.value()));
         oc.queue.emplace_back(plaintext, bulkBytes);
         const Bytes hello = oc.handshake->helloMessage();
         outbound.emplace(peer, std::move(oc));
@@ -132,8 +148,9 @@ SecureEndpoint::handleHello(const Envelope &env)
         ++counters.rejectedHandshakes;
         return;
     }
-    ServerHandshake hs(self, keys, drbg);
-    auto accepted = hs.accept(env.payload, clientKey.value());
+    ServerHandshake hs(self, keys, drbg, &ownCtx);
+    auto accepted = hs.accept(env.payload, clientKey.value(),
+                              &peerContext(env.src, clientKey.value()));
     if (!accepted) {
         ++counters.rejectedHandshakes;
         MONATT_LOG(Warn, "endpoint")

@@ -123,12 +123,23 @@ class SecureEndpoint
     void transmit(const NodeId &peer, const std::string &channelTag,
                   const Bytes &payload, std::uint64_t bulkBytes);
 
+    /** Compiled peer identity key, built lazily and reused across
+     * every handshake with that peer. */
+    const crypto::RsaPublicContext &peerContext(
+        const NodeId &peer, const crypto::RsaPublicKey &key);
+
     Network &net;
     NodeId self;
     crypto::RsaKeyPair keys;
+    /** Compiled own identity key, shared by every handshake this
+     * endpoint runs (session-key signature context reuse). */
+    crypto::RsaPrivateContext ownCtx;
     const KeyDirectory &dir;
     crypto::HmacDrbg drbg;
     MessageHandler handler_;
+
+    /** Per-peer compiled public keys. */
+    std::map<NodeId, crypto::RsaPublicContext> peerContexts;
 
     /** Channels we initiated, keyed by peer. */
     std::map<NodeId, OutboundChannel> outbound;

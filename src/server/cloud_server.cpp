@@ -163,7 +163,29 @@ CloudServer::onMeasureRequest(const net::NodeId &from, const Bytes &body)
     const std::uint64_t id = req.value().requestId;
     PendingAttestation pa;
     pa.request = req.take();
+
+    // Reuse the cached AVK session when it has responses left: the
+    // reservation happens now (credit consumed, session pinned) so
+    // concurrent requests cannot oversubscribe it, and the AIK
+    // generation plus pCA round trip are skipped entirely.
+    const bool reuseAik =
+        cfg.aikReuseLimit > 1 && aikCache.remaining > 0;
+    if (reuseAik) {
+        --aikCache.remaining;
+        ++sessionRefs[aikCache.handle];
+        pa.session = aikCache.handle;
+        pa.sessionLabel = aikCache.label;
+        pa.certificate = aikCache.certificate;
+        pa.haveCert = true;
+    }
     pending[id] = std::move(pa);
+
+    if (reuseAik) {
+        events.scheduleAfter(cfg.timing.serverProcessing, [this, id] {
+            collectMeasurements(id);
+        }, "server.attest.prep");
+        return;
+    }
 
     // Step 3 of Figure 2: generate the session attestation key (the
     // dominant local cost) and have it certified by the privacy CA.
@@ -177,6 +199,7 @@ CloudServer::onMeasureRequest(const net::NodeId &from, const Bytes &body)
 
         const tpm::AttestationSessionInfo session = trust.beginSession();
         pa.session = session.handle;
+        ++sessionRefs[pa.session];
         pa.sessionLabel =
             "aik-" + std::to_string(++sessionCounter) + "@" +
             toHex(trust.randomBytes(4));
@@ -193,6 +216,42 @@ CloudServer::onMeasureRequest(const net::NodeId &from, const Bytes &body)
 
         collectMeasurements(id);
     }, "server.attest.prep");
+}
+
+void
+CloudServer::releaseSession(tpm::SessionHandle handle)
+{
+    if (handle == 0)
+        return;
+    auto it = sessionRefs.find(handle);
+    if (it != sessionRefs.end() && it->second > 0)
+        --it->second;
+    const bool inFlight = it != sessionRefs.end() && it->second > 0;
+    if (!inFlight && handle != aikCache.handle) {
+        trust.endSession(handle);
+        if (it != sessionRefs.end())
+            sessionRefs.erase(it);
+    }
+}
+
+void
+CloudServer::cacheAikSession(const PendingAttestation &pa)
+{
+    if (cfg.aikReuseLimit <= 1)
+        return;
+    const tpm::SessionHandle old = aikCache.handle;
+    aikCache.handle = pa.session;
+    aikCache.label = pa.sessionLabel;
+    aikCache.certificate = pa.certificate;
+    aikCache.remaining = cfg.aikReuseLimit - 1;
+    if (old != 0 && old != aikCache.handle) {
+        // The rotated-out session dies once its in-flight users drain.
+        const auto it = sessionRefs.find(old);
+        if (it == sessionRefs.end() || it->second == 0) {
+            trust.endSession(old);
+            sessionRefs.erase(old);
+        }
+    }
 }
 
 void
@@ -287,12 +346,13 @@ CloudServer::onCertResponse(const Bytes &body)
         MONATT_LOG(Warn, "server")
             << cfg.id << ": pCA refused certification: "
             << resp.value().error;
-        trust.endSession(it->second.session);
+        releaseSession(it->second.session);
         pending.erase(it);
         return;
     }
     it->second.certificate = resp.take().certificate;
     it->second.haveCert = true;
+    cacheAikSession(it->second);
     maybeRespond(requestId);
 }
 
@@ -316,13 +376,14 @@ CloudServer::maybeRespond(std::uint64_t requestId)
         resp.vid, resp.rm, resp.m, resp.nonce3);
     auto sig = trust.signWithSession(pa.session, resp.signedPortion());
     if (!sig) {
+        releaseSession(pa.session);
         pending.erase(it);
         return;
     }
     resp.signature = sig.take();
     resp.certificate = pa.certificate;
 
-    trust.endSession(pa.session);
+    releaseSession(pa.session);
     endpoint.sendSecure(cfg.attestationServerId,
                         packMessage(MessageKind::MeasureResponse,
                                     resp.encode()));

@@ -69,6 +69,16 @@ struct CloudServerConfig
      * Profile Tool does not intercept the VM's execution", §7.1.2).
      */
     SimTime intrusivePause = 0;
+
+    /**
+     * Number of MeasureResponses one attestation session {AVKs, ASKs}
+     * may serve before the Trust Module rotates it. 1 reproduces the
+     * paper's fresh-key-per-attestation flow; larger values amortize
+     * AIK generation and the pCA round trip across periodic rounds
+     * (the Attestation Server's certificate cache then verifies the
+     * chain once per AVK session instead of once per response).
+     */
+    std::uint64_t aikReuseLimit = 16;
 };
 
 /** A hosted VM's record on the server. */
@@ -173,6 +183,13 @@ class CloudServer
     void maybeRespond(std::uint64_t requestId);
     hypervisor::DomainId createVmDomain(const proto::LaunchVm &req);
 
+    /** Drop a pending attestation's hold on a Trust Module session;
+     * ends the session once it is neither in flight nor cached. */
+    void releaseSession(tpm::SessionHandle handle);
+
+    /** Install a freshly certified session as the reusable AVK. */
+    void cacheAikSession(const PendingAttestation &pa);
+
     sim::EventQueue &events;
     CloudServerConfig cfg;
     tpm::TrustModule trust;
@@ -180,9 +197,26 @@ class CloudServer
     MonitorModule monitor;
     net::SecureEndpoint endpoint;
 
+    /**
+     * The reusable attestation session: one certified {AVKs, ASKs}
+     * serving up to aikReuseLimit responses. `remaining` counts the
+     * responses it may still serve; `handle` stays open in the Trust
+     * Module while cached or in flight.
+     */
+    struct AikSessionCache
+    {
+        tpm::SessionHandle handle = 0;
+        std::string label;
+        Bytes certificate;
+        std::uint64_t remaining = 0;
+    };
+
     std::map<std::string, HostedVm> vms;
     std::map<std::uint64_t, PendingAttestation> pending;
     std::map<std::string, std::uint64_t> certToRequest;
+    AikSessionCache aikCache;
+    /** In-flight uses per Trust Module session handle. */
+    std::map<tpm::SessionHandle, std::size_t> sessionRefs;
 
     /** Pending migration: vid -> controller that asked. */
     std::map<std::string, net::NodeId> migrations;

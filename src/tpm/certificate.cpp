@@ -58,6 +58,12 @@ Certificate::verify(const crypto::RsaPublicKey &issuerKey) const
     return crypto::rsaVerify(issuerKey, encodeTbs(), signature);
 }
 
+bool
+Certificate::verify(const crypto::RsaPublicContext &issuerCtx) const
+{
+    return crypto::rsaVerify(issuerCtx, encodeTbs(), signature);
+}
+
 Result<crypto::RsaPublicKey>
 Certificate::publicKey() const
 {

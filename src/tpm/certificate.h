@@ -46,6 +46,10 @@ struct Certificate
     /** Check the issuer signature. */
     bool verify(const crypto::RsaPublicKey &issuerKey) const;
 
+    /** Check the issuer signature through a compiled issuer key (the
+     * Attestation Server keeps one per pCA across sessions). */
+    bool verify(const crypto::RsaPublicContext &issuerCtx) const;
+
     /** Decode the subject public key. */
     Result<crypto::RsaPublicKey> publicKey() const;
 };

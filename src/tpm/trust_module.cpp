@@ -33,7 +33,7 @@ TrustModule::TrustModule(std::string serverId,
                          const Bytes &entropySeed,
                          std::size_t sessionKeyBits)
     : server(std::move(serverId)), identity(std::move(identityKey)),
-      drbg(drbgSeed(entropySeed, identity)),
+      identityCtx(identity.priv), drbg(drbgSeed(entropySeed, identity)),
       aikBits(sessionKeyBits), tpmDev(deriveTpmKey(server, entropySeed))
 {
 }
@@ -41,13 +41,13 @@ TrustModule::TrustModule(std::string serverId,
 Bytes
 TrustModule::signWithIdentity(const Bytes &message) const
 {
-    return crypto::rsaSign(identity.priv, message);
+    return crypto::rsaSign(identityCtx, message);
 }
 
 Result<Bytes>
 TrustModule::decryptWithIdentity(const Bytes &cipher) const
 {
-    return crypto::rsaDecrypt(identity.priv, cipher);
+    return crypto::rsaDecrypt(identityCtx, cipher);
 }
 
 Bytes
@@ -125,7 +125,9 @@ TrustModule::beginSession()
     info.handle = nextHandle++;
     info.attestationKey = aik.pub;
     info.attestationKeySignature = signWithIdentity(aik.pub.encode());
-    sessions[info.handle] = std::move(aik);
+    crypto::RsaPrivateContext ctx(aik.priv);
+    sessions.emplace(info.handle,
+                     SessionKey{std::move(aik), std::move(ctx)});
     return info;
 }
 
@@ -136,7 +138,7 @@ TrustModule::signWithSession(SessionHandle handle,
     const auto it = sessions.find(handle);
     if (it == sessions.end())
         return Result<Bytes>::error("TrustModule: unknown session");
-    return Result<Bytes>::ok(crypto::rsaSign(it->second.priv, message));
+    return Result<Bytes>::ok(crypto::rsaSign(it->second.ctx, message));
 }
 
 void

@@ -137,13 +137,25 @@ class TrustModule
     const TpmEmulator &tpmDevice() const { return tpmDev; }
 
   private:
+    /** An open session: the key pair plus its compiled Montgomery
+     * constants, derived once at beginSession so every quote signed
+     * during the session skips the per-operation precomputation. */
+    struct SessionKey
+    {
+        crypto::RsaKeyPair keys;
+        crypto::RsaPrivateContext ctx;
+    };
+
     std::string server;
     crypto::RsaKeyPair identity;
+    /** Compiled identity key: periodic attestation rounds sign and
+     * decrypt through this instead of re-deriving constants. */
+    crypto::RsaPrivateContext identityCtx;
     crypto::HmacDrbg drbg;
     std::size_t aikBits;
     TpmEmulator tpmDev;
     std::map<std::string, std::vector<std::uint64_t>> banks;
-    std::map<SessionHandle, crypto::RsaKeyPair> sessions;
+    std::map<SessionHandle, SessionKey> sessions;
     SessionHandle nextHandle = 1;
 };
 
