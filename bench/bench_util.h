@@ -8,8 +8,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "sim/worker_pool.h"
 
 namespace monatt::bench
 {
@@ -42,11 +50,68 @@ struct AbLeg
     double wallSeconds = 0;
 };
 
+/** Peak resident set size of this process in KiB (0 if unavailable). */
+inline long
+peakRssKb()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    return usage.ru_maxrss / 1024; // bytes on Darwin
+#else
+    return usage.ru_maxrss; // KiB on Linux
+#endif
+#else
+    return 0;
+#endif
+}
+
+/** Compiler identification string for the bench binary. */
+inline const char *
+compilerId()
+{
+#if defined(__clang__)
+    return "clang " __clang_version__;
+#elif defined(__GNUC__)
+    return "gcc " __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+/**
+ * JSON object describing the run environment: compute-plane thread
+ * count, host parallelism, compiler, UTC timestamp and peak RSS.
+ * Appended to every bench JSON so archived numbers are comparable.
+ */
+inline std::string
+metadataJson()
+{
+    char ts[32] = "unknown";
+    const std::time_t now = std::time(nullptr);
+    if (std::tm utc{}; gmtime_r(&now, &utc) != nullptr)
+        std::strftime(ts, sizeof(ts), "%Y-%m-%dT%H:%M:%SZ", &utc);
+
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"compute_threads\": %zu, "
+                  "\"hardware_concurrency\": %u, "
+                  "\"compiler\": \"%s\", "
+                  "\"wall_clock_utc\": \"%s\", "
+                  "\"peak_rss_kb\": %ld}",
+                  sim::WorkerPool::global().threadCount(),
+                  std::thread::hardware_concurrency(), compilerId(), ts,
+                  peakRssKb());
+    return buf;
+}
+
 /**
  * Write the before/after record for a figure bench as JSON, so CI can
  * archive the speedup alongside the figure output. Schema:
  * {"benchmark", "workload", "before": {...}, "after": {...},
- *  "speedup"}.
+ *  "speedup", "metadata": {...}}.
  */
 inline bool
 writeAbJson(const std::string &path, const std::string &benchName,
@@ -66,13 +131,14 @@ writeAbJson(const std::string &path, const std::string &benchName,
                  "\"wall_seconds\": %.6f},\n"
                  "  \"after\": {\"engine\": \"%s\", \"caches\": %s, "
                  "\"wall_seconds\": %.6f},\n"
-                 "  \"speedup\": %.3f\n"
+                 "  \"speedup\": %.3f,\n"
+                 "  \"metadata\": %s\n"
                  "}\n",
                  benchName.c_str(), workload.c_str(),
                  before.engine.c_str(), before.caches ? "true" : "false",
                  before.wallSeconds, after.engine.c_str(),
                  after.caches ? "true" : "false", after.wallSeconds,
-                 speedup);
+                 speedup, metadataJson().c_str());
     std::fclose(f);
     return true;
 }

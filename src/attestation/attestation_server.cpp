@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "crypto/sha256.h"
+#include "sim/worker_pool.h"
 #include "tpm/certificate.h"
 
 namespace monatt::attestation
@@ -20,17 +21,6 @@ using proto::ReportToController;
 namespace
 {
 
-crypto::RsaKeyPair
-makeKeys(const std::string &id, std::uint64_t seed, std::size_t bits)
-{
-    Bytes material = toBytes("as-identity:" + id);
-    for (int i = 0; i < 8; ++i)
-        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
-    crypto::HmacDrbg drbg(material);
-    Rng rng = drbg.forkRng();
-    return crypto::rsaGenerateKeyPair(bits, rng);
-}
-
 Bytes
 endpointSeed(const std::string &id, std::uint64_t seed)
 {
@@ -42,13 +32,27 @@ endpointSeed(const std::string &id, std::uint64_t seed)
 
 } // namespace
 
+crypto::RsaKeyPair
+AttestationServer::deriveIdentityKeys(const std::string &id,
+                                      std::uint64_t seed, std::size_t bits)
+{
+    Bytes material = toBytes("as-identity:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    crypto::HmacDrbg drbg(material);
+    Rng rng = drbg.forkRng();
+    return crypto::rsaGenerateKeyPair(bits, rng);
+}
+
 AttestationServer::AttestationServer(sim::EventQueue &eq,
                                      net::Network &network,
                                      net::KeyDirectory &directory,
                                      AttestationServerConfig config,
                                      std::uint64_t seed)
     : events(eq), cfg(std::move(config)),
-      keys(makeKeys(cfg.id, seed, cfg.identityKeyBits)),
+      keys(cfg.presetIdentityKeys
+               ? *std::move(cfg.presetIdentityKeys)
+               : deriveIdentityKeys(cfg.id, seed, cfg.identityKeyBits)),
       signCtx(keys.priv), dir(directory),
       endpoint(network, cfg.id, keys, directory,
                endpointSeed(cfg.id, seed)),
@@ -221,56 +225,42 @@ AttestationServer::pcaContext(const crypto::RsaPublicKey &key)
     return *pcaCtx;
 }
 
+AttestationServer::ChainCheck
+AttestationServer::checkCertificate(const Bytes &certBytes,
+                                    const std::string &pcaId,
+                                    const crypto::RsaPublicContext &pca)
+{
+    ChainCheck out;
+    auto certR = tpm::Certificate::decode(certBytes);
+    if (!certR) {
+        out.error = "malformed attestation-key certificate";
+        return out;
+    }
+    const tpm::Certificate cert = certR.take();
+    if (cert.issuer != pcaId || !cert.verify(pca)) {
+        out.error = "attestation-key certificate verification failed";
+        return out;
+    }
+    auto avk = cert.publicKey();
+    if (!avk) {
+        out.error = "malformed attestation key in certificate";
+        return out;
+    }
+    out.ok = true;
+    out.avk = avk.take();
+    return out;
+}
+
 Result<proto::MeasurementSet>
-AttestationServer::verifyResponse(const Session &session,
-                                  const MeasureResponse &resp)
+AttestationServer::verifyWithAvk(const Session &session,
+                                 const MeasureResponse &resp,
+                                 const crypto::RsaPublicContext &avk)
 {
     using R = Result<proto::MeasurementSet>;
 
-    // 1. Certificate chain: the pCA vouches for the session key. The
-    // chain check is memoized by certificate digest — a hit replays
-    // the decision made for byte-identical certificate bytes; any
-    // change to the bytes (tampering included) changes the digest,
-    // misses, and re-runs the cold check below.
-    auto pcaKey = dir.lookup(cfg.pcaId);
-    if (!pcaKey)
-        return R::error("no pCA key available");
-    const crypto::RsaPublicContext &pca = pcaContext(pcaKey.value());
-
-    crypto::RsaPublicKey avkKey;
-    bool haveAvk = false;
-    Bytes certDigest;
-    if (cfg.enableVerificationCaches) {
-        certDigest = crypto::Sha256::hash(resp.certificate);
-        if (const crypto::RsaPublicKey *hit = certCache.lookup(certDigest)) {
-            avkKey = *hit;
-            haveAvk = true;
-            ++counters.certCacheHits;
-        } else {
-            ++counters.certCacheMisses;
-        }
-    }
-    if (!haveAvk) {
-        auto certR = tpm::Certificate::decode(resp.certificate);
-        if (!certR)
-            return R::error("malformed attestation-key certificate");
-        const tpm::Certificate cert = certR.take();
-        if (cert.issuer != cfg.pcaId || !cert.verify(pca))
-            return R::error("attestation-key certificate verification "
-                            "failed");
-        auto avk = cert.publicKey();
-        if (!avk)
-            return R::error("malformed attestation key in certificate");
-        avkKey = avk.take();
-        if (cfg.enableVerificationCaches)
-            certCache.insert(certDigest, avkKey);
-    }
-
     // 2. Session-key signature over [Vid, rM, M, N3, Q3].
-    if (!crypto::rsaVerify(avkKey, resp.signedPortion(),
-                           resp.signature)) {
+    if (!crypto::rsaVerify(avk, resp.signedPortion(), resp.signature))
         return R::error("measurement signature verification failed");
-    }
 
     // 3. Quote recomputation.
     const Bytes expectedQ3 = MeasureResponse::quoteInput(
@@ -295,20 +285,141 @@ AttestationServer::onMeasureResponse(const Bytes &body)
         ++counters.verificationFailures;
         return;
     }
-    const MeasureResponse resp = respR.take();
+    verifyQueue.push_back(respR.take());
+    if (!verifyFlushScheduled) {
+        verifyFlushScheduled = true;
+        events.scheduleAfter(cfg.batchWindow,
+                             [this] { flushVerifyBatch(); },
+                             "as.verify.flush");
+    }
+}
 
-    const auto it = sessions.find(resp.requestId);
-    if (it == sessions.end()) {
-        ++counters.verificationFailures;
-        MONATT_LOG(Warn, "as") << "response for unknown session "
-                               << resp.requestId;
+void
+AttestationServer::flushVerifyBatch()
+{
+    verifyFlushScheduled = false;
+    std::vector<MeasureResponse> batch;
+    batch.swap(verifyQueue);
+
+    // Serial pre-pass, in arrival order: bind responses to their
+    // outstanding sessions and compute the certificate digests.
+    struct Item
+    {
+        MeasureResponse resp;
+        Session session;
+        Bytes digest;
+        std::optional<crypto::RsaPublicContext> avkCtx;
+        Result<proto::MeasurementSet> verified =
+            Result<proto::MeasurementSet>::error("not verified");
+    };
+    std::vector<Item> items;
+    items.reserve(batch.size());
+    for (MeasureResponse &resp : batch) {
+        const auto it = sessions.find(resp.requestId);
+        if (it == sessions.end()) {
+            ++counters.verificationFailures;
+            MONATT_LOG(Warn, "as") << "response for unknown session "
+                                   << resp.requestId;
+            continue;
+        }
+        Item item;
+        item.resp = std::move(resp);
+        item.session = it->second;
+        sessions.erase(it);
+        items.push_back(std::move(item));
+    }
+    if (items.empty())
+        return;
+
+    auto pcaKey = dir.lookup(cfg.pcaId);
+    if (!pcaKey) {
+        for (Item &item : items) {
+            applyVerified(item.session,
+                          Result<proto::MeasurementSet>::error(
+                              "no pCA key available"));
+        }
         return;
     }
-    const Session session = it->second;
-    sessions.erase(it);
+    const crypto::RsaPublicContext &pca = pcaContext(pcaKey.value());
 
-    auto verified = verifyResponse(session, resp);
+    // 1. Certificate chains, deduplicated by digest: each distinct
+    // certificate not already memoized is chain-checked once, on the
+    // compute plane. With caches disabled every response still pays
+    // exactly one (parallel) chain check, like the serial path did.
+    std::map<Bytes, ChainCheck> chains;
+    for (Item &item : items) {
+        item.digest = crypto::Sha256::hash(item.resp.certificate);
+        if (cfg.enableVerificationCaches && certCache.peek(item.digest))
+            continue;
+        chains.emplace(item.digest, ChainCheck{});
+    }
+    {
+        std::vector<std::pair<const Bytes *, ChainCheck *>> work;
+        work.reserve(chains.size());
+        std::map<Bytes, const Bytes *> certByDigest;
+        for (Item &item : items)
+            certByDigest.emplace(item.digest, &item.resp.certificate);
+        for (auto &[digest, check] : chains)
+            work.emplace_back(certByDigest.at(digest), &check);
+        sim::WorkerPool::global().parallelFor(
+            work.size(), [&](std::size_t i) {
+                *work[i].second =
+                    checkCertificate(*work[i].first, cfg.pcaId, pca);
+            });
+    }
 
+    // Serial replay, in arrival order: the exact lookup/insert and
+    // counter sequence of per-response verification, substituting the
+    // parallel chain results for the cold checks.
+    for (Item &item : items) {
+        crypto::RsaPublicKey avkKey;
+        bool haveAvk = false;
+        if (cfg.enableVerificationCaches) {
+            if (const crypto::RsaPublicKey *hit =
+                    certCache.lookup(item.digest)) {
+                avkKey = *hit;
+                haveAvk = true;
+                ++counters.certCacheHits;
+            } else {
+                ++counters.certCacheMisses;
+            }
+        }
+        if (!haveAvk) {
+            const auto chainIt = chains.find(item.digest);
+            const ChainCheck &chain = chainIt->second;
+            if (!chain.ok) {
+                item.verified =
+                    Result<proto::MeasurementSet>::error(chain.error);
+                continue;
+            }
+            avkKey = chain.avk;
+            if (cfg.enableVerificationCaches)
+                certCache.insert(item.digest, avkKey);
+        }
+        item.avkCtx.emplace(avkKey);
+    }
+
+    // 2-4. Per-response signature, quote and binding checks — pure
+    // compute, one task per response.
+    sim::WorkerPool::global().parallelFor(
+        items.size(), [&](std::size_t i) {
+            Item &item = items[i];
+            if (!item.avkCtx)
+                return; // Chain check already failed.
+            item.verified =
+                verifyWithAvk(item.session, item.resp, *item.avkCtx);
+        });
+
+    // Serial post-pass, in arrival order: counters, archive updates
+    // and interpretation scheduling.
+    for (Item &item : items)
+        applyVerified(item.session, std::move(item.verified));
+}
+
+void
+AttestationServer::applyVerified(const Session &session,
+                                 Result<proto::MeasurementSet> verified)
+{
     AttestationReport report;
     report.vid = session.forward.vid;
     if (!verified) {
@@ -380,12 +491,39 @@ AttestationServer::issueReport(const Session &session,
     out.nonce2 = session.forward.nonce2;
     out.quote2 = ReportToController::quoteInput(
         out.vid, out.serverId, out.properties, out.report, out.nonce2);
-    out.signature = crypto::rsaSign(signCtx, out.signedPortion());
 
-    ++counters.reportsIssued;
-    endpoint.sendSecure(cfg.controllerId,
-                        proto::packMessage(MessageKind::ReportToController,
-                                           out.encode()));
+    signQueue.push_back(std::move(out));
+    if (!signFlushScheduled) {
+        signFlushScheduled = true;
+        events.scheduleAfter(cfg.batchWindow,
+                             [this] { flushSignBatch(); },
+                             "as.sign.flush");
+    }
+}
+
+void
+AttestationServer::flushSignBatch()
+{
+    signFlushScheduled = false;
+    std::vector<ReportToController> batch;
+    batch.swap(signQueue);
+
+    // Report signatures are independent pure compute; each task writes
+    // only its own slot.
+    sim::WorkerPool::global().parallelFor(
+        batch.size(), [&](std::size_t i) {
+            batch[i].signature =
+                crypto::rsaSign(signCtx, batch[i].signedPortion());
+        });
+
+    // Serial sends in issue order.
+    for (ReportToController &out : batch) {
+        ++counters.reportsIssued;
+        endpoint.sendSecure(cfg.controllerId,
+                            proto::packMessage(
+                                MessageKind::ReportToController,
+                                out.encode()));
+    }
 }
 
 } // namespace monatt::attestation

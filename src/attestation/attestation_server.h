@@ -63,6 +63,25 @@ struct AttestationServerConfig
      */
     bool enableVerificationCaches = true;
     std::size_t certCacheCapacity = 256;
+
+    /**
+     * Fan-in batching window for MeasureResponse verification. All
+     * responses arriving within the window of the first one verify as
+     * one batch on the compute plane (certificate chains, quote
+     * signatures in parallel; decisions and counters applied serially
+     * in arrival order). 0 still batches responses delivered at the
+     * same simulated timestamp — batch composition depends only on
+     * sim time, never on the host thread count.
+     */
+    SimTime batchWindow = 0;
+
+    /**
+     * Pre-generated identity keys (must equal
+     * deriveIdentityKeys(id, seed, identityKeyBits)); empty derives
+     * them in the constructor. Cloud construction uses this to fan the
+     * per-entity keygen out across the compute plane.
+     */
+    std::optional<crypto::RsaKeyPair> presetIdentityKeys;
 };
 
 /** Observable counters. */
@@ -84,6 +103,11 @@ class AttestationServer
     AttestationServer(sim::EventQueue &eq, net::Network &network,
                       net::KeyDirectory &directory,
                       AttestationServerConfig config, std::uint64_t seed);
+
+    /** Deterministic identity-key derivation (see presetIdentityKeys). */
+    static crypto::RsaKeyPair deriveIdentityKeys(const std::string &id,
+                                                 std::uint64_t seed,
+                                                 std::size_t bits);
 
     const std::string &id() const { return cfg.id; }
 
@@ -139,6 +163,14 @@ class AttestationServer
         bool active = true;
     };
 
+    /** Outcome of one pure certificate chain check. */
+    struct ChainCheck
+    {
+        bool ok = false;
+        crypto::RsaPublicKey avk;
+        std::string error;
+    };
+
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
     void onAttestForward(const Bytes &body);
     void onMeasureResponse(const Bytes &body);
@@ -146,8 +178,16 @@ class AttestationServer
     void runPeriodicRound(const std::string &key);
     void issueReport(const Session &session,
                      proto::AttestationReport report);
-    Result<proto::MeasurementSet> verifyResponse(
-        const Session &session, const proto::MeasureResponse &resp);
+    void flushVerifyBatch();
+    void flushSignBatch();
+    void applyVerified(const Session &session,
+                       Result<proto::MeasurementSet> verified);
+    static ChainCheck checkCertificate(const Bytes &certBytes,
+                                       const std::string &pcaId,
+                                       const crypto::RsaPublicContext &pca);
+    static Result<proto::MeasurementSet> verifyWithAvk(
+        const Session &session, const proto::MeasureResponse &resp,
+        const crypto::RsaPublicContext &avk);
     static std::string periodicKey(const proto::AttestForward &fwd);
 
     /** Compiled pCA key, rebuilt if the directory rotates it. */
@@ -172,6 +212,12 @@ class AttestationServer
     std::map<std::uint64_t, Session> sessions;
     std::map<std::string, PeriodicTask> periodic;
     std::map<std::string, proto::MeasurementSet> measurementArchive;
+
+    /** Fan-in batches (see AttestationServerConfig::batchWindow). */
+    std::vector<proto::MeasureResponse> verifyQueue;
+    bool verifyFlushScheduled = false;
+    std::vector<proto::ReportToController> signQueue;
+    bool signFlushScheduled = false;
 
     std::uint64_t nextSession = 1;
     AttestationServerStats counters;

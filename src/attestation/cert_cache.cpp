@@ -22,6 +22,13 @@ CertVerificationCache::lookup(const Bytes &digest)
     return &it->second;
 }
 
+const crypto::RsaPublicKey *
+CertVerificationCache::peek(const Bytes &digest) const
+{
+    const auto it = entries.find(digest);
+    return it == entries.end() ? nullptr : &it->second;
+}
+
 void
 CertVerificationCache::insert(const Bytes &digest,
                               crypto::RsaPublicKey avk)

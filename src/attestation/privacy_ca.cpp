@@ -1,6 +1,7 @@
 #include "attestation/privacy_ca.h"
 
 #include "common/logging.h"
+#include "sim/worker_pool.h"
 #include "tpm/certificate.h"
 
 namespace monatt::attestation
@@ -10,17 +11,6 @@ using proto::MessageKind;
 
 namespace
 {
-
-crypto::RsaKeyPair
-makeKeys(const std::string &id, std::uint64_t seed)
-{
-    Bytes material = toBytes("pca-identity:" + id);
-    for (int i = 0; i < 8; ++i)
-        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
-    crypto::HmacDrbg drbg(material);
-    Rng rng = drbg.forkRng();
-    return crypto::rsaGenerateKeyPair(512, rng);
-}
 
 Bytes
 endpointSeed(const std::string &id, std::uint64_t seed)
@@ -33,11 +23,26 @@ endpointSeed(const std::string &id, std::uint64_t seed)
 
 } // namespace
 
+crypto::RsaKeyPair
+PrivacyCa::deriveKeys(const std::string &id, std::uint64_t seed)
+{
+    Bytes material = toBytes("pca-identity:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    crypto::HmacDrbg drbg(material);
+    Rng rng = drbg.forkRng();
+    return crypto::rsaGenerateKeyPair(512, rng);
+}
+
 PrivacyCa::PrivacyCa(sim::EventQueue &eq, net::Network &network,
                      net::KeyDirectory &directory, std::string id,
-                     proto::TimingModel timingModel, std::uint64_t seed)
-    : events(eq), self(std::move(id)), keys(makeKeys(self, seed)),
-      dir(directory), timing(timingModel),
+                     proto::TimingModel timingModel, std::uint64_t seed,
+                     SimTime batchWindow,
+                     std::optional<crypto::RsaKeyPair> presetKeys)
+    : events(eq), self(std::move(id)),
+      keys(presetKeys ? *std::move(presetKeys) : deriveKeys(self, seed)),
+      signCtx(keys.priv), dir(directory), timing(timingModel),
+      window(batchWindow),
       endpoint(network, self, keys, directory, endpointSeed(self, seed))
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
@@ -54,42 +59,105 @@ PrivacyCa::handleMessage(const net::NodeId &from, const Bytes &plaintext)
     auto reqR = proto::CertRequest::decode(unpacked.value().second);
     if (!reqR)
         return;
-    const proto::CertRequest req = reqR.take();
 
-    events.scheduleAfter(timing.pcaProcessing, [this, req, from] {
-        proto::CertResponse resp;
-        resp.sessionLabel = req.sessionLabel;
-
-        // The requester must be the server whose identity key signed
-        // the AVK: verify [AVKs]_SKs against the directory's VKs.
-        auto serverKey = dir.lookup(req.serverId);
-        const bool fromOwner = from == req.serverId;
-        if (!serverKey || !fromOwner ||
-            !crypto::rsaVerify(serverKey.value(), req.avk,
-                               req.avkSignature)) {
-            ++rejections;
-            resp.ok = false;
-            resp.error = "identity verification failed";
-            MONATT_LOG(Warn, "pca")
-                << "refused certification for " << req.serverId;
-        } else {
-            auto avk = crypto::RsaPublicKey::decode(req.avk);
-            if (!avk) {
-                ++rejections;
-                resp.ok = false;
-                resp.error = "malformed attestation key";
-            } else {
-                const tpm::Certificate cert = tpm::issueCertificate(
-                    req.sessionLabel, avk.value(), self, ++serial,
-                    keys.priv);
-                resp.ok = true;
-                resp.certificate = cert.encode();
-            }
+    // Model the per-request processing delay, then batch every request
+    // that matured within the window for the compute plane.
+    events.scheduleAfter(timing.pcaProcessing,
+                         [this, req = reqR.take(), from]() mutable {
+        pending.push_back(Pending{std::move(req), from});
+        if (!flushScheduled) {
+            flushScheduled = true;
+            events.scheduleAfter(window, [this] { flushBatch(); },
+                                 "pca.flush");
         }
-        endpoint.sendSecure(from,
-                            proto::packMessage(MessageKind::CertResponse,
-                                               resp.encode()));
     }, "pca.issue");
+}
+
+void
+PrivacyCa::flushBatch()
+{
+    flushScheduled = false;
+    std::vector<Pending> batch;
+    batch.swap(pending);
+
+    struct Item
+    {
+        Pending p;
+        std::optional<crypto::RsaPublicKey> serverKey;
+        bool identityOk = false;
+        std::optional<crypto::RsaPublicKey> avk;
+        std::uint64_t serialNo = 0;
+        proto::CertResponse resp;
+    };
+    std::vector<Item> items;
+    items.reserve(batch.size());
+
+    // Serial pre-pass, in arrival order: directory lookups and
+    // requester checks (shared state reads stay on the driver thread).
+    for (Pending &p : batch) {
+        Item item;
+        if (p.from == p.req.serverId) {
+            if (auto key = dir.lookup(p.req.serverId))
+                item.serverKey = key.take();
+        }
+        item.p = std::move(p);
+        item.resp.sessionLabel = item.p.req.sessionLabel;
+        items.push_back(std::move(item));
+    }
+
+    // Pure compute: the identity signature over [AVKs]_SKs and the
+    // AVK decode, one task per request.
+    sim::WorkerPool::global().parallelFor(
+        items.size(), [&](std::size_t i) {
+            Item &item = items[i];
+            if (!item.serverKey)
+                return;
+            if (!crypto::rsaVerify(*item.serverKey, item.p.req.avk,
+                                   item.p.req.avkSignature)) {
+                return;
+            }
+            item.identityOk = true;
+            if (auto avk = crypto::RsaPublicKey::decode(item.p.req.avk))
+                item.avk = avk.take();
+        });
+
+    // Serial mid-pass, in arrival order: rejections and serial-number
+    // assignment — the issue order any serial pCA would produce.
+    for (Item &item : items) {
+        if (!item.identityOk) {
+            ++rejections;
+            item.resp.ok = false;
+            item.resp.error = "identity verification failed";
+            MONATT_LOG(Warn, "pca")
+                << "refused certification for " << item.p.req.serverId;
+        } else if (!item.avk) {
+            ++rejections;
+            item.resp.ok = false;
+            item.resp.error = "malformed attestation key";
+        } else {
+            item.serialNo = ++serial;
+        }
+    }
+
+    // Pure compute: certificate signatures for the accepted requests.
+    sim::WorkerPool::global().parallelFor(
+        items.size(), [&](std::size_t i) {
+            Item &item = items[i];
+            if (item.serialNo == 0)
+                return;
+            const tpm::Certificate cert = tpm::issueCertificate(
+                item.p.req.sessionLabel, *item.avk, self, item.serialNo,
+                signCtx);
+            item.resp.ok = true;
+            item.resp.certificate = cert.encode();
+        });
+
+    // Serial responses in arrival order.
+    for (Item &item : items) {
+        endpoint.sendSecure(item.p.from,
+                            proto::packMessage(MessageKind::CertResponse,
+                                               item.resp.encode()));
+    }
 }
 
 } // namespace monatt::attestation

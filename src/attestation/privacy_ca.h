@@ -19,7 +19,9 @@
 #define MONATT_ATTESTATION_PRIVACY_CA_H
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "net/secure_endpoint.h"
 #include "proto/messages.h"
@@ -33,9 +35,24 @@ namespace monatt::attestation
 class PrivacyCa
 {
   public:
+    /**
+     * `batchWindow` fans certification requests maturing within the
+     * window of the first into one batch: identity checks and
+     * certificate signatures run on the compute plane, serial numbers
+     * and responses are assigned serially in arrival order. 0 still
+     * batches requests maturing at the same simulated timestamp.
+     * `presetKeys` must equal deriveKeys(id, seed) when supplied;
+     * Cloud construction uses it to parallelize entity keygen.
+     */
     PrivacyCa(sim::EventQueue &eq, net::Network &network,
               net::KeyDirectory &directory, std::string id,
-              proto::TimingModel timing, std::uint64_t seed);
+              proto::TimingModel timing, std::uint64_t seed,
+              SimTime batchWindow = 0,
+              std::optional<crypto::RsaKeyPair> presetKeys = {});
+
+    /** Deterministic identity-key derivation (see presetKeys). */
+    static crypto::RsaKeyPair deriveKeys(const std::string &id,
+                                         std::uint64_t seed);
 
     /** Node id. */
     const std::string &id() const { return self; }
@@ -50,14 +67,26 @@ class PrivacyCa
     std::uint64_t rejected() const { return rejections; }
 
   private:
+    struct Pending
+    {
+        proto::CertRequest req;
+        net::NodeId from;
+    };
+
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+    void flushBatch();
 
     sim::EventQueue &events;
     std::string self;
     crypto::RsaKeyPair keys;
+    /** Compiled signing key for certificate issuance. */
+    crypto::RsaPrivateContext signCtx;
     const net::KeyDirectory &dir;
     proto::TimingModel timing;
+    SimTime window;
     net::SecureEndpoint endpoint;
+    std::vector<Pending> pending;
+    bool flushScheduled = false;
     std::uint64_t serial = 0;
     std::uint64_t rejections = 0;
 };

@@ -27,6 +27,13 @@ namespace monatt
 class ByteWriter
 {
   public:
+    /**
+     * Pre-size the output buffer when the encoded size is known (or
+     * cheaply bounded) up front, avoiding growth reallocations on the
+     * hot send path. Purely an optimization; never shrinks.
+     */
+    void reserve(std::size_t bytes) { buf.reserve(bytes); }
+
     /** Append a single byte. */
     void putU8(std::uint8_t v);
 

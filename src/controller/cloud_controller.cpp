@@ -1,6 +1,7 @@
 #include "controller/cloud_controller.h"
 
 #include "common/logging.h"
+#include "sim/worker_pool.h"
 
 namespace monatt::controller
 {
@@ -15,17 +16,6 @@ using proto::ReportToCustomer;
 namespace
 {
 
-crypto::RsaKeyPair
-makeKeys(const std::string &id, std::uint64_t seed, std::size_t bits)
-{
-    Bytes material = toBytes("cc-identity:" + id);
-    for (int i = 0; i < 8; ++i)
-        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
-    crypto::HmacDrbg drbg(material);
-    Rng rng = drbg.forkRng();
-    return crypto::rsaGenerateKeyPair(bits, rng);
-}
-
 Bytes
 endpointSeed(const std::string &id, std::uint64_t seed)
 {
@@ -36,6 +26,18 @@ endpointSeed(const std::string &id, std::uint64_t seed)
 }
 
 } // namespace
+
+crypto::RsaKeyPair
+CloudController::deriveIdentityKeys(const std::string &id,
+                                    std::uint64_t seed, std::size_t bits)
+{
+    Bytes material = toBytes("cc-identity:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    crypto::HmacDrbg drbg(material);
+    Rng rng = drbg.forkRng();
+    return crypto::rsaGenerateKeyPair(bits, rng);
+}
 
 std::string
 responsePolicyName(ResponsePolicy p)
@@ -59,7 +61,10 @@ CloudController::CloudController(sim::EventQueue &eq,
                                  CloudControllerConfig config,
                                  std::uint64_t seed)
     : events(eq), cfg(std::move(config)),
-      keys(makeKeys(cfg.id, seed, cfg.identityKeyBits)), dir(directory),
+      keys(cfg.presetIdentityKeys
+               ? *std::move(cfg.presetIdentityKeys)
+               : deriveIdentityKeys(cfg.id, seed, cfg.identityKeyBits)),
+      signCtx(keys.priv), dir(directory),
       endpoint(network, cfg.id, keys, directory,
                endpointSeed(cfg.id, seed)),
       rng(seed ^ 0xcc)
@@ -95,6 +100,23 @@ CloudController::attestorFor(const std::string &serverId) const
 {
     const auto it = clusters.find(serverId);
     return it == clusters.end() ? cfg.attestationServerId : it->second;
+}
+
+const crypto::RsaPublicContext &
+CloudController::attestorContext(const std::string &attestorId,
+                                 const crypto::RsaPublicKey &key)
+{
+    auto it = attestorCtxCache.find(attestorId);
+    if (it != attestorCtxCache.end() && !(it->second.key() == key)) {
+        attestorCtxCache.erase(it);
+        it = attestorCtxCache.end();
+    }
+    if (it == attestorCtxCache.end()) {
+        it = attestorCtxCache
+                 .emplace(attestorId, crypto::RsaPublicContext(key))
+                 .first;
+    }
+    return it->second;
 }
 
 void
@@ -386,44 +408,93 @@ CloudController::onReportToController(const net::NodeId &from,
         ++counters.reportVerificationFailures;
         return;
     }
-    const ReportToController msg = msgR.take();
-
-    const auto it = attests.find(msg.requestId);
-    if (it == attests.end()) {
-        ++counters.reportVerificationFailures;
-        return;
+    reportQueue.push_back(msgR.take());
+    if (!reportFlushScheduled) {
+        reportFlushScheduled = true;
+        events.scheduleAfter(cfg.batchWindow,
+                             [this] { flushReportBatch(); },
+                             "cc.verify.flush");
     }
-    const AttestContext ctx = it->second;
+}
 
-    // Verify the Attestation Server's signature and quote Q2. The
-    // signer is the cluster attestor responsible for the VM's server.
-    auto asKey = dir.lookup(attestorFor(msg.serverId));
-    const Bytes expectedQ2 = ReportToController::quoteInput(
-        msg.vid, msg.serverId, msg.properties, msg.report, msg.nonce2);
-    if (!asKey ||
-        !crypto::rsaVerify(asKey.value(), msg.signedPortion(),
-                           msg.signature) ||
-        !constantTimeEqual(expectedQ2, msg.quote2) ||
-        !constantTimeEqual(msg.nonce2, ctx.nonce2) ||
-        msg.vid != ctx.vid) {
-        ++counters.reportVerificationFailures;
-        MONATT_LOG(Warn, "cc") << "report verification failed for "
-                               << msg.vid;
-        return;
+void
+CloudController::flushReportBatch()
+{
+    reportFlushScheduled = false;
+    std::vector<ReportToController> batch;
+    batch.swap(reportQueue);
+
+    // Serial pre-pass, in arrival order: bind to the outstanding
+    // attestation and compile the attestor's verification key.
+    struct Item
+    {
+        ReportToController msg;
+        AttestContext ctx;
+        const crypto::RsaPublicContext *asCtx = nullptr;
+        bool ok = false;
+    };
+    std::vector<Item> items;
+    items.reserve(batch.size());
+    for (ReportToController &msg : batch) {
+        const auto it = attests.find(msg.requestId);
+        if (it == attests.end()) {
+            ++counters.reportVerificationFailures;
+            continue;
+        }
+        Item item;
+        item.ctx = it->second;
+        auto asKey = dir.lookup(attestorFor(msg.serverId));
+        if (asKey) {
+            item.asCtx = &attestorContext(attestorFor(msg.serverId),
+                                          asKey.value());
+        }
+        item.msg = std::move(msg);
+        items.push_back(std::move(item));
     }
 
-    if (!ctx.periodic)
-        attests.erase(it);
+    // Verify the Attestation Server's signature and quote Q2 on the
+    // compute plane — pure checks, one task per report. The signer is
+    // the cluster attestor responsible for the VM's server.
+    sim::WorkerPool::global().parallelFor(
+        items.size(), [&](std::size_t i) {
+            Item &item = items[i];
+            if (!item.asCtx)
+                return;
+            const ReportToController &msg = item.msg;
+            const Bytes expectedQ2 = ReportToController::quoteInput(
+                msg.vid, msg.serverId, msg.properties, msg.report,
+                msg.nonce2);
+            item.ok =
+                crypto::rsaVerify(*item.asCtx, msg.signedPortion(),
+                                  msg.signature) &&
+                constantTimeEqual(expectedQ2, msg.quote2) &&
+                constantTimeEqual(msg.nonce2, item.ctx.nonce2) &&
+                msg.vid == item.ctx.vid;
+        });
 
-    events.scheduleAfter(cfg.timing.controllerProcessing,
-                         [this, ctx, msg, attestId = msg.requestId] {
-        if (ctx.kind == AttestKind::StartupLaunch)
-            handleStartupReport(ctx, msg);
-        else if (ctx.kind == AttestKind::SuspendRecheck)
-            handleRecheckReport(ctx, msg);
-        else
-            handleCustomerReport(attestId, ctx, msg);
-    }, "cc.report");
+    // Serial post-pass, in arrival order: counters, session retirement
+    // and report handling.
+    for (Item &item : items) {
+        if (!item.ok) {
+            ++counters.reportVerificationFailures;
+            MONATT_LOG(Warn, "cc") << "report verification failed for "
+                                   << item.msg.vid;
+            continue;
+        }
+        if (!item.ctx.periodic)
+            attests.erase(item.msg.requestId);
+
+        events.scheduleAfter(cfg.timing.controllerProcessing,
+                             [this, ctx = item.ctx, msg = item.msg,
+                              attestId = item.msg.requestId] {
+            if (ctx.kind == AttestKind::StartupLaunch)
+                handleStartupReport(ctx, msg);
+            else if (ctx.kind == AttestKind::SuspendRecheck)
+                handleRecheckReport(ctx, msg);
+            else
+                handleCustomerReport(attestId, ctx, msg);
+        }, "cc.report");
+    }
 }
 
 void
@@ -528,12 +599,15 @@ CloudController::handleCustomerReport(std::uint64_t attestId,
     out.nonce1 = ctx.nonce1;
     out.quote1 = ReportToCustomer::quoteInput(ctx.vid, ctx.properties,
                                               msg.report, ctx.nonce1);
-    out.signature = crypto::rsaSign(keys.priv, out.signedPortion());
 
-    ++counters.reportsRelayed;
-    endpoint.sendSecure(ctx.customer,
-                        proto::packMessage(MessageKind::ReportToCustomer,
-                                           out.encode()));
+    // Relays issued within one window share a signature fan-out.
+    relayQueue.push_back(PendingRelay{std::move(out), ctx.customer});
+    if (!relayFlushScheduled) {
+        relayFlushScheduled = true;
+        events.scheduleAfter(cfg.batchWindow,
+                             [this] { flushRelayBatch(); },
+                             "cc.relay.flush");
+    }
 
     // nova response: act on a negative report.
     bool bad = false;
@@ -542,6 +616,31 @@ CloudController::handleCustomerReport(std::uint64_t attestId,
     if (bad) {
         triggerResponse(ctx.vid, ctx.forwardedAt, "negative attestation",
                         ctx.properties);
+    }
+}
+
+void
+CloudController::flushRelayBatch()
+{
+    relayFlushScheduled = false;
+    std::vector<PendingRelay> batch;
+    batch.swap(relayQueue);
+
+    // Customer-relay signatures are independent pure compute; each
+    // task writes only its own slot.
+    sim::WorkerPool::global().parallelFor(
+        batch.size(), [&](std::size_t i) {
+            batch[i].out.signature =
+                crypto::rsaSign(signCtx, batch[i].out.signedPortion());
+        });
+
+    // Serial sends in issue order.
+    for (PendingRelay &relay : batch) {
+        ++counters.reportsRelayed;
+        endpoint.sendSecure(relay.customer,
+                            proto::packMessage(
+                                MessageKind::ReportToCustomer,
+                                relay.out.encode()));
     }
 }
 

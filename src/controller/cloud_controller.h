@@ -23,8 +23,10 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "controller/database.h"
 #include "controller/policy.h"
@@ -80,6 +82,23 @@ struct CloudControllerConfig
      * Interval between re-checks of a suspended VM; 0 disables.
      */
     SimTime suspendRecheckPeriod = seconds(30);
+
+    /**
+     * Fan-in batching window for report crypto. Attestor reports
+     * arriving within the window of the first one verify as one batch
+     * on the compute plane, and customer relays issued within one
+     * window share one signature fan-out; decisions and sends stay
+     * serial in arrival order. 0 still batches work landing at the
+     * same simulated timestamp.
+     */
+    SimTime batchWindow = 0;
+
+    /**
+     * Pre-generated identity keys (must equal
+     * deriveIdentityKeys(id, seed, identityKeyBits)); empty derives
+     * them in the constructor.
+     */
+    std::optional<crypto::RsaKeyPair> presetIdentityKeys;
 };
 
 /** Observable counters. */
@@ -101,6 +120,11 @@ class CloudController
     CloudController(sim::EventQueue &eq, net::Network &network,
                     net::KeyDirectory &directory,
                     CloudControllerConfig config, std::uint64_t seed);
+
+    /** Deterministic identity-key derivation (see presetIdentityKeys). */
+    static crypto::RsaKeyPair deriveIdentityKeys(const std::string &id,
+                                                 std::uint64_t seed,
+                                                 std::size_t bits);
 
     const std::string &id() const { return cfg.id; }
 
@@ -170,6 +194,8 @@ class CloudController
     void onAttestRequest(const net::NodeId &from, const Bytes &body);
     void onLaunchVmAck(const net::NodeId &from, const Bytes &body);
     void onReportToController(const net::NodeId &from, const Bytes &body);
+    void flushReportBatch();
+    void flushRelayBatch();
     void onCommandAck(proto::MessageKind kind, const Bytes &body);
 
     void runSchedulingStage(const std::string &vid);
@@ -199,6 +225,10 @@ class CloudController
      * §3.2.3); falls back to cfg.attestationServerId. */
     const std::string &attestorFor(const std::string &serverId) const;
 
+    /** Compiled attestor verification key, rebuilt on rotation. */
+    const crypto::RsaPublicContext &attestorContext(
+        const std::string &attestorId, const crypto::RsaPublicKey &key);
+
     /**
      * Seamless monitoring across migration (§1: "A seamless
      * monitoring mechanism throughout the VMs' lifetime is therefore
@@ -213,10 +243,13 @@ class CloudController
     sim::EventQueue &events;
     CloudControllerConfig cfg;
     crypto::RsaKeyPair keys;
+    /** Compiled identity key for customer-relay signatures. */
+    crypto::RsaPrivateContext signCtx;
     const net::KeyDirectory &dir;
     net::SecureEndpoint endpoint;
     CloudDatabase db;
     Rng rng;
+    std::map<std::string, crypto::RsaPublicContext> attestorCtxCache;
 
     struct FlavorSpec
     {
@@ -234,6 +267,17 @@ class CloudController
 
     /** Outstanding response command: vid -> response log index. */
     std::map<std::string, std::size_t> outstandingResponses;
+
+    /** Fan-in batches (see CloudControllerConfig::batchWindow). */
+    std::vector<proto::ReportToController> reportQueue;
+    bool reportFlushScheduled = false;
+    struct PendingRelay
+    {
+        proto::ReportToCustomer out;
+        net::NodeId customer;
+    };
+    std::vector<PendingRelay> relayQueue;
+    bool relayFlushScheduled = false;
 
     std::uint64_t nextVmNumber = 1;
     std::uint64_t nextAttestId = 1;

@@ -4,6 +4,7 @@
 
 #include "crypto/sha256.h"
 #include "server/catalog.h"
+#include "sim/worker_pool.h"
 
 namespace monatt::core
 {
@@ -27,22 +28,79 @@ expectedPlatformDigest(const Bytes &hypervisorCode, const Bytes &hostOsCode)
 Cloud::Cloud(CloudConfig config)
     : cfg(std::move(config)), fabric(eventQueue)
 {
+    sim::WorkerPool::configureGlobal(cfg.computeThreads);
     fabric.setDefaultLink(cfg.link);
+
+    // Pre-generate every entity's long-term keys on the compute plane:
+    // the derivations are independent and deterministic per entity, so
+    // fanning them out changes construction wall-clock only, never the
+    // keys (each equals what the entity would derive inline).
+    const int numAs = std::max(cfg.numAttestationServers, 1);
+    std::vector<std::string> asIds(static_cast<std::size_t>(numAs));
+    for (int i = 0; i < numAs; ++i) {
+        asIds[static_cast<std::size_t>(i)] =
+            i == 0 ? "attestation-server"
+                   : "attestation-server-" + std::to_string(i + 1);
+    }
+    std::vector<std::string> serverIds(
+        static_cast<std::size_t>(cfg.numServers));
+    for (int i = 0; i < cfg.numServers; ++i)
+        serverIds[static_cast<std::size_t>(i)] =
+            "server-" + std::to_string(i + 1);
+
+    crypto::RsaKeyPair pcaKeys;
+    std::vector<crypto::RsaKeyPair> asKeys(asIds.size());
+    crypto::RsaKeyPair ccKeys;
+    std::vector<crypto::RsaKeyPair> serverKeys(serverIds.size());
+    std::vector<crypto::RsaKeyPair> tpmKeys(serverIds.size());
+
+    std::vector<std::function<void()>> keygen;
+    keygen.push_back([&] {
+        pcaKeys = attestation::PrivacyCa::deriveKeys("privacy-ca",
+                                                     cfg.seed ^ 0x1);
+    });
+    for (std::size_t i = 0; i < asIds.size(); ++i) {
+        keygen.push_back([&, i] {
+            asKeys[i] = attestation::AttestationServer::deriveIdentityKeys(
+                asIds[i], cfg.seed ^ (0x2 + i * 0x1000),
+                cfg.identityKeyBits);
+        });
+    }
+    keygen.push_back([&] {
+        ccKeys = controller::CloudController::deriveIdentityKeys(
+            "cloud-controller", cfg.seed ^ 0x3, cfg.identityKeyBits);
+    });
+    for (std::size_t i = 0; i < serverIds.size(); ++i) {
+        const std::uint64_t seed = cfg.seed + 100 + i;
+        keygen.push_back([&, i, seed] {
+            serverKeys[i] = server::CloudServer::deriveIdentityKeys(
+                serverIds[i], seed, cfg.identityKeyBits);
+        });
+        keygen.push_back([&, i, seed] {
+            tpmKeys[i] = tpm::TrustModule::deriveTpmKey(
+                serverIds[i],
+                server::CloudServer::entropySeed(serverIds[i], seed));
+        });
+    }
+    sim::WorkerPool::global().parallelFor(
+        keygen.size(), [&](std::size_t i) { keygen[i](); });
 
     // Trusted infrastructure entities.
     pca = std::make_unique<attestation::PrivacyCa>(
         eventQueue, fabric, keyDirectory, "privacy-ca", cfg.timing,
-        cfg.seed ^ 0x1);
+        cfg.seed ^ 0x1, cfg.cryptoBatchWindow, std::move(pcaKeys));
     keyDirectory.publish("privacy-ca", pca->publicKey());
 
-    const int numAs = std::max(cfg.numAttestationServers, 1);
     for (int i = 0; i < numAs; ++i) {
         attestation::AttestationServerConfig asCfg;
         if (i > 0)
-            asCfg.id = "attestation-server-" + std::to_string(i + 1);
+            asCfg.id = asIds[static_cast<std::size_t>(i)];
         asCfg.timing = cfg.timing;
         asCfg.identityKeyBits = cfg.identityKeyBits;
         asCfg.enableVerificationCaches = cfg.enableAttestationCaches;
+        asCfg.batchWindow = cfg.cryptoBatchWindow;
+        asCfg.presetIdentityKeys =
+            std::move(asKeys[static_cast<std::size_t>(i)]);
         auto as = std::make_unique<attestation::AttestationServer>(
             eventQueue, fabric, keyDirectory, asCfg,
             cfg.seed ^ (0x2 + static_cast<std::uint64_t>(i) * 0x1000));
@@ -53,6 +111,8 @@ Cloud::Cloud(CloudConfig config)
     controller::CloudControllerConfig ccCfg;
     ccCfg.timing = cfg.timing;
     ccCfg.identityKeyBits = cfg.identityKeyBits;
+    ccCfg.batchWindow = cfg.cryptoBatchWindow;
+    ccCfg.presetIdentityKeys = std::move(ccKeys);
     cc = std::make_unique<controller::CloudController>(
         eventQueue, fabric, keyDirectory, ccCfg, cfg.seed ^ 0x3);
     keyDirectory.publish(cc->id(), cc->identityPublic());
@@ -93,6 +153,10 @@ Cloud::Cloud(CloudConfig config)
         scfg.intrusivePause = cfg.serverIntrusivePause;
         scfg.aikReuseLimit =
             cfg.enableAttestationCaches ? cfg.aikReuseLimit : 1;
+        scfg.batchWindow = cfg.cryptoBatchWindow;
+        scfg.presetIdentityKeys =
+            std::move(serverKeys[static_cast<std::size_t>(i)]);
+        scfg.presetTpmKey = std::move(tpmKeys[static_cast<std::size_t>(i)]);
 
         auto srv = std::make_unique<server::CloudServer>(
             eventQueue, fabric, keyDirectory, scfg,
@@ -231,6 +295,45 @@ Cloud::attestOnce(Customer &customer, const std::string &vid,
         return Result<VerifiedReport>::error("attestation timed out");
     return Result<VerifiedReport>::ok(
         *customer.reportsFor(requestId).front());
+}
+
+std::vector<Result<VerifiedReport>>
+Cloud::attestMany(Customer &customer,
+                  const std::vector<std::string> &vids,
+                  const std::vector<proto::SecurityProperty> &properties,
+                  SimTime timeout)
+{
+    // Issue every request before running the simulation, so the whole
+    // fan-out is in flight concurrently and the entities' batching
+    // windows see it as overlapping work.
+    std::vector<std::uint64_t> requestIds;
+    requestIds.reserve(vids.size());
+    for (const std::string &vid : vids)
+        requestIds.push_back(customer.runtimeAttestCurrent(vid, properties));
+
+    runUntil(
+        [&] {
+            for (std::uint64_t id : requestIds) {
+                if (customer.reportsFor(id).empty())
+                    return false;
+            }
+            return true;
+        },
+        timeout);
+
+    std::vector<Result<VerifiedReport>> results;
+    results.reserve(vids.size());
+    for (std::uint64_t id : requestIds) {
+        const auto reports = customer.reportsFor(id);
+        if (reports.empty()) {
+            results.push_back(
+                Result<VerifiedReport>::error("attestation timed out"));
+        } else {
+            results.push_back(
+                Result<VerifiedReport>::ok(*reports.front()));
+        }
+    }
+    return results;
 }
 
 void

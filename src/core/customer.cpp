@@ -205,6 +205,14 @@ Customer::onLaunchResponse(const Bytes &body)
     it->second.error = resp.error;
 }
 
+const crypto::RsaPublicContext &
+Customer::controllerContext(const crypto::RsaPublicKey &key)
+{
+    if (!ccCtx || !(ccCtx->key() == key))
+        ccCtx.emplace(key);
+    return *ccCtx;
+}
+
 void
 Customer::onReportToCustomer(const Bytes &body)
 {
@@ -227,8 +235,8 @@ Customer::onReportToCustomer(const Bytes &body)
     const Bytes expectedQ1 = ReportToCustomer::quoteInput(
         msg.vid, msg.properties, msg.report, msg.nonce1);
     if (!ccKey ||
-        !crypto::rsaVerify(ccKey.value(), msg.signedPortion(),
-                           msg.signature) ||
+        !crypto::rsaVerify(controllerContext(ccKey.value()),
+                           msg.signedPortion(), msg.signature) ||
         !constantTimeEqual(expectedQ1, msg.quote1) ||
         !constantTimeEqual(msg.nonce1, pending.nonce1) ||
         msg.vid != pending.vid) {

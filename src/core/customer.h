@@ -142,6 +142,10 @@ class Customer
                              std::vector<proto::SecurityProperty> props,
                              proto::AttestMode mode, SimTime period);
 
+    /** Compiled controller key, rebuilt if the directory rotates it. */
+    const crypto::RsaPublicContext &controllerContext(
+        const crypto::RsaPublicKey &key);
+
     sim::EventQueue &events;
     std::string self;
     std::string controller;
@@ -149,6 +153,7 @@ class Customer
     const net::KeyDirectory &dir;
     net::SecureEndpoint endpoint;
     crypto::HmacDrbg nonceDrbg;
+    std::optional<crypto::RsaPublicContext> ccCtx;
 
     std::map<std::uint64_t, LaunchOutcome> launches;
     std::map<std::uint64_t, PendingAttest> pendingAttests;

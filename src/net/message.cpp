@@ -9,6 +9,8 @@ Bytes
 Envelope::encode() const
 {
     ByteWriter w;
+    w.reserve(src.size() + dst.size() + channel.size() + payload.size() +
+              4 * 4 + 2 * 8);
     w.putString(src);
     w.putString(dst);
     w.putString(channel);

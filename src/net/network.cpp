@@ -50,6 +50,7 @@ Network::send(Envelope env)
     counters.bytesSent += env.wireSize();
 
     if (adversary) {
+        const Bytes original = env.encode();
         std::optional<Envelope> verdict = adversary(env);
         if (!verdict) {
             ++counters.droppedByAdversary;
@@ -57,7 +58,7 @@ Network::send(Envelope env)
                                      << " " << env.src << "->" << env.dst;
             return;
         }
-        if (verdict->encode() != env.encode())
+        if (verdict->encode() != original)
             ++counters.modifiedByAdversary;
         env = std::move(*verdict);
     }

@@ -63,6 +63,7 @@ SecureChannel::macInput(std::uint8_t direction, std::uint64_t seq,
                         const Bytes &ciphertext) const
 {
     ByteWriter w;
+    w.reserve(sid.size() + ciphertext.size() + 2 * 4 + 1 + 8);
     w.putBytes(sid);
     w.putU8(direction);
     w.putU64(seq);
@@ -116,6 +117,7 @@ SecureChannel::seal(const Bytes &plaintext)
         sendMacKey, macInput(sendDirection, seq, ciphertext));
 
     ByteWriter w;
+    w.reserve(8 + 4 + ciphertext.size() + mac.size());
     w.putU64(seq);
     w.putBytes(ciphertext);
     w.putRaw(mac);

@@ -68,21 +68,21 @@ SecureEndpoint::peerContext(const NodeId &peer,
 
 void
 SecureEndpoint::transmit(const NodeId &peer, const std::string &channelTag,
-                         const Bytes &payload, std::uint64_t bulkBytes)
+                         Bytes payload, std::uint64_t bulkBytes)
 {
     Envelope env;
     env.src = self;
     env.dst = peer;
     env.channel = channelTag;
     env.seq = ++seq;
-    env.payload = payload;
+    env.payload = std::move(payload);
     env.bulkBytes = bulkBytes;
     ++counters.sent;
     net.send(std::move(env));
 }
 
 void
-SecureEndpoint::sendSecure(const NodeId &peer, const Bytes &plaintext,
+SecureEndpoint::sendSecure(const NodeId &peer, Bytes plaintext,
                            std::uint64_t bulkBytes)
 {
     auto it = outbound.find(peer);
@@ -98,16 +98,16 @@ SecureEndpoint::sendSecure(const NodeId &peer, const Bytes &plaintext,
         oc.handshake = std::make_unique<ClientHandshake>(
             self, peer, keys, serverKey.value(), drbg, &ownCtx,
             &peerContext(peer, serverKey.value()));
-        oc.queue.emplace_back(plaintext, bulkBytes);
-        const Bytes hello = oc.handshake->helloMessage();
+        oc.queue.emplace_back(std::move(plaintext), bulkBytes);
+        Bytes hello = oc.handshake->helloMessage();
         outbound.emplace(peer, std::move(oc));
-        transmit(peer, kHelloTag, hello, 0);
+        transmit(peer, kHelloTag, std::move(hello), 0);
         return;
     }
 
     OutboundChannel &oc = it->second;
     if (oc.state == OutboundChannel::State::Handshaking) {
-        oc.queue.emplace_back(plaintext, bulkBytes);
+        oc.queue.emplace_back(std::move(plaintext), bulkBytes);
         return;
     }
     transmit(peer, kDataOutTag, oc.channel.seal(plaintext), bulkBytes);
@@ -162,7 +162,7 @@ SecureEndpoint::handleHello(const Envelope &env)
     // verified the hello's signature against env.src's published key,
     // so a forged src would have failed verification above.
     inbound[env.src] = std::move(accepted.value().channel);
-    transmit(env.src, kAcceptTag, accepted.value().reply, 0);
+    transmit(env.src, kAcceptTag, std::move(accepted.value().reply), 0);
 }
 
 void
@@ -189,8 +189,10 @@ SecureEndpoint::handleAccept(const Envelope &env)
     oc.channel = channel.take();
     oc.handshake.reset();
     oc.state = OutboundChannel::State::Open;
-    for (auto &[plaintext, bulk] : oc.queue)
-        transmit(env.src, kDataOutTag, oc.channel.seal(plaintext), bulk);
+    for (auto &[plaintext, bulk] : oc.queue) {
+        Bytes sealed = oc.channel.seal(plaintext);
+        transmit(env.src, kDataOutTag, std::move(sealed), bulk);
+    }
     oc.queue.clear();
 }
 

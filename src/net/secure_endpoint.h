@@ -91,11 +91,13 @@ class SecureEndpoint
     /**
      * Send `plaintext` to `peer` over a secure channel, establishing
      * one first if needed (messages queue during the handshake).
+     * Takes the plaintext by value so callers can move freshly encoded
+     * buffers all the way into the sealed envelope without a copy.
      *
      * @param bulkBytes Size of modeled bulk data accompanying the
      *        message (charged to link bandwidth).
      */
-    void sendSecure(const NodeId &peer, const Bytes &plaintext,
+    void sendSecure(const NodeId &peer, Bytes plaintext,
                     std::uint64_t bulkBytes = 0);
 
     /** This endpoint's node id. */
@@ -121,7 +123,7 @@ class SecureEndpoint
     void handleAccept(const Envelope &env);
     void handleData(const Envelope &env, bool inbound);
     void transmit(const NodeId &peer, const std::string &channelTag,
-                  const Bytes &payload, std::uint64_t bulkBytes);
+                  Bytes payload, std::uint64_t bulkBytes);
 
     /** Compiled peer identity key, built lazily and reused across
      * every handshake with that peer. */

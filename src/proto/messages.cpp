@@ -46,6 +46,7 @@ Bytes
 packMessage(MessageKind kind, const Bytes &body)
 {
     ByteWriter w;
+    w.reserve(1 + 4 + body.size());
     w.putU8(static_cast<std::uint8_t>(kind));
     w.putBytes(body);
     return w.take();

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "crypto/sha256.h"
+#include "sim/worker_pool.h"
 
 namespace monatt::server
 {
@@ -14,17 +15,6 @@ using proto::unpackMessage;
 
 namespace
 {
-
-crypto::RsaKeyPair
-makeIdentity(const std::string &id, std::uint64_t seed, std::size_t bits)
-{
-    Bytes material = toBytes("server-identity:" + id);
-    for (int i = 0; i < 8; ++i)
-        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
-    crypto::HmacDrbg drbg(material);
-    Rng rng = drbg.forkRng();
-    return crypto::rsaGenerateKeyPair(bits, rng);
-}
 
 hypervisor::HypervisorConfig
 makeHvConfig(const CloudServerConfig &cfg)
@@ -37,8 +27,22 @@ makeHvConfig(const CloudServerConfig &cfg)
     return hc;
 }
 
+} // namespace
+
+crypto::RsaKeyPair
+CloudServer::deriveIdentityKeys(const std::string &id, std::uint64_t seed,
+                                std::size_t bits)
+{
+    Bytes material = toBytes("server-identity:" + id);
+    for (int i = 0; i < 8; ++i)
+        material.push_back(static_cast<std::uint8_t>(seed >> (8 * i)));
+    crypto::HmacDrbg drbg(material);
+    Rng rng = drbg.forkRng();
+    return crypto::rsaGenerateKeyPair(bits, rng);
+}
+
 Bytes
-seedBytes(const std::string &id, std::uint64_t seed)
+CloudServer::entropySeed(const std::string &id, std::uint64_t seed)
 {
     Bytes material = toBytes("server-entropy:" + id);
     for (int i = 0; i < 8; ++i)
@@ -46,17 +50,19 @@ seedBytes(const std::string &id, std::uint64_t seed)
     return material;
 }
 
-} // namespace
-
 CloudServer::CloudServer(sim::EventQueue &eq, net::Network &network,
                          net::KeyDirectory &directory,
                          CloudServerConfig config, std::uint64_t seed)
     : events(eq), cfg(std::move(config)),
-      trust(cfg.id, makeIdentity(cfg.id, seed, cfg.identityKeyBits),
-            seedBytes(cfg.id, seed), cfg.aikBits),
+      trust(cfg.id,
+            cfg.presetIdentityKeys
+                ? *std::move(cfg.presetIdentityKeys)
+                : deriveIdentityKeys(cfg.id, seed, cfg.identityKeyBits),
+            entropySeed(cfg.id, seed), cfg.aikBits,
+            std::move(cfg.presetTpmKey)),
       hyp(eq, makeHvConfig(cfg)), monitor(hyp, trust),
       endpoint(network, cfg.id, trust.identityKeyPair(), directory,
-               seedBytes(cfg.id, seed ^ 0x5eedULL))
+               entropySeed(cfg.id, seed ^ 0x5eedULL))
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
@@ -189,15 +195,48 @@ CloudServer::onMeasureRequest(const net::NodeId &from, const Bytes &body)
 
     // Step 3 of Figure 2: generate the session attestation key (the
     // dominant local cost) and have it certified by the privacy CA.
+    // Requests whose prep matures within the batch window share one
+    // Trust Module fan-out.
     const SimTime prep =
         cfg.timing.serverProcessing + cfg.timing.aikGeneration;
     events.scheduleAfter(prep, [this, id] {
-        auto it = pending.find(id);
-        if (it == pending.end())
-            return;
-        PendingAttestation &pa = it->second;
+        aikPrepQueue.push_back(id);
+        if (!aikFlushScheduled) {
+            aikFlushScheduled = true;
+            events.scheduleAfter(cfg.batchWindow,
+                                 [this] { flushAikPrep(); },
+                                 "server.aik.flush");
+        }
+    }, "server.attest.prep");
+}
 
-        const tpm::AttestationSessionInfo session = trust.beginSession();
+void
+CloudServer::flushAikPrep()
+{
+    aikFlushScheduled = false;
+    std::vector<std::uint64_t> batch;
+    batch.swap(aikPrepQueue);
+
+    std::vector<std::uint64_t> live;
+    live.reserve(batch.size());
+    for (std::uint64_t id : batch) {
+        if (pending.count(id))
+            live.push_back(id);
+    }
+
+    // Key generation for the whole batch on the compute plane; handle
+    // assignment inside stays serial, so session handles and the DRBG
+    // stream match n sequential beginSession() calls.
+    const std::vector<tpm::AttestationSessionInfo> sessions =
+        trust.beginSessions(live.size());
+
+    // Serial tail in arrival order: labels (RNG draws), certification
+    // requests and measurement kick-off.
+    for (std::size_t i = 0; i < live.size(); ++i) {
+        const std::uint64_t id = live[i];
+        const tpm::AttestationSessionInfo &session = sessions[i];
+        PendingAttestation &pa = pending.at(id);
+
         pa.session = session.handle;
         ++sessionRefs[pa.session];
         pa.sessionLabel =
@@ -215,7 +254,7 @@ CloudServer::onMeasureRequest(const net::NodeId &from, const Bytes &body)
                                         creq.encode()));
 
         collectMeasurements(id);
-    }, "server.attest.prep");
+    }
 }
 
 void
@@ -363,31 +402,75 @@ CloudServer::maybeRespond(std::uint64_t requestId)
     if (it == pending.end())
         return;
     PendingAttestation &pa = it->second;
-    if (!pa.haveCert || !pa.measured)
+    if (!pa.haveCert || !pa.measured || pa.queued)
         return;
 
-    proto::MeasureResponse resp;
-    resp.requestId = requestId;
-    resp.vid = pa.request.vid;
-    resp.rm = pa.request.rm;
-    resp.m = pa.m;
-    resp.nonce3 = pa.request.nonce3;
-    resp.quote3 = proto::MeasureResponse::quoteInput(
-        resp.vid, resp.rm, resp.m, resp.nonce3);
-    auto sig = trust.signWithSession(pa.session, resp.signedPortion());
-    if (!sig) {
-        releaseSession(pa.session);
-        pending.erase(it);
-        return;
+    pa.queued = true;
+    quoteQueue.push_back(requestId);
+    if (!quoteFlushScheduled) {
+        quoteFlushScheduled = true;
+        events.scheduleAfter(cfg.batchWindow,
+                             [this] { flushQuoteBatch(); },
+                             "server.quote.flush");
     }
-    resp.signature = sig.take();
-    resp.certificate = pa.certificate;
+}
 
-    releaseSession(pa.session);
-    endpoint.sendSecure(cfg.attestationServerId,
-                        packMessage(MessageKind::MeasureResponse,
-                                    resp.encode()));
-    pending.erase(it);
+void
+CloudServer::flushQuoteBatch()
+{
+    quoteFlushScheduled = false;
+    std::vector<std::uint64_t> batch;
+    batch.swap(quoteQueue);
+
+    // Serial pre-pass, in arrival order: assemble the responses.
+    struct Item
+    {
+        std::uint64_t id = 0;
+        tpm::SessionHandle session = 0;
+        proto::MeasureResponse resp;
+        Result<Bytes> sig = Result<Bytes>::error("not signed");
+    };
+    std::vector<Item> items;
+    items.reserve(batch.size());
+    for (std::uint64_t id : batch) {
+        const auto it = pending.find(id);
+        if (it == pending.end())
+            continue;
+        const PendingAttestation &pa = it->second;
+        Item item;
+        item.id = id;
+        item.session = pa.session;
+        item.resp.requestId = id;
+        item.resp.vid = pa.request.vid;
+        item.resp.rm = pa.request.rm;
+        item.resp.m = pa.m;
+        item.resp.nonce3 = pa.request.nonce3;
+        item.resp.quote3 = proto::MeasureResponse::quoteInput(
+            item.resp.vid, item.resp.rm, item.resp.m, item.resp.nonce3);
+        item.resp.certificate = pa.certificate;
+        items.push_back(std::move(item));
+    }
+
+    // Quote signatures (step 6 of Figure 2) are pure compute against
+    // open sessions; no session is created or ended until the serial
+    // tail below.
+    sim::WorkerPool::global().parallelFor(
+        items.size(), [&](std::size_t i) {
+            items[i].sig = trust.signWithSession(
+                items[i].session, items[i].resp.signedPortion());
+        });
+
+    // Serial tail in arrival order: session release and sends.
+    for (Item &item : items) {
+        releaseSession(item.session);
+        pending.erase(item.id);
+        if (!item.sig)
+            continue;
+        item.resp.signature = item.sig.take();
+        endpoint.sendSecure(cfg.attestationServerId,
+                            packMessage(MessageKind::MeasureResponse,
+                                        item.resp.encode()));
+    }
 }
 
 hypervisor::DomainId

@@ -21,10 +21,13 @@
 #ifndef MONATT_SERVER_CLOUD_SERVER_H
 #define MONATT_SERVER_CLOUD_SERVER_H
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "hypervisor/hypervisor.h"
 #include "net/secure_endpoint.h"
@@ -79,6 +82,26 @@ struct CloudServerConfig
      * chain once per AVK session instead of once per response).
      */
     std::uint64_t aikReuseLimit = 16;
+
+    /**
+     * Fan-in batching window for Trust Module crypto. Attestation-key
+     * preparations (and, independently, quote signatures) maturing
+     * within the window of the first one run as one batch on the
+     * compute plane; handles, labels and sends stay serial in arrival
+     * order. 0 still batches work maturing at the same simulated
+     * timestamp — batch composition depends only on sim time.
+     */
+    SimTime batchWindow = 0;
+
+    /**
+     * Pre-generated identity keys (must equal
+     * deriveIdentityKeys(id, seed, identityKeyBits)) and TPM
+     * endorsement key (must equal TrustModule::deriveTpmKey); empty
+     * derives them in the constructor. Cloud construction uses these
+     * to fan per-server keygen out across the compute plane.
+     */
+    std::optional<crypto::RsaKeyPair> presetIdentityKeys;
+    std::optional<crypto::RsaKeyPair> presetTpmKey;
 };
 
 /** A hosted VM's record on the server. */
@@ -102,6 +125,15 @@ class CloudServer
     CloudServer(sim::EventQueue &eq, net::Network &network,
                 net::KeyDirectory &directory, CloudServerConfig config,
                 std::uint64_t seed);
+
+    /** Deterministic identity-key derivation (see presetIdentityKeys). */
+    static crypto::RsaKeyPair deriveIdentityKeys(const std::string &id,
+                                                 std::uint64_t seed,
+                                                 std::size_t bits);
+
+    /** The Trust Module entropy seed used for a given server id/seed
+     * (feeds TrustModule::deriveTpmKey for preset generation). */
+    static Bytes entropySeed(const std::string &id, std::uint64_t seed);
 
     /** Boot the platform: measure software into the TPM, start the
      * scheduler, publish the identity key. */
@@ -165,6 +197,7 @@ class CloudServer
         bool haveCert = false;
         proto::MeasurementSet m;
         bool measured = false;
+        bool queued = false; //!< Already in the quote-sign batch.
     };
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
@@ -181,6 +214,8 @@ class CloudServer
     void collectMeasurements(std::uint64_t requestId);
     void finishMeasurements(std::uint64_t requestId);
     void maybeRespond(std::uint64_t requestId);
+    void flushAikPrep();
+    void flushQuoteBatch();
     hypervisor::DomainId createVmDomain(const proto::LaunchVm &req);
 
     /** Drop a pending attestation's hold on a Trust Module session;
@@ -217,6 +252,12 @@ class CloudServer
     AikSessionCache aikCache;
     /** In-flight uses per Trust Module session handle. */
     std::map<tpm::SessionHandle, std::size_t> sessionRefs;
+
+    /** Fan-in batches (see CloudServerConfig::batchWindow). */
+    std::vector<std::uint64_t> aikPrepQueue;
+    bool aikFlushScheduled = false;
+    std::vector<std::uint64_t> quoteQueue;
+    bool quoteFlushScheduled = false;
 
     /** Pending migration: vid -> controller that asked. */
     std::map<std::string, net::NodeId> migrations;

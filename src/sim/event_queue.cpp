@@ -6,22 +6,21 @@ namespace monatt::sim
 {
 
 EventId
-EventQueue::schedule(SimTime when, Callback callback, std::string label)
+EventQueue::schedule(SimTime when, Callback callback, const char *label)
 {
     if (when < currentTime)
         throw std::invalid_argument("EventQueue: scheduling in the past");
     const EventId id = nextId++;
-    queue.push(Event{when, id, std::move(callback), std::move(label)});
+    queue.push(Event{when, id, std::move(callback), label});
     ++livePending;
     return id;
 }
 
 EventId
 EventQueue::scheduleAfter(SimTime delay, Callback callback,
-                          std::string label)
+                          const char *label)
 {
-    return schedule(currentTime + delay, std::move(callback),
-                    std::move(label));
+    return schedule(currentTime + delay, std::move(callback), label);
 }
 
 void
@@ -31,55 +30,44 @@ EventQueue::cancel(EventId id)
 }
 
 bool
-EventQueue::runOne()
+EventQueue::dropCancelledTop()
 {
     while (!queue.empty()) {
-        Event ev = queue.top();
+        if (!cancelled.erase(queue.top().id))
+            return true;
         queue.pop();
-        if (cancelled.erase(ev.id)) {
-            --livePending;
-            continue;
-        }
-        currentTime = ev.when;
         --livePending;
-        ++executedCount;
-        ev.callback();
-        return true;
     }
     return false;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (!dropCancelledTop())
+        return false;
+    Event ev = queue.top();
+    queue.pop();
+    currentTime = ev.when;
+    --livePending;
+    ++executedCount;
+    ev.callback();
+    return true;
 }
 
 SimTime
 EventQueue::nextEventTime()
 {
-    while (!queue.empty()) {
-        const Event &top = queue.top();
-        if (cancelled.count(top.id)) {
-            cancelled.erase(top.id);
-            queue.pop();
-            --livePending;
-            continue;
-        }
-        return top.when;
-    }
-    return kTimeNever;
+    return dropCancelledTop() ? queue.top().when : kTimeNever;
 }
 
 std::size_t
 EventQueue::run(SimTime until)
 {
     std::size_t n = 0;
-    while (!queue.empty()) {
-        // Peek past cancelled events without executing.
-        const Event &top = queue.top();
-        if (cancelled.count(top.id)) {
-            cancelled.erase(top.id);
-            queue.pop();
-            --livePending;
-            continue;
-        }
-        if (top.when > until)
-            break;
+    // Tombstones of cancelled events are dropped eagerly as they reach
+    // the top, whether or not the next live event is due yet.
+    while (dropCancelledTop() && queue.top().when <= until) {
         if (runOne())
             ++n;
     }

@@ -15,7 +15,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -39,15 +38,18 @@ class EventQueue
     /**
      * Schedule `callback` at absolute time `when`.
      *
-     * @param label Optional debugging label.
+     * @param label Optional debugging label; must point at storage that
+     *              outlives the event (string literals in practice).
+     *              Stored as a raw pointer so scheduling never
+     *              heap-allocates for it.
      * @throws std::invalid_argument when `when` is in the past.
      */
     EventId schedule(SimTime when, Callback callback,
-                     std::string label = {});
+                     const char *label = nullptr);
 
     /** Schedule `callback` after a relative delay. */
     EventId scheduleAfter(SimTime delay, Callback callback,
-                          std::string label = {});
+                          const char *label = nullptr);
 
     /** Cancel a pending event; no-op when already fired or cancelled. */
     void cancel(EventId id);
@@ -87,7 +89,7 @@ class EventQueue
         SimTime when;
         EventId id;
         Callback callback;
-        std::string label;
+        const char *label;
     };
 
     struct Later
@@ -100,6 +102,10 @@ class EventQueue
             return a.id > b.id; // FIFO among equal timestamps.
         }
     };
+
+    /** Drop cancelled events sitting at the top of the heap.
+     * @return false when the queue is empty afterwards. */
+    bool dropCancelledTop();
 
     std::priority_queue<Event, std::vector<Event>, Later> queue;
     std::unordered_set<EventId> cancelled;

@@ -1,0 +1,186 @@
+#include "sim/worker_pool.h"
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace monatt::sim
+{
+
+namespace
+{
+
+std::size_t
+defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(std::size_t threads)
+{
+    threadsWanted = threads ? threads : defaultThreads();
+    if (threadsWanted <= 1)
+        return;
+    workers.reserve(threadsWanted - 1);
+    for (std::size_t i = 0; i + 1 < threadsWanted; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+WorkerPool::runInline(std::size_t n,
+                      const std::function<void(std::size_t)> &fn)
+{
+    // Run every task even after a failure, matching pooled execution,
+    // so the amount of work done never depends on the thread count.
+    std::vector<std::exception_ptr> errors(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        try {
+            fn(i);
+        } catch (...) {
+            errors[i] = std::current_exception();
+        }
+    }
+    rethrowFirst(errors);
+}
+
+void
+WorkerPool::rethrowFirst(const std::vector<std::exception_ptr> &errors)
+{
+    for (const std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+void
+WorkerPool::drain(Job &job)
+{
+    for (;;) {
+        const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            return;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            job.errors[i] = std::current_exception();
+        }
+        if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+            std::lock_guard<std::mutex> lk(job.mu);
+            job.complete = true;
+            job.cv.notify_all();
+        }
+    }
+}
+
+void
+WorkerPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        std::shared_ptr<Job> job;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cv.wait(lk, [&] { return stopping || generation != seen; });
+            if (stopping)
+                return;
+            seen = generation;
+            job = current;
+        }
+        if (job)
+            drain(*job);
+    }
+}
+
+void
+WorkerPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers.empty() || n == 1) {
+        runInline(n, fn);
+        return;
+    }
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->n = n;
+    job->errors.resize(n);
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        current = job;
+        ++generation;
+    }
+    cv.notify_all();
+    drain(*job); // The caller participates.
+    {
+        std::unique_lock<std::mutex> lk(job->mu);
+        job->cv.wait(lk, [&] { return job->complete; });
+    }
+    {
+        // Retire the job so late-waking workers see an exhausted task
+        // counter at most once and nothing else.
+        std::lock_guard<std::mutex> lk(mu);
+        if (current == job)
+            current.reset();
+    }
+    rethrowFirst(job->errors);
+}
+
+std::size_t
+WorkerPool::resolveThreads(std::size_t requested)
+{
+    if (const char *env = std::getenv("MONATT_THREADS")) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(env, &end, 10);
+        if (end && end != env && *end == '\0' && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    return requested;
+}
+
+namespace
+{
+
+std::unique_ptr<WorkerPool> &
+globalSlot()
+{
+    static std::unique_ptr<WorkerPool> pool;
+    return pool;
+}
+
+} // namespace
+
+WorkerPool &
+WorkerPool::global()
+{
+    std::unique_ptr<WorkerPool> &slot = globalSlot();
+    if (!slot)
+        slot = std::make_unique<WorkerPool>(resolveThreads(0));
+    return *slot;
+}
+
+void
+WorkerPool::configureGlobal(std::size_t threads)
+{
+    const std::size_t want = resolveThreads(threads);
+    std::unique_ptr<WorkerPool> &slot = globalSlot();
+    const std::size_t effective = want ? want : defaultThreads();
+    if (slot && slot->threadCount() == effective)
+        return;
+    slot = std::make_unique<WorkerPool>(want);
+}
+
+} // namespace monatt::sim

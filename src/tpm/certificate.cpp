@@ -85,4 +85,19 @@ issueCertificate(const std::string &subject,
     return cert;
 }
 
+Certificate
+issueCertificate(const std::string &subject,
+                 const crypto::RsaPublicKey &subjectKey,
+                 const std::string &issuer, std::uint64_t serial,
+                 const crypto::RsaPrivateContext &issuerCtx)
+{
+    Certificate cert;
+    cert.subject = subject;
+    cert.subjectKey = subjectKey.encode();
+    cert.issuer = issuer;
+    cert.serial = serial;
+    cert.signature = crypto::rsaSign(issuerCtx, cert.encodeTbs());
+    return cert;
+}
+
 } // namespace monatt::tpm

@@ -61,6 +61,14 @@ Certificate issueCertificate(const std::string &subject,
                              std::uint64_t serial,
                              const crypto::RsaPrivateKey &issuerKey);
 
+/** issueCertificate through a precomputed issuer signing context (the
+ * pCA signs every certificate with the same key). */
+Certificate issueCertificate(const std::string &subject,
+                             const crypto::RsaPublicKey &subjectKey,
+                             const std::string &issuer,
+                             std::uint64_t serial,
+                             const crypto::RsaPrivateContext &issuerCtx);
+
 } // namespace monatt::tpm
 
 #endif // MONATT_TPM_CERTIFICATE_H

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/worker_pool.h"
+
 namespace monatt::tpm
 {
 
@@ -16,8 +18,11 @@ drbgSeed(const Bytes &entropySeed, const crypto::RsaKeyPair &identity)
     return seed;
 }
 
+} // namespace
+
 crypto::RsaKeyPair
-deriveTpmKey(const std::string &serverId, const Bytes &entropySeed)
+TrustModule::deriveTpmKey(const std::string &serverId,
+                          const Bytes &entropySeed)
 {
     Bytes seed = toBytes("tpm-ek:" + serverId);
     append(seed, entropySeed);
@@ -26,15 +31,16 @@ deriveTpmKey(const std::string &serverId, const Bytes &entropySeed)
     return crypto::rsaGenerateKeyPair(512, rng);
 }
 
-} // namespace
-
 TrustModule::TrustModule(std::string serverId,
                          crypto::RsaKeyPair identityKey,
                          const Bytes &entropySeed,
-                         std::size_t sessionKeyBits)
+                         std::size_t sessionKeyBits,
+                         std::optional<crypto::RsaKeyPair> presetTpmKey)
     : server(std::move(serverId)), identity(std::move(identityKey)),
       identityCtx(identity.priv), drbg(drbgSeed(entropySeed, identity)),
-      aikBits(sessionKeyBits), tpmDev(deriveTpmKey(server, entropySeed))
+      aikBits(sessionKeyBits),
+      tpmDev(presetTpmKey ? std::move(*presetTpmKey)
+                          : deriveTpmKey(server, entropySeed))
 {
 }
 
@@ -118,17 +124,51 @@ TrustModule::clearBank(const std::string &bank)
 AttestationSessionInfo
 TrustModule::beginSession()
 {
-    Rng keyRng = drbg.forkRng();
-    crypto::RsaKeyPair aik = crypto::rsaGenerateKeyPair(aikBits, keyRng);
+    return beginSessions(1).front();
+}
 
-    AttestationSessionInfo info;
-    info.handle = nextHandle++;
-    info.attestationKey = aik.pub;
-    info.attestationKeySignature = signWithIdentity(aik.pub.encode());
-    crypto::RsaPrivateContext ctx(aik.priv);
-    sessions.emplace(info.handle,
-                     SessionKey{std::move(aik), std::move(ctx)});
-    return info;
+std::vector<AttestationSessionInfo>
+TrustModule::beginSessions(std::size_t n)
+{
+    // Serial pre-pass: the DRBG is stateful, so the per-session RNGs
+    // fork in submission order regardless of the pool size.
+    std::vector<Rng> rngs;
+    rngs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        rngs.push_back(drbg.forkRng());
+
+    // Parallel phase: pure per-session compute against a private RNG —
+    // keygen, context compilation, identity signature (identityCtx is
+    // const and shared read-only).
+    struct Generated
+    {
+        crypto::RsaKeyPair aik;
+        std::optional<crypto::RsaPrivateContext> ctx;
+        Bytes signature;
+    };
+    auto generated = sim::WorkerPool::global().map<Generated>(
+        n, [&](std::size_t i) {
+            Generated g;
+            g.aik = crypto::rsaGenerateKeyPair(aikBits, rngs[i]);
+            g.ctx.emplace(g.aik.priv);
+            g.signature = signWithIdentity(g.aik.pub.encode());
+            return g;
+        });
+
+    // Serial post-pass: handles and session-table inserts in order.
+    std::vector<AttestationSessionInfo> out;
+    out.reserve(n);
+    for (Generated &g : generated) {
+        AttestationSessionInfo info;
+        info.handle = nextHandle++;
+        info.attestationKey = g.aik.pub;
+        info.attestationKeySignature = std::move(g.signature);
+        sessions.emplace(info.handle,
+                         SessionKey{std::move(g.aik),
+                                    std::move(*g.ctx)});
+        out.push_back(std::move(info));
+    }
+    return out;
 }
 
 Result<Bytes>

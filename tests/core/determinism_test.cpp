@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Compute-plane determinism: the same seeded deployment must produce
+ * byte-identical attestation reports and an identical event-execution
+ * count whether the worker pool runs serial (computeThreads = 1) or
+ * wide (computeThreads = 8). The scenario deliberately crosses every
+ * batched path — VM launches with startup attestation, a concurrent
+ * attestMany fan-out, and a covert-channel round whose usage
+ * histograms are sensitive to any scheduling perturbation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cloud.h"
+#include "crypto/sha256.h"
+#include "workloads/attacks.h"
+#include "workloads/programs.h"
+
+namespace monatt::core
+{
+namespace
+{
+
+/** Everything observable about one scenario run. */
+struct Trace
+{
+    std::vector<std::string> vids;
+    std::string reportDigest; //!< SHA-256 over all verified reports.
+    std::size_t reportCount = 0;
+    std::size_t eventsExecuted = 0;
+    SimTime endTime = 0;
+};
+
+void
+absorbTime(crypto::Sha256 &digest, SimTime t)
+{
+    Bytes b;
+    for (int i = 0; i < 8; ++i)
+        b.push_back(static_cast<std::uint8_t>(
+            static_cast<std::uint64_t>(t) >> (8 * i)));
+    digest.update(b);
+}
+
+Trace
+runScenario(std::size_t computeThreads)
+{
+    CloudConfig cfg;
+    cfg.numServers = 4;
+    cfg.seed = 424242;
+    cfg.computeThreads = computeThreads;
+    cfg.cryptoBatchWindow = usec(200);
+    Cloud cloud(cfg);
+    Customer &customer = cloud.addCustomer("alice");
+
+    Trace trace;
+    for (int i = 0; i < 3; ++i) {
+        auto vid = cloud.launchVm(customer, "vm-" + std::to_string(i),
+                                  "cirros", "small",
+                                  proto::allProperties());
+        EXPECT_TRUE(vid.isOk()) << vid.errorMessage();
+        if (vid.isOk())
+            trace.vids.push_back(vid.take());
+    }
+
+    // Concurrent fan-out: exercises AIK prep, pCA certification,
+    // quote signing, verification and relay batches all at once.
+    for (auto &r :
+         cloud.attestMany(customer, trace.vids, proto::allProperties()))
+        EXPECT_TRUE(r.isOk()) << r.errorMessage();
+
+    // Covert-channel round: a co-resident sender next to the first
+    // VM; its interval structure must be bit-identical too.
+    server::CloudServer *host = cloud.serverHosting(trace.vids[0]);
+    EXPECT_NE(host, nullptr);
+    if (host != nullptr) {
+        auto &hv = host->hypervisor();
+        hv.setBehavior(host->domainOf(trace.vids[0]), 0,
+                       std::make_unique<workloads::SpinnerProgram>());
+        const auto senderDomain = hv.createDomain(
+            "covert-sender", 2, /*pcpu=*/0, toBytes("attacker-image"),
+            1024);
+        auto message = std::make_shared<workloads::CovertMessage>();
+        Rng bitRng(7);
+        for (int i = 0; i < 512; ++i)
+            message->bits.push_back(bitRng.nextBool());
+        workloads::installCovertSender(
+            hv, senderDomain, message,
+            workloads::CovertChannelParams::detectPreset());
+    }
+    cloud.runFor(seconds(2));
+    for (auto &r :
+         cloud.attestMany(customer, trace.vids, proto::allProperties()))
+        EXPECT_TRUE(r.isOk()) << r.errorMessage();
+
+    crypto::Sha256 digest;
+    for (const VerifiedReport &r : customer.reports()) {
+        digest.update(r.report.encode());
+        absorbTime(digest, r.receivedAt);
+    }
+    trace.reportDigest = toHex(digest.digest());
+    trace.reportCount = customer.reports().size();
+    trace.eventsExecuted = cloud.events().executed();
+    trace.endTime = cloud.events().now();
+    return trace;
+}
+
+TEST(DeterminismTest, SerialAndWidePoolsAreBitIdentical)
+{
+    const Trace serial = runScenario(1);
+    const Trace wide = runScenario(8);
+
+    EXPECT_EQ(serial.vids, wide.vids);
+    ASSERT_GT(serial.reportCount, 0u);
+    EXPECT_EQ(serial.reportCount, wide.reportCount);
+    EXPECT_EQ(serial.reportDigest, wide.reportDigest)
+        << "verified attestation reports must be byte-identical at "
+           "any pool width";
+    EXPECT_EQ(serial.eventsExecuted, wide.eventsExecuted)
+        << "the pool must never change what the event loop executes";
+    EXPECT_EQ(serial.endTime, wide.endTime);
+}
+
+TEST(DeterminismTest, OddPoolWidthMatchesToo)
+{
+    // A width that does not divide the batch sizes exercises the
+    // work-stealing boundaries of parallelFor.
+    const Trace serial = runScenario(1);
+    const Trace odd = runScenario(3);
+    EXPECT_EQ(serial.reportDigest, odd.reportDigest);
+    EXPECT_EQ(serial.eventsExecuted, odd.eventsExecuted);
+}
+
+} // namespace
+} // namespace monatt::core
