@@ -30,6 +30,20 @@ endpointSeed(const std::string &id, std::uint64_t seed)
     return material;
 }
 
+/**
+ * Deterministic per-AS session-id base. Under failover two ASes may
+ * measure the same cloud server concurrently; disjoint id spaces keep
+ * MeasureRequest ids (the server's pending-map key) from colliding.
+ */
+std::uint64_t
+sessionBase(const std::string &id)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : id)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return ((h & 0xffffffULL) << 32) + 1;
+}
+
 } // namespace
 
 crypto::RsaKeyPair
@@ -57,11 +71,14 @@ AttestationServer::AttestationServer(sim::EventQueue &eq,
       endpoint(network, cfg.id, keys, directory,
                endpointSeed(cfg.id, seed)),
       registry(InterpreterRegistry::withDefaults()), rng(seed ^ 0xa5a5),
-      certCache(cfg.certCacheCapacity)
+      certCache(cfg.certCacheCapacity), nextSession(sessionBase(cfg.id))
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
     });
+    endpoint.setReliability(net::EndpointReliability{
+        cfg.reliability.enabled, cfg.reliability.handshakeRto,
+        cfg.reliability.handshakeRetryLimit});
 }
 
 void
@@ -146,27 +163,62 @@ AttestationServer::onAttestForward(const Bytes &body)
         return;
     const AttestForward fwd = fwdR.take();
 
-    events.scheduleAfter(cfg.timing.attestorProcessing, [this, fwd] {
-        switch (fwd.mode) {
-          case AttestMode::StartupOneTime:
-          case AttestMode::RuntimeOneTime:
-            startMeasurement(fwd);
-            break;
-          case AttestMode::RuntimePeriodic: {
-            const std::string key = periodicKey(fwd);
-            periodic[key] = PeriodicTask{fwd, true};
-            runPeriodicRound(key);
-            break;
-          }
-          case AttestMode::StopPeriodic: {
-            const std::string key = periodicKey(fwd);
-            auto it = periodic.find(key);
-            if (it != periodic.end())
-                it->second.active = false;
-            break;
-          }
+    events.scheduleAfter(cfg.timing.attestorProcessing,
+                         [this, fwd] { processForward(fwd); },
+                         "as.forward");
+}
+
+void
+AttestationServer::processForward(const AttestForward &fwd)
+{
+    // Idempotent receive: a retransmitted forward must not start a
+    // second measurement pipeline or double-sign a finished report.
+    if (fwd.mode == AttestMode::StartupOneTime ||
+        fwd.mode == AttestMode::RuntimeOneTime) {
+        if (forwardInFlight.count(fwd.requestId)) {
+            ++counters.duplicateForwards;
+            return;
         }
-    }, "as.forward");
+        const auto cached = reportCache.find(fwd.requestId);
+        if (cached != reportCache.end()) {
+            ++counters.duplicateForwards;
+            endpoint.sendSecure(cfg.controllerId,
+                                proto::packMessage(
+                                    MessageKind::ReportToController,
+                                    Bytes(cached->second)));
+            return;
+        }
+        forwardInFlight.insert(fwd.requestId);
+        startMeasurement(fwd);
+        return;
+    }
+
+    switch (fwd.mode) {
+      case AttestMode::RuntimePeriodic: {
+        const std::string key = periodicKey(fwd);
+        const auto it = periodic.find(key);
+        // A duplicate of the already-running task is a no-op; a new
+        // requestId (or retargeted server) replaces the task.
+        if (it != periodic.end() && it->second.active &&
+            it->second.forward.requestId == fwd.requestId &&
+            it->second.forward.serverId == fwd.serverId) {
+            ++counters.duplicateForwards;
+            return;
+        }
+        periodic[key] = PeriodicTask{fwd, true};
+        runPeriodicRound(key);
+        break;
+      }
+      case AttestMode::StopPeriodic: {
+        const std::string key = periodicKey(fwd);
+        auto it = periodic.find(key);
+        if (it != periodic.end())
+            it->second.active = false;
+        break;
+      }
+      default:
+        break;
+    }
 }
 
 void
@@ -207,11 +259,65 @@ AttestationServer::startMeasurement(const AttestForward &fwd)
     req.nonce3 = session.nonce3;
     req.window = 0; // Let the server apply its configured window.
 
+    Bytes packed =
+        proto::packMessage(MessageKind::MeasureRequest, req.encode());
+    session.requestBytes = packed;
     sessions[sessionId] = std::move(session);
     ++counters.measurementRequestsSent;
-    endpoint.sendSecure(fwd.serverId,
-                        proto::packMessage(MessageKind::MeasureRequest,
-                                           req.encode()));
+    if (cfg.reliability.enabled)
+        scheduleMeasureRetry(sessionId);
+    endpoint.sendSecure(fwd.serverId, std::move(packed));
+}
+
+void
+AttestationServer::scheduleMeasureRetry(std::uint64_t sessionId)
+{
+    Session &s = sessions.at(sessionId);
+    const SimTime delay = cfg.reliability.backoff(
+        cfg.reliability.measureRto, s.retries);
+    s.retryTimer = events.scheduleAfter(delay, [this, sessionId] {
+        auto it = sessions.find(sessionId);
+        if (it == sessions.end())
+            return;
+        Session &s = it->second;
+        s.retryTimer = 0;
+        if (s.retries >= cfg.reliability.measureRetryLimit) {
+            // Exhausted: the session terminates with an authentic
+            // Unknown report — the customer learns the measurement
+            // could not be collected, never a forged verdict.
+            ++counters.measureTimeouts;
+            MONATT_LOG(Warn, "as")
+                << cfg.id << ": server " << s.forward.serverId
+                << " unresponsive, session " << sessionId
+                << " abandoned";
+            const Session copy = std::move(s);
+            sessions.erase(it);
+            // A crashed-and-restarted server lost its session keys;
+            // force a fresh handshake on the next contact.
+            endpoint.resetPeer(copy.forward.serverId);
+            applyVerified(copy, Result<proto::MeasurementSet>::error(
+                                    "cloud server unreachable"));
+            return;
+        }
+        ++s.retries;
+        ++counters.measureRetries;
+        // Identical retransmission: the server's dedup cache answers
+        // a duplicate without re-executing the quote.
+        endpoint.sendSecure(s.forward.serverId, Bytes(s.requestBytes));
+        scheduleMeasureRetry(sessionId);
+    }, "as.measure.retry");
+}
+
+void
+AttestationServer::rememberReport(std::uint64_t requestId, Bytes encoded)
+{
+    if (reportCache.emplace(requestId, std::move(encoded)).second) {
+        reportOrder.push_back(requestId);
+        while (reportOrder.size() > kReportCacheSize) {
+            reportCache.erase(reportOrder.front());
+            reportOrder.pop_front();
+        }
+    }
 }
 
 const crypto::RsaPublicContext &
@@ -321,6 +427,10 @@ AttestationServer::flushVerifyBatch()
             MONATT_LOG(Warn, "as") << "response for unknown session "
                                    << resp.requestId;
             continue;
+        }
+        if (it->second.retryTimer != 0) {
+            events.cancel(it->second.retryTimer);
+            it->second.retryTimer = 0;
         }
         Item item;
         item.resp = std::move(resp);
@@ -492,7 +602,10 @@ AttestationServer::issueReport(const Session &session,
     out.quote2 = ReportToController::quoteInput(
         out.vid, out.serverId, out.properties, out.report, out.nonce2);
 
-    signQueue.push_back(std::move(out));
+    const bool cacheable =
+        session.forward.mode == AttestMode::StartupOneTime ||
+        session.forward.mode == AttestMode::RuntimeOneTime;
+    signQueue.push_back(SignItem{std::move(out), cacheable});
     if (!signFlushScheduled) {
         signFlushScheduled = true;
         events.scheduleAfter(cfg.batchWindow,
@@ -505,25 +618,64 @@ void
 AttestationServer::flushSignBatch()
 {
     signFlushScheduled = false;
-    std::vector<ReportToController> batch;
+    std::vector<SignItem> batch;
     batch.swap(signQueue);
 
     // Report signatures are independent pure compute; each task writes
     // only its own slot.
     sim::WorkerPool::global().parallelFor(
         batch.size(), [&](std::size_t i) {
-            batch[i].signature =
-                crypto::rsaSign(signCtx, batch[i].signedPortion());
+            batch[i].msg.signature =
+                crypto::rsaSign(signCtx, batch[i].msg.signedPortion());
         });
 
     // Serial sends in issue order.
-    for (ReportToController &out : batch) {
+    for (SignItem &item : batch) {
         ++counters.reportsIssued;
+        Bytes encoded = item.msg.encode();
+        if (item.cacheable) {
+            forwardInFlight.erase(item.msg.requestId);
+            rememberReport(item.msg.requestId, encoded);
+        }
         endpoint.sendSecure(cfg.controllerId,
                             proto::packMessage(
                                 MessageKind::ReportToController,
-                                out.encode()));
+                                std::move(encoded)));
     }
+}
+
+void
+AttestationServer::crash()
+{
+    if (!endpoint.attached())
+        return;
+    MONATT_LOG(Info, "as") << cfg.id << ": crash";
+    endpoint.detach();
+    for (auto &[id, s] : sessions) {
+        if (s.retryTimer != 0)
+            events.cancel(s.retryTimer);
+    }
+    // Volatile state dies: in-flight sessions, periodic tasks, batch
+    // queues, archives and dedup caches. The oat reference databases
+    // (serverRefs, vmRefs, knownGoodImages) are on disk and survive.
+    sessions.clear();
+    periodic.clear();
+    verifyQueue.clear();
+    signQueue.clear();
+    measurementArchive.clear();
+    certCache.clear();
+    forwardInFlight.clear();
+    reportCache.clear();
+    reportOrder.clear();
+}
+
+void
+AttestationServer::restart()
+{
+    if (endpoint.attached())
+        return;
+    MONATT_LOG(Info, "as") << cfg.id << ": restart";
+    endpoint.attach();
 }
 
 } // namespace monatt::attestation

@@ -27,6 +27,7 @@
 #define MONATT_ATTESTATION_ATTESTATION_SERVER_H
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -49,6 +50,7 @@ struct AttestationServerConfig
     std::string controllerId = "cloud-controller";
     std::string pcaId = "privacy-ca";
     proto::TimingModel timing;
+    proto::ReliabilityModel reliability;
     std::size_t identityKeyBits = 512;
 
     /** Bounds for randomized periodic attestation intervals. */
@@ -94,6 +96,9 @@ struct AttestationServerStats
     std::uint64_t periodicRoundsRun = 0;
     std::uint64_t certCacheHits = 0;
     std::uint64_t certCacheMisses = 0;
+    std::uint64_t measureRetries = 0;  //!< MeasureRequest resends.
+    std::uint64_t measureTimeouts = 0; //!< Sessions given up on.
+    std::uint64_t duplicateForwards = 0; //!< Dedup'd AttestForwards.
 };
 
 /** The Attestation Server entity. */
@@ -150,11 +155,28 @@ class AttestationServer
         return certCache;
     }
 
+    /**
+     * Simulate a crash: detach from the network and drop all volatile
+     * state (sessions, periodic tasks, archives, caches). Reference
+     * databases survive — they are the oat databases on disk,
+     * re-provisioned by the trusted admin path anyway.
+     */
+    void crash();
+
+    /** Rejoin the network after a crash. */
+    void restart();
+
+    /** True while attached to the network. */
+    bool isUp() const { return endpoint.attached(); }
+
   private:
     struct Session
     {
         proto::AttestForward forward;
         Bytes nonce3;
+        Bytes requestBytes;          //!< For identical retransmission.
+        int retries = 0;
+        sim::EventId retryTimer = 0; //!< 0 = none pending.
     };
 
     struct PeriodicTask
@@ -173,6 +195,13 @@ class AttestationServer
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
     void onAttestForward(const Bytes &body);
+    void processForward(const proto::AttestForward &fwd);
+
+    /** Arm the MeasureRequest retransmission timer for a session. */
+    void scheduleMeasureRetry(std::uint64_t sessionId);
+
+    /** Remember a signed report for idempotent retransmission. */
+    void rememberReport(std::uint64_t requestId, Bytes encoded);
     void onMeasureResponse(const Bytes &body);
     void startMeasurement(const proto::AttestForward &forward);
     void runPeriodicRound(const std::string &key);
@@ -216,8 +245,26 @@ class AttestationServer
     /** Fan-in batches (see AttestationServerConfig::batchWindow). */
     std::vector<proto::MeasureResponse> verifyQueue;
     bool verifyFlushScheduled = false;
-    std::vector<proto::ReportToController> signQueue;
+    /** Reports awaiting signature; `cacheable` marks one-time requests
+     * whose signed bytes feed the dedup cache. */
+    struct SignItem
+    {
+        proto::ReportToController msg;
+        bool cacheable = false;
+    };
+    std::vector<SignItem> signQueue;
     bool signFlushScheduled = false;
+
+    /**
+     * Receive-side dedup for AttestForward: one-time requests in
+     * flight (started, report not yet signed) are ignored on
+     * retransmission; completed ones are answered by re-sending the
+     * cached signed report — never by double-signing. Bounded FIFO.
+     */
+    std::set<std::uint64_t> forwardInFlight;
+    std::map<std::uint64_t, Bytes> reportCache;
+    std::deque<std::uint64_t> reportOrder;
+    static constexpr std::size_t kReportCacheSize = 128;
 
     std::uint64_t nextSession = 1;
     AttestationServerStats counters;

@@ -60,6 +60,19 @@ PrivacyCa::handleMessage(const net::NodeId &from, const Bytes &plaintext)
     if (!reqR)
         return;
 
+    // Idempotent issuance: answer a retransmission with the cached
+    // response; swallow duplicates of a request still being processed.
+    const CertKey key{from, reqR.value().sessionLabel};
+    const auto cached = issuedCache.find(key);
+    if (cached != issuedCache.end()) {
+        endpoint.sendSecure(from,
+                            proto::packMessage(MessageKind::CertResponse,
+                                               Bytes(cached->second)));
+        return;
+    }
+    if (!inFlight.insert(key).second)
+        return;
+
     // Model the per-request processing delay, then batch every request
     // that matured within the window for the compute plane.
     events.scheduleAfter(timing.pcaProcessing,
@@ -154,9 +167,19 @@ PrivacyCa::flushBatch()
 
     // Serial responses in arrival order.
     for (Item &item : items) {
+        Bytes encoded = item.resp.encode();
+        const CertKey key{item.p.from, item.p.req.sessionLabel};
+        inFlight.erase(key);
+        if (issuedCache.emplace(key, encoded).second) {
+            issuedOrder.push_back(key);
+            while (issuedOrder.size() > kIssuedCacheSize) {
+                issuedCache.erase(issuedOrder.front());
+                issuedOrder.pop_front();
+            }
+        }
         endpoint.sendSecure(item.p.from,
                             proto::packMessage(MessageKind::CertResponse,
-                                               item.resp.encode()));
+                                               std::move(encoded)));
     }
 }
 

@@ -19,8 +19,12 @@
 #define MONATT_ATTESTATION_PRIVACY_CA_H
 
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/secure_endpoint.h"
@@ -89,6 +93,19 @@ class PrivacyCa
     bool flushScheduled = false;
     std::uint64_t serial = 0;
     std::uint64_t rejections = 0;
+
+    /**
+     * Idempotent issuance: a retransmitted CertRequest is answered
+     * with the already-issued response instead of minting a fresh
+     * serial number. Keyed by (requester, session label); bounded
+     * FIFO. `inFlight` suppresses duplicates that arrive while the
+     * first copy is still inside the processing/batch window.
+     */
+    using CertKey = std::pair<net::NodeId, std::string>;
+    std::map<CertKey, Bytes> issuedCache;
+    std::deque<CertKey> issuedOrder;
+    std::set<CertKey> inFlight;
+    static constexpr std::size_t kIssuedCacheSize = 128;
 };
 
 } // namespace monatt::attestation

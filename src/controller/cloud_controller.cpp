@@ -72,6 +72,9 @@ CloudController::CloudController(sim::EventQueue &eq,
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
     });
+    endpoint.setReliability(net::EndpointReliability{
+        cfg.reliability.enabled, cfg.reliability.handshakeRto,
+        cfg.reliability.handshakeRetryLimit});
 }
 
 void
@@ -137,14 +140,10 @@ CloudController::handleMessage(const net::NodeId &from,
       case MessageKind::LaunchVmAck:
         onLaunchVmAck(from, body);
         break;
-      case MessageKind::ReportToController: {
-        bool fromAttestor = from == cfg.attestationServerId;
-        for (const auto &[server, attestor] : clusters)
-            fromAttestor |= from == attestor;
-        if (fromAttestor)
+      case MessageKind::ReportToController:
+        if (isKnownAttestor(from))
             onReportToController(from, body);
         break;
-      }
       case MessageKind::TerminateVmAck:
       case MessageKind::SuspendVmAck:
       case MessageKind::ResumeVmAck:
@@ -317,32 +316,217 @@ std::uint64_t
 CloudController::forwardAttestation(AttestContext ctx)
 {
     const VmRecord *rec = db.vm(ctx.vid);
-    if (!rec || rec->serverId.empty())
+    if (!rec || rec->serverId.empty()) {
+        // No hang: customers get a definitive failure even when the
+        // VM vanished or was never placed.
+        if (ctx.kind == AttestKind::CustomerRequest) {
+            sendAttestFailure(ctx.customer, ctx.customerRequestId,
+                              ctx.vid, proto::FailureOutcome::Failed,
+                              "vm not placed");
+        }
         return 0;
+    }
 
     const std::uint64_t attestId = nextAttestId++;
     ctx.nonce2 = rng.nextBytes(16);
     ctx.forwardedAt = events.now();
     ctx.periodic = ctx.mode == AttestMode::RuntimePeriodic;
+    ctx.serverId = rec->serverId;
+    ctx.attestorId = attestorFor(rec->serverId);
+    const bool expectReply = ctx.mode != AttestMode::StopPeriodic;
+    attests[attestId] = std::move(ctx);
+    transmitForward(attestId);
+    // StopPeriodic is unacknowledged fire-and-forget (idempotent at
+    // the AS); everything else is retried until a report arrives.
+    if (cfg.reliability.enabled && expectReply)
+        scheduleForwardRetry(attestId);
+    return attestId;
+}
 
+void
+CloudController::transmitForward(std::uint64_t attestId)
+{
+    const auto it = attests.find(attestId);
+    if (it == attests.end())
+        return;
+    const AttestContext &ctx = it->second;
+
+    // Rebuilt from the context with the same nonce2 on every attempt,
+    // so a report answering any copy (or any failover target) binds to
+    // this attestation.
     AttestForward fwd;
     fwd.requestId = attestId;
     fwd.vid = ctx.vid;
-    fwd.serverId = rec->serverId;
+    fwd.serverId = ctx.serverId;
     fwd.properties = ctx.properties;
     fwd.nonce2 = ctx.nonce2;
     fwd.mode = ctx.mode;
-    fwd.period = 0;
-
-    // Periodic requests carry the customer's period through.
-    if (ctx.mode == AttestMode::RuntimePeriodic)
-        fwd.period = ctx.customerRequestId != 0 ? 0 : 0;
-
-    attests[attestId] = std::move(ctx);
-    endpoint.sendSecure(attestorFor(fwd.serverId),
+    fwd.period = ctx.period;
+    endpoint.sendSecure(ctx.attestorId,
                         proto::packMessage(MessageKind::AttestForward,
                                            fwd.encode()));
-    return attestId;
+}
+
+void
+CloudController::scheduleForwardRetry(std::uint64_t attestId)
+{
+    const auto it = attests.find(attestId);
+    if (it == attests.end())
+        return;
+    AttestContext &ctx = it->second;
+    const SimTime delay =
+        cfg.reliability.backoff(cfg.reliability.forwardRto, ctx.retries);
+    ctx.retryTimer = events.scheduleAfter(
+        delay, [this, attestId] { forwardRetryFired(attestId); },
+        "cc.forward.retry");
+}
+
+void
+CloudController::forwardRetryFired(std::uint64_t attestId)
+{
+    const auto it = attests.find(attestId);
+    if (it == attests.end())
+        return;
+    AttestContext &ctx = it->second;
+    ctx.retryTimer = 0;
+    if (ctx.acked)
+        return;
+
+    if (ctx.retries < cfg.reliability.forwardRetryLimit) {
+        ++ctx.retries;
+        ++counters.forwardRetries;
+        transmitForward(attestId);
+        scheduleForwardRetry(attestId);
+        return;
+    }
+
+    // Retry budget exhausted: strike the attestor, then fail the
+    // request over to another AS when one is available. Drop the
+    // channel too — if the AS crashed and restarted, records sealed
+    // under the old session keys would be rejected forever, so the
+    // next contact must re-handshake.
+    AsHealth &health = asHealth[ctx.attestorId];
+    ++health.strikes;
+    if (health.strikes >= cfg.reliability.suspectThreshold)
+        health.suspect = true;
+    endpoint.resetPeer(ctx.attestorId);
+
+    const std::string alt = alternativeAttestor(ctx.attestorId);
+    if (ctx.failovers < cfg.reliability.failoverLimit && !alt.empty()) {
+        MONATT_LOG(Warn, "cc")
+            << "attestation " << attestId << " failing over from "
+            << ctx.attestorId << " to " << alt;
+        ++counters.failovers;
+        ++ctx.failovers;
+        ctx.retries = 0;
+        ctx.attestorId = alt;
+        transmitForward(attestId);
+        scheduleForwardRetry(attestId);
+        return;
+    }
+    giveUpAttestation(attestId);
+}
+
+void
+CloudController::giveUpAttestation(std::uint64_t attestId)
+{
+    const auto it = attests.find(attestId);
+    if (it == attests.end())
+        return;
+    const AttestContext ctx = std::move(it->second);
+    attests.erase(it);
+    ++counters.attestationsUnreachable;
+    MONATT_LOG(Warn, "cc")
+        << "attestation " << attestId << " for " << ctx.vid
+        << " unreachable after retries and failover";
+
+    switch (ctx.kind) {
+      case AttestKind::CustomerRequest:
+        sendAttestFailure(ctx.customer, ctx.customerRequestId, ctx.vid,
+                          proto::FailureOutcome::Unreachable,
+                          "attestation service unreachable");
+        break;
+      case AttestKind::StartupLaunch:
+        finishLaunch(ctx.vid, false, "startup attestation unreachable");
+        break;
+      case AttestKind::SuspendRecheck:
+        // Keep the VM suspended; re-check once the period elapses
+        // again (the attestation plane may have recovered by then).
+        scheduleSuspendRecheck(ctx.vid, ctx.customerRequestId);
+        break;
+    }
+}
+
+void
+CloudController::sendAttestFailure(const net::NodeId &customer,
+                                   std::uint64_t requestId,
+                                   const std::string &vid,
+                                   proto::FailureOutcome outcome,
+                                   const std::string &reason)
+{
+    proto::AttestFailure failure;
+    failure.requestId = requestId;
+    failure.vid = vid;
+    failure.outcome = outcome;
+    failure.reason = reason;
+    Bytes packed = proto::packMessage(MessageKind::AttestFailure,
+                                      failure.encode());
+    rememberRelay(CustomerKey{customer, requestId}, Bytes(packed));
+    endpoint.sendSecure(customer, std::move(packed));
+}
+
+std::vector<std::string>
+CloudController::knownAttestors() const
+{
+    if (!cfg.attestorIds.empty())
+        return cfg.attestorIds;
+    return {cfg.attestationServerId};
+}
+
+bool
+CloudController::isKnownAttestor(const net::NodeId &node) const
+{
+    if (node == cfg.attestationServerId)
+        return true;
+    for (const std::string &id : cfg.attestorIds)
+        if (node == id)
+            return true;
+    for (const auto &[server, attestor] : clusters)
+        if (node == attestor)
+            return true;
+    return false;
+}
+
+std::string
+CloudController::alternativeAttestor(const std::string &current) const
+{
+    const std::vector<std::string> all = knownAttestors();
+    // Prefer an AS not currently suspected of being down...
+    for (const std::string &id : all) {
+        if (id == current)
+            continue;
+        const auto it = asHealth.find(id);
+        if (it == asHealth.end() || !it->second.suspect)
+            return id;
+    }
+    // ...but a suspect AS beats giving up outright.
+    for (const std::string &id : all)
+        if (id != current)
+            return id;
+    return {};
+}
+
+void
+CloudController::rememberRelay(const CustomerKey &key, Bytes packed)
+{
+    customerInFlight.erase(key);
+    if (relayCache.emplace(key, std::move(packed)).second) {
+        relayOrder.push_back(key);
+        while (relayOrder.size() > kRelayCacheSize) {
+            relayCache.erase(relayOrder.front());
+            relayOrder.pop_front();
+        }
+    }
 }
 
 void
@@ -354,18 +538,46 @@ CloudController::onAttestRequest(const net::NodeId &from,
         return;
     const AttestRequest req = reqR.take();
 
+    // Receive-side dedup: swallow retransmissions of a request still
+    // in flight; answer completed ones from the relay cache without
+    // re-running the protocol or re-signing anything.
+    const CustomerKey key{from, req.requestId};
+    if (customerInFlight.count(key)) {
+        ++counters.duplicateAttestRequests;
+        return;
+    }
+    const auto cached = relayCache.find(key);
+    if (cached != relayCache.end()) {
+        ++counters.duplicateAttestRequests;
+        endpoint.sendSecure(from, Bytes(cached->second));
+        return;
+    }
+
     const VmRecord *rec = db.vm(req.vid);
     if (!rec || rec->customer != from) {
         MONATT_LOG(Warn, "cc")
             << "attestation request for unknown/foreign VM " << req.vid;
+        // Identical definitive answer for "no such VM" and "someone
+        // else's VM": the requester learns nothing about other
+        // tenants, but no longer hangs either.
+        sendAttestFailure(from, req.requestId, req.vid,
+                          proto::FailureOutcome::Failed, "unknown vm");
         return;
     }
 
+    // StopPeriodic never produces a reply that would clear the mark.
+    if (req.mode != AttestMode::StopPeriodic)
+        customerInFlight.insert(key);
     events.scheduleAfter(cfg.timing.controllerProcessing,
-                         [this, req, from] {
+                         [this, req, from, key] {
         const VmRecord *rec = db.vm(req.vid);
-        if (!rec)
+        if (!rec) {
+            customerInFlight.erase(key);
+            sendAttestFailure(from, req.requestId, req.vid,
+                              proto::FailureOutcome::Failed,
+                              "unknown vm");
             return;
+        }
 
         AttestContext ctx;
         ctx.kind = AttestKind::CustomerRequest;
@@ -376,25 +588,7 @@ CloudController::onAttestRequest(const net::NodeId &from,
         ctx.properties = req.properties;
         ctx.mode = req.mode;
         ctx.period = req.period;
-
-        const std::uint64_t attestId = nextAttestId++;
-        AttestForward fwd;
-        fwd.requestId = attestId;
-        fwd.vid = req.vid;
-        fwd.serverId = rec->serverId;
-        fwd.properties = req.properties;
-        fwd.nonce2 = rng.nextBytes(16);
-        fwd.mode = req.mode;
-        fwd.period = req.period;
-
-        ctx.nonce2 = fwd.nonce2;
-        ctx.forwardedAt = events.now();
-        ctx.periodic = req.mode == AttestMode::RuntimePeriodic;
-        attests[attestId] = std::move(ctx);
-
-        endpoint.sendSecure(
-            attestorFor(fwd.serverId),
-            proto::packMessage(MessageKind::AttestForward, fwd.encode()));
+        forwardAttestation(std::move(ctx));
     }, "cc.attest.forward");
 }
 
@@ -443,11 +637,14 @@ CloudController::flushReportBatch()
         }
         Item item;
         item.ctx = it->second;
-        auto asKey = dir.lookup(attestorFor(msg.serverId));
-        if (asKey) {
-            item.asCtx = &attestorContext(attestorFor(msg.serverId),
-                                          asKey.value());
-        }
+        // Verify against the attestor this request currently targets
+        // (tracked per context so failover re-binds the signer).
+        const std::string &attestor = item.ctx.attestorId.empty()
+                                          ? attestorFor(msg.serverId)
+                                          : item.ctx.attestorId;
+        auto asKey = dir.lookup(attestor);
+        if (asKey)
+            item.asCtx = &attestorContext(attestor, asKey.value());
         item.msg = std::move(msg);
         items.push_back(std::move(item));
     }
@@ -481,8 +678,20 @@ CloudController::flushReportBatch()
                                    << item.msg.vid;
             continue;
         }
-        if (!item.ctx.periodic)
-            attests.erase(item.msg.requestId);
+        const auto live = attests.find(item.msg.requestId);
+        if (live != attests.end()) {
+            AttestContext &stored = live->second;
+            if (stored.retryTimer != 0) {
+                events.cancel(stored.retryTimer);
+                stored.retryTimer = 0;
+            }
+            stored.acked = true;
+            if (!stored.periodic)
+                attests.erase(live);
+        }
+        // A verified report clears the attestor's strike record.
+        if (!item.ctx.attestorId.empty())
+            asHealth[item.ctx.attestorId] = AsHealth{};
 
         events.scheduleAfter(cfg.timing.controllerProcessing,
                              [this, ctx = item.ctx, msg = item.msg,
@@ -601,7 +810,10 @@ CloudController::handleCustomerReport(std::uint64_t attestId,
                                               msg.report, ctx.nonce1);
 
     // Relays issued within one window share a signature fan-out.
-    relayQueue.push_back(PendingRelay{std::move(out), ctx.customer});
+    // One-time replies feed the dedup cache; periodic stream reports
+    // share the customer request id and are never cached.
+    relayQueue.push_back(
+        PendingRelay{std::move(out), ctx.customer, !ctx.periodic});
     if (!relayFlushScheduled) {
         relayFlushScheduled = true;
         events.scheduleAfter(cfg.batchWindow,
@@ -637,10 +849,14 @@ CloudController::flushRelayBatch()
     // Serial sends in issue order.
     for (PendingRelay &relay : batch) {
         ++counters.reportsRelayed;
-        endpoint.sendSecure(relay.customer,
-                            proto::packMessage(
-                                MessageKind::ReportToCustomer,
-                                relay.out.encode()));
+        Bytes packed = proto::packMessage(MessageKind::ReportToCustomer,
+                                          relay.out.encode());
+        const CustomerKey key{relay.customer, relay.out.requestId};
+        if (relay.cacheable)
+            rememberRelay(key, Bytes(packed));
+        else
+            customerInFlight.erase(key);
+        endpoint.sendSecure(relay.customer, std::move(packed));
     }
 }
 
@@ -792,6 +1008,12 @@ CloudController::retargetPeriodicAttestations(const std::string &vid,
         // periodic tasks by (vid, properties), so re-forwarding with
         // the same mode replaces the stale target when the cluster is
         // unchanged.
+        const std::string oldAttestor = ctx.attestorId.empty()
+                                            ? attestorFor(oldServer)
+                                            : ctx.attestorId;
+        ctx.serverId = rec->serverId;
+        ctx.attestorId = attestorFor(rec->serverId);
+
         AttestForward fwd;
         fwd.requestId = attestId;
         fwd.vid = vid;
@@ -801,13 +1023,12 @@ CloudController::retargetPeriodicAttestations(const std::string &vid,
         fwd.mode = AttestMode::RuntimePeriodic;
         fwd.period = ctx.period;
         endpoint.sendSecure(
-            attestorFor(rec->serverId),
+            ctx.attestorId,
             proto::packMessage(MessageKind::AttestForward, fwd.encode()));
 
         // When the cluster changed, the old attestor still runs the
         // stale task: stop it explicitly.
-        const std::string &oldAttestor = attestorFor(oldServer);
-        if (oldAttestor != attestorFor(rec->serverId)) {
+        if (oldAttestor != ctx.attestorId) {
             AttestForward stop = fwd;
             stop.serverId = oldServer;
             stop.mode = AttestMode::StopPeriodic;

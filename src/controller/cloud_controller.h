@@ -22,10 +22,12 @@
 #define MONATT_CONTROLLER_CLOUD_CONTROLLER_H
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "controller/database.h"
@@ -72,8 +74,17 @@ struct CloudControllerConfig
     std::string id = "cloud-controller";
     std::string attestationServerId = "attestation-server";
     proto::TimingModel timing;
+    proto::ReliabilityModel reliability;
     std::size_t identityKeyBits = 512;
     int maxLaunchAttempts = 3;
+
+    /**
+     * Every Attestation Server in the cloud, in failover preference
+     * order. When an AS exhausts its forward-retry budget the request
+     * fails over to the next non-suspect AS here. Empty = just
+     * attestationServerId (no failover possible).
+     */
+    std::vector<std::string> attestorIds;
 
     /**
      * §5.2 #2: after suspending a VM the controller "can initiate
@@ -111,6 +122,10 @@ struct ControllerStats
     std::uint64_t reportsRelayed = 0;
     std::uint64_t reportVerificationFailures = 0;
     std::uint64_t responsesTriggered = 0;
+    std::uint64_t forwardRetries = 0;       //!< AttestForward resends.
+    std::uint64_t failovers = 0;            //!< Requests moved to another AS.
+    std::uint64_t attestationsUnreachable = 0; //!< Terminal give-ups.
+    std::uint64_t duplicateAttestRequests = 0; //!< Dedup'd customer sends.
 };
 
 /** The Cloud Controller entity. */
@@ -180,6 +195,20 @@ class CloudController
         SimTime period = 0;
         SimTime forwardedAt = 0;
         bool periodic = false;
+        std::string serverId;   //!< Server the forward targeted.
+        std::string attestorId; //!< AS currently responsible.
+        int retries = 0;
+        int failovers = 0;
+        bool acked = false;          //!< A verified report arrived.
+        sim::EventId retryTimer = 0; //!< 0 = none pending.
+    };
+
+    /** Per-AS responsiveness tracking (suspects are skipped for
+     * failover targets until they answer again). */
+    struct AsHealth
+    {
+        int strikes = 0;
+        bool suspect = false;
     };
 
     struct PendingLaunch
@@ -201,6 +230,37 @@ class CloudController
     void runSchedulingStage(const std::string &vid);
     void startSpawn(const std::string &vid);
     void startStartupAttestation(const std::string &vid);
+
+    /** (Re)send the AttestForward of an outstanding attestation to its
+     * current attestor, rebuilt from the stored context (same nonce2,
+     * so a late reply to any copy verifies). */
+    void transmitForward(std::uint64_t attestId);
+
+    /** Arm the forward retransmission timer. */
+    void scheduleForwardRetry(std::uint64_t attestId);
+
+    /** Timer body: retry, fail over, or give up. */
+    void forwardRetryFired(std::uint64_t attestId);
+
+    /** Terminal give-up: deliver a definitive non-verdict. */
+    void giveUpAttestation(std::uint64_t attestId);
+
+    /** Send (and cache) an AttestFailure to a customer. */
+    void sendAttestFailure(const net::NodeId &customer,
+                           std::uint64_t requestId,
+                           const std::string &vid,
+                           proto::FailureOutcome outcome,
+                           const std::string &reason);
+
+    /** All Attestation Servers this controller may use. */
+    std::vector<std::string> knownAttestors() const;
+
+    /** True when `node` is one of the cloud's Attestation Servers. */
+    bool isKnownAttestor(const net::NodeId &node) const;
+
+    /** Next failover target: first non-suspect AS != `current` (any
+     * AS != current when all are suspect); empty when none exists. */
+    std::string alternativeAttestor(const std::string &current) const;
     void finishLaunch(const std::string &vid, bool ok,
                       const std::string &error);
     void rescheduleLaunch(const std::string &vid,
@@ -275,9 +335,29 @@ class CloudController
     {
         proto::ReportToCustomer out;
         net::NodeId customer;
+        bool cacheable = false; //!< One-time request: cache the relay.
     };
     std::vector<PendingRelay> relayQueue;
     bool relayFlushScheduled = false;
+
+    /** AS responsiveness, keyed by attestor id. */
+    std::map<std::string, AsHealth> asHealth;
+
+    /**
+     * Receive-side dedup for customer AttestRequests, keyed by
+     * (customer, customer request id): in-flight requests swallow
+     * retransmissions; completed ones are answered by re-sending the
+     * cached packed reply (ReportToCustomer or AttestFailure) without
+     * re-signing. Bounded FIFO.
+     */
+    using CustomerKey = std::pair<net::NodeId, std::uint64_t>;
+    std::set<CustomerKey> customerInFlight;
+    std::map<CustomerKey, Bytes> relayCache;
+    std::deque<CustomerKey> relayOrder;
+    static constexpr std::size_t kRelayCacheSize = 128;
+
+    /** Cache a packed customer reply and clear its in-flight mark. */
+    void rememberRelay(const CustomerKey &key, Bytes packed);
 
     std::uint64_t nextVmNumber = 1;
     std::uint64_t nextAttestId = 1;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/logging.h"
 #include "crypto/sha256.h"
 #include "server/catalog.h"
 #include "sim/worker_pool.h"
@@ -96,6 +97,7 @@ Cloud::Cloud(CloudConfig config)
         if (i > 0)
             asCfg.id = asIds[static_cast<std::size_t>(i)];
         asCfg.timing = cfg.timing;
+        asCfg.reliability = cfg.reliability;
         asCfg.identityKeyBits = cfg.identityKeyBits;
         asCfg.enableVerificationCaches = cfg.enableAttestationCaches;
         asCfg.batchWindow = cfg.cryptoBatchWindow;
@@ -110,6 +112,8 @@ Cloud::Cloud(CloudConfig config)
 
     controller::CloudControllerConfig ccCfg;
     ccCfg.timing = cfg.timing;
+    ccCfg.reliability = cfg.reliability;
+    ccCfg.attestorIds = asIds;
     ccCfg.identityKeyBits = cfg.identityKeyBits;
     ccCfg.batchWindow = cfg.cryptoBatchWindow;
     ccCfg.presetIdentityKeys = std::move(ccKeys);
@@ -148,6 +152,8 @@ Cloud::Cloud(CloudConfig config)
         scfg.hypervisorCode = cfg.hypervisorCode;
         scfg.hostOsCode = cfg.hostOsCode;
         scfg.timing = cfg.timing;
+        scfg.reliability = cfg.reliability;
+        scfg.attestorIds.insert(asIds.begin(), asIds.end());
         scfg.identityKeyBits = cfg.identityKeyBits;
         scfg.aikBits = cfg.aikBits;
         scfg.intrusivePause = cfg.serverIntrusivePause;
@@ -170,10 +176,13 @@ Cloud::Cloud(CloudConfig config)
         record.totalDiskGb = scfg.totalDiskGb;
         cc->database().addServer(std::move(record));
 
+        // Every AS gets every server's reference data: under failover
+        // any attestor may be asked to appraise any server.
         attestation::ServerReference ref;
         ref.expectedPlatformDigest =
             expectedPlatformDigest(cfg.hypervisorCode, cfg.hostOsCode);
-        clusterAs.setServerReference(srv->id(), ref);
+        for (auto &as : attestors)
+            as->setServerReference(srv->id(), ref);
         cc->assignAttestationCluster(srv->id(), clusterAs.id());
 
         srv->boot();
@@ -186,7 +195,7 @@ Cloud::addCustomer(const std::string &id)
 {
     auto customer = std::make_unique<Customer>(
         eventQueue, fabric, keyDirectory, id, cc->id(),
-        cfg.seed + 10000 + customers.size());
+        cfg.seed + 10000 + customers.size(), cfg.reliability);
     keyDirectory.publish(id, customer->identityPublic());
     customers.push_back(std::move(customer));
     return *customers.back();
@@ -216,6 +225,49 @@ Cloud::serverHosting(const std::string &vid)
             return srv.get();
     }
     return nullptr;
+}
+
+void
+Cloud::installFaultPlan(const sim::FaultPlanConfig &planConfig)
+{
+    plan = std::make_unique<sim::FaultPlan>(planConfig);
+    fabric.setFaultPlan(plan.get());
+    plan->installCrashSchedule(
+        eventQueue,
+        [this](const std::string &node) { crashNode(node); },
+        [this](const std::string &node) { restartNode(node); });
+}
+
+void
+Cloud::crashNode(const std::string &node)
+{
+    if (server::CloudServer *srv = serverById(node)) {
+        srv->crash();
+        return;
+    }
+    for (auto &as : attestors) {
+        if (as->id() == node) {
+            as->crash();
+            return;
+        }
+    }
+    MONATT_LOG(Warn, "cloud") << "crash scheduled for unknown node "
+                              << node;
+}
+
+void
+Cloud::restartNode(const std::string &node)
+{
+    if (server::CloudServer *srv = serverById(node)) {
+        srv->restart();
+        return;
+    }
+    for (auto &as : attestors) {
+        if (as->id() == node) {
+            as->restart();
+            return;
+        }
+    }
 }
 
 void
@@ -282,6 +334,40 @@ Cloud::launchVmWithImage(
     return Result<std::string>::ok(outcome->vid);
 }
 
+namespace
+{
+
+/** True once a request left the Pending state. */
+bool
+attestSettled(const Customer &customer, std::uint64_t requestId)
+{
+    return customer.outcomeFor(requestId).state !=
+           AttestationOutcome::Pending;
+}
+
+/** Map a settled request to the blocking-helper result. */
+Result<VerifiedReport>
+attestResult(const Customer &customer, std::uint64_t requestId)
+{
+    const auto reports = customer.reportsFor(requestId);
+    if (!reports.empty())
+        return Result<VerifiedReport>::ok(*reports.front());
+    const AttestOutcomeRecord rec = customer.outcomeFor(requestId);
+    switch (rec.state) {
+      case AttestationOutcome::Pending:
+        return Result<VerifiedReport>::error("attestation timed out");
+      case AttestationOutcome::Unreachable:
+        return Result<VerifiedReport>::error(
+            rec.reason.empty() ? "attestation service unreachable"
+                               : rec.reason);
+      default:
+        return Result<VerifiedReport>::error(
+            rec.reason.empty() ? "attestation failed" : rec.reason);
+    }
+}
+
+} // namespace
+
 Result<VerifiedReport>
 Cloud::attestOnce(Customer &customer, const std::string &vid,
                   const std::vector<proto::SecurityProperty> &properties,
@@ -289,12 +375,8 @@ Cloud::attestOnce(Customer &customer, const std::string &vid,
 {
     const std::uint64_t requestId =
         customer.runtimeAttestCurrent(vid, properties);
-    const bool done = runUntil(
-        [&] { return !customer.reportsFor(requestId).empty(); }, timeout);
-    if (!done)
-        return Result<VerifiedReport>::error("attestation timed out");
-    return Result<VerifiedReport>::ok(
-        *customer.reportsFor(requestId).front());
+    runUntil([&] { return attestSettled(customer, requestId); }, timeout);
+    return attestResult(customer, requestId);
 }
 
 std::vector<Result<VerifiedReport>>
@@ -314,7 +396,7 @@ Cloud::attestMany(Customer &customer,
     runUntil(
         [&] {
             for (std::uint64_t id : requestIds) {
-                if (customer.reportsFor(id).empty())
+                if (!attestSettled(customer, id))
                     return false;
             }
             return true;
@@ -323,16 +405,8 @@ Cloud::attestMany(Customer &customer,
 
     std::vector<Result<VerifiedReport>> results;
     results.reserve(vids.size());
-    for (std::uint64_t id : requestIds) {
-        const auto reports = customer.reportsFor(id);
-        if (reports.empty()) {
-            results.push_back(
-                Result<VerifiedReport>::error("attestation timed out"));
-        } else {
-            results.push_back(
-                Result<VerifiedReport>::ok(*reports.front()));
-        }
-    }
+    for (std::uint64_t id : requestIds)
+        results.push_back(attestResult(customer, id));
     return results;
 }
 

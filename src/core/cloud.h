@@ -33,6 +33,7 @@
 #include "net/secure_endpoint.h"
 #include "server/cloud_server.h"
 #include "sim/event_queue.h"
+#include "sim/fault_plan.h"
 
 namespace monatt::core
 {
@@ -93,6 +94,15 @@ struct CloudConfig
      * only on simulated time, never on the host thread count.
      */
     SimTime cryptoBatchWindow = 0;
+
+    /**
+     * End-to-end reliability layer: retransmission timers, receive-side
+     * dedup, AS failover, terminal verdicts. On by default in the full
+     * deployment; fault-free runs are unperturbed because every timer
+     * is schedule-then-cancel (see proto::ReliabilityModel).
+     */
+    proto::ReliabilityModel reliability =
+        proto::ReliabilityModel::enabledDefaults();
 };
 
 /** The deployment. */
@@ -133,6 +143,25 @@ class Cloud
     net::Network &network() { return fabric; }
     net::KeyDirectory &directory() { return keyDirectory; }
     const CloudConfig &config() const { return cfg; }
+
+    // --- Fault injection -----------------------------------------------
+
+    /**
+     * Install a deterministic fault plan on the fabric and schedule
+     * its crash/restart events (CloudServer and AttestationServer ids
+     * resolve to real teardown/rejoin; other ids are ignored). Call
+     * before driving the simulation. Passing a default-constructed
+     * config effectively disables fault injection.
+     */
+    void installFaultPlan(const sim::FaultPlanConfig &planConfig);
+
+    /** The installed plan (nullptr when none). */
+    const sim::FaultPlan *faultPlan() const { return plan.get(); }
+
+    /** Crash / restart one node by id (used by the crash schedule;
+     * public so tests can script outages directly). */
+    void crashNode(const std::string &node);
+    void restartNode(const std::string &node);
 
     // --- Simulation driving --------------------------------------------
 
@@ -200,6 +229,7 @@ class Cloud
     std::unique_ptr<controller::CloudController> cc;
     std::vector<std::unique_ptr<server::CloudServer>> servers;
     std::vector<std::unique_ptr<Customer>> customers;
+    std::unique_ptr<sim::FaultPlan> plan;
 };
 
 /** Expected PCR value after one extend of `code` over a zero PCR. */

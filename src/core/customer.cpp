@@ -37,16 +37,21 @@ endpointSeed(const std::string &id, std::uint64_t seed)
 
 Customer::Customer(sim::EventQueue &eq, net::Network &network,
                    net::KeyDirectory &directory, std::string id,
-                   std::string controllerId, std::uint64_t seed)
+                   std::string controllerId, std::uint64_t seed,
+                   proto::ReliabilityModel reliabilityModel)
     : events(eq), self(std::move(id)), controller(std::move(controllerId)),
       keys(makeKeys(self, seed)), dir(directory),
       endpoint(network, self, keys, directory, endpointSeed(self, seed)),
-      nonceDrbg(toBytes("customer-nonces:" + self))
+      nonceDrbg(toBytes("customer-nonces:" + self)),
+      reliability(reliabilityModel)
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         if (from == controller)
             handleMessage(from, msg);
     });
+    endpoint.setReliability(net::EndpointReliability{
+        reliability.enabled, reliability.handshakeRto,
+        reliability.handshakeRetryLimit});
 }
 
 std::uint64_t
@@ -87,17 +92,73 @@ Customer::sendAttest(const std::string &vid,
     req.mode = mode;
     req.period = period;
 
+    Bytes packed = proto::packMessage(MessageKind::AttestRequest,
+                                      req.encode());
+
     PendingAttest pending;
     pending.vid = vid;
     pending.nonce1 = req.nonce1;
     pending.properties = std::move(props);
     pending.periodic = mode == AttestMode::RuntimePeriodic;
+    pending.packed = packed;
     pendingAttests[requestId] = std::move(pending);
+    outcomes[requestId] = AttestOutcomeRecord{};
 
-    endpoint.sendSecure(controller,
-                        proto::packMessage(MessageKind::AttestRequest,
-                                           req.encode()));
+    endpoint.sendSecure(controller, std::move(packed));
+
+    // Only one-shot requests retransmit: a periodic stream is kept
+    // alive by its own reports, and StopPeriodic is idempotent
+    // fire-and-forget with no reply to wait for.
+    const bool oneShot = mode == AttestMode::StartupOneTime ||
+                         mode == AttestMode::RuntimeOneTime;
+    if (reliability.enabled && oneShot)
+        scheduleRequestRetry(requestId);
     return requestId;
+}
+
+void
+Customer::scheduleRequestRetry(std::uint64_t requestId)
+{
+    const auto it = pendingAttests.find(requestId);
+    if (it == pendingAttests.end())
+        return;
+    PendingAttest &pending = it->second;
+    const SimTime delay =
+        reliability.backoff(reliability.customerRto, pending.retries);
+    pending.retryTimer = events.scheduleAfter(
+        delay, [this, requestId] { requestRetryFired(requestId); },
+        "customer.attest.retry");
+}
+
+void
+Customer::requestRetryFired(std::uint64_t requestId)
+{
+    const auto it = pendingAttests.find(requestId);
+    if (it == pendingAttests.end())
+        return;
+    PendingAttest &pending = it->second;
+    pending.retryTimer = 0;
+    if (pending.retries < reliability.customerRetryLimit) {
+        ++pending.retries;
+        ++counters.requestRetries;
+        // Identical plaintext; the controller dedups on (customer,
+        // request id), so at most one protocol run is triggered.
+        endpoint.sendSecure(controller, Bytes(pending.packed));
+        scheduleRequestRetry(requestId);
+        return;
+    }
+    ++counters.requestsUnreachable;
+    outcomes[requestId] =
+        AttestOutcomeRecord{AttestationOutcome::Unreachable,
+                            "no response from cloud controller"};
+    MONATT_LOG(Warn, "customer")
+        << self << ": attestation request " << requestId
+        << " unreachable after " << pending.retries << " retries";
+    pendingAttests.erase(it);
+    // The controller may have crashed and restarted: force a fresh
+    // handshake before the next request instead of sealing under
+    // session keys it no longer holds.
+    endpoint.resetPeer(controller);
 }
 
 std::uint64_t
@@ -169,6 +230,13 @@ Customer::lastReportFor(const std::string &vid) const
                                        : &verifiedReports[it->second];
 }
 
+AttestOutcomeRecord
+Customer::outcomeFor(std::uint64_t requestId) const
+{
+    const auto it = outcomes.find(requestId);
+    return it == outcomes.end() ? AttestOutcomeRecord{} : it->second;
+}
+
 void
 Customer::handleMessage(const net::NodeId &from, const Bytes &plaintext)
 {
@@ -184,9 +252,44 @@ Customer::handleMessage(const net::NodeId &from, const Bytes &plaintext)
       case MessageKind::ReportToCustomer:
         onReportToCustomer(body);
         break;
+      case MessageKind::AttestFailure:
+        onAttestFailure(body);
+        break;
       default:
         break;
     }
+}
+
+void
+Customer::onAttestFailure(const Bytes &body)
+{
+    // Authenticated by the secure channel: handleMessage only accepts
+    // traffic from the controller. A failure is a definitive verdict,
+    // never a verified health statement.
+    auto failR = proto::AttestFailure::decode(body);
+    if (!failR)
+        return;
+    const proto::AttestFailure fail = failR.take();
+    const auto it = pendingAttests.find(fail.requestId);
+    if (it == pendingAttests.end())
+        return; // Already terminal (late duplicate).
+    if (it->second.retryTimer != 0)
+        events.cancel(it->second.retryTimer);
+    pendingAttests.erase(it);
+
+    const bool unreachable =
+        fail.outcome == proto::FailureOutcome::Unreachable;
+    if (unreachable)
+        ++counters.requestsUnreachable;
+    else
+        ++counters.requestsFailed;
+    outcomes[fail.requestId] = AttestOutcomeRecord{
+        unreachable ? AttestationOutcome::Unreachable
+                    : AttestationOutcome::Failed,
+        fail.reason};
+    MONATT_LOG(Warn, "customer")
+        << self << ": attestation " << fail.requestId
+        << " failed: " << fail.reason;
 }
 
 void
@@ -254,6 +357,18 @@ Customer::onReportToCustomer(const Bytes &body)
     verified.receivedAt = events.now();
     verifiedReports.push_back(std::move(verified));
     lastReportIndex[msg.vid] = verifiedReports.size() - 1;
+
+    if (it->second.retryTimer != 0) {
+        events.cancel(it->second.retryTimer);
+        it->second.retryTimer = 0;
+    }
+    bool degraded = false;
+    for (const proto::PropertyResult &pr : msg.report.results)
+        degraded |= pr.status == proto::HealthStatus::Unknown;
+    outcomes[msg.requestId] = AttestOutcomeRecord{
+        degraded ? AttestationOutcome::Degraded
+                 : AttestationOutcome::Verified,
+        {}};
 
     if (!pending.periodic)
         pendingAttests.erase(it);

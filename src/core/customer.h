@@ -29,10 +29,34 @@
 
 #include "net/secure_endpoint.h"
 #include "proto/messages.h"
+#include "proto/timing_model.h"
 #include "sim/event_queue.h"
 
 namespace monatt::core
 {
+
+/**
+ * Terminal state of one attestation request. Every request reaches a
+ * definitive state: a verified report (Verified/Degraded), an explicit
+ * controller failure (Failed/Unreachable), or a local retransmission
+ * give-up (Unreachable). Nothing hangs in Pending forever while the
+ * reliability layer is enabled.
+ */
+enum class AttestationOutcome : std::uint8_t
+{
+    Pending = 0,     //!< Still in flight (or reliability disabled).
+    Verified = 1,    //!< Report arrived and verified end to end.
+    Degraded = 2,    //!< Verified, but some property came back Unknown.
+    Unreachable = 3, //!< Service did not answer within the budget.
+    Failed = 4,      //!< Controller refused (unknown VM, not placed...).
+};
+
+/** Outcome plus the human-readable reason for terminal failures. */
+struct AttestOutcomeRecord
+{
+    AttestationOutcome state = AttestationOutcome::Pending;
+    std::string reason;
+};
 
 /** A report that passed end-to-end verification. */
 struct VerifiedReport
@@ -57,6 +81,9 @@ struct CustomerStats
 {
     std::uint64_t reportsVerified = 0;
     std::uint64_t reportsRejected = 0;
+    std::uint64_t requestRetries = 0;       //!< AttestRequest resends.
+    std::uint64_t requestsUnreachable = 0;  //!< Gave up waiting.
+    std::uint64_t requestsFailed = 0;       //!< Controller said no.
 };
 
 /** The customer entity. */
@@ -65,7 +92,8 @@ class Customer
   public:
     Customer(sim::EventQueue &eq, net::Network &network,
              net::KeyDirectory &directory, std::string id,
-             std::string controllerId, std::uint64_t seed);
+             std::string controllerId, std::uint64_t seed,
+             proto::ReliabilityModel reliabilityModel = {});
 
     const std::string &id() const { return self; }
 
@@ -124,6 +152,9 @@ class Customer
     /** Most recent verified report for a VM; nullptr when none. */
     const VerifiedReport *lastReportFor(const std::string &vid) const;
 
+    /** Terminal (or Pending) outcome of an attestation request. */
+    AttestOutcomeRecord outcomeFor(std::uint64_t requestId) const;
+
     const CustomerStats &stats() const { return counters; }
 
   private:
@@ -133,14 +164,22 @@ class Customer
         Bytes nonce1;
         std::vector<proto::SecurityProperty> properties;
         bool periodic = false;
+        Bytes packed;                //!< For identical retransmission.
+        int retries = 0;
+        sim::EventId retryTimer = 0; //!< 0 = none pending.
     };
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
     void onLaunchResponse(const Bytes &body);
     void onReportToCustomer(const Bytes &body);
+    void onAttestFailure(const Bytes &body);
     std::uint64_t sendAttest(const std::string &vid,
                              std::vector<proto::SecurityProperty> props,
                              proto::AttestMode mode, SimTime period);
+
+    /** Arm the request retransmission timer. */
+    void scheduleRequestRetry(std::uint64_t requestId);
+    void requestRetryFired(std::uint64_t requestId);
 
     /** Compiled controller key, rebuilt if the directory rotates it. */
     const crypto::RsaPublicContext &controllerContext(
@@ -155,8 +194,10 @@ class Customer
     crypto::HmacDrbg nonceDrbg;
     std::optional<crypto::RsaPublicContext> ccCtx;
 
+    proto::ReliabilityModel reliability;
     std::map<std::uint64_t, LaunchOutcome> launches;
     std::map<std::uint64_t, PendingAttest> pendingAttests;
+    std::map<std::uint64_t, AttestOutcomeRecord> outcomes;
     std::vector<VerifiedReport> verifiedReports;
     std::map<std::string, std::size_t> lastReportIndex;
 

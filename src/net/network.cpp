@@ -62,7 +62,35 @@ Network::send(Envelope env)
             ++counters.modifiedByAdversary;
         env = std::move(*verdict);
     }
-    deliver(std::move(env));
+
+    SimTime extraDelay = 0;
+    if (faults) {
+        const sim::FaultDecision d = faults->decide(
+            env.src, env.dst, env.channel, env.seq, events.now());
+        if (d.partitioned) {
+            ++counters.partitioned;
+            MONATT_LOG(Debug, "net")
+                << "partition ate " << env.channel << " " << env.src
+                << "->" << env.dst;
+            return;
+        }
+        if (d.drop) {
+            ++counters.droppedByFault;
+            MONATT_LOG(Debug, "net")
+                << "fault dropped " << env.channel << " " << env.src
+                << "->" << env.dst;
+            return;
+        }
+        if (d.extraDelay > 0) {
+            ++counters.delayedByFault;
+            extraDelay = d.extraDelay;
+        }
+        for (int i = 0; i < d.duplicates; ++i) {
+            ++counters.duplicated;
+            deliver(env, extraDelay);
+        }
+    }
+    deliver(std::move(env), extraDelay);
 }
 
 void
@@ -73,9 +101,10 @@ Network::inject(Envelope env)
 }
 
 void
-Network::deliver(Envelope env)
+Network::deliver(Envelope env, SimTime extraDelay)
 {
-    const SimTime delay = transferTime(env.src, env.dst, env.wireSize());
+    const SimTime delay =
+        transferTime(env.src, env.dst, env.wireSize()) + extraDelay;
     events.scheduleAfter(delay, [this, env = std::move(env)]() {
         const auto it = nodes.find(env.dst);
         if (it == nodes.end()) {

@@ -23,6 +23,7 @@
 #include "common/time_types.h"
 #include "net/message.h"
 #include "sim/event_queue.h"
+#include "sim/fault_plan.h"
 
 namespace monatt::net
 {
@@ -44,6 +45,12 @@ struct NetworkStats
     std::uint64_t injected = 0;
     std::uint64_t undeliverable = 0;
     std::uint64_t bytesSent = 0;
+
+    // Fault-plan effects (distinct from the adversary counters).
+    std::uint64_t droppedByFault = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t delayedByFault = 0;
+    std::uint64_t partitioned = 0;
 };
 
 /**
@@ -95,6 +102,15 @@ class Network
     /** Install or clear (nullptr) the wire adversary. */
     void setAdversary(AdversaryHook hook) { adversary = std::move(hook); }
 
+    /**
+     * Install or clear (nullptr) a deterministic fault plan. The plan
+     * composes with the adversary: the adversary hook sees datagrams
+     * first (it models an attacker at the sender's switch), then the
+     * fault plan decides loss/partition/delay/duplication. Not owned;
+     * must outlive the network or be cleared first.
+     */
+    void setFaultPlan(const sim::FaultPlan *plan) { faults = plan; }
+
     /** Serialization+propagation delay for a datagram of `bytes`. */
     SimTime transferTime(const NodeId &a, const NodeId &b,
                          std::size_t bytes) const;
@@ -104,7 +120,7 @@ class Network
     sim::EventQueue &eventQueue() { return events; }
 
   private:
-    void deliver(Envelope env);
+    void deliver(Envelope env, SimTime extraDelay = 0);
     const LinkParams &linkBetween(const NodeId &a, const NodeId &b) const;
 
     sim::EventQueue &events;
@@ -112,6 +128,7 @@ class Network
     std::map<std::pair<NodeId, NodeId>, LinkParams> links;
     LinkParams defaultLink;
     AdversaryHook adversary;
+    const sim::FaultPlan *faults = nullptr;
     NetworkStats counters;
 };
 

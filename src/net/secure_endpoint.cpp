@@ -48,7 +48,52 @@ SecureEndpoint::SecureEndpoint(Network &network, NodeId id,
 
 SecureEndpoint::~SecureEndpoint()
 {
+    if (isAttached)
+        net.unregisterNode(self);
+}
+
+void
+SecureEndpoint::detach()
+{
+    if (!isAttached)
+        return;
     net.unregisterNode(self);
+    isAttached = false;
+    for (auto &[peer, oc] : outbound) {
+        if (oc.retryTimer != 0)
+            net.eventQueue().cancel(oc.retryTimer);
+    }
+    // Crash semantics: every session secret and queued plaintext is
+    // volatile and dies with the process. Identity keys (disk) and
+    // compiled peer public keys (public data) survive.
+    outbound.clear();
+    inbound.clear();
+}
+
+void
+SecureEndpoint::resetPeer(const NodeId &peer)
+{
+    const auto it = outbound.find(peer);
+    if (it == outbound.end())
+        return;
+    if (it->second.state == OutboundChannel::State::Handshaking) {
+        failOutbound(peer);
+        return;
+    }
+    if (it->second.retryTimer != 0)
+        net.eventQueue().cancel(it->second.retryTimer);
+    outbound.erase(it);
+}
+
+void
+SecureEndpoint::attach()
+{
+    if (isAttached)
+        return;
+    isAttached = true;
+    net.registerNode(self, [this](const Envelope &env) {
+        handleDatagram(env);
+    });
 }
 
 const crypto::RsaPublicContext &
@@ -99,8 +144,11 @@ SecureEndpoint::sendSecure(const NodeId &peer, Bytes plaintext,
             self, peer, keys, serverKey.value(), drbg, &ownCtx,
             &peerContext(peer, serverKey.value()));
         oc.queue.emplace_back(std::move(plaintext), bulkBytes);
-        Bytes hello = oc.handshake->helloMessage();
-        outbound.emplace(peer, std::move(oc));
+        oc.helloBytes = oc.handshake->helloMessage();
+        Bytes hello = oc.helloBytes;
+        auto &slot = outbound.emplace(peer, std::move(oc)).first->second;
+        if (reliability.enabled)
+            scheduleHelloRetry(peer, slot);
         transmit(peer, kHelloTag, std::move(hello), 0);
         return;
     }
@@ -143,6 +191,17 @@ SecureEndpoint::handleDatagram(const Envelope &env)
 void
 SecureEndpoint::handleHello(const Envelope &env)
 {
+    // Idempotent accept: a duplicated or retransmitted hello must not
+    // replace the channel it already produced (that would invalidate
+    // records sealed under the first accept) nor draw fresh DRBG
+    // output. Retransmit the cached accept instead.
+    const auto known = inbound.find(env.src);
+    if (known != inbound.end() && known->second.lastHello == env.payload) {
+        transmit(env.src, kAcceptTag, Bytes(known->second.cachedAccept),
+                 0);
+        return;
+    }
+
     auto clientKey = dir.lookup(env.src);
     if (!clientKey) {
         ++counters.rejectedHandshakes;
@@ -161,7 +220,11 @@ SecureEndpoint::handleHello(const Envelope &env)
     // The envelope src header is attacker-controlled, but accept()
     // verified the hello's signature against env.src's published key,
     // so a forged src would have failed verification above.
-    inbound[env.src] = std::move(accepted.value().channel);
+    InboundChannel ic;
+    ic.channel = std::move(accepted.value().channel);
+    ic.lastHello = env.payload;
+    ic.cachedAccept = accepted.value().reply;
+    inbound[env.src] = std::move(ic);
     transmit(env.src, kAcceptTag, std::move(accepted.value().reply), 0);
 }
 
@@ -181,10 +244,34 @@ SecureEndpoint::handleAccept(const Envelope &env)
         MONATT_LOG(Warn, "endpoint")
             << self << ": handshake with " << env.src
             << " failed: " << channel.errorMessage();
-        // Drop the channel attempt; queued messages are lost, callers
-        // relying on replies will observe a timeout.
-        outbound.erase(it);
+        // A corrupted accept consumed the handshake state: re-initiate
+        // from scratch (fresh hello) instead of silently discarding
+        // the queued plaintexts, up to the retry budget.
+        if (reliability.enabled &&
+            oc.attempts < reliability.handshakeRetryLimit) {
+            if (oc.retryTimer != 0) {
+                net.eventQueue().cancel(oc.retryTimer);
+                oc.retryTimer = 0;
+            }
+            ++oc.attempts;
+            ++counters.handshakeRetries;
+            auto serverKey = dir.lookup(env.src);
+            if (serverKey) {
+                oc.handshake = std::make_unique<ClientHandshake>(
+                    self, env.src, keys, serverKey.value(), drbg,
+                    &ownCtx, &peerContext(env.src, serverKey.value()));
+                oc.helloBytes = oc.handshake->helloMessage();
+                scheduleHelloRetry(env.src, oc);
+                transmit(env.src, kHelloTag, Bytes(oc.helloBytes), 0);
+                return;
+            }
+        }
+        failOutbound(env.src);
         return;
+    }
+    if (oc.retryTimer != 0) {
+        net.eventQueue().cancel(oc.retryTimer);
+        oc.retryTimer = 0;
     }
     oc.channel = channel.take();
     oc.handshake.reset();
@@ -197,13 +284,67 @@ SecureEndpoint::handleAccept(const Envelope &env)
 }
 
 void
+SecureEndpoint::scheduleHelloRetry(const NodeId &peer, OutboundChannel &oc)
+{
+    const int shift = oc.attempts < 6 ? oc.attempts : 6;
+    const SimTime delay = reliability.handshakeRto << shift;
+    oc.retryTimer = net.eventQueue().scheduleAfter(
+        delay, [this, peer] { helloRetryFired(peer); },
+        "endpoint.helloRetry");
+}
+
+void
+SecureEndpoint::helloRetryFired(const NodeId &peer)
+{
+    const auto it = outbound.find(peer);
+    if (it == outbound.end() ||
+        it->second.state != OutboundChannel::State::Handshaking)
+        return;
+    OutboundChannel &oc = it->second;
+    oc.retryTimer = 0;
+    if (oc.attempts >= reliability.handshakeRetryLimit) {
+        failOutbound(peer);
+        return;
+    }
+    ++oc.attempts;
+    ++counters.handshakeRetries;
+    // Identical retransmission of the cached hello: no DRBG draws, so
+    // the responder's dedup cache recognizes it and replays the same
+    // accept.
+    scheduleHelloRetry(peer, oc);
+    transmit(peer, kHelloTag, Bytes(oc.helloBytes), 0);
+}
+
+void
+SecureEndpoint::failOutbound(const NodeId &peer)
+{
+    const auto it = outbound.find(peer);
+    if (it == outbound.end())
+        return;
+    OutboundChannel &oc = it->second;
+    if (oc.retryTimer != 0) {
+        net.eventQueue().cancel(oc.retryTimer);
+        oc.retryTimer = 0;
+    }
+    const std::size_t lost = oc.queue.size();
+    ++counters.handshakeFailures;
+    counters.deliveryFailures += lost;
+    MONATT_LOG(Warn, "endpoint")
+        << self << ": handshake with " << peer << " abandoned, " << lost
+        << " queued message(s) undeliverable";
+    outbound.erase(it);
+    if (deliveryFailure_)
+        deliveryFailure_(peer, lost);
+}
+
+void
 SecureEndpoint::handleData(const Envelope &env, bool inboundChannel)
 {
     SecureChannel *channel = nullptr;
     if (inboundChannel) {
         auto it = inbound.find(env.src);
         if (it != inbound.end())
-            channel = &it->second;
+            channel = &it->second.channel;
     } else {
         auto it = outbound.find(env.src);
         if (it != outbound.end() &&

@@ -56,6 +56,23 @@ struct EndpointStats
     std::uint64_t received = 0;
     std::uint64_t rejectedRecords = 0;   //!< MAC/replay/decode failures.
     std::uint64_t rejectedHandshakes = 0;
+    std::uint64_t handshakeRetries = 0;  //!< Hello retransmissions.
+    std::uint64_t handshakeFailures = 0; //!< Budgets exhausted.
+    std::uint64_t deliveryFailures = 0;  //!< Plaintexts surfaced as lost.
+};
+
+/**
+ * Handshake reliability knobs. Disabled by default so a bare endpoint
+ * behaves exactly as before; entities enable it from the cloud-wide
+ * proto::ReliabilityModel. Retry timers are schedule-then-cancel: on a
+ * fault-free run every timer is cancelled before firing, so enabling
+ * this does not perturb deterministic runs.
+ */
+struct EndpointReliability
+{
+    bool enabled = false;
+    SimTime handshakeRto = msec(250);
+    int handshakeRetryLimit = 5;
 };
 
 /** An entity's secure network attachment. */
@@ -65,6 +82,10 @@ class SecureEndpoint
     /** Plaintext delivery: (peer id, message bytes). */
     using MessageHandler =
         std::function<void(const NodeId &, const Bytes &)>;
+
+    /** Delivery failure: (peer id, number of plaintexts lost). */
+    using DeliveryFailureHandler =
+        std::function<void(const NodeId &, std::size_t)>;
 
     /**
      * @param network The fabric to attach to.
@@ -87,6 +108,43 @@ class SecureEndpoint
     {
         handler_ = std::move(handler);
     }
+
+    /**
+     * Install a handler invoked when queued plaintexts are abandoned
+     * after the handshake retry budget is exhausted (previously they
+     * were silently discarded).
+     */
+    void onDeliveryFailure(DeliveryFailureHandler handler)
+    {
+        deliveryFailure_ = std::move(handler);
+    }
+
+    /** Configure handshake retransmission. */
+    void setReliability(EndpointReliability r) { reliability = r; }
+
+    /**
+     * Forget the outbound channel to `peer` so the next send
+     * re-handshakes from scratch. Entities call this when higher-level
+     * retry budgets point at a dead peer: a crashed-and-restarted peer
+     * loses its session keys, so records sealed under the old channel
+     * would be rejected forever. Queued plaintexts of an in-flight
+     * handshake are surfaced through the delivery-failure handler.
+     */
+    void resetPeer(const NodeId &peer);
+
+    /**
+     * Simulate a crash of this entity: unregister from the network and
+     * drop all volatile channel state (open channels, in-flight
+     * handshakes, queued plaintexts, handshake caches). Long-term
+     * identity keys survive — they live on disk.
+     */
+    void detach();
+
+    /** Rejoin the network after a crash (fresh channel state). */
+    void attach();
+
+    /** True while attached to the network. */
+    bool attached() const { return isAttached; }
 
     /**
      * Send `plaintext` to `peer` over a secure channel, establishing
@@ -116,6 +174,17 @@ class SecureEndpoint
         std::unique_ptr<ClientHandshake> handshake;
         SecureChannel channel;
         std::deque<std::pair<Bytes, std::uint64_t>> queue;
+        Bytes helloBytes;            //!< For identical retransmission.
+        int attempts = 0;            //!< Retries performed so far.
+        sim::EventId retryTimer = 0; //!< 0 = none pending.
+    };
+
+    /** A peer-initiated channel plus its handshake-dedup cache. */
+    struct InboundChannel
+    {
+        SecureChannel channel;
+        Bytes lastHello;    //!< Payload that produced this channel.
+        Bytes cachedAccept; //!< Reply to retransmit on duplicate hello.
     };
 
     void handleDatagram(const Envelope &env);
@@ -124,6 +193,15 @@ class SecureEndpoint
     void handleData(const Envelope &env, bool inbound);
     void transmit(const NodeId &peer, const std::string &channelTag,
                   Bytes payload, std::uint64_t bulkBytes);
+
+    /** Arm (or re-arm) the hello retransmission timer for `peer`. */
+    void scheduleHelloRetry(const NodeId &peer, OutboundChannel &oc);
+
+    /** Timer body: resend the cached hello or give up. */
+    void helloRetryFired(const NodeId &peer);
+
+    /** Exhausted budget: surface queued plaintexts as lost. */
+    void failOutbound(const NodeId &peer);
 
     /** Compiled peer identity key, built lazily and reused across
      * every handshake with that peer. */
@@ -139,6 +217,9 @@ class SecureEndpoint
     const KeyDirectory &dir;
     crypto::HmacDrbg drbg;
     MessageHandler handler_;
+    DeliveryFailureHandler deliveryFailure_;
+    EndpointReliability reliability;
+    bool isAttached = true;
 
     /** Per-peer compiled public keys. */
     std::map<NodeId, crypto::RsaPublicContext> peerContexts;
@@ -147,7 +228,7 @@ class SecureEndpoint
     std::map<NodeId, OutboundChannel> outbound;
 
     /** Channels peers initiated toward us, keyed by peer. */
-    std::map<NodeId, SecureChannel> inbound;
+    std::map<NodeId, InboundChannel> inbound;
 
     std::uint64_t seq = 0;
     EndpointStats counters;

@@ -531,6 +531,41 @@ CertResponse::decode(const Bytes &data)
 }
 
 Bytes
+AttestFailure::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putString(vid);
+    w.putU8(static_cast<std::uint8_t>(outcome));
+    w.putString(reason);
+    return w.take();
+}
+
+Result<AttestFailure>
+AttestFailure::decode(const Bytes &data)
+{
+    using R = Result<AttestFailure>;
+    ByteReader r(data);
+    auto id = r.getU64();
+    auto vid = r.getString();
+    auto outcome = r.getU8();
+    auto reason = r.getString();
+    if (!id || !vid || !outcome || !reason || !r.atEnd())
+        return R::error("AttestFailure: malformed");
+    if (outcome.value() !=
+            static_cast<std::uint8_t>(FailureOutcome::Unreachable) &&
+        outcome.value() !=
+            static_cast<std::uint8_t>(FailureOutcome::Failed))
+        return R::error("AttestFailure: bad outcome");
+    AttestFailure m;
+    m.requestId = id.value();
+    m.vid = vid.take();
+    m.outcome = static_cast<FailureOutcome>(outcome.value());
+    m.reason = reason.take();
+    return R::ok(std::move(m));
+}
+
+Bytes
 LaunchVm::encode() const
 {
     ByteWriter w;

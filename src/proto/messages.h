@@ -42,6 +42,7 @@ enum class MessageKind : std::uint8_t
     ReportToCustomer = 6,
     CertRequest = 7,
     CertResponse = 8,
+    AttestFailure = 9,
     LaunchVm = 20,
     LaunchVmAck = 21,
     TerminateVm = 22,
@@ -223,6 +224,30 @@ struct ReportToCustomer
 
     Bytes encode() const;
     static Result<ReportToCustomer> decode(const Bytes &data);
+};
+
+/** Terminal non-verdicts for an attestation request. */
+enum class FailureOutcome : std::uint8_t
+{
+    Unreachable = 1, //!< Retries/failover exhausted; no AS answered.
+    Failed = 2,      //!< The request was rejected (see reason).
+};
+
+/**
+ * Cloud Controller → Customer: the attestation cannot produce a
+ * report. Travels over the controller's authenticated channel, so the
+ * customer knows the verdict is the controller's and not forged —
+ * there is no quote chain to verify because no measurement happened.
+ */
+struct AttestFailure
+{
+    std::uint64_t requestId = 0;
+    std::string vid;
+    FailureOutcome outcome = FailureOutcome::Failed;
+    std::string reason;
+
+    Bytes encode() const;
+    static Result<AttestFailure> decode(const Bytes &data);
 };
 
 /** Cloud Server → privacy CA: certify a fresh AVKs. */

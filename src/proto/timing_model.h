@@ -23,6 +23,68 @@
 namespace monatt::proto
 {
 
+/**
+ * Protocol reliability knobs: per-hop retransmission timers with
+ * exponential backoff and bounded retry budgets, plus controller-side
+ * health tracking / failover. Retry timers are schedule-then-cancel:
+ * on the fault-free path every timer is cancelled before it fires, so
+ * (with the PR 2 event-queue semantics — cancelled events neither run
+ * nor advance the clock) enabling reliability does not perturb
+ * fault-free runs. RTOs therefore sit well above the worst-case
+ * fault-free round-trip of the hop they guard.
+ */
+struct ReliabilityModel
+{
+    /**
+     * Master switch for all protocol timers. Off by default so
+     * entities constructed standalone (unit fixtures, historic
+     * deployments) keep their exact legacy behavior; the full-stack
+     * Cloud opts in via enabledDefaults().
+     */
+    bool enabled = false;
+
+    // --- SecureEndpoint handshake ------------------------------------
+    SimTime handshakeRto = msec(250);
+    int handshakeRetryLimit = 5;
+
+    // --- Customer -> Controller (whole attestation) --------------------
+    SimTime customerRto = seconds(10);
+    int customerRetryLimit = 3;
+
+    // --- Controller -> Attestation Server (AttestForward) --------------
+    SimTime forwardRto = seconds(6);
+    int forwardRetryLimit = 2;
+
+    // --- Attestation Server -> Cloud Server (MeasureRequest) -----------
+    SimTime measureRto = seconds(4);
+    int measureRetryLimit = 2;
+
+    // --- Cloud Server -> privacy CA (CertRequest) ----------------------
+    SimTime certRto = seconds(2);
+    int certRetryLimit = 3;
+
+    // --- Controller health tracking / failover -------------------------
+    int failoverLimit = 1;    //!< Max AS switches per request.
+    int suspectThreshold = 2; //!< Timeouts before an AS is suspect.
+
+    /** Exponential backoff: rto << attempt, capped to avoid overflow. */
+    SimTime
+    backoff(SimTime rto, int attempt) const
+    {
+        const int shift = attempt < 6 ? attempt : 6;
+        return rto << shift;
+    }
+
+    /** The default knob set with the master switch on. */
+    static ReliabilityModel
+    enabledDefaults()
+    {
+        ReliabilityModel model;
+        model.enabled = true;
+        return model;
+    }
+};
+
 /** Simulated processing-cost model. */
 struct TimingModel
 {

@@ -67,6 +67,9 @@ CloudServer::CloudServer(sim::EventQueue &eq, net::Network &network,
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
     });
+    endpoint.setReliability(net::EndpointReliability{
+        cfg.reliability.enabled, cfg.reliability.handshakeRto,
+        cfg.reliability.handshakeRetryLimit});
 }
 
 void
@@ -153,11 +156,19 @@ CloudServer::handleMessage(const net::NodeId &from, const Bytes &plaintext)
     }
 }
 
+bool
+CloudServer::isAttestor(const net::NodeId &from) const
+{
+    if (cfg.attestorIds.empty())
+        return from == cfg.attestationServerId;
+    return cfg.attestorIds.count(from) != 0;
+}
+
 void
 CloudServer::onMeasureRequest(const net::NodeId &from, const Bytes &body)
 {
-    // Only the designated Attestation Server may request measurements.
-    if (from != cfg.attestationServerId) {
+    // Only an authorized Attestation Server may request measurements.
+    if (!isAttestor(from)) {
         MONATT_LOG(Warn, "server")
             << cfg.id << ": measurement request from non-AS " << from;
         return;
@@ -167,8 +178,24 @@ CloudServer::onMeasureRequest(const net::NodeId &from, const Bytes &body)
         return;
 
     const std::uint64_t id = req.value().requestId;
+
+    // Idempotent receive: a retransmitted request must not re-run the
+    // measurement or re-execute the quote. In flight -> the original
+    // response will answer it; already answered -> replay the cached
+    // signed response verbatim.
+    if (pending.count(id))
+        return;
+    const auto cached = responseCache.find(id);
+    if (cached != responseCache.end()) {
+        endpoint.sendSecure(from,
+                            packMessage(MessageKind::MeasureResponse,
+                                        Bytes(cached->second)));
+        return;
+    }
+
     PendingAttestation pa;
     pa.request = req.take();
+    pa.requester = from;
 
     // Reuse the cached AVK session when it has responses left: the
     // reservation happens now (credit consumed, session pinned) so
@@ -249,11 +276,63 @@ CloudServer::flushAikPrep()
         creq.avk = session.attestationKey.encode();
         creq.avkSignature = session.attestationKeySignature;
         certToRequest[pa.sessionLabel] = id;
-        endpoint.sendSecure(cfg.pcaId,
-                            packMessage(MessageKind::CertRequest,
-                                        creq.encode()));
+        pa.certRequestBytes =
+            packMessage(MessageKind::CertRequest, creq.encode());
+        endpoint.sendSecure(cfg.pcaId, Bytes(pa.certRequestBytes));
+        if (cfg.reliability.enabled)
+            scheduleCertRetry(id);
 
         collectMeasurements(id);
+    }
+}
+
+void
+CloudServer::scheduleCertRetry(std::uint64_t requestId)
+{
+    PendingAttestation &pa = pending.at(requestId);
+    const SimTime delay = cfg.reliability.backoff(
+        cfg.reliability.certRto, pa.certRetries);
+    pa.certTimer = events.scheduleAfter(delay, [this, requestId] {
+        auto it = pending.find(requestId);
+        if (it == pending.end() || it->second.haveCert)
+            return;
+        PendingAttestation &p = it->second;
+        p.certTimer = 0;
+        if (p.certRetries >= cfg.reliability.certRetryLimit) {
+            MONATT_LOG(Warn, "server")
+                << cfg.id << ": pCA unreachable, abandoning request "
+                << requestId;
+            certToRequest.erase(p.sessionLabel);
+            releaseSession(p.session);
+            pending.erase(it);
+            return;
+        }
+        ++p.certRetries;
+        // Identical retransmission: the pCA's dedup cache answers a
+        // duplicate with the already-issued certificate.
+        endpoint.sendSecure(cfg.pcaId, Bytes(p.certRequestBytes));
+        scheduleCertRetry(requestId);
+    }, "server.cert.retry");
+}
+
+void
+CloudServer::cancelCertTimer(PendingAttestation &pa)
+{
+    if (pa.certTimer != 0) {
+        events.cancel(pa.certTimer);
+        pa.certTimer = 0;
+    }
+}
+
+void
+CloudServer::rememberResponse(std::uint64_t requestId, Bytes encoded)
+{
+    if (responseCache.emplace(requestId, std::move(encoded)).second) {
+        responseOrder.push_back(requestId);
+        while (responseOrder.size() > kResponseCacheSize) {
+            responseCache.erase(responseOrder.front());
+            responseOrder.pop_front();
+        }
     }
 }
 
@@ -381,6 +460,7 @@ CloudServer::onCertResponse(const Bytes &body)
     auto it = pending.find(requestId);
     if (it == pending.end())
         return;
+    cancelCertTimer(it->second);
     if (!resp.value().ok) {
         MONATT_LOG(Warn, "server")
             << cfg.id << ": pCA refused certification: "
@@ -427,6 +507,7 @@ CloudServer::flushQuoteBatch()
     {
         std::uint64_t id = 0;
         tpm::SessionHandle session = 0;
+        net::NodeId requester;
         proto::MeasureResponse resp;
         Result<Bytes> sig = Result<Bytes>::error("not signed");
     };
@@ -440,6 +521,7 @@ CloudServer::flushQuoteBatch()
         Item item;
         item.id = id;
         item.session = pa.session;
+        item.requester = pa.requester;
         item.resp.requestId = id;
         item.resp.vid = pa.request.vid;
         item.resp.rm = pa.request.rm;
@@ -467,10 +549,49 @@ CloudServer::flushQuoteBatch()
         if (!item.sig)
             continue;
         item.resp.signature = item.sig.take();
-        endpoint.sendSecure(cfg.attestationServerId,
+        Bytes encoded = item.resp.encode();
+        rememberResponse(item.id, encoded);
+        endpoint.sendSecure(item.requester,
                             packMessage(MessageKind::MeasureResponse,
-                                        item.resp.encode()));
+                                        std::move(encoded)));
     }
+}
+
+void
+CloudServer::crash()
+{
+    if (!endpoint.attached())
+        return;
+    MONATT_LOG(Info, "server") << cfg.id << ": crash (management plane)";
+    endpoint.detach();
+    // Volatile attestation state dies with the host software stack.
+    // Hosted VMs keep running: the hypervisor sits below the crashing
+    // Attestation/Management Clients.
+    for (auto &[id, pa] : pending) {
+        cancelCertTimer(pa);
+        if (pa.session != 0 && pa.session != aikCache.handle)
+            trust.endSession(pa.session);
+    }
+    if (aikCache.handle != 0)
+        trust.endSession(aikCache.handle);
+    aikCache = AikSessionCache{};
+    pending.clear();
+    certToRequest.clear();
+    sessionRefs.clear();
+    aikPrepQueue.clear();
+    quoteQueue.clear();
+    responseCache.clear();
+    responseOrder.clear();
+    migrations.clear();
+}
+
+void
+CloudServer::restart()
+{
+    if (endpoint.attached())
+        return;
+    MONATT_LOG(Info, "server") << cfg.id << ": restart";
+    endpoint.attach();
 }
 
 hypervisor::DomainId

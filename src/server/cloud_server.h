@@ -22,6 +22,7 @@
 #define MONATT_SERVER_CLOUD_SERVER_H
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -48,6 +49,17 @@ struct CloudServerConfig
     std::string controllerId = "cloud-controller";
     std::string attestationServerId = "attestation-server";
     std::string pcaId = "privacy-ca";
+
+    /**
+     * All Attestation Servers allowed to request measurements. Under
+     * controller failover a request for a VM hosted here may arrive
+     * from any AS in the cloud, not just the cluster's primary. Empty
+     * = just attestationServerId.
+     */
+    std::set<std::string> attestorIds;
+
+    /** Retransmission knobs (pCA round trip, handshakes). */
+    proto::ReliabilityModel reliability;
 
     /** Security properties this server can monitor (the capability
      * table the controller's property_filter consults). */
@@ -187,10 +199,25 @@ class CloudServer
 
     const CloudServerConfig &config() const { return cfg; }
 
+    /**
+     * Simulate a crash of the management plane: detach from the
+     * network and drop all volatile attestation state (in-flight
+     * sessions, queues, dedup caches). Hosted VMs keep running — the
+     * hypervisor is below the crashing software stack.
+     */
+    void crash();
+
+    /** Rejoin the network after a crash. */
+    void restart();
+
+    /** True while attached to the network. */
+    bool isUp() const { return endpoint.attached(); }
+
   private:
     struct PendingAttestation
     {
         proto::MeasureRequest request;
+        net::NodeId requester; //!< AS to answer (failover-aware).
         tpm::SessionHandle session = 0;
         std::string sessionLabel;
         Bytes certificate;
@@ -198,6 +225,9 @@ class CloudServer
         proto::MeasurementSet m;
         bool measured = false;
         bool queued = false; //!< Already in the quote-sign batch.
+        Bytes certRequestBytes;      //!< For identical pCA retries.
+        int certRetries = 0;
+        sim::EventId certTimer = 0; //!< 0 = none pending.
     };
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
@@ -225,6 +255,18 @@ class CloudServer
     /** Install a freshly certified session as the reusable AVK. */
     void cacheAikSession(const PendingAttestation &pa);
 
+    /** True when `from` is an authorized Attestation Server. */
+    bool isAttestor(const net::NodeId &from) const;
+
+    /** Arm the pCA retransmission timer for a pending attestation. */
+    void scheduleCertRetry(std::uint64_t requestId);
+
+    /** Cancel a pending attestation's pCA retry timer (if armed). */
+    void cancelCertTimer(PendingAttestation &pa);
+
+    /** Remember a sent MeasureResponse for idempotent retransmission. */
+    void rememberResponse(std::uint64_t requestId, Bytes encoded);
+
     sim::EventQueue &events;
     CloudServerConfig cfg;
     tpm::TrustModule trust;
@@ -249,6 +291,16 @@ class CloudServer
     std::map<std::string, HostedVm> vms;
     std::map<std::uint64_t, PendingAttestation> pending;
     std::map<std::string, std::uint64_t> certToRequest;
+
+    /**
+     * Recently answered MeasureRequests: requestId -> encoded signed
+     * response. A retransmitted request is answered from here so the
+     * TPM never re-executes a quote for the same (requestId, nonce3).
+     * Bounded FIFO.
+     */
+    std::map<std::uint64_t, Bytes> responseCache;
+    std::deque<std::uint64_t> responseOrder;
+    static constexpr std::size_t kResponseCacheSize = 64;
     AikSessionCache aikCache;
     /** In-flight uses per Trust Module session handle. */
     std::map<tpm::SessionHandle, std::size_t> sessionRefs;

@@ -1,0 +1,125 @@
+#include "sim/fault_plan.h"
+
+namespace monatt::sim
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: cheap, well-mixed, dependency-free. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over a string, folded through the running state. */
+std::uint64_t
+absorb(std::uint64_t state, const std::string &s)
+{
+    std::uint64_t h = state ^ 0xcbf29ce484222325ULL;
+    for (unsigned char c : s)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return mix64(h);
+}
+
+/** Map a draw to a [0, 1) probability comparison. */
+bool
+below(std::uint64_t v, double probability)
+{
+    if (probability <= 0)
+        return false;
+    if (probability >= 1)
+        return true;
+    // 53-bit mantissa: exact enough for fault probabilities.
+    const double unit =
+        static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0);
+    return unit < probability;
+}
+
+} // namespace
+
+FaultPlan::FaultPlan(FaultPlanConfig config) : cfg(std::move(config)) {}
+
+std::uint64_t
+FaultPlan::draw(const std::string &src, const std::string &dst,
+                const std::string &channel, std::uint64_t seq,
+                std::uint64_t salt) const
+{
+    std::uint64_t h = mix64(cfg.seed ^ salt);
+    h = absorb(h, src);
+    h = absorb(h, dst);
+    h = absorb(h, channel);
+    return mix64(h ^ seq);
+}
+
+FaultDecision
+FaultPlan::decide(const std::string &src, const std::string &dst,
+                  const std::string &channel, std::uint64_t seq,
+                  SimTime now) const
+{
+    FaultDecision d;
+    if (!active(now))
+        return d;
+
+    for (const Partition &p : cfg.partitions) {
+        const bool match = (p.a == src && p.b == dst) ||
+                           (p.a == dst && p.b == src);
+        if (match && now >= p.from && now < p.until) {
+            d.partitioned = true;
+            return d;
+        }
+    }
+
+    const LinkFaults &f = cfg.faults;
+    if (below(draw(src, dst, channel, seq, 0x11), f.dropProbability)) {
+        d.drop = true;
+        return d;
+    }
+    if (f.burstProbability > 0 && f.burstWindow > 0) {
+        const std::uint64_t window =
+            static_cast<std::uint64_t>(now / f.burstWindow);
+        const bool bursty =
+            below(mix64(cfg.seed ^ mix64(window ^ 0x22)),
+                  f.burstProbability);
+        if (bursty && below(draw(src, dst, channel, seq, 0x33),
+                            f.burstDropProbability)) {
+            d.drop = true;
+            return d;
+        }
+    }
+    if (f.extraDelayMax > 0) {
+        d.extraDelay = static_cast<SimTime>(
+            draw(src, dst, channel, seq, 0x44) %
+            static_cast<std::uint64_t>(f.extraDelayMax + 1));
+    }
+    if (below(draw(src, dst, channel, seq, 0x55),
+              f.duplicateProbability)) {
+        d.duplicates = 1;
+    }
+    return d;
+}
+
+void
+FaultPlan::installCrashSchedule(
+    EventQueue &events, std::function<void(const std::string &)> crash,
+    std::function<void(const std::string &)> restart) const
+{
+    for (const CrashEvent &c : cfg.crashes) {
+        if (c.crashAt >= events.now()) {
+            events.schedule(c.crashAt,
+                            [crash, node = c.node] { crash(node); },
+                            "fault.crash");
+        }
+        if (c.restartAt != kTimeNever && c.restartAt >= events.now()) {
+            events.schedule(c.restartAt,
+                            [restart, node = c.node] { restart(node); },
+                            "fault.restart");
+        }
+    }
+}
+
+} // namespace monatt::sim

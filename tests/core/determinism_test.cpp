@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -132,6 +133,141 @@ TEST(DeterminismTest, OddPoolWidthMatchesToo)
     const Trace odd = runScenario(3);
     EXPECT_EQ(serial.reportDigest, odd.reportDigest);
     EXPECT_EQ(serial.eventsExecuted, odd.eventsExecuted);
+}
+
+// --- Chaos determinism -------------------------------------------------
+//
+// The reliability layer under an active fault plan must stay as
+// deterministic as the fault-free path: retry timers, failover and
+// dedup decisions all key off simulated time and seeded randomness, so
+// the exact same verdicts — down to report bytes and event counts —
+// must come out at any pool width.
+
+struct ChaosTrace
+{
+    std::string digest; //!< Over every request's terminal outcome.
+    std::size_t okCount = 0;
+    std::size_t settled = 0;
+    std::size_t duplicateReports = 0;
+    std::size_t eventsExecuted = 0;
+    SimTime endTime = 0;
+};
+
+ChaosTrace
+runChaosScenario(std::size_t computeThreads, double drop, bool crash,
+                 bool installPlan = true)
+{
+    CloudConfig cfg;
+    cfg.numServers = 4;
+    cfg.numAttestationServers = 2;
+    cfg.seed = 31337;
+    cfg.computeThreads = computeThreads;
+    cfg.cryptoBatchWindow = usec(200);
+    Cloud cloud(cfg);
+    Customer &customer = cloud.addCustomer("alice");
+
+    // Provision fault-free, then switch the faults on.
+    std::vector<std::string> vids;
+    for (int i = 0; i < 5; ++i) {
+        auto vid = cloud.launchVm(customer, "vm-" + std::to_string(i),
+                                  "cirros", "small",
+                                  proto::allProperties());
+        EXPECT_TRUE(vid.isOk()) << vid.errorMessage();
+        if (vid.isOk())
+            vids.push_back(vid.take());
+    }
+
+    if (installPlan) {
+        sim::FaultPlanConfig plan;
+        plan.seed = 0xC0FFEE;
+        plan.faults.dropProbability = drop;
+        plan.activeFrom = cloud.events().now();
+        if (crash) {
+            // Take the primary Attestation Server down mid-protocol
+            // and bring it back much later: forces controller failover
+            // to the second cluster.
+            plan.crashes.push_back(sim::CrashEvent{
+                "attestation-server", cloud.events().now() + msec(800),
+                cloud.events().now() + seconds(12)});
+        }
+        cloud.installFaultPlan(plan);
+    }
+
+    std::vector<std::string> many;
+    for (int i = 0; i < 50; ++i)
+        many.push_back(vids[static_cast<std::size_t>(i) % vids.size()]);
+    auto results = cloud.attestMany(customer, many,
+                                    proto::allProperties(), seconds(600));
+
+    ChaosTrace trace;
+    crypto::Sha256 digest;
+    for (auto &r : results) {
+        if (r.isOk()) {
+            ++trace.okCount;
+            ++trace.settled;
+            digest.update(r.value().report.encode());
+            absorbTime(digest, r.value().receivedAt);
+        } else {
+            trace.settled += r.errorMessage() != "attestation timed out";
+            digest.update(toBytes(r.errorMessage()));
+        }
+    }
+    trace.digest = toHex(digest.digest());
+
+    // No request may ever yield two verified reports (retransmission
+    // dedup at every hop prevents double-executed quotes).
+    std::map<std::uint64_t, std::size_t> perRequest;
+    for (const VerifiedReport &r : customer.reports())
+        ++perRequest[r.requestId];
+    for (const auto &[id, count] : perRequest) {
+        (void)id;
+        if (count > 1)
+            trace.duplicateReports += count - 1;
+    }
+
+    trace.eventsExecuted = cloud.events().executed();
+    trace.endTime = cloud.events().now();
+    return trace;
+}
+
+TEST(ChaosDeterminismTest, FaultSweepSettlesAndIsBitIdentical)
+{
+    for (const double drop : {0.0, 0.01, 0.1, 0.3}) {
+        const bool crash = drop >= 0.1;
+        const ChaosTrace serial = runChaosScenario(1, drop, crash);
+        const ChaosTrace wide = runChaosScenario(8, drop, crash);
+
+        // Every request reaches a definitive verdict — success,
+        // Unreachable or Failed — never a hang.
+        EXPECT_EQ(serial.settled, 50u) << "drop=" << drop;
+        EXPECT_EQ(wide.settled, 50u) << "drop=" << drop;
+        EXPECT_EQ(serial.duplicateReports, 0u) << "drop=" << drop;
+        EXPECT_EQ(wide.duplicateReports, 0u) << "drop=" << drop;
+
+        // Bit-identical across pool widths, faults and all.
+        EXPECT_EQ(serial.digest, wide.digest) << "drop=" << drop;
+        EXPECT_EQ(serial.okCount, wide.okCount) << "drop=" << drop;
+        EXPECT_EQ(serial.eventsExecuted, wide.eventsExecuted)
+            << "drop=" << drop;
+        EXPECT_EQ(serial.endTime, wide.endTime) << "drop=" << drop;
+
+        // A clean wire with the reliability layer armed loses nothing.
+        if (drop == 0.0) {
+            EXPECT_EQ(serial.okCount, 50u);
+        }
+    }
+}
+
+TEST(ChaosDeterminismTest, ZeroRateFaultPlanIsInert)
+{
+    // Installing an all-zero plan must not perturb the simulation at
+    // all: same digest, same event count, same end time as no plan.
+    const ChaosTrace without = runChaosScenario(1, 0.0, false, false);
+    const ChaosTrace with = runChaosScenario(1, 0.0, false, true);
+    EXPECT_EQ(without.digest, with.digest);
+    EXPECT_EQ(without.okCount, 50u);
+    EXPECT_EQ(with.okCount, 50u);
+    EXPECT_EQ(without.endTime, with.endTime);
 }
 
 } // namespace

@@ -9,6 +9,7 @@
 
 #include "net/network.h"
 #include "sim/event_queue.h"
+#include "sim/fault_plan.h"
 
 namespace monatt::net
 {
@@ -190,6 +191,102 @@ TEST(NetworkTest, UnregisterStopsDelivery)
     f.net.send(f.makeEnvelope());
     f.events.runAll();
     EXPECT_TRUE(f.received.empty());
+}
+
+// --- Fault-plan integration -------------------------------------------
+
+TEST(NetworkFaultTest, CertainDropIsCountedAndNotDelivered)
+{
+    NetFixture f;
+    sim::FaultPlanConfig cfg;
+    cfg.faults.dropProbability = 1.0;
+    const sim::FaultPlan plan(cfg);
+    f.net.setFaultPlan(&plan);
+
+    f.net.send(f.makeEnvelope());
+    f.net.send(f.makeEnvelope());
+    f.events.runAll();
+    EXPECT_TRUE(f.received.empty());
+    EXPECT_EQ(f.net.stats().droppedByFault, 2u);
+}
+
+TEST(NetworkFaultTest, DuplicationDeliversExtraCopies)
+{
+    NetFixture f;
+    sim::FaultPlanConfig cfg;
+    cfg.faults.duplicateProbability = 1.0;
+    const sim::FaultPlan plan(cfg);
+    f.net.setFaultPlan(&plan);
+
+    f.net.send(f.makeEnvelope());
+    f.events.runAll();
+    EXPECT_EQ(f.received.size(), 2u);
+    EXPECT_EQ(f.net.stats().duplicated, 1u);
+    EXPECT_EQ(f.net.stats().delivered, 2u);
+}
+
+TEST(NetworkFaultTest, ExtraDelayIsChargedAndCounted)
+{
+    // Baseline arrival time without faults...
+    NetFixture baseline;
+    baseline.net.setLink("a", "b", LinkParams{usec(100), 1000.0});
+    baseline.net.send(baseline.makeEnvelope());
+    baseline.events.runAll();
+    const SimTime cleanArrival = baseline.events.now();
+
+    // ...and with a certain extra delay.
+    NetFixture f;
+    f.net.setLink("a", "b", LinkParams{usec(100), 1000.0});
+    sim::FaultPlanConfig cfg;
+    cfg.faults.extraDelayMax = msec(50);
+    const sim::FaultPlan plan(cfg);
+    f.net.setFaultPlan(&plan);
+
+    // Send until one datagram actually draws a nonzero delay.
+    SimTime faultyArrival = 0;
+    for (int i = 0; i < 32 && f.net.stats().delayedByFault == 0; ++i) {
+        f.received.clear();
+        const SimTime before = f.events.now();
+        f.net.send(f.makeEnvelope());
+        f.events.runAll();
+        faultyArrival = f.events.now() - before;
+    }
+    ASSERT_GE(f.net.stats().delayedByFault, 1u);
+    EXPECT_GT(faultyArrival, cleanArrival);
+    EXPECT_LE(faultyArrival, cleanArrival + msec(50));
+}
+
+TEST(NetworkFaultTest, PartitionSilentlyEatsTraffic)
+{
+    NetFixture f;
+    sim::FaultPlanConfig cfg;
+    cfg.partitions.push_back(
+        sim::Partition{"a", "b", 0, kTimeNever});
+    const sim::FaultPlan plan(cfg);
+    f.net.setFaultPlan(&plan);
+
+    f.net.send(f.makeEnvelope());
+    f.events.runAll();
+    EXPECT_TRUE(f.received.empty());
+    EXPECT_EQ(f.net.stats().partitioned, 1u);
+    EXPECT_EQ(f.net.stats().droppedByFault, 0u);
+}
+
+TEST(NetworkFaultTest, RemovingThePlanRestoresCleanDelivery)
+{
+    NetFixture f;
+    sim::FaultPlanConfig cfg;
+    cfg.faults.dropProbability = 1.0;
+    const sim::FaultPlan plan(cfg);
+    f.net.setFaultPlan(&plan);
+    f.net.send(f.makeEnvelope());
+    f.events.runAll();
+    EXPECT_TRUE(f.received.empty());
+
+    f.net.setFaultPlan(nullptr);
+    f.net.send(f.makeEnvelope());
+    f.events.runAll();
+    EXPECT_EQ(f.received.size(), 1u);
 }
 
 } // namespace

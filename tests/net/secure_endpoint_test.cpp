@@ -160,5 +160,133 @@ TEST(SecureEndpointTest, StatsCountTraffic)
     EXPECT_EQ(f.bob->stats().received, 2u);
 }
 
+// --- Handshake reliability --------------------------------------------
+
+EndpointReliability
+fastRetry(int limit = 5)
+{
+    EndpointReliability r;
+    r.enabled = true;
+    r.handshakeRto = msec(50);
+    r.handshakeRetryLimit = limit;
+    return r;
+}
+
+TEST(SecureEndpointReliabilityTest, LostHelloIsRetransmitted)
+{
+    EndpointFixture f;
+    f.alice->setReliability(fastRetry());
+
+    // Drop exactly the first datagram (the initial hello).
+    int dropped = 0;
+    f.net.setAdversary([&](const Envelope &env) {
+        if (dropped == 0) {
+            ++dropped;
+            return std::optional<Envelope>{};
+        }
+        return std::optional<Envelope>{env};
+    });
+
+    f.alice->sendSecure("bob", toBytes("eventually"));
+    f.events.runAll();
+    ASSERT_EQ(f.bobInbox.size(), 1u);
+    EXPECT_EQ(toString(f.bobInbox[0].second), "eventually");
+    EXPECT_GE(f.alice->stats().handshakeRetries, 1u);
+    EXPECT_EQ(f.alice->stats().deliveryFailures, 0u);
+}
+
+TEST(SecureEndpointReliabilityTest, ExhaustedRetriesReportFailure)
+{
+    EndpointFixture f;
+    f.alice->setReliability(fastRetry(2));
+    f.net.setAdversary(
+        [](const Envelope &) { return std::optional<Envelope>{}; });
+
+    std::vector<std::pair<NodeId, std::size_t>> failures;
+    f.alice->onDeliveryFailure(
+        [&](const NodeId &peer, std::size_t queued) {
+            failures.emplace_back(peer, queued);
+        });
+
+    f.alice->sendSecure("bob", toBytes("one"));
+    f.alice->sendSecure("bob", toBytes("two"));
+    f.events.runAll();
+
+    EXPECT_TRUE(f.bobInbox.empty());
+    ASSERT_EQ(failures.size(), 1u);
+    EXPECT_EQ(failures[0].first, "bob");
+    EXPECT_EQ(failures[0].second, 2u); // Both queued messages lost.
+    EXPECT_EQ(f.alice->stats().handshakeFailures, 1u);
+    EXPECT_EQ(f.alice->stats().deliveryFailures, 2u);
+
+    // The failure is not sticky: once the wire heals, a fresh send
+    // re-initiates the handshake and delivers.
+    f.net.setAdversary({});
+    f.alice->sendSecure("bob", toBytes("after recovery"));
+    f.events.runAll();
+    ASSERT_EQ(f.bobInbox.size(), 1u);
+    EXPECT_EQ(toString(f.bobInbox[0].second), "after recovery");
+}
+
+TEST(SecureEndpointReliabilityTest, DuplicateHelloGetsCachedAccept)
+{
+    EndpointFixture f;
+    f.alice->setReliability(fastRetry());
+
+    // Capture then replay the hello: bob must answer with the cached
+    // accept instead of tearing down the live channel.
+    std::optional<Envelope> hello;
+    f.net.setAdversary([&](const Envelope &env) {
+        if (!hello)
+            hello = env;
+        return std::optional<Envelope>{env};
+    });
+    f.alice->sendSecure("bob", toBytes("first"));
+    f.events.runAll();
+    ASSERT_EQ(f.bobInbox.size(), 1u);
+    ASSERT_TRUE(hello.has_value());
+
+    f.net.inject(*hello);
+    f.events.runAll();
+
+    // The channel alice established is still usable.
+    f.alice->sendSecure("bob", toBytes("second"));
+    f.events.runAll();
+    ASSERT_EQ(f.bobInbox.size(), 2u);
+    EXPECT_EQ(toString(f.bobInbox[1].second), "second");
+}
+
+TEST(SecureEndpointReliabilityTest, DetachedEndpointDropsAndRejoins)
+{
+    EndpointFixture f;
+    f.alice->sendSecure("bob", toBytes("before"));
+    f.events.runAll();
+    ASSERT_EQ(f.bobInbox.size(), 1u);
+
+    f.bob->detach();
+    EXPECT_FALSE(f.bob->attached());
+    f.alice->sendSecure("bob", toBytes("while down"));
+    f.events.runAll();
+    EXPECT_EQ(f.bobInbox.size(), 1u);
+
+    // After re-attach bob lost his session keys, so records alice
+    // seals under the pre-crash channel are rejected — this is the
+    // blackhole entities escape by calling resetPeer when their retry
+    // budgets point at a dead peer.
+    f.bob->attach();
+    EXPECT_TRUE(f.bob->attached());
+    f.alice->sendSecure("bob", toBytes("stale channel"));
+    f.events.runAll();
+    EXPECT_EQ(f.bobInbox.size(), 1u);
+    EXPECT_GE(f.bob->stats().rejectedRecords, 1u);
+
+    // Reset → fresh handshake → delivery resumes.
+    f.alice->resetPeer("bob");
+    f.alice->sendSecure("bob", toBytes("after restart"));
+    f.events.runAll();
+    ASSERT_EQ(f.bobInbox.size(), 2u);
+    EXPECT_EQ(toString(f.bobInbox.back().second), "after restart");
+}
+
 } // namespace
 } // namespace monatt::net

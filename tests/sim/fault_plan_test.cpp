@@ -1,0 +1,185 @@
+/**
+ * @file
+ * FaultPlan: verdicts are pure functions of (seed, datagram identity,
+ * simulated time) — no mutable state, no call-order sensitivity — and
+ * the configured rates, windows, partitions and crash schedules behave
+ * as documented.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/fault_plan.h"
+
+namespace monatt::sim
+{
+namespace
+{
+
+FaultPlanConfig
+dropConfig(double p, std::uint64_t seed = 7)
+{
+    FaultPlanConfig cfg;
+    cfg.seed = seed;
+    cfg.faults.dropProbability = p;
+    return cfg;
+}
+
+TEST(FaultPlanTest, VerdictIsPureAndOrderIndependent)
+{
+    const FaultPlan plan(dropConfig(0.5));
+
+    // Same datagram, asked many times and interleaved with other
+    // datagrams: always the same verdict.
+    const FaultDecision first = plan.decide("a", "b", "ch", 1, msec(10));
+    for (std::uint64_t i = 0; i < 50; ++i) {
+        plan.decide("x", "y", "other", i, msec(i));
+        const FaultDecision again =
+            plan.decide("a", "b", "ch", 1, msec(10));
+        EXPECT_EQ(again.drop, first.drop);
+        EXPECT_EQ(again.extraDelay, first.extraDelay);
+        EXPECT_EQ(again.duplicates, first.duplicates);
+    }
+
+    // A second plan with the same seed agrees verdict-for-verdict.
+    const FaultPlan twin(dropConfig(0.5));
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        EXPECT_EQ(twin.decide("a", "b", "ch", i, msec(i)).drop,
+                  plan.decide("a", "b", "ch", i, msec(i)).drop);
+    }
+}
+
+TEST(FaultPlanTest, SeedChangesTheSchedule)
+{
+    const FaultPlan p1(dropConfig(0.5, 1));
+    const FaultPlan p2(dropConfig(0.5, 2));
+    int differing = 0;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        differing += p1.decide("a", "b", "ch", i, msec(i)).drop !=
+                     p2.decide("a", "b", "ch", i, msec(i)).drop;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlanTest, DropRateTracksProbability)
+{
+    const FaultPlan plan(dropConfig(0.25));
+    int dropped = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        dropped += plan.decide("a", "b", "data",
+                               static_cast<std::uint64_t>(i), msec(i))
+                       .drop;
+    }
+    const double rate = static_cast<double>(dropped) / n;
+    EXPECT_NEAR(rate, 0.25, 0.03);
+}
+
+TEST(FaultPlanTest, ZeroConfigNeverInterferes)
+{
+    const FaultPlan plan(FaultPlanConfig{});
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const FaultDecision d = plan.decide("a", "b", "ch", i, msec(i));
+        EXPECT_FALSE(d.drop);
+        EXPECT_FALSE(d.partitioned);
+        EXPECT_EQ(d.extraDelay, 0);
+        EXPECT_EQ(d.duplicates, 0);
+    }
+}
+
+TEST(FaultPlanTest, ActiveWindowGatesFaults)
+{
+    FaultPlanConfig cfg = dropConfig(1.0);
+    cfg.activeFrom = seconds(1);
+    cfg.activeUntil = seconds(2);
+    const FaultPlan plan(cfg);
+    EXPECT_FALSE(plan.decide("a", "b", "ch", 1, msec(500)).drop);
+    EXPECT_TRUE(plan.decide("a", "b", "ch", 1, msec(1500)).drop);
+    EXPECT_FALSE(plan.decide("a", "b", "ch", 1, msec(2500)).drop);
+}
+
+TEST(FaultPlanTest, PartitionCutsBothDirectionsWhileActive)
+{
+    FaultPlanConfig cfg;
+    cfg.partitions.push_back(Partition{"a", "b", msec(100), msec(200)});
+    const FaultPlan plan(cfg);
+    EXPECT_FALSE(plan.decide("a", "b", "ch", 1, msec(50)).partitioned);
+    EXPECT_TRUE(plan.decide("a", "b", "ch", 1, msec(150)).partitioned);
+    EXPECT_TRUE(plan.decide("b", "a", "ch", 1, msec(150)).partitioned);
+    EXPECT_FALSE(plan.decide("a", "c", "ch", 1, msec(150)).partitioned);
+    EXPECT_FALSE(plan.decide("a", "b", "ch", 1, msec(250)).partitioned);
+}
+
+TEST(FaultPlanTest, DuplicationAndDelayAreBounded)
+{
+    FaultPlanConfig cfg;
+    cfg.faults.duplicateProbability = 1.0;
+    cfg.faults.extraDelayMax = msec(5);
+    const FaultPlan plan(cfg);
+    bool sawDelay = false;
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        const FaultDecision d = plan.decide("a", "b", "ch", i, msec(i));
+        EXPECT_EQ(d.duplicates, 1);
+        EXPECT_GE(d.extraDelay, 0);
+        EXPECT_LE(d.extraDelay, msec(5));
+        sawDelay |= d.extraDelay > 0;
+    }
+    EXPECT_TRUE(sawDelay);
+}
+
+TEST(FaultPlanTest, BurstWindowsDropEverythingInside)
+{
+    FaultPlanConfig cfg;
+    cfg.faults.burstProbability = 0.5;
+    cfg.faults.burstWindow = msec(10);
+    const FaultPlan plan(cfg);
+
+    // Within one window every datagram shares the burst fate.
+    int burstyWindows = 0;
+    for (int w = 0; w < 100; ++w) {
+        const SimTime base = msec(10) * w;
+        const bool d0 =
+            plan.decide("a", "b", "ch", static_cast<std::uint64_t>(w),
+                        base)
+                .drop;
+        const bool d1 =
+            plan.decide("a", "b", "ch", static_cast<std::uint64_t>(w),
+                        base + msec(9))
+                .drop;
+        EXPECT_EQ(d0, d1);
+        burstyWindows += d0;
+    }
+    EXPECT_GT(burstyWindows, 20);
+    EXPECT_LT(burstyWindows, 80);
+}
+
+TEST(FaultPlanTest, CrashScheduleFiresCallbacks)
+{
+    EventQueue events;
+    FaultPlanConfig cfg;
+    cfg.crashes.push_back(CrashEvent{"server-1", msec(100), msec(300)});
+    cfg.crashes.push_back(CrashEvent{"as-1", msec(200), kTimeNever});
+    const FaultPlan plan(cfg);
+
+    std::vector<std::string> crashed;
+    std::vector<std::string> restarted;
+    plan.installCrashSchedule(
+        events,
+        [&](const std::string &node) { crashed.push_back(node); },
+        [&](const std::string &node) { restarted.push_back(node); });
+
+    events.advance(msec(150));
+    EXPECT_EQ(crashed, (std::vector<std::string>{"server-1"}));
+    EXPECT_TRUE(restarted.empty());
+
+    events.advance(msec(250));
+    EXPECT_EQ(crashed,
+              (std::vector<std::string>{"server-1", "as-1"}));
+    EXPECT_EQ(restarted, (std::vector<std::string>{"server-1"}));
+}
+
+} // namespace
+} // namespace monatt::sim
