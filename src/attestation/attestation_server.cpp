@@ -1,5 +1,6 @@
 #include "attestation/attestation_server.h"
 
+#include "common/codec.h"
 #include "common/logging.h"
 #include "crypto/sha256.h"
 #include "sim/worker_pool.h"
@@ -71,7 +72,8 @@ AttestationServer::AttestationServer(sim::EventQueue &eq,
       endpoint(network, cfg.id, keys, directory,
                endpointSeed(cfg.id, seed)),
       registry(InterpreterRegistry::withDefaults()), rng(seed ^ 0xa5a5),
-      certCache(cfg.certCacheCapacity), nextSession(sessionBase(cfg.id))
+      certCache(cfg.certCacheCapacity), store(cfg.id),
+      nextSession(sessionBase(cfg.id))
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
@@ -248,6 +250,7 @@ AttestationServer::startMeasurement(const AttestForward &fwd)
     Session session;
     session.forward = fwd;
     session.nonce3 = rng.nextBytes(16);
+    session.sentAt = events.now();
 
     MeasureRequest req;
     req.requestId = sessionId;
@@ -273,8 +276,13 @@ void
 AttestationServer::scheduleMeasureRetry(std::uint64_t sessionId)
 {
     Session &s = sessions.at(sessionId);
-    const SimTime delay = cfg.reliability.backoff(
-        cfg.reliability.measureRto, s.retries);
+    proto::RttEstimator est;
+    const auto rttIt = serverRtt.find(s.forward.serverId);
+    if (rttIt != serverRtt.end())
+        est = rttIt->second;
+    const SimTime rto = cfg.reliability.rto(cfg.reliability.measureRto,
+                                            est);
+    const SimTime delay = cfg.reliability.backoff(rto, s.retries);
     s.retryTimer = events.scheduleAfter(delay, [this, sessionId] {
         auto it = sessions.find(sessionId);
         if (it == sessions.end())
@@ -311,9 +319,12 @@ AttestationServer::scheduleMeasureRetry(std::uint64_t sessionId)
 void
 AttestationServer::rememberReport(std::uint64_t requestId, Bytes encoded)
 {
-    if (reportCache.emplace(requestId, std::move(encoded)).second) {
+    const auto [it, inserted] =
+        reportCache.emplace(requestId, std::move(encoded));
+    if (inserted) {
+        journalReport(requestId, it->second);
         reportOrder.push_back(requestId);
-        while (reportOrder.size() > kReportCacheSize) {
+        while (reportOrder.size() > cfg.reportCacheCapacity) {
             reportCache.erase(reportOrder.front());
             reportOrder.pop_front();
         }
@@ -432,6 +443,13 @@ AttestationServer::flushVerifyBatch()
             events.cancel(it->second.retryTimer);
             it->second.retryTimer = 0;
         }
+        // Karn's algorithm: only un-retransmitted exchanges yield an
+        // unambiguous send-to-reply pairing.
+        if (it->second.retries == 0) {
+            serverRtt[it->second.forward.serverId].addSample(
+                events.now() - it->second.sentAt);
+            ++counters.rttSamples;
+        }
         Item item;
         item.resp = std::move(resp);
         item.session = it->second;
@@ -503,8 +521,10 @@ AttestationServer::flushVerifyBatch()
                 continue;
             }
             avkKey = chain.avk;
-            if (cfg.enableVerificationCaches)
+            if (cfg.enableVerificationCaches) {
                 certCache.insert(item.digest, avkKey);
+                journalCert(item.digest, avkKey);
+            }
         }
         item.avkCtx.emplace(avkKey);
     }
@@ -524,6 +544,7 @@ AttestationServer::flushVerifyBatch()
     // and interpretation scheduling.
     for (Item &item : items)
         applyVerified(item.session, std::move(item.verified));
+    commitJournal();
 }
 
 void
@@ -642,6 +663,7 @@ AttestationServer::flushSignBatch()
                                 MessageKind::ReportToController,
                                 std::move(encoded)));
     }
+    commitJournal();
 }
 
 void
@@ -667,6 +689,9 @@ AttestationServer::crash()
     forwardInFlight.clear();
     reportCache.clear();
     reportOrder.clear();
+    serverRtt.clear();
+    // The un-fsynced journal tail is the page cache: lost.
+    store.crash();
 }
 
 void
@@ -676,6 +701,145 @@ AttestationServer::restart()
         return;
     MONATT_LOG(Info, "as") << cfg.id << ": restart";
     endpoint.attach();
+    if (cfg.durable)
+        recover();
+}
+
+// --- Durability: WAL + recovery ---------------------------------------
+
+void
+AttestationServer::journalReport(std::uint64_t requestId,
+                                 const Bytes &encoded)
+{
+    if (!cfg.durable || replaying)
+        return;
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putBytes(encoded);
+    store.append(static_cast<std::uint16_t>(JournalType::ReportRemember),
+                 w.take());
+}
+
+void
+AttestationServer::journalCert(const Bytes &digest,
+                               const crypto::RsaPublicKey &avk)
+{
+    if (!cfg.durable || replaying)
+        return;
+    ByteWriter w;
+    w.putBytes(digest);
+    w.putBytes(avk.encode());
+    store.append(static_cast<std::uint16_t>(JournalType::CertInsert),
+                 w.take());
+}
+
+void
+AttestationServer::commitJournal()
+{
+    if (!cfg.durable || replaying)
+        return;
+    if (store.pendingRecords() > 0)
+        store.sync();
+    if (cfg.checkpointEveryRecords > 0 &&
+        store.durableRecords() >= cfg.checkpointEveryRecords)
+        store.checkpoint(snapshotState());
+}
+
+Bytes
+AttestationServer::snapshotState() const
+{
+    ByteWriter w;
+    // Report dedup cache in FIFO order so eviction replays identically.
+    w.putU32(static_cast<std::uint32_t>(reportOrder.size()));
+    for (std::uint64_t requestId : reportOrder) {
+        w.putU64(requestId);
+        w.putBytes(reportCache.at(requestId));
+    }
+    // Verified certificate chains, same ordering rule.
+    const auto &digests = certCache.insertionOrder();
+    w.putU32(static_cast<std::uint32_t>(digests.size()));
+    for (const Bytes &digest : digests) {
+        const crypto::RsaPublicKey *avk = certCache.peek(digest);
+        w.putBytes(digest);
+        w.putBytes(avk ? avk->encode() : Bytes{});
+    }
+    return w.take();
+}
+
+void
+AttestationServer::applySnapshot(const Bytes &snapshot)
+{
+    ByteReader r(snapshot);
+    auto reportCount = r.getU32();
+    for (std::uint32_t i = 0; reportCount && i < reportCount.value();
+         ++i) {
+        auto requestId = r.getU64();
+        auto encoded = r.getBytes();
+        if (!requestId || !encoded)
+            return;
+        if (reportCache.emplace(requestId.value(), encoded.take())
+                .second) {
+            reportOrder.push_back(requestId.value());
+            while (reportOrder.size() > cfg.reportCacheCapacity) {
+                reportCache.erase(reportOrder.front());
+                reportOrder.pop_front();
+            }
+        }
+    }
+    auto certCount = r.getU32();
+    for (std::uint32_t i = 0; certCount && i < certCount.value(); ++i) {
+        auto digest = r.getBytes();
+        auto avkBytes = r.getBytes();
+        if (!digest || !avkBytes)
+            return;
+        auto avk = crypto::RsaPublicKey::decode(avkBytes.value());
+        if (avk)
+            certCache.insert(digest.take(), avk.take());
+    }
+}
+
+void
+AttestationServer::applyJournalRecord(const sim::JournalRecord &rec)
+{
+    ByteReader r(rec.payload);
+    switch (static_cast<JournalType>(rec.type)) {
+      case JournalType::ReportRemember: {
+        auto requestId = r.getU64();
+        auto encoded = r.getBytes();
+        if (requestId && encoded)
+            rememberReport(requestId.value(), encoded.take());
+        break;
+      }
+      case JournalType::CertInsert: {
+        auto digest = r.getBytes();
+        auto avkBytes = r.getBytes();
+        if (!digest || !avkBytes)
+            break;
+        auto avk = crypto::RsaPublicKey::decode(avkBytes.value());
+        if (avk)
+            certCache.insert(digest.take(), avk.take());
+        break;
+      }
+    }
+}
+
+void
+AttestationServer::recover()
+{
+    ++counters.recoveries;
+    replaying = true;
+    auto image = store.replay();
+    if (image.hasSnapshot)
+        applySnapshot(image.snapshot);
+    for (const sim::JournalRecord &rec : image.records)
+        applyJournalRecord(rec);
+    replaying = false;
+    // Recovery doubles as a checkpoint.
+    store.checkpoint(snapshotState());
+    MONATT_LOG(Info, "as")
+        << cfg.id << ": recovered " << reportCache.size()
+        << " cached reports, " << certCache.size()
+        << " verified chains";
 }
 
 } // namespace monatt::attestation

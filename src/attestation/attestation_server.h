@@ -39,6 +39,7 @@
 #include "proto/messages.h"
 #include "proto/timing_model.h"
 #include "sim/event_queue.h"
+#include "sim/stable_store.h"
 
 namespace monatt::attestation
 {
@@ -65,6 +66,21 @@ struct AttestationServerConfig
      */
     bool enableVerificationCaches = true;
     std::size_t certCacheCapacity = 256;
+
+    /** Receive-side AttestForward dedup cache bound (FIFO eviction). */
+    std::size_t reportCacheCapacity = 128;
+
+    /**
+     * Durable appraiser state: journal dedup-cache and verified-chain
+     * insertions to a write-ahead StableStore so a restarted AS keeps
+     * answering retransmitted forwards idempotently instead of
+     * double-signing reports it already issued.
+     */
+    bool durable = true;
+
+    /** Checkpoint the journal once it holds this many records; 0 =
+     * never. */
+    std::size_t checkpointEveryRecords = 512;
 
     /**
      * Fan-in batching window for MeasureResponse verification. All
@@ -99,6 +115,8 @@ struct AttestationServerStats
     std::uint64_t measureRetries = 0;  //!< MeasureRequest resends.
     std::uint64_t measureTimeouts = 0; //!< Sessions given up on.
     std::uint64_t duplicateForwards = 0; //!< Dedup'd AttestForwards.
+    std::uint64_t recoveries = 0;      //!< Journal replays completed.
+    std::uint64_t rttSamples = 0;      //!< Karn-valid RTT samples taken.
 };
 
 /** The Attestation Server entity. */
@@ -163,11 +181,31 @@ class AttestationServer
      */
     void crash();
 
-    /** Rejoin the network after a crash. */
+    /** Rejoin the network after a crash (replays the journal). */
     void restart();
 
     /** True while attached to the network. */
     bool isUp() const { return endpoint.attached(); }
+
+    /** The appraiser's durable store (journal + checkpoints). */
+    const sim::StableStore &stableStore() const { return store; }
+
+    /** Dedup-cache introspection (bounds/eviction tests). */
+    std::size_t reportCacheSize() const { return reportCache.size(); }
+
+    /** Cached report request ids in FIFO eviction order. */
+    std::vector<std::uint64_t> reportCacheRequestIds() const
+    {
+        return {reportOrder.begin(), reportOrder.end()};
+    }
+
+    /** Observed RTT to a cloud server (nullptr before any sample). */
+    const proto::RttEstimator *serverRttEstimate(
+        const std::string &serverId) const
+    {
+        const auto it = serverRtt.find(serverId);
+        return it == serverRtt.end() ? nullptr : &it->second;
+    }
 
   private:
     struct Session
@@ -175,6 +213,7 @@ class AttestationServer
         proto::AttestForward forward;
         Bytes nonce3;
         Bytes requestBytes;          //!< For identical retransmission.
+        SimTime sentAt = 0;          //!< First send (RTT sampling).
         int retries = 0;
         sim::EventId retryTimer = 0; //!< 0 = none pending.
     };
@@ -264,7 +303,30 @@ class AttestationServer
     std::set<std::uint64_t> forwardInFlight;
     std::map<std::uint64_t, Bytes> reportCache;
     std::deque<std::uint64_t> reportOrder;
-    static constexpr std::size_t kReportCacheSize = 128;
+
+    // --- Durability (write-ahead journal) ------------------------------
+
+    /** Journal record types (StableStore payload tags). */
+    enum class JournalType : std::uint16_t
+    {
+        ReportRemember = 1, //!< requestId + signed report bytes.
+        CertInsert = 2,     //!< cert digest + verified AVK.
+    };
+
+    void journalReport(std::uint64_t requestId, const Bytes &encoded);
+    void journalCert(const Bytes &digest, const crypto::RsaPublicKey &avk);
+    /** fsync + checkpoint policy; end of every mutating event. */
+    void commitJournal();
+    Bytes snapshotState() const;
+    void applySnapshot(const Bytes &snapshot);
+    void applyJournalRecord(const sim::JournalRecord &rec);
+    void recover();
+
+    sim::StableStore store;
+    bool replaying = false; //!< recover() in progress: journal muted.
+
+    /** Per-server RTT estimators feeding the adaptive measureRto. */
+    std::map<std::string, proto::RttEstimator> serverRtt;
 
     std::uint64_t nextSession = 1;
     AttestationServerStats counters;

@@ -65,6 +65,9 @@ class CertVerificationCache
     std::size_t capacity() const { return cap; }
     const CertCacheStats &stats() const { return counters; }
 
+    /** Digests in FIFO insertion order (journal checkpointing). */
+    const std::deque<Bytes> &insertionOrder() const { return order; }
+
     /** Drop everything (pCA key rotation). */
     void clear();
 

@@ -1,5 +1,6 @@
 #include "attestation/privacy_ca.h"
 
+#include "common/codec.h"
 #include "common/logging.h"
 #include "sim/worker_pool.h"
 #include "tpm/certificate.h"
@@ -43,7 +44,8 @@ PrivacyCa::PrivacyCa(sim::EventQueue &eq, net::Network &network,
       keys(presetKeys ? *std::move(presetKeys) : deriveKeys(self, seed)),
       signCtx(keys.priv), dir(directory), timing(timingModel),
       window(batchWindow),
-      endpoint(network, self, keys, directory, endpointSeed(self, seed))
+      endpoint(network, self, keys, directory, endpointSeed(self, seed)),
+      store(self)
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
@@ -76,12 +78,18 @@ PrivacyCa::handleMessage(const net::NodeId &from, const Bytes &plaintext)
     // Model the per-request processing delay, then batch every request
     // that matured within the window for the compute plane.
     events.scheduleAfter(timing.pcaProcessing,
-                         [this, req = reqR.take(), from]() mutable {
+                         [this, req = reqR.take(), from,
+                          eraNow = era]() mutable {
+        if (eraNow != era)
+            return;
         pending.push_back(Pending{std::move(req), from});
         if (!flushScheduled) {
             flushScheduled = true;
-            events.scheduleAfter(window, [this] { flushBatch(); },
-                                 "pca.flush");
+            events.scheduleAfter(window, [this, eraNow] {
+                if (eraNow != era)
+                    return;
+                flushBatch();
+            }, "pca.flush");
         }
     }, "pca.issue");
 }
@@ -171,8 +179,9 @@ PrivacyCa::flushBatch()
         const CertKey key{item.p.from, item.p.req.sessionLabel};
         inFlight.erase(key);
         if (issuedCache.emplace(key, encoded).second) {
+            journalIssued(key, encoded);
             issuedOrder.push_back(key);
-            while (issuedOrder.size() > kIssuedCacheSize) {
+            while (issuedOrder.size() > issuedCacheCapacity) {
                 issuedCache.erase(issuedOrder.front());
                 issuedOrder.pop_front();
             }
@@ -181,6 +190,154 @@ PrivacyCa::flushBatch()
                             proto::packMessage(MessageKind::CertResponse,
                                                std::move(encoded)));
     }
+    commitJournal();
+}
+
+// --- Durability: WAL + recovery ---------------------------------------
+
+void
+PrivacyCa::journalIssued(const CertKey &key, const Bytes &encoded)
+{
+    if (!durable || replaying)
+        return;
+    ByteWriter w;
+    // The serial counter rides along so replay restores it without a
+    // separate record type (rejected responses mint no serial but
+    // still carry the current counter).
+    w.putU64(serial);
+    w.putU64(rejections);
+    w.putString(key.first);
+    w.putString(key.second);
+    w.putBytes(encoded);
+    store.append(static_cast<std::uint16_t>(JournalType::CertIssued),
+                 w.take());
+}
+
+void
+PrivacyCa::commitJournal()
+{
+    if (!durable || replaying)
+        return;
+    if (store.pendingRecords() > 0)
+        store.sync();
+    if (checkpointEveryRecords > 0 &&
+        store.durableRecords() >= checkpointEveryRecords)
+        store.checkpoint(snapshotState());
+}
+
+Bytes
+PrivacyCa::snapshotState() const
+{
+    ByteWriter w;
+    w.putU64(serial);
+    w.putU64(rejections);
+    w.putU32(static_cast<std::uint32_t>(issuedOrder.size()));
+    for (const CertKey &key : issuedOrder) {
+        w.putString(key.first);
+        w.putString(key.second);
+        w.putBytes(issuedCache.at(key));
+    }
+    return w.take();
+}
+
+void
+PrivacyCa::applySnapshot(const Bytes &snapshot)
+{
+    ByteReader r(snapshot);
+    auto serialNo = r.getU64();
+    auto rejectionCount = r.getU64();
+    auto count = r.getU32();
+    if (!serialNo || !rejectionCount || !count)
+        return;
+    serial = serialNo.value();
+    rejections = rejectionCount.value();
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto from = r.getString();
+        auto label = r.getString();
+        auto encoded = r.getBytes();
+        if (!from || !label || !encoded)
+            return;
+        const CertKey key{from.value(), label.value()};
+        if (issuedCache.emplace(key, encoded.take()).second) {
+            issuedOrder.push_back(key);
+            while (issuedOrder.size() > issuedCacheCapacity) {
+                issuedCache.erase(issuedOrder.front());
+                issuedOrder.pop_front();
+            }
+        }
+    }
+}
+
+void
+PrivacyCa::applyJournalRecord(const sim::JournalRecord &rec)
+{
+    if (static_cast<JournalType>(rec.type) != JournalType::CertIssued)
+        return;
+    ByteReader r(rec.payload);
+    auto serialNo = r.getU64();
+    auto rejectionCount = r.getU64();
+    auto from = r.getString();
+    auto label = r.getString();
+    auto encoded = r.getBytes();
+    if (!serialNo || !rejectionCount || !from || !label || !encoded)
+        return;
+    serial = serialNo.value();
+    rejections = rejectionCount.value();
+    const CertKey key{from.value(), label.value()};
+    if (issuedCache.emplace(key, encoded.take()).second) {
+        issuedOrder.push_back(key);
+        while (issuedOrder.size() > issuedCacheCapacity) {
+            issuedCache.erase(issuedOrder.front());
+            issuedOrder.pop_front();
+        }
+    }
+}
+
+void
+PrivacyCa::recover()
+{
+    replaying = true;
+    auto image = store.replay();
+    if (image.hasSnapshot)
+        applySnapshot(image.snapshot);
+    for (const sim::JournalRecord &rec : image.records)
+        applyJournalRecord(rec);
+    replaying = false;
+    // Recovery doubles as a checkpoint.
+    store.checkpoint(snapshotState());
+    MONATT_LOG(Info, "pca")
+        << self << ": recovered serial " << serial << ", "
+        << issuedCache.size() << " cached responses";
+}
+
+void
+PrivacyCa::crash()
+{
+    if (!endpoint.attached())
+        return;
+    MONATT_LOG(Info, "pca") << self << ": crash";
+    ++era;
+    endpoint.detach();
+    pending.clear();
+    flushScheduled = false;
+    inFlight.clear();
+    issuedCache.clear();
+    issuedOrder.clear();
+    serial = 0;
+    rejections = 0;
+    // The un-fsynced journal tail is the page cache: lost.
+    store.crash();
+}
+
+void
+PrivacyCa::restart()
+{
+    if (endpoint.attached())
+        return;
+    MONATT_LOG(Info, "pca") << self << ": restart";
+    endpoint.attach();
+    if (durable)
+        recover();
 }
 
 } // namespace monatt::attestation

@@ -31,6 +31,7 @@
 #include "proto/messages.h"
 #include "proto/timing_model.h"
 #include "sim/event_queue.h"
+#include "sim/stable_store.h"
 
 namespace monatt::attestation
 {
@@ -70,6 +71,46 @@ class PrivacyCa
     /** Requests rejected (bad identity signature etc). */
     std::uint64_t rejected() const { return rejections; }
 
+    /**
+     * Simulate a crash: detach, drop volatile state and the un-fsynced
+     * journal tail. The signing key survives (it is provisioned
+     * material, like a key file on disk).
+     */
+    void crash();
+
+    /** Rejoin the network and replay the journal. */
+    void restart();
+
+    /** True while attached to the network. */
+    bool isUp() const { return endpoint.attached(); }
+
+    /** Durable issuance state: journal issued certificates so a
+     * restarted pCA answers retransmissions idempotently and never
+     * reuses a serial number. On by default. */
+    void setDurable(bool on) { durable = on; }
+
+    /** Issued-certificate dedup cache bound (FIFO eviction). */
+    void setIssuedCacheCapacity(std::size_t capacity)
+    {
+        issuedCacheCapacity = capacity;
+    }
+
+    /** Dedup-cache introspection (bounds/eviction tests). */
+    std::size_t issuedCacheSize() const { return issuedCache.size(); }
+
+    /** Cached session labels in FIFO eviction order. */
+    std::vector<std::string> issuedCacheLabels() const
+    {
+        std::vector<std::string> labels;
+        labels.reserve(issuedOrder.size());
+        for (const CertKey &key : issuedOrder)
+            labels.push_back(key.second);
+        return labels;
+    }
+
+    /** The pCA's durable store (journal + checkpoints). */
+    const sim::StableStore &stableStore() const { return store; }
+
   private:
     struct Pending
     {
@@ -105,7 +146,30 @@ class PrivacyCa
     std::map<CertKey, Bytes> issuedCache;
     std::deque<CertKey> issuedOrder;
     std::set<CertKey> inFlight;
-    static constexpr std::size_t kIssuedCacheSize = 128;
+    std::size_t issuedCacheCapacity = 128;
+
+    // --- Durability (write-ahead journal) ------------------------------
+
+    /** Journal record types (StableStore payload tags). */
+    enum class JournalType : std::uint16_t
+    {
+        CertIssued = 1, //!< serial counter + requester + label + resp.
+    };
+
+    void journalIssued(const CertKey &key, const Bytes &encoded);
+    /** fsync + checkpoint policy; end of every mutating event. */
+    void commitJournal();
+    Bytes snapshotState() const;
+    void applySnapshot(const Bytes &snapshot);
+    void applyJournalRecord(const sim::JournalRecord &rec);
+    void recover();
+
+    sim::StableStore store;
+    bool durable = true;
+    bool replaying = false;  //!< recover() in progress: journal muted.
+    std::size_t checkpointEveryRecords = 512;
+    /** Crash epoch; stale pre-crash callbacks bail (see controller). */
+    std::uint64_t era = 0;
 };
 
 } // namespace monatt::attestation

@@ -1,5 +1,6 @@
 #include "controller/cloud_controller.h"
 
+#include "common/codec.h"
 #include "common/logging.h"
 #include "sim/worker_pool.h"
 
@@ -67,7 +68,7 @@ CloudController::CloudController(sim::EventQueue &eq,
       signCtx(keys.priv), dir(directory),
       endpoint(network, cfg.id, keys, directory,
                endpointSeed(cfg.id, seed)),
-      rng(seed ^ 0xcc)
+      rng(seed ^ 0xcc), store(cfg.id)
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
@@ -82,6 +83,8 @@ CloudController::setResponsePolicy(const std::string &vid,
                                    ResponsePolicy policy)
 {
     policies[vid] = policy;
+    journalPolicy(vid);
+    commitJournal();
 }
 
 void
@@ -154,6 +157,10 @@ CloudController::handleMessage(const net::NodeId &from,
         MONATT_LOG(Warn, "cc") << "unexpected message from " << from;
         break;
     }
+    // WAL rule: every mutation the handlers above made is fsynced
+    // before the event ends — crashes land between events, so no
+    // externally visible state is ever lost.
+    commitJournal();
 }
 
 void
@@ -199,6 +206,9 @@ CloudController::onLaunchRequest(const net::NodeId &from,
     launch.customerRequestId = req.requestId;
     launch.customer = from;
     launches[vid] = std::move(launch);
+    journalMeta();
+    journalVm(vid);
+    journalLaunch(vid);
 
     runSchedulingStage(vid);
 }
@@ -212,13 +222,16 @@ CloudController::runSchedulingStage(const std::string &vid)
     rec->status = VmStatus::Scheduling;
     rec->launchTimer.beginStage("scheduling", events.now());
     ++rec->launchAttempts;
+    journalVm(vid);
 
     const SimTime cost =
         cfg.timing.schedulingBase +
         cfg.timing.schedulingPerServer *
             static_cast<SimTime>(db.serverIds().size());
 
-    events.scheduleAfter(cost, [this, vid] {
+    events.scheduleAfter(cost, [this, vid, eraNow = era] {
+        if (eraNow != era)
+            return;
         VmRecord *rec = db.vm(vid);
         auto launchIt = launches.find(vid);
         if (!rec || launchIt == launches.end())
@@ -232,6 +245,7 @@ CloudController::runSchedulingStage(const std::string &vid)
             db, req, launchIt->second.excludedServers);
         if (candidates.empty()) {
             finishLaunch(vid, false, "no qualified server available");
+            commitJournal();
             return;
         }
         rec->serverId = candidates.front();
@@ -240,14 +254,26 @@ CloudController::runSchedulingStage(const std::string &vid)
         // Networking, then block device mapping, then spawn.
         rec->status = VmStatus::Networking;
         rec->launchTimer.beginStage("networking", events.now());
-        events.scheduleAfter(cfg.timing.networking, [this, vid] {
+        journalVm(vid);
+        journalServer(rec->serverId);
+        commitJournal();
+        events.scheduleAfter(cfg.timing.networking,
+                             [this, vid, eraNow] {
+            if (eraNow != era)
+                return;
             VmRecord *rec = db.vm(vid);
             if (!rec)
                 return;
             rec->status = VmStatus::Mapping;
             rec->launchTimer.beginStage("mapping", events.now());
+            journalVm(vid);
+            commitJournal();
             events.scheduleAfter(cfg.timing.mappingTime(rec->diskGb),
-                                 [this, vid] { startSpawn(vid); });
+                                 [this, vid, eraNow] {
+                                     if (eraNow != era)
+                                         return;
+                                     startSpawn(vid);
+                                 });
         });
     }, "cc.scheduling");
 }
@@ -260,6 +286,8 @@ CloudController::startSpawn(const std::string &vid)
         return;
     rec->status = VmStatus::Spawning;
     rec->launchTimer.beginStage("spawning", events.now());
+    journalVm(vid);
+    commitJournal();
 
     proto::LaunchVm cmd;
     cmd.vid = vid;
@@ -284,11 +312,15 @@ CloudController::onLaunchVmAck(const net::NodeId &from, const Bytes &body)
         return;
     const proto::LaunchVmAck ack = ackR.take();
     VmRecord *rec = db.vm(ack.vid);
-    if (!rec || rec->serverId != from)
+    // The status guard makes duplicate acks harmless (a late copy of
+    // an ack already acted on finds the VM past Spawning).
+    if (!rec || rec->serverId != from ||
+        rec->status != VmStatus::Spawning)
         return;
 
     if (!ack.ok) {
         db.release(rec->serverId, rec->ramMb, rec->diskGb);
+        journalServer(rec->serverId);
         rescheduleLaunch(ack.vid, "spawn failed: " + ack.error);
         return;
     }
@@ -303,6 +335,7 @@ CloudController::startStartupAttestation(const std::string &vid)
         return;
     rec->status = VmStatus::Attesting;
     rec->launchTimer.beginStage("attestation", events.now());
+    journalVm(vid);
 
     AttestContext ctx;
     ctx.kind = AttestKind::StartupLaunch;
@@ -335,6 +368,8 @@ CloudController::forwardAttestation(AttestContext ctx)
     ctx.attestorId = attestorFor(rec->serverId);
     const bool expectReply = ctx.mode != AttestMode::StopPeriodic;
     attests[attestId] = std::move(ctx);
+    journalMeta();
+    journalAttest(attestId);
     transmitForward(attestId);
     // StopPeriodic is unacknowledged fire-and-forget (idempotent at
     // the AS); everything else is retried until a report arrives.
@@ -374,10 +409,23 @@ CloudController::scheduleForwardRetry(std::uint64_t attestId)
     if (it == attests.end())
         return;
     AttestContext &ctx = it->second;
-    const SimTime delay =
-        cfg.reliability.backoff(cfg.reliability.forwardRto, ctx.retries);
+    // Adaptive RTO: track the attestor's observed round-trip once
+    // samples exist; the fixed knob bounds the first exchange.
+    proto::RttEstimator est;
+    const auto rttIt = attestorRtt.find(ctx.attestorId);
+    if (rttIt != attestorRtt.end())
+        est = rttIt->second;
+    const SimTime rto = cfg.reliability.rto(cfg.reliability.forwardRto,
+                                            est);
+    const SimTime delay = cfg.reliability.backoff(rto, ctx.retries);
     ctx.retryTimer = events.scheduleAfter(
-        delay, [this, attestId] { forwardRetryFired(attestId); },
+        delay,
+        [this, attestId, eraNow = era] {
+            if (eraNow != era)
+                return;
+            forwardRetryFired(attestId);
+            commitJournal();
+        },
         "cc.forward.retry");
 }
 
@@ -395,6 +443,7 @@ CloudController::forwardRetryFired(std::uint64_t attestId)
     if (ctx.retries < cfg.reliability.forwardRetryLimit) {
         ++ctx.retries;
         ++counters.forwardRetries;
+        journalAttest(attestId);
         transmitForward(attestId);
         scheduleForwardRetry(attestId);
         return;
@@ -409,6 +458,7 @@ CloudController::forwardRetryFired(std::uint64_t attestId)
     ++health.strikes;
     if (health.strikes >= cfg.reliability.suspectThreshold)
         health.suspect = true;
+    journalAsHealth(ctx.attestorId);
     endpoint.resetPeer(ctx.attestorId);
 
     const std::string alt = alternativeAttestor(ctx.attestorId);
@@ -420,6 +470,7 @@ CloudController::forwardRetryFired(std::uint64_t attestId)
         ++ctx.failovers;
         ctx.retries = 0;
         ctx.attestorId = alt;
+        journalAttest(attestId);
         transmitForward(attestId);
         scheduleForwardRetry(attestId);
         return;
@@ -435,6 +486,7 @@ CloudController::giveUpAttestation(std::uint64_t attestId)
         return;
     const AttestContext ctx = std::move(it->second);
     attests.erase(it);
+    journalAttest(attestId);
     ++counters.attestationsUnreachable;
     MONATT_LOG(Warn, "cc")
         << "attestation " << attestId << " for " << ctx.vid
@@ -520,9 +572,11 @@ void
 CloudController::rememberRelay(const CustomerKey &key, Bytes packed)
 {
     customerInFlight.erase(key);
-    if (relayCache.emplace(key, std::move(packed)).second) {
+    const auto [it, inserted] = relayCache.emplace(key, std::move(packed));
+    if (inserted) {
+        journalRelay(key, it->second);
         relayOrder.push_back(key);
-        while (relayOrder.size() > kRelayCacheSize) {
+        while (relayOrder.size() > cfg.relayCacheCapacity) {
             relayCache.erase(relayOrder.front());
             relayOrder.pop_front();
         }
@@ -569,13 +623,16 @@ CloudController::onAttestRequest(const net::NodeId &from,
     if (req.mode != AttestMode::StopPeriodic)
         customerInFlight.insert(key);
     events.scheduleAfter(cfg.timing.controllerProcessing,
-                         [this, req, from, key] {
+                         [this, req, from, key, eraNow = era] {
+        if (eraNow != era)
+            return;
         const VmRecord *rec = db.vm(req.vid);
         if (!rec) {
             customerInFlight.erase(key);
             sendAttestFailure(from, req.requestId, req.vid,
                               proto::FailureOutcome::Failed,
                               "unknown vm");
+            commitJournal();
             return;
         }
 
@@ -589,6 +646,7 @@ CloudController::onAttestRequest(const net::NodeId &from,
         ctx.mode = req.mode;
         ctx.period = req.period;
         forwardAttestation(std::move(ctx));
+        commitJournal();
     }, "cc.attest.forward");
 }
 
@@ -606,7 +664,12 @@ CloudController::onReportToController(const net::NodeId &from,
     if (!reportFlushScheduled) {
         reportFlushScheduled = true;
         events.scheduleAfter(cfg.batchWindow,
-                             [this] { flushReportBatch(); },
+                             [this, eraNow = era] {
+                                 if (eraNow != era)
+                                     return;
+                                 flushReportBatch();
+                                 commitJournal();
+                             },
                              "cc.verify.flush");
     }
 }
@@ -685,23 +748,41 @@ CloudController::flushReportBatch()
                 events.cancel(stored.retryTimer);
                 stored.retryTimer = 0;
             }
+            // First reply to a clean (never retransmitted, never
+            // failed-over, not crash-recovered) exchange: a valid RTT
+            // sample per Karn's algorithm. Feeds the adaptive forward
+            // RTO for this attestor.
+            if (!stored.acked && stored.retries == 0 &&
+                stored.failovers == 0 && !stored.recovered &&
+                !stored.attestorId.empty()) {
+                attestorRtt[stored.attestorId].addSample(
+                    events.now() - stored.forwardedAt);
+                ++counters.rttSamples;
+            }
             stored.acked = true;
             if (!stored.periodic)
                 attests.erase(live);
+            journalAttest(item.msg.requestId);
         }
         // A verified report clears the attestor's strike record.
-        if (!item.ctx.attestorId.empty())
+        if (!item.ctx.attestorId.empty()) {
             asHealth[item.ctx.attestorId] = AsHealth{};
+            journalAsHealth(item.ctx.attestorId);
+        }
 
         events.scheduleAfter(cfg.timing.controllerProcessing,
                              [this, ctx = item.ctx, msg = item.msg,
-                              attestId = item.msg.requestId] {
+                              attestId = item.msg.requestId,
+                              eraNow = era] {
+            if (eraNow != era)
+                return;
             if (ctx.kind == AttestKind::StartupLaunch)
                 handleStartupReport(ctx, msg);
             else if (ctx.kind == AttestKind::SuspendRecheck)
                 handleRecheckReport(ctx, msg);
             else
                 handleCustomerReport(attestId, ctx, msg);
+            commitJournal();
         }, "cc.report");
     }
 }
@@ -731,6 +812,7 @@ CloudController::handleStartupReport(const AttestContext &ctx,
                             proto::packMessage(MessageKind::TerminateVm,
                                                cmd.encode()));
         db.release(rec->serverId, rec->ramMb, rec->diskGb);
+        journalServer(rec->serverId);
         ++counters.launchesRejected;
         finishLaunch(ctx.vid, false, "vm image integrity check failed");
     } else {
@@ -741,6 +823,7 @@ CloudController::handleStartupReport(const AttestContext &ctx,
                             proto::packMessage(MessageKind::TerminateVm,
                                                cmd.encode()));
         db.release(rec->serverId, rec->ramMb, rec->diskGb);
+        journalServer(rec->serverId);
         rescheduleLaunch(ctx.vid, detail);
     }
 }
@@ -762,6 +845,7 @@ CloudController::rescheduleLaunch(const std::string &vid,
     ++counters.launchesRescheduled;
     launchIt->second.excludedServers.insert(rec->serverId);
     rec->serverId.clear();
+    journalLaunch(vid);
     MONATT_LOG(Info, "cc") << "rescheduling " << vid << ": " << reason;
     runSchedulingStage(vid);
 }
@@ -791,6 +875,8 @@ CloudController::finishLaunch(const std::string &vid, bool ok,
                         proto::packMessage(MessageKind::LaunchResponse,
                                            resp.encode()));
     launches.erase(launchIt);
+    journalVm(vid);
+    journalLaunch(vid);
 }
 
 void
@@ -817,7 +903,12 @@ CloudController::handleCustomerReport(std::uint64_t attestId,
     if (!relayFlushScheduled) {
         relayFlushScheduled = true;
         events.scheduleAfter(cfg.batchWindow,
-                             [this] { flushRelayBatch(); },
+                             [this, eraNow = era] {
+                                 if (eraNow != era)
+                                     return;
+                                 flushRelayBatch();
+                                 commitJournal();
+                             },
                              "cc.relay.flush");
     }
 
@@ -888,6 +979,7 @@ CloudController::triggerResponse(
     responses.push_back(log);
     const std::size_t logIndex = responses.size() - 1;
     outstandingResponses[vid] = logIndex;
+    journalResponse(logIndex);
 
     proto::VmCommand cmd;
     cmd.vid = vid;
@@ -899,6 +991,7 @@ CloudController::triggerResponse(
         break;
       case ResponsePolicy::Suspend:
         rec->status = VmStatus::Suspended;
+        journalVm(vid);
         endpoint.sendSecure(rec->serverId,
                             proto::packMessage(MessageKind::SuspendVm,
                                                cmd.encode()));
@@ -929,6 +1022,7 @@ CloudController::executeMigration(const std::string &vid,
         // §5.3: no qualified server — the VM must be shut down.
         responses[logIndex].detail += "; no qualified target, terminating";
         responses[logIndex].action = ResponsePolicy::Terminate;
+        journalResponse(logIndex);
         proto::VmCommand cmd;
         cmd.vid = vid;
         endpoint.sendSecure(rec->serverId,
@@ -943,6 +1037,9 @@ CloudController::executeMigration(const std::string &vid,
     cmd.targetServer = candidates.front();
     db.allocate(cmd.targetServer, rec->ramMb, rec->diskGb);
     responses[logIndex].targetServer = cmd.targetServer;
+    journalVm(vid);
+    journalServer(cmd.targetServer);
+    journalResponse(logIndex);
     endpoint.sendSecure(rec->serverId,
                         proto::packMessage(MessageKind::MigrateOut,
                                            cmd.encode()));
@@ -966,6 +1063,7 @@ CloudController::onCommandAck(MessageKind kind, const Bytes &body)
     log.completed = true;
     log.succeeded = ack.ok;
     log.completedAt = events.now();
+    journalResponse(logIndex);
 
     VmRecord *rec = db.vm(ack.vid);
     if (!rec)
@@ -974,8 +1072,11 @@ CloudController::onCommandAck(MessageKind kind, const Bytes &body)
     if (kind == MessageKind::TerminateVmAck && ack.ok) {
         db.release(rec->serverId, rec->ramMb, rec->diskGb);
         rec->status = VmStatus::Terminated;
+        journalVm(ack.vid);
+        journalServer(rec->serverId);
     } else if (kind == MessageKind::SuspendVmAck && ack.ok) {
         rec->status = VmStatus::Suspended;
+        journalVm(ack.vid);
         scheduleSuspendRecheck(ack.vid, logIndex);
     } else if (kind == MessageKind::MigrateOutAck) {
         if (ack.ok) {
@@ -984,11 +1085,15 @@ CloudController::onCommandAck(MessageKind kind, const Bytes &body)
             db.release(oldServer, rec->ramMb, rec->diskGb);
             rec->serverId = log.targetServer;
             rec->status = VmStatus::Running;
+            journalVm(ack.vid);
+            journalServer(oldServer);
             retargetPeriodicAttestations(ack.vid, oldServer);
         } else {
             // Resumed at the source; release the reserved target.
             db.release(log.targetServer, rec->ramMb, rec->diskGb);
             rec->status = VmStatus::Running;
+            journalVm(ack.vid);
+            journalServer(log.targetServer);
         }
     }
 }
@@ -1013,6 +1118,7 @@ CloudController::retargetPeriodicAttestations(const std::string &vid,
                                             : ctx.attestorId;
         ctx.serverId = rec->serverId;
         ctx.attestorId = attestorFor(rec->serverId);
+        journalAttest(attestId);
 
         AttestForward fwd;
         fwd.requestId = attestId;
@@ -1047,9 +1153,12 @@ CloudController::scheduleSuspendRecheck(const std::string &vid,
     if (cfg.suspendRecheckPeriod <= 0)
         return;
     events.scheduleAfter(cfg.suspendRecheckPeriod,
-                         [this, vid, logIndex] {
+                         [this, vid, logIndex, eraNow = era] {
+        if (eraNow != era)
+            return;
         VmRecord *rec = db.vm(vid);
-        if (!rec || rec->status != VmStatus::Suspended)
+        if (!rec || rec->status != VmStatus::Suspended ||
+            logIndex >= responses.size())
             return;
         AttestContext ctx;
         ctx.kind = AttestKind::SuspendRecheck;
@@ -1062,6 +1171,7 @@ CloudController::scheduleSuspendRecheck(const std::string &vid,
         ctx.mode = AttestMode::RuntimeOneTime;
         ctx.customerRequestId = logIndex; // Carries the log index.
         forwardAttestation(std::move(ctx));
+        commitJournal();
     }, "cc.suspend.recheck");
 }
 
@@ -1077,11 +1187,14 @@ CloudController::handleRecheckReport(const AttestContext &ctx,
     if (msg.report.allHealthy()) {
         // §5.2 #2: "the controller can resume the VM from the saved
         // state".
-        if (logIndex < responses.size())
+        if (logIndex < responses.size()) {
             responses[logIndex].resumedAfterRecheck = true;
+            journalResponse(logIndex);
+        }
         proto::VmCommand cmd;
         cmd.vid = ctx.vid;
         rec->status = VmStatus::Running;
+        journalVm(ctx.vid);
         endpoint.sendSecure(rec->serverId,
                             proto::packMessage(MessageKind::ResumeVm,
                                                cmd.encode()));
@@ -1090,6 +1203,863 @@ CloudController::handleRecheckReport(const AttestContext &ctx,
     } else {
         // Still unhealthy: keep it suspended, check again later.
         scheduleSuspendRecheck(ctx.vid, logIndex);
+    }
+}
+
+// --- Durability: serialization ----------------------------------------
+
+Bytes
+CloudController::encodeAttestContext(const AttestContext &ctx) const
+{
+    ByteWriter w;
+    w.putU8(static_cast<std::uint8_t>(ctx.kind));
+    w.putString(ctx.vid);
+    w.putString(ctx.customer);
+    w.putU64(ctx.customerRequestId);
+    w.putBytes(ctx.nonce1);
+    w.putBytes(ctx.nonce2);
+    w.putU32(static_cast<std::uint32_t>(ctx.properties.size()));
+    for (proto::SecurityProperty p : ctx.properties)
+        w.putU8(static_cast<std::uint8_t>(p));
+    w.putU8(static_cast<std::uint8_t>(ctx.mode));
+    w.putI64(ctx.period);
+    w.putI64(ctx.forwardedAt);
+    w.putU8(ctx.periodic ? 1 : 0);
+    w.putString(ctx.serverId);
+    w.putString(ctx.attestorId);
+    w.putI64(ctx.retries);
+    w.putI64(ctx.failovers);
+    w.putU8(ctx.acked ? 1 : 0);
+    w.putU8(ctx.recovered ? 1 : 0);
+    return w.take();
+}
+
+bool
+CloudController::decodeAttestContext(const Bytes &data,
+                                     AttestContext &out) const
+{
+    ByteReader r(data);
+    auto kind = r.getU8();
+    auto vid = r.getString();
+    auto customer = r.getString();
+    auto requestId = r.getU64();
+    auto nonce1 = r.getBytes();
+    auto nonce2 = r.getBytes();
+    auto propCount = r.getU32();
+    if (!kind || !vid || !customer || !requestId || !nonce1 || !nonce2 ||
+        !propCount || propCount.value() > 64)
+        return false;
+    out.properties.clear();
+    for (std::uint32_t i = 0; i < propCount.value(); ++i) {
+        auto p = r.getU8();
+        if (!p)
+            return false;
+        out.properties.push_back(
+            static_cast<proto::SecurityProperty>(p.value()));
+    }
+    auto mode = r.getU8();
+    auto period = r.getI64();
+    auto forwardedAt = r.getI64();
+    auto periodic = r.getU8();
+    auto serverId = r.getString();
+    auto attestorId = r.getString();
+    auto retries = r.getI64();
+    auto failovers = r.getI64();
+    auto acked = r.getU8();
+    auto recovered = r.getU8();
+    if (!mode || !period || !forwardedAt || !periodic || !serverId ||
+        !attestorId || !retries || !failovers || !acked || !recovered ||
+        !r.atEnd())
+        return false;
+    out.kind = static_cast<AttestKind>(kind.value());
+    out.vid = vid.value();
+    out.customer = customer.value();
+    out.customerRequestId = requestId.value();
+    out.nonce1 = nonce1.value();
+    out.nonce2 = nonce2.value();
+    out.mode = static_cast<AttestMode>(mode.value());
+    out.period = period.value();
+    out.forwardedAt = forwardedAt.value();
+    out.periodic = periodic.value() != 0;
+    out.serverId = serverId.value();
+    out.attestorId = attestorId.value();
+    out.retries = static_cast<int>(retries.value());
+    out.failovers = static_cast<int>(failovers.value());
+    out.acked = acked.value() != 0;
+    out.recovered = recovered.value() != 0;
+    out.retryTimer = 0;
+    return true;
+}
+
+Bytes
+CloudController::encodePendingLaunch(const std::string &vid,
+                                     const PendingLaunch &launch) const
+{
+    ByteWriter w;
+    w.putString(vid);
+    w.putU64(launch.customerRequestId);
+    w.putString(launch.customer);
+    w.putU32(static_cast<std::uint32_t>(launch.excludedServers.size()));
+    for (const std::string &s : launch.excludedServers)
+        w.putString(s);
+    return w.take();
+}
+
+bool
+CloudController::decodePendingLaunch(const Bytes &data, std::string &vid,
+                                     PendingLaunch &out) const
+{
+    ByteReader r(data);
+    auto v = r.getString();
+    auto requestId = r.getU64();
+    auto customer = r.getString();
+    auto count = r.getU32();
+    if (!v || !requestId || !customer || !count || count.value() > 4096)
+        return false;
+    out.excludedServers.clear();
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto s = r.getString();
+        if (!s)
+            return false;
+        out.excludedServers.insert(s.value());
+    }
+    if (!r.atEnd())
+        return false;
+    vid = v.value();
+    out.customerRequestId = requestId.value();
+    out.customer = customer.value();
+    return true;
+}
+
+Bytes
+CloudController::encodeResponseRecord(const ResponseRecord &rec) const
+{
+    ByteWriter w;
+    w.putString(rec.vid);
+    w.putU8(static_cast<std::uint8_t>(rec.action));
+    w.putI64(rec.attestStart);
+    w.putI64(rec.reportAt);
+    w.putI64(rec.completedAt);
+    w.putU8(rec.completed ? 1 : 0);
+    w.putU8(rec.succeeded ? 1 : 0);
+    w.putString(rec.detail);
+    w.putString(rec.targetServer);
+    w.putU32(static_cast<std::uint32_t>(rec.triggerProperties.size()));
+    for (proto::SecurityProperty p : rec.triggerProperties)
+        w.putU8(static_cast<std::uint8_t>(p));
+    w.putU8(rec.resumedAfterRecheck ? 1 : 0);
+    return w.take();
+}
+
+bool
+CloudController::decodeResponseRecord(const Bytes &data,
+                                      ResponseRecord &out) const
+{
+    ByteReader r(data);
+    auto vid = r.getString();
+    auto action = r.getU8();
+    auto attestStart = r.getI64();
+    auto reportAt = r.getI64();
+    auto completedAt = r.getI64();
+    auto completed = r.getU8();
+    auto succeeded = r.getU8();
+    auto detail = r.getString();
+    auto target = r.getString();
+    auto propCount = r.getU32();
+    if (!vid || !action || !attestStart || !reportAt || !completedAt ||
+        !completed || !succeeded || !detail || !target || !propCount ||
+        propCount.value() > 64)
+        return false;
+    out.triggerProperties.clear();
+    for (std::uint32_t i = 0; i < propCount.value(); ++i) {
+        auto p = r.getU8();
+        if (!p)
+            return false;
+        out.triggerProperties.push_back(
+            static_cast<proto::SecurityProperty>(p.value()));
+    }
+    auto resumed = r.getU8();
+    if (!resumed || !r.atEnd())
+        return false;
+    out.vid = vid.value();
+    out.action = static_cast<ResponsePolicy>(action.value());
+    out.attestStart = attestStart.value();
+    out.reportAt = reportAt.value();
+    out.completedAt = completedAt.value();
+    out.completed = completed.value() != 0;
+    out.succeeded = succeeded.value() != 0;
+    out.detail = detail.value();
+    out.targetServer = target.value();
+    out.resumedAfterRecheck = resumed.value() != 0;
+    return true;
+}
+
+// --- Durability: WAL helpers ------------------------------------------
+
+void
+CloudController::journalMeta()
+{
+    if (!cfg.durable || replaying)
+        return;
+    ByteWriter w;
+    w.putU64(nextVmNumber);
+    w.putU64(nextAttestId);
+    store.append(static_cast<std::uint16_t>(JournalType::Meta), w.take());
+}
+
+void
+CloudController::journalVm(const std::string &vid)
+{
+    if (!cfg.durable || replaying)
+        return;
+    const VmRecord *rec = db.vm(vid);
+    if (rec) {
+        store.append(static_cast<std::uint16_t>(JournalType::VmUpsert),
+                     encodeVmRecord(*rec));
+    } else {
+        ByteWriter w;
+        w.putString(vid);
+        store.append(static_cast<std::uint16_t>(JournalType::VmRemove),
+                     w.take());
+    }
+}
+
+void
+CloudController::journalServer(const std::string &serverId)
+{
+    if (!cfg.durable || replaying)
+        return;
+    const ServerRecord *rec = db.server(serverId);
+    if (!rec)
+        return;
+    store.append(static_cast<std::uint16_t>(JournalType::ServerUpsert),
+                 encodeServerRecord(*rec));
+}
+
+void
+CloudController::journalPolicy(const std::string &vid)
+{
+    if (!cfg.durable || replaying)
+        return;
+    const auto it = policies.find(vid);
+    if (it == policies.end())
+        return;
+    ByteWriter w;
+    w.putString(vid);
+    w.putU8(static_cast<std::uint8_t>(it->second));
+    store.append(static_cast<std::uint16_t>(JournalType::PolicySet),
+                 w.take());
+}
+
+void
+CloudController::journalLaunch(const std::string &vid)
+{
+    if (!cfg.durable || replaying)
+        return;
+    const auto it = launches.find(vid);
+    if (it != launches.end()) {
+        store.append(static_cast<std::uint16_t>(JournalType::LaunchUpsert),
+                     encodePendingLaunch(vid, it->second));
+    } else {
+        ByteWriter w;
+        w.putString(vid);
+        store.append(static_cast<std::uint16_t>(JournalType::LaunchRemove),
+                     w.take());
+    }
+}
+
+void
+CloudController::journalAttest(std::uint64_t attestId)
+{
+    if (!cfg.durable || replaying)
+        return;
+    const auto it = attests.find(attestId);
+    ByteWriter w;
+    w.putU64(attestId);
+    if (it != attests.end()) {
+        w.putBytes(encodeAttestContext(it->second));
+        store.append(static_cast<std::uint16_t>(JournalType::AttestUpsert),
+                     w.take());
+    } else {
+        store.append(static_cast<std::uint16_t>(JournalType::AttestRemove),
+                     w.take());
+    }
+}
+
+void
+CloudController::journalResponse(std::size_t index)
+{
+    if (!cfg.durable || replaying)
+        return;
+    if (index >= responses.size())
+        return;
+    ByteWriter w;
+    w.putU64(index);
+    w.putBytes(encodeResponseRecord(responses[index]));
+    store.append(static_cast<std::uint16_t>(JournalType::ResponseUpsert),
+                 w.take());
+}
+
+void
+CloudController::journalAsHealth(const std::string &attestorId)
+{
+    if (!cfg.durable || replaying)
+        return;
+    const auto it = asHealth.find(attestorId);
+    ByteWriter w;
+    w.putString(attestorId);
+    w.putI64(it == asHealth.end() ? 0 : it->second.strikes);
+    w.putU8(it != asHealth.end() && it->second.suspect ? 1 : 0);
+    store.append(static_cast<std::uint16_t>(JournalType::AsHealthSet),
+                 w.take());
+}
+
+void
+CloudController::journalRelay(const CustomerKey &key, const Bytes &packed)
+{
+    if (!cfg.durable || replaying)
+        return;
+    ByteWriter w;
+    w.putString(key.first);
+    w.putU64(key.second);
+    w.putBytes(packed);
+    store.append(static_cast<std::uint16_t>(JournalType::RelayRemember),
+                 w.take());
+}
+
+void
+CloudController::commitJournal()
+{
+    if (!cfg.durable || replaying)
+        return;
+    if (store.pendingRecords() > 0)
+        store.sync();
+    if (cfg.checkpointEveryRecords > 0 &&
+        store.durableRecords() >= cfg.checkpointEveryRecords)
+        store.checkpoint(snapshotState());
+}
+
+// --- Durability: snapshot + replay ------------------------------------
+
+Bytes
+CloudController::snapshotState() const
+{
+    ByteWriter w;
+    w.putU64(nextVmNumber);
+    w.putU64(nextAttestId);
+
+    const auto vmIds = db.vmIds();
+    w.putU32(static_cast<std::uint32_t>(vmIds.size()));
+    for (const std::string &vid : vmIds)
+        w.putBytes(encodeVmRecord(*db.vm(vid)));
+
+    const auto serverIds = db.serverIds();
+    w.putU32(static_cast<std::uint32_t>(serverIds.size()));
+    for (const std::string &id : serverIds)
+        w.putBytes(encodeServerRecord(*db.server(id)));
+
+    w.putU32(static_cast<std::uint32_t>(policies.size()));
+    for (const auto &[vid, policy] : policies) {
+        w.putString(vid);
+        w.putU8(static_cast<std::uint8_t>(policy));
+    }
+
+    w.putU32(static_cast<std::uint32_t>(launches.size()));
+    for (const auto &[vid, launch] : launches)
+        w.putBytes(encodePendingLaunch(vid, launch));
+
+    w.putU32(static_cast<std::uint32_t>(attests.size()));
+    for (const auto &[attestId, ctx] : attests) {
+        w.putU64(attestId);
+        w.putBytes(encodeAttestContext(ctx));
+    }
+
+    w.putU32(static_cast<std::uint32_t>(responses.size()));
+    for (const ResponseRecord &rec : responses)
+        w.putBytes(encodeResponseRecord(rec));
+
+    w.putU32(static_cast<std::uint32_t>(asHealth.size()));
+    for (const auto &[id, health] : asHealth) {
+        w.putString(id);
+        w.putI64(health.strikes);
+        w.putU8(health.suspect ? 1 : 0);
+    }
+
+    // Relay cache in FIFO order so replay reproduces eviction order.
+    w.putU32(static_cast<std::uint32_t>(relayOrder.size()));
+    for (const CustomerKey &key : relayOrder) {
+        w.putString(key.first);
+        w.putU64(key.second);
+        w.putBytes(relayCache.at(key));
+    }
+    return w.take();
+}
+
+void
+CloudController::applySnapshot(const Bytes &snapshot)
+{
+    ByteReader r(snapshot);
+    auto vmNumber = r.getU64();
+    auto attestNumber = r.getU64();
+    if (!vmNumber || !attestNumber)
+        return;
+    nextVmNumber = vmNumber.value();
+    nextAttestId = attestNumber.value();
+
+    auto vmCount = r.getU32();
+    for (std::uint32_t i = 0; vmCount && i < vmCount.value(); ++i) {
+        auto blob = r.getBytes();
+        if (!blob)
+            return;
+        auto rec = decodeVmRecord(blob.value());
+        if (rec)
+            db.addVm(rec.take());
+    }
+
+    auto serverCount = r.getU32();
+    for (std::uint32_t i = 0; serverCount && i < serverCount.value();
+         ++i) {
+        auto blob = r.getBytes();
+        if (!blob)
+            return;
+        auto rec = decodeServerRecord(blob.value());
+        if (rec)
+            db.addServer(rec.take());
+    }
+
+    auto policyCount = r.getU32();
+    for (std::uint32_t i = 0; policyCount && i < policyCount.value();
+         ++i) {
+        auto vid = r.getString();
+        auto policy = r.getU8();
+        if (!vid || !policy)
+            return;
+        policies[vid.value()] =
+            static_cast<ResponsePolicy>(policy.value());
+    }
+
+    auto launchCount = r.getU32();
+    for (std::uint32_t i = 0; launchCount && i < launchCount.value();
+         ++i) {
+        auto blob = r.getBytes();
+        if (!blob)
+            return;
+        std::string vid;
+        PendingLaunch launch;
+        if (decodePendingLaunch(blob.value(), vid, launch))
+            launches[vid] = std::move(launch);
+    }
+
+    auto attestCount = r.getU32();
+    for (std::uint32_t i = 0; attestCount && i < attestCount.value();
+         ++i) {
+        auto attestId = r.getU64();
+        auto blob = r.getBytes();
+        if (!attestId || !blob)
+            return;
+        AttestContext ctx;
+        if (decodeAttestContext(blob.value(), ctx))
+            attests[attestId.value()] = std::move(ctx);
+    }
+
+    auto responseCount = r.getU32();
+    for (std::uint32_t i = 0; responseCount && i < responseCount.value();
+         ++i) {
+        auto blob = r.getBytes();
+        if (!blob)
+            return;
+        ResponseRecord rec;
+        if (decodeResponseRecord(blob.value(), rec))
+            responses.push_back(std::move(rec));
+    }
+
+    auto healthCount = r.getU32();
+    for (std::uint32_t i = 0; healthCount && i < healthCount.value();
+         ++i) {
+        auto id = r.getString();
+        auto strikes = r.getI64();
+        auto suspect = r.getU8();
+        if (!id || !strikes || !suspect)
+            return;
+        asHealth[id.value()] =
+            AsHealth{static_cast<int>(strikes.value()),
+                     suspect.value() != 0};
+    }
+
+    auto relayCount = r.getU32();
+    for (std::uint32_t i = 0; relayCount && i < relayCount.value(); ++i) {
+        auto customer = r.getString();
+        auto requestId = r.getU64();
+        auto packed = r.getBytes();
+        if (!customer || !requestId || !packed)
+            return;
+        const CustomerKey key{customer.value(), requestId.value()};
+        if (relayCache.emplace(key, packed.take()).second)
+            relayOrder.push_back(key);
+    }
+}
+
+void
+CloudController::applyJournalRecord(const sim::JournalRecord &rec)
+{
+    ByteReader r(rec.payload);
+    switch (static_cast<JournalType>(rec.type)) {
+      case JournalType::Meta: {
+        auto vmNumber = r.getU64();
+        auto attestNumber = r.getU64();
+        if (vmNumber && attestNumber) {
+            nextVmNumber = vmNumber.value();
+            nextAttestId = attestNumber.value();
+        }
+        break;
+      }
+      case JournalType::VmUpsert: {
+        auto decoded = decodeVmRecord(rec.payload);
+        if (decoded)
+            db.addVm(decoded.take());
+        break;
+      }
+      case JournalType::VmRemove: {
+        auto vid = r.getString();
+        if (vid)
+            db.removeVm(vid.value());
+        break;
+      }
+      case JournalType::ServerUpsert: {
+        auto decoded = decodeServerRecord(rec.payload);
+        if (decoded)
+            db.addServer(decoded.take());
+        break;
+      }
+      case JournalType::PolicySet: {
+        auto vid = r.getString();
+        auto policy = r.getU8();
+        if (vid && policy)
+            policies[vid.value()] =
+                static_cast<ResponsePolicy>(policy.value());
+        break;
+      }
+      case JournalType::LaunchUpsert: {
+        std::string vid;
+        PendingLaunch launch;
+        if (decodePendingLaunch(rec.payload, vid, launch))
+            launches[vid] = std::move(launch);
+        break;
+      }
+      case JournalType::LaunchRemove: {
+        auto vid = r.getString();
+        if (vid)
+            launches.erase(vid.value());
+        break;
+      }
+      case JournalType::AttestUpsert: {
+        auto attestId = r.getU64();
+        auto blob = r.getBytes();
+        if (!attestId || !blob)
+            break;
+        AttestContext ctx;
+        if (decodeAttestContext(blob.value(), ctx))
+            attests[attestId.value()] = std::move(ctx);
+        break;
+      }
+      case JournalType::AttestRemove: {
+        auto attestId = r.getU64();
+        if (attestId)
+            attests.erase(attestId.value());
+        break;
+      }
+      case JournalType::ResponseUpsert: {
+        auto index = r.getU64();
+        auto blob = r.getBytes();
+        if (!index || !blob)
+            break;
+        ResponseRecord decoded;
+        if (!decodeResponseRecord(blob.value(), decoded))
+            break;
+        if (index.value() >= responses.size())
+            responses.resize(index.value() + 1);
+        responses[index.value()] = std::move(decoded);
+        break;
+      }
+      case JournalType::AsHealthSet: {
+        auto id = r.getString();
+        auto strikes = r.getI64();
+        auto suspect = r.getU8();
+        if (id && strikes && suspect)
+            asHealth[id.value()] =
+                AsHealth{static_cast<int>(strikes.value()),
+                         suspect.value() != 0};
+        break;
+      }
+      case JournalType::RelayRemember: {
+        auto customer = r.getString();
+        auto requestId = r.getU64();
+        auto packed = r.getBytes();
+        if (!customer || !requestId || !packed)
+            break;
+        const CustomerKey key{customer.value(), requestId.value()};
+        if (relayCache.emplace(key, packed.take()).second) {
+            relayOrder.push_back(key);
+            while (relayOrder.size() > cfg.relayCacheCapacity) {
+                relayCache.erase(relayOrder.front());
+                relayOrder.pop_front();
+            }
+        }
+        break;
+      }
+    }
+}
+
+// --- Durability: crash / restart / recovery ---------------------------
+
+void
+CloudController::crash()
+{
+    if (!endpoint.attached())
+        return;
+    MONATT_LOG(Info, "cc") << cfg.id << ": crash";
+    ++era;
+    endpoint.detach();
+    for (auto &[attestId, ctx] : attests) {
+        if (ctx.retryTimer != 0)
+            events.cancel(ctx.retryTimer);
+    }
+    // The un-fsynced journal tail is the page cache: lost.
+    store.crash();
+    // Volatile and recoverable in-memory state dies. Operator
+    // provisioning (flavors, clusters, server inventory rows) survives
+    // like files on disk; allocation counters are restored from the
+    // journal during recovery.
+    for (const std::string &vid : db.vmIds())
+        db.removeVm(vid);
+    launches.clear();
+    attests.clear();
+    policies.clear();
+    responses.clear();
+    outstandingResponses.clear();
+    reportQueue.clear();
+    reportFlushScheduled = false;
+    relayQueue.clear();
+    relayFlushScheduled = false;
+    asHealth.clear();
+    customerInFlight.clear();
+    relayCache.clear();
+    relayOrder.clear();
+    attestorRtt.clear();
+    nextVmNumber = 1;
+    nextAttestId = 1;
+}
+
+void
+CloudController::restart()
+{
+    if (endpoint.attached())
+        return;
+    MONATT_LOG(Info, "cc") << cfg.id << ": restart";
+    endpoint.attach();
+    if (cfg.durable)
+        recover();
+}
+
+void
+CloudController::recover()
+{
+    ++counters.recoveries;
+    replaying = true;
+    auto image = store.replay();
+    if (image.hasSnapshot)
+        applySnapshot(image.snapshot);
+    for (const sim::JournalRecord &rec : image.records)
+        applyJournalRecord(rec);
+    replaying = false;
+
+    rearmRecoveredWork();
+
+    // Recovery doubles as a checkpoint: the recovered (and re-armed)
+    // state becomes the new snapshot and the journal restarts empty.
+    store.checkpoint(snapshotState());
+    MONATT_LOG(Info, "cc")
+        << cfg.id << ": recovered " << db.vmIds().size() << " vms, "
+        << attests.size() << " in-flight attestations, "
+        << launches.size() << " pending launches";
+}
+
+void
+CloudController::rearmRecoveredWork()
+{
+    // Rebuild the derived in-flight marks from live customer requests.
+    for (const auto &[attestId, ctx] : attests) {
+        if (ctx.kind == AttestKind::CustomerRequest &&
+            ctx.mode != AttestMode::StopPeriodic)
+            customerInFlight.insert(
+                CustomerKey{ctx.customer, ctx.customerRequestId});
+    }
+
+    // Incomplete remediation responses: the command (or its ack) may
+    // have been lost in the outage — re-issue it. The server-side
+    // handlers are idempotent, so a duplicate command just re-acks.
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        if (responses[i].completed)
+            continue;
+        outstandingResponses[responses[i].vid] = i;
+        resendResponseCommand(i);
+    }
+
+    // Re-arm every in-flight attestation: re-send the forward rebuilt
+    // from the journaled context (same nonce2, so a late pre-crash
+    // reply still binds) with a fresh retry budget.
+    for (auto &[attestId, ctx] : attests) {
+        ctx.retryTimer = 0;
+        if (ctx.mode == AttestMode::StopPeriodic) {
+            // Fire-and-forget: repeat the stop, which is idempotent.
+            transmitForward(attestId);
+            continue;
+        }
+        ++counters.recoveredAttests;
+        ctx.retries = 0;
+        ctx.recovered = true;
+        journalAttest(attestId);
+        transmitForward(attestId);
+        if (cfg.reliability.enabled && !ctx.acked)
+            scheduleForwardRetry(attestId);
+    }
+
+    // Re-drive interrupted launches.
+    std::vector<std::string> launchVids;
+    launchVids.reserve(launches.size());
+    for (const auto &[vid, launch] : launches)
+        launchVids.push_back(vid);
+    for (const std::string &vid : launchVids) {
+        VmRecord *rec = db.vm(vid);
+        if (!rec)
+            continue;
+        switch (rec->status) {
+          case VmStatus::Scheduling:
+          case VmStatus::Networking:
+          case VmStatus::Mapping: {
+            // Pre-spawn stages are controller-local: restart the
+            // pipeline from scheduling (releasing a half-made
+            // placement first).
+            if (!rec->serverId.empty()) {
+                db.release(rec->serverId, rec->ramMb, rec->diskGb);
+                journalServer(rec->serverId);
+                rec->serverId.clear();
+            }
+            ++counters.recoveredLaunches;
+            runSchedulingStage(vid);
+            break;
+          }
+          case VmStatus::Spawning: {
+            // The LaunchVm command is with the server; its ack may
+            // arrive normally, or may have been lost in the outage.
+            // Give the spawn its full modeled duration (plus a retry
+            // budget's slack) and terminally fail the launch if no
+            // ack landed by then.
+            const SimTime grace =
+                cfg.timing.spawnTime(rec->imageSizeMb, rec->ramMb) +
+                cfg.reliability.forwardRto;
+            ++counters.recoveredLaunches;
+            events.scheduleAfter(grace, [this, vid, eraNow = era] {
+                if (eraNow != era)
+                    return;
+                VmRecord *rec = db.vm(vid);
+                if (!rec || rec->status != VmStatus::Spawning ||
+                    !launches.count(vid))
+                    return;
+                proto::VmCommand cmd;
+                cmd.vid = vid;
+                endpoint.sendSecure(
+                    rec->serverId,
+                    proto::packMessage(MessageKind::TerminateVm,
+                                       cmd.encode()));
+                db.release(rec->serverId, rec->ramMb, rec->diskGb);
+                journalServer(rec->serverId);
+                finishLaunch(vid, false,
+                             "launch ack lost across controller restart");
+                commitJournal();
+            }, "cc.spawn.recover");
+            break;
+          }
+          case VmStatus::Attesting: {
+            // Only restart the attestation when no journaled context
+            // survived (e.g. the report was verified and the context
+            // retired, but the launch decision died with the crash).
+            bool haveCtx = false;
+            for (const auto &[attestId, ctx] : attests)
+                haveCtx |= ctx.kind == AttestKind::StartupLaunch &&
+                           ctx.vid == vid;
+            if (!haveCtx) {
+                ++counters.recoveredLaunches;
+                startStartupAttestation(vid);
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // Suspended VMs with neither a pending suspend command nor a live
+    // recheck attestation: re-arm the periodic recheck.
+    for (const std::string &vid : db.vmIds()) {
+        const VmRecord *rec = db.vm(vid);
+        if (!rec || rec->status != VmStatus::Suspended ||
+            outstandingResponses.count(vid))
+            continue;
+        bool haveRecheck = false;
+        for (const auto &[attestId, ctx] : attests)
+            haveRecheck |= ctx.kind == AttestKind::SuspendRecheck &&
+                           ctx.vid == vid;
+        if (haveRecheck)
+            continue;
+        for (std::size_t i = responses.size(); i-- > 0;) {
+            if (responses[i].vid == vid &&
+                responses[i].action == ResponsePolicy::Suspend &&
+                responses[i].completed && responses[i].succeeded) {
+                scheduleSuspendRecheck(vid, i);
+                break;
+            }
+        }
+    }
+}
+
+void
+CloudController::resendResponseCommand(std::size_t logIndex)
+{
+    const ResponseRecord &log = responses[logIndex];
+    const VmRecord *rec = db.vm(log.vid);
+    if (!rec || rec->serverId.empty())
+        return;
+    switch (log.action) {
+      case ResponsePolicy::Terminate: {
+        proto::VmCommand cmd;
+        cmd.vid = log.vid;
+        endpoint.sendSecure(rec->serverId,
+                            proto::packMessage(MessageKind::TerminateVm,
+                                               cmd.encode()));
+        break;
+      }
+      case ResponsePolicy::Suspend: {
+        proto::VmCommand cmd;
+        cmd.vid = log.vid;
+        endpoint.sendSecure(rec->serverId,
+                            proto::packMessage(MessageKind::SuspendVm,
+                                               cmd.encode()));
+        break;
+      }
+      case ResponsePolicy::Migrate: {
+        if (log.targetServer.empty())
+            break;
+        proto::MigrateOut cmd;
+        cmd.vid = log.vid;
+        cmd.targetServer = log.targetServer;
+        endpoint.sendSecure(rec->serverId,
+                            proto::packMessage(MessageKind::MigrateOut,
+                                               cmd.encode()));
+        break;
+      }
+      case ResponsePolicy::None:
+        break;
     }
 }
 

@@ -36,6 +36,7 @@
 #include "proto/messages.h"
 #include "proto/timing_model.h"
 #include "sim/event_queue.h"
+#include "sim/stable_store.h"
 
 namespace monatt::controller
 {
@@ -110,6 +111,25 @@ struct CloudControllerConfig
      * them in the constructor.
      */
     std::optional<crypto::RsaKeyPair> presetIdentityKeys;
+
+    /**
+     * Durable control plane: journal every database and protocol-state
+     * mutation to a write-ahead StableStore and recover from it after
+     * a crash. Journal appends cost zero simulated time and every
+     * recovery action happens only after a crash, so clean-wire runs
+     * are byte-identical with durability on or off.
+     */
+    bool durable = true;
+
+    /**
+     * Compact the journal into a snapshot checkpoint once the durable
+     * journal holds this many records; 0 = never checkpoint (journal
+     * grows without bound).
+     */
+    std::size_t checkpointEveryRecords = 512;
+
+    /** Capacity of the customer relay dedup cache (bounded FIFO). */
+    std::size_t relayCacheCapacity = 128;
 };
 
 /** Observable counters. */
@@ -126,6 +146,10 @@ struct ControllerStats
     std::uint64_t failovers = 0;            //!< Requests moved to another AS.
     std::uint64_t attestationsUnreachable = 0; //!< Terminal give-ups.
     std::uint64_t duplicateAttestRequests = 0; //!< Dedup'd customer sends.
+    std::uint64_t recoveries = 0;          //!< Journal replays completed.
+    std::uint64_t recoveredAttests = 0;    //!< Attestations re-armed.
+    std::uint64_t recoveredLaunches = 0;   //!< Launches re-driven.
+    std::uint64_t rttSamples = 0;          //!< Per-attestor RTT samples.
 };
 
 /** The Cloud Controller entity. */
@@ -177,6 +201,42 @@ class CloudController
 
     const ControllerStats &stats() const { return counters; }
 
+    /**
+     * Simulated crash: detach from the network and drop all volatile
+     * state plus the un-fsynced journal tail. Provisioned operator
+     * config (flavors, clusters, the server inventory rows) survives
+     * like files on disk; everything else must come back via
+     * restart() -> recover().
+     */
+    void crash();
+
+    /** Restart after crash(): re-attach and replay the journal. */
+    void restart();
+
+    /** The controller's durable store (journal + checkpoints). */
+    const sim::StableStore &stableStore() const { return store; }
+
+    /** Relay dedup cache introspection (bounds tests). */
+    std::size_t relayCacheSize() const { return relayCache.size(); }
+
+    /** Cached customer request ids in FIFO eviction order. */
+    std::vector<std::uint64_t> relayCacheRequestIds() const
+    {
+        std::vector<std::uint64_t> ids;
+        ids.reserve(relayOrder.size());
+        for (const CustomerKey &key : relayOrder)
+            ids.push_back(key.second);
+        return ids;
+    }
+
+    /** Observed RTT estimate toward an attestor; nullptr when none. */
+    const proto::RttEstimator *
+    attestorRttEstimate(const std::string &attestorId) const
+    {
+        const auto it = attestorRtt.find(attestorId);
+        return it == attestorRtt.end() ? nullptr : &it->second;
+    }
+
   private:
     /** Why an attestation was initiated. */
     enum class AttestKind { StartupLaunch, CustomerRequest,
@@ -200,6 +260,9 @@ class CloudController
         int retries = 0;
         int failovers = 0;
         bool acked = false;          //!< A verified report arrived.
+        bool recovered = false;      //!< Re-armed after a crash (skip
+                                     //!< RTT sampling: the send time
+                                     //!< spans the outage).
         sim::EventId retryTimer = 0; //!< 0 = none pending.
     };
 
@@ -353,11 +416,80 @@ class CloudController
     using CustomerKey = std::pair<net::NodeId, std::uint64_t>;
     std::set<CustomerKey> customerInFlight;
     std::map<CustomerKey, Bytes> relayCache;
-    std::deque<CustomerKey> relayOrder;
-    static constexpr std::size_t kRelayCacheSize = 128;
+    std::deque<CustomerKey> relayOrder; //!< FIFO eviction order; bounded
+                                        //!< by cfg.relayCacheCapacity.
 
     /** Cache a packed customer reply and clear its in-flight mark. */
     void rememberRelay(const CustomerKey &key, Bytes packed);
+
+    // --- Durability (write-ahead journal) ------------------------------
+
+    /** Journal record types (StableStore payload tags). */
+    enum class JournalType : std::uint16_t
+    {
+        Meta = 1,         //!< nextVmNumber / nextAttestId counters.
+        VmUpsert = 2,     //!< Full VmRecord (or remove when absent).
+        VmRemove = 3,
+        ServerUpsert = 4, //!< Full ServerRecord (allocation changes).
+        PolicySet = 5,
+        LaunchUpsert = 6, //!< PendingLaunch (or remove when absent).
+        LaunchRemove = 7,
+        AttestUpsert = 8, //!< AttestContext (or remove when absent).
+        AttestRemove = 9,
+        ResponseUpsert = 10, //!< Response log entry by index.
+        AsHealthSet = 11,
+        RelayRemember = 12, //!< Cached customer reply (FIFO on replay).
+    };
+
+    /** WAL helpers: append the current value of one state item. Each
+     * upsert helper journals a remove when the item no longer exists,
+     * so one call site covers both mutations. No-ops when durability
+     * is off or during replay. */
+    void journalMeta();
+    void journalVm(const std::string &vid);
+    void journalServer(const std::string &serverId);
+    void journalPolicy(const std::string &vid);
+    void journalLaunch(const std::string &vid);
+    void journalAttest(std::uint64_t attestId);
+    void journalResponse(std::size_t index);
+    void journalAsHealth(const std::string &attestorId);
+    void journalRelay(const CustomerKey &key, const Bytes &packed);
+
+    /** Fsync barrier + checkpoint policy; called at the end of every
+     * event-handler body so no externally visible state is lost. */
+    void commitJournal();
+
+    /** Full-state snapshot for checkpoints. */
+    Bytes snapshotState() const;
+    void applySnapshot(const Bytes &snapshot);
+    void applyJournalRecord(const sim::JournalRecord &rec);
+
+    /** Replay snapshot + journal, then re-arm recovered work. */
+    void recover();
+    void rearmRecoveredWork();
+
+    /** Re-send the remediation command of an incomplete response. */
+    void resendResponseCommand(std::size_t logIndex);
+
+    Bytes encodeAttestContext(const AttestContext &ctx) const;
+    bool decodeAttestContext(const Bytes &data, AttestContext &out) const;
+    Bytes encodePendingLaunch(const std::string &vid,
+                              const PendingLaunch &launch) const;
+    bool decodePendingLaunch(const Bytes &data, std::string &vid,
+                             PendingLaunch &out) const;
+    Bytes encodeResponseRecord(const ResponseRecord &rec) const;
+    bool decodeResponseRecord(const Bytes &data, ResponseRecord &out) const;
+
+    sim::StableStore store;
+    /** Incremented on every crash; scheduled lambdas capture the era
+     * they were created in and bail when it changed, so pre-crash
+     * callbacks cannot double-act on recovered state. */
+    std::uint64_t era = 0;
+    bool replaying = false; //!< recover() in progress: journal muted.
+
+    /** Per-attestor observed round-trip estimate (volatile; adaptive
+     * RTOs fall back to the fixed knob until fresh samples arrive). */
+    std::map<std::string, proto::RttEstimator> attestorRtt;
 
     std::uint64_t nextVmNumber = 1;
     std::uint64_t nextAttestId = 1;

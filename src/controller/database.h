@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/result.h"
 #include "common/time_types.h"
 #include "proto/property.h"
 #include "sim/stage_timer.h"
@@ -121,6 +122,18 @@ class CloudDatabase
     std::map<std::string, ServerRecord> servers;
     std::map<std::string, VmRecord> vms;
 };
+
+// --- Journal serialization (common/codec byte layouts) -----------------
+//
+// Record payloads for the controller's StableStore. Encoders are
+// total; decoders are strict (any truncated or trailing bytes is an
+// error), matching the protocol codec's posture.
+
+Bytes encodeVmRecord(const VmRecord &rec);
+Result<VmRecord> decodeVmRecord(const Bytes &data);
+
+Bytes encodeServerRecord(const ServerRecord &rec);
+Result<ServerRecord> decodeServerRecord(const Bytes &data);
 
 } // namespace monatt::controller
 

@@ -90,6 +90,8 @@ Cloud::Cloud(CloudConfig config)
     pca = std::make_unique<attestation::PrivacyCa>(
         eventQueue, fabric, keyDirectory, "privacy-ca", cfg.timing,
         cfg.seed ^ 0x1, cfg.cryptoBatchWindow, std::move(pcaKeys));
+    pca->setDurable(cfg.durableControlPlane);
+    pca->setIssuedCacheCapacity(cfg.dedupCacheCapacity);
     keyDirectory.publish("privacy-ca", pca->publicKey());
 
     for (int i = 0; i < numAs; ++i) {
@@ -101,6 +103,9 @@ Cloud::Cloud(CloudConfig config)
         asCfg.identityKeyBits = cfg.identityKeyBits;
         asCfg.enableVerificationCaches = cfg.enableAttestationCaches;
         asCfg.batchWindow = cfg.cryptoBatchWindow;
+        asCfg.durable = cfg.durableControlPlane;
+        asCfg.checkpointEveryRecords = cfg.checkpointEveryRecords;
+        asCfg.reportCacheCapacity = cfg.dedupCacheCapacity;
         asCfg.presetIdentityKeys =
             std::move(asKeys[static_cast<std::size_t>(i)]);
         auto as = std::make_unique<attestation::AttestationServer>(
@@ -116,6 +121,9 @@ Cloud::Cloud(CloudConfig config)
     ccCfg.attestorIds = asIds;
     ccCfg.identityKeyBits = cfg.identityKeyBits;
     ccCfg.batchWindow = cfg.cryptoBatchWindow;
+    ccCfg.durable = cfg.durableControlPlane;
+    ccCfg.checkpointEveryRecords = cfg.checkpointEveryRecords;
+    ccCfg.relayCacheCapacity = cfg.dedupCacheCapacity;
     ccCfg.presetIdentityKeys = std::move(ccKeys);
     cc = std::make_unique<controller::CloudController>(
         eventQueue, fabric, keyDirectory, ccCfg, cfg.seed ^ 0x3);
@@ -251,6 +259,14 @@ Cloud::crashNode(const std::string &node)
             return;
         }
     }
+    if (node == cc->id()) {
+        cc->crash();
+        return;
+    }
+    if (node == pca->id()) {
+        pca->crash();
+        return;
+    }
     MONATT_LOG(Warn, "cloud") << "crash scheduled for unknown node "
                               << node;
 }
@@ -268,6 +284,12 @@ Cloud::restartNode(const std::string &node)
             return;
         }
     }
+    if (node == cc->id()) {
+        cc->restart();
+        return;
+    }
+    if (node == pca->id())
+        pca->restart();
 }
 
 void

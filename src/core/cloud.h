@@ -103,6 +103,26 @@ struct CloudConfig
      */
     proto::ReliabilityModel reliability =
         proto::ReliabilityModel::enabledDefaults();
+
+    /**
+     * Durable control plane: the controller, Attestation Servers and
+     * pCA journal their recoverable state to write-ahead StableStores
+     * and replay it on restart. Journal writes cost zero simulated
+     * time and recovery only runs after a crash, so clean-wire runs
+     * are byte-identical either way (bench_recovery A/Bs this knob).
+     */
+    bool durableControlPlane = true;
+
+    /** Journal checkpoint threshold passed to every durable entity. */
+    std::size_t checkpointEveryRecords = 512;
+
+    /**
+     * Bound for every receive-side dedup cache (controller relay
+     * cache, AS report cache, pCA issued-certificate cache). FIFO
+     * eviction, deterministic order; tests shrink it to force
+     * eviction.
+     */
+    std::size_t dedupCacheCapacity = 128;
 };
 
 /** The deployment. */
@@ -159,9 +179,13 @@ class Cloud
     const sim::FaultPlan *faultPlan() const { return plan.get(); }
 
     /** Crash / restart one node by id (used by the crash schedule;
-     * public so tests can script outages directly). */
+     * public so tests can script outages directly). Resolves cloud
+     * servers, Attestation Servers, the controller and the pCA. */
     void crashNode(const std::string &node);
     void restartNode(const std::string &node);
+
+    /** Convenience: restart the controller (replays its journal). */
+    void restartController() { cc->restart(); }
 
     // --- Simulation driving --------------------------------------------
 

@@ -220,6 +220,19 @@ SecureEndpoint::handleHello(const Envelope &env)
     // The envelope src header is attacker-controlled, but accept()
     // verified the hello's signature against env.src's published key,
     // so a forged src would have failed verification above.
+    // A *different* hello from a known peer means the peer lost its
+    // session state (e.g. it crashed and restarted) and is
+    // re-handshaking. Our own outbound channel to it — sealed against
+    // the peer's discarded keys — is equally stale: drop an Open one
+    // so the next send renegotiates instead of producing records the
+    // peer can only reject. An in-progress handshake is left alone
+    // (its accept is still in flight and will complete normally).
+    if (known != inbound.end()) {
+        const auto out = outbound.find(env.src);
+        if (out != outbound.end() &&
+            out->second.state == OutboundChannel::State::Open)
+            outbound.erase(out);
+    }
     InboundChannel ic;
     ic.channel = std::move(accepted.value().channel);
     ic.lastHello = env.payload;

@@ -24,6 +24,43 @@ namespace monatt::proto
 {
 
 /**
+ * Per-hop round-trip-time estimator (RFC 6298 shape, integer
+ * microseconds, keyed to simulated time).
+ *
+ * Smoothed RTT and RTT variance follow TCP's EWMAs:
+ * first sample sets srtt = rtt, rttvar = rtt / 2; afterwards
+ * rttvar = (3·rttvar + |srtt − rtt|) / 4 and
+ * srtt = (7·srtt + rtt) / 8. Callers observe Karn's algorithm: never
+ * feed a sample from an exchange that was retransmitted or failed
+ * over, since the reply cannot be matched to a send attempt.
+ */
+struct RttEstimator
+{
+    SimTime srtt = 0;
+    SimTime rttvar = 0;
+    std::uint64_t samples = 0;
+
+    void
+    addSample(SimTime rtt)
+    {
+        if (rtt < 0)
+            return;
+        if (samples == 0)
+        {
+            srtt = rtt;
+            rttvar = rtt / 2;
+        }
+        else
+        {
+            const SimTime delta = srtt > rtt ? srtt - rtt : rtt - srtt;
+            rttvar = (3 * rttvar + delta) / 4;
+            srtt = (7 * srtt + rtt) / 8;
+        }
+        ++samples;
+    }
+};
+
+/**
  * Protocol reliability knobs: per-hop retransmission timers with
  * exponential backoff and bounded retry budgets, plus controller-side
  * health tracking / failover. Retry timers are schedule-then-cancel:
@@ -67,12 +104,48 @@ struct ReliabilityModel
     int failoverLimit = 1;    //!< Max AS switches per request.
     int suspectThreshold = 2; //!< Timeouts before an AS is suspect.
 
+    // --- Adaptive retry budgets ----------------------------------------
+    /**
+     * When set, hops that maintain an RttEstimator derive their RTO
+     * from observed RTT (rto() below) instead of the fixed constants
+     * above: a slow deployment stops spuriously failing over, a fast
+     * one detects loss sooner. The fixed RTO still bounds the very
+     * first exchange on a hop (no samples yet).
+     */
+    bool adaptiveRto = true;
+    SimTime minRto = msec(200);  //!< Floor for the adaptive RTO.
+    SimTime maxRto = seconds(30); //!< Ceiling for the adaptive RTO.
+
     /** Exponential backoff: rto << attempt, capped to avoid overflow. */
     SimTime
     backoff(SimTime rto, int attempt) const
     {
         const int shift = attempt < 6 ? attempt : 6;
         return rto << shift;
+    }
+
+    /**
+     * Effective RTO for a hop: the fixed knob until the estimator has
+     * a sample (or when adaptation is off), afterwards
+     * 2·SRTT + 4·RTTVAR clamped to [minRto, maxRto]. The multipliers
+     * are deliberately generous (above RFC 6298's srtt + 4·rttvar):
+     * simulated hops have near-constant RTT, so rttvar decays toward
+     * zero and a tight bound would retransmit on the first scheduling
+     * wobble. With the generous bound the adaptive timer still only
+     * fires when the reply is genuinely lost, keeping clean-wire runs
+     * schedule-then-cancel and therefore byte-identical.
+     */
+    SimTime
+    rto(SimTime fixedRto, const RttEstimator &est) const
+    {
+        if (!adaptiveRto || est.samples == 0)
+            return fixedRto;
+        SimTime adaptive = 2 * est.srtt + 4 * est.rttvar;
+        if (adaptive < minRto)
+            adaptive = minRto;
+        if (adaptive > maxRto)
+            adaptive = maxRto;
+        return adaptive;
     }
 
     /** The default knob set with the master switch on. */

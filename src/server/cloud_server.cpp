@@ -305,6 +305,9 @@ CloudServer::scheduleCertRetry(std::uint64_t requestId)
             certToRequest.erase(p.sessionLabel);
             releaseSession(p.session);
             pending.erase(it);
+            // The pCA may have crashed and restarted: force a fresh
+            // handshake before the next certification attempt.
+            endpoint.resetPeer(cfg.pcaId);
             return;
         }
         ++p.certRetries;

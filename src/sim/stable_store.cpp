@@ -1,0 +1,115 @@
+#include "sim/stable_store.h"
+
+namespace monatt::sim
+{
+
+namespace
+{
+
+/** FNV-1a 64-bit, folded over a byte range. */
+std::uint64_t
+fnvBytes(std::uint64_t h, const std::uint8_t *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        h = (h ^ p[i]) * 0x100000001b3ULL;
+    return h;
+}
+
+std::uint64_t
+fnvU64(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+    {
+        h = (h ^ (v & 0xff)) * 0x100000001b3ULL;
+        v >>= 8;
+    }
+    return h;
+}
+
+} // namespace
+
+StableStore::StableStore(std::string nodeId) : nodeId(std::move(nodeId)) {}
+
+std::uint64_t
+StableStore::append(std::uint16_t type, Bytes payload)
+{
+    JournalRecord rec;
+    rec.lsn = nextLsn++;
+    rec.type = type;
+    rec.payload = std::move(payload);
+    buffered.push_back(std::move(rec));
+    ++counters.appends;
+    return buffered.back().lsn;
+}
+
+void
+StableStore::sync()
+{
+    ++counters.syncs;
+    while (!buffered.empty())
+    {
+        durable.push_back(std::move(buffered.front()));
+        buffered.pop_front();
+    }
+}
+
+void
+StableStore::checkpoint(Bytes snap)
+{
+    ++counters.checkpoints;
+    snapshot = std::move(snap);
+    snapshotValid = true;
+    // The snapshot captures current in-memory state, which already
+    // includes any buffered mutations — both journals are superseded.
+    durable.clear();
+    buffered.clear();
+}
+
+void
+StableStore::crash()
+{
+    ++counters.crashes;
+    counters.recordsLost += buffered.size();
+    buffered.clear();
+}
+
+StableStore::RecoveryImage
+StableStore::replay()
+{
+    RecoveryImage image;
+    image.hasSnapshot = snapshotValid;
+    image.snapshot = snapshot;
+    image.records.assign(durable.begin(), durable.end());
+    counters.recordsReplayed += image.records.size();
+    return image;
+}
+
+std::size_t
+StableStore::durableBytes() const
+{
+    std::size_t total = snapshotValid ? snapshot.size() : 0;
+    for (const JournalRecord &rec : durable)
+        total += rec.payload.size();
+    return total;
+}
+
+std::uint64_t
+StableStore::digest() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = fnvBytes(h,
+                 reinterpret_cast<const std::uint8_t *>(nodeId.data()),
+                 nodeId.size());
+    h = fnvU64(h, snapshotValid ? 1 : 0);
+    if (snapshotValid)
+        h = fnvBytes(h, snapshot.data(), snapshot.size());
+    for (const JournalRecord &rec : durable)
+    {
+        h = fnvU64(h, rec.lsn);
+        h = fnvU64(h, rec.type);
+        h = fnvBytes(h, rec.payload.data(), rec.payload.size());
+    }
+    return h;
+}
+
+} // namespace monatt::sim

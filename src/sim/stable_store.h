@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Simulated durable storage: a write-ahead journal with fsync
+ * barriers.
+ *
+ * Every stateful control-plane entity (CloudController, the
+ * Attestation Servers, the PrivacyCA) owns one StableStore modelling
+ * its local disk. The store survives `crash()` the way a disk
+ * survives a power cut: records appended since the last `sync()` are
+ * the in-flight page cache and are lost; everything synced before the
+ * crash — plus the last `checkpoint()` snapshot — replays on
+ * recovery in LSN order.
+ *
+ * The store is deliberately simulation-friendly:
+ *  - appends cost zero simulated time, so a clean-wire run with
+ *    journaling enabled is byte-identical to one without;
+ *  - all operations run on the driver thread (the event loop), never
+ *    on the worker pool, so any `MONATT_THREADS` width sees the same
+ *    LSN sequence;
+ *  - `digest()` folds the durable image into one 64-bit value so
+ *    determinism tests can compare stores across pool widths.
+ *
+ * Record payloads are opaque `Bytes` produced by `common/codec`
+ * writers; the store itself never interprets them.
+ */
+
+#ifndef MONATT_SIM_STABLE_STORE_H
+#define MONATT_SIM_STABLE_STORE_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace monatt::sim
+{
+
+/** One journal entry: monotone LSN, entity-defined type tag, payload. */
+struct JournalRecord
+{
+    std::uint64_t lsn = 0;
+    std::uint16_t type = 0;
+    Bytes payload;
+};
+
+/** Operation counters, exposed for tests and benches. */
+struct StableStoreStats
+{
+    std::uint64_t appends = 0;      //!< records appended (volatile)
+    std::uint64_t syncs = 0;        //!< fsync barriers issued
+    std::uint64_t checkpoints = 0;  //!< snapshots taken
+    std::uint64_t crashes = 0;      //!< simulated power cuts
+    std::uint64_t recordsLost = 0;  //!< un-synced records dropped by crashes
+    std::uint64_t recordsReplayed = 0; //!< records handed out by replay()
+};
+
+/**
+ * Write-ahead journal + snapshot for one simulated node.
+ *
+ * Discipline expected of callers (the WAL rule): append a record for
+ * every externally observable state mutation, and `sync()` before any
+ * message that makes that mutation visible leaves the node. Crashes in
+ * the simulator land between event-handler invocations, so a handler
+ * that syncs at its end never loses acknowledged state.
+ */
+class StableStore
+{
+  public:
+    /** Replay image: last snapshot (if any) plus post-snapshot journal. */
+    struct RecoveryImage
+    {
+        bool hasSnapshot = false;
+        Bytes snapshot;
+        std::vector<JournalRecord> records; //!< LSN order
+    };
+
+    /**
+     * @param nodeId Owning node's id, used only for the digest salt
+     *               and diagnostics.
+     */
+    explicit StableStore(std::string nodeId = "");
+
+    /**
+     * Append a record to the journal tail. The record is *volatile*
+     * (page cache) until the next sync()/checkpoint(); a crash before
+     * then loses it.
+     *
+     * @return The record's LSN (monotone, starts at 1).
+     */
+    std::uint64_t append(std::uint16_t type, Bytes payload);
+
+    /** Fsync barrier: make every appended record durable. */
+    void sync();
+
+    /**
+     * Atomically replace snapshot + journal with one snapshot blob.
+     *
+     * The snapshot is expected to capture the entity's *current*
+     * in-memory state, which already reflects any still-buffered
+     * journal tail — so both the durable journal and the buffered
+     * tail are superseded and discarded. Durable immediately (a
+     * checkpoint is itself a sync).
+     */
+    void checkpoint(Bytes snapshot);
+
+    /** Simulated power cut: drop the un-synced journal tail. */
+    void crash();
+
+    /** Durable image for recovery; counts replayed records. */
+    RecoveryImage replay();
+
+    /** Records appended but not yet synced. */
+    std::size_t pendingRecords() const { return buffered.size(); }
+
+    /** Durable journal records (excludes the snapshot). */
+    std::size_t durableRecords() const { return durable.size(); }
+
+    /** Total durable payload bytes (journal + snapshot). */
+    std::size_t durableBytes() const;
+
+    /** True when nothing durable exists (fresh disk). */
+    bool empty() const { return durable.empty() && !snapshotValid; }
+
+    /** FNV-1a digest of the durable image (snapshot + journal). */
+    std::uint64_t digest() const;
+
+    const StableStoreStats &stats() const { return counters; }
+
+    const std::string &node() const { return nodeId; }
+
+  private:
+    std::string nodeId;
+    std::uint64_t nextLsn = 1;
+    std::deque<JournalRecord> buffered; //!< appended, not yet synced
+    std::deque<JournalRecord> durable;  //!< synced, survives crashes
+    Bytes snapshot;
+    bool snapshotValid = false;
+    StableStoreStats counters;
+};
+
+} // namespace monatt::sim
+
+#endif // MONATT_SIM_STABLE_STORE_H

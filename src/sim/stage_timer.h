@@ -56,6 +56,15 @@ class StageTimer
     /** Drop all records. */
     void clear();
 
+    /** True when a stage is currently open. */
+    bool hasOpenStage() const { return open; }
+
+    /** Name of the open stage (valid only when hasOpenStage()). */
+    const std::string &openStageName() const { return openName; }
+
+    /** Start time of the open stage (valid only when hasOpenStage()). */
+    SimTime openStageStart() const { return openStart; }
+
   private:
     std::vector<StageRecord> done;
     std::string openName;

@@ -73,6 +73,72 @@ TEST(DatabaseTest, AllocationAccounting)
     EXPECT_THROW(db.allocate("nope", 1, 1), std::out_of_range);
 }
 
+TEST(DatabaseTest, VmRecordJournalRoundTrip)
+{
+    VmRecord rec;
+    rec.vid = "vm-42";
+    rec.name = "web";
+    rec.customer = "alice";
+    rec.imageName = "cirros";
+    rec.flavorName = "small";
+    rec.imageSizeMb = 25;
+    rec.image = toBytes("image-bytes");
+    rec.vcpus = 2;
+    rec.ramMb = 512;
+    rec.diskGb = 10;
+    rec.properties = proto::allProperties();
+    rec.serverId = "server-1";
+    rec.status = VmStatus::Attesting;
+    rec.launchTimer.record("scheduling", 100, 250);
+    rec.launchTimer.beginStage("attestation", 400);
+    rec.launchAttempts = 2;
+    rec.launchedAt = 99;
+
+    auto decoded = decodeVmRecord(encodeVmRecord(rec));
+    ASSERT_TRUE(decoded.isOk()) << decoded.errorMessage();
+    const VmRecord out = decoded.take();
+    EXPECT_EQ(out.vid, rec.vid);
+    EXPECT_EQ(out.customer, rec.customer);
+    EXPECT_EQ(out.image, rec.image);
+    EXPECT_EQ(out.properties, rec.properties);
+    EXPECT_EQ(out.serverId, rec.serverId);
+    EXPECT_EQ(out.status, rec.status);
+    EXPECT_EQ(out.launchAttempts, rec.launchAttempts);
+    EXPECT_EQ(out.launchedAt, rec.launchedAt);
+    ASSERT_EQ(out.launchTimer.stages().size(), 1u);
+    EXPECT_EQ(out.launchTimer.stages()[0].name, "scheduling");
+    ASSERT_TRUE(out.launchTimer.hasOpenStage());
+    EXPECT_EQ(out.launchTimer.openStageName(), "attestation");
+    EXPECT_EQ(out.launchTimer.openStageStart(), 400);
+
+    // Strict decode: any trailing garbage is an error.
+    Bytes tampered = encodeVmRecord(rec);
+    tampered.push_back(0xff);
+    EXPECT_FALSE(decodeVmRecord(tampered).isOk());
+    EXPECT_FALSE(decodeVmRecord(toBytes("short")).isOk());
+}
+
+TEST(DatabaseTest, ServerRecordJournalRoundTrip)
+{
+    ServerRecord rec = makeServer("s9", 4096, allCaps());
+    rec.totalDiskGb = 250;
+    rec.allocatedRamMb = 1024;
+    rec.allocatedDiskGb = 30;
+
+    auto decoded = decodeServerRecord(encodeServerRecord(rec));
+    ASSERT_TRUE(decoded.isOk()) << decoded.errorMessage();
+    const ServerRecord out = decoded.take();
+    EXPECT_EQ(out.id, rec.id);
+    EXPECT_EQ(out.capabilities, rec.capabilities);
+    EXPECT_EQ(out.totalRamMb, rec.totalRamMb);
+    EXPECT_EQ(out.allocatedRamMb, rec.allocatedRamMb);
+    EXPECT_EQ(out.freeDiskGb(), rec.freeDiskGb());
+
+    Bytes truncated = encodeServerRecord(rec);
+    truncated.pop_back();
+    EXPECT_FALSE(decodeServerRecord(truncated).isOk());
+}
+
 TEST(PolicyTest, ResourceFilter)
 {
     CloudDatabase db;

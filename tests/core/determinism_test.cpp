@@ -258,6 +258,127 @@ TEST(ChaosDeterminismTest, FaultSweepSettlesAndIsBitIdentical)
     }
 }
 
+// --- Controller crash / recovery ---------------------------------------
+//
+// The controller is the one entity whose loss used to forfeit all
+// protocol state. With the write-ahead journal it must come back from
+// a mid-protocol crash with every VmRecord intact, every accepted
+// attestation re-armed to a terminal verdict, and no double-issued
+// report — and the whole recovery must be bit-identical across pool
+// widths.
+
+struct RecoveryTrace
+{
+    std::string digest;
+    std::size_t okCount = 0;
+    std::size_t settled = 0;
+    std::size_t duplicateReports = 0;
+    std::size_t lostVmRecords = 0;
+    std::uint64_t recoveries = 0;
+    std::size_t eventsExecuted = 0;
+    SimTime endTime = 0;
+};
+
+RecoveryTrace
+runControllerCrashScenario(std::size_t computeThreads, double drop)
+{
+    CloudConfig cfg;
+    cfg.numServers = 4;
+    cfg.numAttestationServers = 2;
+    cfg.seed = 98765;
+    cfg.computeThreads = computeThreads;
+    cfg.cryptoBatchWindow = usec(200);
+    Cloud cloud(cfg);
+    Customer &customer = cloud.addCustomer("alice");
+
+    // Provision fault-free, then crash the controller mid-protocol.
+    std::vector<std::string> vids;
+    for (int i = 0; i < 4; ++i) {
+        auto vid = cloud.launchVm(customer, "vm-" + std::to_string(i),
+                                  "cirros", "small",
+                                  proto::allProperties());
+        EXPECT_TRUE(vid.isOk()) << vid.errorMessage();
+        if (vid.isOk())
+            vids.push_back(vid.take());
+    }
+
+    sim::FaultPlanConfig plan;
+    plan.seed = 0xDEADBEA7;
+    plan.faults.dropProbability = drop;
+    plan.activeFrom = cloud.events().now();
+    // Down after the AttestRequests are accepted (and journaled), back
+    // well before the customers' retry budgets run out.
+    plan.crashes.push_back(sim::CrashEvent{
+        "cloud-controller", cloud.events().now() + msec(800),
+        cloud.events().now() + seconds(4)});
+    cloud.installFaultPlan(plan);
+
+    std::vector<std::string> many;
+    for (int i = 0; i < 30; ++i)
+        many.push_back(vids[static_cast<std::size_t>(i) % vids.size()]);
+    auto results = cloud.attestMany(customer, many,
+                                    proto::allProperties(), seconds(600));
+
+    RecoveryTrace trace;
+    crypto::Sha256 digest;
+    for (auto &r : results) {
+        if (r.isOk()) {
+            ++trace.okCount;
+            ++trace.settled;
+            digest.update(r.value().report.encode());
+            absorbTime(digest, r.value().receivedAt);
+        } else {
+            trace.settled += r.errorMessage() != "attestation timed out";
+            digest.update(toBytes(r.errorMessage()));
+        }
+    }
+    trace.digest = toHex(digest.digest());
+
+    for (const std::string &vid : vids) {
+        if (cloud.controller().database().vm(vid) == nullptr)
+            ++trace.lostVmRecords;
+    }
+
+    std::map<std::uint64_t, std::size_t> perRequest;
+    for (const VerifiedReport &r : customer.reports())
+        ++perRequest[r.requestId];
+    for (const auto &[id, count] : perRequest) {
+        (void)id;
+        if (count > 1)
+            trace.duplicateReports += count - 1;
+    }
+
+    trace.recoveries = cloud.controller().stats().recoveries;
+    trace.eventsExecuted = cloud.events().executed();
+    trace.endTime = cloud.events().now();
+    return trace;
+}
+
+TEST(ControllerRecoveryDeterminismTest, CrashSweepIsBitIdentical)
+{
+    for (const double drop : {0.0, 0.1}) {
+        const RecoveryTrace serial = runControllerCrashScenario(1, drop);
+        const RecoveryTrace wide = runControllerCrashScenario(8, drop);
+
+        for (const RecoveryTrace *t : {&serial, &wide}) {
+            EXPECT_EQ(t->recoveries, 1u) << "drop=" << drop;
+            EXPECT_EQ(t->lostVmRecords, 0u)
+                << "journaled VmRecords must survive the crash, drop="
+                << drop;
+            EXPECT_EQ(t->settled, 30u)
+                << "every accepted request must reach a terminal "
+                   "verdict, drop=" << drop;
+            EXPECT_EQ(t->duplicateReports, 0u) << "drop=" << drop;
+        }
+
+        EXPECT_EQ(serial.digest, wide.digest) << "drop=" << drop;
+        EXPECT_EQ(serial.okCount, wide.okCount) << "drop=" << drop;
+        EXPECT_EQ(serial.eventsExecuted, wide.eventsExecuted)
+            << "drop=" << drop;
+        EXPECT_EQ(serial.endTime, wide.endTime) << "drop=" << drop;
+    }
+}
+
 TEST(ChaosDeterminismTest, ZeroRateFaultPlanIsInert)
 {
     // Installing an all-zero plan must not perturb the simulation at

@@ -64,6 +64,85 @@ TEST(TimingModelTest, CalibrationLandsInPaperRanges)
     EXPECT_LT(toSeconds(t.suspendTime(2048)), 8.0);
 }
 
+// --- Adaptive retry budgets (RFC 6298-shaped estimator) ----------------
+
+TEST(RttEstimatorTest, FirstSampleSeedsSrttAndVariance)
+{
+    RttEstimator est;
+    EXPECT_EQ(est.samples, 0u);
+    est.addSample(msec(100));
+    EXPECT_EQ(est.samples, 1u);
+    EXPECT_EQ(est.srtt, msec(100));
+    EXPECT_EQ(est.rttvar, msec(50));
+}
+
+TEST(RttEstimatorTest, EwmaConvergesOnSteadyRtt)
+{
+    RttEstimator est;
+    for (int i = 0; i < 64; ++i)
+        est.addSample(msec(80));
+    EXPECT_EQ(est.srtt, msec(80));
+    // Constant RTT: the variance EWMA decays toward zero.
+    EXPECT_LT(est.rttvar, msec(1));
+}
+
+TEST(RttEstimatorTest, TracksRttShifts)
+{
+    RttEstimator est;
+    for (int i = 0; i < 32; ++i)
+        est.addSample(msec(10));
+    const SimTime fastSrtt = est.srtt;
+    for (int i = 0; i < 64; ++i)
+        est.addSample(msec(200));
+    EXPECT_GT(est.srtt, fastSrtt);
+    EXPECT_GT(est.srtt, msec(150));
+}
+
+TEST(RttEstimatorTest, NegativeSamplesIgnored)
+{
+    RttEstimator est;
+    est.addSample(-msec(5));
+    EXPECT_EQ(est.samples, 0u);
+}
+
+TEST(ReliabilityModelTest, RtoFallsBackToFixedKnob)
+{
+    ReliabilityModel model;
+    const RttEstimator cold; // No samples yet.
+    EXPECT_EQ(model.rto(seconds(6), cold), seconds(6));
+
+    RttEstimator warm;
+    warm.addSample(msec(100));
+    model.adaptiveRto = false;
+    EXPECT_EQ(model.rto(seconds(6), warm), seconds(6));
+}
+
+TEST(ReliabilityModelTest, AdaptiveRtoTracksObservedRtt)
+{
+    ReliabilityModel model;
+    RttEstimator est;
+    for (int i = 0; i < 64; ++i)
+        est.addSample(msec(500));
+    // 2·SRTT + 4·RTTVAR with rttvar ~0: about one second, far below
+    // the 6 s fixed forward RTO — a fast deployment detects loss
+    // sooner.
+    const SimTime adaptive = model.rto(seconds(6), est);
+    EXPECT_LT(adaptive, seconds(2));
+    EXPECT_GE(adaptive, 2 * est.srtt);
+}
+
+TEST(ReliabilityModelTest, AdaptiveRtoIsClamped)
+{
+    ReliabilityModel model;
+    RttEstimator tiny;
+    tiny.addSample(usec(10));
+    EXPECT_EQ(model.rto(seconds(6), tiny), model.minRto);
+
+    RttEstimator huge;
+    huge.addSample(seconds(100));
+    EXPECT_EQ(model.rto(seconds(6), huge), model.maxRto);
+}
+
 TEST(CatalogTest, FlavorsAndImages)
 {
     ASSERT_EQ(server::flavorCatalog().size(), 3u);

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * StableStore: WAL semantics — un-synced tail records are lost on a
+ * crash, synced records and checkpoints survive, replay preserves LSN
+ * order, and the durable digest is a pure function of the operation
+ * sequence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.h"
+#include "sim/stable_store.h"
+
+namespace monatt::sim
+{
+namespace
+{
+
+Bytes
+payload(const std::string &text)
+{
+    return toBytes(text);
+}
+
+TEST(StableStoreTest, AppendIsVolatileUntilSync)
+{
+    StableStore store("node-a");
+    store.append(1, payload("one"));
+    store.append(2, payload("two"));
+    EXPECT_EQ(store.pendingRecords(), 2u);
+    EXPECT_EQ(store.durableRecords(), 0u);
+    EXPECT_TRUE(store.empty());
+
+    store.sync();
+    EXPECT_EQ(store.pendingRecords(), 0u);
+    EXPECT_EQ(store.durableRecords(), 2u);
+    EXPECT_FALSE(store.empty());
+}
+
+TEST(StableStoreTest, CrashDropsUnsyncedTail)
+{
+    StableStore store("node-a");
+    store.append(1, payload("durable"));
+    store.sync();
+    store.append(2, payload("lost-1"));
+    store.append(3, payload("lost-2"));
+
+    store.crash();
+
+    EXPECT_EQ(store.stats().recordsLost, 2u);
+    auto image = store.replay();
+    ASSERT_EQ(image.records.size(), 1u);
+    EXPECT_EQ(image.records[0].type, 1);
+    EXPECT_EQ(toString(image.records[0].payload), "durable");
+}
+
+TEST(StableStoreTest, LsnsAreMonotoneAcrossCrashes)
+{
+    StableStore store;
+    EXPECT_EQ(store.append(1, payload("a")), 1u);
+    EXPECT_EQ(store.append(1, payload("b")), 2u);
+    store.crash(); // loses both, but LSNs never repeat
+    EXPECT_EQ(store.append(1, payload("c")), 3u);
+    store.sync();
+    auto image = store.replay();
+    ASSERT_EQ(image.records.size(), 1u);
+    EXPECT_EQ(image.records[0].lsn, 3u);
+}
+
+TEST(StableStoreTest, CheckpointSupersedesJournal)
+{
+    StableStore store("node-b");
+    store.append(7, payload("old"));
+    store.sync();
+    store.append(7, payload("buffered"));
+
+    store.checkpoint(payload("snapshot-state"));
+
+    EXPECT_EQ(store.durableRecords(), 0u);
+    EXPECT_EQ(store.pendingRecords(), 0u);
+
+    // A crash right after the checkpoint loses nothing.
+    store.crash();
+    auto image = store.replay();
+    EXPECT_TRUE(image.hasSnapshot);
+    EXPECT_EQ(toString(image.snapshot), "snapshot-state");
+    EXPECT_TRUE(image.records.empty());
+}
+
+TEST(StableStoreTest, ReplayPreservesLsnOrderAfterCheckpoint)
+{
+    StableStore store;
+    store.checkpoint(payload("base"));
+    store.append(4, payload("r1"));
+    store.append(5, payload("r2"));
+    store.sync();
+    store.append(6, payload("r3"));
+    store.sync();
+
+    auto image = store.replay();
+    EXPECT_TRUE(image.hasSnapshot);
+    ASSERT_EQ(image.records.size(), 3u);
+    EXPECT_LT(image.records[0].lsn, image.records[1].lsn);
+    EXPECT_LT(image.records[1].lsn, image.records[2].lsn);
+    EXPECT_EQ(image.records[0].type, 4);
+    EXPECT_EQ(image.records[2].type, 6);
+    EXPECT_EQ(store.stats().recordsReplayed, 3u);
+}
+
+TEST(StableStoreTest, DigestIsDeterministicAndSensitive)
+{
+    auto run = [](bool mutate) {
+        StableStore store("node-c");
+        store.checkpoint(payload("snap"));
+        store.append(1, payload(mutate ? "x" : "a"));
+        store.append(2, payload("b"));
+        store.sync();
+        return store.digest();
+    };
+    EXPECT_EQ(run(false), run(false));
+    EXPECT_NE(run(false), run(true));
+}
+
+TEST(StableStoreTest, DigestIgnoresVolatileTail)
+{
+    StableStore a("n"), b("n");
+    a.append(1, payload("synced"));
+    b.append(1, payload("synced"));
+    a.sync();
+    b.sync();
+    b.append(9, payload("page-cache-only"));
+    EXPECT_EQ(a.digest(), b.digest());
+    b.crash();
+    EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(StableStoreTest, DurableBytesCountsSnapshotAndJournal)
+{
+    StableStore store;
+    EXPECT_EQ(store.durableBytes(), 0u);
+    store.checkpoint(payload("12345"));
+    store.append(1, payload("abc"));
+    EXPECT_EQ(store.durableBytes(), 5u); // tail not yet durable
+    store.sync();
+    EXPECT_EQ(store.durableBytes(), 8u);
+}
+
+} // namespace
+} // namespace monatt::sim
