@@ -144,8 +144,8 @@ AttestationServer::handleMessage(const net::NodeId &from,
     const auto &[kind, body] = unpacked.value();
     switch (kind) {
       case MessageKind::AttestForward:
-        if (from == cfg.controllerId)
-            onAttestForward(body);
+        if (isKnownController(from))
+            onAttestForward(from, body);
         break;
       case MessageKind::MeasureResponse:
         onMeasureResponse(body);
@@ -157,8 +157,17 @@ AttestationServer::handleMessage(const net::NodeId &from,
     }
 }
 
+bool
+AttestationServer::isKnownController(const net::NodeId &node) const
+{
+    if (cfg.controllerIds.empty())
+        return node == cfg.controllerId;
+    return cfg.controllerIds.count(node) != 0;
+}
+
 void
-AttestationServer::onAttestForward(const Bytes &body)
+AttestationServer::onAttestForward(const net::NodeId &from,
+                                   const Bytes &body)
 {
     auto fwdR = AttestForward::decode(body);
     if (!fwdR)
@@ -166,12 +175,13 @@ AttestationServer::onAttestForward(const Bytes &body)
     const AttestForward fwd = fwdR.take();
 
     events.scheduleAfter(cfg.timing.attestorProcessing,
-                         [this, fwd] { processForward(fwd); },
+                         [this, from, fwd] { processForward(from, fwd); },
                          "as.forward");
 }
 
 void
-AttestationServer::processForward(const AttestForward &fwd)
+AttestationServer::processForward(const net::NodeId &from,
+                                  const AttestForward &fwd)
 {
     // Idempotent receive: a retransmitted forward must not start a
     // second measurement pipeline or double-sign a finished report.
@@ -184,14 +194,17 @@ AttestationServer::processForward(const AttestForward &fwd)
         const auto cached = reportCache.find(fwd.requestId);
         if (cached != reportCache.end()) {
             ++counters.duplicateForwards;
-            endpoint.sendSecure(cfg.controllerId,
+            // Answer the shard that asked: after a controller-side
+            // failover or crash the retransmission may come from a
+            // different node than the original forward.
+            endpoint.sendSecure(from,
                                 proto::packMessage(
                                     MessageKind::ReportToController,
                                     Bytes(cached->second)));
             return;
         }
         forwardInFlight.insert(fwd.requestId);
-        startMeasurement(fwd);
+        startMeasurement(fwd, from);
         return;
     }
 
@@ -207,7 +220,7 @@ AttestationServer::processForward(const AttestForward &fwd)
             ++counters.duplicateForwards;
             return;
         }
-        periodic[key] = PeriodicTask{fwd, true};
+        periodic[key] = PeriodicTask{fwd, from, true};
         runPeriodicRound(key);
         break;
       }
@@ -230,7 +243,7 @@ AttestationServer::runPeriodicRound(const std::string &key)
     if (it == periodic.end() || !it->second.active)
         return;
     ++counters.periodicRoundsRun;
-    startMeasurement(it->second.forward);
+    startMeasurement(it->second.forward, it->second.controller);
 
     const SimTime period =
         it->second.forward.period > 0
@@ -244,11 +257,13 @@ AttestationServer::runPeriodicRound(const std::string &key)
 }
 
 void
-AttestationServer::startMeasurement(const AttestForward &fwd)
+AttestationServer::startMeasurement(const AttestForward &fwd,
+                                    const net::NodeId &controller)
 {
     const std::uint64_t sessionId = nextSession++;
     Session session;
     session.forward = fwd;
+    session.controller = controller;
     session.nonce3 = rng.nextBytes(16);
     session.sentAt = events.now();
 
@@ -626,7 +641,8 @@ AttestationServer::issueReport(const Session &session,
     const bool cacheable =
         session.forward.mode == AttestMode::StartupOneTime ||
         session.forward.mode == AttestMode::RuntimeOneTime;
-    signQueue.push_back(SignItem{std::move(out), cacheable});
+    signQueue.push_back(
+        SignItem{std::move(out), session.controller, cacheable});
     if (!signFlushScheduled) {
         signFlushScheduled = true;
         events.scheduleAfter(cfg.batchWindow,
@@ -658,7 +674,8 @@ AttestationServer::flushSignBatch()
             forwardInFlight.erase(item.msg.requestId);
             rememberReport(item.msg.requestId, encoded);
         }
-        endpoint.sendSecure(cfg.controllerId,
+        endpoint.sendSecure(item.controller.empty() ? cfg.controllerId
+                                                    : item.controller,
                             proto::packMessage(
                                 MessageKind::ReportToController,
                                 std::move(encoded)));

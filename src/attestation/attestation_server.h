@@ -49,6 +49,15 @@ struct AttestationServerConfig
 {
     std::string id = "attestation-server";
     std::string controllerId = "cloud-controller";
+
+    /**
+     * Every controller shard allowed to forward attestations here.
+     * Under a sharded control plane any shard may own VMs on any
+     * cluster, so forwards arrive from all of them; each report is
+     * answered to the shard that forwarded the request. Empty = just
+     * controllerId (the classic single controller).
+     */
+    std::set<std::string> controllerIds;
     std::string pcaId = "privacy-ca";
     proto::TimingModel timing;
     proto::ReliabilityModel reliability;
@@ -211,6 +220,7 @@ class AttestationServer
     struct Session
     {
         proto::AttestForward forward;
+        net::NodeId controller;      //!< Shard the report goes back to.
         Bytes nonce3;
         Bytes requestBytes;          //!< For identical retransmission.
         SimTime sentAt = 0;          //!< First send (RTT sampling).
@@ -221,6 +231,7 @@ class AttestationServer
     struct PeriodicTask
     {
         proto::AttestForward forward;
+        net::NodeId controller; //!< Shard that owns the stream.
         bool active = true;
     };
 
@@ -233,8 +244,12 @@ class AttestationServer
     };
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
-    void onAttestForward(const Bytes &body);
-    void processForward(const proto::AttestForward &fwd);
+
+    /** True when `node` is a controller shard we serve. */
+    bool isKnownController(const net::NodeId &node) const;
+    void onAttestForward(const net::NodeId &from, const Bytes &body);
+    void processForward(const net::NodeId &from,
+                        const proto::AttestForward &fwd);
 
     /** Arm the MeasureRequest retransmission timer for a session. */
     void scheduleMeasureRetry(std::uint64_t sessionId);
@@ -242,7 +257,8 @@ class AttestationServer
     /** Remember a signed report for idempotent retransmission. */
     void rememberReport(std::uint64_t requestId, Bytes encoded);
     void onMeasureResponse(const Bytes &body);
-    void startMeasurement(const proto::AttestForward &forward);
+    void startMeasurement(const proto::AttestForward &forward,
+                          const net::NodeId &controller);
     void runPeriodicRound(const std::string &key);
     void issueReport(const Session &session,
                      proto::AttestationReport report);
@@ -289,6 +305,7 @@ class AttestationServer
     struct SignItem
     {
         proto::ReportToController msg;
+        net::NodeId controller; //!< Shard this report is sent to.
         bool cacheable = false;
     };
     std::vector<SignItem> signQueue;

@@ -1,7 +1,10 @@
 #include "controller/cloud_controller.h"
 
+#include <algorithm>
+
 #include "common/codec.h"
 #include "common/logging.h"
+#include "controller/hash_ring.h"
 #include "sim/worker_pool.h"
 
 namespace monatt::controller
@@ -163,6 +166,34 @@ CloudController::handleMessage(const net::NodeId &from,
     commitJournal();
 }
 
+std::string
+CloudController::allocateVid()
+{
+    for (;;) {
+        std::string vid = "vm-" + std::to_string(nextVmNumber++);
+        if (cfg.ring == nullptr || cfg.ring->empty() ||
+            cfg.ring->owner(vid) == cfg.id)
+            return vid;
+    }
+}
+
+std::uint64_t
+CloudController::makeAttestId(std::uint64_t counter) const
+{
+    return (static_cast<std::uint64_t>(
+                static_cast<std::uint32_t>(cfg.shardIndex))
+            << 48) |
+           counter;
+}
+
+SimTime
+CloudController::serviceDelay(SimTime cost)
+{
+    const SimTime start = std::max(events.now(), busyUntil);
+    busyUntil = start + cost;
+    return busyUntil - events.now();
+}
+
 void
 CloudController::onLaunchRequest(const net::NodeId &from,
                                  const Bytes &body)
@@ -185,7 +216,7 @@ CloudController::onLaunchRequest(const net::NodeId &from,
         return;
     }
 
-    const std::string vid = "vm-" + std::to_string(nextVmNumber++);
+    const std::string vid = allocateVid();
 
     VmRecord rec;
     rec.vid = vid;
@@ -360,7 +391,7 @@ CloudController::forwardAttestation(AttestContext ctx)
         return 0;
     }
 
-    const std::uint64_t attestId = nextAttestId++;
+    const std::uint64_t attestId = makeAttestId(nextAttestId++);
     ctx.nonce2 = rng.nextBytes(16);
     ctx.forwardedAt = events.now();
     ctx.periodic = ctx.mode == AttestMode::RuntimePeriodic;
@@ -622,7 +653,7 @@ CloudController::onAttestRequest(const net::NodeId &from,
     // StopPeriodic never produces a reply that would clear the mark.
     if (req.mode != AttestMode::StopPeriodic)
         customerInFlight.insert(key);
-    events.scheduleAfter(cfg.timing.controllerProcessing,
+    events.scheduleAfter(serviceDelay(cfg.timing.controllerProcessing),
                          [this, req, from, key, eraNow = era] {
         if (eraNow != era)
             return;
@@ -770,7 +801,7 @@ CloudController::flushReportBatch()
             journalAsHealth(item.ctx.attestorId);
         }
 
-        events.scheduleAfter(cfg.timing.controllerProcessing,
+        events.scheduleAfter(serviceDelay(cfg.timing.controllerProcessing),
                              [this, ctx = item.ctx, msg = item.msg,
                               attestId = item.msg.requestId,
                               eraNow = era] {
@@ -1848,6 +1879,7 @@ CloudController::crash()
     attestorRtt.clear();
     nextVmNumber = 1;
     nextAttestId = 1;
+    busyUntil = 0;
 }
 
 void

@@ -41,6 +41,8 @@
 namespace monatt::controller
 {
 
+class HashRing;
+
 /** Remediation response policies (§5.2). */
 enum class ResponsePolicy : std::uint8_t
 {
@@ -130,6 +132,19 @@ struct CloudControllerConfig
 
     /** Capacity of the customer relay dedup cache (bounded FIFO). */
     std::size_t relayCacheCapacity = 128;
+
+    /**
+     * Sharded control plane (set by ControllerFabric). `ring` is the
+     * fabric's consistent-hash ownership ring — non-owning, must
+     * outlive the controller; nullptr runs the classic unsharded
+     * controller. A sharded controller allocates only vids the ring
+     * maps to itself and tags attest ids with the shard index so they
+     * stay globally unique across shards. Shard 0 keeps the untagged
+     * legacy id space, which is what makes a 1-shard fabric
+     * bit-identical to the single controller.
+     */
+    int shardIndex = 0;
+    const HashRing *ring = nullptr;
 };
 
 /** Observable counters. */
@@ -213,6 +228,10 @@ class CloudController
     /** Restart after crash(): re-attach and replay the journal. */
     void restart();
 
+    /** True while attached to the network (false between crash and
+     * restart). */
+    bool isUp() const { return endpoint.attached(); }
+
     /** The controller's durable store (journal + checkpoints). */
     const sim::StableStore &stableStore() const { return store; }
 
@@ -293,6 +312,30 @@ class CloudController
     void runSchedulingStage(const std::string &vid);
     void startSpawn(const std::string &vid);
     void startStartupAttestation(const std::string &vid);
+
+    /**
+     * Next vid owned by this shard: scans the global "vm-N" sequence
+     * and claims only numbers the ring maps here. Shards partition the
+     * vid space, so allocation never collides; unsharded (or 1-shard)
+     * controllers claim every number, exactly like the pre-sharding
+     * allocator.
+     */
+    std::string allocateVid();
+
+    /** Tag a fresh attest counter value with the shard index (high 16
+     * bits) so attest ids are globally unique across shards. Shard 0
+     * ids are the untagged legacy counter. */
+    std::uint64_t makeAttestId(std::uint64_t counter) const;
+
+    /**
+     * Serialize `cost` through this node's single service cursor and
+     * return the delay until completion. Models the controller as one
+     * event-loop node of finite capacity: work arriving while earlier
+     * work is still being processed queues behind it. With at most one
+     * request outstanding the delay equals `cost`, so sequential
+     * scenarios are identical to the pre-queueing flat charge.
+     */
+    SimTime serviceDelay(SimTime cost);
 
     /** (Re)send the AttestForward of an outstanding attestation to its
      * current attestor, rebuilt from the stored context (same nonce2,
@@ -493,6 +536,10 @@ class CloudController
 
     std::uint64_t nextVmNumber = 1;
     std::uint64_t nextAttestId = 1;
+
+    /** Busy-until cursor backing serviceDelay(); volatile (reset on
+     * crash — a rebooted node starts idle). */
+    SimTime busyUntil = 0;
     ControllerStats counters;
 };
 

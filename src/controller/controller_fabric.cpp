@@ -1,0 +1,129 @@
+#include "controller/controller_fabric.h"
+
+#include <stdexcept>
+
+namespace monatt::controller
+{
+
+ControllerFabric::ControllerFabric(
+    sim::EventQueue &eq, net::Network &network,
+    net::KeyDirectory &directory,
+    std::vector<CloudControllerConfig> shardConfigs,
+    const std::vector<std::uint64_t> &seeds, int virtualNodes)
+{
+    if (shardConfigs.empty())
+        throw std::invalid_argument("fabric needs at least one shard");
+    if (shardConfigs.size() != seeds.size())
+        throw std::invalid_argument("one seed per shard required");
+
+    // The full ring must exist before any shard runs: vid allocation
+    // consults it from the first launch.
+    for (const CloudControllerConfig &cfg : shardConfigs)
+        ownership.addNode(cfg.id, virtualNodes);
+
+    shards.reserve(shardConfigs.size());
+    for (std::size_t i = 0; i < shardConfigs.size(); ++i) {
+        CloudControllerConfig cfg = std::move(shardConfigs[i]);
+        cfg.shardIndex = static_cast<int>(i);
+        cfg.ring = &ownership;
+        shards.push_back(std::make_unique<CloudController>(
+            eq, network, directory, std::move(cfg), seeds[i]));
+    }
+}
+
+CloudController *
+ControllerFabric::shardById(const std::string &id)
+{
+    for (auto &shard : shards) {
+        if (shard->id() == id)
+            return shard.get();
+    }
+    return nullptr;
+}
+
+CloudController &
+ControllerFabric::ownerOf(const std::string &vid)
+{
+    CloudController *shard = shardById(ownership.owner(vid));
+    if (shard == nullptr)
+        throw std::logic_error("ring names a node that is not a shard");
+    return *shard;
+}
+
+std::vector<std::string>
+ControllerFabric::shardIds() const
+{
+    std::vector<std::string> ids;
+    ids.reserve(shards.size());
+    for (const auto &shard : shards)
+        ids.push_back(shard->id());
+    return ids;
+}
+
+void
+ControllerFabric::addFlavor(const std::string &name, std::uint32_t vcpus,
+                            std::uint64_t ramMb, std::uint64_t diskGb)
+{
+    for (auto &shard : shards)
+        shard->addFlavor(name, vcpus, ramMb, diskGb);
+}
+
+void
+ControllerFabric::addServerRecord(const ServerRecord &record)
+{
+    for (auto &shard : shards) {
+        ServerRecord copy = record;
+        shard->database().addServer(std::move(copy));
+    }
+}
+
+void
+ControllerFabric::assignAttestationCluster(const std::string &serverId,
+                                           const std::string &attestorId)
+{
+    for (auto &shard : shards)
+        shard->assignAttestationCluster(serverId, attestorId);
+}
+
+void
+ControllerFabric::setResponsePolicy(const std::string &vid,
+                                    ResponsePolicy policy)
+{
+    ownerOf(vid).setResponsePolicy(vid, policy);
+}
+
+void
+ControllerFabric::restartAll()
+{
+    for (auto &shard : shards) {
+        if (!shard->isUp())
+            shard->restart();
+    }
+}
+
+ControllerStats
+ControllerFabric::aggregateStats() const
+{
+    ControllerStats total;
+    for (const auto &shard : shards) {
+        const ControllerStats &s = shard->stats();
+        total.launchesRequested += s.launchesRequested;
+        total.launchesSucceeded += s.launchesSucceeded;
+        total.launchesRejected += s.launchesRejected;
+        total.launchesRescheduled += s.launchesRescheduled;
+        total.reportsRelayed += s.reportsRelayed;
+        total.reportVerificationFailures += s.reportVerificationFailures;
+        total.responsesTriggered += s.responsesTriggered;
+        total.forwardRetries += s.forwardRetries;
+        total.failovers += s.failovers;
+        total.attestationsUnreachable += s.attestationsUnreachable;
+        total.duplicateAttestRequests += s.duplicateAttestRequests;
+        total.recoveries += s.recoveries;
+        total.recoveredAttests += s.recoveredAttests;
+        total.recoveredLaunches += s.recoveredLaunches;
+        total.rttSamples += s.rttSamples;
+    }
+    return total;
+}
+
+} // namespace monatt::controller

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The sharded control plane: N CloudController shards behind one
+ * consistent-hash ring.
+ *
+ * The paper's Cloud Controller is a single Nova-style node; to scale
+ * the control plane past one event-loop node the fabric splits it into
+ * independent shards. A consistent-hash ring over VM ids (with virtual
+ * nodes for balance) gives every VM exactly one owning shard; that
+ * shard holds the VM's database record, its in-flight AttestContexts,
+ * its pending launch, its dedup entries and its response log, and owns
+ * its own write-ahead journal — so the PR-4 crash/recovery machinery
+ * applies per shard unchanged. Shards never talk to each other:
+ * customers route each request to the owning shard client-side, and
+ * every shard allocates only vids the ring maps to itself, so
+ * ownership is an invariant from birth.
+ *
+ * A 1-shard fabric is bit-identical to the pre-sharding single
+ * controller (same id, same seed, same message bytes and timings);
+ * tests/controller/shard_conformance_test.cpp pins that equivalence
+ * against a golden digest.
+ */
+
+#ifndef MONATT_CONTROLLER_CONTROLLER_FABRIC_H
+#define MONATT_CONTROLLER_CONTROLLER_FABRIC_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "controller/cloud_controller.h"
+#include "controller/hash_ring.h"
+
+namespace monatt::controller
+{
+
+/** N controller shards plus the ring that routes VM ownership. */
+class ControllerFabric
+{
+  public:
+    /**
+     * Construct one shard per entry of `shardConfigs`. Each config
+     * must carry a distinct id; the fabric fills in the shard index
+     * and ring pointer before constructing the controller. `seeds`
+     * supplies the per-shard RNG seed, parallel to `shardConfigs`.
+     */
+    ControllerFabric(sim::EventQueue &eq, net::Network &network,
+                     net::KeyDirectory &directory,
+                     std::vector<CloudControllerConfig> shardConfigs,
+                     const std::vector<std::uint64_t> &seeds,
+                     int virtualNodes = HashRing::kDefaultVirtualNodes);
+
+    std::size_t numShards() const { return shards.size(); }
+
+    CloudController &shard(std::size_t index)
+    {
+        return *shards.at(index);
+    }
+    const CloudController &shard(std::size_t index) const
+    {
+        return *shards.at(index);
+    }
+
+    /** Shard by node id; nullptr when `id` is not a shard. */
+    CloudController *shardById(const std::string &id);
+
+    /** The ownership ring (customers route requests with it). */
+    const HashRing &ring() const { return ownership; }
+
+    /** The shard owning a VM id. */
+    CloudController &ownerOf(const std::string &vid);
+
+    /** All shard node ids, in shard-index order. */
+    std::vector<std::string> shardIds() const;
+
+    // --- Provisioning fan-out (trusted operator path) -----------------
+
+    /** Register a flavor on every shard. */
+    void addFlavor(const std::string &name, std::uint32_t vcpus,
+                   std::uint64_t ramMb, std::uint64_t diskGb);
+
+    /** Add a server inventory record to every shard's database. */
+    void addServerRecord(const ServerRecord &record);
+
+    /** Map a server to its cluster attestor on every shard. */
+    void assignAttestationCluster(const std::string &serverId,
+                                  const std::string &attestorId);
+
+    /** Set a VM's remediation policy on its owning shard. */
+    void setResponsePolicy(const std::string &vid, ResponsePolicy policy);
+
+    // --- Whole-plane operations ----------------------------------------
+
+    /** Restart every crashed shard (each replays its own journal). */
+    void restartAll();
+
+    /** Counters summed across all shards. */
+    ControllerStats aggregateStats() const;
+
+  private:
+    HashRing ownership; //!< Declared first: shards hold a pointer.
+    std::vector<std::unique_ptr<CloudController>> shards;
+};
+
+} // namespace monatt::controller
+
+#endif // MONATT_CONTROLLER_CONTROLLER_FABRIC_H

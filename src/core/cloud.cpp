@@ -49,9 +49,24 @@ Cloud::Cloud(CloudConfig config)
         serverIds[static_cast<std::size_t>(i)] =
             "server-" + std::to_string(i + 1);
 
+    // Controller shards. Shard 0 keeps the classic id and key seed so
+    // a 1-shard deployment is bit-identical to the pre-sharding cloud.
+    const int numShards = std::max(cfg.controllerShards, 1);
+    std::vector<std::string> shardIds(static_cast<std::size_t>(numShards));
+    std::vector<std::uint64_t> shardSeeds(
+        static_cast<std::size_t>(numShards));
+    for (int k = 0; k < numShards; ++k) {
+        const auto idx = static_cast<std::size_t>(k);
+        shardIds[idx] = k == 0 ? "cloud-controller"
+                               : "controller-shard-" + std::to_string(k);
+        shardSeeds[idx] =
+            cfg.seed ^
+            (0x3 + static_cast<std::uint64_t>(k) * 0x100000ULL);
+    }
+
     crypto::RsaKeyPair pcaKeys;
     std::vector<crypto::RsaKeyPair> asKeys(asIds.size());
-    crypto::RsaKeyPair ccKeys;
+    std::vector<crypto::RsaKeyPair> ccKeys(shardIds.size());
     std::vector<crypto::RsaKeyPair> serverKeys(serverIds.size());
     std::vector<crypto::RsaKeyPair> tpmKeys(serverIds.size());
 
@@ -67,10 +82,12 @@ Cloud::Cloud(CloudConfig config)
                 cfg.identityKeyBits);
         });
     }
-    keygen.push_back([&] {
-        ccKeys = controller::CloudController::deriveIdentityKeys(
-            "cloud-controller", cfg.seed ^ 0x3, cfg.identityKeyBits);
-    });
+    for (std::size_t k = 0; k < shardIds.size(); ++k) {
+        keygen.push_back([&, k] {
+            ccKeys[k] = controller::CloudController::deriveIdentityKeys(
+                shardIds[k], shardSeeds[k], cfg.identityKeyBits);
+        });
+    }
     for (std::size_t i = 0; i < serverIds.size(); ++i) {
         const std::uint64_t seed = cfg.seed + 100 + i;
         keygen.push_back([&, i, seed] {
@@ -100,6 +117,7 @@ Cloud::Cloud(CloudConfig config)
             asCfg.id = asIds[static_cast<std::size_t>(i)];
         asCfg.timing = cfg.timing;
         asCfg.reliability = cfg.reliability;
+        asCfg.controllerIds.insert(shardIds.begin(), shardIds.end());
         asCfg.identityKeyBits = cfg.identityKeyBits;
         asCfg.enableVerificationCaches = cfg.enableAttestationCaches;
         asCfg.batchWindow = cfg.cryptoBatchWindow;
@@ -115,23 +133,33 @@ Cloud::Cloud(CloudConfig config)
         attestors.push_back(std::move(as));
     }
 
-    controller::CloudControllerConfig ccCfg;
-    ccCfg.timing = cfg.timing;
-    ccCfg.reliability = cfg.reliability;
-    ccCfg.attestorIds = asIds;
-    ccCfg.identityKeyBits = cfg.identityKeyBits;
-    ccCfg.batchWindow = cfg.cryptoBatchWindow;
-    ccCfg.durable = cfg.durableControlPlane;
-    ccCfg.checkpointEveryRecords = cfg.checkpointEveryRecords;
-    ccCfg.relayCacheCapacity = cfg.dedupCacheCapacity;
-    ccCfg.presetIdentityKeys = std::move(ccKeys);
-    cc = std::make_unique<controller::CloudController>(
-        eventQueue, fabric, keyDirectory, ccCfg, cfg.seed ^ 0x3);
-    keyDirectory.publish(cc->id(), cc->identityPublic());
+    std::vector<controller::CloudControllerConfig> shardConfigs;
+    shardConfigs.reserve(shardIds.size());
+    for (std::size_t k = 0; k < shardIds.size(); ++k) {
+        controller::CloudControllerConfig ccCfg;
+        ccCfg.id = shardIds[k];
+        ccCfg.timing = cfg.timing;
+        ccCfg.reliability = cfg.reliability;
+        ccCfg.attestorIds = asIds;
+        ccCfg.identityKeyBits = cfg.identityKeyBits;
+        ccCfg.batchWindow = cfg.cryptoBatchWindow;
+        ccCfg.durable = cfg.durableControlPlane;
+        ccCfg.checkpointEveryRecords = cfg.checkpointEveryRecords;
+        ccCfg.relayCacheCapacity = cfg.dedupCacheCapacity;
+        ccCfg.presetIdentityKeys = std::move(ccKeys[k]);
+        shardConfigs.push_back(std::move(ccCfg));
+    }
+    controlPlane = std::make_unique<controller::ControllerFabric>(
+        eventQueue, fabric, keyDirectory, std::move(shardConfigs),
+        shardSeeds, cfg.controllerRingVirtualNodes);
+    for (std::size_t k = 0; k < controlPlane->numShards(); ++k) {
+        controller::CloudController &shard = controlPlane->shard(k);
+        keyDirectory.publish(shard.id(), shard.identityPublic());
+    }
 
     // Flavor definitions shared with the servers' catalog.
     for (const server::VmFlavor &f : server::flavorCatalog())
-        cc->addFlavor(f.name, f.vcpus, f.ramMb, f.diskGb);
+        controlPlane->addFlavor(f.name, f.vcpus, f.ramMb, f.diskGb);
 
     // Known-good catalog image digests for the IMA-style appraiser.
     for (auto &as : attestors) {
@@ -151,7 +179,8 @@ Cloud::Cloud(CloudConfig config)
             *attestors[static_cast<std::size_t>(i) % attestors.size()];
         server::CloudServerConfig scfg;
         scfg.id = "server-" + std::to_string(i + 1);
-        scfg.controllerId = cc->id();
+        scfg.controllerId = controlPlane->shard(0).id();
+        scfg.controllerIds.insert(shardIds.begin(), shardIds.end());
         scfg.attestationServerId = clusterAs.id();
         scfg.pcaId = pca->id();
         scfg.capabilities = caps;
@@ -182,7 +211,7 @@ Cloud::Cloud(CloudConfig config)
         record.capabilities = caps;
         record.totalRamMb = scfg.totalRamMb;
         record.totalDiskGb = scfg.totalDiskGb;
-        cc->database().addServer(std::move(record));
+        controlPlane->addServerRecord(record);
 
         // Every AS gets every server's reference data: under failover
         // any attestor may be asked to appraise any server.
@@ -191,7 +220,7 @@ Cloud::Cloud(CloudConfig config)
             expectedPlatformDigest(cfg.hypervisorCode, cfg.hostOsCode);
         for (auto &as : attestors)
             as->setServerReference(srv->id(), ref);
-        cc->assignAttestationCluster(srv->id(), clusterAs.id());
+        controlPlane->assignAttestationCluster(srv->id(), clusterAs.id());
 
         srv->boot();
         servers.push_back(std::move(srv));
@@ -202,8 +231,10 @@ Customer &
 Cloud::addCustomer(const std::string &id)
 {
     auto customer = std::make_unique<Customer>(
-        eventQueue, fabric, keyDirectory, id, cc->id(),
-        cfg.seed + 10000 + customers.size(), cfg.reliability);
+        eventQueue, fabric, keyDirectory, id,
+        controlPlane->shard(0).id(),
+        cfg.seed + 10000 + customers.size(), cfg.reliability,
+        &controlPlane->ring());
     keyDirectory.publish(id, customer->identityPublic());
     customers.push_back(std::move(customer));
     return *customers.back();
@@ -242,54 +273,70 @@ Cloud::installFaultPlan(const sim::FaultPlanConfig &planConfig)
     fabric.setFaultPlan(plan.get());
     plan->installCrashSchedule(
         eventQueue,
-        [this](const std::string &node) { crashNode(node); },
-        [this](const std::string &node) { restartNode(node); });
+        [this](const std::string &node) {
+            const Status st = crashNode(node);
+            if (!st)
+                MONATT_LOG(Warn, "cloud") << st.errorMessage();
+        },
+        [this](const std::string &node) {
+            const Status st = restartNode(node);
+            if (!st)
+                MONATT_LOG(Warn, "cloud") << st.errorMessage();
+        });
 }
 
-void
+Status
 Cloud::crashNode(const std::string &node)
 {
     if (server::CloudServer *srv = serverById(node)) {
         srv->crash();
-        return;
+        return Status::ok();
     }
     for (auto &as : attestors) {
         if (as->id() == node) {
             as->crash();
-            return;
+            return Status::ok();
         }
     }
-    if (node == cc->id()) {
-        cc->crash();
-        return;
+    if (controller::CloudController *shard =
+            controlPlane->shardById(node)) {
+        shard->crash();
+        return Status::ok();
     }
     if (node == pca->id()) {
         pca->crash();
-        return;
+        return Status::ok();
     }
-    MONATT_LOG(Warn, "cloud") << "crash scheduled for unknown node "
-                              << node;
+    return Status::error("crash scheduled for unknown node \"" + node +
+                         "\": no server, attestor, controller shard or "
+                         "pCA has that id");
 }
 
-void
+Status
 Cloud::restartNode(const std::string &node)
 {
     if (server::CloudServer *srv = serverById(node)) {
         srv->restart();
-        return;
+        return Status::ok();
     }
     for (auto &as : attestors) {
         if (as->id() == node) {
             as->restart();
-            return;
+            return Status::ok();
         }
     }
-    if (node == cc->id()) {
-        cc->restart();
-        return;
+    if (controller::CloudController *shard =
+            controlPlane->shardById(node)) {
+        shard->restart();
+        return Status::ok();
     }
-    if (node == pca->id())
+    if (node == pca->id()) {
         pca->restart();
+        return Status::ok();
+    }
+    return Status::error("restart scheduled for unknown node \"" + node +
+                         "\": no server, attestor, controller shard or "
+                         "pCA has that id");
 }
 
 void

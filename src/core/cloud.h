@@ -28,6 +28,7 @@
 #include "attestation/attestation_server.h"
 #include "attestation/privacy_ca.h"
 #include "controller/cloud_controller.h"
+#include "controller/controller_fabric.h"
 #include "core/customer.h"
 #include "net/network.h"
 #include "net/secure_endpoint.h"
@@ -117,6 +118,21 @@ struct CloudConfig
     std::size_t checkpointEveryRecords = 512;
 
     /**
+     * Controller shards behind the consistent-hash fabric. 1 (the
+     * default) reproduces the classic single Cloud Controller
+     * bit-for-bit: same node id, same key seed, same vid/attest-id
+     * spaces, same message bytes. Larger values split VM ownership
+     * across independent shards (each with its own journal, dedup
+     * cache and adaptive RTO state); customers route every request to
+     * the owning shard client-side via the ring.
+     */
+    int controllerShards = 1;
+
+    /** Virtual nodes per shard on the ownership ring. */
+    int controllerRingVirtualNodes =
+        controller::HashRing::kDefaultVirtualNodes;
+
+    /**
      * Bound for every receive-side dedup cache (controller relay
      * cache, AS report cache, pCA issued-certificate cache). FIFO
      * eviction, deterministic order; tests shrink it to force
@@ -136,7 +152,23 @@ class Cloud
 
     // --- Entity access -------------------------------------------------
 
-    controller::CloudController &controller() { return *cc; }
+    /** Shard 0 — the classic controller (id "cloud-controller"). */
+    controller::CloudController &controller()
+    {
+        return controlPlane->shard(0);
+    }
+
+    /** The sharded control plane. */
+    controller::ControllerFabric &controllerFabric()
+    {
+        return *controlPlane;
+    }
+
+    /** The controller shard owning a VM id. */
+    controller::CloudController &controllerFor(const std::string &vid)
+    {
+        return controlPlane->ownerOf(vid);
+    }
 
     /** The first (default) attestation server. */
     attestation::AttestationServer &attestationServer()
@@ -178,14 +210,21 @@ class Cloud
     /** The installed plan (nullptr when none). */
     const sim::FaultPlan *faultPlan() const { return plan.get(); }
 
-    /** Crash / restart one node by id (used by the crash schedule;
+    /**
+     * Crash / restart one node by id (used by the crash schedule;
      * public so tests can script outages directly). Resolves cloud
-     * servers, Attestation Servers, the controller and the pCA. */
-    void crashNode(const std::string &node);
-    void restartNode(const std::string &node);
+     * servers, Attestation Servers, controller shards and the pCA.
+     *
+     * @return An error naming the node when it matches no entity —
+     *   a silently ignored typo in a fault plan would otherwise turn
+     *   a chaos test into a clean-wire run.
+     */
+    Status crashNode(const std::string &node);
+    Status restartNode(const std::string &node);
 
-    /** Convenience: restart the controller (replays its journal). */
-    void restartController() { cc->restart(); }
+    /** Convenience: restart every crashed controller shard (each
+     * replays its own journal). */
+    void restartController() { controlPlane->restartAll(); }
 
     // --- Simulation driving --------------------------------------------
 
@@ -250,7 +289,7 @@ class Cloud
 
     std::unique_ptr<attestation::PrivacyCa> pca;
     std::vector<std::unique_ptr<attestation::AttestationServer>> attestors;
-    std::unique_ptr<controller::CloudController> cc;
+    std::unique_ptr<controller::ControllerFabric> controlPlane;
     std::vector<std::unique_ptr<server::CloudServer>> servers;
     std::vector<std::unique_ptr<Customer>> customers;
     std::unique_ptr<sim::FaultPlan> plan;

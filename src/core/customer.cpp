@@ -1,6 +1,7 @@
 #include "core/customer.h"
 
 #include "common/logging.h"
+#include "controller/hash_ring.h"
 
 namespace monatt::core
 {
@@ -38,20 +39,47 @@ endpointSeed(const std::string &id, std::uint64_t seed)
 Customer::Customer(sim::EventQueue &eq, net::Network &network,
                    net::KeyDirectory &directory, std::string id,
                    std::string controllerId, std::uint64_t seed,
-                   proto::ReliabilityModel reliabilityModel)
+                   proto::ReliabilityModel reliabilityModel,
+                   const controller::HashRing *controllerRing)
     : events(eq), self(std::move(id)), controller(std::move(controllerId)),
-      keys(makeKeys(self, seed)), dir(directory),
+      ring(controllerRing), keys(makeKeys(self, seed)), dir(directory),
       endpoint(network, self, keys, directory, endpointSeed(self, seed)),
       nonceDrbg(toBytes("customer-nonces:" + self)),
       reliability(reliabilityModel)
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
-        if (from == controller)
+        if (isController(from))
             handleMessage(from, msg);
     });
     endpoint.setReliability(net::EndpointReliability{
         reliability.enabled, reliability.handshakeRto,
         reliability.handshakeRetryLimit});
+}
+
+const std::string &
+Customer::shardFor(const std::string &vid) const
+{
+    if (ring == nullptr || ring->empty())
+        return controller;
+    return ring->owner(vid);
+}
+
+const std::string &
+Customer::launchShardFor(std::uint64_t requestId,
+                         const std::string &name) const
+{
+    if (ring == nullptr || ring->empty())
+        return controller;
+    return ring->owner("launch:" + self + ":" +
+                       std::to_string(requestId) + ":" + name);
+}
+
+bool
+Customer::isController(const net::NodeId &node) const
+{
+    if (node == controller)
+        return true;
+    return ring != nullptr && ring->contains(node);
 }
 
 std::uint64_t
@@ -72,7 +100,7 @@ Customer::requestLaunch(
     req.imageSizeMb = imageSizeMb;
 
     launches[requestId] = LaunchOutcome{};
-    endpoint.sendSecure(controller,
+    endpoint.sendSecure(launchShardFor(requestId, name),
                         proto::packMessage(MessageKind::LaunchRequest,
                                            req.encode()));
     return requestId;
@@ -95,16 +123,18 @@ Customer::sendAttest(const std::string &vid,
     Bytes packed = proto::packMessage(MessageKind::AttestRequest,
                                       req.encode());
 
+    const std::string &target = shardFor(vid);
     PendingAttest pending;
     pending.vid = vid;
     pending.nonce1 = req.nonce1;
     pending.properties = std::move(props);
     pending.periodic = mode == AttestMode::RuntimePeriodic;
     pending.packed = packed;
+    pending.target = target;
     pendingAttests[requestId] = std::move(pending);
     outcomes[requestId] = AttestOutcomeRecord{};
 
-    endpoint.sendSecure(controller, std::move(packed));
+    endpoint.sendSecure(target, std::move(packed));
 
     // Only one-shot requests retransmit: a periodic stream is kept
     // alive by its own reports, and StopPeriodic is idempotent
@@ -138,12 +168,15 @@ Customer::requestRetryFired(std::uint64_t requestId)
         return;
     PendingAttest &pending = it->second;
     pending.retryTimer = 0;
+    const std::string target =
+        pending.target.empty() ? controller : pending.target;
     if (pending.retries < reliability.customerRetryLimit) {
         ++pending.retries;
         ++counters.requestRetries;
-        // Identical plaintext; the controller dedups on (customer,
-        // request id), so at most one protocol run is triggered.
-        endpoint.sendSecure(controller, Bytes(pending.packed));
+        // Identical plaintext; the controller shard dedups on
+        // (customer, request id), so at most one protocol run is
+        // triggered.
+        endpoint.sendSecure(target, Bytes(pending.packed));
         scheduleRequestRetry(requestId);
         return;
     }
@@ -155,10 +188,10 @@ Customer::requestRetryFired(std::uint64_t requestId)
         << self << ": attestation request " << requestId
         << " unreachable after " << pending.retries << " retries";
     pendingAttests.erase(it);
-    // The controller may have crashed and restarted: force a fresh
-    // handshake before the next request instead of sealing under
+    // The controller shard may have crashed and restarted: force a
+    // fresh handshake before the next request instead of sealing under
     // session keys it no longer holds.
-    endpoint.resetPeer(controller);
+    endpoint.resetPeer(target);
 }
 
 std::uint64_t
@@ -309,11 +342,17 @@ Customer::onLaunchResponse(const Bytes &body)
 }
 
 const crypto::RsaPublicContext &
-Customer::controllerContext(const crypto::RsaPublicKey &key)
+Customer::controllerContext(const std::string &shardId,
+                            const crypto::RsaPublicKey &key)
 {
-    if (!ccCtx || !(ccCtx->key() == key))
-        ccCtx.emplace(key);
-    return *ccCtx;
+    const auto it = ccCtx.find(shardId);
+    if (it == ccCtx.end() || !(it->second.key() == key)) {
+        if (it != ccCtx.end())
+            ccCtx.erase(it);
+        return ccCtx.emplace(shardId, crypto::RsaPublicContext(key))
+            .first->second;
+    }
+    return it->second;
 }
 
 void
@@ -333,12 +372,15 @@ Customer::onReportToCustomer(const Bytes &body)
     }
     const PendingAttest &pending = it->second;
 
-    // End-to-end verification: controller signature, quote, nonce.
-    auto ccKey = dir.lookup(controller);
+    // End-to-end verification: the signature of the controller shard
+    // this request was routed to, quote, nonce.
+    const std::string &signer =
+        pending.target.empty() ? controller : pending.target;
+    auto ccKey = dir.lookup(signer);
     const Bytes expectedQ1 = ReportToCustomer::quoteInput(
         msg.vid, msg.properties, msg.report, msg.nonce1);
     if (!ccKey ||
-        !crypto::rsaVerify(controllerContext(ccKey.value()),
+        !crypto::rsaVerify(controllerContext(signer, ccKey.value()),
                            msg.signedPortion(), msg.signature) ||
         !constantTimeEqual(expectedQ1, msg.quote1) ||
         !constantTimeEqual(msg.nonce1, pending.nonce1) ||

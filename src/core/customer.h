@@ -32,6 +32,11 @@
 #include "proto/timing_model.h"
 #include "sim/event_queue.h"
 
+namespace monatt::controller
+{
+class HashRing;
+}
+
 namespace monatt::core
 {
 
@@ -90,10 +95,19 @@ struct CustomerStats
 class Customer
 {
   public:
+    /**
+     * `controllerRing` is the control plane's consistent-hash
+     * ownership ring (non-owning, must outlive the customer): when
+     * set, every request is routed client-side to the shard owning
+     * its VM id and replies are accepted from any shard. nullptr (or
+     * a ring of one node) reproduces the classic single-controller
+     * behaviour against `controllerId`.
+     */
     Customer(sim::EventQueue &eq, net::Network &network,
              net::KeyDirectory &directory, std::string id,
              std::string controllerId, std::uint64_t seed,
-             proto::ReliabilityModel reliabilityModel = {});
+             proto::ReliabilityModel reliabilityModel = {},
+             const controller::HashRing *controllerRing = nullptr);
 
     const std::string &id() const { return self; }
 
@@ -165,6 +179,7 @@ class Customer
         std::vector<proto::SecurityProperty> properties;
         bool periodic = false;
         Bytes packed;                //!< For identical retransmission.
+        std::string target;          //!< Controller shard handling it.
         int retries = 0;
         sim::EventId retryTimer = 0; //!< 0 = none pending.
     };
@@ -181,18 +196,32 @@ class Customer
     void scheduleRequestRetry(std::uint64_t requestId);
     void requestRetryFired(std::uint64_t requestId);
 
-    /** Compiled controller key, rebuilt if the directory rotates it. */
+    /** Owning controller shard for a VM id (ring routing); the single
+     * configured controller when no ring is attached. */
+    const std::string &shardFor(const std::string &vid) const;
+
+    /** Shard handling a launch request (no vid exists yet; routed by a
+     * per-request key so launches spread across shards). */
+    const std::string &launchShardFor(std::uint64_t requestId,
+                                      const std::string &name) const;
+
+    /** True when `node` is a controller shard we accept replies from. */
+    bool isController(const net::NodeId &node) const;
+
+    /** Compiled per-shard controller key, rebuilt on rotation. */
     const crypto::RsaPublicContext &controllerContext(
-        const crypto::RsaPublicKey &key);
+        const std::string &shardId, const crypto::RsaPublicKey &key);
 
     sim::EventQueue &events;
     std::string self;
     std::string controller;
+    const controller::HashRing *ring; //!< nullptr = unsharded plane.
     crypto::RsaKeyPair keys;
     const net::KeyDirectory &dir;
     net::SecureEndpoint endpoint;
     crypto::HmacDrbg nonceDrbg;
-    std::optional<crypto::RsaPublicContext> ccCtx;
+    /** Compiled relay-verification keys, one per controller shard. */
+    std::map<std::string, crypto::RsaPublicContext> ccCtx;
 
     proto::ReliabilityModel reliability;
     std::map<std::uint64_t, LaunchOutcome> launches;

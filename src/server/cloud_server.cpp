@@ -164,6 +164,14 @@ CloudServer::isAttestor(const net::NodeId &from) const
     return cfg.attestorIds.count(from) != 0;
 }
 
+bool
+CloudServer::isController(const net::NodeId &from) const
+{
+    if (cfg.controllerIds.empty())
+        return from == cfg.controllerId;
+    return cfg.controllerIds.count(from) != 0;
+}
+
 void
 CloudServer::onMeasureRequest(const net::NodeId &from, const Bytes &body)
 {
@@ -615,7 +623,7 @@ void
 CloudServer::onLaunchVm(const net::NodeId &from, const Bytes &body)
 {
     auto reqR = proto::LaunchVm::decode(body);
-    if (!reqR || from != cfg.controllerId)
+    if (!reqR || !isController(from))
         return;
     const proto::LaunchVm req = reqR.take();
 
@@ -671,7 +679,7 @@ void
 CloudServer::onTerminateVm(const net::NodeId &from, const Bytes &body)
 {
     auto cmdR = proto::VmCommand::decode(body);
-    if (!cmdR || from != cfg.controllerId)
+    if (!cmdR || !isController(from))
         return;
     const proto::VmCommand cmd = cmdR.take();
 
@@ -707,7 +715,7 @@ void
 CloudServer::onSuspendVm(const net::NodeId &from, const Bytes &body)
 {
     auto cmdR = proto::VmCommand::decode(body);
-    if (!cmdR || from != cfg.controllerId)
+    if (!cmdR || !isController(from))
         return;
     const proto::VmCommand cmd = cmdR.take();
 
@@ -739,7 +747,7 @@ void
 CloudServer::onResumeVm(const net::NodeId &from, const Bytes &body)
 {
     auto cmdR = proto::VmCommand::decode(body);
-    if (!cmdR || from != cfg.controllerId)
+    if (!cmdR || !isController(from))
         return;
     const proto::VmCommand cmd = cmdR.take();
 
@@ -772,7 +780,7 @@ void
 CloudServer::onMigrateOut(const net::NodeId &from, const Bytes &body)
 {
     auto cmdR = proto::MigrateOut::decode(body);
-    if (!cmdR || from != cfg.controllerId)
+    if (!cmdR || !isController(from))
         return;
     const proto::MigrateOut cmd = cmdR.take();
 

@@ -47,6 +47,14 @@ struct CloudServerConfig
 {
     std::string id;
     std::string controllerId = "cloud-controller";
+
+    /**
+     * Every controller shard allowed to command this server. Under a
+     * sharded control plane a VM's owning shard (any of them) sends
+     * the launch/terminate/suspend/resume/migrate commands. Empty =
+     * just controllerId.
+     */
+    std::set<std::string> controllerIds;
     std::string attestationServerId = "attestation-server";
     std::string pcaId = "privacy-ca";
 
@@ -257,6 +265,9 @@ class CloudServer
 
     /** True when `from` is an authorized Attestation Server. */
     bool isAttestor(const net::NodeId &from) const;
+
+    /** True when `from` is a controller shard we obey. */
+    bool isController(const net::NodeId &from) const;
 
     /** Arm the pCA retransmission timer for a pending attestation. */
     void scheduleCertRetry(std::uint64_t requestId);
