@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the figure benches' JSON output.
+
+Compares the *simulated* metrics — which are deterministic for a fixed
+seed, so any drift is a real behavioral change, not runner noise —
+of freshly produced BENCH_*.json files against the baselines committed
+under bench/baselines/. Wall-clock fields are ignored by design.
+
+Gated metrics, matched by full JSON path:
+  - attestations_per_sim_sec  (higher is better)
+  - sim_makespan_sec, sim_seconds  (lower is better)
+
+A metric regressing by more than --tolerance (default 15%) fails the
+gate. A baseline metric missing from the fresh run fails too: that
+means the bench's shape changed and the baseline must be regenerated
+(rerun the bench and copy its JSON over the baseline in the same PR).
+
+Usage:
+  check_bench_regression.py --baseline-dir bench/baselines \
+                            --current-dir build/bench [--tolerance 0.15]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+HIGHER_IS_BETTER = {"attestations_per_sim_sec"}
+LOWER_IS_BETTER = {"sim_makespan_sec", "sim_seconds"}
+
+
+def walk(node, path=""):
+    """Yield (json_path, value) for every gated numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            here = f"{path}.{key}" if path else key
+            if key in HIGHER_IS_BETTER or key in LOWER_IS_BETTER:
+                if isinstance(value, (int, float)):
+                    yield here, key, float(value)
+            else:
+                yield from walk(value, here)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from walk(value, f"{path}[{i}]")
+
+
+def compare(name, baseline, current, tolerance):
+    failures = []
+    checked = 0
+    current_leaves = {p: v for p, _, v in walk(current)}
+    for path, key, base in walk(baseline):
+        if path not in current_leaves:
+            failures.append(
+                f"{name}: {path} missing from fresh run "
+                f"(bench shape changed? regenerate the baseline)")
+            continue
+        cur = current_leaves[path]
+        checked += 1
+        if base == 0:
+            continue
+        if key in HIGHER_IS_BETTER:
+            drift = (base - cur) / base
+            direction = "throughput drop"
+        else:
+            drift = (cur - base) / base
+            direction = "slowdown"
+        if drift > tolerance:
+            failures.append(
+                f"{name}: {path} {direction} {100 * drift:.1f}% "
+                f"(baseline {base:.4g}, current {cur:.4g}, "
+                f"tolerance {100 * tolerance:.0f}%)")
+    return checked, failures
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--baseline-dir", required=True, type=pathlib.Path)
+    ap.add_argument("--current-dir", required=True, type=pathlib.Path)
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    args = ap.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines in {args.baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    total = 0
+    all_failures = []
+    for basefile in baselines:
+        curfile = args.current_dir / basefile.name
+        if not curfile.exists():
+            all_failures.append(
+                f"{basefile.name}: not produced by this run "
+                f"(expected {curfile})")
+            continue
+        with open(basefile) as f:
+            baseline = json.load(f)
+        with open(curfile) as f:
+            current = json.load(f)
+        checked, failures = compare(basefile.name, baseline, current,
+                                    args.tolerance)
+        total += checked
+        all_failures.extend(failures)
+        status = "FAIL" if failures else "ok"
+        print(f"{basefile.name}: {checked} metrics checked, {status}")
+
+    if all_failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in all_failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\nperf gate passed: {total} simulated metrics within "
+          f"{100 * args.tolerance:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -71,7 +71,11 @@ CloudController::CloudController(sim::EventQueue &eq,
       signCtx(keys.priv), dir(directory),
       endpoint(network, cfg.id, keys, directory,
                endpointSeed(cfg.id, seed)),
-      rng(seed ^ 0xcc), store(cfg.id)
+      rng(seed ^ 0xcc), store(cfg.id),
+      election(cfg.id,
+               cfg.groupIds.empty() ? std::vector<std::string>{cfg.id}
+                                    : cfg.groupIds,
+               cfg.election)
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
@@ -79,6 +83,19 @@ CloudController::CloudController(sim::EventQueue &eq,
     endpoint.setReliability(net::EndpointReliability{
         cfg.reliability.enabled, cfg.reliability.handshakeRto,
         cfg.reliability.handshakeRetryLimit});
+
+    // The primary replica boots as the round-1 leader so an
+    // unreplicated (or freshly built) group needs no election.
+    if (cfg.replicaIndex == 0)
+        election.bootstrapLeader();
+    knownLeader = groupId();
+    if (replicated()) {
+        ledger.reset(followerIds());
+        if (election.role() == ReplicaRole::Leader)
+            armHeartbeat();
+        else
+            armElectionTimer();
+    }
 }
 
 void
@@ -136,25 +153,57 @@ CloudController::handleMessage(const net::NodeId &from,
     if (!unpacked)
         return;
     const auto &[kind, body] = unpacked.value();
+    // Replicated non-leaders are passive: customer requests get a
+    // NotLeader redirect, protocol traffic for the leader is dropped
+    // (the sender's retransmission reaches the leader), and only the
+    // replication/election messages below are processed.
+    const bool passive =
+        replicated() && election.role() != ReplicaRole::Leader;
     switch (kind) {
       case MessageKind::LaunchRequest:
-        onLaunchRequest(from, body);
+        if (passive) {
+            auto req = proto::LaunchRequest::decode(body);
+            if (req)
+                sendNotLeader(from, req.value().requestId, true);
+        } else {
+            onLaunchRequest(from, body);
+        }
         break;
       case MessageKind::AttestRequest:
-        onAttestRequest(from, body);
+        if (passive) {
+            auto req = AttestRequest::decode(body);
+            if (req)
+                sendNotLeader(from, req.value().requestId, false);
+        } else {
+            onAttestRequest(from, body);
+        }
         break;
       case MessageKind::LaunchVmAck:
-        onLaunchVmAck(from, body);
+        if (!passive)
+            onLaunchVmAck(from, body);
         break;
       case MessageKind::ReportToController:
-        if (isKnownAttestor(from))
+        if (!passive && isKnownAttestor(from))
             onReportToController(from, body);
         break;
       case MessageKind::TerminateVmAck:
       case MessageKind::SuspendVmAck:
       case MessageKind::ResumeVmAck:
       case MessageKind::MigrateOutAck:
-        onCommandAck(kind, body);
+        if (!passive)
+            onCommandAck(kind, body);
+        break;
+      case MessageKind::ReplicateEntries:
+        onReplicateEntries(from, body);
+        break;
+      case MessageKind::ReplicateAck:
+        onReplicateAck(from, body);
+        break;
+      case MessageKind::VoteRequest:
+        onVoteRequest(from, body);
+        break;
+      case MessageKind::VoteGrant:
+        onVoteGrant(from, body);
         break;
       default:
         MONATT_LOG(Warn, "cc") << "unexpected message from " << from;
@@ -171,8 +220,10 @@ CloudController::allocateVid()
 {
     for (;;) {
         std::string vid = "vm-" + std::to_string(nextVmNumber++);
+        // Ring ownership is by the shard's *base* id: every replica of
+        // a group allocates from the same partition of the vid space.
         if (cfg.ring == nullptr || cfg.ring->empty() ||
-            cfg.ring->owner(vid) == cfg.id)
+            cfg.ring->owner(vid) == groupId())
             return vid;
     }
 }
@@ -210,9 +261,9 @@ CloudController::onLaunchRequest(const net::NodeId &from,
         resp.requestId = req.requestId;
         resp.ok = false;
         resp.error = "unknown flavor " + req.flavorName;
-        endpoint.sendSecure(from,
-                            proto::packMessage(MessageKind::LaunchResponse,
-                                               resp.encode()));
+        sendExternal(from,
+                     proto::packMessage(MessageKind::LaunchResponse,
+                                        resp.encode()));
         return;
     }
 
@@ -318,7 +369,6 @@ CloudController::startSpawn(const std::string &vid)
     rec->status = VmStatus::Spawning;
     rec->launchTimer.beginStage("spawning", events.now());
     journalVm(vid);
-    commitJournal();
 
     proto::LaunchVm cmd;
     cmd.vid = vid;
@@ -330,9 +380,13 @@ CloudController::startSpawn(const std::string &vid)
     cmd.image = rec->image;
     // The image itself is staged by the server from the image store
     // (charged inside TimingModel::spawnTime); the command is small.
-    endpoint.sendSecure(rec->serverId,
-                        proto::packMessage(MessageKind::LaunchVm,
-                                           cmd.encode()));
+    sendExternal(rec->serverId,
+                 proto::packMessage(MessageKind::LaunchVm,
+                                    cmd.encode()));
+    // Commit after the send so the staged LaunchVm is gated on this
+    // handler's own journal records (startSpawn runs from a timer, so
+    // no enclosing handler commits for it).
+    commitJournal();
 }
 
 void
@@ -428,9 +482,9 @@ CloudController::transmitForward(std::uint64_t attestId)
     fwd.nonce2 = ctx.nonce2;
     fwd.mode = ctx.mode;
     fwd.period = ctx.period;
-    endpoint.sendSecure(ctx.attestorId,
-                        proto::packMessage(MessageKind::AttestForward,
-                                           fwd.encode()));
+    sendExternal(ctx.attestorId,
+                 proto::packMessage(MessageKind::AttestForward,
+                                    fwd.encode()));
 }
 
 void
@@ -555,7 +609,7 @@ CloudController::sendAttestFailure(const net::NodeId &customer,
     Bytes packed = proto::packMessage(MessageKind::AttestFailure,
                                       failure.encode());
     rememberRelay(CustomerKey{customer, requestId}, Bytes(packed));
-    endpoint.sendSecure(customer, std::move(packed));
+    sendExternal(customer, std::move(packed));
 }
 
 std::vector<std::string>
@@ -634,7 +688,7 @@ CloudController::onAttestRequest(const net::NodeId &from,
     const auto cached = relayCache.find(key);
     if (cached != relayCache.end()) {
         ++counters.duplicateAttestRequests;
-        endpoint.sendSecure(from, Bytes(cached->second));
+        sendExternal(from, Bytes(cached->second));
         return;
     }
 
@@ -839,9 +893,9 @@ CloudController::handleStartupReport(const AttestContext &ctx,
         // §5.1: compromised image — reject the launch.
         proto::VmCommand cmd;
         cmd.vid = ctx.vid;
-        endpoint.sendSecure(rec->serverId,
-                            proto::packMessage(MessageKind::TerminateVm,
-                                               cmd.encode()));
+        sendExternal(rec->serverId,
+                     proto::packMessage(MessageKind::TerminateVm,
+                                        cmd.encode()));
         db.release(rec->serverId, rec->ramMb, rec->diskGb);
         journalServer(rec->serverId);
         ++counters.launchesRejected;
@@ -850,9 +904,9 @@ CloudController::handleStartupReport(const AttestContext &ctx,
         // §5.1: compromised platform — select another server.
         proto::VmCommand cmd;
         cmd.vid = ctx.vid;
-        endpoint.sendSecure(rec->serverId,
-                            proto::packMessage(MessageKind::TerminateVm,
-                                               cmd.encode()));
+        sendExternal(rec->serverId,
+                     proto::packMessage(MessageKind::TerminateVm,
+                                        cmd.encode()));
         db.release(rec->serverId, rec->ramMb, rec->diskGb);
         journalServer(rec->serverId);
         rescheduleLaunch(ctx.vid, detail);
@@ -902,9 +956,9 @@ CloudController::finishLaunch(const std::string &vid, bool ok,
     resp.vid = vid;
     resp.ok = ok;
     resp.error = error;
-    endpoint.sendSecure(launchIt->second.customer,
-                        proto::packMessage(MessageKind::LaunchResponse,
-                                           resp.encode()));
+    sendExternal(launchIt->second.customer,
+                 proto::packMessage(MessageKind::LaunchResponse,
+                                    resp.encode()));
     launches.erase(launchIt);
     journalVm(vid);
     journalLaunch(vid);
@@ -978,7 +1032,7 @@ CloudController::flushRelayBatch()
             rememberRelay(key, Bytes(packed));
         else
             customerInFlight.erase(key);
-        endpoint.sendSecure(relay.customer, std::move(packed));
+        sendExternal(relay.customer, std::move(packed));
     }
 }
 
@@ -1016,16 +1070,16 @@ CloudController::triggerResponse(
     cmd.vid = vid;
     switch (policy) {
       case ResponsePolicy::Terminate:
-        endpoint.sendSecure(rec->serverId,
-                            proto::packMessage(MessageKind::TerminateVm,
-                                               cmd.encode()));
+        sendExternal(rec->serverId,
+                     proto::packMessage(MessageKind::TerminateVm,
+                                        cmd.encode()));
         break;
       case ResponsePolicy::Suspend:
         rec->status = VmStatus::Suspended;
         journalVm(vid);
-        endpoint.sendSecure(rec->serverId,
-                            proto::packMessage(MessageKind::SuspendVm,
-                                               cmd.encode()));
+        sendExternal(rec->serverId,
+                     proto::packMessage(MessageKind::SuspendVm,
+                                        cmd.encode()));
         break;
       case ResponsePolicy::Migrate:
         executeMigration(vid, logIndex);
@@ -1056,9 +1110,9 @@ CloudController::executeMigration(const std::string &vid,
         journalResponse(logIndex);
         proto::VmCommand cmd;
         cmd.vid = vid;
-        endpoint.sendSecure(rec->serverId,
-                            proto::packMessage(MessageKind::TerminateVm,
-                                               cmd.encode()));
+        sendExternal(rec->serverId,
+                     proto::packMessage(MessageKind::TerminateVm,
+                                        cmd.encode()));
         return;
     }
 
@@ -1071,9 +1125,9 @@ CloudController::executeMigration(const std::string &vid,
     journalVm(vid);
     journalServer(cmd.targetServer);
     journalResponse(logIndex);
-    endpoint.sendSecure(rec->serverId,
-                        proto::packMessage(MessageKind::MigrateOut,
-                                           cmd.encode()));
+    sendExternal(rec->serverId,
+                 proto::packMessage(MessageKind::MigrateOut,
+                                    cmd.encode()));
 }
 
 void
@@ -1159,9 +1213,9 @@ CloudController::retargetPeriodicAttestations(const std::string &vid,
         fwd.nonce2 = ctx.nonce2;
         fwd.mode = AttestMode::RuntimePeriodic;
         fwd.period = ctx.period;
-        endpoint.sendSecure(
-            ctx.attestorId,
-            proto::packMessage(MessageKind::AttestForward, fwd.encode()));
+        sendExternal(
+     ctx.attestorId,
+     proto::packMessage(MessageKind::AttestForward, fwd.encode()));
 
         // When the cluster changed, the old attestor still runs the
         // stale task: stop it explicitly.
@@ -1169,10 +1223,10 @@ CloudController::retargetPeriodicAttestations(const std::string &vid,
             AttestForward stop = fwd;
             stop.serverId = oldServer;
             stop.mode = AttestMode::StopPeriodic;
-            endpoint.sendSecure(
-                oldAttestor,
-                proto::packMessage(MessageKind::AttestForward,
-                                   stop.encode()));
+            sendExternal(
+         oldAttestor,
+         proto::packMessage(MessageKind::AttestForward,
+                            stop.encode()));
         }
     }
 }
@@ -1226,9 +1280,9 @@ CloudController::handleRecheckReport(const AttestContext &ctx,
         cmd.vid = ctx.vid;
         rec->status = VmStatus::Running;
         journalVm(ctx.vid);
-        endpoint.sendSecure(rec->serverId,
-                            proto::packMessage(MessageKind::ResumeVm,
-                                               cmd.encode()));
+        sendExternal(rec->serverId,
+                     proto::packMessage(MessageKind::ResumeVm,
+                                        cmd.encode()));
         MONATT_LOG(Info, "cc") << ctx.vid
                                << " healthy again; resuming";
     } else {
@@ -1561,13 +1615,40 @@ CloudController::journalRelay(const CustomerKey &key, const Bytes &packed)
 void
 CloudController::commitJournal()
 {
-    if (!cfg.durable || replaying)
+    if (replaying)
         return;
-    if (store.pendingRecords() > 0)
+    if (replicated() && election.role() != ReplicaRole::Leader) {
+        // Followers sync their mirror inside onReplicateEntries and
+        // must never checkpoint here: their in-memory state is empty,
+        // so snapshotState() would wipe the mirrored journal. Any
+        // sends a stale code path staged are for a reign this replica
+        // no longer holds.
+        stagedSends.clear();
+        return;
+    }
+    if (!cfg.durable)
+        return;
+    if (store.pendingRecords() > 0) {
         store.sync();
+        mirrorRound = election.round();
+    }
+    // Everything staged by this handler is gated on the journal
+    // records it just made durable: release only once that LSN is
+    // majority-replicated. Unreplicated groups commit immediately.
+    const std::uint64_t gateLsn = store.lastDurableLsn();
+    for (StagedSend &s : stagedSends)
+        outputGate.push_back({gateLsn, std::move(s.peer),
+                              std::move(s.packed)});
+    stagedSends.clear();
+    // Stream before checkpointing so followers receive the tail as
+    // records; a checkpoint here would force a snapshot install.
+    if (replicated())
+        replicateToFollowers();
     if (cfg.checkpointEveryRecords > 0 &&
         store.durableRecords() >= cfg.checkpointEveryRecords)
         store.checkpoint(snapshotState());
+    if (replicated())
+        advanceCommit();
 }
 
 // --- Durability: snapshot + replay ------------------------------------
@@ -1855,6 +1936,22 @@ CloudController::crash()
         if (ctx.retryTimer != 0)
             events.cancel(ctx.retryTimer);
     }
+    if (heartbeatTimer != 0) {
+        events.cancel(heartbeatTimer);
+        heartbeatTimer = 0;
+    }
+    if (electionTimer != 0) {
+        events.cancel(electionTimer);
+        electionTimer = 0;
+    }
+    stagedSends.clear();
+    outputGate.clear();
+    commitLsn_ = 0;
+    lastStreamedLsn = 0;
+    followerSilence.clear();
+    lastLeaderContact = 0;
+    if (replicated())
+        election.resetToFollower();
     // The un-fsynced journal tail is the page cache: lost.
     store.crash();
     // Volatile and recoverable in-memory state dies. Operator
@@ -1889,6 +1986,15 @@ CloudController::restart()
         return;
     MONATT_LOG(Info, "cc") << cfg.id << ": restart";
     endpoint.attach();
+    if (replicated()) {
+        // Rejoin as a follower: the mirror resynchronizes from the
+        // current leader's stream (snapshot install if we fell behind
+        // its checkpoint); promotion back to leader only via election.
+        election.resetToFollower();
+        ledger.reset(followerIds());
+        armElectionTimer();
+        return;
+    }
     if (cfg.durable)
         recover();
 }
@@ -2000,10 +2106,10 @@ CloudController::rearmRecoveredWork()
                     return;
                 proto::VmCommand cmd;
                 cmd.vid = vid;
-                endpoint.sendSecure(
-                    rec->serverId,
-                    proto::packMessage(MessageKind::TerminateVm,
-                                       cmd.encode()));
+                sendExternal(
+             rec->serverId,
+             proto::packMessage(MessageKind::TerminateVm,
+                                cmd.encode()));
                 db.release(rec->serverId, rec->ramMb, rec->diskGb);
                 journalServer(rec->serverId);
                 finishLaunch(vid, false,
@@ -2066,17 +2172,17 @@ CloudController::resendResponseCommand(std::size_t logIndex)
       case ResponsePolicy::Terminate: {
         proto::VmCommand cmd;
         cmd.vid = log.vid;
-        endpoint.sendSecure(rec->serverId,
-                            proto::packMessage(MessageKind::TerminateVm,
-                                               cmd.encode()));
+        sendExternal(rec->serverId,
+                     proto::packMessage(MessageKind::TerminateVm,
+                                        cmd.encode()));
         break;
       }
       case ResponsePolicy::Suspend: {
         proto::VmCommand cmd;
         cmd.vid = log.vid;
-        endpoint.sendSecure(rec->serverId,
-                            proto::packMessage(MessageKind::SuspendVm,
-                                               cmd.encode()));
+        sendExternal(rec->serverId,
+                     proto::packMessage(MessageKind::SuspendVm,
+                                        cmd.encode()));
         break;
       }
       case ResponsePolicy::Migrate: {
@@ -2085,14 +2191,458 @@ CloudController::resendResponseCommand(std::size_t logIndex)
         proto::MigrateOut cmd;
         cmd.vid = log.vid;
         cmd.targetServer = log.targetServer;
-        endpoint.sendSecure(rec->serverId,
-                            proto::packMessage(MessageKind::MigrateOut,
-                                               cmd.encode()));
+        sendExternal(rec->serverId,
+                     proto::packMessage(MessageKind::MigrateOut,
+                                        cmd.encode()));
         break;
       }
       case ResponsePolicy::None:
         break;
     }
+}
+
+// --- Replication + leader election ------------------------------------
+//
+// Control-plane traffic (ReplicateEntries/Ack, Vote*, NotLeader) goes
+// out through endpoint.sendSecure directly: it must flow even while
+// the externally visible output of the current handler is still gated
+// on majority durability.
+
+void
+CloudController::sendExternal(const net::NodeId &peer, Bytes packed)
+{
+    if (!replicated()) {
+        endpoint.sendSecure(peer, std::move(packed));
+        return;
+    }
+    if (election.role() != ReplicaRole::Leader)
+        return;
+    // Stage until commitJournal tags the send with the LSN of the
+    // records this handler produced; released once majority-durable.
+    stagedSends.push_back({peer, std::move(packed)});
+}
+
+bool
+CloudController::isGroupMember(const net::NodeId &node) const
+{
+    for (const std::string &id : cfg.groupIds) {
+        if (id == node)
+            return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+CloudController::followerIds() const
+{
+    std::vector<std::string> out;
+    for (const std::string &id : cfg.groupIds) {
+        if (id != cfg.id)
+            out.push_back(id);
+    }
+    return out;
+}
+
+void
+CloudController::sendNotLeader(const net::NodeId &customer,
+                               std::uint64_t requestId, bool isLaunch)
+{
+    proto::NotLeader redirect;
+    redirect.requestId = requestId;
+    redirect.isLaunch = isLaunch;
+    // Only hint at a *different* replica; an empty hint tells the
+    // customer to fall back to its retransmission rotation.
+    redirect.leaderId = knownLeader == cfg.id ? "" : knownLeader;
+    redirect.round = election.round();
+    endpoint.sendSecure(customer,
+                        proto::packMessage(MessageKind::NotLeader,
+                                           redirect.encode()));
+}
+
+void
+CloudController::streamToFollower(const net::NodeId &follower)
+{
+    proto::ReplicateEntries msg;
+    msg.round = election.round();
+    msg.leaderId = cfg.id;
+    msg.commitLsn = commitLsn_;
+    std::uint64_t from = ledger.ackOf(follower);
+    if (from < store.snapshotLsn()) {
+        // The follower is behind our last checkpoint: the records it
+        // misses no longer exist as records, ship the snapshot.
+        msg.hasSnapshot = true;
+        msg.snapshot = store.snapshotBytes();
+        msg.snapshotLsn = store.snapshotLsn();
+        from = msg.snapshotLsn;
+    }
+    msg.prevLsn = from;
+    for (const sim::JournalRecord &rec : store.durableSince(from))
+        msg.records.push_back({rec.lsn, rec.type, rec.payload});
+    endpoint.sendSecure(follower,
+                        proto::packMessage(MessageKind::ReplicateEntries,
+                                           msg.encode()));
+}
+
+void
+CloudController::replicateToFollowers()
+{
+    if (election.role() != ReplicaRole::Leader)
+        return;
+    if (store.lastDurableLsn() <= lastStreamedLsn)
+        return;
+    for (const std::string &follower : followerIds())
+        streamToFollower(follower);
+    lastStreamedLsn = store.lastDurableLsn();
+}
+
+void
+CloudController::advanceCommit()
+{
+    const std::uint64_t c =
+        ledger.commitLsn(store.lastDurableLsn(), election.groupSize());
+    if (c > commitLsn_)
+        commitLsn_ = c;
+    releaseCommitted();
+}
+
+void
+CloudController::releaseCommitted()
+{
+    while (!outputGate.empty() &&
+           outputGate.front().lsn <= commitLsn_) {
+        GatedSend send = std::move(outputGate.front());
+        outputGate.pop_front();
+        endpoint.sendSecure(send.peer, std::move(send.packed));
+    }
+}
+
+void
+CloudController::onReplicateEntries(const net::NodeId &from,
+                                    const Bytes &body)
+{
+    if (!replicated() || !isGroupMember(from))
+        return;
+    auto decoded = proto::ReplicateEntries::decode(body);
+    if (!decoded)
+        return;
+    const proto::ReplicateEntries &msg = decoded.value();
+    if (msg.leaderId != from || msg.round < election.round())
+        return;
+    lastLeaderContact = events.now();
+
+    const bool wasLeader = election.role() == ReplicaRole::Leader;
+    if (election.observeLeader(msg.leaderId, msg.round) && wasLeader) {
+        // Deposed by a higher-round leader: fence our reign's timers
+        // and drop state we no longer own.
+        stepDownToFollower();
+    }
+    knownLeader = msg.leaderId;
+    armElectionTimer();
+
+    if (msg.hasSnapshot &&
+        (msg.round > mirrorRound ||
+         msg.snapshotLsn > store.lastDurableLsn())) {
+        store.installSnapshot(msg.snapshot, msg.snapshotLsn);
+    } else if (!msg.hasSnapshot && msg.round > mirrorRound &&
+               store.lastDurableLsn() > msg.prevLsn) {
+        // A new leader's log is authoritative: drop any suffix the old
+        // leader streamed to us but never got committed.
+        store.truncateTo(msg.prevLsn);
+    }
+
+    for (const proto::ReplicatedRecord &rec : msg.records) {
+        const std::uint64_t next = store.lastDurableLsn() + 1;
+        if (rec.lsn < next)
+            continue; // duplicate from a retransmission
+        if (rec.lsn > next)
+            break; // gap: wait for the leader's next (re)stream
+        sim::JournalRecord jr;
+        jr.lsn = rec.lsn;
+        jr.type = rec.type;
+        jr.payload = rec.payload;
+        store.adoptRecord(std::move(jr));
+    }
+    if (store.pendingRecords() > 0)
+        store.sync();
+    mirrorRound = msg.round;
+    if (msg.commitLsn > commitLsn_)
+        commitLsn_ = std::min(msg.commitLsn, store.lastDurableLsn());
+
+    proto::ReplicateAck ack;
+    ack.round = msg.round;
+    ack.lastLsn = store.lastDurableLsn();
+    endpoint.sendSecure(from,
+                        proto::packMessage(MessageKind::ReplicateAck,
+                                           ack.encode()));
+}
+
+void
+CloudController::onReplicateAck(const net::NodeId &from,
+                                const Bytes &body)
+{
+    if (!replicated() || !isGroupMember(from))
+        return;
+    auto decoded = proto::ReplicateAck::decode(body);
+    if (!decoded)
+        return;
+    followerSilence[from] = 0;
+    const proto::ReplicateAck &msg = decoded.value();
+    if (election.role() != ReplicaRole::Leader ||
+        msg.round != election.round())
+        return;
+    ledger.recordAck(from, msg.lastLsn);
+    if (msg.lastLsn < store.lastDurableLsn())
+        streamToFollower(from);
+    advanceCommit();
+}
+
+void
+CloudController::onVoteRequest(const net::NodeId &from, const Bytes &body)
+{
+    if (!replicated() || !isGroupMember(from))
+        return;
+    auto decoded = proto::VoteRequest::decode(body);
+    if (!decoded)
+        return;
+    const proto::VoteRequest &msg = decoded.value();
+    if (msg.prevote) {
+        // A probe costs nothing to deny. Deny while the group
+        // demonstrably has a leader — we are it, or we heard from it
+        // within the minimum election timeout — so only a majority
+        // that genuinely lost its leader can open an election.
+        if (election.role() == ReplicaRole::Leader)
+            return;
+        if (lastLeaderContact != 0 &&
+            events.now() - lastLeaderContact <
+                cfg.election.electionTimeoutMin)
+            return;
+        if (!election.considerPrevote(msg.round, msg.lastLogRound,
+                                      msg.lastLsn, mirrorRound,
+                                      store.lastDurableLsn()))
+            return;
+        endpoint.resetPeer(from);
+        proto::VoteGrant grant;
+        grant.round = msg.round;
+        grant.prevote = true;
+        endpoint.sendSecure(from,
+                            proto::packMessage(MessageKind::VoteGrant,
+                                               grant.encode()));
+        return;
+    }
+    const bool wasLeader = election.role() == ReplicaRole::Leader;
+    const bool granted =
+        election.considerVote(msg.round, msg.lastLogRound, msg.lastLsn,
+                              mirrorRound, store.lastDurableLsn());
+    if (wasLeader && election.role() != ReplicaRole::Leader)
+        stepDownToFollower();
+    if (!granted)
+        return;
+    knownLeader.clear();
+    armElectionTimer();
+    // The candidate may have restarted since we last talked to it, in
+    // which case it cannot open records sealed under the old session;
+    // elections are rare enough to afford a fresh handshake per grant.
+    endpoint.resetPeer(from);
+    proto::VoteGrant grant;
+    grant.round = msg.round;
+    endpoint.sendSecure(from,
+                        proto::packMessage(MessageKind::VoteGrant,
+                                           grant.encode()));
+}
+
+void
+CloudController::onVoteGrant(const net::NodeId &from, const Bytes &body)
+{
+    if (!replicated() || !isGroupMember(from))
+        return;
+    auto decoded = proto::VoteGrant::decode(body);
+    if (!decoded)
+        return;
+    const proto::VoteGrant &msg = decoded.value();
+    if (msg.prevote) {
+        if (election.role() == ReplicaRole::Leader ||
+            msg.round != election.round() + 1)
+            return;
+        if (election.recordPrevote(from))
+            openCandidacy();
+        return;
+    }
+    if (election.recordVote(from, msg.round))
+        becomeLeader();
+}
+
+void
+CloudController::becomeLeader()
+{
+    MONATT_LOG(Info, "cc")
+        << cfg.id << ": elected leader of " << groupId() << " in round "
+        << election.round();
+    if (electionTimer != 0) {
+        events.cancel(electionTimer);
+        electionTimer = 0;
+    }
+    knownLeader = cfg.id;
+    commitLsn_ = 0;
+    outputGate.clear();
+    stagedSends.clear();
+    ledger.reset(followerIds());
+    followerSilence.clear();
+    // Replay the mirrored journal into live state; rearmRecoveredWork
+    // re-drives in-flight launches/attests, whose (re)sends are staged
+    // and released once a majority mirrors the recovery checkpoint.
+    recover();
+    mirrorRound = election.round();
+    lastStreamedLsn = store.lastDurableLsn();
+    commitJournal();
+    for (const std::string &follower : followerIds())
+        streamToFollower(follower);
+    armHeartbeat();
+}
+
+void
+CloudController::stepDownToFollower()
+{
+    MONATT_LOG(Info, "cc")
+        << cfg.id << ": stepping down to follower in round "
+        << election.round();
+    // Fence every lambda armed during the deposed reign.
+    ++era;
+    if (heartbeatTimer != 0) {
+        events.cancel(heartbeatTimer);
+        heartbeatTimer = 0;
+    }
+    if (electionTimer != 0) {
+        events.cancel(electionTimer);
+        electionTimer = 0;
+    }
+    for (auto &[attestId, ctx] : attests) {
+        if (ctx.retryTimer != 0)
+            events.cancel(ctx.retryTimer);
+    }
+    // Live state belongs to the leader now; this replica keeps only
+    // its journal mirror. Operator provisioning survives, as in
+    // crash().
+    for (const std::string &vid : db.vmIds())
+        db.removeVm(vid);
+    launches.clear();
+    attests.clear();
+    policies.clear();
+    responses.clear();
+    outstandingResponses.clear();
+    reportQueue.clear();
+    reportFlushScheduled = false;
+    relayQueue.clear();
+    relayFlushScheduled = false;
+    asHealth.clear();
+    customerInFlight.clear();
+    relayCache.clear();
+    relayOrder.clear();
+    attestorRtt.clear();
+    nextVmNumber = 1;
+    nextAttestId = 1;
+    busyUntil = 0;
+    stagedSends.clear();
+    outputGate.clear();
+    commitLsn_ = 0;
+    lastStreamedLsn = 0;
+    followerSilence.clear();
+    armElectionTimer();
+}
+
+void
+CloudController::armHeartbeat()
+{
+    if (heartbeatTimer != 0)
+        events.cancel(heartbeatTimer);
+    heartbeatTimer = events.scheduleAfter(
+        cfg.election.heartbeatInterval,
+        [this, eraNow = era] {
+            if (eraNow != era)
+                return;
+            heartbeatFired();
+        },
+        "cc.heartbeat");
+}
+
+void
+CloudController::armElectionTimer()
+{
+    if (electionTimer != 0)
+        events.cancel(electionTimer);
+    electionTimer = events.scheduleAfter(
+        election.electionTimeout(),
+        [this, eraNow = era] {
+            if (eraNow != era)
+                return;
+            electionTimerFired();
+        },
+        "cc.election");
+}
+
+void
+CloudController::heartbeatFired()
+{
+    heartbeatTimer = 0;
+    if (!replicated() || election.role() != ReplicaRole::Leader ||
+        !endpoint.attached())
+        return;
+    // The heartbeat doubles as retransmission: each follower gets the
+    // suffix past its last ack (or a snapshot), and its re-ack repairs
+    // any cursor state lost to the network.
+    for (const std::string &follower : followerIds()) {
+        if (++followerSilence[follower] >= kSilentBeatLimit) {
+            // No ack for several beats: the follower likely restarted
+            // and cannot open records sealed under the old session.
+            // Tear the channel down so the next stream re-handshakes.
+            endpoint.resetPeer(follower);
+            followerSilence[follower] = 0;
+        }
+        streamToFollower(follower);
+    }
+    armHeartbeat();
+}
+
+void
+CloudController::electionTimerFired()
+{
+    electionTimer = 0;
+    if (!replicated() || election.role() == ReplicaRole::Leader ||
+        !endpoint.attached())
+        return;
+    // Probe first: a candidacy only opens once a majority signals it
+    // could win (pre-vote). The probe spends no round, so a replica
+    // that is simply out of touch — resyncing after a restart, or cut
+    // off by a lossy link — keeps probing harmlessly instead of
+    // deposing a live leader with ever-higher rounds.
+    election.startPrevote();
+    proto::VoteRequest req;
+    req.round = election.round() + 1;
+    req.lastLogRound = mirrorRound;
+    req.lastLsn = store.lastDurableLsn();
+    req.prevote = true;
+    const Bytes packed =
+        proto::packMessage(MessageKind::VoteRequest, req.encode());
+    for (const std::string &peer : followerIds())
+        endpoint.sendSecure(peer, packed);
+    armElectionTimer();
+}
+
+void
+CloudController::openCandidacy()
+{
+    election.startCandidacy();
+    knownLeader.clear();
+    MONATT_LOG(Info, "cc")
+        << cfg.id << ": starting election round " << election.round();
+    proto::VoteRequest req;
+    req.round = election.round();
+    req.lastLogRound = mirrorRound;
+    req.lastLsn = store.lastDurableLsn();
+    const Bytes packed =
+        proto::packMessage(MessageKind::VoteRequest, req.encode());
+    for (const std::string &peer : followerIds())
+        endpoint.sendSecure(peer, packed);
+    armElectionTimer();
 }
 
 } // namespace monatt::controller

@@ -31,7 +31,9 @@
 #include <vector>
 
 #include "controller/database.h"
+#include "controller/election.h"
 #include "controller/policy.h"
+#include "controller/replica_group.h"
 #include "net/secure_endpoint.h"
 #include "proto/messages.h"
 #include "proto/timing_model.h"
@@ -145,6 +147,19 @@ struct CloudControllerConfig
      */
     int shardIndex = 0;
     const HashRing *ring = nullptr;
+
+    /**
+     * Replica group this controller belongs to (set by
+     * ControllerFabric): every replica id of the shard, index 0 = the
+     * primary, whose id is the shard's base id and who boots as the
+     * round-1 leader. `replicaIndex` is this node's position. Empty
+     * or size-1 runs the classic unreplicated controller — no
+     * replication traffic, no timers, byte-identical behavior.
+     * Replication requires `durable` (the journal is what streams).
+     */
+    std::vector<std::string> groupIds;
+    int replicaIndex = 0;
+    ElectionTuning election;
 };
 
 /** Observable counters. */
@@ -235,6 +250,20 @@ class CloudController
     /** The controller's durable store (journal + checkpoints). */
     const sim::StableStore &stableStore() const { return store; }
 
+    /** Replica-group introspection. */
+    bool replicated() const { return cfg.groupIds.size() > 1; }
+    ReplicaRole role() const { return election.role(); }
+    std::uint64_t electionRound() const { return election.round(); }
+
+    /** The shard's base id (== cfg.id on the primary / unreplicated). */
+    const std::string &groupId() const
+    {
+        return cfg.groupIds.empty() ? cfg.id : cfg.groupIds.front();
+    }
+
+    /** Majority-durable output cursor (leader side). */
+    std::uint64_t committedLsn() const { return commitLsn_; }
+
     /** Relay dedup cache introspection (bounds tests). */
     std::size_t relayCacheSize() const { return relayCache.size(); }
 
@@ -301,6 +330,59 @@ class CloudController
     };
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+
+    // --- Replication (replica groups) ------------------------------
+
+    /**
+     * Send an externally visible protocol message. Unreplicated:
+     * sends immediately (byte-identical to the classic controller).
+     * Replicated leader: stages the send; commitJournal() tags it
+     * with the journal LSN it depends on and it leaves the node only
+     * once that LSN is durable on a majority — the output-commit rule
+     * that makes customer-visible state crash-proof. Replicated
+     * non-leaders drop the send (only the leader speaks).
+     */
+    void sendExternal(const net::NodeId &peer, Bytes packed);
+
+    /** True when `node` is a member of this controller's group. */
+    bool isGroupMember(const net::NodeId &node) const;
+
+    /** Group members except this node. */
+    std::vector<std::string> followerIds() const;
+
+    void onReplicateEntries(const net::NodeId &from, const Bytes &body);
+    void onReplicateAck(const net::NodeId &from, const Bytes &body);
+    void onVoteRequest(const net::NodeId &from, const Bytes &body);
+    void onVoteGrant(const net::NodeId &from, const Bytes &body);
+
+    /** Reply NotLeader to a customer request landing on a non-leader. */
+    void sendNotLeader(const net::NodeId &customer,
+                       std::uint64_t requestId, bool isLaunch);
+
+    /** Stream the journal suffix (or a snapshot) to one follower. */
+    void streamToFollower(const std::string &follower);
+
+    /** Stream any un-streamed durable suffix to every follower. */
+    void replicateToFollowers();
+
+    /** Recompute the majority cursor; release gated sends up to it. */
+    void advanceCommit();
+    void releaseCommitted();
+
+    void becomeLeader();
+
+    /** Leader deposed by a higher round: era-fence pending work,
+     *  drop volatile state and gated output, rejoin as follower. */
+    void stepDownToFollower();
+
+    void armHeartbeat();
+    void armElectionTimer();
+    void heartbeatFired();
+    void electionTimerFired();
+
+    /** Pre-vote majority reached: bump the round and run for real. */
+    void openCandidacy();
+
     void onLaunchRequest(const net::NodeId &from, const Bytes &body);
     void onAttestRequest(const net::NodeId &from, const Bytes &body);
     void onLaunchVmAck(const net::NodeId &from, const Bytes &body);
@@ -529,6 +611,48 @@ class CloudController
      * callbacks cannot double-act on recovered state. */
     std::uint64_t era = 0;
     bool replaying = false; //!< recover() in progress: journal muted.
+
+    // --- Replication (replica groups) ------------------------------
+
+    ElectionState election;
+    ReplicaLedger ledger;       //!< Leader-side follower ack cursors.
+    std::string knownLeader;    //!< Best-known group leader id.
+    std::uint64_t commitLsn_ = 0;       //!< Majority-durable cursor.
+    std::uint64_t lastStreamedLsn = 0;  //!< Leader stream high-water.
+    /** Round that produced the last durable journal entry (leader:
+     * its own round on append; follower: the streaming leader's). */
+    std::uint64_t mirrorRound = 0;
+    sim::EventId heartbeatTimer = 0; //!< 0 = none pending.
+    sim::EventId electionTimer = 0;  //!< 0 = none pending.
+    /** Consecutive heartbeats per follower without any ReplicateAck.
+     * A restarted follower loses its channel session keys and rejects
+     * records sealed under the old ones; after kSilentBeatLimit silent
+     * beats the leader resets the channel and re-handshakes. */
+    std::map<std::string, int> followerSilence;
+    static constexpr int kSilentBeatLimit = 3;
+
+    /** When we last accepted a stream from the group leader. Recent
+     *  contact (within electionTimeoutMin) denies pre-vote probes, so
+     *  a replica that is merely resyncing after a restart can never
+     *  depose a live leader. */
+    SimTime lastLeaderContact = 0;
+
+    struct StagedSend
+    {
+        net::NodeId peer;
+        Bytes packed;
+    };
+    /** Sends made by the current handler, awaiting commitJournal(). */
+    std::vector<StagedSend> stagedSends;
+
+    struct GatedSend
+    {
+        std::uint64_t lsn = 0;
+        net::NodeId peer;
+        Bytes packed;
+    };
+    /** FIFO of sends awaiting majority ack of their LSN. */
+    std::deque<GatedSend> outputGate;
 
     /** Per-attestor observed round-trip estimate (volatile; adaptive
      * RTOs fall back to the fixed knob until fresh samples arrive). */

@@ -5,58 +5,125 @@
 namespace monatt::controller
 {
 
+namespace
+{
+/** Golden-ratio stream splitter for per-replica RNG seeds. */
+constexpr std::uint64_t kReplicaSeedStride = 0x9E3779B97F4A7C15ULL;
+} // namespace
+
 ControllerFabric::ControllerFabric(
     sim::EventQueue &eq, net::Network &network,
     net::KeyDirectory &directory,
     std::vector<CloudControllerConfig> shardConfigs,
-    const std::vector<std::uint64_t> &seeds, int virtualNodes)
+    const std::vector<std::uint64_t> &seeds, int virtualNodes,
+    int replicasPerShard, ElectionTuning election)
 {
     if (shardConfigs.empty())
         throw std::invalid_argument("fabric needs at least one shard");
     if (shardConfigs.size() != seeds.size())
         throw std::invalid_argument("one seed per shard required");
+    if (replicasPerShard < 1)
+        throw std::invalid_argument("replicasPerShard must be >= 1");
+    replicas_ = static_cast<std::size_t>(replicasPerShard);
 
     // The full ring must exist before any shard runs: vid allocation
-    // consults it from the first launch.
+    // consults it from the first launch. Only base ids go on the ring,
+    // so replica membership never influences VM ownership.
     for (const CloudControllerConfig &cfg : shardConfigs)
         ownership.addNode(cfg.id, virtualNodes);
 
-    shards.reserve(shardConfigs.size());
-    for (std::size_t i = 0; i < shardConfigs.size(); ++i) {
-        CloudControllerConfig cfg = std::move(shardConfigs[i]);
-        cfg.shardIndex = static_cast<int>(i);
-        cfg.ring = &ownership;
-        shards.push_back(std::make_unique<CloudController>(
-            eq, network, directory, std::move(cfg), seeds[i]));
+    nodes.reserve(shardConfigs.size() * replicas_);
+    for (std::size_t k = 0; k < shardConfigs.size(); ++k) {
+        std::vector<std::string> group;
+        group.reserve(replicas_);
+        for (std::size_t r = 0; r < replicas_; ++r)
+            group.push_back(replicaId(shardConfigs[k].id,
+                                      static_cast<int>(r)));
+        for (std::size_t r = 0; r < replicas_; ++r) {
+            CloudControllerConfig cfg = shardConfigs[k];
+            cfg.id = group[r];
+            cfg.shardIndex = static_cast<int>(k);
+            cfg.ring = &ownership;
+            cfg.groupIds = group;
+            cfg.replicaIndex = static_cast<int>(r);
+            cfg.election = election;
+            if (replicas_ > 1)
+                cfg.durable = true; // the journal is what streams
+            if (r > 0) {
+                // Preset keys were derived for the base id; secondary
+                // replicas derive their own in the constructor.
+                cfg.presetIdentityKeys.reset();
+            }
+            const std::uint64_t seed =
+                seeds[k] ^ (static_cast<std::uint64_t>(r) *
+                            kReplicaSeedStride);
+            nodes.push_back(std::make_unique<CloudController>(
+                eq, network, directory, std::move(cfg), seed));
+        }
     }
 }
 
 CloudController *
 ControllerFabric::shardById(const std::string &id)
 {
-    for (auto &shard : shards) {
-        if (shard->id() == id)
-            return shard.get();
+    for (auto &node : nodes) {
+        if (node->id() == id)
+            return node.get();
     }
     return nullptr;
 }
 
 CloudController &
+ControllerFabric::leaderOf(std::size_t shardIndex)
+{
+    const std::size_t base = shardIndex * replicas_;
+    for (std::size_t r = 0; r < replicas_; ++r) {
+        CloudController &node = *nodes.at(base + r);
+        if (node.isUp() && node.role() == ReplicaRole::Leader)
+            return node;
+    }
+    return *nodes.at(base); // mid-election: fall back to the primary
+}
+
+CloudController &
 ControllerFabric::ownerOf(const std::string &vid)
 {
-    CloudController *shard = shardById(ownership.owner(vid));
-    if (shard == nullptr)
-        throw std::logic_error("ring names a node that is not a shard");
-    return *shard;
+    const std::string base = ownership.owner(vid);
+    for (std::size_t k = 0; k < numShards(); ++k) {
+        if (shard(k).groupId() == base)
+            return leaderOf(k);
+    }
+    throw std::logic_error("ring names a node that is not a shard");
 }
 
 std::vector<std::string>
 ControllerFabric::shardIds() const
 {
     std::vector<std::string> ids;
-    ids.reserve(shards.size());
-    for (const auto &shard : shards)
-        ids.push_back(shard->id());
+    ids.reserve(numShards());
+    for (std::size_t k = 0; k < numShards(); ++k)
+        ids.push_back(shard(k).id());
+    return ids;
+}
+
+std::vector<std::string>
+ControllerFabric::allNodeIds() const
+{
+    std::vector<std::string> ids;
+    ids.reserve(nodes.size());
+    for (const auto &node : nodes)
+        ids.push_back(node->id());
+    return ids;
+}
+
+std::vector<std::string>
+ControllerFabric::groupIds(std::size_t shardIndex) const
+{
+    std::vector<std::string> ids;
+    ids.reserve(replicas_);
+    const std::size_t base = shardIndex * replicas_;
+    for (std::size_t r = 0; r < replicas_; ++r)
+        ids.push_back(nodes.at(base + r)->id());
     return ids;
 }
 
@@ -64,16 +131,16 @@ void
 ControllerFabric::addFlavor(const std::string &name, std::uint32_t vcpus,
                             std::uint64_t ramMb, std::uint64_t diskGb)
 {
-    for (auto &shard : shards)
-        shard->addFlavor(name, vcpus, ramMb, diskGb);
+    for (auto &node : nodes)
+        node->addFlavor(name, vcpus, ramMb, diskGb);
 }
 
 void
 ControllerFabric::addServerRecord(const ServerRecord &record)
 {
-    for (auto &shard : shards) {
+    for (auto &node : nodes) {
         ServerRecord copy = record;
-        shard->database().addServer(std::move(copy));
+        node->database().addServer(std::move(copy));
     }
 }
 
@@ -81,8 +148,8 @@ void
 ControllerFabric::assignAttestationCluster(const std::string &serverId,
                                            const std::string &attestorId)
 {
-    for (auto &shard : shards)
-        shard->assignAttestationCluster(serverId, attestorId);
+    for (auto &node : nodes)
+        node->assignAttestationCluster(serverId, attestorId);
 }
 
 void
@@ -95,9 +162,9 @@ ControllerFabric::setResponsePolicy(const std::string &vid,
 void
 ControllerFabric::restartAll()
 {
-    for (auto &shard : shards) {
-        if (!shard->isUp())
-            shard->restart();
+    for (auto &node : nodes) {
+        if (!node->isUp())
+            node->restart();
     }
 }
 
@@ -105,8 +172,8 @@ ControllerStats
 ControllerFabric::aggregateStats() const
 {
     ControllerStats total;
-    for (const auto &shard : shards) {
-        const ControllerStats &s = shard->stats();
+    for (const auto &node : nodes) {
+        const ControllerStats &s = node->stats();
         total.launchesRequested += s.launchesRequested;
         total.launchesSucceeded += s.launchesSucceeded;
         total.launchesRejected += s.launchesRejected;

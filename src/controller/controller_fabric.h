@@ -1,7 +1,7 @@
 /**
  * @file
- * The sharded control plane: N CloudController shards behind one
- * consistent-hash ring.
+ * The sharded, replicated control plane: N CloudController shards
+ * behind one consistent-hash ring, each shard a replica group.
  *
  * The paper's Cloud Controller is a single Nova-style node; to scale
  * the control plane past one event-loop node the fabric splits it into
@@ -15,10 +15,19 @@
  * every shard allocates only vids the ring maps to itself, so
  * ownership is an invariant from birth.
  *
- * A 1-shard fabric is bit-identical to the pre-sharding single
- * controller (same id, same seed, same message bytes and timings);
- * tests/controller/shard_conformance_test.cpp pins that equivalence
- * against a golden digest.
+ * With `replicasPerShard` > 1 each shard becomes a replica group: the
+ * leader streams its journal to the followers and commits (= releases
+ * externally visible output) only once a majority holds the records
+ * durably; a deterministic election promotes a follower when the
+ * leader dies. The ring contains only the shards' *base* ids — replica
+ * membership changes never remap VM ownership. Replica 0 keeps the
+ * base id and boots as the round-1 leader, so a 1-replica group is the
+ * classic unreplicated shard.
+ *
+ * A 1-shard, 1-replica fabric is bit-identical to the pre-sharding
+ * single controller (same id, same seed, same message bytes and
+ * timings); tests/controller/shard_conformance_test.cpp pins that
+ * equivalence against a golden digest.
  */
 
 #ifndef MONATT_CONTROLLER_CONTROLLER_FABRIC_H
@@ -34,72 +43,118 @@
 namespace monatt::controller
 {
 
-/** N controller shards plus the ring that routes VM ownership. */
+/** N controller shards × R replicas plus the VM-ownership ring. */
 class ControllerFabric
 {
   public:
     /**
-     * Construct one shard per entry of `shardConfigs`. Each config
-     * must carry a distinct id; the fabric fills in the shard index
-     * and ring pointer before constructing the controller. `seeds`
-     * supplies the per-shard RNG seed, parallel to `shardConfigs`.
+     * Construct `shardConfigs.size()` shards of `replicasPerShard`
+     * replicas each. Each config must carry a distinct id (the shard's
+     * base id); the fabric fills in the shard index, ring pointer and
+     * replica-group membership before constructing each node. `seeds`
+     * supplies the per-shard RNG seed, parallel to `shardConfigs`;
+     * replica r derives its seed from the shard seed. Replication
+     * requires a durable journal, so `durable` is forced on when
+     * `replicasPerShard` > 1.
      */
     ControllerFabric(sim::EventQueue &eq, net::Network &network,
                      net::KeyDirectory &directory,
                      std::vector<CloudControllerConfig> shardConfigs,
                      const std::vector<std::uint64_t> &seeds,
-                     int virtualNodes = HashRing::kDefaultVirtualNodes);
+                     int virtualNodes = HashRing::kDefaultVirtualNodes,
+                     int replicasPerShard = 1,
+                     ElectionTuning election = {});
 
-    std::size_t numShards() const { return shards.size(); }
+    std::size_t numShards() const
+    {
+        return nodes.size() / replicas_;
+    }
+    std::size_t replicasPerShard() const { return replicas_; }
+    std::size_t numNodes() const { return nodes.size(); }
 
+    /** Shard primary (replica 0, base id) by shard index. */
     CloudController &shard(std::size_t index)
     {
-        return *shards.at(index);
+        return *nodes.at(index * replicas_);
     }
     const CloudController &shard(std::size_t index) const
     {
-        return *shards.at(index);
+        return *nodes.at(index * replicas_);
     }
 
-    /** Shard by node id; nullptr when `id` is not a shard. */
+    /** Any replica node, in shard-major order (shard 0's replicas,
+     *  then shard 1's, ...). */
+    CloudController &node(std::size_t index)
+    {
+        return *nodes.at(index);
+    }
+    const CloudController &node(std::size_t index) const
+    {
+        return *nodes.at(index);
+    }
+
+    /** Replica of a shard by (shard, replica) index. */
+    CloudController &replica(std::size_t shardIndex,
+                             std::size_t replicaIndex)
+    {
+        return *nodes.at(shardIndex * replicas_ + replicaIndex);
+    }
+
+    /** Node (any replica of any shard) by id; nullptr when unknown. */
     CloudController *shardById(const std::string &id);
 
-    /** The ownership ring (customers route requests with it). */
+    /**
+     * The current leader of a shard's replica group: the up node in
+     * role Leader, falling back to the primary when the group is
+     * mid-election (callers inspecting state between elections).
+     */
+    CloudController &leaderOf(std::size_t shardIndex);
+
+    /** The ownership ring (customers route requests with it).
+     *  Contains only base shard ids — never replica ids. */
     const HashRing &ring() const { return ownership; }
 
-    /** The shard owning a VM id. */
+    /** Current leader of the group owning a VM id. */
     CloudController &ownerOf(const std::string &vid);
 
-    /** All shard node ids, in shard-index order. */
+    /** All shard base ids, in shard-index order. */
     std::vector<std::string> shardIds() const;
+
+    /** All node ids (every replica of every shard), shard-major. */
+    std::vector<std::string> allNodeIds() const;
+
+    /** Replica-group member ids of one shard, replica-index order. */
+    std::vector<std::string> groupIds(std::size_t shardIndex) const;
 
     // --- Provisioning fan-out (trusted operator path) -----------------
 
-    /** Register a flavor on every shard. */
+    /** Register a flavor on every node. */
     void addFlavor(const std::string &name, std::uint32_t vcpus,
                    std::uint64_t ramMb, std::uint64_t diskGb);
 
-    /** Add a server inventory record to every shard's database. */
+    /** Add a server inventory record to every node's database. */
     void addServerRecord(const ServerRecord &record);
 
-    /** Map a server to its cluster attestor on every shard. */
+    /** Map a server to its cluster attestor on every node. */
     void assignAttestationCluster(const std::string &serverId,
                                   const std::string &attestorId);
 
-    /** Set a VM's remediation policy on its owning shard. */
+    /** Set a VM's remediation policy on its owning group's leader. */
     void setResponsePolicy(const std::string &vid, ResponsePolicy policy);
 
     // --- Whole-plane operations ----------------------------------------
 
-    /** Restart every crashed shard (each replays its own journal). */
+    /** Restart every crashed node (leaders replay their journal,
+     *  replicated nodes rejoin as followers). */
     void restartAll();
 
-    /** Counters summed across all shards. */
+    /** Counters summed across all nodes. */
     ControllerStats aggregateStats() const;
 
   private:
-    HashRing ownership; //!< Declared first: shards hold a pointer.
-    std::vector<std::unique_ptr<CloudController>> shards;
+    HashRing ownership; //!< Declared first: nodes hold a pointer.
+    std::size_t replicas_ = 1;
+    std::vector<std::unique_ptr<CloudController>> nodes;
 };
 
 } // namespace monatt::controller

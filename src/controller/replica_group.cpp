@@ -1,0 +1,53 @@
+#include "controller/replica_group.h"
+
+#include <algorithm>
+
+namespace monatt::controller
+{
+
+ReplicaLedger::ReplicaLedger(std::vector<std::string> followers)
+{
+    reset(std::move(followers));
+}
+
+void
+ReplicaLedger::reset(std::vector<std::string> followers)
+{
+    acks_.clear();
+    for (std::string &f : followers)
+        acks_[std::move(f)] = 0;
+}
+
+void
+ReplicaLedger::recordAck(const std::string &follower,
+                         std::uint64_t lastLsn)
+{
+    std::uint64_t &cursor = acks_[follower];
+    cursor = std::max(cursor, lastLsn);
+}
+
+std::uint64_t
+ReplicaLedger::ackOf(const std::string &follower) const
+{
+    const auto it = acks_.find(follower);
+    return it == acks_.end() ? 0 : it->second;
+}
+
+std::uint64_t
+ReplicaLedger::commitLsn(std::uint64_t leaderLsn,
+                         std::size_t groupSize) const
+{
+    std::vector<std::uint64_t> cursors;
+    cursors.reserve(acks_.size() + 1);
+    cursors.push_back(leaderLsn);
+    for (const auto &[follower, lsn] : acks_)
+        cursors.push_back(lsn);
+    std::sort(cursors.begin(), cursors.end(),
+              std::greater<std::uint64_t>());
+    const std::size_t needed = groupSize / 2 + 1;
+    if (cursors.size() < needed)
+        return 0;
+    return cursors[needed - 1];
+}
+
+} // namespace monatt::controller

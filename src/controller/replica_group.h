@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Leader-side replication ledger for a controller replica group.
+ *
+ * The shard leader tracks, per follower, the highest journal LSN the
+ * follower has acknowledged as durable. The commit rule is the
+ * standard majority cursor: a record at LSN L is committed once a
+ * strict majority of the group (leader included) holds L durably —
+ * i.e. commitLsn is the majority-th largest of {leader's durable LSN}
+ * ∪ {follower acks}. With two of three replicas down the set of
+ * durable copies can never reach a majority, so the cursor refuses to
+ * advance — the property tests/controller/replica_group_test.cpp
+ * pins.
+ *
+ * The ledger is pure bookkeeping (no timers, no messages); the
+ * CloudController leader drives it from its replication handlers and
+ * gates externally visible output on the cursor.
+ */
+
+#ifndef MONATT_CONTROLLER_REPLICA_GROUP_H
+#define MONATT_CONTROLLER_REPLICA_GROUP_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace monatt::controller
+{
+
+/** Per-follower ack cursors + the majority commit rule. */
+class ReplicaLedger
+{
+  public:
+    ReplicaLedger() = default;
+
+    /** @param followers All group members except the leader. */
+    explicit ReplicaLedger(std::vector<std::string> followers);
+
+    /** Forget all progress (leadership change / restart). */
+    void reset(std::vector<std::string> followers);
+
+    /** Record a cumulative ack; acks never move backwards. */
+    void recordAck(const std::string &follower, std::uint64_t lastLsn);
+
+    /** Highest LSN `follower` has acknowledged (0 when unknown). */
+    std::uint64_t ackOf(const std::string &follower) const;
+
+    /**
+     * Majority-durable cursor for a group of `groupSize` replicas,
+     * where the leader itself holds `leaderLsn` durably. Returns the
+     * majority-th largest durable LSN across the group; 0 until a
+     * majority holds anything.
+     */
+    std::uint64_t commitLsn(std::uint64_t leaderLsn,
+                            std::size_t groupSize) const;
+
+    const std::map<std::string, std::uint64_t> &acks() const
+    {
+        return acks_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> acks_;
+};
+
+} // namespace monatt::controller
+
+#endif // MONATT_CONTROLLER_REPLICA_GROUP_H

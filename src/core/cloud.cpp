@@ -64,6 +64,18 @@ Cloud::Cloud(CloudConfig config)
             (0x3 + static_cast<std::uint64_t>(k) * 0x100000ULL);
     }
 
+    // Every controller node id (all replicas of all shards): the
+    // servers and Attestation Servers must accept commands from any
+    // replica that may become leader.
+    const int numReplicas = std::max(cfg.controllerReplicas, 1);
+    std::vector<std::string> controllerNodeIds;
+    controllerNodeIds.reserve(shardIds.size() *
+                              static_cast<std::size_t>(numReplicas));
+    for (const std::string &base : shardIds) {
+        for (int r = 0; r < numReplicas; ++r)
+            controllerNodeIds.push_back(controller::replicaId(base, r));
+    }
+
     crypto::RsaKeyPair pcaKeys;
     std::vector<crypto::RsaKeyPair> asKeys(asIds.size());
     std::vector<crypto::RsaKeyPair> ccKeys(shardIds.size());
@@ -117,7 +129,8 @@ Cloud::Cloud(CloudConfig config)
             asCfg.id = asIds[static_cast<std::size_t>(i)];
         asCfg.timing = cfg.timing;
         asCfg.reliability = cfg.reliability;
-        asCfg.controllerIds.insert(shardIds.begin(), shardIds.end());
+        asCfg.controllerIds.insert(controllerNodeIds.begin(),
+                                   controllerNodeIds.end());
         asCfg.identityKeyBits = cfg.identityKeyBits;
         asCfg.enableVerificationCaches = cfg.enableAttestationCaches;
         asCfg.batchWindow = cfg.cryptoBatchWindow;
@@ -151,10 +164,11 @@ Cloud::Cloud(CloudConfig config)
     }
     controlPlane = std::make_unique<controller::ControllerFabric>(
         eventQueue, fabric, keyDirectory, std::move(shardConfigs),
-        shardSeeds, cfg.controllerRingVirtualNodes);
-    for (std::size_t k = 0; k < controlPlane->numShards(); ++k) {
-        controller::CloudController &shard = controlPlane->shard(k);
-        keyDirectory.publish(shard.id(), shard.identityPublic());
+        shardSeeds, cfg.controllerRingVirtualNodes, numReplicas,
+        cfg.controllerElection);
+    for (std::size_t i = 0; i < controlPlane->numNodes(); ++i) {
+        controller::CloudController &node = controlPlane->node(i);
+        keyDirectory.publish(node.id(), node.identityPublic());
     }
 
     // Flavor definitions shared with the servers' catalog.
@@ -180,7 +194,8 @@ Cloud::Cloud(CloudConfig config)
         server::CloudServerConfig scfg;
         scfg.id = "server-" + std::to_string(i + 1);
         scfg.controllerId = controlPlane->shard(0).id();
-        scfg.controllerIds.insert(shardIds.begin(), shardIds.end());
+        scfg.controllerIds.insert(controllerNodeIds.begin(),
+                                  controllerNodeIds.end());
         scfg.attestationServerId = clusterAs.id();
         scfg.pcaId = pca->id();
         scfg.capabilities = caps;
@@ -230,11 +245,15 @@ Cloud::Cloud(CloudConfig config)
 Customer &
 Cloud::addCustomer(const std::string &id)
 {
+    std::vector<std::vector<std::string>> groups;
+    groups.reserve(controlPlane->numShards());
+    for (std::size_t k = 0; k < controlPlane->numShards(); ++k)
+        groups.push_back(controlPlane->groupIds(k));
     auto customer = std::make_unique<Customer>(
         eventQueue, fabric, keyDirectory, id,
         controlPlane->shard(0).id(),
         cfg.seed + 10000 + customers.size(), cfg.reliability,
-        &controlPlane->ring());
+        &controlPlane->ring(), std::move(groups));
     keyDirectory.publish(id, customer->identityPublic());
     customers.push_back(std::move(customer));
     return *customers.back();
@@ -308,8 +327,8 @@ Cloud::crashNode(const std::string &node)
         return Status::ok();
     }
     return Status::error("crash scheduled for unknown node \"" + node +
-                         "\": no server, attestor, controller shard or "
-                         "pCA has that id");
+                         "\": no server, attestor, controller shard "
+                         "replica or pCA has that id");
 }
 
 Status
@@ -335,8 +354,8 @@ Cloud::restartNode(const std::string &node)
         return Status::ok();
     }
     return Status::error("restart scheduled for unknown node \"" + node +
-                         "\": no server, attestor, controller shard or "
-                         "pCA has that id");
+                         "\": no server, attestor, controller shard "
+                         "replica or pCA has that id");
 }
 
 void

@@ -133,6 +133,29 @@ struct CloudConfig
         controller::HashRing::kDefaultVirtualNodes;
 
     /**
+     * Replicas per controller shard. 1 (the default) runs each shard
+     * as the classic unreplicated controller, bit-identical to the
+     * pre-replication cloud. Larger values give every shard a replica
+     * group: the leader streams its journal to the followers and
+     * releases externally visible output only once a majority holds
+     * it durably; when a leader crashes, a follower wins a
+     * deterministic election and resumes from the mirrored journal.
+     * Replica 0 keeps the shard's base id; replica r is
+     * "<base-id>-replica-<r>". Only base ids sit on the ownership
+     * ring, so replica failures never remap VM ownership. Forces the
+     * durable control plane on (the journal is what streams).
+     */
+    int controllerReplicas = 1;
+
+    /**
+     * Replication heartbeat / election tuning (heartbeatInterval,
+     * electionTimeoutMin/Max). Election timeouts are drawn
+     * deterministically per (replica, round), so a fixed seed elects
+     * the same leader every run. Ignored at controllerReplicas = 1.
+     */
+    controller::ElectionTuning controllerElection;
+
+    /**
      * Bound for every receive-side dedup cache (controller relay
      * cache, AS report cache, pCA issued-certificate cache). FIFO
      * eviction, deterministic order; tests shrink it to force

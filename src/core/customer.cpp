@@ -40,13 +40,31 @@ Customer::Customer(sim::EventQueue &eq, net::Network &network,
                    net::KeyDirectory &directory, std::string id,
                    std::string controllerId, std::uint64_t seed,
                    proto::ReliabilityModel reliabilityModel,
-                   const controller::HashRing *controllerRing)
+                   const controller::HashRing *controllerRing,
+                   std::vector<std::vector<std::string>> controllerGroups)
     : events(eq), self(std::move(id)), controller(std::move(controllerId)),
       ring(controllerRing), keys(makeKeys(self, seed)), dir(directory),
       endpoint(network, self, keys, directory, endpointSeed(self, seed)),
       nonceDrbg(toBytes("customer-nonces:" + self)),
       reliability(reliabilityModel)
 {
+    // All-singleton groups carry no routing information: drop to the
+    // classic fixed-target path so an unreplicated plane stays
+    // byte-identical whether or not groups were passed.
+    bool replicated = false;
+    for (const std::vector<std::string> &group : controllerGroups)
+        replicated |= group.size() > 1;
+    if (replicated) {
+        for (std::vector<std::string> &group : controllerGroups) {
+            if (group.empty())
+                continue;
+            const std::string base = group.front();
+            for (const std::string &member : group)
+                memberGroup[member] = base;
+            groups[base] = std::move(group);
+        }
+    }
+
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         if (isController(from))
             handleMessage(from, msg);
@@ -79,7 +97,30 @@ Customer::isController(const net::NodeId &node) const
 {
     if (node == controller)
         return true;
+    if (memberGroup.count(node) != 0)
+        return true;
     return ring != nullptr && ring->contains(node);
+}
+
+const std::vector<std::string> *
+Customer::groupFor(const std::string &base) const
+{
+    const auto it = groups.find(base);
+    return it == groups.end() ? nullptr : &it->second;
+}
+
+const std::string &
+Customer::baseOf(const net::NodeId &node) const
+{
+    const auto it = memberGroup.find(node);
+    return it == memberGroup.end() ? node : it->second;
+}
+
+const std::string &
+Customer::routeTo(const std::string &base) const
+{
+    const auto it = leaderHint.find(base);
+    return it == leaderHint.end() ? base : it->second;
 }
 
 std::uint64_t
@@ -100,9 +141,12 @@ Customer::requestLaunch(
     req.imageSizeMb = imageSizeMb;
 
     launches[requestId] = LaunchOutcome{};
-    endpoint.sendSecure(launchShardFor(requestId, name),
-                        proto::packMessage(MessageKind::LaunchRequest,
-                                           req.encode()));
+    const std::string &base = launchShardFor(requestId, name);
+    Bytes packed =
+        proto::packMessage(MessageKind::LaunchRequest, req.encode());
+    if (!groups.empty())
+        pendingLaunchSends[requestId] = PendingLaunchSend{packed, base};
+    endpoint.sendSecure(routeTo(base), std::move(packed));
     return requestId;
 }
 
@@ -134,7 +178,7 @@ Customer::sendAttest(const std::string &vid,
     pendingAttests[requestId] = std::move(pending);
     outcomes[requestId] = AttestOutcomeRecord{};
 
-    endpoint.sendSecure(target, std::move(packed));
+    endpoint.sendSecure(routeTo(target), std::move(packed));
 
     // Only one-shot requests retransmit: a periodic stream is kept
     // alive by its own reports, and StopPeriodic is idempotent
@@ -168,11 +212,29 @@ Customer::requestRetryFired(std::uint64_t requestId)
         return;
     PendingAttest &pending = it->second;
     pending.retryTimer = 0;
-    const std::string target =
+    const std::string &base =
         pending.target.empty() ? controller : pending.target;
+    std::string target = routeTo(base);
     if (pending.retries < reliability.customerRetryLimit) {
         ++pending.retries;
         ++counters.requestRetries;
+        // Rotate retransmissions through the replica group starting
+        // from the hinted leader: if the hint is stale (leader died
+        // without a successor yet) the resend eventually lands on
+        // whichever replica wins the election, which answers — or
+        // redirects via NotLeader.
+        if (const std::vector<std::string> *group = groupFor(base)) {
+            std::size_t start = 0;
+            for (std::size_t i = 0; i < group->size(); ++i) {
+                if ((*group)[i] == target) {
+                    start = i;
+                    break;
+                }
+            }
+            target = (*group)[(start +
+                               static_cast<std::size_t>(pending.retries)) %
+                              group->size()];
+        }
         // Identical plaintext; the controller shard dedups on
         // (customer, request id), so at most one protocol run is
         // triggered.
@@ -273,24 +335,70 @@ Customer::outcomeFor(std::uint64_t requestId) const
 void
 Customer::handleMessage(const net::NodeId &from, const Bytes &plaintext)
 {
-    (void)from;
     auto unpacked = proto::unpackMessage(plaintext);
     if (!unpacked)
         return;
     const auto &[kind, body] = unpacked.value();
+    // Substantive replies only ever come from a group's leader (the
+    // output gate holds them back on every other replica), so any of
+    // them is an authenticated leader sighting.
+    if (!groups.empty() && kind != MessageKind::NotLeader) {
+        const auto it = memberGroup.find(from);
+        if (it != memberGroup.end())
+            leaderHint[it->second] = from;
+    }
     switch (kind) {
       case MessageKind::LaunchResponse:
         onLaunchResponse(body);
         break;
       case MessageKind::ReportToCustomer:
-        onReportToCustomer(body);
+        onReportToCustomer(from, body);
         break;
       case MessageKind::AttestFailure:
         onAttestFailure(body);
         break;
+      case MessageKind::NotLeader:
+        onNotLeader(from, body);
+        break;
       default:
         break;
     }
+}
+
+void
+Customer::onNotLeader(const net::NodeId &from, const Bytes &body)
+{
+    auto msgR = proto::NotLeader::decode(body);
+    if (!msgR)
+        return;
+    const proto::NotLeader msg = msgR.take();
+    const auto git = memberGroup.find(from);
+    if (git == memberGroup.end())
+        return;
+    const std::string &base = git->second;
+
+    // Adopt the sender's leader hint when it names a member of the
+    // same group; an empty or foreign hint just clears a stale one.
+    if (!msg.leaderId.empty() && memberGroup.count(msg.leaderId) != 0 &&
+        memberGroup.at(msg.leaderId) == base)
+        leaderHint[base] = msg.leaderId;
+    else if (routeTo(base) == from)
+        leaderHint.erase(base);
+
+    // Resend immediately only when the redirect actually changed the
+    // route (loop guard — a hintless group waits for the retry timer).
+    const std::string &target = routeTo(base);
+    if (target == from)
+        return;
+    if (msg.isLaunch) {
+        const auto it = pendingLaunchSends.find(msg.requestId);
+        if (it != pendingLaunchSends.end())
+            endpoint.sendSecure(target, Bytes(it->second.packed));
+        return;
+    }
+    const auto it = pendingAttests.find(msg.requestId);
+    if (it != pendingAttests.end())
+        endpoint.sendSecure(target, Bytes(it->second.packed));
 }
 
 void
@@ -332,6 +440,7 @@ Customer::onLaunchResponse(const Bytes &body)
     if (!respR)
         return;
     const proto::LaunchResponse resp = respR.take();
+    pendingLaunchSends.erase(resp.requestId);
     auto it = launches.find(resp.requestId);
     if (it == launches.end())
         return;
@@ -356,7 +465,7 @@ Customer::controllerContext(const std::string &shardId,
 }
 
 void
-Customer::onReportToCustomer(const Bytes &body)
+Customer::onReportToCustomer(const net::NodeId &from, const Bytes &body)
 {
     auto msgR = ReportToCustomer::decode(body);
     if (!msgR) {
@@ -373,9 +482,16 @@ Customer::onReportToCustomer(const Bytes &body)
     const PendingAttest &pending = it->second;
 
     // End-to-end verification: the signature of the controller shard
-    // this request was routed to, quote, nonce.
-    const std::string &signer =
+    // this request was routed to, quote, nonce. With replica groups
+    // the signer is whichever replica of that shard currently leads —
+    // require group membership, then verify under the sender's key.
+    const std::string &base =
         pending.target.empty() ? controller : pending.target;
+    const std::string &signer = groups.empty() ? base : from;
+    if (!groups.empty() && baseOf(from) != base) {
+        ++counters.reportsRejected;
+        return;
+    }
     auto ccKey = dir.lookup(signer);
     const Bytes expectedQ1 = ReportToCustomer::quoteInput(
         msg.vid, msg.properties, msg.report, msg.nonce1);

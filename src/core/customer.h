@@ -102,12 +102,22 @@ class Customer
      * its VM id and replies are accepted from any shard. nullptr (or
      * a ring of one node) reproduces the classic single-controller
      * behaviour against `controllerId`.
+     *
+     * `controllerGroups` lists each shard's replica group (member ids
+     * in replica-index order, index 0 = the base id the ring routes
+     * to). When a group has more than one member the customer
+     * discovers the current leader: NotLeader redirects and
+     * leader-signed replies update a per-group leader hint, and the
+     * retransmission timer rotates through the group members until one
+     * answers. Empty groups (or all-singleton groups) reproduce the
+     * classic fixed-target behaviour byte for byte.
      */
     Customer(sim::EventQueue &eq, net::Network &network,
              net::KeyDirectory &directory, std::string id,
              std::string controllerId, std::uint64_t seed,
              proto::ReliabilityModel reliabilityModel = {},
-             const controller::HashRing *controllerRing = nullptr);
+             const controller::HashRing *controllerRing = nullptr,
+             std::vector<std::vector<std::string>> controllerGroups = {});
 
     const std::string &id() const { return self; }
 
@@ -184,10 +194,17 @@ class Customer
         sim::EventId retryTimer = 0; //!< 0 = none pending.
     };
 
+    struct PendingLaunchSend
+    {
+        Bytes packed;     //!< For identical resend on redirect.
+        std::string base; //!< Shard (group) the launch is routed to.
+    };
+
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
     void onLaunchResponse(const Bytes &body);
-    void onReportToCustomer(const Bytes &body);
+    void onReportToCustomer(const net::NodeId &from, const Bytes &body);
     void onAttestFailure(const Bytes &body);
+    void onNotLeader(const net::NodeId &from, const Bytes &body);
     std::uint64_t sendAttest(const std::string &vid,
                              std::vector<proto::SecurityProperty> props,
                              proto::AttestMode mode, SimTime period);
@@ -208,6 +225,17 @@ class Customer
     /** True when `node` is a controller shard we accept replies from. */
     bool isController(const net::NodeId &node) const;
 
+    /** Replica group of a shard base id; nullptr when unreplicated. */
+    const std::vector<std::string> *groupFor(
+        const std::string &base) const;
+
+    /** Base (group) id of a controller node; `node` itself when it is
+     * not a known replica. */
+    const std::string &baseOf(const net::NodeId &node) const;
+
+    /** Send target for a shard: the hinted leader, else the base. */
+    const std::string &routeTo(const std::string &base) const;
+
     /** Compiled per-shard controller key, rebuilt on rotation. */
     const crypto::RsaPublicContext &controllerContext(
         const std::string &shardId, const crypto::RsaPublicKey &key);
@@ -222,6 +250,15 @@ class Customer
     crypto::HmacDrbg nonceDrbg;
     /** Compiled relay-verification keys, one per controller shard. */
     std::map<std::string, crypto::RsaPublicContext> ccCtx;
+
+    /** Replica groups, base id → member ids (empty = unreplicated). */
+    std::map<std::string, std::vector<std::string>> groups;
+    /** Member id → its group's base id. */
+    std::map<std::string, std::string> memberGroup;
+    /** Discovered leader per group base id (absent = use the base). */
+    std::map<std::string, std::string> leaderHint;
+    /** Launch requests kept resendable for NotLeader redirects. */
+    std::map<std::uint64_t, PendingLaunchSend> pendingLaunchSends;
 
     proto::ReliabilityModel reliability;
     std::map<std::uint64_t, LaunchOutcome> launches;

@@ -758,6 +758,175 @@ LaunchResponse::decode(const Bytes &data)
 }
 
 Bytes
+ReplicateEntries::encode() const
+{
+    ByteWriter w;
+    w.putU64(round);
+    w.putString(leaderId);
+    w.putU64(prevLsn);
+    w.putU32(static_cast<std::uint32_t>(records.size()));
+    for (const ReplicatedRecord &rec : records) {
+        w.putU64(rec.lsn);
+        w.putU16(rec.type);
+        w.putBytes(rec.payload);
+    }
+    w.putU64(commitLsn);
+    w.putU8(hasSnapshot ? 1 : 0);
+    w.putBytes(snapshot);
+    w.putU64(snapshotLsn);
+    return w.take();
+}
+
+Result<ReplicateEntries>
+ReplicateEntries::decode(const Bytes &data)
+{
+    using R = Result<ReplicateEntries>;
+    ByteReader r(data);
+    auto round = r.getU64();
+    auto leader = r.getString();
+    auto prev = r.getU64();
+    auto count = r.getU32();
+    if (!round || !leader || !prev || !count)
+        return R::error("ReplicateEntries: malformed");
+    ReplicateEntries m;
+    m.round = round.value();
+    m.leaderId = leader.take();
+    m.prevLsn = prev.value();
+    m.records.reserve(count.value());
+    for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto lsn = r.getU64();
+        auto type = r.getU16();
+        auto payload = r.getBytes();
+        if (!lsn || !type || !payload)
+            return R::error("ReplicateEntries: truncated record");
+        ReplicatedRecord rec;
+        rec.lsn = lsn.value();
+        rec.type = type.value();
+        rec.payload = payload.take();
+        m.records.push_back(std::move(rec));
+    }
+    auto commit = r.getU64();
+    auto hasSnap = r.getU8();
+    auto snap = r.getBytes();
+    auto snapLsn = r.getU64();
+    if (!commit || !hasSnap || !snap || !snapLsn || !r.atEnd())
+        return R::error("ReplicateEntries: malformed");
+    m.commitLsn = commit.value();
+    m.hasSnapshot = hasSnap.value() != 0;
+    m.snapshot = snap.take();
+    m.snapshotLsn = snapLsn.value();
+    return R::ok(std::move(m));
+}
+
+Bytes
+ReplicateAck::encode() const
+{
+    ByteWriter w;
+    w.putU64(round);
+    w.putU64(lastLsn);
+    return w.take();
+}
+
+Result<ReplicateAck>
+ReplicateAck::decode(const Bytes &data)
+{
+    using R = Result<ReplicateAck>;
+    ByteReader r(data);
+    auto round = r.getU64();
+    auto last = r.getU64();
+    if (!round || !last || !r.atEnd())
+        return R::error("ReplicateAck: malformed");
+    ReplicateAck m;
+    m.round = round.value();
+    m.lastLsn = last.value();
+    return R::ok(std::move(m));
+}
+
+Bytes
+VoteRequest::encode() const
+{
+    ByteWriter w;
+    w.putU64(round);
+    w.putU64(lastLogRound);
+    w.putU64(lastLsn);
+    w.putU8(prevote ? 1 : 0);
+    return w.take();
+}
+
+Result<VoteRequest>
+VoteRequest::decode(const Bytes &data)
+{
+    using R = Result<VoteRequest>;
+    ByteReader r(data);
+    auto round = r.getU64();
+    auto logRound = r.getU64();
+    auto lastLsn = r.getU64();
+    auto prevote = r.getU8();
+    if (!round || !logRound || !lastLsn || !prevote || !r.atEnd())
+        return R::error("VoteRequest: malformed");
+    VoteRequest m;
+    m.round = round.value();
+    m.lastLogRound = logRound.value();
+    m.lastLsn = lastLsn.value();
+    m.prevote = prevote.value() != 0;
+    return R::ok(std::move(m));
+}
+
+Bytes
+VoteGrant::encode() const
+{
+    ByteWriter w;
+    w.putU64(round);
+    w.putU8(prevote ? 1 : 0);
+    return w.take();
+}
+
+Result<VoteGrant>
+VoteGrant::decode(const Bytes &data)
+{
+    using R = Result<VoteGrant>;
+    ByteReader r(data);
+    auto round = r.getU64();
+    auto prevote = r.getU8();
+    if (!round || !prevote || !r.atEnd())
+        return R::error("VoteGrant: malformed");
+    VoteGrant m;
+    m.round = round.value();
+    m.prevote = prevote.value() != 0;
+    return R::ok(std::move(m));
+}
+
+Bytes
+NotLeader::encode() const
+{
+    ByteWriter w;
+    w.putU64(requestId);
+    w.putU8(isLaunch ? 1 : 0);
+    w.putString(leaderId);
+    w.putU64(round);
+    return w.take();
+}
+
+Result<NotLeader>
+NotLeader::decode(const Bytes &data)
+{
+    using R = Result<NotLeader>;
+    ByteReader r(data);
+    auto id = r.getU64();
+    auto launch = r.getU8();
+    auto leader = r.getString();
+    auto round = r.getU64();
+    if (!id || !launch || !leader || !round || !r.atEnd())
+        return R::error("NotLeader: malformed");
+    NotLeader m;
+    m.requestId = id.value();
+    m.isLaunch = launch.value() != 0;
+    m.leaderId = leader.take();
+    m.round = round.value();
+    return R::ok(std::move(m));
+}
+
+Bytes
 MigrateOut::encode() const
 {
     ByteWriter w;

@@ -57,6 +57,11 @@ enum class MessageKind : std::uint8_t
     MigrateOutAck = 31,
     LaunchRequest = 40,
     LaunchResponse = 41,
+    ReplicateEntries = 50,
+    ReplicateAck = 51,
+    VoteRequest = 52,
+    VoteGrant = 53,
+    NotLeader = 54,
 };
 
 /** Frame a message body with its kind byte. */
@@ -349,6 +354,83 @@ struct LaunchResponse
 
     Bytes encode() const;
     static Result<LaunchResponse> decode(const Bytes &data);
+};
+
+/** One replicated journal record as it travels on the wire. */
+struct ReplicatedRecord
+{
+    std::uint64_t lsn = 0;
+    std::uint16_t type = 0;
+    Bytes payload;
+};
+
+/**
+ * Shard leader → follower: journal suffix + commit cursor. An empty
+ * record vector is the heartbeat; `hasSnapshot` folds a full state
+ * snapshot in when the follower is too far behind to catch up from
+ * the journal alone.
+ */
+struct ReplicateEntries
+{
+    std::uint64_t round = 0;     //!< Leader's election round.
+    std::string leaderId;
+    std::uint64_t prevLsn = 0;   //!< LSN immediately before records[0].
+    std::vector<ReplicatedRecord> records;
+    std::uint64_t commitLsn = 0; //!< Majority-durable cursor.
+    bool hasSnapshot = false;
+    Bytes snapshot;
+    std::uint64_t snapshotLsn = 0;
+
+    Bytes encode() const;
+    static Result<ReplicateEntries> decode(const Bytes &data);
+};
+
+/** Follower → leader: cumulative durable-LSN acknowledgement. */
+struct ReplicateAck
+{
+    std::uint64_t round = 0;
+    std::uint64_t lastLsn = 0; //!< Highest contiguously durable LSN.
+
+    Bytes encode() const;
+    static Result<ReplicateAck> decode(const Bytes &data);
+};
+
+/** Candidate → group: request a vote for `round`. */
+struct VoteRequest
+{
+    std::uint64_t round = 0;
+    std::uint64_t lastLogRound = 0; //!< Round of the last mirrored entry.
+    std::uint64_t lastLsn = 0;      //!< Candidate's last durable LSN.
+    bool prevote = false;           //!< Probe only: no round is spent.
+
+    Bytes encode() const;
+    static Result<VoteRequest> decode(const Bytes &data);
+};
+
+/** Voter → candidate: the (pre)vote for `round` is granted. */
+struct VoteGrant
+{
+    std::uint64_t round = 0;
+    bool prevote = false;
+
+    Bytes encode() const;
+    static Result<VoteGrant> decode(const Bytes &data);
+};
+
+/**
+ * Replica → customer: this node is not the group leader. Carries the
+ * replica's current leader hint (may be empty mid-election) so the
+ * customer can re-route the identified request.
+ */
+struct NotLeader
+{
+    std::uint64_t requestId = 0;
+    bool isLaunch = false; //!< Launch vs attestation request id space.
+    std::string leaderId;  //!< Best-known leader, empty if unknown.
+    std::uint64_t round = 0;
+
+    Bytes encode() const;
+    static Result<NotLeader> decode(const Bytes &data);
 };
 
 /** Cloud Controller → source server: migrate a VM away. */

@@ -59,6 +59,7 @@ StableStore::checkpoint(Bytes snap)
     ++counters.checkpoints;
     snapshot = std::move(snap);
     snapshotValid = true;
+    snapshotLsn_ = nextLsn - 1;
     // The snapshot captures current in-memory state, which already
     // includes any buffered mutations — both journals are superseded.
     durable.clear();
@@ -82,6 +83,45 @@ StableStore::replay()
     image.records.assign(durable.begin(), durable.end());
     counters.recordsReplayed += image.records.size();
     return image;
+}
+
+std::vector<JournalRecord>
+StableStore::durableSince(std::uint64_t lsn) const
+{
+    std::vector<JournalRecord> out;
+    for (const JournalRecord &rec : durable)
+        if (rec.lsn > lsn)
+            out.push_back(rec);
+    return out;
+}
+
+void
+StableStore::adoptRecord(JournalRecord rec)
+{
+    nextLsn = rec.lsn + 1;
+    buffered.push_back(std::move(rec));
+    ++counters.appends;
+}
+
+void
+StableStore::installSnapshot(Bytes snap, std::uint64_t lsn)
+{
+    ++counters.checkpoints;
+    snapshot = std::move(snap);
+    snapshotValid = true;
+    snapshotLsn_ = lsn;
+    nextLsn = lsn + 1;
+    durable.clear();
+    buffered.clear();
+}
+
+void
+StableStore::truncateTo(std::uint64_t lsn)
+{
+    buffered.clear();
+    while (!durable.empty() && durable.back().lsn > lsn)
+        durable.pop_back();
+    nextLsn = lastDurableLsn() + 1;
 }
 
 std::size_t

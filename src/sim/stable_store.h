@@ -111,6 +111,47 @@ class StableStore
     /** Durable image for recovery; counts replayed records. */
     RecoveryImage replay();
 
+    /**
+     * Streaming hooks for journal replication. A shard leader streams
+     * its durable suffix to followers; a follower adopts records with
+     * the leader's LSNs, or installs a full snapshot when it has
+     * fallen behind the leader's checkpoint horizon.
+     */
+
+    /** LSN covered by the current snapshot (0 when none). */
+    std::uint64_t snapshotLsn() const { return snapshotLsn_; }
+
+    /** Highest durable LSN, counting the snapshot horizon. */
+    std::uint64_t lastDurableLsn() const
+    {
+        return durable.empty() ? snapshotLsn_ : durable.back().lsn;
+    }
+
+    /** Current snapshot blob (empty when none was taken). */
+    const Bytes &snapshotBytes() const { return snapshot; }
+
+    /** Durable records with LSN strictly greater than `lsn`. */
+    std::vector<JournalRecord> durableSince(std::uint64_t lsn) const;
+
+    /**
+     * Adopt a replicated record verbatim, preserving the leader's
+     * LSN. Volatile until the next sync(), like append().
+     */
+    void adoptRecord(JournalRecord rec);
+
+    /**
+     * Replace the entire durable image with a leader snapshot that
+     * covers everything up to `lsn`. Durable immediately.
+     */
+    void installSnapshot(Bytes snap, std::uint64_t lsn);
+
+    /**
+     * Drop durable records with LSN greater than `lsn` (and any
+     * buffered tail): a follower truncating a divergent suffix before
+     * adopting the new leader's log.
+     */
+    void truncateTo(std::uint64_t lsn);
+
     /** Records appended but not yet synced. */
     std::size_t pendingRecords() const { return buffered.size(); }
 
@@ -137,6 +178,7 @@ class StableStore
     std::deque<JournalRecord> durable;  //!< synced, survives crashes
     Bytes snapshot;
     bool snapshotValid = false;
+    std::uint64_t snapshotLsn_ = 0; //!< Highest LSN the snapshot covers.
     StableStoreStats counters;
 };
 
