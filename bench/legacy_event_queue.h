@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The pre-overhaul event kernel, preserved verbatim (plus a
+ * tombstone-count probe) for the soak bench's same-binary A/B leg.
+ *
+ * This is the `sim::EventQueue` as it stood before the flat-heap
+ * rewrite: a `std::priority_queue` of fat Event structs (each carrying
+ * a `std::function` that heap-allocates for captures over two
+ * pointers), with cancellation via an `unordered_set` tombstone table
+ * that events are lazily dropped against — and that grows forever when
+ * an already-fired id is cancelled. bench_soak drives the identical
+ * workload through this kernel and the production one and reports the
+ * wall-clock events/sec ratio.
+ *
+ * Bench-only code: nothing outside bench/ may include this header.
+ */
+
+#ifndef MONATT_BENCH_LEGACY_EVENT_QUEUE_H
+#define MONATT_BENCH_LEGACY_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace monatt::bench
+{
+
+/** Pre-overhaul deterministic discrete-event queue. */
+class LegacyEventQueue
+{
+  public:
+    using EventId = std::uint64_t;
+    using Callback = std::function<void()>;
+
+    SimTime now() const { return currentTime; }
+
+    EventId
+    schedule(SimTime when, Callback callback, const char *label = nullptr)
+    {
+        if (when < currentTime)
+            throw std::invalid_argument(
+                "LegacyEventQueue: scheduling in the past");
+        const EventId id = nextId++;
+        queue.push(Event{when, id, std::move(callback), label});
+        ++livePending;
+        return id;
+    }
+
+    EventId
+    scheduleAfter(SimTime delay, Callback callback,
+                  const char *label = nullptr)
+    {
+        return schedule(currentTime + delay, std::move(callback), label);
+    }
+
+    void cancel(EventId id) { cancelled.insert(id); }
+
+    bool
+    runOne()
+    {
+        if (!dropCancelledTop())
+            return false;
+        Event ev = queue.top();
+        queue.pop();
+        currentTime = ev.when;
+        --livePending;
+        ++executedCount;
+        ev.callback();
+        return true;
+    }
+
+    std::size_t
+    runAll(std::size_t maxEvents = 100000000)
+    {
+        std::size_t n = 0;
+        while (n < maxEvents && runOne())
+            ++n;
+        return n;
+    }
+
+    std::size_t
+    run(SimTime until)
+    {
+        std::size_t n = 0;
+        while (dropCancelledTop() && queue.top().when <= until) {
+            if (runOne())
+                ++n;
+        }
+        if (currentTime < until && until != kTimeNever)
+            currentTime = until;
+        return n;
+    }
+
+    void advance(SimTime delta) { run(currentTime + delta); }
+
+    SimTime
+    nextEventTime()
+    {
+        return dropCancelledTop() ? queue.top().when : kTimeNever;
+    }
+
+    std::size_t pending() const { return livePending; }
+    std::size_t executed() const { return executedCount; }
+    std::size_t tombstones() const { return cancelled.size(); }
+
+  private:
+    struct Event
+    {
+        SimTime when;
+        EventId id;
+        Callback callback;
+        const char *label;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id; // FIFO among equal timestamps.
+        }
+    };
+
+    bool
+    dropCancelledTop()
+    {
+        while (!queue.empty()) {
+            if (!cancelled.erase(queue.top().id))
+                return true;
+            queue.pop();
+            --livePending;
+        }
+        return false;
+    }
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue;
+    std::unordered_set<EventId> cancelled;
+    SimTime currentTime = 0;
+    EventId nextId = 1;
+    std::size_t livePending = 0;
+    std::size_t executedCount = 0;
+};
+
+} // namespace monatt::bench
+
+#endif // MONATT_BENCH_LEGACY_EVENT_QUEUE_H

@@ -173,13 +173,17 @@ PrivacyCa::flushBatch()
             item.resp.certificate = cert.encode();
         });
 
-    // Serial responses in arrival order.
+    // Serial responses in arrival order. The whole batch journals as
+    // one appendMany (same record sequence and LSNs as per-item
+    // appends, one bulk buffer splice) before the group-commit sync.
+    std::vector<Bytes> issuedJournal;
     for (Item &item : items) {
         Bytes encoded = item.resp.encode();
         const CertKey key{item.p.from, item.p.req.sessionLabel};
         inFlight.erase(key);
         if (issuedCache.emplace(key, encoded).second) {
-            journalIssued(key, encoded);
+            if (durable && !replaying)
+                issuedJournal.push_back(encodeIssued(key, encoded));
             issuedOrder.push_back(key);
             while (issuedOrder.size() > issuedCacheCapacity) {
                 issuedCache.erase(issuedOrder.front());
@@ -190,27 +194,28 @@ PrivacyCa::flushBatch()
                             proto::packMessage(MessageKind::CertResponse,
                                                std::move(encoded)));
     }
+    store.appendMany(static_cast<std::uint16_t>(JournalType::CertIssued),
+                     std::move(issuedJournal));
     commitJournal();
 }
 
 // --- Durability: WAL + recovery ---------------------------------------
 
-void
-PrivacyCa::journalIssued(const CertKey &key, const Bytes &encoded)
+Bytes
+PrivacyCa::encodeIssued(const CertKey &key, const Bytes &encoded) const
 {
-    if (!durable || replaying)
-        return;
     ByteWriter w;
     // The serial counter rides along so replay restores it without a
     // separate record type (rejected responses mint no serial but
-    // still carry the current counter).
+    // still carry the current counter). Serials for a batch are all
+    // assigned before any response encodes, so deferring the batch's
+    // journal records to one appendMany writes identical bytes.
     w.putU64(serial);
     w.putU64(rejections);
     w.putString(key.first);
     w.putString(key.second);
     w.putBytes(encoded);
-    store.append(static_cast<std::uint16_t>(JournalType::CertIssued),
-                 w.take());
+    return w.take();
 }
 
 void

@@ -156,7 +156,7 @@ class PrivacyCa
         CertIssued = 1, //!< serial counter + requester + label + resp.
     };
 
-    void journalIssued(const CertKey &key, const Bytes &encoded);
+    Bytes encodeIssued(const CertKey &key, const Bytes &encoded) const;
     /** fsync + checkpoint policy; end of every mutating event. */
     void commitJournal();
     Bytes snapshotState() const;

@@ -2276,8 +2276,9 @@ CloudController::streamToFollower(const net::NodeId &follower)
         from = msg.snapshotLsn;
     }
     msg.prevLsn = from;
-    for (const sim::JournalRecord &rec : store.durableSince(from))
+    store.forEachDurableSince(from, [&msg](const sim::JournalRecord &rec) {
         msg.records.push_back({rec.lsn, rec.type, rec.payload});
+    });
     endpoint.sendSecure(follower,
                         proto::packMessage(MessageKind::ReplicateEntries,
                                            msg.encode()));
@@ -2350,18 +2351,22 @@ CloudController::onReplicateEntries(const net::NodeId &from,
         store.truncateTo(msg.prevLsn);
     }
 
+    // Adopt the contiguous prefix of the streamed tail in one batch.
+    // (Tracking the expected LSN locally matters: adopted records sit
+    // in the buffered tail until the sync below, so re-reading
+    // lastDurableLsn() mid-loop would stall adoption at one record
+    // per stream message.)
+    std::vector<sim::JournalRecord> adopted;
+    std::uint64_t next = store.lastDurableLsn() + 1;
     for (const proto::ReplicatedRecord &rec : msg.records) {
-        const std::uint64_t next = store.lastDurableLsn() + 1;
         if (rec.lsn < next)
             continue; // duplicate from a retransmission
         if (rec.lsn > next)
             break; // gap: wait for the leader's next (re)stream
-        sim::JournalRecord jr;
-        jr.lsn = rec.lsn;
-        jr.type = rec.type;
-        jr.payload = rec.payload;
-        store.adoptRecord(std::move(jr));
+        adopted.push_back({rec.lsn, rec.type, rec.payload});
+        ++next;
     }
+    store.adoptMany(std::move(adopted));
     if (store.pendingRecords() > 0)
         store.sync();
     mirrorRound = msg.round;

@@ -87,7 +87,7 @@ Network::send(Envelope env)
         }
         for (int i = 0; i < d.duplicates; ++i) {
             ++counters.duplicated;
-            deliver(env, extraDelay);
+            deliverCopy(env, extraDelay);
         }
     }
     deliver(std::move(env), extraDelay);
@@ -100,22 +100,107 @@ Network::inject(Envelope env)
     deliver(std::move(env));
 }
 
+Envelope *
+Network::acquireSlot()
+{
+    if (freeEnvelopes.empty()) {
+        ++counters.envelopeAllocs;
+        envelopeSlab.push_back(std::make_unique<Envelope>());
+        return envelopeSlab.back().get();
+    }
+    ++counters.envelopeReuses;
+    Envelope *slot = freeEnvelopes.back();
+    freeEnvelopes.pop_back();
+    return slot;
+}
+
+void
+Network::releaseSlot(Envelope *slot)
+{
+    recycleBuffer(std::move(slot->payload));
+    slot->payload = Bytes();
+    slot->src.clear();
+    slot->dst.clear();
+    slot->channel.clear();
+    slot->seq = 0;
+    slot->bulkBytes = 0;
+    freeEnvelopes.push_back(slot);
+}
+
+Bytes
+Network::takeBuffer(std::size_t reserveHint)
+{
+    Bytes out;
+    if (!bufferPool.empty()) {
+        ++counters.bufferReuses;
+        out = std::move(bufferPool.back());
+        bufferPool.pop_back();
+    } else {
+        ++counters.bufferAllocs;
+    }
+    if (reserveHint > 0)
+        out.reserve(reserveHint);
+    return out;
+}
+
+void
+Network::recycleBuffer(Bytes buffer)
+{
+    if (buffer.capacity() < kMinRecycledCapacity ||
+        bufferPool.size() >= kMaxPooledBuffers)
+        return;
+    buffer.clear();
+    bufferPool.push_back(std::move(buffer));
+}
+
+void
+Network::scheduleDelivery(Envelope *slot, SimTime extraDelay)
+{
+    const SimTime delay =
+        transferTime(slot->src, slot->dst, slot->wireSize()) + extraDelay;
+    events.scheduleAfter(delay, [this, slot] { dispatch(slot); },
+                         "net.deliver");
+}
+
+void
+Network::dispatch(Envelope *slot)
+{
+    const auto it = nodes.find(slot->dst);
+    if (it == nodes.end()) {
+        ++counters.undeliverable;
+        MONATT_LOG(Warn, "net") << "undeliverable datagram to "
+                                << slot->dst;
+    } else {
+        ++counters.delivered;
+        it->second(*slot);
+    }
+    releaseSlot(slot);
+}
+
 void
 Network::deliver(Envelope env, SimTime extraDelay)
 {
-    const SimTime delay =
-        transferTime(env.src, env.dst, env.wireSize()) + extraDelay;
-    events.scheduleAfter(delay, [this, env = std::move(env)]() {
-        const auto it = nodes.find(env.dst);
-        if (it == nodes.end()) {
-            ++counters.undeliverable;
-            MONATT_LOG(Warn, "net") << "undeliverable datagram to "
-                                    << env.dst;
-            return;
-        }
-        ++counters.delivered;
-        it->second(env);
-    }, "net.deliver");
+    Envelope *slot = acquireSlot();
+    // Park the slot's retained payload capacity before the move-assign
+    // would free it; the sender's buffers then travel zero-copy.
+    recycleBuffer(std::move(slot->payload));
+    *slot = std::move(env);
+    scheduleDelivery(slot, extraDelay);
+}
+
+void
+Network::deliverCopy(const Envelope &env, SimTime extraDelay)
+{
+    // Duplicate deliveries (fault plan) copy field-wise into the
+    // slot's retained buffers instead of allocating a fresh Envelope.
+    Envelope *slot = acquireSlot();
+    slot->src = env.src;
+    slot->dst = env.dst;
+    slot->channel = env.channel;
+    slot->seq = env.seq;
+    slot->bulkBytes = env.bulkBytes;
+    slot->payload.assign(env.payload.begin(), env.payload.end());
+    scheduleDelivery(slot, extraDelay);
 }
 
 } // namespace monatt::net

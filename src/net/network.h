@@ -17,8 +17,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/time_types.h"
 #include "net/message.h"
@@ -51,6 +53,14 @@ struct NetworkStats
     std::uint64_t duplicated = 0;
     std::uint64_t delayedByFault = 0;
     std::uint64_t partitioned = 0;
+
+    // Send-deliver slab: envelope slots and recycled payload buffers.
+    // At steady state reuses dominate and allocs stay flat at the
+    // in-flight high-water mark.
+    std::uint64_t envelopeAllocs = 0; //!< fresh slab slots created
+    std::uint64_t envelopeReuses = 0; //!< slots served from the free list
+    std::uint64_t bufferAllocs = 0;   //!< takeBuffer() pool misses
+    std::uint64_t bufferReuses = 0;   //!< takeBuffer() pool hits
 };
 
 /**
@@ -115,12 +125,29 @@ class Network
     SimTime transferTime(const NodeId &a, const NodeId &b,
                          std::size_t bytes) const;
 
+    /**
+     * Borrow a payload buffer from the recycle pool (empty, with the
+     * retained capacity of a previously delivered datagram when one is
+     * available). Purely an allocation-churn optimization: senders on
+     * hot paths build payloads in a recycled buffer instead of a fresh
+     * vector; the buffer flows back into the pool after delivery.
+     */
+    Bytes takeBuffer(std::size_t reserveHint = 0);
+
+    /** Return a buffer to the recycle pool (bounded; excess is freed). */
+    void recycleBuffer(Bytes buffer);
+
     const NetworkStats &stats() const { return counters; }
 
     sim::EventQueue &eventQueue() { return events; }
 
   private:
     void deliver(Envelope env, SimTime extraDelay = 0);
+    void deliverCopy(const Envelope &env, SimTime extraDelay);
+    void scheduleDelivery(Envelope *slot, SimTime extraDelay);
+    void dispatch(Envelope *slot);
+    Envelope *acquireSlot();
+    void releaseSlot(Envelope *slot);
     const LinkParams &linkBetween(const NodeId &a, const NodeId &b) const;
 
     sim::EventQueue &events;
@@ -130,6 +157,23 @@ class Network
     AdversaryHook adversary;
     const sim::FaultPlan *faults = nullptr;
     NetworkStats counters;
+
+    /**
+     * Envelope slab for the send-deliver path. Every in-flight
+     * datagram rides in a pooled Envelope slot, so the delivery
+     * callback captures 16 bytes (this + slot pointer) and stays in
+     * the event kernel's inline storage — the old per-datagram
+     * std::function heap block is gone. The slab owns every slot it
+     * ever created (free or in flight), so envelopes pending on a
+     * torn-down event queue are still reclaimed.
+     */
+    std::vector<std::unique_ptr<Envelope>> envelopeSlab;
+    std::vector<Envelope *> freeEnvelopes;
+    std::vector<Bytes> bufferPool; //!< Recycled payload buffers.
+
+    /** Pool bounds: keep slack memory proportional to real traffic. */
+    static constexpr std::size_t kMaxPooledBuffers = 4096;
+    static constexpr std::size_t kMinRecycledCapacity = 16;
 };
 
 } // namespace monatt::net

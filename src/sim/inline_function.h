@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Small-buffer callable for the event kernel.
+ *
+ * `std::function<void()>` heap-allocates for any capture larger than
+ * two pointers, and the event kernel schedules millions of callbacks
+ * whose captures are just a `this` pointer plus a couple of ids —
+ * 24 to 48 bytes. InlineFunction stores such captures inline (no
+ * allocation, no pointer chase on invoke) and falls back to a heap
+ * box only for captures that are oversized, over-aligned, or whose
+ * move constructor may throw.
+ *
+ * Move-only by design: event callbacks are scheduled once and invoked
+ * once, so copyability would only invite accidental capture copies.
+ */
+
+#ifndef MONATT_SIM_INLINE_FUNCTION_H
+#define MONATT_SIM_INLINE_FUNCTION_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace monatt::sim
+{
+
+/** Move-only `void()` callable with `Capacity` bytes of inline storage. */
+template <std::size_t Capacity = 48>
+class InlineFunction
+{
+  public:
+    InlineFunction() noexcept = default;
+    InlineFunction(std::nullptr_t) noexcept {}
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineFunction(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        heapBoxed = !fitsInline<Fn>();
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(storage)) Fn(std::forward<F>(f));
+            invokeFn = [](void *s) {
+                (*std::launder(reinterpret_cast<Fn *>(s)))();
+            };
+            manageFn = [](Op op, void *s, void *dst) {
+                Fn *self = std::launder(reinterpret_cast<Fn *>(s));
+                if (op == Op::MoveTo)
+                    ::new (dst) Fn(std::move(*self));
+                self->~Fn();
+            };
+        } else {
+            ::new (static_cast<void *>(storage))
+                Fn *(new Fn(std::forward<F>(f)));
+            invokeFn = [](void *s) {
+                (**std::launder(reinterpret_cast<Fn **>(s)))();
+            };
+            manageFn = [](Op op, void *s, void *dst) {
+                Fn **self = std::launder(reinterpret_cast<Fn **>(s));
+                if (op == Op::MoveTo)
+                    ::new (dst) Fn *(*self); // ownership transfers
+                else
+                    delete *self;
+            };
+        }
+    }
+
+    InlineFunction(InlineFunction &&other) noexcept { adopt(other); }
+
+    InlineFunction &
+    operator=(InlineFunction &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            adopt(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction &) = delete;
+    InlineFunction &operator=(const InlineFunction &) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    void
+    operator()()
+    {
+        invokeFn(storage);
+    }
+
+    explicit operator bool() const noexcept { return invokeFn != nullptr; }
+
+    /** True when the held capture lives in the inline buffer (for
+     * tests and allocation accounting). Empty functions count inline. */
+    bool
+    isInline() const noexcept
+    {
+        return heapBoxed == false;
+    }
+
+    /** Compile-time predicate: would capture type `Fn` fit inline? */
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= Capacity &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    enum class Op
+    {
+        Destroy,
+        MoveTo,
+    };
+
+    using InvokeFn = void (*)(void *);
+    using ManageFn = void (*)(Op, void *, void *);
+
+    void
+    reset() noexcept
+    {
+        if (manageFn != nullptr)
+            manageFn(Op::Destroy, storage, nullptr);
+        invokeFn = nullptr;
+        manageFn = nullptr;
+        heapBoxed = false;
+    }
+
+    /** Steal `other`'s payload; assumes *this is empty. */
+    void
+    adopt(InlineFunction &other) noexcept
+    {
+        if (other.invokeFn == nullptr)
+            return;
+        other.manageFn(Op::MoveTo, other.storage, storage);
+        invokeFn = other.invokeFn;
+        manageFn = other.manageFn;
+        heapBoxed = other.heapBoxed;
+        other.invokeFn = nullptr;
+        other.manageFn = nullptr;
+        other.heapBoxed = false;
+    }
+
+    alignas(std::max_align_t) unsigned char storage[Capacity];
+    InvokeFn invokeFn = nullptr;
+    ManageFn manageFn = nullptr;
+    bool heapBoxed = false;
+
+    template <std::size_t C>
+    friend class InlineFunction;
+};
+
+} // namespace monatt::sim
+
+#endif // MONATT_SIM_INLINE_FUNCTION_H

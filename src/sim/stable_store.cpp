@@ -1,5 +1,7 @@
 #include "sim/stable_store.h"
 
+#include <iterator>
+
 namespace monatt::sim
 {
 
@@ -42,15 +44,33 @@ StableStore::append(std::uint16_t type, Bytes payload)
     return buffered.back().lsn;
 }
 
+std::uint64_t
+StableStore::appendMany(std::uint16_t type, std::vector<Bytes> payloads)
+{
+    if (payloads.empty())
+        return 0;
+    ++counters.appendBatches;
+    counters.appends += payloads.size();
+    buffered.reserve(buffered.size() + payloads.size());
+    for (Bytes &payload : payloads)
+    {
+        JournalRecord rec;
+        rec.lsn = nextLsn++;
+        rec.type = type;
+        rec.payload = std::move(payload);
+        buffered.push_back(std::move(rec));
+    }
+    return buffered.back().lsn;
+}
+
 void
 StableStore::sync()
 {
     ++counters.syncs;
-    while (!buffered.empty())
-    {
-        durable.push_back(std::move(buffered.front()));
-        buffered.pop_front();
-    }
+    durable.insert(durable.end(),
+                   std::make_move_iterator(buffered.begin()),
+                   std::make_move_iterator(buffered.end()));
+    buffered.clear();
 }
 
 void
@@ -88,11 +108,7 @@ StableStore::replay()
 std::vector<JournalRecord>
 StableStore::durableSince(std::uint64_t lsn) const
 {
-    std::vector<JournalRecord> out;
-    for (const JournalRecord &rec : durable)
-        if (rec.lsn > lsn)
-            out.push_back(rec);
-    return out;
+    return {firstAfter(lsn), durable.end()};
 }
 
 void
@@ -101,6 +117,19 @@ StableStore::adoptRecord(JournalRecord rec)
     nextLsn = rec.lsn + 1;
     buffered.push_back(std::move(rec));
     ++counters.appends;
+}
+
+void
+StableStore::adoptMany(std::vector<JournalRecord> records)
+{
+    if (records.empty())
+        return;
+    ++counters.appendBatches;
+    counters.appends += records.size();
+    nextLsn = records.back().lsn + 1;
+    buffered.insert(buffered.end(),
+                    std::make_move_iterator(records.begin()),
+                    std::make_move_iterator(records.end()));
 }
 
 void

@@ -27,8 +27,8 @@
 #ifndef MONATT_SIM_STABLE_STORE_H
 #define MONATT_SIM_STABLE_STORE_H
 
+#include <algorithm>
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -49,6 +49,7 @@ struct JournalRecord
 struct StableStoreStats
 {
     std::uint64_t appends = 0;      //!< records appended (volatile)
+    std::uint64_t appendBatches = 0; //!< appendMany/adoptMany calls
     std::uint64_t syncs = 0;        //!< fsync barriers issued
     std::uint64_t checkpoints = 0;  //!< snapshots taken
     std::uint64_t crashes = 0;      //!< simulated power cuts
@@ -91,7 +92,22 @@ class StableStore
      */
     std::uint64_t append(std::uint16_t type, Bytes payload);
 
-    /** Fsync barrier: make every appended record durable. */
+    /**
+     * Append a batch of same-type records in one call: one reserve,
+     * consecutive LSNs, identical digest to the equivalent sequence of
+     * append() calls. This is the bulk-journal path for fan-outs that
+     * mutate many records in one handler (controller launch waves, pCA
+     * certification batches, the soak bench's provisioning waves).
+     *
+     * @return The LSN of the *last* record (0 when `payloads` is
+     *         empty).
+     */
+    std::uint64_t appendMany(std::uint16_t type,
+                             std::vector<Bytes> payloads);
+
+    /** Fsync barrier: make every appended record durable. The whole
+     * buffered tail moves in one bulk splice (group commit), not
+     * record by record. */
     void sync();
 
     /**
@@ -134,10 +150,28 @@ class StableStore
     std::vector<JournalRecord> durableSince(std::uint64_t lsn) const;
 
     /**
+     * Visit durable records with LSN strictly greater than `lsn`
+     * without materializing a copy. Starts at the right offset by
+     * binary search (LSNs are strictly increasing), so a leader
+     * streaming its tail pays O(log n + tail) instead of O(journal).
+     */
+    template <typename Fn>
+    void
+    forEachDurableSince(std::uint64_t lsn, Fn &&fn) const
+    {
+        for (auto it = firstAfter(lsn); it != durable.end(); ++it)
+            fn(*it);
+    }
+
+    /**
      * Adopt a replicated record verbatim, preserving the leader's
      * LSN. Volatile until the next sync(), like append().
      */
     void adoptRecord(JournalRecord rec);
+
+    /** Adopt a contiguous batch of replicated records in one call
+     * (a follower applying a leader's streamed tail). */
+    void adoptMany(std::vector<JournalRecord> records);
 
     /**
      * Replace the entire durable image with a leader snapshot that
@@ -172,10 +206,21 @@ class StableStore
     const std::string &node() const { return nodeId; }
 
   private:
+    /** First durable record with LSN strictly greater than `lsn`. */
+    std::vector<JournalRecord>::const_iterator
+    firstAfter(std::uint64_t lsn) const
+    {
+        return std::upper_bound(durable.begin(), durable.end(), lsn,
+                                [](std::uint64_t v,
+                                   const JournalRecord &rec) {
+                                    return v < rec.lsn;
+                                });
+    }
+
     std::string nodeId;
     std::uint64_t nextLsn = 1;
-    std::deque<JournalRecord> buffered; //!< appended, not yet synced
-    std::deque<JournalRecord> durable;  //!< synced, survives crashes
+    std::vector<JournalRecord> buffered; //!< appended, not yet synced
+    std::vector<JournalRecord> durable;  //!< synced, survives crashes
     Bytes snapshot;
     bool snapshotValid = false;
     std::uint64_t snapshotLsn_ = 0; //!< Highest LSN the snapshot covers.

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <set>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -133,6 +135,152 @@ TEST(EventQueueTest, EventsCanScheduleEvents)
     q.runAll();
     EXPECT_EQ(depth, 10);
     EXPECT_EQ(q.now(), usec(10));
+}
+
+// --- Cancellation edge semantics (the generation-id contract) ----------
+
+TEST(EventQueueTest, CancelAfterFireIsNoOp)
+{
+    EventQueue q;
+    int count = 0;
+    const EventId a = q.schedule(usec(10), [&] { ++count; });
+    q.runAll();
+    EXPECT_EQ(count, 1);
+
+    // The id's slot may be reused by a later event; cancelling the
+    // stale id must never touch the new occupant.
+    q.cancel(a);
+    int later = 0;
+    q.schedule(usec(20), [&] { ++later; });
+    q.cancel(a); // Stale id again, now pointing at a reused slot.
+    q.runAll();
+    EXPECT_EQ(later, 1);
+}
+
+TEST(EventQueueTest, SelfCancelDuringExecutionIsNoOp)
+{
+    EventQueue q;
+    int count = 0;
+    EventId self = 0;
+    self = q.schedule(usec(10), [&] {
+        q.cancel(self); // Defensive self-cancel: already firing.
+        ++count;
+        // The slot just freed may be handed to this schedule; the
+        // stale `self` id must not cancel it.
+        q.scheduleAfter(usec(1), [&] { ++count; });
+        q.cancel(self);
+    });
+    q.runAll();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueueTest, CancelTwiceReleasesOnce)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId a = q.schedule(usec(10), [&] { fired = true; });
+    q.schedule(usec(20), [] {});
+    q.cancel(a);
+    q.cancel(a); // Second cancel: slot already freed, must not double
+                 // free or disturb other pending events.
+    EXPECT_EQ(q.pending(), 1u);
+    q.runAll();
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(q.executed(), 1u);
+}
+
+TEST(EventQueueTest, CancelZeroAndNeverIssuedIdsAreNoOps)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(usec(10), [&] { ++count; });
+    q.cancel(0);                  // The "none pending" sentinel.
+    q.cancel(0xffffffffffffffff); // Absurd slot index.
+    q.cancel((1ull << 32) | 7);   // Plausible shape, never issued.
+    q.runAll();
+    EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueueTest, FifoPreservedAcrossCancellationChurn)
+{
+    // Equal-timestamp FIFO must survive heap restructuring: interleave
+    // cancellations between same-time schedules so nodes move through
+    // swap-with-last removals, then check execution order.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> doomed;
+    for (int i = 0; i < 64; ++i) {
+        q.schedule(usec(10), [&order, i] { order.push_back(i); });
+        doomed.push_back(
+            q.schedule(usec(10), [&order] { order.push_back(-1); }));
+        if (i % 3 == 0)
+            q.cancel(doomed.back());
+    }
+    for (std::size_t i = 0; i < doomed.size(); ++i) {
+        if (i % 3 != 0)
+            q.cancel(doomed[i]);
+    }
+    q.runAll();
+    std::vector<int> expect;
+    for (int i = 0; i < 64; ++i)
+        expect.push_back(i);
+    EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueueTest, RunAllBackstopBoundsRunawayChains)
+{
+    EventQueue q;
+    std::size_t fired = 0;
+    std::function<void()> forever = [&] {
+        ++fired;
+        q.scheduleAfter(usec(1), forever);
+    };
+    q.scheduleAfter(usec(1), forever);
+    const std::size_t ran = q.runAll(100);
+    EXPECT_EQ(ran, 100u);
+    EXPECT_EQ(fired, 100u);
+    EXPECT_EQ(q.pending(), 1u); // The chain's next link survives.
+}
+
+TEST(EventQueueTest, IdsAreNeverReissued)
+{
+    // Slots are reused; ids are not. Churn one slot through many
+    // schedule/fire cycles and check every issued id is distinct and
+    // nonzero, and that slot storage stays at the concurrency
+    // high-water mark instead of growing with cancel history.
+    EventQueue q;
+    std::vector<EventId> issued;
+    for (int i = 0; i < 100; ++i) {
+        const EventId id = q.schedule(q.now() + usec(1), [] {});
+        issued.push_back(id);
+        if (i % 2 == 0)
+            q.cancel(id);
+        q.runAll();
+        q.cancel(id); // Post-fire cancels must not accumulate state.
+    }
+    std::set<EventId> unique(issued.begin(), issued.end());
+    EXPECT_EQ(unique.size(), issued.size());
+    EXPECT_EQ(unique.count(0), 0u);
+    EXPECT_LE(q.slotCapacity(), 2u);
+}
+
+TEST(EventQueueTest, SlotTableBoundedByPeakNotHistory)
+{
+    // The tombstone-leak regression test: the old kernel grew its
+    // cancelled-set forever under fire-then-cancel churn. The slot
+    // table must stay at peak concurrent pending events.
+    EventQueue q;
+    for (int round = 0; round < 1000; ++round) {
+        const EventId a = q.schedule(q.now() + usec(1), [] {});
+        const EventId b = q.schedule(q.now() + usec(2), [] {});
+        q.cancel(b);
+        q.runAll();
+        q.cancel(a); // Already fired.
+        q.cancel(b); // Already cancelled.
+    }
+    EXPECT_LE(q.slotCapacity(), 2u);
+    EXPECT_EQ(q.freeSlots(), q.slotCapacity());
+    EXPECT_EQ(q.pending(), 0u);
 }
 
 } // namespace

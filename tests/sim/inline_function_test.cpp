@@ -1,0 +1,164 @@
+/**
+ * @file
+ * InlineFunction: the event kernel's small-buffer callback type.
+ * Inline/heap placement, move semantics, destruction counts, and the
+ * capacity contract the kernel's no-allocation claim rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "sim/inline_function.h"
+
+namespace monatt::sim
+{
+namespace
+{
+
+/** Instrumented payload: counts live copies via a shared counter. */
+struct Tracker
+{
+    int *live;
+    explicit Tracker(int *counter) : live(counter) { ++*live; }
+    Tracker(const Tracker &other) noexcept : live(other.live)
+    {
+        ++*live;
+    }
+    Tracker(Tracker &&other) noexcept : live(other.live) { ++*live; }
+    ~Tracker() { --*live; }
+};
+
+TEST(InlineFunctionTest, SmallCaptureStaysInline)
+{
+    int hits = 0;
+    InlineFunction<48> fn([&hits] { ++hits; });
+    EXPECT_TRUE(fn.isInline());
+    EXPECT_TRUE(static_cast<bool>(fn));
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, CodebaseTimerShapeStaysInline)
+{
+    // The hot-path shape: a `this` pointer plus a few 64-bit ids. The
+    // kernel's no-allocation property depends on this fitting.
+    std::uint64_t sink = 0;
+    void *self = &sink;
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    InlineFunction<48> fn([self, a, b, c, d] {
+        *static_cast<std::uint64_t *>(self) = a + b + c + d;
+    });
+    EXPECT_TRUE(fn.isInline());
+    fn();
+    EXPECT_EQ(sink, 10u);
+}
+
+TEST(InlineFunctionTest, OversizedCaptureFallsBackToHeap)
+{
+    struct Big
+    {
+        char bytes[96];
+    };
+    Big big{};
+    big.bytes[0] = 42;
+    char seen = 0;
+    InlineFunction<48> fn([big, &seen] { seen = big.bytes[0]; });
+    EXPECT_FALSE(fn.isInline());
+    fn();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(InlineFunctionTest, EmptyIsFalseAndResettable)
+{
+    InlineFunction<48> fn;
+    EXPECT_FALSE(static_cast<bool>(fn));
+    fn = [] {};
+    EXPECT_TRUE(static_cast<bool>(fn));
+    fn = nullptr;
+    EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(InlineFunctionTest, MoveTransfersInlineCallable)
+{
+    int live = 0;
+    int hits = 0;
+    {
+        InlineFunction<48> a([t = Tracker(&live), &hits] { ++hits; });
+        EXPECT_TRUE(a.isInline());
+        InlineFunction<48> b(std::move(a));
+        EXPECT_FALSE(static_cast<bool>(a));
+        b();
+        EXPECT_EQ(hits, 1);
+
+        InlineFunction<48> c;
+        c = std::move(b);
+        EXPECT_FALSE(static_cast<bool>(b));
+        c();
+        EXPECT_EQ(hits, 2);
+    }
+    EXPECT_EQ(live, 0); // Every Tracker copy destroyed exactly once.
+}
+
+TEST(InlineFunctionTest, MoveTransfersHeapCallable)
+{
+    struct Pad
+    {
+        char bytes[80] = {};
+    };
+    int live = 0;
+    int hits = 0;
+    {
+        InlineFunction<48> a(
+            [t = Tracker(&live), p = Pad{}, &hits] { ++hits; });
+        EXPECT_FALSE(a.isInline());
+        InlineFunction<48> b(std::move(a));
+        EXPECT_FALSE(static_cast<bool>(a));
+        b();
+        EXPECT_EQ(hits, 1);
+    }
+    EXPECT_EQ(live, 0);
+}
+
+TEST(InlineFunctionTest, MoveAssignmentDestroysPreviousTarget)
+{
+    int liveA = 0;
+    int liveB = 0;
+    {
+        InlineFunction<48> target([t = Tracker(&liveA)] {});
+        EXPECT_EQ(liveA, 1);
+        target = InlineFunction<48>([t = Tracker(&liveB)] {});
+        EXPECT_EQ(liveA, 0); // Old callable destroyed on assignment.
+        EXPECT_EQ(liveB, 1);
+    }
+    EXPECT_EQ(liveB, 0);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCallablesAreAccepted)
+{
+    auto owned = std::make_unique<int>(7);
+    int seen = 0;
+    InlineFunction<48> fn(
+        [p = std::move(owned), &seen] { seen = *p; });
+    InlineFunction<48> moved(std::move(fn));
+    moved();
+    EXPECT_EQ(seen, 7);
+}
+
+TEST(InlineFunctionTest, FitsInlineMatchesPlacement)
+{
+    auto small = [] {};
+    struct Fat
+    {
+        char bytes[64];
+    };
+    auto large = [f = Fat{}] { (void)f; };
+    EXPECT_TRUE(InlineFunction<48>::fitsInline<decltype(small)>());
+    EXPECT_FALSE(InlineFunction<48>::fitsInline<decltype(large)>());
+}
+
+} // namespace
+} // namespace monatt::sim

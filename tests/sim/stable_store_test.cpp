@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "sim/stable_store.h"
@@ -145,6 +147,106 @@ TEST(StableStoreTest, DurableBytesCountsSnapshotAndJournal)
     EXPECT_EQ(store.durableBytes(), 5u); // tail not yet durable
     store.sync();
     EXPECT_EQ(store.durableBytes(), 8u);
+}
+
+// --- Bulk paths (appendMany / adoptMany / forEachDurableSince) ---------
+
+TEST(StableStoreTest, AppendManyMatchesIndividualAppends)
+{
+    StableStore one("node-a");
+    one.append(7, payload("alpha"));
+    one.append(7, payload("beta"));
+    one.append(7, payload("gamma"));
+    one.sync();
+
+    StableStore bulk("node-a");
+    std::vector<Bytes> batch;
+    batch.push_back(payload("alpha"));
+    batch.push_back(payload("beta"));
+    batch.push_back(payload("gamma"));
+    const std::uint64_t last = bulk.appendMany(7, std::move(batch));
+    bulk.sync();
+
+    EXPECT_EQ(last, 3u);
+    EXPECT_EQ(bulk.durableRecords(), 3u);
+    EXPECT_EQ(bulk.digest(), one.digest()); // Byte-identical journal.
+    EXPECT_EQ(bulk.stats().appends, 3u);
+    EXPECT_EQ(bulk.stats().appendBatches, 1u);
+}
+
+TEST(StableStoreTest, AppendManyEmptyIsNoOp)
+{
+    StableStore store("node-a");
+    EXPECT_EQ(store.appendMany(7, {}), 0u);
+    EXPECT_EQ(store.pendingRecords(), 0u);
+    store.append(1, payload("x"));
+    EXPECT_EQ(store.appendMany(7, {}), 0u);
+    EXPECT_EQ(store.pendingRecords(), 1u);
+}
+
+TEST(StableStoreTest, AppendManyInterleavesWithAppend)
+{
+    StableStore store("node-a");
+    store.append(1, payload("head"));
+    std::vector<Bytes> batch;
+    batch.push_back(payload("mid-1"));
+    batch.push_back(payload("mid-2"));
+    EXPECT_EQ(store.appendMany(2, std::move(batch)), 3u);
+    EXPECT_EQ(store.append(3, payload("tail")), 4u);
+    store.sync();
+
+    const auto records = store.durableSince(0);
+    ASSERT_EQ(records.size(), 4u);
+    for (std::size_t i = 0; i < records.size(); ++i)
+        EXPECT_EQ(records[i].lsn, i + 1);
+}
+
+TEST(StableStoreTest, AdoptManyPreservesLeaderLsns)
+{
+    StableStore leader("leader");
+    leader.append(1, payload("a"));
+    leader.append(1, payload("b"));
+    leader.append(1, payload("c"));
+    leader.sync();
+
+    StableStore follower("follower");
+    follower.adoptMany(leader.durableSince(0));
+    follower.sync();
+
+    EXPECT_EQ(follower.lastDurableLsn(), 3u);
+    EXPECT_EQ(follower.durableRecords(), 3u);
+    // Appends after adoption continue from the leader's LSN sequence.
+    EXPECT_EQ(follower.append(2, payload("d")), 4u);
+}
+
+TEST(StableStoreTest, ForEachDurableSinceStreamsTheSuffix)
+{
+    StableStore store("node-a");
+    for (int i = 0; i < 10; ++i)
+        store.append(1, payload("r" + std::to_string(i)));
+    store.sync();
+
+    std::vector<std::uint64_t> seen;
+    store.forEachDurableSince(7, [&](const JournalRecord &rec) {
+        seen.push_back(rec.lsn);
+    });
+    EXPECT_EQ(seen, (std::vector<std::uint64_t>{8, 9, 10}));
+
+    seen.clear();
+    store.forEachDurableSince(10, [&](const JournalRecord &rec) {
+        seen.push_back(rec.lsn);
+    });
+    EXPECT_TRUE(seen.empty());
+
+    // Visits must agree with the materializing path.
+    const auto copy = store.durableSince(4);
+    seen.clear();
+    store.forEachDurableSince(4, [&](const JournalRecord &rec) {
+        seen.push_back(rec.lsn);
+    });
+    ASSERT_EQ(seen.size(), copy.size());
+    for (std::size_t i = 0; i < copy.size(); ++i)
+        EXPECT_EQ(seen[i], copy[i].lsn);
 }
 
 } // namespace
