@@ -9,6 +9,8 @@ under bench/baselines/.
 Gated metrics, matched by full JSON path:
   - attestations_per_sim_sec  (higher is better)
   - sim_makespan_sec, sim_seconds  (lower is better)
+  - records_replayed, records_quarantined  (lower is better; both are
+    sim-deterministic recovery SLO metrics from bench_recovery)
 
 Wall-clock metrics (any leaf key starting with ``wall_``) are
 runner-dependent, so they WARN instead of failing: drift is printed
@@ -38,7 +40,8 @@ import pathlib
 import sys
 
 HIGHER_IS_BETTER = {"attestations_per_sim_sec"}
-LOWER_IS_BETTER = {"sim_makespan_sec", "sim_seconds"}
+LOWER_IS_BETTER = {"sim_makespan_sec", "sim_seconds",
+                   "records_replayed", "records_quarantined"}
 WALL_PREFIX = "wall_"
 
 

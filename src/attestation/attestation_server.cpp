@@ -73,7 +73,7 @@ AttestationServer::AttestationServer(sim::EventQueue &eq,
                endpointSeed(cfg.id, seed)),
       registry(InterpreterRegistry::withDefaults()), rng(seed ^ 0xa5a5),
       certCache(cfg.certCacheCapacity), store(cfg.id),
-      nextSession(sessionBase(cfg.id))
+      ckptPolicy(cfg.checkpointPolicy), nextSession(sessionBase(cfg.id))
 {
     endpoint.onMessage([this](const net::NodeId &from, const Bytes &msg) {
         handleMessage(from, msg);
@@ -757,9 +757,10 @@ AttestationServer::commitJournal()
         return;
     if (store.pendingRecords() > 0)
         store.sync();
-    if (cfg.checkpointEveryRecords > 0 &&
-        store.durableRecords() >= cfg.checkpointEveryRecords)
+    if (ckptPolicy.shouldCheckpoint(store, events.now())) {
         store.checkpoint(snapshotState());
+        ckptPolicy.noteCheckpoint();
+    }
 }
 
 Bytes
@@ -846,6 +847,19 @@ AttestationServer::recover()
     ++counters.recoveries;
     replaying = true;
     auto image = store.replay();
+    if (!image.clean) {
+        // Replay healed a torn/rotted image down to its verified
+        // prefix. Lost dedup-cache entries only cost idempotency (a
+        // retransmitted forward re-verifies instead of re-serving),
+        // never correctness.
+        ++counters.corruptRecoveries;
+        MONATT_LOG(Info, "as")
+            << cfg.id << ": replay quarantined "
+            << image.quarantinedRecords << " and truncated "
+            << image.truncatedRecords << " corrupt journal records"
+            << (image.snapshotQuarantined ? " (snapshot seal failed)"
+                                          : "");
+    }
     if (image.hasSnapshot)
         applySnapshot(image.snapshot);
     for (const sim::JournalRecord &rec : image.records)
@@ -853,6 +867,7 @@ AttestationServer::recover()
     replaying = false;
     // Recovery doubles as a checkpoint.
     store.checkpoint(snapshotState());
+    ckptPolicy.noteCheckpoint();
     MONATT_LOG(Info, "as")
         << cfg.id << ": recovered " << reportCache.size()
         << " cached reports, " << certCache.size()

@@ -38,6 +38,7 @@
 #include "net/secure_endpoint.h"
 #include "proto/messages.h"
 #include "proto/timing_model.h"
+#include "sim/checkpoint_policy.h"
 #include "sim/event_queue.h"
 #include "sim/stable_store.h"
 
@@ -87,9 +88,9 @@ struct AttestationServerConfig
      */
     bool durable = true;
 
-    /** Checkpoint the journal once it holds this many records; 0 =
-     * never. */
-    std::size_t checkpointEveryRecords = 512;
+    /** Journal-compaction triggers (count / size / age); all 0 =
+     * never checkpoint. */
+    sim::CheckpointPolicyConfig checkpointPolicy;
 
     /**
      * Fan-in batching window for MeasureResponse verification. All
@@ -125,6 +126,8 @@ struct AttestationServerStats
     std::uint64_t measureTimeouts = 0; //!< Sessions given up on.
     std::uint64_t duplicateForwards = 0; //!< Dedup'd AttestForwards.
     std::uint64_t recoveries = 0;      //!< Journal replays completed.
+    std::uint64_t corruptRecoveries = 0; //!< Replays that healed a
+                                         //!< torn/rotted durable image.
     std::uint64_t rttSamples = 0;      //!< Karn-valid RTT samples taken.
 };
 
@@ -198,6 +201,13 @@ class AttestationServer
 
     /** The appraiser's durable store (journal + checkpoints). */
     const sim::StableStore &stableStore() const { return store; }
+
+    /** Install the disk-failure model on the store (nullptr = clean
+     * disk). Wired by core::Cloud when a fault plan is installed. */
+    void setStorageFaults(const sim::StorageFaultModel *model)
+    {
+        store.setFaultModel(model);
+    }
 
     /** Dedup-cache introspection (bounds/eviction tests). */
     std::size_t reportCacheSize() const { return reportCache.size(); }
@@ -340,6 +350,7 @@ class AttestationServer
     void recover();
 
     sim::StableStore store;
+    sim::CheckpointPolicy ckptPolicy;
     bool replaying = false; //!< recover() in progress: journal muted.
 
     /** Per-server RTT estimators feeding the adaptive measureRto. */

@@ -225,9 +225,10 @@ PrivacyCa::commitJournal()
         return;
     if (store.pendingRecords() > 0)
         store.sync();
-    if (checkpointEveryRecords > 0 &&
-        store.durableRecords() >= checkpointEveryRecords)
+    if (ckptPolicy.shouldCheckpoint(store, events.now())) {
         store.checkpoint(snapshotState());
+        ckptPolicy.noteCheckpoint();
+    }
 }
 
 Bytes
@@ -303,6 +304,18 @@ PrivacyCa::recover()
 {
     replaying = true;
     auto image = store.replay();
+    if (!image.clean) {
+        // Healed replay: issuances in the dropped suffix are gone
+        // from the dedup cache, so their retransmissions mint fresh
+        // certificates instead of being answered from cache.
+        ++corruptRecoveries_;
+        MONATT_LOG(Info, "pca")
+            << self << ": replay quarantined "
+            << image.quarantinedRecords << " and truncated "
+            << image.truncatedRecords << " corrupt journal records"
+            << (image.snapshotQuarantined ? " (snapshot seal failed)"
+                                          : "");
+    }
     if (image.hasSnapshot)
         applySnapshot(image.snapshot);
     for (const sim::JournalRecord &rec : image.records)
@@ -310,6 +323,7 @@ PrivacyCa::recover()
     replaying = false;
     // Recovery doubles as a checkpoint.
     store.checkpoint(snapshotState());
+    ckptPolicy.noteCheckpoint();
     MONATT_LOG(Info, "pca")
         << self << ": recovered serial " << serial << ", "
         << issuedCache.size() << " cached responses";

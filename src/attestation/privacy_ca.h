@@ -30,6 +30,7 @@
 #include "net/secure_endpoint.h"
 #include "proto/messages.h"
 #include "proto/timing_model.h"
+#include "sim/checkpoint_policy.h"
 #include "sim/event_queue.h"
 #include "sim/stable_store.h"
 
@@ -94,6 +95,22 @@ class PrivacyCa
     {
         issuedCacheCapacity = capacity;
     }
+
+    /** Journal-compaction triggers (count / size / age). */
+    void setCheckpointPolicy(sim::CheckpointPolicyConfig config)
+    {
+        ckptPolicy = sim::CheckpointPolicy(config);
+    }
+
+    /** Install the disk-failure model on the store (nullptr = clean
+     * disk). Wired by core::Cloud when a fault plan is installed. */
+    void setStorageFaults(const sim::StorageFaultModel *model)
+    {
+        store.setFaultModel(model);
+    }
+
+    /** Recoveries that had to heal a torn/rotted durable image. */
+    std::uint64_t corruptRecoveries() const { return corruptRecoveries_; }
 
     /** Dedup-cache introspection (bounds/eviction tests). */
     std::size_t issuedCacheSize() const { return issuedCache.size(); }
@@ -165,9 +182,10 @@ class PrivacyCa
     void recover();
 
     sim::StableStore store;
+    sim::CheckpointPolicy ckptPolicy;
     bool durable = true;
     bool replaying = false;  //!< recover() in progress: journal muted.
-    std::size_t checkpointEveryRecords = 512;
+    std::uint64_t corruptRecoveries_ = 0;
     /** Crash epoch; stale pre-crash callbacks bail (see controller). */
     std::uint64_t era = 0;
 };

@@ -1,0 +1,49 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace monatt
+{
+
+namespace
+{
+
+/** 256-entry table for the reflected Castagnoli polynomial, built at
+ * static-init time (constexpr, so no thread-safety concerns). */
+constexpr std::array<std::uint32_t, 256>
+buildTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i)
+    {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = buildTable();
+
+} // namespace
+
+std::uint32_t
+crc32c(std::uint32_t seed, const std::uint8_t *data, std::size_t n)
+{
+    std::uint32_t c = ~seed;
+    for (std::size_t i = 0; i < n; ++i)
+        c = kTable[(c ^ data[i]) & 0xff] ^ (c >> 8);
+    return ~c;
+}
+
+std::uint32_t
+crc32cU64(std::uint32_t seed, std::uint64_t v)
+{
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return crc32c(seed, bytes, 8);
+}
+
+} // namespace monatt

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) —
+ * the checksum used by iSCSI, ext4 metadata, LevelDB/RocksDB log
+ * frames and Btrfs. The simulated StableStore frames every journal
+ * record and seals every checkpoint snapshot with it so replay can
+ * tell a torn or bit-rotted frame from an intact one.
+ *
+ * Table-driven software implementation (no SSE4.2 dependency): one
+ * 8-entry-of-256 slice-by-1 table, byte at a time. Journal payloads
+ * are small control-plane records, so throughput is not a concern;
+ * determinism and zero dependencies are.
+ */
+
+#ifndef MONATT_COMMON_CRC32C_H
+#define MONATT_COMMON_CRC32C_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace monatt
+{
+
+/** CRC32C of `data[0..n)` continuing from `seed` (a prior crc32c
+ * return value). Pass 0 to start a fresh checksum. */
+std::uint32_t crc32c(std::uint32_t seed, const std::uint8_t *data,
+                     std::size_t n);
+
+/** One-shot CRC32C of a byte range. */
+inline std::uint32_t
+crc32c(const std::uint8_t *data, std::size_t n)
+{
+    return crc32c(0, data, n);
+}
+
+/** Fold a little-endian u64 into a running CRC32C (for framing
+ * fixed-width header fields without materializing a buffer). */
+std::uint32_t crc32cU64(std::uint32_t seed, std::uint64_t v);
+
+} // namespace monatt
+
+#endif // MONATT_COMMON_CRC32C_H

@@ -71,7 +71,7 @@ CloudController::CloudController(sim::EventQueue &eq,
       signCtx(keys.priv), dir(directory),
       endpoint(network, cfg.id, keys, directory,
                endpointSeed(cfg.id, seed)),
-      rng(seed ^ 0xcc), store(cfg.id),
+      rng(seed ^ 0xcc), store(cfg.id), ckptPolicy(cfg.checkpointPolicy),
       election(cfg.id,
                cfg.groupIds.empty() ? std::vector<std::string>{cfg.id}
                                     : cfg.groupIds,
@@ -1644,9 +1644,10 @@ CloudController::commitJournal()
     // records; a checkpoint here would force a snapshot install.
     if (replicated())
         replicateToFollowers();
-    if (cfg.checkpointEveryRecords > 0 &&
-        store.durableRecords() >= cfg.checkpointEveryRecords)
+    if (ckptPolicy.shouldCheckpoint(store, events.now())) {
         store.checkpoint(snapshotState());
+        ckptPolicy.noteCheckpoint();
+    }
     if (replicated())
         advanceCommit();
 }
@@ -1987,6 +1988,24 @@ CloudController::restart()
     MONATT_LOG(Info, "cc") << cfg.id << ": restart";
     endpoint.attach();
     if (replicated()) {
+        // Verify the mirror before rejoining: the outage may have
+        // torn or rotted the journal. Healing truncates the bad
+        // suffix, so the next ack to the leader reports the verified
+        // horizon and the leader re-streams the damaged range through
+        // the normal replication path (snapshot install if the
+        // mirror's own snapshot seal failed).
+        if (cfg.durable) {
+            const auto healed = store.verifyDurable();
+            if (!healed.clean()) {
+                ++counters.corruptRecoveries;
+                MONATT_LOG(Info, "cc")
+                    << cfg.id << ": mirror verification quarantined "
+                    << healed.quarantinedRecords << " and truncated "
+                    << healed.truncatedRecords
+                    << " records; resyncing from leader at lsn "
+                    << store.lastDurableLsn();
+            }
+        }
         // Rejoin as a follower: the mirror resynchronizes from the
         // current leader's stream (snapshot install if we fell behind
         // its checkpoint); promotion back to leader only via election.
@@ -2005,6 +2024,19 @@ CloudController::recover()
     ++counters.recoveries;
     replaying = true;
     auto image = store.replay();
+    if (!image.clean) {
+        // The disk came back damaged: replay healed it down to the
+        // longest verified prefix. Whatever acknowledged state sat in
+        // the dropped suffix is re-driven by customer retransmission
+        // and the re-arm paths below, never silently replayed.
+        ++counters.corruptRecoveries;
+        MONATT_LOG(Info, "cc")
+            << cfg.id << ": replay quarantined "
+            << image.quarantinedRecords << " and truncated "
+            << image.truncatedRecords << " corrupt journal records"
+            << (image.snapshotQuarantined ? " (snapshot seal failed)"
+                                          : "");
+    }
     if (image.hasSnapshot)
         applySnapshot(image.snapshot);
     for (const sim::JournalRecord &rec : image.records)
@@ -2016,6 +2048,7 @@ CloudController::recover()
     // Recovery doubles as a checkpoint: the recovered (and re-armed)
     // state becomes the new snapshot and the journal restarts empty.
     store.checkpoint(snapshotState());
+    ckptPolicy.noteCheckpoint();
     MONATT_LOG(Info, "cc")
         << cfg.id << ": recovered " << db.vmIds().size() << " vms, "
         << attests.size() << " in-flight attestations, "

@@ -37,6 +37,7 @@
 #include "net/secure_endpoint.h"
 #include "proto/messages.h"
 #include "proto/timing_model.h"
+#include "sim/checkpoint_policy.h"
 #include "sim/event_queue.h"
 #include "sim/stable_store.h"
 
@@ -126,11 +127,12 @@ struct CloudControllerConfig
     bool durable = true;
 
     /**
-     * Compact the journal into a snapshot checkpoint once the durable
-     * journal holds this many records; 0 = never checkpoint (journal
-     * grows without bound).
+     * Journal-compaction triggers (count / size / age); all axes 0 =
+     * never checkpoint (journal grows without bound). Evaluated by a
+     * shared sim::CheckpointPolicy at the end of every mutating
+     * event handler.
      */
-    std::size_t checkpointEveryRecords = 512;
+    sim::CheckpointPolicyConfig checkpointPolicy;
 
     /** Capacity of the customer relay dedup cache (bounded FIFO). */
     std::size_t relayCacheCapacity = 128;
@@ -177,6 +179,8 @@ struct ControllerStats
     std::uint64_t attestationsUnreachable = 0; //!< Terminal give-ups.
     std::uint64_t duplicateAttestRequests = 0; //!< Dedup'd customer sends.
     std::uint64_t recoveries = 0;          //!< Journal replays completed.
+    std::uint64_t corruptRecoveries = 0;   //!< Recoveries that healed a
+                                           //!< torn/rotted durable image.
     std::uint64_t recoveredAttests = 0;    //!< Attestations re-armed.
     std::uint64_t recoveredLaunches = 0;   //!< Launches re-driven.
     std::uint64_t rttSamples = 0;          //!< Per-attestor RTT samples.
@@ -249,6 +253,13 @@ class CloudController
 
     /** The controller's durable store (journal + checkpoints). */
     const sim::StableStore &stableStore() const { return store; }
+
+    /** Install the disk-failure model on the store (nullptr = clean
+     * disk). Wired by core::Cloud when a fault plan is installed. */
+    void setStorageFaults(const sim::StorageFaultModel *model)
+    {
+        store.setFaultModel(model);
+    }
 
     /** Replica-group introspection. */
     bool replicated() const { return cfg.groupIds.size() > 1; }
@@ -606,6 +617,7 @@ class CloudController
     bool decodeResponseRecord(const Bytes &data, ResponseRecord &out) const;
 
     sim::StableStore store;
+    sim::CheckpointPolicy ckptPolicy;
     /** Incremented on every crash; scheduled lambdas capture the era
      * they were created in and bail when it changed, so pre-crash
      * callbacks cannot double-act on recovered state. */

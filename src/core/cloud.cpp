@@ -121,6 +121,7 @@ Cloud::Cloud(CloudConfig config)
         cfg.seed ^ 0x1, cfg.cryptoBatchWindow, std::move(pcaKeys));
     pca->setDurable(cfg.durableControlPlane);
     pca->setIssuedCacheCapacity(cfg.dedupCacheCapacity);
+    pca->setCheckpointPolicy(cfg.checkpointPolicy);
     keyDirectory.publish("privacy-ca", pca->publicKey());
 
     for (int i = 0; i < numAs; ++i) {
@@ -135,7 +136,7 @@ Cloud::Cloud(CloudConfig config)
         asCfg.enableVerificationCaches = cfg.enableAttestationCaches;
         asCfg.batchWindow = cfg.cryptoBatchWindow;
         asCfg.durable = cfg.durableControlPlane;
-        asCfg.checkpointEveryRecords = cfg.checkpointEveryRecords;
+        asCfg.checkpointPolicy = cfg.checkpointPolicy;
         asCfg.reportCacheCapacity = cfg.dedupCacheCapacity;
         asCfg.presetIdentityKeys =
             std::move(asKeys[static_cast<std::size_t>(i)]);
@@ -157,7 +158,7 @@ Cloud::Cloud(CloudConfig config)
         ccCfg.identityKeyBits = cfg.identityKeyBits;
         ccCfg.batchWindow = cfg.cryptoBatchWindow;
         ccCfg.durable = cfg.durableControlPlane;
-        ccCfg.checkpointEveryRecords = cfg.checkpointEveryRecords;
+        ccCfg.checkpointPolicy = cfg.checkpointPolicy;
         ccCfg.relayCacheCapacity = cfg.dedupCacheCapacity;
         ccCfg.presetIdentityKeys = std::move(ccKeys[k]);
         shardConfigs.push_back(std::move(ccCfg));
@@ -290,6 +291,14 @@ Cloud::installFaultPlan(const sim::FaultPlanConfig &planConfig)
 {
     plan = std::make_unique<sim::FaultPlan>(planConfig);
     fabric.setFaultPlan(plan.get());
+    // Arm the disk-side axes on every durable store (nullptr when no
+    // storage axis is configured: the stores keep the clean path).
+    const sim::StorageFaultModel *storage = plan->storage();
+    for (std::size_t i = 0; i < controlPlane->numNodes(); ++i)
+        controlPlane->node(i).setStorageFaults(storage);
+    for (auto &as : attestors)
+        as->setStorageFaults(storage);
+    pca->setStorageFaults(storage);
     plan->installCrashSchedule(
         eventQueue,
         [this](const std::string &node) {

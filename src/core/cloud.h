@@ -33,6 +33,7 @@
 #include "net/network.h"
 #include "net/secure_endpoint.h"
 #include "server/cloud_server.h"
+#include "sim/checkpoint_policy.h"
 #include "sim/event_queue.h"
 #include "sim/fault_plan.h"
 
@@ -114,8 +115,9 @@ struct CloudConfig
      */
     bool durableControlPlane = true;
 
-    /** Journal checkpoint threshold passed to every durable entity. */
-    std::size_t checkpointEveryRecords = 512;
+    /** Journal-compaction triggers (count / size / age) passed to
+     * every durable entity. */
+    sim::CheckpointPolicyConfig checkpointPolicy;
 
     /**
      * Controller shards behind the consistent-hash fabric. 1 (the

@@ -42,7 +42,10 @@ below(std::uint64_t v, double probability)
 
 } // namespace
 
-FaultPlan::FaultPlan(FaultPlanConfig config) : cfg(std::move(config)) {}
+FaultPlan::FaultPlan(FaultPlanConfig config)
+    : cfg(std::move(config)), storageModel(cfg.seed, cfg.storage)
+{
+}
 
 std::uint64_t
 FaultPlan::draw(const std::string &src, const std::string &dst,

@@ -29,6 +29,7 @@
 
 #include "common/time_types.h"
 #include "sim/event_queue.h"
+#include "sim/storage_faults.h"
 
 namespace monatt::sim
 {
@@ -83,6 +84,12 @@ struct FaultPlanConfig
     std::vector<Partition> partitions;
     std::vector<CrashEvent> crashes;
 
+    /** Disk-side failure axes (torn writes, bit-rot); shares `seed`
+     * but draws with independent salts. Applied by the StableStores,
+     * not the network — core::Cloud wires the compiled model into
+     * every entity's store when the plan is installed. */
+    StorageFaultConfig storage;
+
     /** Faults apply only inside [activeFrom, activeUntil). */
     SimTime activeFrom = 0;
     SimTime activeUntil = kTimeNever;
@@ -129,6 +136,13 @@ class FaultPlan
 
     const FaultPlanConfig &config() const { return cfg; }
 
+    /** Compiled storage-failure model, or nullptr when no storage
+     * axis is armed (stores then keep the zero-overhead clean path). */
+    const StorageFaultModel *storage() const
+    {
+        return storageModel.enabled() ? &storageModel : nullptr;
+    }
+
   private:
     bool active(SimTime now) const
     {
@@ -141,6 +155,7 @@ class FaultPlan
                        std::uint64_t salt) const;
 
     FaultPlanConfig cfg;
+    StorageFaultModel storageModel;
 };
 
 } // namespace monatt::sim

@@ -1,0 +1,113 @@
+#include "sim/storage_faults.h"
+
+namespace monatt::sim
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: cheap, well-mixed, dependency-free. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over a string, folded through the running state. */
+std::uint64_t
+absorb(std::uint64_t state, const std::string &s)
+{
+    std::uint64_t h = state ^ 0xcbf29ce484222325ULL;
+    for (unsigned char c : s)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return mix64(h);
+}
+
+/** Map a draw to a [0, 1) probability comparison. */
+bool
+below(std::uint64_t v, double probability)
+{
+    if (probability <= 0)
+        return false;
+    if (probability >= 1)
+        return true;
+    const double unit =
+        static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0);
+    return unit < probability;
+}
+
+// Salts keep the per-purpose draws independent of each other and of
+// the network FaultPlan's datagram draws.
+constexpr std::uint64_t kSaltTail = 0xD15C0001;
+constexpr std::uint64_t kSaltHalf = 0xD15C0002;
+constexpr std::uint64_t kSaltReorder = 0xD15C0003;
+constexpr std::uint64_t kSaltRot = 0xD15C0004;
+constexpr std::uint64_t kSaltSnapRot = 0xD15C0005;
+constexpr std::uint64_t kSaltRotByte = 0xD15C0006;
+
+} // namespace
+
+StorageFaultModel::StorageFaultModel(std::uint64_t seed,
+                                     StorageFaultConfig config)
+    : cfg(config), seed(seed)
+{
+}
+
+std::uint64_t
+StorageFaultModel::draw(const std::string &node, std::uint64_t lsn,
+                        std::uint64_t salt) const
+{
+    std::uint64_t h = mix64(seed ^ salt);
+    h = absorb(h, node);
+    return mix64(h ^ lsn);
+}
+
+bool
+StorageFaultModel::tailPersists(const std::string &node,
+                                std::uint64_t lsn) const
+{
+    return below(draw(node, lsn, kSaltTail),
+                 cfg.tornTailPersistProbability);
+}
+
+bool
+StorageFaultModel::halfWrites(const std::string &node,
+                              std::uint64_t lsn) const
+{
+    return below(draw(node, lsn, kSaltHalf), cfg.halfWriteProbability);
+}
+
+bool
+StorageFaultModel::reorderPersists(const std::string &node,
+                                   std::uint64_t lsn) const
+{
+    return below(draw(node, lsn, kSaltReorder),
+                 cfg.reorderPersistProbability);
+}
+
+bool
+StorageFaultModel::rots(const std::string &node, std::uint64_t lsn) const
+{
+    return below(draw(node, lsn, kSaltRot), cfg.bitRotProbability);
+}
+
+bool
+StorageFaultModel::snapshotRots(const std::string &node,
+                                std::uint64_t snapshotLsn) const
+{
+    return below(draw(node, snapshotLsn, kSaltSnapRot),
+                 cfg.snapshotRotProbability);
+}
+
+std::size_t
+StorageFaultModel::corruptByte(const std::string &node,
+                               std::uint64_t lsn, std::size_t n) const
+{
+    return static_cast<std::size_t>(draw(node, lsn, kSaltRotByte) %
+                                    static_cast<std::uint64_t>(n));
+}
+
+} // namespace monatt::sim

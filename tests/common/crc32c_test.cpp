@@ -1,0 +1,83 @@
+#include "common/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace monatt
+{
+namespace
+{
+
+std::uint32_t
+crcOfString(const std::string &s)
+{
+    return crc32c(reinterpret_cast<const std::uint8_t *>(s.data()),
+                  s.size());
+}
+
+// Known-answer vectors from RFC 3720 (iSCSI) appendix B.4.
+TEST(Crc32cTest, Rfc3720KnownAnswers)
+{
+    const std::vector<std::uint8_t> zeros(32, 0x00);
+    EXPECT_EQ(crc32c(zeros.data(), zeros.size()), 0x8a9136aau);
+
+    const std::vector<std::uint8_t> ones(32, 0xff);
+    EXPECT_EQ(crc32c(ones.data(), ones.size()), 0x62a8ab43u);
+
+    std::vector<std::uint8_t> ascending(32);
+    for (std::size_t i = 0; i < ascending.size(); ++i)
+        ascending[i] = static_cast<std::uint8_t>(i);
+    EXPECT_EQ(crc32c(ascending.data(), ascending.size()), 0x46dd794eu);
+}
+
+TEST(Crc32cTest, ClassicCheckString)
+{
+    // CRC32C("123456789") is the standard catalog check value.
+    EXPECT_EQ(crcOfString("123456789"), 0xe3069283u);
+}
+
+TEST(Crc32cTest, EmptyInputIsZero)
+{
+    EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(Crc32cTest, SeedChainsAcrossSplits)
+{
+    const std::string s = "storage fault plane";
+    const std::uint32_t whole = crcOfString(s);
+    for (std::size_t cut = 0; cut <= s.size(); ++cut)
+    {
+        const auto *p = reinterpret_cast<const std::uint8_t *>(s.data());
+        std::uint32_t c = crc32c(0, p, cut);
+        c = crc32c(c, p + cut, s.size() - cut);
+        EXPECT_EQ(c, whole) << "split at " << cut;
+    }
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum)
+{
+    std::vector<std::uint8_t> data(64, 0x5c);
+    const std::uint32_t clean = crc32c(data.data(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+    {
+        data[i] ^= 0x01;
+        EXPECT_NE(crc32c(data.data(), data.size()), clean)
+            << "flip at " << i;
+        data[i] ^= 0x01;
+    }
+}
+
+TEST(Crc32cTest, U64FoldMatchesByteSerialization)
+{
+    const std::uint64_t v = 0x0123456789abcdefULL;
+    std::uint8_t bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    EXPECT_EQ(crc32cU64(0, v), crc32c(bytes, 8));
+    EXPECT_EQ(crc32cU64(0xdeadbeefu, v), crc32c(0xdeadbeefu, bytes, 8));
+}
+
+} // namespace
+} // namespace monatt

@@ -1,0 +1,159 @@
+#include "sim/checkpoint_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace monatt::sim
+{
+namespace
+{
+
+Bytes
+payload(std::size_t n)
+{
+    return Bytes(n, 0xab);
+}
+
+void
+appendSynced(StableStore &store, std::size_t count, std::size_t bytes = 4)
+{
+    for (std::size_t i = 0; i < count; ++i)
+        store.append(1, payload(bytes));
+    store.sync();
+}
+
+TEST(CheckpointPolicyTest, CountTriggerMatchesLegacyBehavior)
+{
+    StableStore store("n");
+    CheckpointPolicyConfig cfg;
+    cfg.everyRecords = 4;
+    CheckpointPolicy policy(cfg);
+
+    appendSynced(store, 3);
+    EXPECT_FALSE(policy.shouldCheckpoint(store, 0));
+    appendSynced(store, 1);
+    EXPECT_TRUE(policy.shouldCheckpoint(store, 0));
+
+    store.checkpoint(payload(8));
+    policy.noteCheckpoint();
+    EXPECT_FALSE(policy.shouldCheckpoint(store, 0));
+}
+
+TEST(CheckpointPolicyTest, AllAxesZeroNeverTriggers)
+{
+    StableStore store("n");
+    CheckpointPolicyConfig cfg;
+    cfg.everyRecords = 0;
+    CheckpointPolicy policy(cfg);
+    appendSynced(store, 10000);
+    EXPECT_FALSE(policy.shouldCheckpoint(store, minutes(60 * 24)));
+}
+
+TEST(CheckpointPolicyTest, SizeTriggerCountsJournalPayloadBytes)
+{
+    StableStore store("n");
+    CheckpointPolicyConfig cfg;
+    cfg.everyRecords = 0;
+    cfg.everyBytes = 100;
+    CheckpointPolicy policy(cfg);
+
+    appendSynced(store, 3, 32); // 96 bytes
+    EXPECT_FALSE(policy.shouldCheckpoint(store, 0));
+    appendSynced(store, 1, 32); // 128 bytes
+    EXPECT_TRUE(policy.shouldCheckpoint(store, 0));
+
+    // The snapshot blob does not count toward the size trigger.
+    store.checkpoint(payload(4096));
+    policy.noteCheckpoint();
+    EXPECT_FALSE(policy.shouldCheckpoint(store, 0));
+}
+
+TEST(CheckpointPolicyTest, AgeTriggerBoundsOldestRecord)
+{
+    StableStore store("n");
+    CheckpointPolicyConfig cfg;
+    cfg.everyRecords = 0;
+    cfg.maxAge = seconds(10);
+    CheckpointPolicy policy(cfg);
+
+    // Journal empty: no baseline, no trigger.
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(100)));
+
+    appendSynced(store, 1);
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(100)));
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(109)));
+    EXPECT_TRUE(policy.shouldCheckpoint(store, seconds(110)));
+}
+
+TEST(CheckpointPolicyTest, AgeBaselineResetsAfterCheckpoint)
+{
+    StableStore store("n");
+    CheckpointPolicyConfig cfg;
+    cfg.everyRecords = 0;
+    cfg.maxAge = seconds(10);
+    CheckpointPolicy policy(cfg);
+
+    appendSynced(store, 1);
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(5)));
+    store.checkpoint(payload(8));
+    policy.noteCheckpoint();
+
+    // New records age from their own first-seen time, not the old
+    // baseline.
+    appendSynced(store, 1);
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(20)));
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(29)));
+    EXPECT_TRUE(policy.shouldCheckpoint(store, seconds(30)));
+}
+
+TEST(CheckpointPolicyTest, EmptyJournalClearsStaleBaseline)
+{
+    StableStore store("n");
+    CheckpointPolicyConfig cfg;
+    cfg.everyRecords = 0;
+    cfg.maxAge = seconds(10);
+    CheckpointPolicy policy(cfg);
+
+    appendSynced(store, 1);
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(5)));
+
+    // An out-of-band checkpoint (e.g. recovery) empties the journal
+    // without the caller notifying the policy; observing the empty
+    // journal must drop the stale baseline.
+    store.checkpoint(payload(8));
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(50)));
+    appendSynced(store, 1);
+    // Age runs from when the policy first observes the record (55),
+    // not from the stale pre-checkpoint baseline.
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(55)));
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(64)));
+    EXPECT_TRUE(policy.shouldCheckpoint(store, seconds(65)));
+}
+
+TEST(CheckpointPolicyTest, TriggersCombineAsAnyOf)
+{
+    StableStore store("n");
+    CheckpointPolicyConfig cfg;
+    cfg.everyRecords = 100;
+    cfg.everyBytes = 64;
+    cfg.maxAge = seconds(10);
+    CheckpointPolicy policy(cfg);
+
+    // Well under count, but over size.
+    appendSynced(store, 2, 40);
+    EXPECT_TRUE(policy.shouldCheckpoint(store, 0));
+
+    store.checkpoint(payload(8));
+    policy.noteCheckpoint();
+
+    // Under count and size, but over age (baseline is the first
+    // observation of the new record, at t=9).
+    appendSynced(store, 1, 1);
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(9)));
+    EXPECT_FALSE(policy.shouldCheckpoint(store, seconds(18)));
+    EXPECT_TRUE(policy.shouldCheckpoint(store, seconds(19)));
+}
+
+} // namespace
+} // namespace monatt::sim
