@@ -11,6 +11,11 @@ Gated metrics, matched by full JSON path:
   - sim_makespan_sec, sim_seconds  (lower is better)
   - records_replayed, records_quarantined  (lower is better; both are
     sim-deterministic recovery SLO metrics from bench_recovery)
+  - legacy_frame_bytes, tagged_frame_bytes  (lower is better; exact
+    encoded sizes from bench_codec — deterministic, so run the codec
+    gate with a tight --tolerance and regenerate
+    bench/baselines/codec/ in any PR that intentionally evolves the
+    schema)
 
 Wall-clock metrics (any leaf key starting with ``wall_``) are
 runner-dependent, so they WARN instead of failing: drift is printed
@@ -41,7 +46,11 @@ import sys
 
 HIGHER_IS_BETTER = {"attestations_per_sim_sec"}
 LOWER_IS_BETTER = {"sim_makespan_sec", "sim_seconds",
-                   "records_replayed", "records_quarantined"}
+                   "records_replayed", "records_quarantined",
+                   # Codec bytes-on-wire (bench_codec): encoded sizes
+                   # feed the simulated transfer-time arithmetic, so
+                   # growth is a behavioral regression, not noise.
+                   "legacy_frame_bytes", "tagged_frame_bytes"}
 WALL_PREFIX = "wall_"
 
 

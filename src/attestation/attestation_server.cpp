@@ -1,6 +1,7 @@
 #include "attestation/attestation_server.h"
 
 #include "common/codec.h"
+#include "common/wire.h"
 #include "common/logging.h"
 #include "crypto/sha256.h"
 #include "sim/worker_pool.h"
@@ -141,7 +142,8 @@ AttestationServer::handleMessage(const net::NodeId &from,
     auto unpacked = proto::unpackMessage(plaintext);
     if (!unpacked)
         return;
-    const auto &[kind, body] = unpacked.value();
+    const auto &[kind, format, body] = unpacked.value();
+    rxFormat_ = format;
     switch (kind) {
       case MessageKind::AttestForward:
         if (isKnownController(from))
@@ -169,7 +171,7 @@ void
 AttestationServer::onAttestForward(const net::NodeId &from,
                                    const Bytes &body)
 {
-    auto fwdR = AttestForward::decode(body);
+    auto fwdR = proto::decodeAs<AttestForward>(rxFormat_, body);
     if (!fwdR)
         return;
     const AttestForward fwd = fwdR.take();
@@ -278,7 +280,7 @@ AttestationServer::startMeasurement(const AttestForward &fwd,
     req.window = 0; // Let the server apply its configured window.
 
     Bytes packed =
-        proto::packMessage(MessageKind::MeasureRequest, req.encode());
+        pack(MessageKind::MeasureRequest, req);
     session.requestBytes = packed;
     sessions[sessionId] = std::move(session);
     ++counters.measurementRequestsSent;
@@ -412,7 +414,7 @@ AttestationServer::verifyWithAvk(const Session &session,
 void
 AttestationServer::onMeasureResponse(const Bytes &body)
 {
-    auto respR = MeasureResponse::decode(body);
+    auto respR = proto::decodeAs<MeasureResponse>(rxFormat_, body);
     if (!respR) {
         ++counters.verificationFailures;
         return;
@@ -666,19 +668,20 @@ AttestationServer::flushSignBatch()
                 crypto::rsaSign(signCtx, batch[i].msg.signedPortion());
         });
 
-    // Serial sends in issue order.
+    // Serial sends in issue order. The dedup cache and its journal
+    // record always hold the canonical legacy body (resends are framed
+    // legacy too, which any receiver decodes); only the fresh send
+    // uses this node's configured wire format.
     for (SignItem &item : batch) {
         ++counters.reportsIssued;
-        Bytes encoded = item.msg.encode();
         if (item.cacheable) {
             forwardInFlight.erase(item.msg.requestId);
-            rememberReport(item.msg.requestId, encoded);
+            rememberReport(item.msg.requestId, item.msg.encode());
         }
         endpoint.sendSecure(item.controller.empty() ? cfg.controllerId
                                                     : item.controller,
-                            proto::packMessage(
-                                MessageKind::ReportToController,
-                                std::move(encoded)));
+                            pack(MessageKind::ReportToController,
+                                 item.msg));
     }
     commitJournal();
 }
@@ -730,11 +733,17 @@ AttestationServer::journalReport(std::uint64_t requestId,
 {
     if (!cfg.durable || replaying)
         return;
+    if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putVarint(1, requestId);
+        w.putLen(2, encoded);
+        store.append(journalTag(JournalType::ReportRemember), w.take());
+        return;
+    }
     ByteWriter w;
     w.putU64(requestId);
     w.putBytes(encoded);
-    store.append(static_cast<std::uint16_t>(JournalType::ReportRemember),
-                 w.take());
+    store.append(journalTag(JournalType::ReportRemember), w.take());
 }
 
 void
@@ -743,11 +752,17 @@ AttestationServer::journalCert(const Bytes &digest,
 {
     if (!cfg.durable || replaying)
         return;
+    if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putLen(1, digest);
+        w.putLen(2, avk.encode());
+        store.append(journalTag(JournalType::CertInsert), w.take());
+        return;
+    }
     ByteWriter w;
     w.putBytes(digest);
     w.putBytes(avk.encode());
-    store.append(static_cast<std::uint16_t>(JournalType::CertInsert),
-                 w.take());
+    store.append(journalTag(JournalType::CertInsert), w.take());
 }
 
 void
@@ -819,9 +834,37 @@ AttestationServer::applySnapshot(const Bytes &snapshot)
 void
 AttestationServer::applyJournalRecord(const sim::JournalRecord &rec)
 {
+    // The type word carries the payload's own format, so replay is
+    // independent of this node's current cfg.wire setting.
+    const bool tagged = (rec.type & proto::kTaggedJournalBit) != 0;
+    const auto type = static_cast<JournalType>(
+        rec.type & ~proto::kTaggedJournalBit);
     ByteReader r(rec.payload);
-    switch (static_cast<JournalType>(rec.type)) {
+    switch (type) {
       case JournalType::ReportRemember: {
+        if (tagged) {
+            wire::WireReader tr(rec.payload);
+            std::uint64_t requestId = 0;
+            bool haveId = false;
+            Bytes encoded;
+            while (!tr.atEnd()) {
+                auto f = tr.next();
+                if (!f)
+                    return;
+                const wire::WireField &fld = f.value();
+                if (fld.number == 1 &&
+                    fld.type == wire::WireType::Varint) {
+                    requestId = fld.varint;
+                    haveId = true;
+                } else if (fld.number == 2 &&
+                           fld.type == wire::WireType::Len) {
+                    encoded = fld.bytes;
+                }
+            }
+            if (haveId)
+                rememberReport(requestId, std::move(encoded));
+            break;
+        }
         auto requestId = r.getU64();
         auto encoded = r.getBytes();
         if (requestId && encoded)
@@ -829,13 +872,32 @@ AttestationServer::applyJournalRecord(const sim::JournalRecord &rec)
         break;
       }
       case JournalType::CertInsert: {
-        auto digest = r.getBytes();
-        auto avkBytes = r.getBytes();
-        if (!digest || !avkBytes)
-            break;
-        auto avk = crypto::RsaPublicKey::decode(avkBytes.value());
+        Bytes digest;
+        Bytes avkBytes;
+        if (tagged) {
+            wire::WireReader tr(rec.payload);
+            while (!tr.atEnd()) {
+                auto f = tr.next();
+                if (!f)
+                    return;
+                const wire::WireField &fld = f.value();
+                if (fld.number == 1 && fld.type == wire::WireType::Len)
+                    digest = fld.bytes;
+                else if (fld.number == 2 &&
+                         fld.type == wire::WireType::Len)
+                    avkBytes = fld.bytes;
+            }
+        } else {
+            auto d = r.getBytes();
+            auto a = r.getBytes();
+            if (!d || !a)
+                break;
+            digest = d.take();
+            avkBytes = a.take();
+        }
+        auto avk = crypto::RsaPublicKey::decode(avkBytes);
         if (avk)
-            certCache.insert(digest.take(), avk.take());
+            certCache.insert(std::move(digest), avk.take());
         break;
       }
     }

@@ -110,6 +110,14 @@ struct AttestationServerConfig
      * per-entity keygen out across the compute plane.
      */
     std::optional<crypto::RsaKeyPair> presetIdentityKeys;
+
+    /**
+     * Wire codec this node speaks (DESIGN.md §17). Legacy is the
+     * canonical default; Tagged is the schema-evolvable opt-in.
+     * Received frames always decode by their own self-described
+     * format, so mixed fleets interoperate.
+     */
+    proto::WireContext wire;
 };
 
 /** Observable counters. */
@@ -218,6 +226,11 @@ class AttestationServer
         return {reportOrder.begin(), reportOrder.end()};
     }
 
+    /** Wire codec this node emits (mixed-version tests flip it at
+     * runtime to simulate a rolling upgrade). */
+    const proto::WireContext &wireContext() const { return cfg.wire; }
+    void setWireContext(const proto::WireContext &ctx) { cfg.wire = ctx; }
+
     /** Observed RTT to a cloud server (nullptr before any sample). */
     const proto::RttEstimator *serverRttEstimate(
         const std::string &serverId) const
@@ -254,6 +267,17 @@ class AttestationServer
     };
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+
+    /** Pack an outgoing message in this node's configured format. */
+    template <typename M>
+    Bytes pack(proto::MessageKind kind, const M &msg) const
+    {
+        return proto::packFor(cfg.wire, kind, msg);
+    }
+
+    /** Format of the frame currently being dispatched (set by
+     * handleMessage before the synchronous handler call). */
+    proto::WireFormat rxFormat_ = proto::WireFormat::Legacy;
 
     /** True when `node` is a controller shard we serve. */
     bool isKnownController(const net::NodeId &node) const;
@@ -342,6 +366,20 @@ class AttestationServer
 
     void journalReport(std::uint64_t requestId, const Bytes &encoded);
     void journalCert(const Bytes &digest, const crypto::RsaPublicKey &avk);
+
+    /** True when this node writes tagged journal payloads. */
+    bool taggedJournal() const
+    {
+        return cfg.wire.format == proto::WireFormat::Tagged;
+    }
+
+    /** StableStore type word for a record in this node's format. */
+    std::uint16_t journalTag(JournalType t) const
+    {
+        return static_cast<std::uint16_t>(t) |
+               (taggedJournal() ? proto::kTaggedJournalBit
+                                : std::uint16_t{0});
+    }
     /** fsync + checkpoint policy; end of every mutating event. */
     void commitJournal();
     Bytes snapshotState() const;

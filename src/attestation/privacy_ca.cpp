@@ -1,6 +1,7 @@
 #include "attestation/privacy_ca.h"
 
 #include "common/codec.h"
+#include "common/wire.h"
 #include "common/logging.h"
 #include "sim/worker_pool.h"
 #include "tpm/certificate.h"
@@ -56,9 +57,11 @@ void
 PrivacyCa::handleMessage(const net::NodeId &from, const Bytes &plaintext)
 {
     auto unpacked = proto::unpackMessage(plaintext);
-    if (!unpacked || unpacked.value().first != MessageKind::CertRequest)
+    if (!unpacked || unpacked.value().kind != MessageKind::CertRequest)
         return;
-    auto reqR = proto::CertRequest::decode(unpacked.value().second);
+    rxFormat_ = unpacked.value().format;
+    auto reqR = proto::decodeAs<proto::CertRequest>(rxFormat_,
+                                                    unpacked.value().body);
     if (!reqR)
         return;
 
@@ -176,14 +179,19 @@ PrivacyCa::flushBatch()
     // Serial responses in arrival order. The whole batch journals as
     // one appendMany (same record sequence and LSNs as per-item
     // appends, one bulk buffer splice) before the group-commit sync.
+    // The dedup cache and journal hold the canonical legacy body
+    // (cache hits are resent legacy-framed); only the fresh send uses
+    // this node's configured wire format.
     std::vector<Bytes> issuedJournal;
     for (Item &item : items) {
         Bytes encoded = item.resp.encode();
         const CertKey key{item.p.from, item.p.req.sessionLabel};
         inFlight.erase(key);
-        if (issuedCache.emplace(key, encoded).second) {
+        const auto [cacheIt, inserted] =
+            issuedCache.emplace(key, std::move(encoded));
+        if (inserted) {
             if (durable && !replaying)
-                issuedJournal.push_back(encodeIssued(key, encoded));
+                issuedJournal.push_back(encodeIssued(key, cacheIt->second));
             issuedOrder.push_back(key);
             while (issuedOrder.size() > issuedCacheCapacity) {
                 issuedCache.erase(issuedOrder.front());
@@ -191,10 +199,9 @@ PrivacyCa::flushBatch()
             }
         }
         endpoint.sendSecure(item.p.from,
-                            proto::packMessage(MessageKind::CertResponse,
-                                               std::move(encoded)));
+                            pack(MessageKind::CertResponse, item.resp));
     }
-    store.appendMany(static_cast<std::uint16_t>(JournalType::CertIssued),
+    store.appendMany(journalTag(JournalType::CertIssued),
                      std::move(issuedJournal));
     commitJournal();
 }
@@ -204,12 +211,23 @@ PrivacyCa::flushBatch()
 Bytes
 PrivacyCa::encodeIssued(const CertKey &key, const Bytes &encoded) const
 {
-    ByteWriter w;
     // The serial counter rides along so replay restores it without a
     // separate record type (rejected responses mint no serial but
     // still carry the current counter). Serials for a batch are all
     // assigned before any response encodes, so deferring the batch's
     // journal records to one appendMany writes identical bytes.
+    if (taggedJournal()) {
+        wire::WireWriter w;
+        if (serial != 0)
+            w.putVarint(1, serial);
+        if (rejections != 0)
+            w.putVarint(2, rejections);
+        w.putString(3, key.first);
+        w.putString(4, key.second);
+        w.putLen(5, encoded);
+        return w.take();
+    }
+    ByteWriter w;
     w.putU64(serial);
     w.putU64(rejections);
     w.putString(key.first);
@@ -277,20 +295,66 @@ PrivacyCa::applySnapshot(const Bytes &snapshot)
 void
 PrivacyCa::applyJournalRecord(const sim::JournalRecord &rec)
 {
-    if (static_cast<JournalType>(rec.type) != JournalType::CertIssued)
+    const bool tagged = (rec.type & proto::kTaggedJournalBit) != 0;
+    if (static_cast<JournalType>(rec.type & ~proto::kTaggedJournalBit) !=
+        JournalType::CertIssued)
         return;
-    ByteReader r(rec.payload);
-    auto serialNo = r.getU64();
-    auto rejectionCount = r.getU64();
-    auto from = r.getString();
-    auto label = r.getString();
-    auto encoded = r.getBytes();
-    if (!serialNo || !rejectionCount || !from || !label || !encoded)
-        return;
-    serial = serialNo.value();
-    rejections = rejectionCount.value();
-    const CertKey key{from.value(), label.value()};
-    if (issuedCache.emplace(key, encoded.take()).second) {
+    std::uint64_t serialNo = 0;
+    std::uint64_t rejectionCount = 0;
+    std::string fromId;
+    std::string label;
+    Bytes encoded;
+    if (tagged) {
+        wire::WireReader tr(rec.payload);
+        while (!tr.atEnd()) {
+            auto f = tr.next();
+            if (!f)
+                return;
+            const wire::WireField &fld = f.value();
+            switch (fld.number) {
+              case 1:
+                if (fld.type == wire::WireType::Varint)
+                    serialNo = fld.varint;
+                break;
+              case 2:
+                if (fld.type == wire::WireType::Varint)
+                    rejectionCount = fld.varint;
+                break;
+              case 3:
+                if (fld.type == wire::WireType::Len)
+                    fromId = fld.asString();
+                break;
+              case 4:
+                if (fld.type == wire::WireType::Len)
+                    label = fld.asString();
+                break;
+              case 5:
+                if (fld.type == wire::WireType::Len)
+                    encoded = fld.bytes;
+                break;
+              default:
+                break; // Unknown field: skip.
+            }
+        }
+    } else {
+        ByteReader r(rec.payload);
+        auto s = r.getU64();
+        auto rej = r.getU64();
+        auto from = r.getString();
+        auto lab = r.getString();
+        auto enc = r.getBytes();
+        if (!s || !rej || !from || !lab || !enc)
+            return;
+        serialNo = s.value();
+        rejectionCount = rej.value();
+        fromId = from.take();
+        label = lab.take();
+        encoded = enc.take();
+    }
+    serial = serialNo;
+    rejections = rejectionCount;
+    const CertKey key{std::move(fromId), std::move(label)};
+    if (issuedCache.emplace(key, std::move(encoded)).second) {
         issuedOrder.push_back(key);
         while (issuedOrder.size() > issuedCacheCapacity) {
             issuedCache.erase(issuedOrder.front());

@@ -128,6 +128,11 @@ class PrivacyCa
     /** The pCA's durable store (journal + checkpoints). */
     const sim::StableStore &stableStore() const { return store; }
 
+    /** Wire codec this node emits (DESIGN.md §17); received frames
+     * always decode by their own self-described format. */
+    const proto::WireContext &wireContext() const { return wire_; }
+    void setWireContext(const proto::WireContext &ctx) { wire_ = ctx; }
+
   private:
     struct Pending
     {
@@ -137,6 +142,23 @@ class PrivacyCa
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
     void flushBatch();
+
+    /** Pack an outgoing message in this node's configured format. */
+    template <typename M>
+    Bytes pack(proto::MessageKind kind, const M &msg) const
+    {
+        return proto::packFor(wire_, kind, msg);
+    }
+
+    /** True when this node writes tagged journal payloads. */
+    bool taggedJournal() const
+    {
+        return wire_.format == proto::WireFormat::Tagged;
+    }
+
+    proto::WireContext wire_;
+    /** Format of the frame currently being dispatched. */
+    proto::WireFormat rxFormat_ = proto::WireFormat::Legacy;
 
     sim::EventQueue &events;
     std::string self;
@@ -172,6 +194,14 @@ class PrivacyCa
     {
         CertIssued = 1, //!< serial counter + requester + label + resp.
     };
+
+    /** StableStore type word for a record in this node's format. */
+    std::uint16_t journalTag(JournalType t) const
+    {
+        return static_cast<std::uint16_t>(t) |
+               (taggedJournal() ? proto::kTaggedJournalBit
+                                : std::uint16_t{0});
+    }
 
     Bytes encodeIssued(const CertKey &key, const Bytes &encoded) const;
     /** fsync + checkpoint policy; end of every mutating event. */

@@ -1,14 +1,23 @@
 /**
  * @file
- * Binary serialization codec for all CloudMonatt wire formats.
+ * Canonical fixed-width binary codec (the frozen byte layouts).
  *
- * Every protocol message (Figure 3 of the paper), certificate, quote
- * and measurement blob is serialized through ByteWriter/ByteReader so
- * the exact byte layout that gets hashed, signed, MAC'd and sent over
- * the simulated network is well defined. Integers are little-endian
- * fixed width; variable-length fields carry a u32 length prefix.
- * ByteReader is strict: any truncated or over-long message is a decode
- * error, which the protocol layer treats as an attack indicator.
+ * Every byte layout the paper's security argument pins — quote hash
+ * preimages (Q1/Q2/Q3), signed portions, certificates, StableStore
+ * snapshot containers — is serialized through ByteWriter/ByteReader
+ * so the exact bytes that get hashed, signed and MAC'd are well
+ * defined and never drift. Integers are little-endian fixed width;
+ * variable-length fields carry a u32 length prefix. ByteReader is
+ * strict: any truncated or over-long message is a decode error, which
+ * the protocol layer treats as an attack indicator.
+ *
+ * These layouts are deliberately *not* evolvable: there is no field
+ * tagging, so adding or removing a field is a flag-day change. The
+ * transport encoding that tolerates schema drift (rolling upgrades,
+ * mixed-version fleets) is the tagged codec in common/wire.h +
+ * proto/wire_schema.h; it reuses these canonical layouts wherever a
+ * signature or golden digest depends on them. See DESIGN.md §17 for
+ * the split.
  */
 
 #ifndef MONATT_COMMON_CODEC_H
@@ -61,7 +70,11 @@ class ByteWriter
     /** Append raw bytes with no length prefix (for fixed-size fields). */
     void putRaw(const Bytes &v);
 
-    /** Finished buffer (copy). */
+    /**
+     * Finished buffer, borrowed: a reference into the writer, valid
+     * until the next append or take(). Callers needing an owned copy
+     * must copy explicitly (or use take() to move the buffer out).
+     */
     const Bytes &data() const { return buf; }
 
     /** Move the finished buffer out. */

@@ -4,6 +4,7 @@
 
 #include "common/codec.h"
 #include "common/logging.h"
+#include "common/wire.h"
 #include "controller/hash_ring.h"
 #include "sim/worker_pool.h"
 
@@ -152,7 +153,11 @@ CloudController::handleMessage(const net::NodeId &from,
     auto unpacked = proto::unpackMessage(plaintext);
     if (!unpacked)
         return;
-    const auto &[kind, body] = unpacked.value();
+    const auto &[kind, format, body] = unpacked.value();
+    // Handlers run synchronously inside this dispatch, so a member
+    // carrying the frame's self-described format is race-free and
+    // spares every handler signature a format parameter.
+    rxFormat_ = format;
     // Replicated non-leaders are passive: customer requests get a
     // NotLeader redirect, protocol traffic for the leader is dropped
     // (the sender's retransmission reaches the leader), and only the
@@ -162,7 +167,7 @@ CloudController::handleMessage(const net::NodeId &from,
     switch (kind) {
       case MessageKind::LaunchRequest:
         if (passive) {
-            auto req = proto::LaunchRequest::decode(body);
+            auto req = proto::decodeAs<proto::LaunchRequest>(rxFormat_, body);
             if (req)
                 sendNotLeader(from, req.value().requestId, true);
         } else {
@@ -171,7 +176,7 @@ CloudController::handleMessage(const net::NodeId &from,
         break;
       case MessageKind::AttestRequest:
         if (passive) {
-            auto req = AttestRequest::decode(body);
+            auto req = proto::decodeAs<AttestRequest>(rxFormat_, body);
             if (req)
                 sendNotLeader(from, req.value().requestId, false);
         } else {
@@ -249,7 +254,7 @@ void
 CloudController::onLaunchRequest(const net::NodeId &from,
                                  const Bytes &body)
 {
-    auto reqR = proto::LaunchRequest::decode(body);
+    auto reqR = proto::decodeAs<proto::LaunchRequest>(rxFormat_, body);
     if (!reqR)
         return;
     const proto::LaunchRequest req = reqR.take();
@@ -262,8 +267,7 @@ CloudController::onLaunchRequest(const net::NodeId &from,
         resp.ok = false;
         resp.error = "unknown flavor " + req.flavorName;
         sendExternal(from,
-                     proto::packMessage(MessageKind::LaunchResponse,
-                                        resp.encode()));
+                     pack(MessageKind::LaunchResponse, resp));
         return;
     }
 
@@ -381,8 +385,7 @@ CloudController::startSpawn(const std::string &vid)
     // The image itself is staged by the server from the image store
     // (charged inside TimingModel::spawnTime); the command is small.
     sendExternal(rec->serverId,
-                 proto::packMessage(MessageKind::LaunchVm,
-                                    cmd.encode()));
+                 pack(MessageKind::LaunchVm, cmd));
     // Commit after the send so the staged LaunchVm is gated on this
     // handler's own journal records (startSpawn runs from a timer, so
     // no enclosing handler commits for it).
@@ -392,7 +395,7 @@ CloudController::startSpawn(const std::string &vid)
 void
 CloudController::onLaunchVmAck(const net::NodeId &from, const Bytes &body)
 {
-    auto ackR = proto::LaunchVmAck::decode(body);
+    auto ackR = proto::decodeAs<proto::LaunchVmAck>(rxFormat_, body);
     if (!ackR)
         return;
     const proto::LaunchVmAck ack = ackR.take();
@@ -483,8 +486,7 @@ CloudController::transmitForward(std::uint64_t attestId)
     fwd.mode = ctx.mode;
     fwd.period = ctx.period;
     sendExternal(ctx.attestorId,
-                 proto::packMessage(MessageKind::AttestForward,
-                                    fwd.encode()));
+                 pack(MessageKind::AttestForward, fwd));
 }
 
 void
@@ -606,8 +608,7 @@ CloudController::sendAttestFailure(const net::NodeId &customer,
     failure.vid = vid;
     failure.outcome = outcome;
     failure.reason = reason;
-    Bytes packed = proto::packMessage(MessageKind::AttestFailure,
-                                      failure.encode());
+    Bytes packed = pack(MessageKind::AttestFailure, failure);
     rememberRelay(CustomerKey{customer, requestId}, Bytes(packed));
     sendExternal(customer, std::move(packed));
 }
@@ -672,7 +673,7 @@ void
 CloudController::onAttestRequest(const net::NodeId &from,
                                  const Bytes &body)
 {
-    auto reqR = AttestRequest::decode(body);
+    auto reqR = proto::decodeAs<AttestRequest>(rxFormat_, body);
     if (!reqR)
         return;
     const AttestRequest req = reqR.take();
@@ -740,7 +741,7 @@ CloudController::onReportToController(const net::NodeId &from,
                                       const Bytes &body)
 {
     (void)from;
-    auto msgR = ReportToController::decode(body);
+    auto msgR = proto::decodeAs<ReportToController>(rxFormat_, body);
     if (!msgR) {
         ++counters.reportVerificationFailures;
         return;
@@ -894,8 +895,7 @@ CloudController::handleStartupReport(const AttestContext &ctx,
         proto::VmCommand cmd;
         cmd.vid = ctx.vid;
         sendExternal(rec->serverId,
-                     proto::packMessage(MessageKind::TerminateVm,
-                                        cmd.encode()));
+                     pack(MessageKind::TerminateVm, cmd));
         db.release(rec->serverId, rec->ramMb, rec->diskGb);
         journalServer(rec->serverId);
         ++counters.launchesRejected;
@@ -905,8 +905,7 @@ CloudController::handleStartupReport(const AttestContext &ctx,
         proto::VmCommand cmd;
         cmd.vid = ctx.vid;
         sendExternal(rec->serverId,
-                     proto::packMessage(MessageKind::TerminateVm,
-                                        cmd.encode()));
+                     pack(MessageKind::TerminateVm, cmd));
         db.release(rec->serverId, rec->ramMb, rec->diskGb);
         journalServer(rec->serverId);
         rescheduleLaunch(ctx.vid, detail);
@@ -957,8 +956,7 @@ CloudController::finishLaunch(const std::string &vid, bool ok,
     resp.ok = ok;
     resp.error = error;
     sendExternal(launchIt->second.customer,
-                 proto::packMessage(MessageKind::LaunchResponse,
-                                    resp.encode()));
+                 pack(MessageKind::LaunchResponse, resp));
     launches.erase(launchIt);
     journalVm(vid);
     journalLaunch(vid);
@@ -1025,8 +1023,7 @@ CloudController::flushRelayBatch()
     // Serial sends in issue order.
     for (PendingRelay &relay : batch) {
         ++counters.reportsRelayed;
-        Bytes packed = proto::packMessage(MessageKind::ReportToCustomer,
-                                          relay.out.encode());
+        Bytes packed = pack(MessageKind::ReportToCustomer, relay.out);
         const CustomerKey key{relay.customer, relay.out.requestId};
         if (relay.cacheable)
             rememberRelay(key, Bytes(packed));
@@ -1071,15 +1068,13 @@ CloudController::triggerResponse(
     switch (policy) {
       case ResponsePolicy::Terminate:
         sendExternal(rec->serverId,
-                     proto::packMessage(MessageKind::TerminateVm,
-                                        cmd.encode()));
+                     pack(MessageKind::TerminateVm, cmd));
         break;
       case ResponsePolicy::Suspend:
         rec->status = VmStatus::Suspended;
         journalVm(vid);
         sendExternal(rec->serverId,
-                     proto::packMessage(MessageKind::SuspendVm,
-                                        cmd.encode()));
+                     pack(MessageKind::SuspendVm, cmd));
         break;
       case ResponsePolicy::Migrate:
         executeMigration(vid, logIndex);
@@ -1111,8 +1106,7 @@ CloudController::executeMigration(const std::string &vid,
         proto::VmCommand cmd;
         cmd.vid = vid;
         sendExternal(rec->serverId,
-                     proto::packMessage(MessageKind::TerminateVm,
-                                        cmd.encode()));
+                     pack(MessageKind::TerminateVm, cmd));
         return;
     }
 
@@ -1126,14 +1120,13 @@ CloudController::executeMigration(const std::string &vid,
     journalServer(cmd.targetServer);
     journalResponse(logIndex);
     sendExternal(rec->serverId,
-                 proto::packMessage(MessageKind::MigrateOut,
-                                    cmd.encode()));
+                 pack(MessageKind::MigrateOut, cmd));
 }
 
 void
 CloudController::onCommandAck(MessageKind kind, const Bytes &body)
 {
-    auto ackR = proto::VmCommandAck::decode(body);
+    auto ackR = proto::decodeAs<proto::VmCommandAck>(rxFormat_, body);
     if (!ackR)
         return;
     const proto::VmCommandAck ack = ackR.take();
@@ -1215,7 +1208,7 @@ CloudController::retargetPeriodicAttestations(const std::string &vid,
         fwd.period = ctx.period;
         sendExternal(
      ctx.attestorId,
-     proto::packMessage(MessageKind::AttestForward, fwd.encode()));
+     pack(MessageKind::AttestForward, fwd));
 
         // When the cluster changed, the old attestor still runs the
         // stale task: stop it explicitly.
@@ -1225,8 +1218,7 @@ CloudController::retargetPeriodicAttestations(const std::string &vid,
             stop.mode = AttestMode::StopPeriodic;
             sendExternal(
          oldAttestor,
-         proto::packMessage(MessageKind::AttestForward,
-                            stop.encode()));
+         pack(MessageKind::AttestForward, stop));
         }
     }
 }
@@ -1281,8 +1273,7 @@ CloudController::handleRecheckReport(const AttestContext &ctx,
         rec->status = VmStatus::Running;
         journalVm(ctx.vid);
         sendExternal(rec->serverId,
-                     proto::packMessage(MessageKind::ResumeVm,
-                                        cmd.encode()));
+                     pack(MessageKind::ResumeVm, cmd));
         MONATT_LOG(Info, "cc") << ctx.vid
                                << " healthy again; resuming";
     } else {
@@ -1479,6 +1470,322 @@ CloudController::decodeResponseRecord(const Bytes &data,
     return true;
 }
 
+// --- Durability: tagged-field serialization ---------------------------
+//
+// Field numbers are frozen (DESIGN.md §17). Encoders omit members
+// equal to their default-constructed value; decoders fill a
+// default-constructed struct and skip unknown fields.
+
+namespace
+{
+
+Bytes
+packedProps(const std::vector<proto::SecurityProperty> &props)
+{
+    Bytes out;
+    for (proto::SecurityProperty p : props)
+        wire::appendVarint(out, static_cast<std::uint64_t>(p));
+    return out;
+}
+
+bool
+unpackProps(const Bytes &packed,
+            std::vector<proto::SecurityProperty> &out)
+{
+    wire::WireReader r(packed);
+    out.clear();
+    while (!r.atEnd()) {
+        auto v = r.nextVarint();
+        if (!v || out.size() >= 64)
+            return false;
+        out.push_back(static_cast<proto::SecurityProperty>(v.value()));
+    }
+    return true;
+}
+
+} // namespace
+
+Bytes
+CloudController::encodeAttestContextTagged(const AttestContext &ctx) const
+{
+    wire::WireWriter w;
+    if (ctx.kind != AttestKind::CustomerRequest)
+        w.putVarint(1, static_cast<std::uint64_t>(ctx.kind));
+    if (!ctx.vid.empty())
+        w.putString(2, ctx.vid);
+    if (!ctx.customer.empty())
+        w.putString(3, ctx.customer);
+    if (ctx.customerRequestId != 0)
+        w.putVarint(4, ctx.customerRequestId);
+    if (!ctx.nonce1.empty())
+        w.putLen(5, ctx.nonce1);
+    if (!ctx.nonce2.empty())
+        w.putLen(6, ctx.nonce2);
+    if (!ctx.properties.empty())
+        w.putLen(7, packedProps(ctx.properties));
+    if (ctx.mode != proto::AttestMode::RuntimeOneTime)
+        w.putVarint(8, static_cast<std::uint64_t>(ctx.mode));
+    if (ctx.period != 0)
+        w.putSigned(9, ctx.period);
+    if (ctx.forwardedAt != 0)
+        w.putSigned(10, ctx.forwardedAt);
+    if (ctx.periodic)
+        w.putBool(11, true);
+    if (!ctx.serverId.empty())
+        w.putString(12, ctx.serverId);
+    if (!ctx.attestorId.empty())
+        w.putString(13, ctx.attestorId);
+    if (ctx.retries != 0)
+        w.putSigned(14, ctx.retries);
+    if (ctx.failovers != 0)
+        w.putSigned(15, ctx.failovers);
+    if (ctx.acked)
+        w.putBool(16, true);
+    if (ctx.recovered)
+        w.putBool(17, true);
+    return w.take();
+}
+
+bool
+CloudController::decodeAttestContextTagged(const Bytes &data,
+                                           AttestContext &out) const
+{
+    wire::WireReader r(data);
+    out = AttestContext{};
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return false;
+        const wire::WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == wire::WireType::Varint)
+                out.kind = static_cast<AttestKind>(fld.varint);
+            break;
+          case 2:
+            if (fld.type == wire::WireType::Len)
+                out.vid = fld.asString();
+            break;
+          case 3:
+            if (fld.type == wire::WireType::Len)
+                out.customer = fld.asString();
+            break;
+          case 4:
+            if (fld.type == wire::WireType::Varint)
+                out.customerRequestId = fld.varint;
+            break;
+          case 5:
+            if (fld.type == wire::WireType::Len)
+                out.nonce1 = fld.bytes;
+            break;
+          case 6:
+            if (fld.type == wire::WireType::Len)
+                out.nonce2 = fld.bytes;
+            break;
+          case 7:
+            if (fld.type == wire::WireType::Len &&
+                !unpackProps(fld.bytes, out.properties))
+                return false;
+            break;
+          case 8:
+            if (fld.type == wire::WireType::Varint)
+                out.mode = static_cast<proto::AttestMode>(fld.varint);
+            break;
+          case 9:
+            if (fld.type == wire::WireType::Varint)
+                out.period = fld.asSigned();
+            break;
+          case 10:
+            if (fld.type == wire::WireType::Varint)
+                out.forwardedAt = fld.asSigned();
+            break;
+          case 11:
+            if (fld.type == wire::WireType::Varint)
+                out.periodic = fld.asBool();
+            break;
+          case 12:
+            if (fld.type == wire::WireType::Len)
+                out.serverId = fld.asString();
+            break;
+          case 13:
+            if (fld.type == wire::WireType::Len)
+                out.attestorId = fld.asString();
+            break;
+          case 14:
+            if (fld.type == wire::WireType::Varint)
+                out.retries = static_cast<int>(fld.asSigned());
+            break;
+          case 15:
+            if (fld.type == wire::WireType::Varint)
+                out.failovers = static_cast<int>(fld.asSigned());
+            break;
+          case 16:
+            if (fld.type == wire::WireType::Varint)
+                out.acked = fld.asBool();
+            break;
+          case 17:
+            if (fld.type == wire::WireType::Varint)
+                out.recovered = fld.asBool();
+            break;
+          default:
+            break; // Unknown field: skip.
+        }
+    }
+    out.retryTimer = 0;
+    return true;
+}
+
+Bytes
+CloudController::encodePendingLaunchTagged(const std::string &vid,
+                                           const PendingLaunch &launch)
+    const
+{
+    wire::WireWriter w;
+    if (!vid.empty())
+        w.putString(1, vid);
+    if (launch.customerRequestId != 0)
+        w.putVarint(2, launch.customerRequestId);
+    if (!launch.customer.empty())
+        w.putString(3, launch.customer);
+    for (const std::string &s : launch.excludedServers)
+        w.putString(4, s);
+    return w.take();
+}
+
+bool
+CloudController::decodePendingLaunchTagged(const Bytes &data,
+                                           std::string &vid,
+                                           PendingLaunch &out) const
+{
+    wire::WireReader r(data);
+    vid.clear();
+    out = PendingLaunch{};
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return false;
+        const wire::WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == wire::WireType::Len)
+                vid = fld.asString();
+            break;
+          case 2:
+            if (fld.type == wire::WireType::Varint)
+                out.customerRequestId = fld.varint;
+            break;
+          case 3:
+            if (fld.type == wire::WireType::Len)
+                out.customer = fld.asString();
+            break;
+          case 4:
+            if (fld.type == wire::WireType::Len) {
+                if (out.excludedServers.size() >= 4096)
+                    return false;
+                out.excludedServers.insert(fld.asString());
+            }
+            break;
+          default:
+            break; // Unknown field: skip.
+        }
+    }
+    return true;
+}
+
+Bytes
+CloudController::encodeResponseRecordTagged(const ResponseRecord &rec)
+    const
+{
+    wire::WireWriter w;
+    if (!rec.vid.empty())
+        w.putString(1, rec.vid);
+    if (rec.action != ResponsePolicy::None)
+        w.putVarint(2, static_cast<std::uint64_t>(rec.action));
+    if (rec.attestStart != 0)
+        w.putSigned(3, rec.attestStart);
+    if (rec.reportAt != 0)
+        w.putSigned(4, rec.reportAt);
+    if (rec.completedAt != 0)
+        w.putSigned(5, rec.completedAt);
+    if (rec.completed)
+        w.putBool(6, true);
+    if (rec.succeeded)
+        w.putBool(7, true);
+    if (!rec.detail.empty())
+        w.putString(8, rec.detail);
+    if (!rec.targetServer.empty())
+        w.putString(9, rec.targetServer);
+    if (!rec.triggerProperties.empty())
+        w.putLen(10, packedProps(rec.triggerProperties));
+    if (rec.resumedAfterRecheck)
+        w.putBool(11, true);
+    return w.take();
+}
+
+bool
+CloudController::decodeResponseRecordTagged(const Bytes &data,
+                                            ResponseRecord &out) const
+{
+    wire::WireReader r(data);
+    out = ResponseRecord{};
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return false;
+        const wire::WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == wire::WireType::Len)
+                out.vid = fld.asString();
+            break;
+          case 2:
+            if (fld.type == wire::WireType::Varint)
+                out.action = static_cast<ResponsePolicy>(fld.varint);
+            break;
+          case 3:
+            if (fld.type == wire::WireType::Varint)
+                out.attestStart = fld.asSigned();
+            break;
+          case 4:
+            if (fld.type == wire::WireType::Varint)
+                out.reportAt = fld.asSigned();
+            break;
+          case 5:
+            if (fld.type == wire::WireType::Varint)
+                out.completedAt = fld.asSigned();
+            break;
+          case 6:
+            if (fld.type == wire::WireType::Varint)
+                out.completed = fld.asBool();
+            break;
+          case 7:
+            if (fld.type == wire::WireType::Varint)
+                out.succeeded = fld.asBool();
+            break;
+          case 8:
+            if (fld.type == wire::WireType::Len)
+                out.detail = fld.asString();
+            break;
+          case 9:
+            if (fld.type == wire::WireType::Len)
+                out.targetServer = fld.asString();
+            break;
+          case 10:
+            if (fld.type == wire::WireType::Len &&
+                !unpackProps(fld.bytes, out.triggerProperties))
+                return false;
+            break;
+          case 11:
+            if (fld.type == wire::WireType::Varint)
+                out.resumedAfterRecheck = fld.asBool();
+            break;
+          default:
+            break; // Unknown field: skip.
+        }
+    }
+    return true;
+}
+
 // --- Durability: WAL helpers ------------------------------------------
 
 void
@@ -1486,10 +1793,17 @@ CloudController::journalMeta()
 {
     if (!cfg.durable || replaying)
         return;
+    if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putVarint(1, nextVmNumber);
+        w.putVarint(2, nextAttestId);
+        store.append(journalTag(JournalType::Meta), w.take());
+        return;
+    }
     ByteWriter w;
     w.putU64(nextVmNumber);
     w.putU64(nextAttestId);
-    store.append(static_cast<std::uint16_t>(JournalType::Meta), w.take());
+    store.append(journalTag(JournalType::Meta), w.take());
 }
 
 void
@@ -1499,13 +1813,17 @@ CloudController::journalVm(const std::string &vid)
         return;
     const VmRecord *rec = db.vm(vid);
     if (rec) {
-        store.append(static_cast<std::uint16_t>(JournalType::VmUpsert),
-                     encodeVmRecord(*rec));
+        store.append(journalTag(JournalType::VmUpsert),
+                     taggedJournal() ? encodeVmRecordTagged(*rec)
+                                     : encodeVmRecord(*rec));
+    } else if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putString(1, vid);
+        store.append(journalTag(JournalType::VmRemove), w.take());
     } else {
         ByteWriter w;
         w.putString(vid);
-        store.append(static_cast<std::uint16_t>(JournalType::VmRemove),
-                     w.take());
+        store.append(journalTag(JournalType::VmRemove), w.take());
     }
 }
 
@@ -1517,8 +1835,9 @@ CloudController::journalServer(const std::string &serverId)
     const ServerRecord *rec = db.server(serverId);
     if (!rec)
         return;
-    store.append(static_cast<std::uint16_t>(JournalType::ServerUpsert),
-                 encodeServerRecord(*rec));
+    store.append(journalTag(JournalType::ServerUpsert),
+                 taggedJournal() ? encodeServerRecordTagged(*rec)
+                                 : encodeServerRecord(*rec));
 }
 
 void
@@ -1529,11 +1848,17 @@ CloudController::journalPolicy(const std::string &vid)
     const auto it = policies.find(vid);
     if (it == policies.end())
         return;
+    if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putString(1, vid);
+        w.putVarint(2, static_cast<std::uint64_t>(it->second));
+        store.append(journalTag(JournalType::PolicySet), w.take());
+        return;
+    }
     ByteWriter w;
     w.putString(vid);
     w.putU8(static_cast<std::uint8_t>(it->second));
-    store.append(static_cast<std::uint16_t>(JournalType::PolicySet),
-                 w.take());
+    store.append(journalTag(JournalType::PolicySet), w.take());
 }
 
 void
@@ -1543,13 +1868,18 @@ CloudController::journalLaunch(const std::string &vid)
         return;
     const auto it = launches.find(vid);
     if (it != launches.end()) {
-        store.append(static_cast<std::uint16_t>(JournalType::LaunchUpsert),
-                     encodePendingLaunch(vid, it->second));
+        store.append(journalTag(JournalType::LaunchUpsert),
+                     taggedJournal()
+                         ? encodePendingLaunchTagged(vid, it->second)
+                         : encodePendingLaunch(vid, it->second));
+    } else if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putString(1, vid);
+        store.append(journalTag(JournalType::LaunchRemove), w.take());
     } else {
         ByteWriter w;
         w.putString(vid);
-        store.append(static_cast<std::uint16_t>(JournalType::LaunchRemove),
-                     w.take());
+        store.append(journalTag(JournalType::LaunchRemove), w.take());
     }
 }
 
@@ -1559,15 +1889,24 @@ CloudController::journalAttest(std::uint64_t attestId)
     if (!cfg.durable || replaying)
         return;
     const auto it = attests.find(attestId);
+    if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putVarint(1, attestId);
+        if (it != attests.end()) {
+            w.putLen(2, encodeAttestContextTagged(it->second));
+            store.append(journalTag(JournalType::AttestUpsert), w.take());
+        } else {
+            store.append(journalTag(JournalType::AttestRemove), w.take());
+        }
+        return;
+    }
     ByteWriter w;
     w.putU64(attestId);
     if (it != attests.end()) {
         w.putBytes(encodeAttestContext(it->second));
-        store.append(static_cast<std::uint16_t>(JournalType::AttestUpsert),
-                     w.take());
+        store.append(journalTag(JournalType::AttestUpsert), w.take());
     } else {
-        store.append(static_cast<std::uint16_t>(JournalType::AttestRemove),
-                     w.take());
+        store.append(journalTag(JournalType::AttestRemove), w.take());
     }
 }
 
@@ -1578,11 +1917,17 @@ CloudController::journalResponse(std::size_t index)
         return;
     if (index >= responses.size())
         return;
+    if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putVarint(1, index);
+        w.putLen(2, encodeResponseRecordTagged(responses[index]));
+        store.append(journalTag(JournalType::ResponseUpsert), w.take());
+        return;
+    }
     ByteWriter w;
     w.putU64(index);
     w.putBytes(encodeResponseRecord(responses[index]));
-    store.append(static_cast<std::uint16_t>(JournalType::ResponseUpsert),
-                 w.take());
+    store.append(journalTag(JournalType::ResponseUpsert), w.take());
 }
 
 void
@@ -1591,12 +1936,23 @@ CloudController::journalAsHealth(const std::string &attestorId)
     if (!cfg.durable || replaying)
         return;
     const auto it = asHealth.find(attestorId);
+    const int strikes = it == asHealth.end() ? 0 : it->second.strikes;
+    const bool suspect = it != asHealth.end() && it->second.suspect;
+    if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putString(1, attestorId);
+        if (strikes != 0)
+            w.putSigned(2, strikes);
+        if (suspect)
+            w.putBool(3, true);
+        store.append(journalTag(JournalType::AsHealthSet), w.take());
+        return;
+    }
     ByteWriter w;
     w.putString(attestorId);
-    w.putI64(it == asHealth.end() ? 0 : it->second.strikes);
-    w.putU8(it != asHealth.end() && it->second.suspect ? 1 : 0);
-    store.append(static_cast<std::uint16_t>(JournalType::AsHealthSet),
-                 w.take());
+    w.putI64(strikes);
+    w.putU8(suspect ? 1 : 0);
+    store.append(journalTag(JournalType::AsHealthSet), w.take());
 }
 
 void
@@ -1604,12 +1960,19 @@ CloudController::journalRelay(const CustomerKey &key, const Bytes &packed)
 {
     if (!cfg.durable || replaying)
         return;
+    if (taggedJournal()) {
+        wire::WireWriter w;
+        w.putString(1, key.first);
+        w.putVarint(2, key.second);
+        w.putLen(3, packed);
+        store.append(journalTag(JournalType::RelayRemember), w.take());
+        return;
+    }
     ByteWriter w;
     w.putString(key.first);
     w.putU64(key.second);
     w.putBytes(packed);
-    store.append(static_cast<std::uint16_t>(JournalType::RelayRemember),
-                 w.take());
+    store.append(journalTag(JournalType::RelayRemember), w.take());
 }
 
 void
@@ -1812,12 +2175,71 @@ CloudController::applySnapshot(const Bytes &snapshot)
     }
 }
 
+namespace
+{
+
+/**
+ * Generic parse of a small tagged journal payload: one optional string
+ * (LEN) and up to three varints, keyed by field number. Returns false
+ * on malformed bytes; absent fields keep their defaults.
+ */
+struct TaggedScalars
+{
+    std::string str;        //!< First LEN field (the id / vid / name).
+    Bytes blob;             //!< Second LEN field (an embedded payload).
+    std::uint64_t v[4] = {0, 0, 0, 0}; //!< Varints by field number - 1.
+    bool seen[4] = {false, false, false, false};
+};
+
+bool
+parseTaggedScalars(const Bytes &payload, std::uint32_t strField,
+                   std::uint32_t blobField, TaggedScalars &out)
+{
+    wire::WireReader r(payload);
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return false;
+        const wire::WireField &fld = f.value();
+        if (fld.number == strField &&
+            fld.type == wire::WireType::Len) {
+            out.str = fld.asString();
+        } else if (fld.number == blobField &&
+                   fld.type == wire::WireType::Len) {
+            out.blob = fld.bytes;
+        } else if (fld.number >= 1 && fld.number <= 4 &&
+                   fld.type == wire::WireType::Varint) {
+            out.v[fld.number - 1] = fld.varint;
+            out.seen[fld.number - 1] = true;
+        }
+        // Anything else: unknown field, skip.
+    }
+    return true;
+}
+
+} // namespace
+
 void
 CloudController::applyJournalRecord(const sim::JournalRecord &rec)
 {
+    // The type word carries the payload's own format (set by whichever
+    // node wrote the record — this one pre-upgrade, or the leader that
+    // streamed it), so replay is independent of cfg.wire.
+    const bool tagged = (rec.type & proto::kTaggedJournalBit) != 0;
+    const auto type = static_cast<JournalType>(
+        rec.type & ~proto::kTaggedJournalBit);
     ByteReader r(rec.payload);
-    switch (static_cast<JournalType>(rec.type)) {
+    switch (type) {
       case JournalType::Meta: {
+        if (tagged) {
+            TaggedScalars s;
+            if (parseTaggedScalars(rec.payload, 0, 0, s) && s.seen[0] &&
+                s.seen[1]) {
+                nextVmNumber = s.v[0];
+                nextAttestId = s.v[1];
+            }
+            break;
+        }
         auto vmNumber = r.getU64();
         auto attestNumber = r.getU64();
         if (vmNumber && attestNumber) {
@@ -1827,24 +2249,38 @@ CloudController::applyJournalRecord(const sim::JournalRecord &rec)
         break;
       }
       case JournalType::VmUpsert: {
-        auto decoded = decodeVmRecord(rec.payload);
+        auto decoded = tagged ? decodeVmRecordTagged(rec.payload)
+                              : decodeVmRecord(rec.payload);
         if (decoded)
             db.addVm(decoded.take());
         break;
       }
       case JournalType::VmRemove: {
+        if (tagged) {
+            TaggedScalars s;
+            if (parseTaggedScalars(rec.payload, 1, 0, s))
+                db.removeVm(s.str);
+            break;
+        }
         auto vid = r.getString();
         if (vid)
             db.removeVm(vid.value());
         break;
       }
       case JournalType::ServerUpsert: {
-        auto decoded = decodeServerRecord(rec.payload);
+        auto decoded = tagged ? decodeServerRecordTagged(rec.payload)
+                              : decodeServerRecord(rec.payload);
         if (decoded)
             db.addServer(decoded.take());
         break;
       }
       case JournalType::PolicySet: {
+        if (tagged) {
+            TaggedScalars s;
+            if (parseTaggedScalars(rec.payload, 1, 0, s))
+                policies[s.str] = static_cast<ResponsePolicy>(s.v[1]);
+            break;
+        }
         auto vid = r.getString();
         auto policy = r.getU8();
         if (vid && policy)
@@ -1855,17 +2291,35 @@ CloudController::applyJournalRecord(const sim::JournalRecord &rec)
       case JournalType::LaunchUpsert: {
         std::string vid;
         PendingLaunch launch;
-        if (decodePendingLaunch(rec.payload, vid, launch))
+        const bool ok =
+            tagged ? decodePendingLaunchTagged(rec.payload, vid, launch)
+                   : decodePendingLaunch(rec.payload, vid, launch);
+        if (ok)
             launches[vid] = std::move(launch);
         break;
       }
       case JournalType::LaunchRemove: {
+        if (tagged) {
+            TaggedScalars s;
+            if (parseTaggedScalars(rec.payload, 1, 0, s))
+                launches.erase(s.str);
+            break;
+        }
         auto vid = r.getString();
         if (vid)
             launches.erase(vid.value());
         break;
       }
       case JournalType::AttestUpsert: {
+        if (tagged) {
+            TaggedScalars s;
+            if (!parseTaggedScalars(rec.payload, 0, 2, s) || !s.seen[0])
+                break;
+            AttestContext ctx;
+            if (decodeAttestContextTagged(s.blob, ctx))
+                attests[s.v[0]] = std::move(ctx);
+            break;
+        }
         auto attestId = r.getU64();
         auto blob = r.getBytes();
         if (!attestId || !blob)
@@ -1876,25 +2330,50 @@ CloudController::applyJournalRecord(const sim::JournalRecord &rec)
         break;
       }
       case JournalType::AttestRemove: {
+        if (tagged) {
+            TaggedScalars s;
+            if (parseTaggedScalars(rec.payload, 0, 0, s) && s.seen[0])
+                attests.erase(s.v[0]);
+            break;
+        }
         auto attestId = r.getU64();
         if (attestId)
             attests.erase(attestId.value());
         break;
       }
       case JournalType::ResponseUpsert: {
-        auto index = r.getU64();
-        auto blob = r.getBytes();
-        if (!index || !blob)
-            break;
+        std::uint64_t index = 0;
         ResponseRecord decoded;
-        if (!decodeResponseRecord(blob.value(), decoded))
-            break;
-        if (index.value() >= responses.size())
-            responses.resize(index.value() + 1);
-        responses[index.value()] = std::move(decoded);
+        if (tagged) {
+            TaggedScalars s;
+            if (!parseTaggedScalars(rec.payload, 0, 2, s) || !s.seen[0])
+                break;
+            if (!decodeResponseRecordTagged(s.blob, decoded))
+                break;
+            index = s.v[0];
+        } else {
+            auto idx = r.getU64();
+            auto blob = r.getBytes();
+            if (!idx || !blob)
+                break;
+            if (!decodeResponseRecord(blob.value(), decoded))
+                break;
+            index = idx.value();
+        }
+        if (index >= responses.size())
+            responses.resize(index + 1);
+        responses[index] = std::move(decoded);
         break;
       }
       case JournalType::AsHealthSet: {
+        if (tagged) {
+            TaggedScalars s;
+            if (parseTaggedScalars(rec.payload, 1, 0, s))
+                asHealth[s.str] = AsHealth{
+                    static_cast<int>(wire::zigzagDecode(s.v[1])),
+                    s.v[2] != 0};
+            break;
+        }
         auto id = r.getString();
         auto strikes = r.getI64();
         auto suspect = r.getU8();
@@ -1905,13 +2384,28 @@ CloudController::applyJournalRecord(const sim::JournalRecord &rec)
         break;
       }
       case JournalType::RelayRemember: {
-        auto customer = r.getString();
-        auto requestId = r.getU64();
-        auto packed = r.getBytes();
-        if (!customer || !requestId || !packed)
-            break;
-        const CustomerKey key{customer.value(), requestId.value()};
-        if (relayCache.emplace(key, packed.take()).second) {
+        std::string customer;
+        std::uint64_t requestId = 0;
+        Bytes packed;
+        if (tagged) {
+            TaggedScalars s;
+            if (!parseTaggedScalars(rec.payload, 1, 3, s))
+                break;
+            customer = std::move(s.str);
+            requestId = s.v[1];
+            packed = std::move(s.blob);
+        } else {
+            auto cust = r.getString();
+            auto reqId = r.getU64();
+            auto blob = r.getBytes();
+            if (!cust || !reqId || !blob)
+                break;
+            customer = cust.take();
+            requestId = reqId.value();
+            packed = blob.take();
+        }
+        const CustomerKey key{std::move(customer), requestId};
+        if (relayCache.emplace(key, std::move(packed)).second) {
             relayOrder.push_back(key);
             while (relayOrder.size() > cfg.relayCacheCapacity) {
                 relayCache.erase(relayOrder.front());
@@ -2141,8 +2635,7 @@ CloudController::rearmRecoveredWork()
                 cmd.vid = vid;
                 sendExternal(
              rec->serverId,
-             proto::packMessage(MessageKind::TerminateVm,
-                                cmd.encode()));
+             pack(MessageKind::TerminateVm, cmd));
                 db.release(rec->serverId, rec->ramMb, rec->diskGb);
                 journalServer(rec->serverId);
                 finishLaunch(vid, false,
@@ -2206,16 +2699,14 @@ CloudController::resendResponseCommand(std::size_t logIndex)
         proto::VmCommand cmd;
         cmd.vid = log.vid;
         sendExternal(rec->serverId,
-                     proto::packMessage(MessageKind::TerminateVm,
-                                        cmd.encode()));
+                     pack(MessageKind::TerminateVm, cmd));
         break;
       }
       case ResponsePolicy::Suspend: {
         proto::VmCommand cmd;
         cmd.vid = log.vid;
         sendExternal(rec->serverId,
-                     proto::packMessage(MessageKind::SuspendVm,
-                                        cmd.encode()));
+                     pack(MessageKind::SuspendVm, cmd));
         break;
       }
       case ResponsePolicy::Migrate: {
@@ -2225,8 +2716,7 @@ CloudController::resendResponseCommand(std::size_t logIndex)
         cmd.vid = log.vid;
         cmd.targetServer = log.targetServer;
         sendExternal(rec->serverId,
-                     proto::packMessage(MessageKind::MigrateOut,
-                                        cmd.encode()));
+                     pack(MessageKind::MigrateOut, cmd));
         break;
       }
       case ResponsePolicy::None:
@@ -2288,8 +2778,7 @@ CloudController::sendNotLeader(const net::NodeId &customer,
     redirect.leaderId = knownLeader == cfg.id ? "" : knownLeader;
     redirect.round = election.round();
     endpoint.sendSecure(customer,
-                        proto::packMessage(MessageKind::NotLeader,
-                                           redirect.encode()));
+                        pack(MessageKind::NotLeader, redirect));
 }
 
 void
@@ -2313,8 +2802,7 @@ CloudController::streamToFollower(const net::NodeId &follower)
         msg.records.push_back({rec.lsn, rec.type, rec.payload});
     });
     endpoint.sendSecure(follower,
-                        proto::packMessage(MessageKind::ReplicateEntries,
-                                           msg.encode()));
+                        pack(MessageKind::ReplicateEntries, msg));
 }
 
 void
@@ -2356,7 +2844,7 @@ CloudController::onReplicateEntries(const net::NodeId &from,
 {
     if (!replicated() || !isGroupMember(from))
         return;
-    auto decoded = proto::ReplicateEntries::decode(body);
+    auto decoded = proto::decodeAs<proto::ReplicateEntries>(rxFormat_, body);
     if (!decoded)
         return;
     const proto::ReplicateEntries &msg = decoded.value();
@@ -2410,8 +2898,7 @@ CloudController::onReplicateEntries(const net::NodeId &from,
     ack.round = msg.round;
     ack.lastLsn = store.lastDurableLsn();
     endpoint.sendSecure(from,
-                        proto::packMessage(MessageKind::ReplicateAck,
-                                           ack.encode()));
+                        pack(MessageKind::ReplicateAck, ack));
 }
 
 void
@@ -2420,7 +2907,7 @@ CloudController::onReplicateAck(const net::NodeId &from,
 {
     if (!replicated() || !isGroupMember(from))
         return;
-    auto decoded = proto::ReplicateAck::decode(body);
+    auto decoded = proto::decodeAs<proto::ReplicateAck>(rxFormat_, body);
     if (!decoded)
         return;
     followerSilence[from] = 0;
@@ -2439,7 +2926,7 @@ CloudController::onVoteRequest(const net::NodeId &from, const Bytes &body)
 {
     if (!replicated() || !isGroupMember(from))
         return;
-    auto decoded = proto::VoteRequest::decode(body);
+    auto decoded = proto::decodeAs<proto::VoteRequest>(rxFormat_, body);
     if (!decoded)
         return;
     const proto::VoteRequest &msg = decoded.value();
@@ -2463,8 +2950,7 @@ CloudController::onVoteRequest(const net::NodeId &from, const Bytes &body)
         grant.round = msg.round;
         grant.prevote = true;
         endpoint.sendSecure(from,
-                            proto::packMessage(MessageKind::VoteGrant,
-                                               grant.encode()));
+                            pack(MessageKind::VoteGrant, grant));
         return;
     }
     const bool wasLeader = election.role() == ReplicaRole::Leader;
@@ -2484,8 +2970,7 @@ CloudController::onVoteRequest(const net::NodeId &from, const Bytes &body)
     proto::VoteGrant grant;
     grant.round = msg.round;
     endpoint.sendSecure(from,
-                        proto::packMessage(MessageKind::VoteGrant,
-                                           grant.encode()));
+                        pack(MessageKind::VoteGrant, grant));
 }
 
 void
@@ -2493,7 +2978,7 @@ CloudController::onVoteGrant(const net::NodeId &from, const Bytes &body)
 {
     if (!replicated() || !isGroupMember(from))
         return;
-    auto decoded = proto::VoteGrant::decode(body);
+    auto decoded = proto::decodeAs<proto::VoteGrant>(rxFormat_, body);
     if (!decoded)
         return;
     const proto::VoteGrant &msg = decoded.value();
@@ -2659,7 +3144,7 @@ CloudController::electionTimerFired()
     req.lastLsn = store.lastDurableLsn();
     req.prevote = true;
     const Bytes packed =
-        proto::packMessage(MessageKind::VoteRequest, req.encode());
+        pack(MessageKind::VoteRequest, req);
     for (const std::string &peer : followerIds())
         endpoint.sendSecure(peer, packed);
     armElectionTimer();
@@ -2677,7 +3162,7 @@ CloudController::openCandidacy()
     req.lastLogRound = mirrorRound;
     req.lastLsn = store.lastDurableLsn();
     const Bytes packed =
-        proto::packMessage(MessageKind::VoteRequest, req.encode());
+        pack(MessageKind::VoteRequest, req);
     for (const std::string &peer : followerIds())
         endpoint.sendSecure(peer, packed);
     armElectionTimer();

@@ -162,6 +162,14 @@ struct CloudControllerConfig
     std::vector<std::string> groupIds;
     int replicaIndex = 0;
     ElectionTuning election;
+
+    /**
+     * Wire codec this node speaks (DESIGN.md §17). Legacy is the
+     * canonical fixed-width codec and the default; Tagged is the
+     * schema-evolvable opt-in. Receivers decode either format from
+     * the frame itself, so nodes can be upgraded one at a time.
+     */
+    proto::WireContext wire;
 };
 
 /** Observable counters. */
@@ -288,6 +296,12 @@ class CloudController
         return ids;
     }
 
+    /** Wire codec this node emits (mixed-version tests flip it at
+     * runtime to simulate a rolling upgrade; received frames are
+     * always decoded by their own self-described format). */
+    const proto::WireContext &wireContext() const { return cfg.wire; }
+    void setWireContext(const proto::WireContext &ctx) { cfg.wire = ctx; }
+
     /** Observed RTT estimate toward an attestor; nullptr when none. */
     const proto::RttEstimator *
     attestorRttEstimate(const std::string &attestorId) const
@@ -341,6 +355,18 @@ class CloudController
     };
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+
+    /** Pack an outgoing message in this node's configured format. */
+    template <typename M>
+    Bytes pack(proto::MessageKind kind, const M &msg) const
+    {
+        return proto::packFor(cfg.wire, kind, msg);
+    }
+
+    /** Format of the frame currently being dispatched. handleMessage
+     * sets it before the synchronous handler call, so every decode
+     * inside the handler reads the sender's self-described format. */
+    proto::WireFormat rxFormat_ = proto::WireFormat::Legacy;
 
     // --- Replication (replica groups) ------------------------------
 
@@ -615,6 +641,33 @@ class CloudController
                              PendingLaunch &out) const;
     Bytes encodeResponseRecord(const ResponseRecord &rec) const;
     bool decodeResponseRecord(const Bytes &data, ResponseRecord &out) const;
+
+    // Tagged-field variants (journal records written by a Tagged-format
+    // node; the record's type word carries proto::kTaggedJournalBit).
+    Bytes encodeAttestContextTagged(const AttestContext &ctx) const;
+    bool decodeAttestContextTagged(const Bytes &data,
+                                   AttestContext &out) const;
+    Bytes encodePendingLaunchTagged(const std::string &vid,
+                                    const PendingLaunch &launch) const;
+    bool decodePendingLaunchTagged(const Bytes &data, std::string &vid,
+                                   PendingLaunch &out) const;
+    Bytes encodeResponseRecordTagged(const ResponseRecord &rec) const;
+    bool decodeResponseRecordTagged(const Bytes &data,
+                                    ResponseRecord &out) const;
+
+    /** True when this node writes tagged journal payloads. */
+    bool taggedJournal() const
+    {
+        return cfg.wire.format == proto::WireFormat::Tagged;
+    }
+
+    /** StableStore type word for a record in this node's format. */
+    std::uint16_t journalTag(JournalType t) const
+    {
+        return static_cast<std::uint16_t>(t) |
+               (taggedJournal() ? proto::kTaggedJournalBit
+                                : std::uint16_t{0});
+    }
 
     sim::StableStore store;
     sim::CheckpointPolicy ckptPolicy;

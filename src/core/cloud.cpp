@@ -122,6 +122,7 @@ Cloud::Cloud(CloudConfig config)
     pca->setDurable(cfg.durableControlPlane);
     pca->setIssuedCacheCapacity(cfg.dedupCacheCapacity);
     pca->setCheckpointPolicy(cfg.checkpointPolicy);
+    pca->setWireContext(cfg.wire);
     keyDirectory.publish("privacy-ca", pca->publicKey());
 
     for (int i = 0; i < numAs; ++i) {
@@ -138,6 +139,7 @@ Cloud::Cloud(CloudConfig config)
         asCfg.durable = cfg.durableControlPlane;
         asCfg.checkpointPolicy = cfg.checkpointPolicy;
         asCfg.reportCacheCapacity = cfg.dedupCacheCapacity;
+        asCfg.wire = cfg.wire;
         asCfg.presetIdentityKeys =
             std::move(asKeys[static_cast<std::size_t>(i)]);
         auto as = std::make_unique<attestation::AttestationServer>(
@@ -160,6 +162,7 @@ Cloud::Cloud(CloudConfig config)
         ccCfg.durable = cfg.durableControlPlane;
         ccCfg.checkpointPolicy = cfg.checkpointPolicy;
         ccCfg.relayCacheCapacity = cfg.dedupCacheCapacity;
+        ccCfg.wire = cfg.wire;
         ccCfg.presetIdentityKeys = std::move(ccKeys[k]);
         shardConfigs.push_back(std::move(ccCfg));
     }
@@ -213,6 +216,7 @@ Cloud::Cloud(CloudConfig config)
         scfg.aikReuseLimit =
             cfg.enableAttestationCaches ? cfg.aikReuseLimit : 1;
         scfg.batchWindow = cfg.cryptoBatchWindow;
+        scfg.wire = cfg.wire;
         scfg.presetIdentityKeys =
             std::move(serverKeys[static_cast<std::size_t>(i)]);
         scfg.presetTpmKey = std::move(tpmKeys[static_cast<std::size_t>(i)]);
@@ -255,6 +259,7 @@ Cloud::addCustomer(const std::string &id)
         controlPlane->shard(0).id(),
         cfg.seed + 10000 + customers.size(), cfg.reliability,
         &controlPlane->ring(), std::move(groups));
+    customer->setWireContext(cfg.wire);
     keyDirectory.publish(id, customer->identityPublic());
     customers.push_back(std::move(customer));
     return *customers.back();
@@ -365,6 +370,41 @@ Cloud::restartNode(const std::string &node)
     return Status::error("restart scheduled for unknown node \"" + node +
                          "\": no server, attestor, controller shard "
                          "replica or pCA has that id");
+}
+
+Status
+Cloud::setNodeWireContext(const std::string &node,
+                          const proto::WireContext &ctx)
+{
+    if (server::CloudServer *srv = serverById(node)) {
+        srv->setWireContext(ctx);
+        return Status::ok();
+    }
+    for (auto &as : attestors) {
+        if (as->id() == node) {
+            as->setWireContext(ctx);
+            return Status::ok();
+        }
+    }
+    if (controller::CloudController *shard =
+            controlPlane->shardById(node)) {
+        shard->setWireContext(ctx);
+        return Status::ok();
+    }
+    if (node == pca->id()) {
+        pca->setWireContext(ctx);
+        return Status::ok();
+    }
+    for (auto &customer : customers) {
+        if (customer->id() == node) {
+            customer->setWireContext(ctx);
+            return Status::ok();
+        }
+    }
+    return Status::error("wire-context switch for unknown node \"" +
+                         node +
+                         "\": no server, attestor, controller shard "
+                         "replica, pCA or customer has that id");
 }
 
 void

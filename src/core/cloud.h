@@ -164,6 +164,17 @@ struct CloudConfig
      * eviction.
      */
     std::size_t dedupCacheCapacity = 128;
+
+    /**
+     * Wire codec every node emits (DESIGN.md §17). Legacy (the
+     * default) is the canonical fixed-width encoding and keeps all
+     * golden traces bit-identical; Tagged switches nodes to the
+     * schema-evolvable tag||value codec. Frames are self-describing,
+     * so a mixed fleet interoperates without negotiation — flip
+     * individual nodes at runtime with setNodeWireContext() to
+     * simulate a rolling codec upgrade.
+     */
+    proto::WireContext wire;
 };
 
 /** The deployment. */
@@ -246,6 +257,16 @@ class Cloud
      */
     Status crashNode(const std::string &node);
     Status restartNode(const std::string &node);
+
+    /**
+     * Switch one node's emitted wire format at runtime (rolling
+     * codec upgrade simulation). Resolves cloud servers, Attestation
+     * Servers, controller shard replicas, the pCA and customers. The
+     * node keeps decoding both formats — only what it sends (and,
+     * for durable entities, what it journals) changes.
+     */
+    Status setNodeWireContext(const std::string &node,
+                              const proto::WireContext &ctx);
 
     /** Convenience: restart every crashed controller shard (each
      * replays its own journal). */

@@ -142,8 +142,7 @@ Customer::requestLaunch(
 
     launches[requestId] = LaunchOutcome{};
     const std::string &base = launchShardFor(requestId, name);
-    Bytes packed =
-        proto::packMessage(MessageKind::LaunchRequest, req.encode());
+    Bytes packed = pack(MessageKind::LaunchRequest, req);
     if (!groups.empty())
         pendingLaunchSends[requestId] = PendingLaunchSend{packed, base};
     endpoint.sendSecure(routeTo(base), std::move(packed));
@@ -164,8 +163,7 @@ Customer::sendAttest(const std::string &vid,
     req.mode = mode;
     req.period = period;
 
-    Bytes packed = proto::packMessage(MessageKind::AttestRequest,
-                                      req.encode());
+    Bytes packed = pack(MessageKind::AttestRequest, req);
 
     const std::string &target = shardFor(vid);
     PendingAttest pending;
@@ -338,7 +336,8 @@ Customer::handleMessage(const net::NodeId &from, const Bytes &plaintext)
     auto unpacked = proto::unpackMessage(plaintext);
     if (!unpacked)
         return;
-    const auto &[kind, body] = unpacked.value();
+    const auto &[kind, format, body] = unpacked.value();
+    rxFormat_ = format;
     // Substantive replies only ever come from a group's leader (the
     // output gate holds them back on every other replica), so any of
     // them is an authenticated leader sighting.
@@ -368,7 +367,7 @@ Customer::handleMessage(const net::NodeId &from, const Bytes &plaintext)
 void
 Customer::onNotLeader(const net::NodeId &from, const Bytes &body)
 {
-    auto msgR = proto::NotLeader::decode(body);
+    auto msgR = proto::decodeAs<proto::NotLeader>(rxFormat_, body);
     if (!msgR)
         return;
     const proto::NotLeader msg = msgR.take();
@@ -407,7 +406,7 @@ Customer::onAttestFailure(const Bytes &body)
     // Authenticated by the secure channel: handleMessage only accepts
     // traffic from the controller. A failure is a definitive verdict,
     // never a verified health statement.
-    auto failR = proto::AttestFailure::decode(body);
+    auto failR = proto::decodeAs<proto::AttestFailure>(rxFormat_, body);
     if (!failR)
         return;
     const proto::AttestFailure fail = failR.take();
@@ -436,7 +435,7 @@ Customer::onAttestFailure(const Bytes &body)
 void
 Customer::onLaunchResponse(const Bytes &body)
 {
-    auto respR = proto::LaunchResponse::decode(body);
+    auto respR = proto::decodeAs<proto::LaunchResponse>(rxFormat_, body);
     if (!respR)
         return;
     const proto::LaunchResponse resp = respR.take();
@@ -467,7 +466,7 @@ Customer::controllerContext(const std::string &shardId,
 void
 Customer::onReportToCustomer(const net::NodeId &from, const Bytes &body)
 {
-    auto msgR = ReportToCustomer::decode(body);
+    auto msgR = proto::decodeAs<ReportToCustomer>(rxFormat_, body);
     if (!msgR) {
         ++counters.reportsRejected;
         return;

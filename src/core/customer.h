@@ -181,6 +181,11 @@ class Customer
 
     const CustomerStats &stats() const { return counters; }
 
+    /** Wire codec this node emits (DESIGN.md §17); received frames
+     * always decode by their own self-described format. */
+    const proto::WireContext &wireContext() const { return wire_; }
+    void setWireContext(const proto::WireContext &ctx) { wire_ = ctx; }
+
   private:
     struct PendingAttest
     {
@@ -201,6 +206,18 @@ class Customer
     };
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+
+    /** Pack an outgoing message in this node's configured format. */
+    template <typename M>
+    Bytes pack(proto::MessageKind kind, const M &msg) const
+    {
+        return proto::packFor(wire_, kind, msg);
+    }
+
+    proto::WireContext wire_;
+    /** Format of the frame currently being dispatched. */
+    proto::WireFormat rxFormat_ = proto::WireFormat::Legacy;
+
     void onLaunchResponse(const Bytes &body);
     void onReportToCustomer(const net::NodeId &from, const Bytes &body);
     void onAttestFailure(const Bytes &body);

@@ -54,6 +54,10 @@ struct Measurement
     Bytes encode() const;
     static Result<Measurement> decode(const Bytes &data);
 
+    /** Tagged-field encoding (schema-evolvable transport form). */
+    Bytes encodeTagged() const;
+    static Result<Measurement> decodeTagged(const Bytes &data);
+
     bool operator==(const Measurement &o) const;
 };
 
@@ -68,6 +72,10 @@ struct MeasurementSet
     Bytes encode() const;
     static Result<MeasurementSet> decode(const Bytes &data);
 
+    /** Tagged-field encoding (schema-evolvable transport form). */
+    Bytes encodeTagged() const;
+    static Result<MeasurementSet> decodeTagged(const Bytes &data);
+
     bool operator==(const MeasurementSet &o) const;
 };
 
@@ -79,6 +87,12 @@ Bytes encodeRequestList(const MeasurementRequestList &rm);
 
 /** Decode rM. */
 Result<MeasurementRequestList> decodeRequestList(const Bytes &data);
+
+/** rM as a packed-varint payload (the tagged transport form). */
+Bytes encodeRequestListPacked(const MeasurementRequestList &rm);
+
+/** Decode a packed-varint rM payload. */
+Result<MeasurementRequestList> decodeRequestListPacked(const Bytes &data);
 
 /**
  * The property→measurement mapping of §4.1 (what the Attestation

@@ -52,16 +52,57 @@ packMessage(MessageKind kind, const Bytes &body)
     return w.take();
 }
 
-Result<std::pair<MessageKind, Bytes>>
+Bytes
+packMessageTagged(MessageKind kind, const Bytes &body)
+{
+    Bytes out;
+    out.reserve(2 + wire::varintSize(body.size()) + body.size());
+    out.push_back(kTaggedFrameMarker);
+    out.push_back(static_cast<std::uint8_t>(kind));
+    wire::appendVarint(out, body.size());
+    out.insert(out.end(), body.begin(), body.end());
+    return out;
+}
+
+Result<UnpackedMessage>
 unpackMessage(const Bytes &framed)
 {
-    using R = Result<std::pair<MessageKind, Bytes>>;
+    using R = Result<UnpackedMessage>;
+    if (!framed.empty() && framed[0] == kTaggedFrameMarker) {
+        if (framed.size() < 2)
+            return R::error("malformed tagged frame");
+        UnpackedMessage m;
+        m.kind = static_cast<MessageKind>(framed[1]);
+        m.format = WireFormat::Tagged;
+        std::size_t pos = 2;
+        std::uint64_t len = 0;
+        int shift = 0;
+        bool complete = false;
+        while (pos < framed.size() && shift < 64) {
+            const std::uint8_t b = framed[pos++];
+            len |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if ((b & 0x80) == 0) {
+                complete = true;
+                break;
+            }
+            shift += 7;
+        }
+        if (!complete || len != framed.size() - pos)
+            return R::error("malformed tagged frame");
+        m.body.assign(framed.begin() + static_cast<std::ptrdiff_t>(pos),
+                      framed.end());
+        return R::ok(std::move(m));
+    }
     ByteReader r(framed);
     auto kind = r.getU8();
     auto body = r.getBytes();
     if (!kind || !body || !r.atEnd())
         return R::error("malformed message frame");
-    return R::ok({static_cast<MessageKind>(kind.value()), body.take()});
+    UnpackedMessage m;
+    m.kind = static_cast<MessageKind>(kind.value());
+    m.format = WireFormat::Legacy;
+    m.body = body.take();
+    return R::ok(std::move(m));
 }
 
 Bytes

@@ -27,6 +27,7 @@
 #include "common/time_types.h"
 #include "proto/measurement.h"
 #include "proto/property.h"
+#include "proto/wire_schema.h"
 
 namespace monatt::proto
 {
@@ -64,11 +65,46 @@ enum class MessageKind : std::uint8_t
     NotLeader = 54,
 };
 
-/** Frame a message body with its kind byte. */
+/** Frame a legacy-encoded body: kind u8 || u32 length || body. */
 Bytes packMessage(MessageKind kind, const Bytes &body);
 
-/** Split a framed message into kind and body. */
-Result<std::pair<MessageKind, Bytes>> unpackMessage(const Bytes &framed);
+/** Frame a tagged body: 0xC1 || kind u8 || varint length || body. */
+Bytes packMessageTagged(MessageKind kind, const Bytes &body);
+
+/** A received frame split into its parts. */
+struct UnpackedMessage
+{
+    MessageKind kind{};
+    WireFormat format = WireFormat::Legacy; //!< How `body` is encoded.
+    Bytes body;
+};
+
+/**
+ * Split a framed message. Frames self-describe (tagged frames open
+ * with kTaggedFrameMarker), so the receiver needs no negotiation: the
+ * returned format says which decoder applies to `body`.
+ */
+Result<UnpackedMessage> unpackMessage(const Bytes &framed);
+
+/** Encode + frame a message per the sender's wire context. */
+template <typename M>
+Bytes
+packFor(const WireContext &ctx, MessageKind kind, const M &msg)
+{
+    if (ctx.format == WireFormat::Tagged)
+        return packMessageTagged(kind, msg.encodeTagged(ctx));
+    return packMessage(kind, msg.encode());
+}
+
+/** Decode a message body in whichever format the frame declared. */
+template <typename M>
+Result<M>
+decodeAs(WireFormat format, const Bytes &body)
+{
+    if (format == WireFormat::Tagged)
+        return M::decodeTagged(body);
+    return M::decode(body);
+}
 
 /** Attestation modes (Table 1). */
 enum class AttestMode : std::uint8_t
@@ -88,9 +124,12 @@ struct AttestRequest
     Bytes nonce1;
     AttestMode mode = AttestMode::RuntimeOneTime;
     SimTime period = 0; //!< For periodic mode.
+    std::uint32_t senderBuild = 0; //!< v2+ metadata (0 = pre-v2 peer).
 
     Bytes encode() const;
     static Result<AttestRequest> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<AttestRequest> decodeTagged(const Bytes &data);
 };
 
 /** Cloud Controller → Attestation Server ((Vid, I, P, N2)). */
@@ -103,9 +142,12 @@ struct AttestForward
     Bytes nonce2;
     AttestMode mode = AttestMode::RuntimeOneTime;
     SimTime period = 0;
+    std::uint32_t senderBuild = 0; //!< v2+ metadata (0 = pre-v2 peer).
 
     Bytes encode() const;
     static Result<AttestForward> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<AttestForward> decodeTagged(const Bytes &data);
 };
 
 /** Attestation Server → Cloud Server ((Vid, rM, N3)). */
@@ -116,9 +158,12 @@ struct MeasureRequest
     MeasurementRequestList rm;
     Bytes nonce3;
     SimTime window = 0; //!< Collection window for runtime measurements.
+    std::uint32_t senderBuild = 0; //!< v2+ metadata (0 = pre-v2 peer).
 
     Bytes encode() const;
     static Result<MeasureRequest> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<MeasureRequest> decodeTagged(const Bytes &data);
 };
 
 /** Cloud Server → Attestation Server ([Vid, rM, M, N3, Q3]_ASKs). */
@@ -143,6 +188,10 @@ struct MeasureResponse
 
     Bytes encode() const;
     static Result<MeasureResponse> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<MeasureResponse> decodeTagged(const Bytes &data);
+
+    std::uint32_t senderBuild = 0; //!< v2+ metadata; not signed.
 };
 
 /** One property's appraisal in a report. */
@@ -174,6 +223,8 @@ struct AttestationReport
 
     Bytes encode() const;
     static Result<AttestationReport> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<AttestationReport> decodeTagged(const Bytes &data);
 
     bool operator==(const AttestationReport &o) const
     {
@@ -205,6 +256,10 @@ struct ReportToController
 
     Bytes encode() const;
     static Result<ReportToController> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<ReportToController> decodeTagged(const Bytes &data);
+
+    std::uint32_t senderBuild = 0; //!< v2+ metadata; not signed.
 };
 
 /** Cloud Controller → Customer ([Vid, P, R, N1, Q1]_SKc). */
@@ -229,6 +284,10 @@ struct ReportToCustomer
 
     Bytes encode() const;
     static Result<ReportToCustomer> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<ReportToCustomer> decodeTagged(const Bytes &data);
+
+    std::uint32_t senderBuild = 0; //!< v2+ metadata; not signed.
 };
 
 /** Terminal non-verdicts for an attestation request. */
@@ -253,6 +312,8 @@ struct AttestFailure
 
     Bytes encode() const;
     static Result<AttestFailure> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<AttestFailure> decodeTagged(const Bytes &data);
 };
 
 /** Cloud Server → privacy CA: certify a fresh AVKs. */
@@ -265,6 +326,8 @@ struct CertRequest
 
     Bytes encode() const;
     static Result<CertRequest> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<CertRequest> decodeTagged(const Bytes &data);
 };
 
 /** privacy CA → Cloud Server. */
@@ -277,6 +340,8 @@ struct CertResponse
 
     Bytes encode() const;
     static Result<CertResponse> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<CertResponse> decodeTagged(const Bytes &data);
 };
 
 // --- Cloud management commands (Controller <-> Cloud Server) ---------
@@ -295,6 +360,8 @@ struct LaunchVm
 
     Bytes encode() const;
     static Result<LaunchVm> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<LaunchVm> decodeTagged(const Bytes &data);
 };
 
 /** Launch acknowledgement. */
@@ -307,6 +374,8 @@ struct LaunchVmAck
 
     Bytes encode() const;
     static Result<LaunchVmAck> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<LaunchVmAck> decodeTagged(const Bytes &data);
 };
 
 /** Simple per-VM command (terminate/suspend/resume). */
@@ -316,6 +385,8 @@ struct VmCommand
 
     Bytes encode() const;
     static Result<VmCommand> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<VmCommand> decodeTagged(const Bytes &data);
 };
 
 /** Simple per-VM acknowledgement. */
@@ -327,6 +398,8 @@ struct VmCommandAck
 
     Bytes encode() const;
     static Result<VmCommandAck> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<VmCommandAck> decodeTagged(const Bytes &data);
 };
 
 /** Customer → Cloud Controller: lease a VM (nova api boot). */
@@ -342,6 +415,8 @@ struct LaunchRequest
 
     Bytes encode() const;
     static Result<LaunchRequest> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<LaunchRequest> decodeTagged(const Bytes &data);
 };
 
 /** Cloud Controller → Customer: launch outcome. */
@@ -354,6 +429,8 @@ struct LaunchResponse
 
     Bytes encode() const;
     static Result<LaunchResponse> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<LaunchResponse> decodeTagged(const Bytes &data);
 };
 
 /** One replicated journal record as it travels on the wire. */
@@ -383,6 +460,8 @@ struct ReplicateEntries
 
     Bytes encode() const;
     static Result<ReplicateEntries> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<ReplicateEntries> decodeTagged(const Bytes &data);
 };
 
 /** Follower → leader: cumulative durable-LSN acknowledgement. */
@@ -393,6 +472,8 @@ struct ReplicateAck
 
     Bytes encode() const;
     static Result<ReplicateAck> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<ReplicateAck> decodeTagged(const Bytes &data);
 };
 
 /** Candidate → group: request a vote for `round`. */
@@ -405,6 +486,8 @@ struct VoteRequest
 
     Bytes encode() const;
     static Result<VoteRequest> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<VoteRequest> decodeTagged(const Bytes &data);
 };
 
 /** Voter → candidate: the (pre)vote for `round` is granted. */
@@ -415,6 +498,8 @@ struct VoteGrant
 
     Bytes encode() const;
     static Result<VoteGrant> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<VoteGrant> decodeTagged(const Bytes &data);
 };
 
 /**
@@ -431,6 +516,8 @@ struct NotLeader
 
     Bytes encode() const;
     static Result<NotLeader> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<NotLeader> decodeTagged(const Bytes &data);
 };
 
 /** Cloud Controller → source server: migrate a VM away. */
@@ -441,6 +528,8 @@ struct MigrateOut
 
     Bytes encode() const;
     static Result<MigrateOut> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<MigrateOut> decodeTagged(const Bytes &data);
 };
 
 /** Source server → target server: VM state for migration. */
@@ -461,6 +550,8 @@ struct MigrateIn
 
     Bytes encode() const;
     static Result<MigrateIn> decode(const Bytes &data);
+    Bytes encodeTagged(const WireContext &ctx) const;
+    static Result<MigrateIn> decodeTagged(const Bytes &data);
 };
 
 } // namespace monatt::proto

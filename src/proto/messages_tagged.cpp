@@ -1,0 +1,1400 @@
+/**
+ * @file
+ * Tagged-field codecs for every protocol message.
+ *
+ * Field numbers follow the registry in wire_schema.cpp. Encoders omit
+ * a field when it equals the default-constructed member value, so the
+ * decoders — which start from a default-constructed struct and fill
+ * in whatever fields arrive — reconstruct the same message; that same
+ * rule is what gives new decoders sensible values for fields an old
+ * encoder never heard of. Unknown field numbers (and known numbers
+ * arriving with an unexpected wire type, which a future schema may
+ * legitimately produce) are skipped, never errors. Malformed *bytes*
+ * — truncated varints, over-long LEN prefixes — remain hard decode
+ * errors, i.e. attack indicators, exactly like the legacy codec.
+ */
+
+#include "proto/messages.h"
+
+#include "common/wire.h"
+
+namespace monatt::proto
+{
+
+namespace
+{
+
+using wire::WireField;
+using wire::WireReader;
+using wire::WireType;
+using wire::WireWriter;
+
+Bytes
+packedProperties(const std::vector<SecurityProperty> &props)
+{
+    Bytes out;
+    for (SecurityProperty p : props)
+        wire::appendVarint(out, static_cast<std::uint64_t>(p));
+    return out;
+}
+
+bool
+unpackProperties(const Bytes &packed, std::vector<SecurityProperty> &out)
+{
+    WireReader r(packed);
+    while (!r.atEnd()) {
+        auto v = r.nextVarint();
+        if (!v || out.size() >= 64)
+            return false;
+        out.push_back(static_cast<SecurityProperty>(v.value()));
+    }
+    return true;
+}
+
+/** putLen only when non-empty (the omit-default rule for buffers). */
+void
+putOpt(WireWriter &w, std::uint32_t field, const Bytes &v)
+{
+    if (!v.empty())
+        w.putLen(field, v);
+}
+
+void
+putOpt(WireWriter &w, std::uint32_t field, const std::string &v)
+{
+    if (!v.empty())
+        w.putString(field, v);
+}
+
+void
+putOpt(WireWriter &w, std::uint32_t field, std::uint64_t v)
+{
+    if (v != 0)
+        w.putVarint(field, v);
+}
+
+void
+putOptSigned(WireWriter &w, std::uint32_t field, std::int64_t v)
+{
+    if (v != 0)
+        w.putSigned(field, v);
+}
+
+void
+putOpt(WireWriter &w, std::uint32_t field, bool v)
+{
+    if (v)
+        w.putBool(field, v);
+}
+
+} // namespace
+
+Bytes
+AttestRequest::encodeTagged(const WireContext &ctx) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, vid);
+    if (!properties.empty())
+        w.putLen(3, packedProperties(properties));
+    putOpt(w, 4, nonce1);
+    if (mode != AttestMode::RuntimeOneTime)
+        w.putVarint(5, static_cast<std::uint64_t>(mode));
+    putOptSigned(w, 6, period);
+    if (ctx.version >= kWireV2)
+        putOpt(w, kSenderBuildField, std::uint64_t{senderBuild});
+    return w.take();
+}
+
+Result<AttestRequest>
+AttestRequest::decodeTagged(const Bytes &data)
+{
+    using R = Result<AttestRequest>;
+    WireReader r(data);
+    AttestRequest m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("AttestRequest: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Len &&
+                !unpackProperties(fld.bytes, m.properties))
+                return R::error("AttestRequest: bad properties");
+            break;
+          case 4:
+            if (fld.type == WireType::Len)
+                m.nonce1 = fld.bytes;
+            break;
+          case 5:
+            if (fld.type == WireType::Varint)
+                m.mode = static_cast<AttestMode>(fld.varint);
+            break;
+          case 6:
+            if (fld.type == WireType::Varint)
+                m.period = fld.asSigned();
+            break;
+          case kSenderBuildField:
+            if (fld.type == WireType::Varint)
+                m.senderBuild = static_cast<std::uint32_t>(fld.varint);
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+AttestForward::encodeTagged(const WireContext &ctx) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, vid);
+    putOpt(w, 3, serverId);
+    if (!properties.empty())
+        w.putLen(4, packedProperties(properties));
+    putOpt(w, 5, nonce2);
+    if (mode != AttestMode::RuntimeOneTime)
+        w.putVarint(6, static_cast<std::uint64_t>(mode));
+    putOptSigned(w, 7, period);
+    if (ctx.version >= kWireV2)
+        putOpt(w, kSenderBuildField, std::uint64_t{senderBuild});
+    return w.take();
+}
+
+Result<AttestForward>
+AttestForward::decodeTagged(const Bytes &data)
+{
+    using R = Result<AttestForward>;
+    WireReader r(data);
+    AttestForward m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("AttestForward: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Len)
+                m.serverId = fld.asString();
+            break;
+          case 4:
+            if (fld.type == WireType::Len &&
+                !unpackProperties(fld.bytes, m.properties))
+                return R::error("AttestForward: bad properties");
+            break;
+          case 5:
+            if (fld.type == WireType::Len)
+                m.nonce2 = fld.bytes;
+            break;
+          case 6:
+            if (fld.type == WireType::Varint)
+                m.mode = static_cast<AttestMode>(fld.varint);
+            break;
+          case 7:
+            if (fld.type == WireType::Varint)
+                m.period = fld.asSigned();
+            break;
+          case kSenderBuildField:
+            if (fld.type == WireType::Varint)
+                m.senderBuild = static_cast<std::uint32_t>(fld.varint);
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+MeasureRequest::encodeTagged(const WireContext &ctx) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, vid);
+    if (!rm.empty())
+        w.putLen(3, encodeRequestListPacked(rm));
+    putOpt(w, 4, nonce3);
+    putOptSigned(w, 5, window);
+    if (ctx.version >= kWireV2)
+        putOpt(w, kSenderBuildField, std::uint64_t{senderBuild});
+    return w.take();
+}
+
+Result<MeasureRequest>
+MeasureRequest::decodeTagged(const Bytes &data)
+{
+    using R = Result<MeasureRequest>;
+    WireReader r(data);
+    MeasureRequest m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("MeasureRequest: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Len) {
+                auto rm = decodeRequestListPacked(fld.bytes);
+                if (!rm)
+                    return R::error("MeasureRequest: " +
+                                    rm.errorMessage());
+                m.rm = rm.take();
+            }
+            break;
+          case 4:
+            if (fld.type == WireType::Len)
+                m.nonce3 = fld.bytes;
+            break;
+          case 5:
+            if (fld.type == WireType::Varint)
+                m.window = fld.asSigned();
+            break;
+          case kSenderBuildField:
+            if (fld.type == WireType::Varint)
+                m.senderBuild = static_cast<std::uint32_t>(fld.varint);
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+MeasureResponse::encodeTagged(const WireContext &ctx) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, vid);
+    if (!rm.empty())
+        w.putLen(3, encodeRequestListPacked(rm));
+    if (!m.items.empty())
+        w.putLen(4, m.encodeTagged());
+    putOpt(w, 5, nonce3);
+    putOpt(w, 6, quote3);
+    putOpt(w, 7, signature);
+    putOpt(w, 8, certificate);
+    if (ctx.version >= kWireV2)
+        putOpt(w, kSenderBuildField, std::uint64_t{senderBuild});
+    return w.take();
+}
+
+Result<MeasureResponse>
+MeasureResponse::decodeTagged(const Bytes &data)
+{
+    using R = Result<MeasureResponse>;
+    WireReader r(data);
+    MeasureResponse out;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("MeasureResponse: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                out.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                out.vid = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Len) {
+                auto rm = decodeRequestListPacked(fld.bytes);
+                if (!rm)
+                    return R::error("MeasureResponse: " +
+                                    rm.errorMessage());
+                out.rm = rm.take();
+            }
+            break;
+          case 4:
+            if (fld.type == WireType::Len) {
+                auto m = MeasurementSet::decodeTagged(fld.bytes);
+                if (!m)
+                    return R::error("MeasureResponse: " +
+                                    m.errorMessage());
+                out.m = m.take();
+            }
+            break;
+          case 5:
+            if (fld.type == WireType::Len)
+                out.nonce3 = fld.bytes;
+            break;
+          case 6:
+            if (fld.type == WireType::Len)
+                out.quote3 = fld.bytes;
+            break;
+          case 7:
+            if (fld.type == WireType::Len)
+                out.signature = fld.bytes;
+            break;
+          case 8:
+            if (fld.type == WireType::Len)
+                out.certificate = fld.bytes;
+            break;
+          case kSenderBuildField:
+            if (fld.type == WireType::Varint)
+                out.senderBuild = static_cast<std::uint32_t>(fld.varint);
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(out));
+}
+
+Bytes
+AttestationReport::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, vid);
+    for (const PropertyResult &pr : results) {
+        // Nested PropertyResult: 1 property, 2 status, 3 detail. The
+        // property and status always travel (Unknown vs absent must
+        // stay distinguishable in a health verdict).
+        WireWriter nested;
+        nested.putVarint(1, static_cast<std::uint64_t>(pr.property));
+        nested.putVarint(2, static_cast<std::uint64_t>(pr.status));
+        putOpt(nested, 3, pr.detail);
+        w.putLen(2, nested.data());
+    }
+    putOptSigned(w, 3, issuedAt);
+    return w.take();
+}
+
+Result<AttestationReport>
+AttestationReport::decodeTagged(const Bytes &data)
+{
+    using R = Result<AttestationReport>;
+    WireReader r(data);
+    AttestationReport rep;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("AttestationReport: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Len)
+                rep.vid = fld.asString();
+            break;
+          case 2:
+            if (fld.type == WireType::Len) {
+                if (rep.results.size() >= 64)
+                    return R::error("AttestationReport: bad count");
+                WireReader nr(fld.bytes);
+                PropertyResult pr;
+                while (!nr.atEnd()) {
+                    auto nf = nr.next();
+                    if (!nf)
+                        return R::error("AttestationReport: " +
+                                        nf.errorMessage());
+                    const WireField &n = nf.value();
+                    if (n.number == 1 && n.type == WireType::Varint)
+                        pr.property =
+                            static_cast<SecurityProperty>(n.varint);
+                    else if (n.number == 2 && n.type == WireType::Varint)
+                        pr.status = static_cast<HealthStatus>(n.varint);
+                    else if (n.number == 3 && n.type == WireType::Len)
+                        pr.detail = n.asString();
+                }
+                rep.results.push_back(std::move(pr));
+            }
+            break;
+          case 3:
+            if (fld.type == WireType::Varint)
+                rep.issuedAt = fld.asSigned();
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(rep));
+}
+
+Bytes
+ReportToController::encodeTagged(const WireContext &ctx) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, vid);
+    putOpt(w, 3, serverId);
+    if (!properties.empty())
+        w.putLen(4, packedProperties(properties));
+    w.putLen(5, report.encodeTagged(ctx));
+    putOpt(w, 6, nonce2);
+    putOpt(w, 7, quote2);
+    putOpt(w, 8, signature);
+    if (ctx.version >= kWireV2)
+        putOpt(w, kSenderBuildField, std::uint64_t{senderBuild});
+    return w.take();
+}
+
+Result<ReportToController>
+ReportToController::decodeTagged(const Bytes &data)
+{
+    using R = Result<ReportToController>;
+    WireReader r(data);
+    ReportToController m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("ReportToController: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Len)
+                m.serverId = fld.asString();
+            break;
+          case 4:
+            if (fld.type == WireType::Len &&
+                !unpackProperties(fld.bytes, m.properties))
+                return R::error("ReportToController: bad properties");
+            break;
+          case 5:
+            if (fld.type == WireType::Len) {
+                auto rep = AttestationReport::decodeTagged(fld.bytes);
+                if (!rep)
+                    return R::error("ReportToController: " +
+                                    rep.errorMessage());
+                m.report = rep.take();
+            }
+            break;
+          case 6:
+            if (fld.type == WireType::Len)
+                m.nonce2 = fld.bytes;
+            break;
+          case 7:
+            if (fld.type == WireType::Len)
+                m.quote2 = fld.bytes;
+            break;
+          case 8:
+            if (fld.type == WireType::Len)
+                m.signature = fld.bytes;
+            break;
+          case kSenderBuildField:
+            if (fld.type == WireType::Varint)
+                m.senderBuild = static_cast<std::uint32_t>(fld.varint);
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+ReportToCustomer::encodeTagged(const WireContext &ctx) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, vid);
+    if (!properties.empty())
+        w.putLen(3, packedProperties(properties));
+    w.putLen(4, report.encodeTagged(ctx));
+    putOpt(w, 5, nonce1);
+    putOpt(w, 6, quote1);
+    putOpt(w, 7, signature);
+    putOpt(w, 8, finalPeriodic);
+    if (ctx.version >= kWireV2)
+        putOpt(w, kSenderBuildField, std::uint64_t{senderBuild});
+    return w.take();
+}
+
+Result<ReportToCustomer>
+ReportToCustomer::decodeTagged(const Bytes &data)
+{
+    using R = Result<ReportToCustomer>;
+    WireReader r(data);
+    ReportToCustomer m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("ReportToCustomer: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Len &&
+                !unpackProperties(fld.bytes, m.properties))
+                return R::error("ReportToCustomer: bad properties");
+            break;
+          case 4:
+            if (fld.type == WireType::Len) {
+                auto rep = AttestationReport::decodeTagged(fld.bytes);
+                if (!rep)
+                    return R::error("ReportToCustomer: " +
+                                    rep.errorMessage());
+                m.report = rep.take();
+            }
+            break;
+          case 5:
+            if (fld.type == WireType::Len)
+                m.nonce1 = fld.bytes;
+            break;
+          case 6:
+            if (fld.type == WireType::Len)
+                m.quote1 = fld.bytes;
+            break;
+          case 7:
+            if (fld.type == WireType::Len)
+                m.signature = fld.bytes;
+            break;
+          case 8:
+            if (fld.type == WireType::Varint)
+                m.finalPeriodic = fld.asBool();
+            break;
+          case kSenderBuildField:
+            if (fld.type == WireType::Varint)
+                m.senderBuild = static_cast<std::uint32_t>(fld.varint);
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+AttestFailure::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, vid);
+    if (outcome != FailureOutcome::Failed)
+        w.putVarint(3, static_cast<std::uint64_t>(outcome));
+    putOpt(w, 4, reason);
+    return w.take();
+}
+
+Result<AttestFailure>
+AttestFailure::decodeTagged(const Bytes &data)
+{
+    using R = Result<AttestFailure>;
+    WireReader r(data);
+    AttestFailure m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("AttestFailure: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Varint) {
+                if (fld.varint != static_cast<std::uint64_t>(
+                                      FailureOutcome::Unreachable) &&
+                    fld.varint != static_cast<std::uint64_t>(
+                                      FailureOutcome::Failed))
+                    return R::error("AttestFailure: bad outcome");
+                m.outcome = static_cast<FailureOutcome>(fld.varint);
+            }
+            break;
+          case 4:
+            if (fld.type == WireType::Len)
+                m.reason = fld.asString();
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+CertRequest::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, serverId);
+    putOpt(w, 2, sessionLabel);
+    putOpt(w, 3, avk);
+    putOpt(w, 4, avkSignature);
+    return w.take();
+}
+
+Result<CertRequest>
+CertRequest::decodeTagged(const Bytes &data)
+{
+    using R = Result<CertRequest>;
+    WireReader r(data);
+    CertRequest m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("CertRequest: " + f.errorMessage());
+        const WireField &fld = f.value();
+        if (fld.type != WireType::Len)
+            continue;
+        switch (fld.number) {
+          case 1:
+            m.serverId = fld.asString();
+            break;
+          case 2:
+            m.sessionLabel = fld.asString();
+            break;
+          case 3:
+            m.avk = fld.bytes;
+            break;
+          case 4:
+            m.avkSignature = fld.bytes;
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+CertResponse::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, sessionLabel);
+    putOpt(w, 2, ok);
+    putOpt(w, 3, error);
+    putOpt(w, 4, certificate);
+    return w.take();
+}
+
+Result<CertResponse>
+CertResponse::decodeTagged(const Bytes &data)
+{
+    using R = Result<CertResponse>;
+    WireReader r(data);
+    CertResponse m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("CertResponse: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Len)
+                m.sessionLabel = fld.asString();
+            break;
+          case 2:
+            if (fld.type == WireType::Varint)
+                m.ok = fld.asBool();
+            break;
+          case 3:
+            if (fld.type == WireType::Len)
+                m.error = fld.asString();
+            break;
+          case 4:
+            if (fld.type == WireType::Len)
+                m.certificate = fld.bytes;
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+LaunchVm::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, vid);
+    putOpt(w, 2, name);
+    if (numVcpus != 1)
+        w.putVarint(3, numVcpus);
+    if (ramMb != 512)
+        w.putVarint(4, ramMb);
+    if (diskGb != 1)
+        w.putVarint(5, diskGb);
+    putOpt(w, 6, imageSizeMb);
+    putOpt(w, 7, image);
+    if (weight != 256)
+        w.putSigned(8, weight);
+    return w.take();
+}
+
+Result<LaunchVm>
+LaunchVm::decodeTagged(const Bytes &data)
+{
+    using R = Result<LaunchVm>;
+    WireReader r(data);
+    LaunchVm m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("LaunchVm: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.name = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Varint)
+                m.numVcpus = static_cast<std::uint32_t>(fld.varint);
+            break;
+          case 4:
+            if (fld.type == WireType::Varint)
+                m.ramMb = fld.varint;
+            break;
+          case 5:
+            if (fld.type == WireType::Varint)
+                m.diskGb = fld.varint;
+            break;
+          case 6:
+            if (fld.type == WireType::Varint)
+                m.imageSizeMb = fld.varint;
+            break;
+          case 7:
+            if (fld.type == WireType::Len)
+                m.image = fld.bytes;
+            break;
+          case 8:
+            if (fld.type == WireType::Varint)
+                m.weight = static_cast<int>(fld.asSigned());
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+LaunchVmAck::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, vid);
+    putOpt(w, 2, ok);
+    putOpt(w, 3, error);
+    putOpt(w, 4, imageDigest);
+    return w.take();
+}
+
+Result<LaunchVmAck>
+LaunchVmAck::decodeTagged(const Bytes &data)
+{
+    using R = Result<LaunchVmAck>;
+    WireReader r(data);
+    LaunchVmAck m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("LaunchVmAck: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 2:
+            if (fld.type == WireType::Varint)
+                m.ok = fld.asBool();
+            break;
+          case 3:
+            if (fld.type == WireType::Len)
+                m.error = fld.asString();
+            break;
+          case 4:
+            if (fld.type == WireType::Len)
+                m.imageDigest = fld.bytes;
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+VmCommand::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, vid);
+    return w.take();
+}
+
+Result<VmCommand>
+VmCommand::decodeTagged(const Bytes &data)
+{
+    using R = Result<VmCommand>;
+    WireReader r(data);
+    VmCommand m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("VmCommand: " + f.errorMessage());
+        const WireField &fld = f.value();
+        if (fld.number == 1 && fld.type == WireType::Len)
+            m.vid = fld.asString();
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+VmCommandAck::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, vid);
+    putOpt(w, 2, ok);
+    putOpt(w, 3, error);
+    return w.take();
+}
+
+Result<VmCommandAck>
+VmCommandAck::decodeTagged(const Bytes &data)
+{
+    using R = Result<VmCommandAck>;
+    WireReader r(data);
+    VmCommandAck m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("VmCommandAck: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 2:
+            if (fld.type == WireType::Varint)
+                m.ok = fld.asBool();
+            break;
+          case 3:
+            if (fld.type == WireType::Len)
+                m.error = fld.asString();
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+LaunchRequest::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, name);
+    putOpt(w, 3, imageName);
+    putOpt(w, 4, flavorName);
+    if (!properties.empty())
+        w.putLen(5, packedProperties(properties));
+    putOpt(w, 6, image);
+    putOpt(w, 7, imageSizeMb);
+    return w.take();
+}
+
+Result<LaunchRequest>
+LaunchRequest::decodeTagged(const Bytes &data)
+{
+    using R = Result<LaunchRequest>;
+    WireReader r(data);
+    LaunchRequest m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("LaunchRequest: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.name = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Len)
+                m.imageName = fld.asString();
+            break;
+          case 4:
+            if (fld.type == WireType::Len)
+                m.flavorName = fld.asString();
+            break;
+          case 5:
+            if (fld.type == WireType::Len &&
+                !unpackProperties(fld.bytes, m.properties))
+                return R::error("LaunchRequest: bad properties");
+            break;
+          case 6:
+            if (fld.type == WireType::Len)
+                m.image = fld.bytes;
+            break;
+          case 7:
+            if (fld.type == WireType::Varint)
+                m.imageSizeMb = fld.varint;
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+LaunchResponse::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, vid);
+    putOpt(w, 3, ok);
+    putOpt(w, 4, error);
+    return w.take();
+}
+
+Result<LaunchResponse>
+LaunchResponse::decodeTagged(const Bytes &data)
+{
+    using R = Result<LaunchResponse>;
+    WireReader r(data);
+    LaunchResponse m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("LaunchResponse: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Varint)
+                m.ok = fld.asBool();
+            break;
+          case 4:
+            if (fld.type == WireType::Len)
+                m.error = fld.asString();
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+ReplicateEntries::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, round);
+    putOpt(w, 2, leaderId);
+    putOpt(w, 3, prevLsn);
+    for (const ReplicatedRecord &rec : records) {
+        WireWriter nested;
+        putOpt(nested, 1, rec.lsn);
+        putOpt(nested, 2, std::uint64_t{rec.type});
+        putOpt(nested, 3, rec.payload);
+        w.putLen(4, nested.data());
+    }
+    putOpt(w, 5, commitLsn);
+    putOpt(w, 6, hasSnapshot);
+    putOpt(w, 7, snapshot);
+    putOpt(w, 8, snapshotLsn);
+    return w.take();
+}
+
+Result<ReplicateEntries>
+ReplicateEntries::decodeTagged(const Bytes &data)
+{
+    using R = Result<ReplicateEntries>;
+    WireReader r(data);
+    ReplicateEntries m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("ReplicateEntries: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.round = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.leaderId = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Varint)
+                m.prevLsn = fld.varint;
+            break;
+          case 4:
+            if (fld.type == WireType::Len) {
+                WireReader nr(fld.bytes);
+                ReplicatedRecord rec;
+                while (!nr.atEnd()) {
+                    auto nf = nr.next();
+                    if (!nf)
+                        return R::error("ReplicateEntries: " +
+                                        nf.errorMessage());
+                    const WireField &n = nf.value();
+                    if (n.number == 1 && n.type == WireType::Varint)
+                        rec.lsn = n.varint;
+                    else if (n.number == 2 && n.type == WireType::Varint)
+                        rec.type = static_cast<std::uint16_t>(n.varint);
+                    else if (n.number == 3 && n.type == WireType::Len)
+                        rec.payload = n.bytes;
+                }
+                m.records.push_back(std::move(rec));
+            }
+            break;
+          case 5:
+            if (fld.type == WireType::Varint)
+                m.commitLsn = fld.varint;
+            break;
+          case 6:
+            if (fld.type == WireType::Varint)
+                m.hasSnapshot = fld.asBool();
+            break;
+          case 7:
+            if (fld.type == WireType::Len)
+                m.snapshot = fld.bytes;
+            break;
+          case 8:
+            if (fld.type == WireType::Varint)
+                m.snapshotLsn = fld.varint;
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+ReplicateAck::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, round);
+    putOpt(w, 2, lastLsn);
+    return w.take();
+}
+
+Result<ReplicateAck>
+ReplicateAck::decodeTagged(const Bytes &data)
+{
+    using R = Result<ReplicateAck>;
+    WireReader r(data);
+    ReplicateAck m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("ReplicateAck: " + f.errorMessage());
+        const WireField &fld = f.value();
+        if (fld.type != WireType::Varint)
+            continue;
+        if (fld.number == 1)
+            m.round = fld.varint;
+        else if (fld.number == 2)
+            m.lastLsn = fld.varint;
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+VoteRequest::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, round);
+    putOpt(w, 2, lastLogRound);
+    putOpt(w, 3, lastLsn);
+    putOpt(w, 4, prevote);
+    return w.take();
+}
+
+Result<VoteRequest>
+VoteRequest::decodeTagged(const Bytes &data)
+{
+    using R = Result<VoteRequest>;
+    WireReader r(data);
+    VoteRequest m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("VoteRequest: " + f.errorMessage());
+        const WireField &fld = f.value();
+        if (fld.type != WireType::Varint)
+            continue;
+        switch (fld.number) {
+          case 1:
+            m.round = fld.varint;
+            break;
+          case 2:
+            m.lastLogRound = fld.varint;
+            break;
+          case 3:
+            m.lastLsn = fld.varint;
+            break;
+          case 4:
+            m.prevote = fld.asBool();
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+VoteGrant::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, round);
+    putOpt(w, 2, prevote);
+    return w.take();
+}
+
+Result<VoteGrant>
+VoteGrant::decodeTagged(const Bytes &data)
+{
+    using R = Result<VoteGrant>;
+    WireReader r(data);
+    VoteGrant m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("VoteGrant: " + f.errorMessage());
+        const WireField &fld = f.value();
+        if (fld.type != WireType::Varint)
+            continue;
+        if (fld.number == 1)
+            m.round = fld.varint;
+        else if (fld.number == 2)
+            m.prevote = fld.asBool();
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+NotLeader::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, requestId);
+    putOpt(w, 2, isLaunch);
+    putOpt(w, 3, leaderId);
+    putOpt(w, 4, round);
+    return w.take();
+}
+
+Result<NotLeader>
+NotLeader::decodeTagged(const Bytes &data)
+{
+    using R = Result<NotLeader>;
+    WireReader r(data);
+    NotLeader m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("NotLeader: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Varint)
+                m.requestId = fld.varint;
+            break;
+          case 2:
+            if (fld.type == WireType::Varint)
+                m.isLaunch = fld.asBool();
+            break;
+          case 3:
+            if (fld.type == WireType::Len)
+                m.leaderId = fld.asString();
+            break;
+          case 4:
+            if (fld.type == WireType::Varint)
+                m.round = fld.varint;
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+MigrateOut::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, vid);
+    putOpt(w, 2, targetServer);
+    return w.take();
+}
+
+Result<MigrateOut>
+MigrateOut::decodeTagged(const Bytes &data)
+{
+    using R = Result<MigrateOut>;
+    WireReader r(data);
+    MigrateOut m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("MigrateOut: " + f.errorMessage());
+        const WireField &fld = f.value();
+        if (fld.type != WireType::Len)
+            continue;
+        if (fld.number == 1)
+            m.vid = fld.asString();
+        else if (fld.number == 2)
+            m.targetServer = fld.asString();
+    }
+    return R::ok(std::move(m));
+}
+
+Bytes
+MigrateIn::encodeTagged(const WireContext &) const
+{
+    WireWriter w;
+    putOpt(w, 1, vid);
+    putOpt(w, 2, name);
+    if (numVcpus != 1)
+        w.putVarint(3, numVcpus);
+    if (ramMb != 512)
+        w.putVarint(4, ramMb);
+    if (diskGb != 1)
+        w.putVarint(5, diskGb);
+    putOpt(w, 6, imageSizeMb);
+    putOpt(w, 7, image);
+    if (weight != 256)
+        w.putSigned(8, weight);
+    for (const std::string &t : guestTasks)
+        w.putString(9, t);
+    for (const std::string &t : hiddenTasks)
+        w.putString(10, t);
+    for (const std::string &t : auditEntries)
+        w.putString(11, t);
+    return w.take();
+}
+
+Result<MigrateIn>
+MigrateIn::decodeTagged(const Bytes &data)
+{
+    using R = Result<MigrateIn>;
+    WireReader r(data);
+    MigrateIn m;
+    while (!r.atEnd()) {
+        auto f = r.next();
+        if (!f)
+            return R::error("MigrateIn: " + f.errorMessage());
+        const WireField &fld = f.value();
+        switch (fld.number) {
+          case 1:
+            if (fld.type == WireType::Len)
+                m.vid = fld.asString();
+            break;
+          case 2:
+            if (fld.type == WireType::Len)
+                m.name = fld.asString();
+            break;
+          case 3:
+            if (fld.type == WireType::Varint)
+                m.numVcpus = static_cast<std::uint32_t>(fld.varint);
+            break;
+          case 4:
+            if (fld.type == WireType::Varint)
+                m.ramMb = fld.varint;
+            break;
+          case 5:
+            if (fld.type == WireType::Varint)
+                m.diskGb = fld.varint;
+            break;
+          case 6:
+            if (fld.type == WireType::Varint)
+                m.imageSizeMb = fld.varint;
+            break;
+          case 7:
+            if (fld.type == WireType::Len)
+                m.image = fld.bytes;
+            break;
+          case 8:
+            if (fld.type == WireType::Varint)
+                m.weight = static_cast<int>(fld.asSigned());
+            break;
+          case 9:
+            if (fld.type == WireType::Len) {
+                if (m.guestTasks.size() >= 100000)
+                    return R::error("MigrateIn: bad task count");
+                m.guestTasks.push_back(fld.asString());
+            }
+            break;
+          case 10:
+            if (fld.type == WireType::Len) {
+                if (m.hiddenTasks.size() >= 100000)
+                    return R::error("MigrateIn: bad hidden count");
+                m.hiddenTasks.push_back(fld.asString());
+            }
+            break;
+          case 11:
+            if (fld.type == WireType::Len) {
+                if (m.auditEntries.size() >= 1000000)
+                    return R::error("MigrateIn: bad audit count");
+                m.auditEntries.push_back(fld.asString());
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return R::ok(std::move(m));
+}
+
+} // namespace monatt::proto

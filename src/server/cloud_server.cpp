@@ -120,7 +120,8 @@ CloudServer::handleMessage(const net::NodeId &from, const Bytes &plaintext)
                                    << from;
         return;
     }
-    const auto &[kind, body] = unpacked.value();
+    const auto &[kind, format, body] = unpacked.value();
+    rxFormat_ = format;
     switch (kind) {
       case MessageKind::MeasureRequest:
         onMeasureRequest(from, body);
@@ -181,7 +182,7 @@ CloudServer::onMeasureRequest(const net::NodeId &from, const Bytes &body)
             << cfg.id << ": measurement request from non-AS " << from;
         return;
     }
-    auto req = proto::MeasureRequest::decode(body);
+    auto req = proto::decodeAs<proto::MeasureRequest>(rxFormat_, body);
     if (!req)
         return;
 
@@ -285,7 +286,7 @@ CloudServer::flushAikPrep()
         creq.avkSignature = session.attestationKeySignature;
         certToRequest[pa.sessionLabel] = id;
         pa.certRequestBytes =
-            packMessage(MessageKind::CertRequest, creq.encode());
+            pack(MessageKind::CertRequest, creq);
         endpoint.sendSecure(cfg.pcaId, Bytes(pa.certRequestBytes));
         if (cfg.reliability.enabled)
             scheduleCertRetry(id);
@@ -459,7 +460,7 @@ CloudServer::finishMeasurements(std::uint64_t requestId)
 void
 CloudServer::onCertResponse(const Bytes &body)
 {
-    auto resp = proto::CertResponse::decode(body);
+    auto resp = proto::decodeAs<proto::CertResponse>(rxFormat_, body);
     if (!resp)
         return;
     const auto labelIt = certToRequest.find(resp.value().sessionLabel);
@@ -553,18 +554,19 @@ CloudServer::flushQuoteBatch()
                 items[i].session, items[i].resp.signedPortion());
         });
 
-    // Serial tail in arrival order: session release and sends.
+    // Serial tail in arrival order: session release and sends. The
+    // dedup cache holds the canonical legacy body (cache hits resend
+    // legacy-framed); the fresh send uses this node's wire format.
     for (Item &item : items) {
         releaseSession(item.session);
         pending.erase(item.id);
         if (!item.sig)
             continue;
         item.resp.signature = item.sig.take();
-        Bytes encoded = item.resp.encode();
-        rememberResponse(item.id, encoded);
+        rememberResponse(item.id, item.resp.encode());
         endpoint.sendSecure(item.requester,
-                            packMessage(MessageKind::MeasureResponse,
-                                        std::move(encoded)));
+                            pack(MessageKind::MeasureResponse,
+                                 item.resp));
     }
 }
 
@@ -622,7 +624,7 @@ CloudServer::createVmDomain(const proto::LaunchVm &req)
 void
 CloudServer::onLaunchVm(const net::NodeId &from, const Bytes &body)
 {
-    auto reqR = proto::LaunchVm::decode(body);
+    auto reqR = proto::decodeAs<proto::LaunchVm>(rxFormat_, body);
     if (!reqR || !isController(from))
         return;
     const proto::LaunchVm req = reqR.take();
@@ -632,8 +634,7 @@ CloudServer::onLaunchVm(const net::NodeId &from, const Bytes &body)
         ack.vid = req.vid;
         ack.ok = false;
         ack.error = why;
-        endpoint.sendSecure(from, packMessage(MessageKind::LaunchVmAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::LaunchVmAck, ack));
     };
 
     if (vms.count(req.vid)) {
@@ -670,15 +671,14 @@ CloudServer::onLaunchVm(const net::NodeId &from, const Bytes &body)
         ack.vid = req.vid;
         ack.ok = true;
         ack.imageDigest = digest;
-        endpoint.sendSecure(from, packMessage(MessageKind::LaunchVmAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::LaunchVmAck, ack));
     }, "server.spawn");
 }
 
 void
 CloudServer::onTerminateVm(const net::NodeId &from, const Bytes &body)
 {
-    auto cmdR = proto::VmCommand::decode(body);
+    auto cmdR = proto::decodeAs<proto::VmCommand>(rxFormat_, body);
     if (!cmdR || !isController(from))
         return;
     const proto::VmCommand cmd = cmdR.take();
@@ -688,8 +688,7 @@ CloudServer::onTerminateVm(const net::NodeId &from, const Bytes &body)
     if (!hasVm(cmd.vid)) {
         ack.ok = false;
         ack.error = "unknown vm";
-        endpoint.sendSecure(from, packMessage(MessageKind::TerminateVmAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::TerminateVmAck, ack));
         return;
     }
 
@@ -706,15 +705,14 @@ CloudServer::onTerminateVm(const net::NodeId &from, const Bytes &body)
         proto::VmCommandAck ack;
         ack.vid = cmd.vid;
         ack.ok = true;
-        endpoint.sendSecure(from, packMessage(MessageKind::TerminateVmAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::TerminateVmAck, ack));
     }, "server.terminate");
 }
 
 void
 CloudServer::onSuspendVm(const net::NodeId &from, const Bytes &body)
 {
-    auto cmdR = proto::VmCommand::decode(body);
+    auto cmdR = proto::decodeAs<proto::VmCommand>(rxFormat_, body);
     if (!cmdR || !isController(from))
         return;
     const proto::VmCommand cmd = cmdR.take();
@@ -724,8 +722,7 @@ CloudServer::onSuspendVm(const net::NodeId &from, const Bytes &body)
     if (!hasVm(cmd.vid)) {
         ack.ok = false;
         ack.error = "unknown vm";
-        endpoint.sendSecure(from, packMessage(MessageKind::SuspendVmAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::SuspendVmAck, ack));
         return;
     }
 
@@ -738,15 +735,14 @@ CloudServer::onSuspendVm(const net::NodeId &from, const Bytes &body)
         proto::VmCommandAck ack;
         ack.vid = cmd.vid;
         ack.ok = true;
-        endpoint.sendSecure(from, packMessage(MessageKind::SuspendVmAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::SuspendVmAck, ack));
     }, "server.suspend");
 }
 
 void
 CloudServer::onResumeVm(const net::NodeId &from, const Bytes &body)
 {
-    auto cmdR = proto::VmCommand::decode(body);
+    auto cmdR = proto::decodeAs<proto::VmCommand>(rxFormat_, body);
     if (!cmdR || !isController(from))
         return;
     const proto::VmCommand cmd = cmdR.take();
@@ -756,8 +752,7 @@ CloudServer::onResumeVm(const net::NodeId &from, const Bytes &body)
     if (!hasVm(cmd.vid) || !vms[cmd.vid].suspended) {
         ack.ok = false;
         ack.error = "unknown or not suspended vm";
-        endpoint.sendSecure(from, packMessage(MessageKind::ResumeVmAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::ResumeVmAck, ack));
         return;
     }
 
@@ -771,15 +766,14 @@ CloudServer::onResumeVm(const net::NodeId &from, const Bytes &body)
         proto::VmCommandAck ack;
         ack.vid = cmd.vid;
         ack.ok = true;
-        endpoint.sendSecure(from, packMessage(MessageKind::ResumeVmAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::ResumeVmAck, ack));
     }, "server.resume");
 }
 
 void
 CloudServer::onMigrateOut(const net::NodeId &from, const Bytes &body)
 {
-    auto cmdR = proto::MigrateOut::decode(body);
+    auto cmdR = proto::decodeAs<proto::MigrateOut>(rxFormat_, body);
     if (!cmdR || !isController(from))
         return;
     const proto::MigrateOut cmd = cmdR.take();
@@ -789,8 +783,7 @@ CloudServer::onMigrateOut(const net::NodeId &from, const Bytes &body)
         ack.vid = cmd.vid;
         ack.ok = false;
         ack.error = "unknown vm";
-        endpoint.sendSecure(from, packMessage(MessageKind::MigrateOutAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::MigrateOutAck, ack));
         return;
     }
 
@@ -823,14 +816,14 @@ CloudServer::onMigrateOut(const net::NodeId &from, const Bytes &body)
     // The RAM copy dominates: charge it to the wire.
     const std::uint64_t ramBytes = hosted.ramMb * 1024 * 1024;
     endpoint.sendSecure(cmd.targetServer,
-                        packMessage(MessageKind::MigrateIn, mig.encode()),
+                        pack(MessageKind::MigrateIn, mig),
                         ramBytes);
 }
 
 void
 CloudServer::onMigrateIn(const net::NodeId &from, const Bytes &body)
 {
-    auto migR = proto::MigrateIn::decode(body);
+    auto migR = proto::decodeAs<proto::MigrateIn>(rxFormat_, body);
     if (!migR)
         return;
     const proto::MigrateIn mig = migR.take();
@@ -841,8 +834,7 @@ CloudServer::onMigrateIn(const net::NodeId &from, const Bytes &body)
         mig.diskGb > freeDiskGb()) {
         ack.ok = false;
         ack.error = "cannot accept migration";
-        endpoint.sendSecure(from, packMessage(MessageKind::MigrateInAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::MigrateInAck, ack));
         return;
     }
 
@@ -885,8 +877,7 @@ CloudServer::onMigrateIn(const net::NodeId &from, const Bytes &body)
         proto::VmCommandAck ack;
         ack.vid = mig.vid;
         ack.ok = true;
-        endpoint.sendSecure(from, packMessage(MessageKind::MigrateInAck,
-                                              ack.encode()));
+        endpoint.sendSecure(from, pack(MessageKind::MigrateInAck, ack));
     }, "server.migrate.in");
 }
 
@@ -894,7 +885,7 @@ void
 CloudServer::onMigrateInAck(const net::NodeId &from, const Bytes &body)
 {
     (void)from;
-    auto ackR = proto::VmCommandAck::decode(body);
+    auto ackR = proto::decodeAs<proto::VmCommandAck>(rxFormat_, body);
     if (!ackR)
         return;
     const proto::VmCommandAck ack = ackR.take();
@@ -927,8 +918,7 @@ CloudServer::onMigrateInAck(const net::NodeId &from, const Bytes &body)
         out.ok = false;
         out.error = "target rejected migration: " + ack.error;
     }
-    endpoint.sendSecure(controller, packMessage(MessageKind::MigrateOutAck,
-                                                out.encode()));
+    endpoint.sendSecure(controller, pack(MessageKind::MigrateOutAck, out));
 }
 
 } // namespace monatt::server

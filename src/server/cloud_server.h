@@ -122,6 +122,14 @@ struct CloudServerConfig
      */
     std::optional<crypto::RsaKeyPair> presetIdentityKeys;
     std::optional<crypto::RsaKeyPair> presetTpmKey;
+
+    /**
+     * Wire codec this node speaks (DESIGN.md �17). Legacy is the
+     * canonical default; Tagged is the schema-evolvable opt-in.
+     * Received frames always decode by their own self-described
+     * format.
+     */
+    proto::WireContext wire;
 };
 
 /** A hosted VM's record on the server. */
@@ -221,6 +229,11 @@ class CloudServer
     /** True while attached to the network. */
     bool isUp() const { return endpoint.attached(); }
 
+    /** Wire codec this node emits (mixed-version tests flip it at
+     * runtime to simulate a rolling upgrade). */
+    const proto::WireContext &wireContext() const { return cfg.wire; }
+    void setWireContext(const proto::WireContext &ctx) { cfg.wire = ctx; }
+
   private:
     struct PendingAttestation
     {
@@ -239,6 +252,18 @@ class CloudServer
     };
 
     void handleMessage(const net::NodeId &from, const Bytes &plaintext);
+
+    /** Pack an outgoing message in this node's configured format. */
+    template <typename M>
+    Bytes pack(proto::MessageKind kind, const M &msg) const
+    {
+        return proto::packFor(cfg.wire, kind, msg);
+    }
+
+    /** Format of the frame currently being dispatched (set by
+     * handleMessage before the synchronous handler call). */
+    proto::WireFormat rxFormat_ = proto::WireFormat::Legacy;
+
     void onMeasureRequest(const net::NodeId &from, const Bytes &body);
     void onCertResponse(const Bytes &body);
     void onLaunchVm(const net::NodeId &from, const Bytes &body);

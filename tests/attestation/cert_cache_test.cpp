@@ -134,9 +134,9 @@ class CertCacheEndToEnd : public ::testing::Test
         controller.onMessage([this](const net::NodeId &, const Bytes &msg) {
             auto unpacked = proto::unpackMessage(msg);
             if (unpacked &&
-                unpacked.value().first == MessageKind::ReportToController) {
+                unpacked.value().kind == MessageKind::ReportToController) {
                 auto rep = proto::ReportToController::decode(
-                    unpacked.value().second);
+                    unpacked.value().body);
                 if (rep)
                     reports.push_back(rep.take());
             }
@@ -144,9 +144,9 @@ class CertCacheEndToEnd : public ::testing::Test
         server.onMessage([this](const net::NodeId &, const Bytes &msg) {
             auto unpacked = proto::unpackMessage(msg);
             if (unpacked &&
-                unpacked.value().first == MessageKind::MeasureRequest) {
+                unpacked.value().kind == MessageKind::MeasureRequest) {
                 auto req =
-                    proto::MeasureRequest::decode(unpacked.value().second);
+                    proto::MeasureRequest::decode(unpacked.value().body);
                 if (req)
                     measureRequests.push_back(req.take());
             }

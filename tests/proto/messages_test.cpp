@@ -20,8 +20,8 @@ TEST(ProtoTest, PackUnpackRoundTrip)
                                      toBytes("body"));
     auto unpacked = unpackMessage(framed);
     ASSERT_TRUE(unpacked.isOk());
-    EXPECT_EQ(unpacked.value().first, MessageKind::AttestRequest);
-    EXPECT_EQ(unpacked.value().second, toBytes("body"));
+    EXPECT_EQ(unpacked.value().kind, MessageKind::AttestRequest);
+    EXPECT_EQ(unpacked.value().body, toBytes("body"));
     EXPECT_FALSE(unpackMessage(Bytes{0x01}).isOk());
 }
 
