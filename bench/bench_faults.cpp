@@ -10,6 +10,13 @@
  * characterizes the reliability layer this reproduction adds on top:
  * retransmission with exponential backoff, receive-side dedup, AS
  * failover and terminal verdicts (no request ever hangs).
+ *
+ * A third leg exercises the TCB-rollback response path: with a
+ * minimum-TCB floor armed and the fault plane downgrading part of the
+ * fleet, it reports detection latency (attestation issue to the
+ * customer receiving a TcbRollback verdict) and how many completed
+ * migrations each rolled-back host triggers. Both are simulated,
+ * deterministic metrics, gated by scripts/check_bench_regression.py.
  */
 
 #include <algorithm>
@@ -19,6 +26,7 @@
 #include "bench_util.h"
 #include "core/cloud.h"
 #include "sim/fault_plan.h"
+#include "sim/rollback_faults.h"
 
 using namespace monatt;
 using namespace monatt::core;
@@ -130,9 +138,101 @@ runSweepPoint(double drop, bool crash, int requests,
     return point;
 }
 
+/** Outcome of the TCB-rollback response leg. */
+struct RollbackLeg
+{
+    std::size_t requests = 0;
+    std::size_t flagged = 0;        //!< Reports carrying TcbRollback.
+    std::size_t rolledServers = 0;  //!< Hosts the plan downgraded.
+    std::size_t migrations = 0;     //!< Completed+succeeded migrations.
+    std::uint64_t verdicts = 0;     //!< AS-side TcbRollback verdicts.
+    double detectP50Ms = 0;
+    double detectP99Ms = 0;
+    double migrationsPerRollback = 0;
+    double simSeconds = 0;
+};
+
+/**
+ * Launch one VM per server under a minimum-TCB floor, roll back part
+ * of the fleet, attest everything and let the controller migrate the
+ * victims off the quarantined hosts.
+ */
+RollbackLeg
+runRollbackLeg()
+{
+    CloudConfig cfg = baseConfig(/*reliable=*/true);
+    cfg.numServers = 6;
+    cfg.seed = 99174;
+    cfg.minimumTcbVersion = 2;
+    Cloud cloud(cfg);
+    Customer &customer = cloud.addCustomer("bench-customer");
+
+    std::vector<std::string> vids;
+    for (int i = 0; i < cfg.numServers; ++i) {
+        auto vid = cloud.launchVm(customer, "vm-" + std::to_string(i),
+                                  "cirros", "small",
+                                  proto::allProperties());
+        if (!vid.isOk())
+            throw std::runtime_error(vid.errorMessage());
+        vids.push_back(vid.take());
+    }
+
+    sim::FaultPlanConfig plan;
+    plan.seed = 0x7CBB;
+    plan.rollback.rollbackProbability = 0.4;
+    plan.rollback.rollbackVersion = 1;
+    plan.activeFrom = cloud.events().now();
+    cloud.installFaultPlan(plan);
+
+    // The verdicts are a pure function of (plan seed, node id), so the
+    // bench can count the downgraded hosts without peeking at state.
+    RollbackLeg leg;
+    const sim::RollbackFaultModel model(plan.seed, plan.rollback);
+    for (int i = 1; i <= cfg.numServers; ++i)
+        leg.rolledServers +=
+            model.rollsBack("server-" + std::to_string(i));
+
+    const SimTime issuedAt = cloud.events().now();
+    auto results = cloud.attestMany(customer, vids,
+                                    proto::allProperties(), seconds(600));
+    leg.requests = results.size();
+    std::vector<double> detectMs;
+    for (auto &r : results) {
+        if (!r.isOk())
+            continue;
+        bool rolled = false;
+        for (const auto &pr : r.value().report.results)
+            rolled |= pr.status == proto::HealthStatus::TcbRollback;
+        if (rolled) {
+            ++leg.flagged;
+            detectMs.push_back(
+                1e3 * toSeconds(r.value().receivedAt - issuedAt));
+        }
+    }
+    leg.detectP50Ms = percentile(detectMs, 0.50);
+    leg.detectP99Ms = percentile(detectMs, 0.99);
+
+    // Drain the response plane: every flagged VM must finish its
+    // forced migration off the quarantined host.
+    cloud.runFor(seconds(60));
+    for (const auto &rec : cloud.controller().responseLog())
+        leg.migrations += rec.action == controller::ResponsePolicy::Migrate &&
+                          rec.completed && rec.succeeded;
+    for (std::size_t i = 0; i < cloud.numAttestationServers(); ++i)
+        leg.verdicts += cloud.attestationServer(i).stats().tcbRollbackVerdicts;
+    leg.migrationsPerRollback =
+        leg.rolledServers > 0
+            ? static_cast<double>(leg.migrations) /
+                  static_cast<double>(leg.rolledServers)
+            : 0;
+    leg.simSeconds = toSeconds(cloud.events().now());
+    return leg;
+}
+
 bool
 writeFaultsJson(const std::string &path,
-                const std::vector<SweepPoint> &sweep, double wallReliable,
+                const std::vector<SweepPoint> &sweep,
+                const RollbackLeg &rollback, double wallReliable,
                 double wallLegacy, double simReliable, double simLegacy)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
@@ -163,7 +263,22 @@ writeFaultsJson(const std::string &path,
     std::fprintf(
         f,
         "  ],\n"
-        "  \"clean_wire_ab\": {\n"
+        "  \"rollback\": {\n"
+        "    \"requests\": %zu, \"flagged\": %zu, "
+        "\"rolled_servers\": %zu,\n"
+        "    \"migrations_completed\": %zu, \"as_verdicts\": %llu,\n"
+        "    \"sim_detect_p50_ms\": %.3f, \"sim_detect_p99_ms\": %.3f,\n"
+        "    \"migrations_per_rollback\": %.4f,\n"
+        "    \"sim_seconds\": %.6f\n"
+        "  },\n"
+        "  \"clean_wire_ab\": {\n",
+        rollback.requests, rollback.flagged, rollback.rolledServers,
+        rollback.migrations,
+        static_cast<unsigned long long>(rollback.verdicts),
+        rollback.detectP50Ms, rollback.detectP99Ms,
+        rollback.migrationsPerRollback, rollback.simSeconds);
+    std::fprintf(
+        f,
         "    \"reliable\": {\"wall_seconds\": %.6f, \"sim_seconds\": "
         "%.6f},\n"
         "    \"legacy\": {\"wall_seconds\": %.6f, \"sim_seconds\": "
@@ -219,6 +334,27 @@ main()
             shapeOk &= p.ok == p.total;
     }
 
+    // TCB-rollback response leg: detection latency and migration
+    // yield when part of the fleet boots downgraded firmware.
+    std::printf("\nTCB rollback response (6 servers, 40%% rolled back, "
+                "floor = 2):\n");
+    const RollbackLeg rollback = runRollbackLeg();
+    std::printf("  rolled-back hosts: %zu of 6, flagged reports: %zu/%zu, "
+                "AS verdicts: %llu\n",
+                rollback.rolledServers, rollback.flagged,
+                rollback.requests,
+                static_cast<unsigned long long>(rollback.verdicts));
+    std::printf("  detection latency: p50 %.1f ms, p99 %.1f ms\n",
+                rollback.detectP50Ms, rollback.detectP99Ms);
+    std::printf("  completed migrations: %zu (%.2f per rolled host)\n",
+                rollback.migrations, rollback.migrationsPerRollback);
+    // The plan must actually roll hosts back, every victim must be
+    // detected, and each quarantined host must shed its VMs.
+    shapeOk &= rollback.rolledServers > 0;
+    shapeOk &= rollback.flagged > 0;
+    shapeOk &= rollback.verdicts > 0;
+    shapeOk &= rollback.migrations >= rollback.flagged;
+
     // Clean-wire A/B: the reliability layer on an undisturbed fabric.
     // Every retry timer is schedule-then-cancel, so simulated time is
     // bit-identical; host wall time pays only the timer bookkeeping.
@@ -252,8 +388,8 @@ main()
     shapeOk &= legacy.simSeconds == reliable.simSeconds;
     shapeOk &= legacy.ok == reliable.ok;
 
-    if (!writeFaultsJson("BENCH_faults.json", sweep, wallReliable,
-                         wallLegacy, reliable.simSeconds,
+    if (!writeFaultsJson("BENCH_faults.json", sweep, rollback,
+                         wallReliable, wallLegacy, reliable.simSeconds,
                          legacy.simSeconds))
         std::printf("\n(could not write BENCH_faults.json)\n");
     else

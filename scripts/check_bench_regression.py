@@ -16,6 +16,10 @@ Gated metrics, matched by full JSON path:
     gate with a tight --tolerance and regenerate
     bench/baselines/codec/ in any PR that intentionally evolves the
     schema)
+  - sim_detect_p50_ms, sim_detect_p99_ms  (lower is better; simulated
+    TCB-rollback detection latency from bench_faults' rollback leg)
+  - migrations_per_rollback  (higher is better; completed forced
+    migrations per quarantined host from the same leg)
 
 Wall-clock metrics (any leaf key starting with ``wall_``) are
 runner-dependent, so they WARN instead of failing: drift is printed
@@ -44,13 +48,21 @@ import json
 import pathlib
 import sys
 
-HIGHER_IS_BETTER = {"attestations_per_sim_sec"}
+HIGHER_IS_BETTER = {"attestations_per_sim_sec",
+                    # Rollback response yield (bench_faults): each
+                    # quarantined host must shed its VMs; a drop means
+                    # the controller stopped force-migrating victims.
+                    "migrations_per_rollback"}
 LOWER_IS_BETTER = {"sim_makespan_sec", "sim_seconds",
                    "records_replayed", "records_quarantined",
                    # Codec bytes-on-wire (bench_codec): encoded sizes
                    # feed the simulated transfer-time arithmetic, so
                    # growth is a behavioral regression, not noise.
-                   "legacy_frame_bytes", "tagged_frame_bytes"}
+                   "legacy_frame_bytes", "tagged_frame_bytes",
+                   # TCB-rollback detection latency (bench_faults):
+                   # simulated time from attestation issue to the
+                   # customer holding a TcbRollback verdict.
+                   "sim_detect_p50_ms", "sim_detect_p99_ms"}
 WALL_PREFIX = "wall_"
 
 

@@ -276,6 +276,11 @@ AttestationServer::startMeasurement(const AttestForward &fwd,
         for (proto::MeasurementType t : measurementsForProperty(p))
             req.rm.push_back(t);
     }
+    // Minimum-TCB policy: every challenge also demands the platform
+    // firmware version, so the appraisal below can hold it against
+    // the configured floor.
+    if (cfg.tcbPolicy.enabled())
+        req.rm.push_back(proto::MeasurementType::TcbVersion);
     req.nonce3 = session.nonce3;
     req.window = 0; // Let the server apply its configured window.
 
@@ -574,12 +579,28 @@ AttestationServer::applyVerified(const Session &session,
         ++counters.verificationFailures;
         MONATT_LOG(Warn, "as") << "measurement verification failed: "
                                << verified.errorMessage();
+        // An N3 freshness failure means validly-signed but *old*
+        // evidence answered a fresh challenge. With the minimum-TCB
+        // policy armed that is attributed as a rollback-adjacent
+        // attack (stale-quote replay), not mere verification noise:
+        // the controller must treat the host as compromised.
+        const bool staleReplay =
+            cfg.tcbPolicy.enabled() &&
+            verified.errorMessage() == "nonce N3 mismatch (replay?)";
+        if (staleReplay)
+            ++counters.staleReplaysDetected;
         for (proto::SecurityProperty p : session.forward.properties) {
             PropertyResult pr;
             pr.property = p;
-            pr.status = HealthStatus::Unknown;
-            pr.detail = "measurement verification failed: " +
-                        verified.errorMessage();
+            if (staleReplay) {
+                pr.status = HealthStatus::TcbRollback;
+                pr.detail = "stale quote replayed for fresh challenge";
+                ++counters.tcbRollbackVerdicts;
+            } else {
+                pr.status = HealthStatus::Unknown;
+                pr.detail = "measurement verification failed: " +
+                            verified.errorMessage();
+            }
             report.results.push_back(std::move(pr));
         }
         events.scheduleAfter(cfg.timing.interpretation,
@@ -617,24 +638,52 @@ AttestationServer::applyVerified(const Session &session,
             ctx.vmRef = &vmIt->second;
         ctx.knownGoodImages = &knownGoodImages;
 
+        // Minimum-TCB appraisal: the verified (signed) TCB version
+        // measurement, held against each property's floor. Absence
+        // counts as version 0 — a host that strips the measurement
+        // must not out-trust one that honestly reports an old build.
+        std::uint64_t reportedTcb = 0;
+        bool haveTcb = false;
+        if (const proto::Measurement *tv =
+                m.find(proto::MeasurementType::TcbVersion);
+            tv != nullptr && !tv->values.empty()) {
+            reportedTcb = tv->values[0];
+            haveTcb = true;
+        }
+
         AttestationReport report;
         report.vid = session.forward.vid;
-        for (proto::SecurityProperty p : session.forward.properties)
-            report.results.push_back(registry.interpret(p, m, ctx));
+        for (proto::SecurityProperty p : session.forward.properties) {
+            PropertyResult pr = registry.interpret(p, m, ctx);
+            const std::uint64_t floor = cfg.tcbPolicy.floorFor(p);
+            if (floor > 0 && reportedTcb < floor) {
+                pr.status = HealthStatus::TcbRollback;
+                pr.detail =
+                    haveTcb
+                        ? "TCB version " + std::to_string(reportedTcb) +
+                              " below minimum " + std::to_string(floor)
+                        : "no TCB version measurement (floor " +
+                              std::to_string(floor) + ")";
+                ++counters.tcbRollbackVerdicts;
+            }
+            report.results.push_back(std::move(pr));
+        }
         report.issuedAt = events.now();
-        issueReport(session, std::move(report));
+        issueReport(session, std::move(report), reportedTcb);
     }, "as.interpret");
 }
 
 void
 AttestationServer::issueReport(const Session &session,
-                               AttestationReport report)
+                               AttestationReport report,
+                               std::uint64_t tcbVersion)
 {
     ReportToController out;
     out.requestId = session.forward.requestId;
     out.vid = session.forward.vid;
     out.serverId = session.forward.serverId;
     out.properties = session.forward.properties;
+    out.tcbVersion = tcbVersion; // Unsigned wire-v3 diagnostic mirror.
     out.report = std::move(report);
     out.nonce2 = session.forward.nonce2;
     out.quote2 = ReportToController::quoteInput(

@@ -81,6 +81,16 @@ struct AttestationServerConfig
     std::size_t reportCacheCapacity = 128;
 
     /**
+     * Minimum-TCB policy (interpreters.h). When armed the AS requests
+     * the TcbVersion measurement with every rM and renders
+     * TcbRollback for evidence from below-floor (or version-less)
+     * firmware, and for stale-quote replays caught by the N3
+     * freshness check. Disarmed by default: legacy golden traces are
+     * byte-identical with the policy off.
+     */
+    TcbPolicy tcbPolicy;
+
+    /**
      * Durable appraiser state: journal dedup-cache and verified-chain
      * insertions to a write-ahead StableStore so a restarted AS keeps
      * answering retransmitted forwards idempotently instead of
@@ -137,6 +147,10 @@ struct AttestationServerStats
     std::uint64_t corruptRecoveries = 0; //!< Replays that healed a
                                          //!< torn/rotted durable image.
     std::uint64_t rttSamples = 0;      //!< Karn-valid RTT samples taken.
+    std::uint64_t tcbRollbackVerdicts = 0; //!< Properties failed by the
+                                           //!< minimum-TCB policy.
+    std::uint64_t staleReplaysDetected = 0; //!< N3-freshness failures
+                                            //!< classified as replays.
 };
 
 /** The Attestation Server entity. */
@@ -295,7 +309,8 @@ class AttestationServer
                           const net::NodeId &controller);
     void runPeriodicRound(const std::string &key);
     void issueReport(const Session &session,
-                     proto::AttestationReport report);
+                     proto::AttestationReport report,
+                     std::uint64_t tcbVersion = 0);
     void flushVerifyBatch();
     void flushSignBatch();
     void applyVerified(const Session &session,

@@ -881,6 +881,17 @@ CloudController::handleStartupReport(const AttestContext &ctx,
     if (!rec)
         return;
 
+    // A rollback verdict condemns the *host*, not the image: evict it
+    // from scheduling before picking the replacement server below.
+    bool rollback = false;
+    for (const proto::PropertyResult &pr : msg.report.results)
+        rollback |= pr.status == proto::HealthStatus::TcbRollback;
+    if (rollback) {
+        ++counters.tcbRollbackReports;
+        quarantineServer(rec->serverId,
+                         "tcb rollback during startup attestation");
+    }
+
     const proto::PropertyResult *integrity =
         msg.report.find(proto::SecurityProperty::StartupIntegrity);
     if (integrity && integrity->status == proto::HealthStatus::Healthy) {
@@ -977,6 +988,7 @@ CloudController::handleCustomerReport(std::uint64_t attestId,
     out.nonce1 = ctx.nonce1;
     out.quote1 = ReportToCustomer::quoteInput(ctx.vid, ctx.properties,
                                               msg.report, ctx.nonce1);
+    out.tcbVersion = msg.tcbVersion; // Unsigned wire-v3 diagnostic.
 
     // Relays issued within one window share a signature fan-out.
     // One-time replies feed the dedup cache; periodic stream reports
@@ -997,9 +1009,23 @@ CloudController::handleCustomerReport(std::uint64_t attestId,
 
     // nova response: act on a negative report.
     bool bad = false;
-    for (const proto::PropertyResult &pr : msg.report.results)
+    bool rollback = false;
+    for (const proto::PropertyResult &pr : msg.report.results) {
         bad |= pr.status == proto::HealthStatus::Compromised;
-    if (bad) {
+        rollback |= pr.status == proto::HealthStatus::TcbRollback;
+    }
+    if (rollback) {
+        // Minimum-TCB response (§5): the *host's* firmware is stale,
+        // so quarantine it fleet-wide first (it must not be anyone's
+        // migration target), then force-migrate the affected VM off
+        // it regardless of the customer's per-VM response policy.
+        ++counters.tcbRollbackReports;
+        quarantineServer(msg.serverId.empty() ? ctx.serverId
+                                              : msg.serverId,
+                         "tcb rollback attested");
+        triggerResponse(ctx.vid, ctx.forwardedAt, "tcb rollback",
+                        ctx.properties, /*forceMigrate=*/true);
+    } else if (bad) {
         triggerResponse(ctx.vid, ctx.forwardedAt, "negative attestation",
                         ctx.properties);
     }
@@ -1034,13 +1060,29 @@ CloudController::flushRelayBatch()
 }
 
 void
+CloudController::quarantineServer(const std::string &serverId,
+                                  const std::string &why)
+{
+    ServerRecord *srv = db.server(serverId);
+    if (!srv || srv->quarantined)
+        return;
+    srv->quarantined = true;
+    ++counters.serversQuarantined;
+    journalServer(serverId);
+    MONATT_LOG(Warn, "cc") << "quarantining " << serverId << ": " << why;
+}
+
+void
 CloudController::triggerResponse(
     const std::string &vid, SimTime attestStart, const std::string &why,
-    const std::vector<proto::SecurityProperty> &triggerProperties)
+    const std::vector<proto::SecurityProperty> &triggerProperties,
+    bool forceMigrate)
 {
     const auto polIt = policies.find(vid);
-    const ResponsePolicy policy =
+    ResponsePolicy policy =
         polIt == policies.end() ? ResponsePolicy::None : polIt->second;
+    if (forceMigrate)
+        policy = ResponsePolicy::Migrate;
     if (policy == ResponsePolicy::None)
         return;
     if (outstandingResponses.count(vid))

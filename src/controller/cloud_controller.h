@@ -192,6 +192,9 @@ struct ControllerStats
     std::uint64_t recoveredAttests = 0;    //!< Attestations re-armed.
     std::uint64_t recoveredLaunches = 0;   //!< Launches re-driven.
     std::uint64_t rttSamples = 0;          //!< Per-attestor RTT samples.
+    std::uint64_t tcbRollbackReports = 0;  //!< Reports with a TcbRollback
+                                           //!< verdict (stale firmware).
+    std::uint64_t serversQuarantined = 0;  //!< Hosts evicted for stale TCB.
 };
 
 /** The Cloud Controller entity. */
@@ -496,10 +499,23 @@ class CloudController
     void handleCustomerReport(std::uint64_t attestId,
                               const AttestContext &ctx,
                               const proto::ReportToController &msg);
+    /**
+     * Start a §5 remediation for a negative report. `forceMigrate`
+     * overrides the per-VM policy with Migrate — the rollback response:
+     * a VM on firmware the appraiser refuses must leave the host even
+     * when its customer never opted into a response policy.
+     */
     void triggerResponse(const std::string &vid, SimTime attestStart,
                          const std::string &why,
                          const std::vector<proto::SecurityProperty>
-                             &triggerProperties);
+                             &triggerProperties,
+                         bool forceMigrate = false);
+
+    /** Evict a host from scheduling after a rollback verdict. The
+     * flag rides the journaled ServerRecord, so the decision survives
+     * crash/recovery and replicates to shard followers. */
+    void quarantineServer(const std::string &serverId,
+                          const std::string &why);
     void executeMigration(const std::string &vid, std::size_t logIndex);
     void scheduleSuspendRecheck(const std::string &vid,
                                 std::size_t logIndex);

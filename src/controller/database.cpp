@@ -265,6 +265,11 @@ encodeServerRecord(const ServerRecord &rec)
     w.putU64(rec.totalDiskGb);
     w.putU64(rec.allocatedRamMb);
     w.putU64(rec.allocatedDiskGb);
+    // Appended after the original release; written only when set so
+    // records for healthy servers stay byte-identical to the frozen
+    // layout (and old journals decode via the optional-tail read).
+    if (rec.quarantined)
+        w.putU8(1);
     return w.take();
 }
 
@@ -288,9 +293,14 @@ decodeServerRecord(const Bytes &data)
     auto totalDiskGb = r.getU64();
     auto allocatedRamMb = r.getU64();
     auto allocatedDiskGb = r.getU64();
-    if (!totalRamMb || !totalDiskGb || !allocatedRamMb ||
-        !allocatedDiskGb || !r.atEnd())
+    if (!totalRamMb || !totalDiskGb || !allocatedRamMb || !allocatedDiskGb)
         return Result<ServerRecord>::error("bad server record tail");
+    if (!r.atEnd()) {
+        auto quarantined = r.getU8();
+        if (!quarantined || !r.atEnd())
+            return Result<ServerRecord>::error("bad server record tail");
+        rec.quarantined = quarantined.value() != 0;
+    }
     rec.id = id.value();
     rec.totalRamMb = totalRamMb.value();
     rec.totalDiskGb = totalDiskGb.value();
@@ -529,6 +539,8 @@ encodeServerRecordTagged(const ServerRecord &rec)
         w.putVarint(5, rec.allocatedRamMb);
     if (rec.allocatedDiskGb != 0)
         w.putVarint(6, rec.allocatedDiskGb);
+    if (rec.quarantined)
+        w.putVarint(7, 1);
     return w.take();
 }
 
@@ -574,6 +586,10 @@ decodeServerRecordTagged(const Bytes &data)
           case 6:
             if (fld.type == wire::WireType::Varint)
                 rec.allocatedDiskGb = fld.varint;
+            break;
+          case 7:
+            if (fld.type == wire::WireType::Varint)
+                rec.quarantined = fld.varint != 0;
             break;
           default:
             break; // Unknown field: skip.

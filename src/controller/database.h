@@ -78,6 +78,15 @@ struct ServerRecord
     std::uint64_t allocatedRamMb = 0;
     std::uint64_t allocatedDiskGb = 0;
 
+    /**
+     * Host evicted from scheduling: a rollback/stale-TCB verdict (§5)
+     * marked its firmware untrustworthy. Quarantined hosts keep their
+     * existing allocations (in-flight migrations must still release
+     * them) but never qualify as a placement or migration target until
+     * the operator re-admits them.
+     */
+    bool quarantined = false;
+
     std::uint64_t freeRamMb() const { return totalRamMb - allocatedRamMb; }
     std::uint64_t freeDiskGb() const
     {

@@ -9,6 +9,10 @@ bool
 PolicyValidationModule::qualifies(const ServerRecord &server,
                                   const PlacementRequirements &req)
 {
+    // A quarantined host (stale TCB verdict, §5) is never a target,
+    // whatever capacity it advertises.
+    if (server.quarantined)
+        return false;
     if (server.freeRamMb() < req.ramMb ||
         server.freeDiskGb() < req.diskGb) {
         return false;

@@ -139,6 +139,8 @@ Cloud::Cloud(CloudConfig config)
         asCfg.durable = cfg.durableControlPlane;
         asCfg.checkpointPolicy = cfg.checkpointPolicy;
         asCfg.reportCacheCapacity = cfg.dedupCacheCapacity;
+        asCfg.tcbPolicy.fleetFloor = cfg.minimumTcbVersion;
+        asCfg.tcbPolicy.propertyFloors = cfg.tcbPropertyFloors;
         asCfg.wire = cfg.wire;
         asCfg.presetIdentityKeys =
             std::move(asKeys[static_cast<std::size_t>(i)]);
@@ -207,6 +209,7 @@ Cloud::Cloud(CloudConfig config)
         scfg.sched = cfg.sched;
         scfg.hypervisorCode = cfg.hypervisorCode;
         scfg.hostOsCode = cfg.hostOsCode;
+        scfg.firmwareVersion = cfg.serverFirmwareVersion;
         scfg.timing = cfg.timing;
         scfg.reliability = cfg.reliability;
         scfg.attestorIds.insert(asIds.begin(), asIds.end());
@@ -304,6 +307,13 @@ Cloud::installFaultPlan(const sim::FaultPlanConfig &planConfig)
     for (auto &as : attestors)
         as->setStorageFaults(storage);
     pca->setStorageFaults(storage);
+    // Arm the TCB-rollback attacker on every server's measurement
+    // path (nullptr when no rollback axis is configured).
+    const sim::RollbackFaultModel *rollback = plan->rollback();
+    for (auto &srv : servers) {
+        srv->setRollbackFaults(rollback, planConfig.activeFrom,
+                               planConfig.activeUntil);
+    }
     plan->installCrashSchedule(
         eventQueue,
         [this](const std::string &node) {

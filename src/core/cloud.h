@@ -61,6 +61,24 @@ struct CloudConfig
     Bytes hypervisorCode = toBytes("xen-4.2.1-pristine");
     Bytes hostOsCode = toBytes("dom0-linux-3.11-pristine");
 
+    /**
+     * Firmware TCB version every server boots with (reported in the
+     * TcbVersion measurement when an AS demands it). A rolled-back
+     * host reports the fault plan's downgraded version instead.
+     */
+    std::uint64_t serverFirmwareVersion = 2;
+
+    /**
+     * Minimum-TCB policy installed on every Attestation Server
+     * (DESIGN.md §18): 0 (the default) disarms the policy and keeps
+     * legacy golden traces byte-identical; a positive floor makes the
+     * AS demand the TcbVersion measurement and fail any property with
+     * TcbRollback when the host's firmware is below it (or when a
+     * stale quote is replayed). Per-property overrides beat the floor.
+     */
+    std::uint64_t minimumTcbVersion = 0;
+    std::map<proto::SecurityProperty, std::uint64_t> tcbPropertyFloors;
+
     std::size_t identityKeyBits = 512;
     std::size_t aikBits = 512;
 

@@ -520,11 +520,17 @@ Customer::onReportToCustomer(const net::NodeId &from, const Bytes &body)
         it->second.retryTimer = 0;
     }
     bool degraded = false;
-    for (const proto::PropertyResult &pr : msg.report.results)
+    bool rollback = false;
+    for (const proto::PropertyResult &pr : msg.report.results) {
         degraded |= pr.status == proto::HealthStatus::Unknown;
+        rollback |= pr.status == proto::HealthStatus::TcbRollback;
+    }
+    // A rollback verdict outranks Degraded: the report verified end to
+    // end and the appraiser affirmatively condemned the host firmware.
     outcomes[msg.requestId] = AttestOutcomeRecord{
-        degraded ? AttestationOutcome::Degraded
-                 : AttestationOutcome::Verified,
+        rollback    ? AttestationOutcome::TcbRollback
+        : degraded  ? AttestationOutcome::Degraded
+                    : AttestationOutcome::Verified,
         {}};
 
     if (!pending.periodic)

@@ -54,6 +54,8 @@ enum class AttestationOutcome : std::uint8_t
     Degraded = 2,    //!< Verified, but some property came back Unknown.
     Unreachable = 3, //!< Service did not answer within the budget.
     Failed = 4,      //!< Controller refused (unknown VM, not placed...).
+    TcbRollback = 5, //!< Verified, and the appraiser condemned the
+                     //!< host's firmware as stale (rollback/replay).
 };
 
 /** Outcome plus the human-readable reason for terminal failures. */

@@ -24,6 +24,8 @@ measurementTypeName(MeasurementType t)
         return "cpu-measure";
       case MeasurementType::AuditLogDigest:
         return "audit-log-digest";
+      case MeasurementType::TcbVersion:
+        return "tcb-version";
     }
     return "unknown";
 }

@@ -37,6 +37,14 @@ enum class MeasurementType : std::uint8_t
     UsageIntervalHistogram = 5, //!< 30 TERs of CPU-usage intervals.
     CpuMeasure = 6,           //!< Virtual runtime in the window.
     AuditLogDigest = 7,       //!< Hash-chain head + entry count.
+
+    /**
+     * The platform's firmware TCB version (values[0]), measured at
+     * boot like the PCRs and covered by the signed quote Q3. The AS
+     * requests it alongside any property when its minimum-TCB policy
+     * is armed, so a rolled-back host cannot omit it silently.
+     */
+    TcbVersion = 8,
 };
 
 /** Human-readable measurement-type name. */

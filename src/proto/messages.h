@@ -192,6 +192,12 @@ struct MeasureResponse
     static Result<MeasureResponse> decodeTagged(const Bytes &data);
 
     std::uint32_t senderBuild = 0; //!< v2+ metadata; not signed.
+
+    /** v3+ metadata: the host TCB version this quote vouches for (a
+     * mirror of the signed TcbVersion measurement, for diagnostics
+     * and wire-level skew tests; the AS trusts only the signed copy
+     * inside `m`). Not signed; 0 = pre-v3 peer. */
+    std::uint64_t tcbVersion = 0;
 };
 
 /** One property's appraisal in a report. */
@@ -260,6 +266,10 @@ struct ReportToController
     static Result<ReportToController> decodeTagged(const Bytes &data);
 
     std::uint32_t senderBuild = 0; //!< v2+ metadata; not signed.
+
+    /** v3+ metadata: appraised host TCB version (0 = pre-v3 peer or
+     * no TCB evidence). Not signed. */
+    std::uint64_t tcbVersion = 0;
 };
 
 /** Cloud Controller → Customer ([Vid, P, R, N1, Q1]_SKc). */
@@ -288,6 +298,10 @@ struct ReportToCustomer
     static Result<ReportToCustomer> decodeTagged(const Bytes &data);
 
     std::uint32_t senderBuild = 0; //!< v2+ metadata; not signed.
+
+    /** v3+ metadata: appraised host TCB version (0 = pre-v3 peer or
+     * no TCB evidence). Not signed. */
+    std::uint64_t tcbVersion = 0;
 };
 
 /** Terminal non-verdicts for an attestation request. */

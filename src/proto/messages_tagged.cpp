@@ -301,6 +301,8 @@ MeasureResponse::encodeTagged(const WireContext &ctx) const
     putOpt(w, 6, quote3);
     putOpt(w, 7, signature);
     putOpt(w, 8, certificate);
+    if (ctx.version >= kWireV3)
+        putOpt(w, 9, tcbVersion);
     if (ctx.version >= kWireV2)
         putOpt(w, kSenderBuildField, std::uint64_t{senderBuild});
     return w.take();
@@ -359,6 +361,10 @@ MeasureResponse::decodeTagged(const Bytes &data)
           case 8:
             if (fld.type == WireType::Len)
                 out.certificate = fld.bytes;
+            break;
+          case 9:
+            if (fld.type == WireType::Varint)
+                out.tcbVersion = fld.varint;
             break;
           case kSenderBuildField:
             if (fld.type == WireType::Varint)
@@ -453,6 +459,8 @@ ReportToController::encodeTagged(const WireContext &ctx) const
     putOpt(w, 6, nonce2);
     putOpt(w, 7, quote2);
     putOpt(w, 8, signature);
+    if (ctx.version >= kWireV3)
+        putOpt(w, 9, tcbVersion);
     if (ctx.version >= kWireV2)
         putOpt(w, kSenderBuildField, std::uint64_t{senderBuild});
     return w.take();
@@ -508,6 +516,10 @@ ReportToController::decodeTagged(const Bytes &data)
             if (fld.type == WireType::Len)
                 m.signature = fld.bytes;
             break;
+          case 9:
+            if (fld.type == WireType::Varint)
+                m.tcbVersion = fld.varint;
+            break;
           case kSenderBuildField:
             if (fld.type == WireType::Varint)
                 m.senderBuild = static_cast<std::uint32_t>(fld.varint);
@@ -532,6 +544,8 @@ ReportToCustomer::encodeTagged(const WireContext &ctx) const
     putOpt(w, 6, quote1);
     putOpt(w, 7, signature);
     putOpt(w, 8, finalPeriodic);
+    if (ctx.version >= kWireV3)
+        putOpt(w, 9, tcbVersion);
     if (ctx.version >= kWireV2)
         putOpt(w, kSenderBuildField, std::uint64_t{senderBuild});
     return w.take();
@@ -586,6 +600,10 @@ ReportToCustomer::decodeTagged(const Bytes &data)
           case 8:
             if (fld.type == WireType::Varint)
                 m.finalPeriodic = fld.asBool();
+            break;
+          case 9:
+            if (fld.type == WireType::Varint)
+                m.tcbVersion = fld.varint;
             break;
           case kSenderBuildField:
             if (fld.type == WireType::Varint)

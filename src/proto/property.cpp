@@ -56,6 +56,8 @@ healthStatusName(HealthStatus s)
         return "compromised";
       case HealthStatus::Unknown:
         return "unknown";
+      case HealthStatus::TcbRollback:
+        return "tcb-rollback";
     }
     return "invalid";
 }

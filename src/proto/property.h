@@ -54,6 +54,16 @@ enum class HealthStatus : std::uint8_t
     Healthy = 0,      //!< Property held over the measured window.
     Compromised = 1,  //!< Property violated.
     Unknown = 2,      //!< Could not be determined (e.g. no data).
+
+    /**
+     * The evidence itself is stale: the host's firmware TCB version
+     * is below the verifier's minimum-TCB floor, or the quote was a
+     * replay of pre-upgrade measurements ("Insecure Until Proven
+     * Updated", Buhren et al.). Distinct from Compromised — the
+     * measured content may look healthy, but a downgraded TCB cannot
+     * be trusted to have measured honestly.
+     */
+    TcbRollback = 3,
 };
 
 /** Human-readable status name. */

@@ -57,6 +57,7 @@ buildSchemas()
                   {6, L, "quote3", kWireV1},
                   {7, L, "signature", kWireV1},
                   {8, L, "certificate", kWireV1},
+                  {9, V, "tcbVersion", kWireV3},
                   {kSenderBuildField, V, "senderBuild", kWireV2}}});
     s.push_back({kindByte(MessageKind::ReportToController),
                  "ReportToController",
@@ -68,6 +69,7 @@ buildSchemas()
                   {6, L, "nonce2", kWireV1},
                   {7, L, "quote2", kWireV1},
                   {8, L, "signature", kWireV1},
+                  {9, V, "tcbVersion", kWireV3},
                   {kSenderBuildField, V, "senderBuild", kWireV2}}});
     s.push_back({kindByte(MessageKind::ReportToCustomer),
                  "ReportToCustomer",
@@ -79,6 +81,7 @@ buildSchemas()
                   {6, L, "quote1", kWireV1},
                   {7, L, "signature", kWireV1},
                   {8, V, "finalPeriodic", kWireV1},
+                  {9, V, "tcbVersion", kWireV3},
                   {kSenderBuildField, V, "senderBuild", kWireV2}}});
     s.push_back({kindByte(MessageKind::CertRequest), "CertRequest",
                  {{1, L, "serverId", kWireV1},

@@ -54,8 +54,11 @@ inline constexpr std::uint32_t kWireV1 = 1;
 /** Adds senderBuild (field 15) to the attest-chain messages. */
 inline constexpr std::uint32_t kWireV2 = 2;
 
+/** Adds tcbVersion (field 9) to quotes and property reports. */
+inline constexpr std::uint32_t kWireV3 = 3;
+
 /** The schema version this build encodes by default. */
-inline constexpr std::uint32_t kWireVersionLatest = kWireV2;
+inline constexpr std::uint32_t kWireVersionLatest = kWireV3;
 
 /**
  * Per-node wire settings: which encoding this node emits and which

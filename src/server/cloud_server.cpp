@@ -434,7 +434,16 @@ CloudServer::finishMeasurements(std::uint64_t requestId)
     for (proto::MeasurementType t : pa.request.rm) {
         Result<proto::Measurement> m =
             Result<proto::Measurement>::error("vm not hosted");
-        if (MonitorModule::isWindowed(t)) {
+        if (t == proto::MeasurementType::TcbVersion) {
+            // Platform firmware version, measured at boot into the
+            // TPM-backed platform state. A rolled-back host reports
+            // the downgraded version; the evidence is still validly
+            // signed — only the AS minimum-TCB floor catches it.
+            proto::Measurement tm;
+            tm.type = t;
+            tm.values.push_back(effectiveTcbVersion());
+            m = Result<proto::Measurement>::ok(std::move(tm));
+        } else if (MonitorModule::isWindowed(t)) {
             if (haveVm) {
                 m = monitor.finishWindow(t, domainOf(pa.request.vid),
                                          events.now());
@@ -539,9 +548,32 @@ CloudServer::flushQuoteBatch()
         item.resp.rm = pa.request.rm;
         item.resp.m = pa.m;
         item.resp.nonce3 = pa.request.nonce3;
+
+        // Stale-quote replay attack: a compromised host answers a
+        // fresh challenge with evidence captured before a rollback,
+        // re-signed under the current session so signature and quote
+        // checks pass. The replay keeps the *stale* nonce3 — the AS
+        // freshness check is the only thing that can catch this.
+        auto stashIt = staleStash.find(item.resp.vid);
+        if (rollbackActive() && rollbackFaults->replaysStale(cfg.id) &&
+            stashIt != staleStash.end()) {
+            item.resp.rm = stashIt->second.rm;
+            item.resp.m = stashIt->second.m;
+            item.resp.nonce3 = stashIt->second.nonce3;
+        } else {
+            staleStash[item.resp.vid] = StaleStash{
+                item.resp.rm, item.resp.m, item.resp.nonce3};
+        }
         item.resp.quote3 = proto::MeasureResponse::quoteInput(
             item.resp.vid, item.resp.rm, item.resp.m, item.resp.nonce3);
         item.resp.certificate = pa.certificate;
+        if (const proto::Measurement *tv =
+                item.resp.m.find(proto::MeasurementType::TcbVersion);
+            tv != nullptr && !tv->values.empty()) {
+            // Unsigned diagnostic mirror of the measured TCB version
+            // (wire v3); appraisers only ever trust the signed copy.
+            item.resp.tcbVersion = tv->values[0];
+        }
         items.push_back(std::move(item));
     }
 
@@ -596,6 +628,24 @@ CloudServer::crash()
     responseCache.clear();
     responseOrder.clear();
     migrations.clear();
+    staleStash.clear();
+}
+
+bool
+CloudServer::rollbackActive() const
+{
+    if (rollbackFaults == nullptr || !rollbackFaults->enabled())
+        return false;
+    const SimTime now = events.now();
+    return now >= rollbackActiveFrom && now < rollbackActiveUntil;
+}
+
+std::uint64_t
+CloudServer::effectiveTcbVersion() const
+{
+    if (rollbackActive() && rollbackFaults->rollsBack(cfg.id))
+        return rollbackFaults->rollbackVersion();
+    return cfg.firmwareVersion;
 }
 
 void

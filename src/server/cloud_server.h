@@ -37,6 +37,7 @@
 #include "server/catalog.h"
 #include "server/monitor_module.h"
 #include "sim/event_queue.h"
+#include "sim/rollback_faults.h"
 #include "tpm/trust_module.h"
 
 namespace monatt::server
@@ -81,6 +82,15 @@ struct CloudServerConfig
     hypervisor::CreditScheduler::Params sched;
     Bytes hypervisorCode;
     Bytes hostOsCode;
+
+    /**
+     * Firmware TCB version of this host's platform stack, measured
+     * into the TcbVersion measurement when an Attestation Server
+     * requests it (minimum-TCB policy, DESIGN.md §18). A rolled-back
+     * host reports the attacker's downgraded version instead.
+     */
+    std::uint64_t firmwareVersion = 2;
+
     proto::TimingModel timing;
     std::size_t identityKeyBits = 512;
     std::size_t aikBits = 512;
@@ -234,6 +244,24 @@ class CloudServer
     const proto::WireContext &wireContext() const { return cfg.wire; }
     void setWireContext(const proto::WireContext &ctx) { cfg.wire = ctx; }
 
+    /**
+     * Install the TCB-rollback attacker model (nullptr = honest
+     * host). Wired by core::Cloud when a fault plan is installed; the
+     * attack behaviors apply only inside [activeFrom, activeUntil).
+     */
+    void setRollbackFaults(const sim::RollbackFaultModel *model,
+                           SimTime activeFrom = 0,
+                           SimTime activeUntil = kTimeNever)
+    {
+        rollbackFaults = model;
+        rollbackActiveFrom = activeFrom;
+        rollbackActiveUntil = activeUntil;
+    }
+
+    /** The TCB version this host currently reports (the downgraded
+     * build while a rollback attack is active). */
+    std::uint64_t effectiveTcbVersion() const;
+
   private:
     struct PendingAttestation
     {
@@ -349,6 +377,28 @@ class CloudServer
 
     /** Pending migration: vid -> controller that asked. */
     std::map<std::string, net::NodeId> migrations;
+
+    // --- TCB-rollback attacker hooks (sim/rollback_faults.h) -------
+
+    /** True when the attacker model is armed for `now`. */
+    bool rollbackActive() const;
+
+    /**
+     * Last honestly-sent measurement content per vid — the stale
+     * evidence a compromised host re-signs for fresh challenges.
+     * Volatile attacker state (cleared with the rest on crash).
+     */
+    struct StaleStash
+    {
+        proto::MeasurementRequestList rm;
+        proto::MeasurementSet m;
+        Bytes nonce3;
+    };
+    std::map<std::string, StaleStash> staleStash;
+
+    const sim::RollbackFaultModel *rollbackFaults = nullptr;
+    SimTime rollbackActiveFrom = 0;
+    SimTime rollbackActiveUntil = kTimeNever;
 
     std::uint64_t allocatedRamMb = 0;
     std::uint64_t allocatedDiskGb = 0;

@@ -43,7 +43,8 @@ below(std::uint64_t v, double probability)
 } // namespace
 
 FaultPlan::FaultPlan(FaultPlanConfig config)
-    : cfg(std::move(config)), storageModel(cfg.seed, cfg.storage)
+    : cfg(std::move(config)), storageModel(cfg.seed, cfg.storage),
+      rollbackModel(cfg.seed, cfg.rollback)
 {
 }
 

@@ -29,6 +29,7 @@
 
 #include "common/time_types.h"
 #include "sim/event_queue.h"
+#include "sim/rollback_faults.h"
 #include "sim/storage_faults.h"
 
 namespace monatt::sim
@@ -90,6 +91,13 @@ struct FaultPlanConfig
      * every entity's store when the plan is installed. */
     StorageFaultConfig storage;
 
+    /** TCB/firmware-rollback attacker axes (downgrade, stale-quote
+     * replay); shares `seed` but draws with independent salts.
+     * Applied by the cloud servers' measurement path, not the
+     * network — core::Cloud wires the compiled model into every
+     * server when the plan is installed. */
+    RollbackFaultConfig rollback;
+
     /** Faults apply only inside [activeFrom, activeUntil). */
     SimTime activeFrom = 0;
     SimTime activeUntil = kTimeNever;
@@ -143,6 +151,13 @@ class FaultPlan
         return storageModel.enabled() ? &storageModel : nullptr;
     }
 
+    /** Compiled rollback-attacker model, or nullptr when no rollback
+     * axis is armed (servers then keep the clean measurement path). */
+    const RollbackFaultModel *rollback() const
+    {
+        return rollbackModel.enabled() ? &rollbackModel : nullptr;
+    }
+
   private:
     bool active(SimTime now) const
     {
@@ -156,6 +171,7 @@ class FaultPlan
 
     FaultPlanConfig cfg;
     StorageFaultModel storageModel;
+    RollbackFaultModel rollbackModel;
 };
 
 } // namespace monatt::sim

@@ -1,0 +1,75 @@
+#include "sim/rollback_faults.h"
+
+namespace monatt::sim
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: cheap, well-mixed, dependency-free. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** FNV-1a over a string, folded through the running state. */
+std::uint64_t
+absorb(std::uint64_t state, const std::string &s)
+{
+    std::uint64_t h = state ^ 0xcbf29ce484222325ULL;
+    for (unsigned char c : s)
+        h = (h ^ c) * 0x100000001b3ULL;
+    return mix64(h);
+}
+
+/** Map a draw to a [0, 1) probability comparison. */
+bool
+below(std::uint64_t v, double probability)
+{
+    if (probability <= 0)
+        return false;
+    if (probability >= 1)
+        return true;
+    const double unit =
+        static_cast<double>(v >> 11) * (1.0 / 9007199254740992.0);
+    return unit < probability;
+}
+
+// Salts keep the per-purpose draws independent of each other and of
+// the network / storage fault-plane draws.
+constexpr std::uint64_t kSaltRollback = 0xF1A40001;
+constexpr std::uint64_t kSaltReplay = 0xF1A40002;
+
+} // namespace
+
+RollbackFaultModel::RollbackFaultModel(std::uint64_t seed,
+                                       RollbackFaultConfig config)
+    : cfg(config), seed(seed)
+{
+}
+
+std::uint64_t
+RollbackFaultModel::draw(const std::string &node,
+                         std::uint64_t salt) const
+{
+    std::uint64_t h = mix64(seed ^ salt);
+    return absorb(h, node);
+}
+
+bool
+RollbackFaultModel::rollsBack(const std::string &node) const
+{
+    return below(draw(node, kSaltRollback), cfg.rollbackProbability);
+}
+
+bool
+RollbackFaultModel::replaysStale(const std::string &node) const
+{
+    return below(draw(node, kSaltReplay), cfg.staleReplayProbability);
+}
+
+} // namespace monatt::sim

@@ -202,6 +202,75 @@ TEST(MixedVersionTest, V1PeerInteroperatesWithV2Fleet)
     EXPECT_EQ(customer.stats().reportsRejected, 0u);
 }
 
+TEST(MixedVersionTest, V2PeerInteroperatesWithTcbPolicy)
+{
+    // Schema skew across the TCB axis: a v2 tagged server (pre-TCB
+    // schema, never emits the field-9 mirror) inside a v3 fleet whose
+    // AS runs the minimum-TCB floor. The TcbVersion *measurement*
+    // travels inside the measurement set — plain data, not a schema
+    // field — so the floor still sees the honest version and passes.
+    const proto::WireContext kTaggedV2{proto::WireFormat::Tagged,
+                                       proto::kWireV2};
+    CloudConfig cfg = baseConfig();
+    cfg.wire = kTagged;
+    cfg.minimumTcbVersion = 2;
+    Cloud cloud(cfg);
+    Customer &customer = cloud.addCustomer("alice");
+    const std::string vid = launchOne(cloud, customer, "vm-g");
+    ASSERT_TRUE(cloud.setNodeWireContext(
+        cloud.serverHosting(vid)->id(), kTaggedV2));
+
+    auto rep = cloud.attestOnce(
+        customer, vid, {proto::SecurityProperty::RuntimeIntegrity});
+    ASSERT_TRUE(rep.isOk()) << rep.errorMessage();
+    EXPECT_TRUE(rep.value().report.allHealthy())
+        << "v2 peer must still satisfy the v3 minimum-TCB floor";
+    EXPECT_EQ(customer.stats().reportsRejected, 0u);
+}
+
+TEST(MixedVersionTest, RollbackVerdictsAgreeAcrossCodecs)
+{
+    // Codec parity for the rollback axis: the same seeded downgrade
+    // attack against a legacy fleet and an all-tagged v3 fleet must
+    // produce identical per-property TcbRollback verdicts — the
+    // attack and its detection live above the transport encoding.
+    auto verdictsFor = [](const proto::WireContext &wire) {
+        CloudConfig cfg = baseConfig();
+        cfg.wire = wire;
+        cfg.minimumTcbVersion = 2;
+        Cloud cloud(cfg);
+        Customer &customer = cloud.addCustomer("alice");
+        const std::string vid = launchOne(cloud, customer, "vm-h");
+        sim::FaultPlanConfig plan;
+        plan.seed = 0x7CB7;
+        plan.rollback.rollbackProbability = 1.0;
+        plan.rollback.rollbackVersion = 1;
+        plan.activeFrom = cloud.events().now();
+        cloud.installFaultPlan(plan);
+        auto rep = cloud.attestOnce(
+            customer, vid,
+            {proto::SecurityProperty::StartupIntegrity,
+             proto::SecurityProperty::RuntimeIntegrity});
+        EXPECT_TRUE(rep.isOk()) << rep.errorMessage();
+        std::vector<std::pair<proto::SecurityProperty,
+                              proto::HealthStatus>> verdicts;
+        if (rep.isOk()) {
+            for (const proto::PropertyResult &pr :
+                 rep.value().report.results)
+                verdicts.emplace_back(pr.property, pr.status);
+        }
+        return verdicts;
+    };
+
+    const auto legacy = verdictsFor(kLegacy);
+    const auto tagged = verdictsFor(kTagged);
+    ASSERT_FALSE(legacy.empty());
+    EXPECT_EQ(legacy, tagged);
+    for (const auto &[property, status] : legacy)
+        EXPECT_EQ(status, proto::HealthStatus::TcbRollback)
+            << proto::propertyName(property);
+}
+
 TEST(MixedVersionTest, TaggedJournalSurvivesCrashRecovery)
 {
     // A tagged-format controller journals tagged payloads (record

@@ -21,6 +21,7 @@ namespace
 
 const WireContext kV1{WireFormat::Tagged, kWireV1};
 const WireContext kV2{WireFormat::Tagged, kWireV2};
+const WireContext kV3{WireFormat::Tagged, kWireV3};
 
 // --- Fixed sample messages (every field away from its default) -------
 
@@ -572,6 +573,120 @@ TEST(WireConformanceTest, WrongWireTypeOnKnownFieldIsSkipped)
     ASSERT_TRUE(d.isOk()) << d.errorMessage();
     EXPECT_EQ(d.value().requestId, 0u);
     EXPECT_EQ(d.value().vid, "vm-ok");
+}
+
+// --- v3: the TCB-version axis (field 9 on quote/report paths) --------
+
+MeasureResponse
+sampleMeasureResponseV3()
+{
+    MeasureResponse m = sampleMeasureResponse();
+    m.tcbVersion = 7;
+    return m;
+}
+
+ReportToController
+sampleReportToControllerV3()
+{
+    ReportToController m = sampleReportToController();
+    m.tcbVersion = 7;
+    return m;
+}
+
+ReportToCustomer
+sampleReportToCustomerV3()
+{
+    ReportToCustomer m = sampleReportToCustomer();
+    m.tcbVersion = 7;
+    return m;
+}
+
+TEST(WireConformanceTest, GoldenByteVectorsV3)
+{
+    // Frozen v3 encodings: tcbVersion rides field 9 (tag 0x48) on the
+    // three quote/report messages. A mismatch means the released TCB
+    // field moved — use a new number instead.
+    const std::vector<GoldenCase> cases = {
+        {"MeasureResponse", sampleMeasureResponseV3().encodeTagged(kV3),
+         "080c1204766d2d6d1a010222080a0608022202dead2a010c32010d3a"
+         "020e0f42011048077803"},
+        {"ReportToController",
+         sampleReportToControllerV3().encodeTagged(kV3),
+         "080d1204766d2d721a087365727665722d312201022a150a04766d2d"
+         "721208080210001a026f6b1880ade2043201113a011242021314480778"
+         "03"},
+        {"ReportToCustomer", sampleReportToCustomerV3().encodeTagged(kV3),
+         "080e1204766d2d721a010222150a04766d2d721208080210001a026f"
+         "6b1880ade2042a01153201163a0117400148077803"},
+    };
+    for (const GoldenCase &c : cases)
+        EXPECT_EQ(toHex(c.actual), c.expected) << c.name;
+}
+
+TEST(WireConformanceTest, V2EncoderOmitsTcbVersion)
+{
+    // Old (v2) encoder → new decoder: the field is version-gated, so
+    // a v2 peer never puts it on the wire even when the member is set;
+    // the v3 decoder keeps the default 0 — which the AS minimum-TCB
+    // floor deliberately treats as below-minimum (a host that strips
+    // the measurement must not out-trust one reporting an old build).
+    EXPECT_EQ(toHex(sampleMeasureResponseV3().encodeTagged(kV2)),
+              toHex(sampleMeasureResponse().encodeTagged(kV2)));
+    auto d = MeasureResponse::decodeTagged(
+        sampleMeasureResponseV3().encodeTagged(kV2));
+    ASSERT_TRUE(d.isOk());
+    EXPECT_EQ(d.value().tcbVersion, 0u);
+}
+
+TEST(WireConformanceTest, TcbVersionDefaultIsOmittedAtV3)
+{
+    // Omit-default: a v3 encoder with the TCB axis disarmed (version
+    // 0) emits bytes identical to v2 — upgrading the fleet without
+    // arming the policy changes nothing on the wire.
+    EXPECT_EQ(toHex(sampleMeasureResponse().encodeTagged(kV3)),
+              toHex(sampleMeasureResponse().encodeTagged(kV2)));
+    EXPECT_EQ(toHex(sampleReportToController().encodeTagged(kV3)),
+              toHex(sampleReportToController().encodeTagged(kV2)));
+    EXPECT_EQ(toHex(sampleReportToCustomer().encodeTagged(kV3)),
+              toHex(sampleReportToCustomer().encodeTagged(kV2)));
+}
+
+TEST(WireConformanceTest, TcbVersionSurvivesV3RoundTrip)
+{
+    auto mr = MeasureResponse::decodeTagged(
+        sampleMeasureResponseV3().encodeTagged(kV3));
+    ASSERT_TRUE(mr.isOk());
+    EXPECT_EQ(mr.value().tcbVersion, 7u);
+    auto rc = ReportToController::decodeTagged(
+        sampleReportToControllerV3().encodeTagged(kV3));
+    ASSERT_TRUE(rc.isOk());
+    EXPECT_EQ(rc.value().tcbVersion, 7u);
+    auto ru = ReportToCustomer::decodeTagged(
+        sampleReportToCustomerV3().encodeTagged(kV3));
+    ASSERT_TRUE(ru.isOk());
+    EXPECT_EQ(ru.value().tcbVersion, 7u);
+}
+
+TEST(WireConformanceTest, TcbSchemaRowsAreV3)
+{
+    EXPECT_EQ(kWireVersionLatest, kWireV3);
+    std::size_t rows = 0;
+    for (const MessageSchema &s : wireSchemas()) {
+        const std::string name = s.name;
+        const bool carrier = name == "MeasureResponse" ||
+                             name == "ReportToController" ||
+                             name == "ReportToCustomer";
+        for (const FieldSpec &f : s.fields) {
+            if (std::string(f.name) != "tcbVersion")
+                continue;
+            ++rows;
+            EXPECT_TRUE(carrier) << name << " must not carry tcbVersion";
+            EXPECT_EQ(f.number, 9u) << name;
+            EXPECT_EQ(f.since, kWireV3) << name;
+        }
+    }
+    EXPECT_EQ(rows, 3u) << "tcbVersion rides exactly the quote/report "
+                           "messages";
 }
 
 TEST(WireConformanceTest, TaggedJournalBitClearsToLegacyTypeRange)

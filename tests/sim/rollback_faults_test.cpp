@@ -1,0 +1,104 @@
+#include "sim/rollback_faults.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace monatt::sim
+{
+namespace
+{
+
+std::string
+node(int i)
+{
+    return "server-" + std::to_string(i);
+}
+
+TEST(RollbackFaultsTest, DisabledConfigArmsNothing)
+{
+    RollbackFaultConfig cfg;
+    EXPECT_FALSE(cfg.any());
+    RollbackFaultModel model(42, cfg);
+    EXPECT_FALSE(model.enabled());
+    for (int i = 1; i <= 100; ++i)
+    {
+        EXPECT_FALSE(model.rollsBack(node(i)));
+        EXPECT_FALSE(model.replaysStale(node(i)));
+    }
+}
+
+TEST(RollbackFaultsTest, CertaintyProbabilitiesAlwaysFire)
+{
+    RollbackFaultConfig cfg;
+    cfg.rollbackProbability = 1.0;
+    cfg.rollbackVersion = 7;
+    RollbackFaultModel model(42, cfg);
+    EXPECT_TRUE(model.enabled());
+    EXPECT_EQ(model.rollbackVersion(), 7u);
+    for (int i = 1; i <= 100; ++i)
+        EXPECT_TRUE(model.rollsBack(node(i)));
+}
+
+TEST(RollbackFaultsTest, VerdictsArePureFunctions)
+{
+    RollbackFaultConfig cfg;
+    cfg.rollbackProbability = 0.5;
+    cfg.staleReplayProbability = 0.3;
+    RollbackFaultModel a(7, cfg);
+    RollbackFaultModel b(7, cfg);
+    for (int i = 1; i <= 500; ++i)
+    {
+        EXPECT_EQ(a.rollsBack(node(i)), b.rollsBack(node(i)));
+        EXPECT_EQ(a.replaysStale(node(i)), b.replaysStale(node(i)));
+        // Re-asking the same model must never change the answer.
+        EXPECT_EQ(a.rollsBack(node(i)), a.rollsBack(node(i)));
+    }
+}
+
+TEST(RollbackFaultsTest, SeedAndNodeDecorrelateVerdicts)
+{
+    RollbackFaultConfig cfg;
+    cfg.rollbackProbability = 0.5;
+    RollbackFaultModel seedA(1, cfg);
+    RollbackFaultModel seedB(2, cfg);
+
+    int seedDiffers = 0;
+    for (int i = 1; i <= 1000; ++i)
+        if (seedA.rollsBack(node(i)) != seedB.rollsBack(node(i)))
+            ++seedDiffers;
+    // Independent fair-ish coins should disagree roughly half the
+    // time; just assert they are not glued together.
+    EXPECT_GT(seedDiffers, 250);
+}
+
+TEST(RollbackFaultsTest, AxesUseIndependentDraws)
+{
+    RollbackFaultConfig cfg;
+    cfg.rollbackProbability = 0.5;
+    cfg.staleReplayProbability = 0.5;
+    RollbackFaultModel model(9, cfg);
+    int differs = 0;
+    for (int i = 1; i <= 1000; ++i)
+        if (model.rollsBack(node(i)) != model.replaysStale(node(i)))
+            ++differs;
+    EXPECT_GT(differs, 250);
+}
+
+TEST(RollbackFaultsTest, RatesTrackProbability)
+{
+    RollbackFaultConfig cfg;
+    cfg.rollbackProbability = 0.1;
+    RollbackFaultModel model(1234, cfg);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 1; i <= n; ++i)
+        if (model.rollsBack(node(i)))
+            ++hits;
+    const double rate = static_cast<double>(hits) / n;
+    EXPECT_GT(rate, 0.07);
+    EXPECT_LT(rate, 0.13);
+}
+
+} // namespace
+} // namespace monatt::sim
